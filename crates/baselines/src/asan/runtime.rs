@@ -1,0 +1,282 @@
+//! ASan run-time support: shadow poisoning, checking allocator wrappers.
+
+use super::{shadow_of, AsanConfig, POISON_FREED, POISON_GLOBAL_RZ, POISON_HEAP_RZ, REDZONE};
+use sgxs_mir::{AccessKind, IntrinsicCtx, Trap, Vm};
+use sgxs_rt::{AllocOpts, HeapAlloc};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Handle to the installed ASan runtime.
+pub struct AsanRuntime {
+    /// Detections counter.
+    pub reports: Rc<RefCell<u64>>,
+}
+
+/// Allocator options matching ASan policy, given the machine scale.
+pub fn asan_alloc_opts(cfg: &AsanConfig, reserve_cap: u64) -> AllocOpts {
+    AllocOpts {
+        redzone_pre: REDZONE,
+        redzone_post: REDZONE,
+        quarantine_bytes: cfg.quarantine_bytes,
+        reserve_cap,
+    }
+}
+
+/// Writes `byte` into the shadow of `[base, base+len)`, charged.
+fn poison_range(ctx: &mut IntrinsicCtx<'_>, base: u32, len: u32, byte: u8) -> Result<(), Trap> {
+    if len == 0 {
+        return Ok(());
+    }
+    let s = shadow_of(base);
+    let n = len.div_ceil(8);
+    ctx.charge_bulk(s as u64, n, true)?;
+    let buf = vec![byte; n as usize];
+    ctx.machine.mem.write_bytes(s, &buf);
+    Ok(())
+}
+
+/// Unpoisons `[base, base+len)`: full granules 0, trailing partial granule
+/// gets its addressable-byte count.
+fn unpoison_object(ctx: &mut IntrinsicCtx<'_>, base: u32, len: u32) -> Result<(), Trap> {
+    let s = shadow_of(base);
+    let full = len / 8;
+    let part = len % 8;
+    let n = full + (part > 0) as u32;
+    if n > 0 {
+        ctx.charge_bulk(s as u64, n, true)?;
+        let mut buf = vec![0u8; n as usize];
+        if part > 0 {
+            buf[full as usize] = part as u8;
+        }
+        ctx.machine.mem.write_bytes(s, &buf);
+    }
+    Ok(())
+}
+
+/// Verifies that `[base, base+len)` is fully addressable in the shadow
+/// (used by the `memcpy`-family interceptors). Charges a shadow scan.
+fn check_range(ctx: &mut IntrinsicCtx<'_>, base: u32, len: u32) -> Result<bool, Trap> {
+    if len == 0 {
+        return Ok(true);
+    }
+    let s = shadow_of(base);
+    let n = len.div_ceil(8);
+    ctx.charge_bulk(s as u64, n, false)?;
+    let mut buf = vec![0u8; n as usize];
+    ctx.machine.mem.read_bytes(s, &mut buf);
+    for (i, &b) in buf.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        if b >= 0x80 {
+            return Ok(false);
+        }
+        // Partial granule: only the last granule may be partial, and the
+        // access must fit inside it.
+        let granule_start = i as u32 * 8;
+        let need = (len - granule_start).min(8);
+        if need > b as u32 {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn report_trap(addr: u64, size: u32, is_store: bool) -> Trap {
+    Trap::SafetyViolation {
+        scheme: "asan",
+        addr,
+        size,
+        access: if is_store {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        },
+        msg: "shadow byte poisoned".into(),
+    }
+}
+
+/// Installs the ASan runtime. The heap must have been created with
+/// [`asan_alloc_opts`].
+pub fn install_asan(
+    vm: &mut Vm<'_>,
+    heap: Rc<RefCell<HeapAlloc>>,
+    cfg: &AsanConfig,
+) -> AsanRuntime {
+    // The constant shadow reservation (512 MB at paper scale, §5.2).
+    vm.machine.mem.reserve(cfg.shadow_reserve);
+    let reports = Rc::new(RefCell::new(0u64));
+
+    let h = heap.clone();
+    vm.register_intrinsic("asan_malloc", move |ctx, args| {
+        let size = args.first().copied().unwrap_or(0) as u32;
+        let p = h.borrow_mut().malloc(ctx, size)?;
+        poison_range(ctx, p - REDZONE, REDZONE, POISON_HEAP_RZ)?;
+        unpoison_object(ctx, p, size)?;
+        // The right redzone starts at the next shadow granule; the partial
+        // granule byte written by unpoison_object already blocks the tail.
+        poison_range(ctx, (p + size + 7) & !7, REDZONE, POISON_HEAP_RZ)?;
+        Ok(Some(p as u64))
+    });
+
+    let h = heap.clone();
+    vm.register_intrinsic("asan_calloc", move |ctx, args| {
+        let n = args.first().copied().unwrap_or(0) as u32;
+        let sz = args.get(1).copied().unwrap_or(0) as u32;
+        let size = n.checked_mul(sz).ok_or(Trap::OutOfMemory {
+            requested: n as u64 * sz as u64,
+            reserved: ctx.machine.mem.reserved(),
+        })?;
+        let p = h.borrow_mut().malloc(ctx, size)?;
+        sgxs_rt::libc::memset(ctx, p, 0, size)?;
+        poison_range(ctx, p - REDZONE, REDZONE, POISON_HEAP_RZ)?;
+        unpoison_object(ctx, p, size)?;
+        // The right redzone starts at the next shadow granule; the partial
+        // granule byte written by unpoison_object already blocks the tail.
+        poison_range(ctx, (p + size + 7) & !7, REDZONE, POISON_HEAP_RZ)?;
+        Ok(Some(p as u64))
+    });
+
+    let h = heap.clone();
+    vm.register_intrinsic("asan_realloc", move |ctx, args| {
+        let old = args.first().copied().unwrap_or(0) as u32;
+        let size = args.get(1).copied().unwrap_or(0) as u32;
+        let old_size = if old != 0 {
+            h.borrow().usable_size(old).unwrap_or(0)
+        } else {
+            0
+        };
+        let p = h.borrow_mut().malloc(ctx, size)?;
+        if old != 0 {
+            sgxs_rt::libc::memcpy(ctx, p, old, old_size.min(size))?;
+            poison_range(ctx, old, old_size, POISON_FREED)?;
+            h.borrow_mut().free(ctx, old)?;
+        }
+        poison_range(ctx, p - REDZONE, REDZONE, POISON_HEAP_RZ)?;
+        unpoison_object(ctx, p, size)?;
+        // The right redzone starts at the next shadow granule; the partial
+        // granule byte written by unpoison_object already blocks the tail.
+        poison_range(ctx, (p + size + 7) & !7, REDZONE, POISON_HEAP_RZ)?;
+        Ok(Some(p as u64))
+    });
+
+    let h = heap.clone();
+    vm.register_intrinsic("asan_free", move |ctx, args| {
+        let p = args.first().copied().unwrap_or(0) as u32;
+        if p == 0 {
+            return Ok(None);
+        }
+        let size = h
+            .borrow()
+            .usable_size(p)
+            .ok_or_else(|| Trap::Abort(format!("asan: invalid free of {p:#x}")))?;
+        // Poison the whole object: use-after-free and double-free both
+        // become shadow hits (the quarantine keeps the region unreused).
+        poison_range(ctx, p, size, POISON_FREED)?;
+        h.borrow_mut().free(ctx, p)?;
+        Ok(None)
+    });
+
+    let rep = reports.clone();
+    vm.register_intrinsic("asan_report", move |_ctx, args| {
+        *rep.borrow_mut() += 1;
+        let addr = args.first().copied().unwrap_or(0);
+        let size = args.get(1).copied().unwrap_or(0) as u32;
+        let is_store = args.get(2).copied().unwrap_or(0) != 0;
+        Err(report_trap(addr, size, is_store))
+    });
+
+    vm.register_intrinsic("asan_poison", move |ctx, args| {
+        let base = args[0] as u32;
+        let size = args[1] as u32;
+        let rz = args[2] as u32;
+        unpoison_object(ctx, base, size)?;
+        poison_range(ctx, (base + size + 7) & !7, rz, POISON_GLOBAL_RZ)?;
+        Ok(None)
+    });
+
+    vm.register_intrinsic("asan_unpoison", move |ctx, args| {
+        unpoison_object(ctx, args[0] as u32, args[1] as u32)?;
+        Ok(None)
+    });
+
+    let rep = reports.clone();
+    vm.register_intrinsic("asan_memcpy", move |ctx, args| {
+        let (d, s, n) = (args[0] as u32, args[1] as u32, args[2] as u32);
+        if !check_range(ctx, s, n)? {
+            *rep.borrow_mut() += 1;
+            return Err(report_trap(s as u64, n, false));
+        }
+        if !check_range(ctx, d, n)? {
+            *rep.borrow_mut() += 1;
+            return Err(report_trap(d as u64, n, true));
+        }
+        sgxs_rt::libc::memcpy(ctx, d, s, n)?;
+        Ok(Some(d as u64))
+    });
+
+    let rep = reports.clone();
+    vm.register_intrinsic("asan_memset", move |ctx, args| {
+        let (d, c, n) = (args[0] as u32, args[1] as u8, args[2] as u32);
+        if !check_range(ctx, d, n)? {
+            *rep.borrow_mut() += 1;
+            return Err(report_trap(d as u64, n, true));
+        }
+        sgxs_rt::libc::memset(ctx, d, c, n)?;
+        Ok(Some(d as u64))
+    });
+
+    let rep = reports.clone();
+    vm.register_intrinsic("asan_strcpy", move |ctx, args| {
+        let (d, s) = (args[0] as u32, args[1] as u32);
+        let len = sgxs_rt::libc::strlen(ctx, s)?;
+        if !check_range(ctx, s, len + 1)? {
+            *rep.borrow_mut() += 1;
+            return Err(report_trap(s as u64, len + 1, false));
+        }
+        if !check_range(ctx, d, len + 1)? {
+            *rep.borrow_mut() += 1;
+            return Err(report_trap(d as u64, len + 1, true));
+        }
+        sgxs_rt::libc::memcpy(ctx, d, s, len + 1)?;
+        Ok(Some(d as u64))
+    });
+
+    let rep = reports.clone();
+    vm.register_intrinsic("asan_strncpy", move |ctx, args| {
+        let (d, s, n) = (args[0] as u32, args[1] as u32, args[2] as u32);
+        if n == 0 {
+            return Ok(Some(d as u64));
+        }
+        let slen = sgxs_rt::libc::strlen(ctx, s)?;
+        if !check_range(ctx, s, slen.min(n).max(1))? {
+            *rep.borrow_mut() += 1;
+            return Err(report_trap(s as u64, slen.min(n), false));
+        }
+        if !check_range(ctx, d, n)? {
+            *rep.borrow_mut() += 1;
+            return Err(report_trap(d as u64, n, true));
+        }
+        sgxs_rt::libc::strncpy(ctx, d, s, n)?;
+        Ok(Some(d as u64))
+    });
+
+    let rep = reports.clone();
+    vm.register_intrinsic("asan_strcat", move |ctx, args| {
+        let (d, s) = (args[0] as u32, args[1] as u32);
+        let dlen = sgxs_rt::libc::strlen(ctx, d)?;
+        let slen = sgxs_rt::libc::strlen(ctx, s)?;
+        if !check_range(ctx, s, slen + 1)? {
+            *rep.borrow_mut() += 1;
+            return Err(report_trap(s as u64, slen + 1, false));
+        }
+        if !check_range(ctx, d, dlen + slen + 1)? {
+            *rep.borrow_mut() += 1;
+            return Err(report_trap(d as u64, dlen + slen + 1, true));
+        }
+        sgxs_rt::libc::memcpy(ctx, d + dlen, s, slen + 1)?;
+        Ok(Some(d as u64))
+    });
+
+    AsanRuntime { reports }
+}

@@ -1,0 +1,358 @@
+//! MPX compile-time instrumentation.
+//!
+//! Models how an MPX-enabled compiler (gcc `-mmpx` in the paper) emits:
+//!
+//! - `bndmk` at pointer-creation sites (cheap register arithmetic),
+//! - `bndcl`/`bndcu` before every memory access (cheap, register-only),
+//! - `bndldx`/`bndstx` whenever a **pointer value** is loaded from or
+//!   stored to memory (expensive bounds-table traffic — the dominant cost
+//!   on pointer-dense programs).
+//!
+//! Bounds propagation is intraprocedural and register-based; pointers that
+//! arrive with unknown provenance (function parameters, integer laundering)
+//! carry INIT bounds and are effectively unchecked, faithfully reproducing
+//! MPX's weak detection (RIPE 2/16, Table 4).
+
+use super::tables::{INIT_LB, INIT_UB};
+use sgxs_mir::ir::{BinOp, Block, BlockId, CastKind, CmpOp, Inst, Module, Operand, Reg, Term};
+use sgxs_mir::ty::Ty;
+use std::collections::HashMap;
+
+/// What the MPX pass did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MpxReport {
+    /// Accesses instrumented with bndcl/bndcu checks.
+    pub checks: usize,
+    /// `bndldx` fill sites (pointer loads).
+    pub ldx_sites: usize,
+    /// `bndstx` spill sites (pointer stores).
+    pub stx_sites: usize,
+    /// Pointer-creation sites where bounds were made.
+    pub bounds_created: usize,
+}
+
+/// Applies MPX instrumentation to `module`.
+///
+/// # Errors
+///
+/// Returns the name of the existing scheme if the module is already
+/// instrumented.
+pub fn instrument_mpx(module: &mut Module) -> Result<MpxReport, &'static str> {
+    if let Some(s) = module.hardening {
+        return Err(s);
+    }
+    let mut report = MpxReport::default();
+
+    let mpx_report = module.intrinsic("mpx_report");
+    let bndstx = module.intrinsic("mpx_bndstx");
+    let bndldx_lb = module.intrinsic("mpx_bndldx_lb");
+    let bndldx_ub = module.intrinsic("mpx_bndldx_ub");
+
+    // Intrinsics whose result is a fresh object: (name, size-argument
+    // position, optional second factor for calloc).
+    let alloc_sites: Vec<(sgxs_mir::ir::IntrinsicId, usize, bool)> =
+        ["malloc", "mmap", "tag_input", "realloc", "calloc"]
+            .iter()
+            .filter_map(|name| {
+                module
+                    .intrinsics
+                    .iter()
+                    .position(|n| n == name)
+                    .map(|i| match *name {
+                        "calloc" => (sgxs_mir::ir::IntrinsicId(i as u32), 0, true),
+                        "realloc" => (sgxs_mir::ir::IntrinsicId(i as u32), 1, false),
+                        "tag_input" => (sgxs_mir::ir::IntrinsicId(i as u32), 1, false),
+                        _ => (sgxs_mir::ir::IntrinsicId(i as u32), 0, false),
+                    })
+            })
+            .collect();
+
+    let global_sizes: Vec<u32> = module.globals.iter().map(|g| g.size).collect();
+
+    for f in &mut module.funcs {
+        // Register-resident bounds, in program order across the DFS walk.
+        let mut bounds: HashMap<Reg, (Operand, Operand)> = HashMap::new();
+        let init_bounds = (Operand::Imm(INIT_LB), Operand::Imm(INIT_UB));
+        let slot_sizes: Vec<u32> = f.slots.iter().map(|s| s.size).collect();
+
+        // Each original block is visited once; blocks created by splits are
+        // pushed with their resume index. LIFO order keeps a split's
+        // continuation adjacent so the bounds map stays in program order.
+        let mut worklist: Vec<(usize, usize)> = (0..f.blocks.len()).rev().map(|b| (b, 0)).collect();
+
+        while let Some((bi, start)) = worklist.pop() {
+            let mut i = start;
+            'scan: loop {
+                if i >= f.blocks[bi].insts.len() {
+                    break;
+                }
+                // Pointer-creation and propagation bookkeeping.
+                match &f.blocks[bi].insts[i] {
+                    Inst::SlotAddr { dst, slot } => {
+                        let (dst, size) = (*dst, slot_sizes[slot.0 as usize]);
+                        let ub = f.new_reg(Ty::I64);
+                        f.blocks[bi].insts.insert(
+                            i + 1,
+                            Inst::Bin {
+                                op: BinOp::Add,
+                                dst: ub,
+                                a: dst.into(),
+                                b: Operand::Imm(size as u64),
+                            },
+                        );
+                        bounds.insert(dst, (dst.into(), ub.into()));
+                        report.bounds_created += 1;
+                        i += 2;
+                        continue;
+                    }
+                    Inst::GlobalAddr { dst, global } => {
+                        let (dst, size) = (*dst, global_sizes[global.0 as usize]);
+                        let ub = f.new_reg(Ty::I64);
+                        f.blocks[bi].insts.insert(
+                            i + 1,
+                            Inst::Bin {
+                                op: BinOp::Add,
+                                dst: ub,
+                                a: dst.into(),
+                                b: Operand::Imm(size as u64),
+                            },
+                        );
+                        bounds.insert(dst, (dst.into(), ub.into()));
+                        report.bounds_created += 1;
+                        i += 2;
+                        continue;
+                    }
+                    Inst::Gep { dst, base, .. } => {
+                        if let Operand::Reg(b) = base {
+                            if let Some(bd) = bounds.get(b).copied() {
+                                bounds.insert(*dst, bd);
+                            } else {
+                                bounds.remove(dst);
+                            }
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    Inst::Cast {
+                        kind: CastKind::Bitcast,
+                        dst,
+                        src: Operand::Reg(s),
+                    } => {
+                        if let Some(bd) = bounds.get(s).copied() {
+                            bounds.insert(*dst, bd);
+                        } else {
+                            bounds.remove(dst);
+                        }
+                        i += 1;
+                        continue;
+                    }
+                    Inst::CallIntrinsic {
+                        dst: Some(dst),
+                        intrinsic,
+                        args,
+                    } => {
+                        if let Some((_, size_pos, is_calloc)) = alloc_sites
+                            .iter()
+                            .find(|(id, _, _)| id == intrinsic)
+                            .copied()
+                        {
+                            let dst = *dst;
+                            let size_op = args.get(size_pos).copied().unwrap_or(Operand::Imm(0));
+                            let second = args.get(1).copied();
+                            let mut insert_at = i + 1;
+                            let size_val: Operand = if is_calloc {
+                                let prod = f.new_reg(Ty::I64);
+                                f.blocks[bi].insts.insert(
+                                    insert_at,
+                                    Inst::Bin {
+                                        op: BinOp::Mul,
+                                        dst: prod,
+                                        a: size_op,
+                                        b: second.unwrap_or(Operand::Imm(1)),
+                                    },
+                                );
+                                insert_at += 1;
+                                prod.into()
+                            } else {
+                                size_op
+                            };
+                            let ub = f.new_reg(Ty::I64);
+                            f.blocks[bi].insts.insert(
+                                insert_at,
+                                Inst::Bin {
+                                    op: BinOp::Add,
+                                    dst: ub,
+                                    a: dst.into(),
+                                    b: size_val,
+                                },
+                            );
+                            bounds.insert(dst, (dst.into(), ub.into()));
+                            report.bounds_created += 1;
+                            i = insert_at + 1;
+                            continue;
+                        }
+                        // Unknown intrinsic result: INIT.
+                        bounds.remove(dst);
+                        i += 1;
+                        continue;
+                    }
+                    Inst::Call { dst: Some(d), .. } | Inst::CallIndirect { dst: Some(d), .. } => {
+                        bounds.remove(d);
+                        i += 1;
+                        continue;
+                    }
+                    _ => {}
+                }
+
+                // Access checking + pointer spill/fill.
+                let (addr, size, lowered, is_store) = match &f.blocks[bi].insts[i] {
+                    Inst::Load {
+                        addr, ty, attrs, ..
+                    } => (*addr, ty.width(), attrs.lowered, false),
+                    Inst::Store {
+                        addr, ty, attrs, ..
+                    } => (*addr, ty.width(), attrs.lowered, true),
+                    Inst::AtomicRmw {
+                        addr, ty, attrs, ..
+                    } => (*addr, ty.width(), attrs.lowered, true),
+                    Inst::AtomicCas {
+                        addr, ty, attrs, ..
+                    } => (*addr, ty.width(), attrs.lowered, true),
+                    _ => {
+                        i += 1;
+                        continue;
+                    }
+                };
+                if lowered || matches!(addr, Operand::Imm(_)) {
+                    i += 1;
+                    continue;
+                }
+                let Operand::Reg(addr_reg) = addr else {
+                    i += 1;
+                    continue;
+                };
+                let (lb, ub) = bounds.get(&addr_reg).copied().unwrap_or(init_bounds);
+
+                // bndcl/bndcu lowering with a block split.
+                let pe = f.new_reg(Ty::I64);
+                let c1 = f.new_reg(Ty::I64);
+                let c2 = f.new_reg(Ty::I64);
+                let c = f.new_reg(Ty::I64);
+                let check = vec![
+                    Inst::Bin {
+                        op: BinOp::Add,
+                        dst: pe,
+                        a: addr,
+                        b: Operand::Imm(size as u64),
+                    },
+                    Inst::Cmp {
+                        op: CmpOp::ULt,
+                        dst: c1,
+                        a: addr,
+                        b: lb,
+                    },
+                    Inst::Cmp {
+                        op: CmpOp::UGt,
+                        dst: c2,
+                        a: pe.into(),
+                        b: ub,
+                    },
+                    Inst::Bin {
+                        op: BinOp::Or,
+                        dst: c,
+                        a: c1.into(),
+                        b: c2.into(),
+                    },
+                ];
+                let mut rest: Vec<Inst> = f.blocks[bi].insts.split_off(i);
+                let orig_term = std::mem::replace(&mut f.blocks[bi].term, Term::Unreachable);
+                set_lowered(&mut rest[0]);
+
+                // Pointer spill/fill around the access itself.
+                let mut cont_insts = Vec::with_capacity(rest.len() + 2);
+                let access = rest.remove(0);
+                let mut after_access = Vec::new();
+                match &access {
+                    Inst::Load {
+                        dst, ty: Ty::Ptr, ..
+                    } => {
+                        let dst = *dst;
+                        let lb_r = f.new_reg(Ty::I64);
+                        let ub_r = f.new_reg(Ty::I64);
+                        after_access.push(Inst::CallIntrinsic {
+                            dst: Some(lb_r),
+                            intrinsic: bndldx_lb,
+                            args: vec![addr, dst.into()],
+                        });
+                        after_access.push(Inst::CallIntrinsic {
+                            dst: Some(ub_r),
+                            intrinsic: bndldx_ub,
+                            args: vec![addr, dst.into()],
+                        });
+                        bounds.insert(dst, (lb_r.into(), ub_r.into()));
+                        report.ldx_sites += 1;
+                    }
+                    Inst::Store {
+                        val: Operand::Reg(v),
+                        ty: Ty::Ptr,
+                        ..
+                    } => {
+                        let (vlb, vub) = bounds.get(v).copied().unwrap_or(init_bounds);
+                        after_access.push(Inst::CallIntrinsic {
+                            dst: None,
+                            intrinsic: bndstx,
+                            args: vec![addr, (*v).into(), vlb, vub],
+                        });
+                        report.stx_sites += 1;
+                    }
+                    _ => {}
+                }
+                cont_insts.push(access);
+                let resume_at = 1 + after_access.len();
+                cont_insts.extend(after_access);
+                cont_insts.extend(rest);
+
+                let cont_id = BlockId(f.blocks.len() as u32);
+                let fail_id = BlockId(f.blocks.len() as u32 + 1);
+                f.blocks.push(Block {
+                    insts: cont_insts,
+                    term: orig_term,
+                });
+                f.blocks.push(Block {
+                    insts: vec![Inst::CallIntrinsic {
+                        dst: None,
+                        intrinsic: mpx_report,
+                        args: vec![
+                            addr,
+                            Operand::Imm(size as u64),
+                            Operand::Imm(is_store as u64),
+                        ],
+                    }],
+                    term: Term::Unreachable,
+                });
+                f.blocks[bi].insts.extend(check);
+                f.blocks[bi].term = Term::Br {
+                    cond: c.into(),
+                    t: fail_id,
+                    f: cont_id,
+                };
+                report.checks += 1;
+                worklist.push((cont_id.0 as usize, resume_at));
+                break 'scan;
+            }
+        }
+    }
+
+    module.hardening = Some("mpx");
+    Ok(report)
+}
+
+fn set_lowered(inst: &mut Inst) {
+    match inst {
+        Inst::Load { attrs, .. }
+        | Inst::Store { attrs, .. }
+        | Inst::AtomicRmw { attrs, .. }
+        | Inst::AtomicCas { attrs, .. } => attrs.lowered = true,
+        _ => unreachable!("set_lowered on non-access"),
+    }
+}

@@ -1,0 +1,310 @@
+//! MPX bounds directory / bounds tables runtime (`bndldx`/`bndstx`).
+
+use super::MpxConfig;
+use sgxs_mir::{AccessKind, IntrinsicCtx, Trap, Vm};
+use sgxs_rt::HeapAlloc;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The INIT (always-pass) lower bound.
+pub const INIT_LB: u64 = 0;
+/// The INIT (always-pass) upper bound.
+pub const INIT_UB: u64 = u64::MAX;
+
+/// Activity counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MpxStats {
+    /// `bndstx` executions (pointer + bounds spilled to a BT).
+    pub bndstx: u64,
+    /// `bndldx` executions (bounds filled from a BT).
+    pub bndldx: u64,
+    /// `bndldx` whose stored-pointer check failed (returned INIT bounds) —
+    /// the §4.1 metadata-desynchronization case.
+    pub ldx_mismatch: u64,
+    /// Bounds tables allocated.
+    pub bt_allocated: u64,
+    /// Bounds-check violations reported.
+    pub violations: u64,
+}
+
+/// The two-level bounds metadata store.
+pub struct MpxTables {
+    cfg: MpxConfig,
+    /// BD base address (reserved at install).
+    bd_base: u32,
+    /// bd index -> BT base address.
+    bts: HashMap<u32, u32>,
+    heap: Rc<RefCell<HeapAlloc>>,
+    /// Counters.
+    pub stats: MpxStats,
+}
+
+impl MpxTables {
+    fn bt_entry(
+        &mut self,
+        ctx: &mut IntrinsicCtx<'_>,
+        ptr_addr: u32,
+        alloc: bool,
+    ) -> Result<Option<u32>, Trap> {
+        let cover = self.cfg.bt_coverage();
+        let bd_index = ptr_addr / cover;
+        // BD lookup is a real charged load (index folded into the 32 KB
+        // directory at scaled presets; see MpxConfig::bd_bytes).
+        let bd_entries = (self.cfg.bd_bytes() / 8) as u32;
+        let bd_slot = self.bd_base as u64 + (bd_index % bd_entries) as u64 * 8;
+        ctx.load(bd_slot, 8)?;
+        let bt_base = match self.bts.get(&bd_index) {
+            Some(&b) => b,
+            None => {
+                if !alloc {
+                    return Ok(None);
+                }
+                // On-demand BT allocation — in the paper's SGX port this
+                // logic runs inside the enclave (§5.2). Reservation failures
+                // here are MPX's OOM crashes.
+                let bt = self.heap.borrow_mut().mmap(ctx, self.cfg.bt_bytes())?;
+                ctx.store(bd_slot, 8, bt as u64)?;
+                self.bts.insert(bd_index, bt);
+                self.stats.bt_allocated += 1;
+                bt
+            }
+        };
+        // 32-byte entry per 8 covered bytes.
+        let entry = bt_base + (ptr_addr % cover) / 8 * 32;
+        Ok(Some(entry))
+    }
+
+    /// `bndstx`: spills `(lb, ub, ptr_value)` keyed by the memory location
+    /// `ptr_addr` the pointer is being stored to.
+    pub fn bndstx(
+        &mut self,
+        ctx: &mut IntrinsicCtx<'_>,
+        ptr_addr: u32,
+        ptr_value: u64,
+        lb: u64,
+        ub: u64,
+    ) -> Result<(), Trap> {
+        self.stats.bndstx += 1;
+        let entry = self
+            .bt_entry(ctx, ptr_addr, true)?
+            .expect("alloc=true always yields an entry");
+        ctx.store(entry as u64, 8, lb)?;
+        ctx.store(entry as u64 + 8, 8, ub)?;
+        ctx.store(entry as u64 + 16, 8, ptr_value)?;
+        Ok(())
+    }
+
+    /// `bndldx`: fills bounds for a pointer loaded from `ptr_addr`. If the
+    /// stored pointer value does not match `ptr_value` (the entry is stale
+    /// or was never written), returns INIT bounds — silently disabling
+    /// protection, exactly like the hardware.
+    pub fn bndldx(
+        &mut self,
+        ctx: &mut IntrinsicCtx<'_>,
+        ptr_addr: u32,
+        ptr_value: u64,
+    ) -> Result<(u64, u64), Trap> {
+        self.stats.bndldx += 1;
+        let Some(entry) = self.bt_entry(ctx, ptr_addr, false)? else {
+            self.stats.ldx_mismatch += 1;
+            return Ok((INIT_LB, INIT_UB));
+        };
+        let lb = ctx.load(entry as u64, 8)?;
+        let ub = ctx.load(entry as u64 + 8, 8)?;
+        let stored = ctx.load(entry as u64 + 16, 8)?;
+        if stored != ptr_value {
+            self.stats.ldx_mismatch += 1;
+            return Ok((INIT_LB, INIT_UB));
+        }
+        Ok((lb, ub))
+    }
+
+    /// Number of BTs currently allocated.
+    pub fn bt_count(&self) -> usize {
+        self.bts.len()
+    }
+}
+
+/// Handle to the installed MPX runtime.
+pub struct MpxRuntime {
+    /// Shared tables (inspect [`MpxTables::stats`] after a run).
+    pub tables: Rc<RefCell<MpxTables>>,
+}
+
+/// Installs the MPX runtime: reserves the bounds directory and registers
+/// the `mpx_*` intrinsics the pass emits.
+pub fn install_mpx(vm: &mut Vm<'_>, heap: Rc<RefCell<HeapAlloc>>, cfg: MpxConfig) -> MpxRuntime {
+    // Reserve the BD. Its pages commit on touch, like a real mmap.
+    let bd_base = {
+        let mut out = Vec::new();
+        let mut ctx = IntrinsicCtx {
+            machine: &mut vm.machine,
+            env: &mut vm.env,
+            core: 0,
+            cycles: 0,
+            output: &mut out,
+        };
+        heap.borrow_mut()
+            .mmap(&mut ctx, cfg.bd_bytes() as u32)
+            .expect("BD reservation")
+    };
+    let tables = Rc::new(RefCell::new(MpxTables {
+        cfg,
+        bd_base,
+        bts: HashMap::new(),
+        heap: heap.clone(),
+        stats: MpxStats::default(),
+    }));
+
+    let t = tables.clone();
+    vm.register_intrinsic("mpx_bndstx", move |ctx, args| {
+        let (addr, val, lb, ub) = (args[0] as u32, args[1], args[2], args[3]);
+        t.borrow_mut().bndstx(ctx, addr, val, lb, ub)?;
+        Ok(None)
+    });
+
+    // bndldx is split into two intrinsics because intrinsics return one
+    // value; the _lb call performs the table walk and caches nothing — the
+    // _ub call re-reads the (now cached) entry, which models the second
+    // register fill at realistic cost.
+    let t = tables.clone();
+    vm.register_intrinsic("mpx_bndldx_lb", move |ctx, args| {
+        let (addr, val) = (args[0] as u32, args[1]);
+        let (lb, _ub) = t.borrow_mut().bndldx(ctx, addr, val)?;
+        Ok(Some(lb))
+    });
+
+    let t = tables.clone();
+    vm.register_intrinsic("mpx_bndldx_ub", move |ctx, args| {
+        let (addr, val) = (args[0] as u32, args[1]);
+        let mut tb = t.borrow_mut();
+        // The _lb half already counted this logical bndldx (and any
+        // mismatch); neutralize the double count. The pass always emits _lb
+        // immediately before _ub with the same operands.
+        tb.stats.bndldx = tb.stats.bndldx.wrapping_sub(1);
+        let mism_before = tb.stats.ldx_mismatch;
+        let (_lb, ub) = tb.bndldx(ctx, addr, val)?;
+        tb.stats.ldx_mismatch = mism_before;
+        Ok(Some(ub))
+    });
+
+    let t = tables.clone();
+    vm.register_intrinsic("mpx_report", move |_ctx, args| {
+        t.borrow_mut().stats.violations += 1;
+        let addr = args.first().copied().unwrap_or(0);
+        let size = args.get(1).copied().unwrap_or(0) as u32;
+        let is_store = args.get(2).copied().unwrap_or(0) != 0;
+        Err(Trap::SafetyViolation {
+            scheme: "mpx",
+            addr,
+            size,
+            access: if is_store {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            },
+            msg: "#BR bound range exceeded".into(),
+        })
+    });
+
+    MpxRuntime { tables }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgxs_mir::interp::env::Env;
+    use sgxs_rt::AllocOpts;
+    use sgxs_sim::{Machine, MachineConfig, Mode, Preset};
+
+    fn setup() -> (Machine, Env, Vec<String>, MpxTables) {
+        let mut m = Machine::new(MachineConfig::preset(Preset::Tiny, Mode::Native));
+        let mut e = Env::new();
+        let mut o = Vec::new();
+        let heap = Rc::new(RefCell::new(HeapAlloc::new(0x2_0000, AllocOpts::default())));
+        let cfg = MpxConfig::for_scale(128);
+        let bd = {
+            let mut ctx = IntrinsicCtx {
+                machine: &mut m,
+                env: &mut e,
+                core: 0,
+                cycles: 0,
+                output: &mut o,
+            };
+            heap.borrow_mut()
+                .mmap(&mut ctx, cfg.bd_bytes() as u32)
+                .unwrap()
+        };
+        let t = MpxTables {
+            cfg,
+            bd_base: bd,
+            bts: HashMap::new(),
+            heap,
+            stats: MpxStats::default(),
+        };
+        (m, e, o, t)
+    }
+
+    macro_rules! ctx {
+        ($m:ident, $e:ident, $o:ident) => {
+            &mut IntrinsicCtx {
+                machine: &mut $m,
+                env: &mut $e,
+                core: 0,
+                cycles: 0,
+                output: &mut $o,
+            }
+        };
+    }
+
+    #[test]
+    fn stx_then_ldx_roundtrips_bounds() {
+        let (mut m, mut e, mut o, mut t) = setup();
+        t.bndstx(ctx!(m, e, o), 0x5000, 0x1234, 0x1000, 0x2000)
+            .unwrap();
+        let (lb, ub) = t.bndldx(ctx!(m, e, o), 0x5000, 0x1234).unwrap();
+        assert_eq!((lb, ub), (0x1000, 0x2000));
+        assert_eq!(t.bt_count(), 1);
+    }
+
+    #[test]
+    fn ldx_with_mismatched_pointer_returns_init() {
+        let (mut m, mut e, mut o, mut t) = setup();
+        t.bndstx(ctx!(m, e, o), 0x5000, 0x1234, 0x1000, 0x2000)
+            .unwrap();
+        // Another "thread" overwrote the pointer without bndstx.
+        let (lb, ub) = t.bndldx(ctx!(m, e, o), 0x5000, 0x9999).unwrap();
+        assert_eq!((lb, ub), (INIT_LB, INIT_UB), "stale entry => no protection");
+        assert_eq!(t.stats.ldx_mismatch, 1);
+    }
+
+    #[test]
+    fn ldx_of_never_spilled_location_returns_init() {
+        let (mut m, mut e, mut o, mut t) = setup();
+        let (lb, ub) = t.bndldx(ctx!(m, e, o), 0xABCD_0000, 7).unwrap();
+        assert_eq!((lb, ub), (INIT_LB, INIT_UB));
+        assert_eq!(t.bt_count(), 0, "loads must not allocate BTs");
+    }
+
+    #[test]
+    fn spread_pointers_allocate_many_bts() {
+        let (mut m, mut e, mut o, mut t) = setup();
+        let cover = t.cfg.bt_coverage();
+        for i in 0..10u32 {
+            t.bndstx(ctx!(m, e, o), 0x1000_0000 + i * cover, 1, 0, 100)
+                .unwrap();
+        }
+        assert_eq!(t.bt_count(), 10);
+        assert_eq!(t.stats.bt_allocated, 10);
+    }
+
+    #[test]
+    fn bt_allocation_reserves_real_memory() {
+        let (mut m, mut e, mut o, mut t) = setup();
+        let before = m.mem.reserved();
+        t.bndstx(ctx!(m, e, o), 0x2000_0000, 1, 0, 100).unwrap();
+        let after = m.mem.reserved();
+        assert!(after - before >= t.cfg.bt_bytes() as u64);
+    }
+}

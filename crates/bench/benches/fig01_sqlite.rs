@@ -1,0 +1,23 @@
+//! Regenerates Figure 1 (SQLite speedtest sweep) and times one point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgxs_bench::{bench_rc, BENCH_PRESET};
+use sgxs_harness::exp::fig01;
+use sgxs_harness::{run_one, Scheme};
+use sgxs_workloads::apps::sqlite::Sqlite;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig01::run(BENCH_PRESET, 3));
+    let mut g = c.benchmark_group("fig01");
+    g.sample_size(10);
+    for scheme in [Scheme::Baseline, Scheme::SgxBounds, Scheme::Asan] {
+        g.bench_function(format!("sqlite/{}", scheme.label()), |b| {
+            let w = Sqlite::with_rows(2000);
+            b.iter(|| run_one(&w, scheme, &bench_rc()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

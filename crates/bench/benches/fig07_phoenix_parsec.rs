@@ -1,0 +1,29 @@
+//! Regenerates Figure 7 (Phoenix + PARSEC overheads) and times
+//! representative benchmark/scheme cells.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgxs_bench::{timed_run, BENCH_PRESET};
+use sgxs_harness::exp::{fig07, Effort};
+use sgxs_harness::Scheme;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig07::run(BENCH_PRESET, Effort::Quick));
+    let mut g = c.benchmark_group("fig07");
+    g.sample_size(10);
+    for (name, scheme) in [
+        ("kmeans", Scheme::Baseline),
+        ("kmeans", Scheme::SgxBounds),
+        ("kmeans", Scheme::Asan),
+        ("kmeans", Scheme::Mpx),
+        ("pca", Scheme::SgxBounds),
+        ("pca", Scheme::Mpx),
+    ] {
+        g.bench_function(format!("{name}/{}", scheme.label()), |b| {
+            b.iter(|| timed_run(name, scheme))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

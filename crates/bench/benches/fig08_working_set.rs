@@ -1,0 +1,26 @@
+//! Regenerates Figure 8 (overheads vs SGXBounds by working-set size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgxs_bench::BENCH_PRESET;
+use sgxs_harness::exp::fig08;
+use sgxs_harness::{run_one, RunConfig, Scheme};
+use sgxs_workloads::SizeClass;
+
+fn bench(c: &mut Criterion) {
+    let f8 = fig08::run(BENCH_PRESET, &[SizeClass::XS, SizeClass::M, SizeClass::XL]);
+    println!("{f8}");
+    let mut g = c.benchmark_group("fig08");
+    g.sample_size(10);
+    for size in [SizeClass::XS, SizeClass::XL] {
+        g.bench_function(format!("kmeans/sgxbounds/{size:?}"), |b| {
+            let w = sgxs_workloads::by_name("kmeans").unwrap();
+            let mut rc = RunConfig::new(BENCH_PRESET);
+            rc.params.size = size;
+            b.iter(|| run_one(w.as_ref(), Scheme::SgxBounds, &rc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

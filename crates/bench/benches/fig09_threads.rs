@@ -1,0 +1,26 @@
+//! Regenerates Figure 9 (1 vs 4 thread overheads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgxs_bench::BENCH_PRESET;
+use sgxs_harness::exp::{fig09, Effort};
+use sgxs_harness::{run_one, RunConfig, Scheme};
+use sgxs_workloads::SizeClass;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig09::run(BENCH_PRESET, Effort::Quick));
+    let mut g = c.benchmark_group("fig09");
+    g.sample_size(10);
+    for threads in [1u32, 4] {
+        g.bench_function(format!("matrix_multiply/sgxbounds/{threads}t"), |b| {
+            let w = sgxs_workloads::by_name("matrix_multiply").unwrap();
+            let mut rc = RunConfig::new(BENCH_PRESET);
+            rc.params.size = SizeClass::XS;
+            rc.params.threads = threads;
+            b.iter(|| run_one(w.as_ref(), Scheme::SgxBounds, &rc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

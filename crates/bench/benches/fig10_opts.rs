@@ -1,0 +1,22 @@
+//! Regenerates Figure 10 (optimization ablation) and times the variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgxs_bench::{bench_rc, BENCH_PRESET};
+use sgxs_harness::exp::{fig10, Effort};
+use sgxs_harness::{run_one, Scheme};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig10::run(BENCH_PRESET, Effort::Quick));
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for (label, cfg) in fig10::variants() {
+        g.bench_function(format!("kmeans/{label}"), |b| {
+            let w = sgxs_workloads::by_name("kmeans").unwrap();
+            b.iter(|| run_one(w.as_ref(), Scheme::SgxBoundsCustom(cfg), &bench_rc()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Regenerates Figure 11 (SPEC inside the enclave).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgxs_bench::{timed_run, BENCH_PRESET};
+use sgxs_harness::exp::{fig11, Effort};
+use sgxs_harness::Scheme;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig11::run(BENCH_PRESET, Effort::Quick));
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    for scheme in [Scheme::Baseline, Scheme::SgxBounds, Scheme::Asan] {
+        g.bench_function(format!("mcf/{}", scheme.label()), |b| {
+            b.iter(|| timed_run("mcf", scheme))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates Figure 12 (SPEC outside the enclave).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgxs_bench::{bench_rc, BENCH_PRESET};
+use sgxs_harness::exp::{fig12, Effort};
+use sgxs_harness::{run_one, Scheme};
+use sgxs_sim::Mode;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig12::run(BENCH_PRESET, Effort::Quick));
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    for scheme in [Scheme::SgxBounds, Scheme::Asan] {
+        g.bench_function(format!("hmmer_native/{}", scheme.label()), |b| {
+            let w = sgxs_workloads::by_name("hmmer").unwrap();
+            let mut rc = bench_rc();
+            rc.mode = Mode::Native;
+            b.iter(|| run_one(w.as_ref(), scheme, &rc))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

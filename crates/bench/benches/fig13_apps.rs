@@ -1,0 +1,26 @@
+//! Regenerates Figure 13 (server throughput/latency + memory table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgxs_bench::{bench_rc, BENCH_PRESET};
+use sgxs_harness::exp::fig13;
+use sgxs_harness::{run_one, Scheme};
+use sgxs_workloads::apps::memcached::Memcached;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig13::run(BENCH_PRESET, &[1, 4, 16], 16));
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    for scheme in [Scheme::Baseline, Scheme::SgxBounds, Scheme::Mpx] {
+        g.bench_function(format!("memcached/{}", scheme.label()), |b| {
+            let w = Memcached {
+                clients_override: Some(4),
+                requests_override: Some(256),
+            };
+            b.iter(|| run_one(&w, scheme, &bench_rc()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbenchmarks of the runtime primitives: tagged-pointer operations,
+//! the boundless LRU, the allocator, and the cache/EPC models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sgxbounds::tagged;
+use sgxs_sim::{cache::Cache, Machine, MachineConfig, Mode, Preset};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+
+    g.bench_function("tagged/make_extract_check", |b| {
+        b.iter(|| {
+            let t = tagged::make(black_box(0x1000), black_box(0x2000));
+            let p = tagged::ptr_of(t);
+            let ub = tagged::ub_of(t);
+            black_box(tagged::violates(p, 8, 0x1000, ub))
+        })
+    });
+
+    g.bench_function("cache/access_hit", |b| {
+        let mut cache = Cache::new(32 << 10, 8);
+        cache.access(0x1000);
+        b.iter(|| black_box(cache.access(black_box(0x1000))))
+    });
+
+    g.bench_function("machine/load_l1_hit", |b| {
+        let mut m = Machine::new(MachineConfig::preset(Preset::Tiny, Mode::Enclave));
+        m.store(0, 0x1000, 8, 7).unwrap();
+        b.iter(|| black_box(m.load(0, black_box(0x1000), 8).unwrap()))
+    });
+
+    g.bench_function("machine/load_epc_thrash", |b| {
+        let mut m = Machine::new(MachineConfig::preset(Preset::Tiny, Mode::Enclave));
+        let mut a = 0u64;
+        b.iter(|| {
+            a = (a + 4096) % (8 << 20);
+            black_box(m.load(0, a, 8).unwrap())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

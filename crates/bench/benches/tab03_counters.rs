@@ -1,0 +1,21 @@
+//! Regenerates Table 3 (hardware counters across working-set sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgxs_bench::{timed_run, BENCH_PRESET};
+use sgxs_harness::exp::fig08;
+use sgxs_harness::Scheme;
+use sgxs_workloads::SizeClass;
+
+fn bench(c: &mut Criterion) {
+    let f8 = fig08::run(BENCH_PRESET, &[SizeClass::XS, SizeClass::M, SizeClass::XL]);
+    println!("{}", f8.table3());
+    let mut g = c.benchmark_group("tab03");
+    g.sample_size(10);
+    g.bench_function("matrix_multiply/mpx", |b| {
+        b.iter(|| timed_run("matrix_multiply", Scheme::Mpx))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

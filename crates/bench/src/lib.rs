@@ -1,0 +1,25 @@
+//! Criterion benchmark support: shared setup helpers so every bench
+//! regenerates its paper artifact once (printed to stdout) and then times
+//! representative runs.
+
+use sgxs_harness::{run_one, Measured, RunConfig, Scheme};
+use sgxs_sim::Preset;
+use sgxs_workloads::SizeClass;
+
+/// The preset benches run at (fast enough for `cargo bench`).
+pub const BENCH_PRESET: Preset = Preset::Tiny;
+
+/// Run configuration used by timing loops: smallest size, 8 threads.
+pub fn bench_rc() -> RunConfig {
+    let mut rc = RunConfig::new(BENCH_PRESET);
+    rc.params.size = SizeClass::XS;
+    rc.params.threads = 8;
+    rc
+}
+
+/// Runs `workload` under `scheme` at bench scale; panics on baseline
+/// failure so benches fail loudly.
+pub fn timed_run(name: &str, scheme: Scheme) -> Measured {
+    let w = sgxs_workloads::by_name(name).expect("workload exists");
+    run_one(w.as_ref(), scheme, &bench_rc())
+}

@@ -1,0 +1,89 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! Usage: `repro <experiment>... [--quick] [--tiny|--mini|--paper]`
+//! where experiment is one of: fig1 fig7 fig8 table3 fig9 fig10 table4
+//! fig11 fig12 fig13 cases all.
+
+use sgxs_harness::exp::{self, Effort};
+use sgxs_sim::Preset;
+use sgxs_workloads::SizeClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut preset = Preset::Mini;
+    let mut effort = Effort::Full;
+    let mut wanted: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--quick" => effort = Effort::Quick,
+            "--tiny" => preset = Preset::Tiny,
+            "--mini" => preset = Preset::Mini,
+            "--paper" => preset = Preset::Paper,
+            other => wanted.push(other.trim_start_matches('-').to_lowercase()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!(
+            "usage: repro <fig1|fig7|fig8|table3|fig9|fig10|table4|fig11|fig12|fig13|cases|all> \
+             [--quick] [--tiny|--mini|--paper]"
+        );
+        std::process::exit(2);
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+    let quick = effort == Effort::Quick;
+
+    println!(
+        "SGXBounds reproduction — preset {:?}, effort {:?}\n",
+        preset, effort
+    );
+
+    if want("fig1") {
+        let steps = if quick { 3 } else { 5 };
+        println!("{}\n", exp::fig01::run(preset, steps));
+    }
+    if want("fig7") {
+        println!("{}\n", exp::fig07::run(preset, effort));
+    }
+    if want("fig8") || want("table3") {
+        let sizes: &[SizeClass] = if quick {
+            &[SizeClass::XS, SizeClass::M, SizeClass::XL]
+        } else {
+            &SizeClass::ALL
+        };
+        let f8 = exp::fig08::run(preset, sizes);
+        if want("fig8") {
+            println!("{f8}\n");
+        }
+        if want("table3") {
+            println!("{}\n", f8.table3());
+        }
+    }
+    if want("fig9") {
+        println!("{}\n", exp::fig09::run(preset, effort));
+    }
+    if want("fig10") {
+        println!("{}\n", exp::fig10::run(preset, effort));
+    }
+    if want("table4") {
+        println!("{}\n", exp::tab04::run(preset));
+    }
+    if want("fig11") {
+        println!("{}\n", exp::fig11::run(preset, effort));
+    }
+    if want("fig12") {
+        println!("{}\n", exp::fig12::run(preset, effort));
+    }
+    if want("fig13") {
+        let clients: &[u32] = if quick {
+            &[1, 4, 16]
+        } else {
+            &[1, 2, 4, 8, 16, 32]
+        };
+        let rpc = if quick { 24 } else { 64 };
+        println!("{}\n", exp::fig13::run(preset, clients, rpc));
+    }
+    if want("cases") {
+        println!("{}\n", exp::cases::run(preset));
+    }
+}

@@ -1,0 +1,100 @@
+//! Figure 1 (the motivating experiment): SQLite speedtest performance and
+//! memory with increasing working-set items. MPX dies of bounds-table OOM
+//! early in the sweep; ASan is stable but slow and memory-hungry;
+//! SGXBounds stays within ~35% of native SGX with near-zero extra memory.
+
+use crate::report::{fmt_bytes, fmt_ratio, ratio, Table};
+use crate::scheme::{run_one, RunConfig, Scheme};
+use sgxs_sim::Preset;
+use sgxs_workloads::apps::sqlite::{Sqlite, BYTES_PER_ROW};
+use std::fmt;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Rows in the table.
+    pub rows: u64,
+    /// Native-SGX working set estimate in bytes.
+    pub ws_bytes: u64,
+    /// Perf overhead vs native SGX per scheme (MPX, ASan, SGXBounds).
+    pub perf: [Option<f64>; 3],
+    /// Peak reserved memory per scheme, plus baseline (bytes).
+    pub mem: [Option<u64>; 3],
+    /// Baseline memory.
+    pub base_mem: u64,
+}
+
+/// The sweep.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// Sweep points (increasing working set).
+    pub points: Vec<Point>,
+}
+
+/// Runs the sweep. `steps` points, doubling row counts.
+pub fn run(preset: Preset, steps: usize) -> Fig1 {
+    let rc = RunConfig::new(preset);
+    // Start around 1/16th of the enclave cap's row equivalent and double;
+    // the later points push MPX's 4x bounds-table factor over the cap.
+    let cap = rc.enclave_cap();
+    let start_rows = (cap / 40 / BYTES_PER_ROW).max(256);
+    let mut points = Vec::new();
+    for s in 0..steps {
+        let rows = start_rows << s;
+        let w = Sqlite::with_rows(rows);
+        let base = run_one(&w, Scheme::Baseline, &rc);
+        assert!(base.ok(), "sqlite baseline failed: {:?}", base.result);
+        let mut perf = [None; 3];
+        let mut mem = [None; 3];
+        for (i, scheme) in Scheme::all_hardened().into_iter().enumerate() {
+            let m = run_one(&w, scheme, &rc);
+            if m.ok() {
+                perf[i] = Some(ratio(m.wall_cycles, base.wall_cycles));
+                mem[i] = Some(m.peak_reserved);
+            }
+        }
+        points.push(Point {
+            rows,
+            ws_bytes: rows * BYTES_PER_ROW,
+            perf,
+            mem,
+            base_mem: base.peak_reserved,
+        });
+    }
+    Fig1 { points }
+}
+
+impl fmt::Display for Fig1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 1: SQLite speedtest with increasing working set (in-enclave)"
+        )?;
+        let mut t = Table::new(&[
+            "rows",
+            "ws",
+            "perf mpx",
+            "perf asan",
+            "perf sgxbounds",
+            "mem sgx",
+            "mem mpx",
+            "mem asan",
+            "mem sgxbounds",
+        ]);
+        for p in &self.points {
+            let memcell = |m: Option<u64>| m.map(fmt_bytes).unwrap_or_else(|| "crash".into());
+            t.row(vec![
+                p.rows.to_string(),
+                fmt_bytes(p.ws_bytes),
+                fmt_ratio(p.perf[0]),
+                fmt_ratio(p.perf[1]),
+                fmt_ratio(p.perf[2]),
+                fmt_bytes(p.base_mem),
+                memcell(p.mem[0]),
+                memcell(p.mem[1]),
+                memcell(p.mem[2]),
+            ]);
+        }
+        write!(f, "{}", t.render())
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 7: performance and memory overheads of MPX, ASan, and SGXBounds
+//! over native SGX on Phoenix + PARSEC (8 threads).
+
+use super::Effort;
+use crate::report::{fmt_ratio, geomean, ratio, Table};
+use crate::scheme::{run_one, RunConfig, Scheme};
+use sgxs_sim::Preset;
+use std::fmt;
+
+/// One benchmark's overheads; order: MPX, ASan, SGXBounds.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Performance overhead per scheme (None = crash).
+    pub perf: [Option<f64>; 3],
+    /// Memory overhead per scheme.
+    pub mem: [Option<f64>; 3],
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Per-benchmark rows.
+    pub rows: Vec<Row>,
+    /// Geometric means (over completing runs).
+    pub gmean_perf: [Option<f64>; 3],
+    /// Memory geometric means.
+    pub gmean_mem: [Option<f64>; 3],
+}
+
+/// Runs the experiment.
+pub fn run(preset: Preset, effort: Effort) -> Fig7 {
+    let mut rc = RunConfig::new(preset);
+    rc.params.size = effort.size();
+    rc.params.threads = 8;
+    let mut rows = Vec::new();
+    for w in sgxs_workloads::phoenix_parsec() {
+        let base = run_one(w.as_ref(), Scheme::Baseline, &rc);
+        assert!(base.ok(), "{} baseline failed: {:?}", w.name(), base.result);
+        let mut perf = [None; 3];
+        let mut mem = [None; 3];
+        for (i, s) in Scheme::all_hardened().into_iter().enumerate() {
+            let m = run_one(w.as_ref(), s, &rc);
+            if m.ok() {
+                perf[i] = Some(ratio(m.wall_cycles, base.wall_cycles));
+                mem[i] = Some(ratio(m.peak_reserved, base.peak_reserved));
+            }
+        }
+        rows.push(Row {
+            name: w.name().to_owned(),
+            perf,
+            mem,
+        });
+    }
+    let col = |get: &dyn Fn(&Row) -> [Option<f64>; 3], i: usize| {
+        geomean(rows.iter().filter_map(|r| get(r)[i]))
+    };
+    Fig7 {
+        gmean_perf: [0, 1, 2].map(|i| col(&|r| r.perf, i)),
+        gmean_mem: [0, 1, 2].map(|i| col(&|r| r.mem, i)),
+        rows,
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 7: overheads over native SGX (Phoenix + PARSEC, 8 threads)"
+        )?;
+        let mut t = Table::new(&[
+            "benchmark",
+            "perf mpx",
+            "perf asan",
+            "perf sgxbounds",
+            "mem mpx",
+            "mem asan",
+            "mem sgxbounds",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.name.clone(),
+                fmt_ratio(r.perf[0]),
+                fmt_ratio(r.perf[1]),
+                fmt_ratio(r.perf[2]),
+                fmt_ratio(r.mem[0]),
+                fmt_ratio(r.mem[1]),
+                fmt_ratio(r.mem[2]),
+            ]);
+        }
+        t.row(vec![
+            "gmean".into(),
+            fmt_ratio(self.gmean_perf[0]),
+            fmt_ratio(self.gmean_perf[1]),
+            fmt_ratio(self.gmean_perf[2]),
+            fmt_ratio(self.gmean_mem[0]),
+            fmt_ratio(self.gmean_mem[1]),
+            fmt_ratio(self.gmean_mem[2]),
+        ]);
+        write!(f, "{}", t.render())
+    }
+}

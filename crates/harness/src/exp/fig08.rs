@@ -1,0 +1,178 @@
+//! Figure 8 + Table 3: performance with increasing working-set sizes
+//! (XS–XL), normalized against SGXBounds, plus the hardware-counter table
+//! (LLC misses, page faults, bounds-table counts).
+
+use crate::report::{fmt_bytes, fmt_ratio, ratio, Table};
+use crate::scheme::{run_one, Measured, RunConfig, Scheme};
+use sgxs_sim::Preset;
+use sgxs_workloads::SizeClass;
+use std::fmt;
+
+/// Benchmarks the paper highlights in this sweep.
+pub const BENCHMARKS: [&str; 4] = [
+    "kmeans",
+    "matrix_multiply",
+    "word_count",
+    "linear_regression",
+];
+
+/// One (benchmark, size) cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Size class.
+    pub size: SizeClass,
+    /// Baseline (native SGX) committed working set.
+    pub ws_bytes: u64,
+    /// Overheads vs SGXBounds: [sgx, mpx, asan].
+    pub vs_sgxbounds: [Option<f64>; 3],
+    /// Counters for Table 3.
+    pub sgxb: CounterSet,
+    /// ASan counters.
+    pub asan: Option<CounterSet>,
+    /// MPX counters (+ BT count).
+    pub mpx: Option<CounterSet>,
+}
+
+/// Hardware counters of one run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CounterSet {
+    /// LLC miss percentage.
+    pub llc_pct: f64,
+    /// EPC page faults.
+    pub faults: u64,
+    /// MPX bounds tables (0 elsewhere).
+    pub bts: usize,
+}
+
+fn counters(m: &Measured) -> CounterSet {
+    CounterSet {
+        llc_pct: m.stats.llc_miss_pct(),
+        faults: m.stats.epc_faults,
+        bts: m.mpx_bts,
+    }
+}
+
+/// One benchmark's sweep.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Benchmark name.
+    pub name: String,
+    /// XS..XL cells.
+    pub cells: Vec<Cell>,
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct Fig8 {
+    /// Sweeps per benchmark.
+    pub sweeps: Vec<Sweep>,
+}
+
+/// Runs the sweep over `sizes`.
+pub fn run(preset: Preset, sizes: &[SizeClass]) -> Fig8 {
+    let mut sweeps = Vec::new();
+    for name in BENCHMARKS {
+        let w = sgxs_workloads::by_name(name).expect("benchmark registered");
+        let mut cells = Vec::new();
+        for &size in sizes {
+            let mut rc = RunConfig::new(preset);
+            rc.params.size = size;
+            rc.params.threads = 8;
+            let sgxb = run_one(w.as_ref(), Scheme::SgxBounds, &rc);
+            assert!(sgxb.ok(), "{name} sgxbounds failed: {:?}", sgxb.result);
+            let base = run_one(w.as_ref(), Scheme::Baseline, &rc);
+            let asan = run_one(w.as_ref(), Scheme::Asan, &rc);
+            let mpx = run_one(w.as_ref(), Scheme::Mpx, &rc);
+            cells.push(Cell {
+                size,
+                ws_bytes: base.peak_committed,
+                vs_sgxbounds: [
+                    base.ok().then(|| ratio(base.wall_cycles, sgxb.wall_cycles)),
+                    mpx.ok().then(|| ratio(mpx.wall_cycles, sgxb.wall_cycles)),
+                    asan.ok().then(|| ratio(asan.wall_cycles, sgxb.wall_cycles)),
+                ],
+                sgxb: counters(&sgxb),
+                asan: asan.ok().then(|| counters(&asan)),
+                mpx: mpx.ok().then(|| counters(&mpx)),
+            });
+        }
+        sweeps.push(Sweep {
+            name: name.to_owned(),
+            cells,
+        });
+    }
+    Fig8 { sweeps }
+}
+
+impl Fig8 {
+    /// Renders Table 3 (counters for kmeans and matrixmul).
+    pub fn table3(&self) -> String {
+        let mut out =
+            String::from("Table 3: counters with increasing working set (vs SGXBounds)\n");
+        let mut t = Table::new(&[
+            "bench/size",
+            "ws",
+            "asan dLLC%",
+            "mpx dLLC%",
+            "asan faults x",
+            "mpx faults x",
+            "# BTs",
+        ]);
+        for sweep in &self.sweeps {
+            if sweep.name != "kmeans" && sweep.name != "matrix_multiply" {
+                continue;
+            }
+            for c in &sweep.cells {
+                let d = |x: Option<CounterSet>| {
+                    x.map(|cs| format!("{:+.1}", cs.llc_pct - c.sgxb.llc_pct))
+                        .unwrap_or_else(|| "crash".into())
+                };
+                let fx = |x: Option<CounterSet>| {
+                    x.map(|cs| {
+                        if c.sgxb.faults == 0 {
+                            format!("{}", cs.faults)
+                        } else {
+                            format!("{:.1}", cs.faults as f64 / c.sgxb.faults as f64)
+                        }
+                    })
+                    .unwrap_or_else(|| "crash".into())
+                };
+                t.row(vec![
+                    format!("{} {:?}", sweep.name, c.size),
+                    fmt_bytes(c.ws_bytes),
+                    d(c.asan),
+                    d(c.mpx),
+                    fx(c.asan),
+                    fx(c.mpx),
+                    c.mpx
+                        .map(|m| m.bts.to_string())
+                        .unwrap_or_else(|| "crash".into()),
+                ]);
+            }
+        }
+        out.push_str(&t.render());
+        out
+    }
+}
+
+impl fmt::Display for Fig8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 8: overheads vs SGXBounds with increasing working set (8 threads)"
+        )?;
+        let mut t = Table::new(&["bench/size", "ws", "sgx", "mpx", "asan"]);
+        for sweep in &self.sweeps {
+            for c in &sweep.cells {
+                t.row(vec![
+                    format!("{} {:?}", sweep.name, c.size),
+                    fmt_bytes(c.ws_bytes),
+                    fmt_ratio(c.vs_sgxbounds[0]),
+                    fmt_ratio(c.vs_sgxbounds[1]),
+                    fmt_ratio(c.vs_sgxbounds[2]),
+                ]);
+            }
+        }
+        write!(f, "{}", t.render())
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 9: overheads of ASan and SGXBounds with 1 vs 4 threads.
+//! SGXBounds is synchronization-free (§4.1), so its overhead must not grow
+//! with thread count.
+
+use super::Effort;
+use crate::report::{fmt_ratio, geomean, ratio, Table};
+use crate::scheme::{run_one, RunConfig, Scheme};
+use sgxs_sim::Preset;
+use std::fmt;
+
+/// One benchmark's overheads at both thread counts, in the order
+/// `asan@1t, asan@4t, sgxbounds@1t, sgxbounds@4t`.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark.
+    pub name: String,
+    /// Overheads.
+    pub over: [Option<f64>; 4],
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    /// Rows.
+    pub rows: Vec<Row>,
+    /// Geometric means in the same order.
+    pub gmean: [Option<f64>; 4],
+}
+
+/// Runs the experiment.
+pub fn run(preset: Preset, effort: Effort) -> Fig9 {
+    let mut rows = Vec::new();
+    for w in sgxs_workloads::phoenix_parsec() {
+        let mut over = [None; 4];
+        for (ti, threads) in [1u32, 4].into_iter().enumerate() {
+            let mut rc = RunConfig::new(preset);
+            rc.params.size = effort.size();
+            rc.params.threads = threads;
+            let base = run_one(w.as_ref(), Scheme::Baseline, &rc);
+            assert!(base.ok(), "{} baseline failed", w.name());
+            for (si, scheme) in [Scheme::Asan, Scheme::SgxBounds].into_iter().enumerate() {
+                let m = run_one(w.as_ref(), scheme, &rc);
+                if m.ok() {
+                    over[si * 2 + ti] = Some(ratio(m.wall_cycles, base.wall_cycles));
+                }
+            }
+        }
+        rows.push(Row {
+            name: w.name().to_owned(),
+            over,
+        });
+    }
+    let gmean = [0, 1, 2, 3].map(|i| geomean(rows.iter().filter_map(|r| r.over[i])));
+    Fig9 { rows, gmean }
+}
+
+impl fmt::Display for Fig9 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 9: overheads over native SGX with 1 and 4 threads"
+        )?;
+        let mut t = Table::new(&[
+            "benchmark",
+            "asan 1t",
+            "asan 4t",
+            "sgxbounds 1t",
+            "sgxbounds 4t",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.name.clone(),
+                fmt_ratio(r.over[0]),
+                fmt_ratio(r.over[1]),
+                fmt_ratio(r.over[2]),
+                fmt_ratio(r.over[3]),
+            ]);
+        }
+        t.row(vec![
+            "gmean".into(),
+            fmt_ratio(self.gmean[0]),
+            fmt_ratio(self.gmean[1]),
+            fmt_ratio(self.gmean[2]),
+            fmt_ratio(self.gmean[3]),
+        ]);
+        write!(f, "{}", t.render())
+    }
+}

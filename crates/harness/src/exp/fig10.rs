@@ -1,0 +1,113 @@
+//! Figure 10: SGXBounds optimization ablation — no optimizations /
+//! safe-access only / hoisting only / both (paper §4.4, §6.5).
+
+use super::Effort;
+use crate::report::{fmt_ratio, geomean, ratio, Table};
+use crate::scheme::{run_one, RunConfig, Scheme};
+use sgxbounds::SbConfig;
+use sgxs_sim::Preset;
+use std::fmt;
+
+/// Ablation configurations in column order.
+pub fn variants() -> [(&'static str, SbConfig); 4] {
+    [
+        (
+            "none",
+            SbConfig {
+                safe_access_opt: false,
+                hoist_opt: false,
+                boundless: false,
+                narrow_bounds: false,
+            },
+        ),
+        (
+            "safe",
+            SbConfig {
+                safe_access_opt: true,
+                hoist_opt: false,
+                boundless: false,
+                narrow_bounds: false,
+            },
+        ),
+        (
+            "hoist",
+            SbConfig {
+                safe_access_opt: false,
+                hoist_opt: true,
+                boundless: false,
+                narrow_bounds: false,
+            },
+        ),
+        ("all", SbConfig::default()),
+    ]
+}
+
+/// One benchmark row: overhead vs native SGX per variant.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Overheads (none, safe, hoist, all).
+    pub over: [Option<f64>; 4],
+}
+
+/// The experiment result.
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// Rows.
+    pub rows: Vec<Row>,
+    /// Geometric means per variant.
+    pub gmean: [Option<f64>; 4],
+}
+
+/// Runs the ablation.
+pub fn run(preset: Preset, effort: Effort) -> Fig10 {
+    let mut rc = RunConfig::new(preset);
+    rc.params.size = effort.size();
+    rc.params.threads = 8;
+    let mut rows = Vec::new();
+    for w in sgxs_workloads::phoenix_parsec() {
+        let base = run_one(w.as_ref(), Scheme::Baseline, &rc);
+        assert!(base.ok(), "{} baseline failed", w.name());
+        let mut over = [None; 4];
+        for (i, (_, cfg)) in variants().into_iter().enumerate() {
+            let m = run_one(w.as_ref(), Scheme::SgxBoundsCustom(cfg), &rc);
+            if m.ok() {
+                over[i] = Some(ratio(m.wall_cycles, base.wall_cycles));
+            }
+        }
+        rows.push(Row {
+            name: w.name().to_owned(),
+            over,
+        });
+    }
+    let gmean = [0, 1, 2, 3].map(|i| geomean(rows.iter().filter_map(|r| r.over[i])));
+    Fig10 { rows, gmean }
+}
+
+impl fmt::Display for Fig10 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 10: SGXBounds overhead by optimization level (8 threads)"
+        )?;
+        let mut t = Table::new(&["benchmark", "none", "safe", "hoist", "all"]);
+        for r in &self.rows {
+            t.row(vec![
+                r.name.clone(),
+                fmt_ratio(r.over[0]),
+                fmt_ratio(r.over[1]),
+                fmt_ratio(r.over[2]),
+                fmt_ratio(r.over[3]),
+            ]);
+        }
+        t.row(vec![
+            "gmean".into(),
+            fmt_ratio(self.gmean[0]),
+            fmt_ratio(self.gmean[1]),
+            fmt_ratio(self.gmean[2]),
+            fmt_ratio(self.gmean[3]),
+        ]);
+        write!(f, "{}", t.render())
+    }
+}

@@ -1,0 +1,18 @@
+//! Figure 12: SPEC outside the enclave (normal, unconstrained execution).
+//! The shape inverts: without EPC pressure, SGXBounds' per-access
+//! arithmetic costs more than ASan's cached shadow loads (paper §6.7:
+//! 55% vs 38%).
+
+use super::fig11::{run_spec, SpecFig};
+use super::Effort;
+use sgxs_sim::{Mode, Preset};
+
+/// Runs SPEC in native (non-enclave) mode.
+pub fn run(preset: Preset, effort: Effort) -> SpecFig {
+    run_spec(
+        preset,
+        effort,
+        Mode::Native,
+        "Figure 12: SPEC outside the enclave — overheads over native execution",
+    )
+}

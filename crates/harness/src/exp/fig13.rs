@@ -1,0 +1,156 @@
+//! Figure 13: case-study servers — throughput/latency across client
+//! concurrency plus the peak-memory table (Memcached, Apache, Nginx).
+
+use crate::report::{fmt_bytes, Table};
+use crate::scheme::{run_one, RunConfig, Scheme};
+use sgxs_sim::{Mode, Preset};
+use sgxs_workloads::apps::{apache::Apache, memcached::Memcached, nginx::Nginx};
+use sgxs_workloads::Workload;
+use std::fmt;
+
+/// One (app, clients, scheme) measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Client concurrency.
+    pub clients: u32,
+    /// Scheme label ("native" is non-enclave baseline).
+    pub scheme: &'static str,
+    /// Requests per million cycles (throughput).
+    pub throughput: Option<f64>,
+    /// Mean cycles per request times concurrency (closed-loop latency).
+    pub latency: Option<f64>,
+    /// Peak reserved memory.
+    pub peak_mem: Option<u64>,
+}
+
+/// One application's curves.
+#[derive(Debug, Clone)]
+pub struct AppCurves {
+    /// Application name.
+    pub name: String,
+    /// All samples.
+    pub samples: Vec<Sample>,
+}
+
+/// The full figure.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// Per-application curves.
+    pub apps: Vec<AppCurves>,
+}
+
+fn build_app(name: &str, clients: u32, requests: u64) -> Box<dyn Workload> {
+    match name {
+        "memcached" => Box::new(Memcached {
+            clients_override: Some(clients),
+            requests_override: Some(requests),
+        }),
+        "apache" => Box::new(Apache {
+            clients_override: Some(clients),
+            requests_override: Some(requests),
+        }),
+        "nginx" => Box::new(Nginx {
+            clients_override: Some(clients),
+            requests_override: Some(requests),
+        }),
+        _ => unreachable!(),
+    }
+}
+
+/// Runs the sweep over `client_steps`, issuing `req_per_client` requests
+/// per client.
+pub fn run(preset: Preset, client_steps: &[u32], req_per_client: u64) -> Fig13 {
+    let mut apps = Vec::new();
+    for name in ["memcached", "apache", "nginx"] {
+        let mut samples = Vec::new();
+        for &clients in client_steps {
+            let requests = req_per_client * clients as u64;
+            let w = build_app(name, clients, requests);
+            // Five variants: native (non-enclave), SGX baseline, and the
+            // three hardened enclave runs.
+            let mut variants: Vec<(&'static str, Scheme, Mode)> = vec![
+                ("native", Scheme::Baseline, Mode::Native),
+                ("sgx", Scheme::Baseline, Mode::Enclave),
+            ];
+            for s in Scheme::all_hardened() {
+                variants.push((s.label(), s, Mode::Enclave));
+            }
+            for (label, scheme, mode) in variants {
+                let mut rc = RunConfig::new(preset);
+                rc.mode = mode;
+                let m = run_one(w.as_ref(), scheme, &rc);
+                let (tp, lat) = if m.ok() && m.wall_cycles > 0 {
+                    let tp = requests as f64 / (m.wall_cycles as f64 / 1_000_000.0);
+                    let lat = m.wall_cycles as f64 * clients as f64 / requests as f64;
+                    (Some(tp), Some(lat))
+                } else {
+                    (None, None)
+                };
+                samples.push(Sample {
+                    clients,
+                    scheme: label,
+                    throughput: tp,
+                    latency: lat,
+                    peak_mem: m.ok().then_some(m.peak_reserved),
+                });
+            }
+        }
+        apps.push(AppCurves {
+            name: name.to_owned(),
+            samples,
+        });
+    }
+    Fig13 { apps }
+}
+
+impl Fig13 {
+    /// Peak memory table at the highest client count (the paper's
+    /// "memory usage for peak throughput" table).
+    pub fn memory_table(&self) -> String {
+        let mut t = Table::new(&["scheme", "memcached", "apache", "nginx"]);
+        for scheme in ["sgx", "mpx", "asan", "sgxbounds"] {
+            let mut cells = vec![scheme.to_owned()];
+            for app in &self.apps {
+                let max_clients = app.samples.iter().map(|s| s.clients).max().unwrap_or(0);
+                let cell = app
+                    .samples
+                    .iter()
+                    .find(|s| s.clients == max_clients && s.scheme == scheme)
+                    .and_then(|s| s.peak_mem)
+                    .map(fmt_bytes)
+                    .unwrap_or_else(|| "crash".into());
+                cells.push(cell);
+            }
+            t.row(cells);
+        }
+        format!("Peak memory at highest concurrency:\n{}", t.render())
+    }
+}
+
+impl fmt::Display for Fig13 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 13: throughput (req/Mcycle) and latency (cycles) by concurrency"
+        )?;
+        for app in &self.apps {
+            writeln!(f, "\n[{}]", app.name)?;
+            let mut t = Table::new(&["clients", "scheme", "throughput", "latency"]);
+            for s in &app.samples {
+                t.row(vec![
+                    s.clients.to_string(),
+                    s.scheme.to_owned(),
+                    s.throughput
+                        .map(|v| format!("{v:.2}"))
+                        .unwrap_or_else(|| "crash".into()),
+                    s.latency
+                        .map(|v| format!("{v:.0}"))
+                        .unwrap_or_else(|| "crash".into()),
+                ]);
+            }
+            write!(f, "{}", t.render())?;
+        }
+        writeln!(f)?;
+        write!(f, "{}", self.memory_table())
+    }
+}

@@ -1,0 +1,33 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod cases;
+pub mod fig01;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod tab04;
+
+use sgxs_workloads::SizeClass;
+
+/// Experiment effort level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Small inputs (benches and CI).
+    Quick,
+    /// Paper-shaped inputs for the preset.
+    Full,
+}
+
+impl Effort {
+    /// Size class used for single-size experiments.
+    pub fn size(self) -> SizeClass {
+        match self {
+            Effort::Quick => SizeClass::S,
+            Effort::Full => SizeClass::L,
+        }
+    }
+}

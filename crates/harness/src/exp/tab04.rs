@@ -1,0 +1,129 @@
+//! Table 4: RIPE security benchmark — attacks prevented per scheme.
+
+use crate::report::Table;
+use crate::scheme::RunConfig;
+use sgxs_baselines::asan::runtime::asan_alloc_opts;
+use sgxs_baselines::{
+    install_asan, install_mpx, instrument_asan, instrument_mpx, AsanConfig, MpxConfig,
+};
+use sgxs_mir::{verify, Module, Trap, Vm, VmConfig};
+use sgxs_rt::{install_base, AllocOpts};
+use sgxs_sim::{MachineConfig, Preset};
+use sgxs_workloads::apps::ripe::{self, AttackConfig};
+use std::fmt;
+
+/// Outcome of one attack under one scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The scheme trapped before control flow was captured.
+    Prevented,
+    /// The shell function ran.
+    Succeeded,
+    /// Something else happened (counts as not prevented).
+    Other,
+}
+
+/// The full matrix.
+#[derive(Debug, Clone)]
+pub struct Tab4 {
+    /// (attack, [mpx, asan, sgxbounds]) outcomes.
+    pub matrix: Vec<(AttackConfig, [Outcome; 3])>,
+}
+
+fn run_attack(module: Module, scheme: &str, rc: &RunConfig) -> Outcome {
+    let mut module = module;
+    let scale = rc.scale();
+    match scheme {
+        "sgxbounds" => {
+            sgxbounds::instrument(&mut module, &sgxbounds::SbConfig::default()).unwrap();
+        }
+        "asan" => {
+            instrument_asan(&mut module).unwrap();
+        }
+        "mpx" => {
+            instrument_mpx(&mut module).unwrap();
+        }
+        _ => {}
+    }
+    verify(&module).expect("attack module verifies");
+    let mut cfg = VmConfig::new(MachineConfig::preset(rc.preset, rc.mode));
+    cfg.max_instructions = 50_000_000;
+    let mut vm = Vm::new(&module, cfg);
+    let asan_cfg = AsanConfig::for_scale(scale);
+    let heap = match scheme {
+        "asan" => install_base(&mut vm, asan_alloc_opts(&asan_cfg, rc.enclave_cap())),
+        _ => install_base(&mut vm, AllocOpts::default()),
+    };
+    match scheme {
+        "sgxbounds" => {
+            sgxbounds::install_sgxbounds(&mut vm, heap, &sgxbounds::SbConfig::default(), None);
+        }
+        "asan" => {
+            install_asan(&mut vm, heap, &asan_cfg);
+        }
+        "mpx" => {
+            install_mpx(&mut vm, heap, MpxConfig::for_scale(scale));
+        }
+        _ => {}
+    }
+    match vm.run("main", &[]).result {
+        Err(Trap::SafetyViolation { .. }) => Outcome::Prevented,
+        Ok(v) if v == ripe::SHELL_MAGIC => Outcome::Succeeded,
+        _ => Outcome::Other,
+    }
+}
+
+/// Runs the full matrix.
+pub fn run(preset: Preset) -> Tab4 {
+    let rc = RunConfig::new(preset);
+    let mut matrix = Vec::new();
+    for cfg in ripe::all_attacks() {
+        let outcomes =
+            ["mpx", "asan", "sgxbounds"].map(|s| run_attack(ripe::build_attack(&cfg), s, &rc));
+        matrix.push((cfg, outcomes));
+    }
+    Tab4 { matrix }
+}
+
+impl Tab4 {
+    /// Prevented counts in [mpx, asan, sgxbounds] order.
+    pub fn prevented(&self) -> [usize; 3] {
+        let mut p = [0; 3];
+        for (_, o) in &self.matrix {
+            for i in 0..3 {
+                if o[i] == Outcome::Prevented {
+                    p[i] += 1;
+                }
+            }
+        }
+        p
+    }
+}
+
+impl fmt::Display for Tab4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 4: RIPE results ({} SGX-viable of {} native attacks; shellcode dies on `int` in the enclave)",
+            ripe::SGX_VIABLE,
+            ripe::NATIVE_VIABLE
+        )?;
+        let mut t = Table::new(&["attack", "mpx", "asan", "sgxbounds"]);
+        let cell = |o: Outcome| match o {
+            Outcome::Prevented => "prevented".to_owned(),
+            Outcome::Succeeded => "HIJACKED".to_owned(),
+            Outcome::Other => "other".to_owned(),
+        };
+        for (cfg, o) in &self.matrix {
+            t.row(vec![cfg.label(), cell(o[0]), cell(o[1]), cell(o[2])]);
+        }
+        let p = self.prevented();
+        t.row(vec![
+            "prevented".into(),
+            format!("{}/16", p[0]),
+            format!("{}/16", p[1]),
+            format!("{}/16", p[2]),
+        ]);
+        write!(f, "{}", t.render())
+    }
+}

@@ -1,0 +1,263 @@
+//! Scheme-aware workload runner: build, instrument, install, stage, run,
+//! measure.
+
+use sgxbounds::SbConfig;
+use sgxs_baselines::asan::runtime::asan_alloc_opts;
+use sgxs_baselines::{
+    install_asan, install_mpx, instrument_asan, instrument_mpx, AsanConfig, MpxConfig,
+};
+use sgxs_mir::{verify, Trap, Vm, VmConfig};
+use sgxs_rt::{install_base, AllocOpts, Stager};
+use sgxs_sim::{MachineConfig, Mode, Preset, Stats};
+use sgxs_workloads::{Params, Workload};
+
+/// Enclave virtual-memory budget at paper scale (the 4 GB 32-bit space the
+/// paper's §8 discussion assumes). Scaled presets divide it by the machine
+/// scale so reservation pressure is comparable.
+pub const ENCLAVE_BYTES_PAPER: u64 = 4 << 30;
+
+/// A protection scheme to run a workload under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Uninstrumented ("native SGX" when run in enclave mode — the paper's
+    /// normalization baseline).
+    Baseline,
+    /// SGXBounds with both optimizations, fail-stop.
+    SgxBounds,
+    /// SGXBounds variants for the Fig. 10 ablation and §4.2.
+    SgxBoundsCustom(SbConfig),
+    /// AddressSanitizer-style baseline.
+    Asan,
+    /// Intel MPX-style baseline.
+    Mpx,
+}
+
+impl Scheme {
+    /// Short label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Baseline => "sgx",
+            Scheme::SgxBounds => "sgxbounds",
+            Scheme::SgxBoundsCustom(_) => "sgxbounds*",
+            Scheme::Asan => "asan",
+            Scheme::Mpx => "mpx",
+        }
+    }
+
+    /// The three hardening schemes the paper compares (Fig. 7 order).
+    pub fn all_hardened() -> [Scheme; 3] {
+        [Scheme::Mpx, Scheme::Asan, Scheme::SgxBounds]
+    }
+}
+
+/// One measured execution.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Exit value or trap.
+    pub result: Result<u64, Trap>,
+    /// Simulated wall-clock cycles.
+    pub wall_cycles: u64,
+    /// Peak reserved virtual memory (the paper's memory metric).
+    pub peak_reserved: u64,
+    /// Peak committed (touched) bytes.
+    pub peak_committed: u64,
+    /// Hardware counters.
+    pub stats: Stats,
+    /// MPX bounds tables allocated (MPX runs only).
+    pub mpx_bts: usize,
+}
+
+impl Measured {
+    /// True when the run completed (OOM crashes and detections are not
+    /// completions).
+    pub fn ok(&self) -> bool {
+        self.result.is_ok()
+    }
+}
+
+/// Machine/VM configuration for an experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Scale preset.
+    pub preset: Preset,
+    /// Enclave or native execution.
+    pub mode: Mode,
+    /// Workload parameters.
+    pub params: Params,
+    /// Instruction budget.
+    pub max_instructions: u64,
+    /// Optional EPC-size override in bytes (ablations).
+    pub epc_override: Option<u64>,
+}
+
+impl RunConfig {
+    /// Default experiment configuration for a preset (enclave mode, L size,
+    /// 8 threads).
+    pub fn new(preset: Preset) -> Self {
+        let scale = MachineConfig::scale_of(preset);
+        RunConfig {
+            preset,
+            mode: Mode::Enclave,
+            params: Params::new(scale),
+            max_instructions: 4_000_000_000,
+            epc_override: None,
+        }
+    }
+
+    /// The machine-scale divisor.
+    pub fn scale(&self) -> u64 {
+        MachineConfig::scale_of(self.preset)
+    }
+
+    /// The scaled enclave reservation cap.
+    pub fn enclave_cap(&self) -> u64 {
+        match self.mode {
+            Mode::Enclave => ENCLAVE_BYTES_PAPER / self.scale(),
+            // Outside the enclave memory is effectively unconstrained.
+            Mode::Native => u64::MAX,
+        }
+    }
+}
+
+/// Builds, hardens, and runs `workload` under `scheme`.
+pub fn run_one(workload: &dyn Workload, scheme: Scheme, rc: &RunConfig) -> Measured {
+    let mut module = workload.build(&rc.params);
+    let sb_cfg = match scheme {
+        Scheme::SgxBounds => Some(SbConfig::default()),
+        Scheme::SgxBoundsCustom(c) => Some(c),
+        _ => None,
+    };
+    match scheme {
+        Scheme::Baseline => {}
+        Scheme::SgxBounds | Scheme::SgxBoundsCustom(_) => {
+            sgxbounds::instrument(&mut module, sb_cfg.as_ref().expect("set above"))
+                .expect("sgxbounds instrumentation");
+        }
+        Scheme::Asan => {
+            instrument_asan(&mut module).expect("asan instrumentation");
+        }
+        Scheme::Mpx => {
+            instrument_mpx(&mut module).expect("mpx instrumentation");
+        }
+    }
+    if let Err(e) = verify(&module) {
+        panic!(
+            "{} under {}: ill-formed IR: {e}",
+            workload.name(),
+            scheme.label()
+        );
+    }
+
+    let mut machine_cfg = MachineConfig::preset(rc.preset, rc.mode);
+    if let Some(epc) = rc.epc_override {
+        machine_cfg.epc_bytes = epc;
+    }
+    let mut cfg = VmConfig::new(machine_cfg);
+    cfg.max_instructions = rc.max_instructions;
+    // Thread stacks scale with the machine (2 MB pthread default at paper
+    // scale) so reserved-memory ratios stay comparable across presets.
+    cfg.stack_size = ((2u64 << 20) / rc.scale()).max(32 << 10) as u32;
+    let mut vm = Vm::new(&module, cfg);
+    let cap = rc.enclave_cap();
+    let asan_cfg = AsanConfig::for_scale(rc.scale());
+    let heap = match scheme {
+        Scheme::Asan => install_base(&mut vm, asan_alloc_opts(&asan_cfg, cap)),
+        _ => install_base(
+            &mut vm,
+            AllocOpts {
+                reserve_cap: cap,
+                ..AllocOpts::default()
+            },
+        ),
+    };
+    let mut mpx_rt = None;
+    match scheme {
+        Scheme::SgxBounds | Scheme::SgxBoundsCustom(_) => {
+            sgxbounds::install_sgxbounds(&mut vm, heap, &sb_cfg.expect("set above"), None);
+        }
+        Scheme::Asan => {
+            install_asan(&mut vm, heap, &asan_cfg);
+        }
+        Scheme::Mpx => {
+            mpx_rt = Some(install_mpx(&mut vm, heap, MpxConfig::for_scale(rc.scale())));
+        }
+        Scheme::Baseline => {}
+    }
+
+    let mut st = Stager::new();
+    let args = workload.stage(&mut vm, &mut st, &rc.params);
+    let out = vm.run("main", &args);
+    Measured {
+        workload: workload.name().to_owned(),
+        scheme: scheme.label(),
+        result: out.result,
+        wall_cycles: out.wall_cycles,
+        peak_reserved: out.peak_reserved,
+        peak_committed: out.peak_committed,
+        stats: out.stats,
+        mpx_bts: mpx_rt
+            .as_ref()
+            .map(|r| r.tables.borrow().bt_count())
+            .unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgxs_workloads::SizeClass;
+
+    fn quick_rc() -> RunConfig {
+        let mut rc = RunConfig::new(Preset::Tiny);
+        rc.params.size = SizeClass::XS;
+        rc.params.threads = 2;
+        rc
+    }
+
+    #[test]
+    fn baseline_run_produces_counters_and_cycles() {
+        let w = sgxs_workloads::by_name("histogram").unwrap();
+        let m = run_one(w.as_ref(), Scheme::Baseline, &quick_rc());
+        assert!(m.ok());
+        assert!(m.wall_cycles > 0);
+        assert!(m.stats.instructions > 0);
+        assert!(m.peak_reserved > 0);
+        assert_eq!(m.scheme, "sgx");
+        assert_eq!(m.mpx_bts, 0);
+    }
+
+    #[test]
+    fn mpx_run_reports_bounds_tables() {
+        let w = sgxs_workloads::by_name("word_count").unwrap();
+        let m = run_one(w.as_ref(), Scheme::Mpx, &quick_rc());
+        assert!(m.ok());
+        assert!(m.mpx_bts > 0, "pointer-heavy workload must allocate BTs");
+    }
+
+    #[test]
+    fn enclave_cap_scales_with_preset() {
+        let tiny = RunConfig::new(Preset::Tiny);
+        let mini = RunConfig::new(Preset::Mini);
+        assert_eq!(tiny.enclave_cap() * 4, mini.enclave_cap());
+        let mut native = RunConfig::new(Preset::Tiny);
+        native.mode = Mode::Native;
+        assert_eq!(native.enclave_cap(), u64::MAX);
+    }
+
+    #[test]
+    fn schemes_are_deterministic_across_repeat_runs() {
+        let w = sgxs_workloads::by_name("string_match").unwrap();
+        let a = run_one(w.as_ref(), Scheme::SgxBounds, &quick_rc());
+        let b = run_one(w.as_ref(), Scheme::SgxBounds, &quick_rc());
+        assert_eq!(
+            a.wall_cycles, b.wall_cycles,
+            "simulation must be deterministic"
+        );
+        assert_eq!(a.result.clone().unwrap(), b.result.clone().unwrap());
+        assert_eq!(a.peak_reserved, b.peak_reserved);
+    }
+}

@@ -1,0 +1,182 @@
+//! Control-flow graph utilities: successors, predecessors, reverse
+//! postorder, and dominators.
+
+use crate::ir::{BlockId, Function, Term};
+
+/// Successor blocks of `b`.
+pub fn successors(f: &Function, b: BlockId) -> Vec<BlockId> {
+    match &f.blocks[b.0 as usize].term {
+        Term::Jmp(t) => vec![*t],
+        Term::Br { t, f: fb, .. } => {
+            if t == fb {
+                vec![*t]
+            } else {
+                vec![*t, *fb]
+            }
+        }
+        Term::Ret(_) | Term::Unreachable => vec![],
+    }
+}
+
+/// Predecessor lists for all blocks.
+pub fn predecessors(f: &Function) -> Vec<Vec<BlockId>> {
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for b in 0..f.blocks.len() {
+        for s in successors(f, BlockId(b as u32)) {
+            preds[s.0 as usize].push(BlockId(b as u32));
+        }
+    }
+    preds
+}
+
+/// Blocks in reverse postorder from the entry (unreachable blocks omitted).
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(u32, usize)> = vec![(0, 0)];
+    visited[0] = true;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let succs = successors(f, BlockId(b));
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            if !visited[s.0 as usize] {
+                visited[s.0 as usize] = true;
+                stack.push((s.0, 0));
+            }
+        } else {
+            post.push(BlockId(b));
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Immediate dominators, indexed by block; `None` for unreachable blocks,
+/// and the entry block dominates itself.
+///
+/// Implements the classic Cooper–Harvey–Kennedy iterative algorithm.
+pub fn dominators(f: &Function) -> Vec<Option<BlockId>> {
+    let n = f.blocks.len();
+    let rpo = reverse_postorder(f);
+    let mut rpo_index = vec![usize::MAX; n];
+    for (i, b) in rpo.iter().enumerate() {
+        rpo_index[b.0 as usize] = i;
+    }
+    let preds = predecessors(f);
+    let mut idom: Vec<Option<BlockId>> = vec![None; n];
+    idom[0] = Some(BlockId(0));
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom: Option<BlockId> = None;
+            for &p in &preds[b.0 as usize] {
+                if idom[p.0 as usize].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b.0 as usize] != Some(ni) {
+                    idom[b.0 as usize] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.0 as usize] > rpo_index[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed in RPO");
+        }
+        while rpo_index[b.0 as usize] > rpo_index[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed in RPO");
+        }
+    }
+    a
+}
+
+/// Returns `true` if `a` dominates `b` (given the `idom` array).
+pub fn dominates(idom: &[Option<BlockId>], a: BlockId, b: BlockId) -> bool {
+    let mut cur = b;
+    loop {
+        if cur == a {
+            return true;
+        }
+        match idom[cur.0 as usize] {
+            Some(d) if d != cur => cur = d,
+            _ => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ty::Ty;
+
+    fn diamond() -> crate::ir::Module {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("f", &[Ty::I64], Some(Ty::I64), |fb| {
+            let l = fb.local(Ty::I64);
+            let p = fb.param(0);
+            fb.if_else(p, |fb| fb.set(l, 1u64), |fb| fb.set(l, 2u64));
+            let v = fb.get(l);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn diamond_preds_and_succs() {
+        let m = diamond();
+        let f = &m.funcs[0];
+        assert_eq!(successors(f, BlockId(0)).len(), 2);
+        let preds = predecessors(f);
+        // Continuation block (3) has two predecessors.
+        assert_eq!(preds[3].len(), 2);
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let m = diamond();
+        let f = &m.funcs[0];
+        let idom = dominators(f);
+        // Entry dominates everything; the join is dominated by the entry,
+        // not by either branch arm.
+        assert_eq!(idom[3], Some(BlockId(0)));
+        assert!(dominates(&idom, BlockId(0), BlockId(3)));
+        assert!(!dominates(&idom, BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn loop_rpo_places_header_before_body() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("f", &[], None, |fb| {
+            fb.count_loop(0u64, 5u64, |_, _| {});
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let rpo = reverse_postorder(&m.funcs[0]);
+        let pos = |b: u32| rpo.iter().position(|x| x.0 == b).unwrap();
+        // entry(0) < head(1) and head(1) < body(2).
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+    }
+}

@@ -1,0 +1,119 @@
+//! Natural-loop detection.
+
+use super::cfg::{dominates, dominators, predecessors, successors};
+use crate::ir::{BlockId, Function};
+
+/// A natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// Loop header (target of the back edge).
+    pub header: BlockId,
+    /// Source of the back edge (the latch).
+    pub latch: BlockId,
+    /// All blocks in the loop, including the header.
+    pub body: Vec<BlockId>,
+    /// The unique out-of-loop predecessor of the header, if there is exactly
+    /// one (hoisted checks are inserted there).
+    pub preheader: Option<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Returns `true` if `b` is inside the loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// Finds all natural loops of `f` (one per back edge).
+pub fn find_loops(f: &Function) -> Vec<NaturalLoop> {
+    let idom = dominators(f);
+    let preds = predecessors(f);
+    let mut loops = Vec::new();
+    for b in 0..f.blocks.len() {
+        let from = BlockId(b as u32);
+        if idom[b].is_none() && b != 0 {
+            continue; // Unreachable.
+        }
+        for to in successors(f, from) {
+            if dominates(&idom, to, from) {
+                // Back edge from -> to; collect the loop body.
+                let mut body = vec![to];
+                let mut stack = vec![from];
+                while let Some(n) = stack.pop() {
+                    if body.contains(&n) {
+                        continue;
+                    }
+                    body.push(n);
+                    for &p in &preds[n.0 as usize] {
+                        stack.push(p);
+                    }
+                }
+                body.sort();
+                let outside: Vec<BlockId> = preds[to.0 as usize]
+                    .iter()
+                    .copied()
+                    .filter(|p| !body.contains(p))
+                    .collect();
+                let preheader = match outside.as_slice() {
+                    [single] => Some(*single),
+                    _ => None,
+                };
+                loops.push(NaturalLoop {
+                    header: to,
+                    latch: from,
+                    body,
+                    preheader,
+                });
+            }
+        }
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    #[test]
+    fn count_loop_is_detected_with_preheader() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("f", &[], None, |fb| {
+            fb.count_loop(0u64, 5u64, |_, _| {});
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let loops = find_loops(&m.funcs[0]);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert_eq!(l.preheader, Some(BlockId(0)));
+        assert!(l.contains(BlockId(2)));
+        assert!(!l.contains(BlockId(3)));
+    }
+
+    #[test]
+    fn nested_loops_yield_two_loops() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("f", &[], None, |fb| {
+            fb.count_loop(0u64, 3u64, |fb, _| {
+                fb.count_loop(0u64, 4u64, |_, _| {});
+            });
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let loops = find_loops(&m.funcs[0]);
+        assert_eq!(loops.len(), 2);
+        // One loop body strictly contains the other's header.
+        let (a, b) = (&loops[0], &loops[1]);
+        assert!(a.contains(b.header) || b.contains(a.header));
+    }
+
+    #[test]
+    fn straight_line_code_has_no_loops() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("f", &[], None, |fb| fb.ret(None));
+        let m = mb.finish();
+        assert!(find_loops(&m.funcs[0]).is_empty());
+    }
+}

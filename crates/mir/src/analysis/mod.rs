@@ -1,0 +1,11 @@
+//! Compiler analyses used by the instrumentation passes and their
+//! optimizations.
+
+pub mod cfg;
+pub mod loops;
+pub mod safe;
+pub mod scev;
+
+pub use loops::{find_loops, NaturalLoop};
+pub use safe::mark_safe_accesses;
+pub use scev::{affine_accesses, counted_loops, AffineAccess, CountedLoop};

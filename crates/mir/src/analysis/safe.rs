@@ -1,0 +1,265 @@
+//! Safe-access classification (paper §4.4 "Safe memory accesses").
+//!
+//! An access is *safe* when the compiler can prove it stays inside its
+//! referent object: constant offsets into stack slots and globals of known
+//! size, and `inbounds`-marked geps (struct fields, constant indices into
+//! fixed arrays). Instrumentation passes skip bounds checks on safe
+//! accesses entirely.
+//!
+//! The analysis is per-block and flow-insensitive across blocks, like the
+//! paper's (which relies on LLVM's `SizeOffsetVisitor` without
+//! inter-procedural reasoning, §6.5).
+
+use crate::ir::{Function, Inst, Module, Operand, Reg};
+use std::collections::HashMap;
+
+/// What a register is known to point into within one block.
+#[derive(Debug, Clone, Copy)]
+struct Prov {
+    /// Size of the referent object.
+    size: u32,
+    /// Constant byte offset from the object base, if statically known.
+    offset: Option<u64>,
+}
+
+/// Marks `attrs.safe` on provably in-bounds accesses; returns how many
+/// accesses were marked.
+pub fn mark_safe_accesses(m: &mut Module) -> usize {
+    let globals: Vec<u32> = m.globals.iter().map(|g| g.size).collect();
+    let mut marked = 0;
+    for f in &mut m.funcs {
+        marked += mark_function(f, &globals);
+    }
+    marked
+}
+
+fn mark_function(f: &mut Function, globals: &[u32]) -> usize {
+    let slot_sizes: Vec<u32> = f.slots.iter().map(|s| s.size).collect();
+    let mut marked = 0;
+    for b in &mut f.blocks {
+        let mut prov: HashMap<Reg, Prov> = HashMap::new();
+        for inst in &mut b.insts {
+            match inst {
+                Inst::SlotAddr { dst, slot } => {
+                    prov.insert(
+                        *dst,
+                        Prov {
+                            size: slot_sizes[slot.0 as usize],
+                            offset: Some(0),
+                        },
+                    );
+                }
+                Inst::GlobalAddr { dst, global } => {
+                    prov.insert(
+                        *dst,
+                        Prov {
+                            size: globals[global.0 as usize],
+                            offset: Some(0),
+                        },
+                    );
+                }
+                Inst::Gep {
+                    dst,
+                    base: Operand::Reg(base),
+                    index,
+                    scale,
+                    disp,
+                    inbounds,
+                } => {
+                    let derived = prov.get(base).copied().and_then(|p| {
+                        if *inbounds {
+                            // The builder vouches the result stays inside;
+                            // the offset is unknown unless the index is
+                            // constant.
+                            let offset = match (index, p.offset) {
+                                (Operand::Imm(i), Some(o)) => o
+                                    .checked_add(i.checked_mul(*scale as u64)?)?
+                                    .checked_add_signed(*disp),
+                                _ => None,
+                            };
+                            Some(Prov {
+                                size: p.size,
+                                offset,
+                            })
+                        } else {
+                            // Not inbounds: only a constant index with a
+                            // statically known offset keeps provenance.
+                            match (index, p.offset) {
+                                (Operand::Imm(i), Some(o)) => {
+                                    let off = o
+                                        .checked_add(i.checked_mul(*scale as u64)?)?
+                                        .checked_add_signed(*disp)?;
+                                    Some(Prov {
+                                        size: p.size,
+                                        offset: Some(off),
+                                    })
+                                }
+                                _ => None,
+                            }
+                        }
+                    });
+                    match derived {
+                        Some(p) => {
+                            prov.insert(*dst, p);
+                        }
+                        None => {
+                            prov.remove(dst);
+                        }
+                    }
+                }
+                Inst::Load {
+                    addr: Operand::Reg(a),
+                    ty,
+                    attrs,
+                    dst,
+                } => {
+                    if is_safe(prov.get(a), ty.width()) && !attrs.safe {
+                        attrs.safe = true;
+                        marked += 1;
+                    }
+                    prov.remove(dst);
+                }
+                Inst::Store {
+                    addr: Operand::Reg(a),
+                    ty,
+                    attrs,
+                    ..
+                } => {
+                    if is_safe(prov.get(a), ty.width()) && !attrs.safe {
+                        attrs.safe = true;
+                        marked += 1;
+                    }
+                }
+                other => {
+                    // Any other definition invalidates tracked provenance of
+                    // its destination.
+                    if let Some(d) = crate::ir::def_of(other) {
+                        prov.remove(&d);
+                    }
+                }
+            }
+        }
+    }
+    marked
+}
+
+fn is_safe(p: Option<&Prov>, width: u8) -> bool {
+    match p {
+        // Constant offset with the full access inside the object.
+        Some(Prov {
+            size,
+            offset: Some(o),
+        }) => o.saturating_add(width as u64) <= *size as u64,
+        // Inbounds-derived pointer with unknown offset: the builder vouched
+        // for the gep, and the access width is part of that vouching only if
+        // the object is at least `width` large.
+        Some(Prov { size, offset: None }) => *size as u64 >= width as u64,
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ir::AccessAttrs;
+    use crate::ty::Ty;
+
+    fn attrs_of(m: &Module, func: usize) -> Vec<AccessAttrs> {
+        let mut v = Vec::new();
+        for b in &m.funcs[func].blocks {
+            for i in &b.insts {
+                match i {
+                    Inst::Load { attrs, .. } | Inst::Store { attrs, .. } => v.push(*attrs),
+                    _ => {}
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn constant_slot_access_is_safe() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("f", &[], None, |fb| {
+            let s = fb.slot("buf", 64);
+            let p = fb.slot_addr(s);
+            let q = fb.gep(p, 7u64, 8, 0); // Offset 56, width 8: in bounds.
+            fb.store(Ty::I64, q, 1u64);
+            fb.ret(None);
+        });
+        let mut m = mb.finish();
+        assert_eq!(mark_safe_accesses(&mut m), 1);
+        assert!(attrs_of(&m, 0)[0].safe);
+    }
+
+    #[test]
+    fn constant_out_of_bounds_access_is_not_safe() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("f", &[], None, |fb| {
+            let s = fb.slot("buf", 64);
+            let p = fb.slot_addr(s);
+            let q = fb.gep(p, 8u64, 8, 0); // Offset 64, width 8: one past.
+            fb.store(Ty::I64, q, 1u64);
+            fb.ret(None);
+        });
+        let mut m = mb.finish();
+        assert_eq!(mark_safe_accesses(&mut m), 0);
+    }
+
+    #[test]
+    fn variable_index_is_not_safe_without_inbounds() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("f", &[Ty::I64], None, |fb| {
+            let s = fb.slot("buf", 64);
+            let p = fb.slot_addr(s);
+            let i = fb.param(0);
+            let q = fb.gep(p, i, 8, 0);
+            fb.store(Ty::I64, q, 1u64);
+            fb.ret(None);
+        });
+        let mut m = mb.finish();
+        assert_eq!(mark_safe_accesses(&mut m), 0);
+    }
+
+    #[test]
+    fn inbounds_gep_with_variable_index_is_safe() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("f", &[Ty::I64], None, |fb| {
+            let s = fb.slot("buf", 64);
+            let p = fb.slot_addr(s);
+            let i = fb.param(0);
+            let q = fb.gep_inbounds(p, i, 8, 0);
+            let _ = fb.load(Ty::I64, q);
+            fb.ret(None);
+        });
+        let mut m = mb.finish();
+        assert_eq!(mark_safe_accesses(&mut m), 1);
+    }
+
+    #[test]
+    fn global_struct_field_is_safe() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global_zeroed("cfg", 24);
+        mb.func("f", &[], None, |fb| {
+            let p = fb.global_addr(g);
+            let field = fb.gep_inbounds(p, 0u64, 1, 16);
+            fb.store(Ty::I64, field, 7u64);
+            fb.ret(None);
+        });
+        let mut m = mb.finish();
+        assert_eq!(mark_safe_accesses(&mut m), 1);
+    }
+
+    #[test]
+    fn unknown_pointer_parameter_is_never_safe() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("f", &[Ty::Ptr], None, |fb| {
+            let p = fb.param(0);
+            fb.store(Ty::I64, p, 1u64);
+            fb.ret(None);
+        });
+        let mut m = mb.finish();
+        assert_eq!(mark_safe_accesses(&mut m), 0);
+    }
+}

@@ -1,0 +1,746 @@
+//! Ergonomic construction API for modules and functions.
+//!
+//! Workload kernels (the simulated Phoenix/PARSEC/SPEC programs and the
+//! application case studies) are written directly against this builder, so
+//! it favours brevity: typed emitter methods, operand auto-conversion from
+//! `Reg` and `u64`, and structured-loop helpers that produce exactly the
+//! counted-loop shape the scalar-evolution analysis recognizes.
+
+use crate::ir::{
+    AccessAttrs, BinOp, Block, BlockId, CastKind, CmpOp, FBinOp, FCmpOp, FuncId, Function, Global,
+    GlobalId, Inst, IntrinsicId, LocalId, Module, Operand, Reg, SlotId, StackSlot, Term,
+};
+use crate::ty::Ty;
+
+/// Builds a [`Module`].
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Starts a new module.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            module: Module::new(name),
+        }
+    }
+
+    /// Adds a global of `size` bytes initialized from `init` (zero-filled
+    /// past its end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initializer is longer than the global.
+    pub fn global(&mut self, name: impl Into<String>, size: u32, init: &[u8]) -> GlobalId {
+        assert!(init.len() as u32 <= size, "initializer longer than global");
+        let id = GlobalId(self.module.globals.len() as u32);
+        self.module.globals.push(Global {
+            name: name.into(),
+            size,
+            align: 8,
+            init: init.to_vec(),
+            padded_size: size,
+        });
+        id
+    }
+
+    /// Adds a zero-initialized global.
+    pub fn global_zeroed(&mut self, name: impl Into<String>, size: u32) -> GlobalId {
+        self.global(name, size, &[])
+    }
+
+    /// Declares a function with an empty body (entry block terminated by
+    /// `unreachable`), so mutually recursive functions can reference each
+    /// other before being defined.
+    pub fn declare(&mut self, name: impl Into<String>, params: &[Ty], ret: Option<Ty>) -> FuncId {
+        let id = FuncId(self.module.funcs.len() as u32);
+        self.module.funcs.push(Function {
+            name: name.into(),
+            params: params.to_vec(),
+            ret,
+            reg_tys: params.to_vec(),
+            locals: Vec::new(),
+            slots: Vec::new(),
+            blocks: vec![Block {
+                insts: Vec::new(),
+                term: Term::Unreachable,
+            }],
+        });
+        id
+    }
+
+    /// Defines the body of a previously declared function.
+    pub fn define(&mut self, id: FuncId, body: impl FnOnce(&mut FuncBuilder<'_>)) {
+        let mut fb = FuncBuilder {
+            module: &mut self.module,
+            fidx: id.0 as usize,
+            cur: BlockId(0),
+        };
+        body(&mut fb);
+    }
+
+    /// Declares and defines a function in one step.
+    pub fn func(
+        &mut self,
+        name: impl Into<String>,
+        params: &[Ty],
+        ret: Option<Ty>,
+        body: impl FnOnce(&mut FuncBuilder<'_>),
+    ) -> FuncId {
+        let id = self.declare(name, params, ret);
+        self.define(id, body);
+        id
+    }
+
+    /// Interns an intrinsic name.
+    pub fn intrinsic(&mut self, name: &str) -> IntrinsicId {
+        self.module.intrinsic(name)
+    }
+
+    /// Read-only view of the module under construction.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Finishes the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+}
+
+/// Builds one function's body.
+pub struct FuncBuilder<'a> {
+    module: &'a mut Module,
+    fidx: usize,
+    cur: BlockId,
+}
+
+impl<'a> FuncBuilder<'a> {
+    fn func(&mut self) -> &mut Function {
+        &mut self.module.funcs[self.fidx]
+    }
+
+    /// The register holding parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: usize) -> Reg {
+        assert!(
+            i < self.module.funcs[self.fidx].params.len(),
+            "no such param"
+        );
+        Reg(i as u32)
+    }
+
+    /// Creates a new (empty, unreachable-terminated) block.
+    pub fn block(&mut self) -> BlockId {
+        let f = self.func();
+        let id = BlockId(f.blocks.len() as u32);
+        f.blocks.push(Block {
+            insts: Vec::new(),
+            term: Term::Unreachable,
+        });
+        id
+    }
+
+    /// Makes `b` the current insertion block.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// The current insertion block.
+    pub fn current(&self) -> BlockId {
+        self.cur
+    }
+
+    fn emit(&mut self, inst: Inst) {
+        let cur = self.cur.0 as usize;
+        let f = self.func();
+        debug_assert!(
+            matches!(f.blocks[cur].term, Term::Unreachable),
+            "emitting into a terminated block in {}",
+            f.name
+        );
+        f.blocks[cur].insts.push(inst);
+    }
+
+    fn def(&mut self, ty: Ty) -> Reg {
+        self.func().new_reg(ty)
+    }
+
+    // ---- scalar ops ------------------------------------------------------
+
+    /// Emits an integer binary op producing an `I64` result.
+    pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.def(Ty::I64);
+        self.emit(Inst::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// `a + b`.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// `a - b`.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// `a * b`.
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Mul, a, b)
+    }
+
+    /// `a / b` (unsigned).
+    pub fn udiv(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::UDiv, a, b)
+    }
+
+    /// `a % b` (unsigned).
+    pub fn urem(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::URem, a, b)
+    }
+
+    /// `a & b`.
+    pub fn and(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::And, a, b)
+    }
+
+    /// `a | b`.
+    pub fn or(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Or, a, b)
+    }
+
+    /// `a ^ b`.
+    pub fn xor(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Xor, a, b)
+    }
+
+    /// `a << b`.
+    pub fn shl(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Shl, a, b)
+    }
+
+    /// `a >> b` (logical).
+    pub fn lshr(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::LShr, a, b)
+    }
+
+    /// Emits an integer comparison (result 0/1).
+    pub fn cmp(&mut self, op: CmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.def(Ty::I64);
+        self.emit(Inst::Cmp {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// Emits a floating binary op.
+    pub fn fbin(&mut self, op: FBinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.def(Ty::F64);
+        self.emit(Inst::FBin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// `a + b` on f64.
+    pub fn fadd(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.fbin(FBinOp::Add, a, b)
+    }
+
+    /// `a - b` on f64.
+    pub fn fsub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.fbin(FBinOp::Sub, a, b)
+    }
+
+    /// `a * b` on f64.
+    pub fn fmul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.fbin(FBinOp::Mul, a, b)
+    }
+
+    /// `a / b` on f64.
+    pub fn fdiv(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        self.fbin(FBinOp::Div, a, b)
+    }
+
+    /// Emits a floating comparison (result 0/1).
+    pub fn fcmp(&mut self, op: FCmpOp, a: impl Into<Operand>, b: impl Into<Operand>) -> Reg {
+        let dst = self.def(Ty::I64);
+        self.emit(Inst::FCmp {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// An f64 immediate operand.
+    pub fn fconst(&self, v: f64) -> Operand {
+        Operand::Imm(v.to_bits())
+    }
+
+    /// Emits a cast.
+    pub fn cast(&mut self, kind: CastKind, src: impl Into<Operand>) -> Reg {
+        let ty = match kind {
+            CastKind::SiToF | CastKind::UiToF | CastKind::FAbs | CastKind::FSqrt => Ty::F64,
+            _ => Ty::I64,
+        };
+        let dst = self.def(ty);
+        self.emit(Inst::Cast {
+            kind,
+            dst,
+            src: src.into(),
+        });
+        dst
+    }
+
+    /// `cond != 0 ? t : f`.
+    pub fn select(
+        &mut self,
+        cond: impl Into<Operand>,
+        t: impl Into<Operand>,
+        f: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.def(Ty::I64);
+        self.emit(Inst::Select {
+            dst,
+            cond: cond.into(),
+            t: t.into(),
+            f: f.into(),
+        });
+        dst
+    }
+
+    // ---- pointers and memory --------------------------------------------
+
+    /// Pointer arithmetic: `base + index * scale + disp`.
+    pub fn gep(
+        &mut self,
+        base: impl Into<Operand>,
+        index: impl Into<Operand>,
+        scale: u32,
+        disp: i64,
+    ) -> Reg {
+        let dst = self.def(Ty::Ptr);
+        self.emit(Inst::Gep {
+            dst,
+            base: base.into(),
+            index: index.into(),
+            scale,
+            disp,
+            inbounds: false,
+        });
+        dst
+    }
+
+    /// Pointer arithmetic the builder asserts stays inside the referent
+    /// object (struct fields, constant indices into fixed arrays) — the
+    /// safe-access optimization elides checks on accesses through these
+    /// (paper §4.4 "Safe memory accesses").
+    pub fn gep_inbounds(
+        &mut self,
+        base: impl Into<Operand>,
+        index: impl Into<Operand>,
+        scale: u32,
+        disp: i64,
+    ) -> Reg {
+        let dst = self.def(Ty::Ptr);
+        self.emit(Inst::Gep {
+            dst,
+            base: base.into(),
+            index: index.into(),
+            scale,
+            disp,
+            inbounds: true,
+        });
+        dst
+    }
+
+    /// Field projection with an explicit field size: `base + disp`, where
+    /// the field spans `[disp, disp + field_size)` of the referent object.
+    ///
+    /// Emits the projection followed by an `sb_narrow(p, field_size)`
+    /// intrinsic. Under plain runtimes `sb_narrow` is the identity; under
+    /// SGXBounds with bounds narrowing enabled it shrinks the pointer's
+    /// upper bound to the field, making intra-object overflows detectable
+    /// (paper §8).
+    pub fn gep_field(&mut self, base: impl Into<Operand>, disp: i64, field_size: u32) -> Reg {
+        let raw = self.gep_inbounds(base, 0u64, 1, disp);
+        self.intr_ptr("sb_narrow", &[raw.into(), Operand::Imm(field_size as u64)])
+    }
+
+    /// Loads a `ty` value from `addr`.
+    pub fn load(&mut self, ty: Ty, addr: impl Into<Operand>) -> Reg {
+        let dst = self.def(ty);
+        self.emit(Inst::Load {
+            dst,
+            addr: addr.into(),
+            ty,
+            attrs: AccessAttrs::default(),
+        });
+        dst
+    }
+
+    /// Stores a `ty` value to `addr`.
+    pub fn store(&mut self, ty: Ty, addr: impl Into<Operand>, val: impl Into<Operand>) {
+        self.emit(Inst::Store {
+            addr: addr.into(),
+            val: val.into(),
+            ty,
+            attrs: AccessAttrs::default(),
+        });
+    }
+
+    /// Atomic fetch-op; returns the old value.
+    pub fn atomic_rmw(
+        &mut self,
+        op: BinOp,
+        ty: Ty,
+        addr: impl Into<Operand>,
+        val: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.def(ty);
+        self.emit(Inst::AtomicRmw {
+            op,
+            dst,
+            addr: addr.into(),
+            val: val.into(),
+            ty,
+            attrs: AccessAttrs::default(),
+        });
+        dst
+    }
+
+    /// Atomic compare-and-swap; returns the old value.
+    pub fn atomic_cas(
+        &mut self,
+        ty: Ty,
+        addr: impl Into<Operand>,
+        expected: impl Into<Operand>,
+        new: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.def(ty);
+        self.emit(Inst::AtomicCas {
+            dst,
+            addr: addr.into(),
+            expected: expected.into(),
+            new: new.into(),
+            ty,
+            attrs: AccessAttrs::default(),
+        });
+        dst
+    }
+
+    // ---- locals, slots, globals, functions --------------------------------
+
+    /// Declares a cross-block local of type `ty`.
+    pub fn local(&mut self, ty: Ty) -> LocalId {
+        self.func().new_local(ty)
+    }
+
+    /// Reads a local into a register.
+    pub fn get(&mut self, l: LocalId) -> Reg {
+        let ty = self.module.funcs[self.fidx].locals[l.0 as usize];
+        let dst = self.def(ty);
+        self.emit(Inst::ReadLocal { dst, local: l });
+        dst
+    }
+
+    /// Writes a local.
+    pub fn set(&mut self, l: LocalId, v: impl Into<Operand>) {
+        self.emit(Inst::WriteLocal {
+            local: l,
+            val: v.into(),
+        });
+    }
+
+    /// Declares a stack slot of `size` bytes.
+    pub fn slot(&mut self, name: impl Into<String>, size: u32) -> SlotId {
+        let f = self.func();
+        let id = SlotId(f.slots.len() as u32);
+        f.slots.push(StackSlot {
+            name: name.into(),
+            size,
+            align: 8,
+            padded_size: size,
+        });
+        id
+    }
+
+    /// Takes the address of a stack slot.
+    pub fn slot_addr(&mut self, s: SlotId) -> Reg {
+        let dst = self.def(Ty::Ptr);
+        self.emit(Inst::SlotAddr { dst, slot: s });
+        dst
+    }
+
+    /// Takes the address of a global.
+    pub fn global_addr(&mut self, g: GlobalId) -> Reg {
+        let dst = self.def(Ty::Ptr);
+        self.emit(Inst::GlobalAddr { dst, global: g });
+        dst
+    }
+
+    /// Takes the (synthetic) code address of a function.
+    pub fn func_addr(&mut self, f: FuncId) -> Reg {
+        let dst = self.def(Ty::Ptr);
+        self.emit(Inst::FuncAddr { dst, func: f });
+        dst
+    }
+
+    // ---- calls ------------------------------------------------------------
+
+    /// Calls `callee`; returns its result register if it has one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the argument count does not match the declaration.
+    pub fn call(&mut self, callee: FuncId, args: &[Operand]) -> Option<Reg> {
+        let sig = &self.module.funcs[callee.0 as usize];
+        assert_eq!(
+            sig.params.len(),
+            args.len(),
+            "arity mismatch calling {}",
+            sig.name
+        );
+        let ret = sig.ret;
+        let dst = ret.map(|ty| self.def(ty));
+        self.emit(Inst::Call {
+            dst,
+            func: callee,
+            args: args.to_vec(),
+        });
+        dst
+    }
+
+    /// Calls through a code address; `ret` gives the expected result type.
+    pub fn call_indirect(
+        &mut self,
+        target: impl Into<Operand>,
+        args: &[Operand],
+        ret: Option<Ty>,
+    ) -> Option<Reg> {
+        let dst = ret.map(|ty| self.def(ty));
+        self.emit(Inst::CallIndirect {
+            dst,
+            target: target.into(),
+            args: args.to_vec(),
+        });
+        dst
+    }
+
+    /// Calls an intrinsic that returns an `I64`/pointer-like value.
+    pub fn intr(&mut self, name: &str, args: &[Operand]) -> Reg {
+        let id = self.module.intrinsic(name);
+        let dst = self.def(Ty::I64);
+        self.emit(Inst::CallIntrinsic {
+            dst: Some(dst),
+            intrinsic: id,
+            args: args.to_vec(),
+        });
+        dst
+    }
+
+    /// Calls an intrinsic returning a pointer.
+    pub fn intr_ptr(&mut self, name: &str, args: &[Operand]) -> Reg {
+        let id = self.module.intrinsic(name);
+        let dst = self.def(Ty::Ptr);
+        self.emit(Inst::CallIntrinsic {
+            dst: Some(dst),
+            intrinsic: id,
+            args: args.to_vec(),
+        });
+        dst
+    }
+
+    /// Calls an intrinsic for effect only.
+    pub fn intr_void(&mut self, name: &str, args: &[Operand]) {
+        let id = self.module.intrinsic(name);
+        self.emit(Inst::CallIntrinsic {
+            dst: None,
+            intrinsic: id,
+            args: args.to_vec(),
+        });
+    }
+
+    // ---- control flow ------------------------------------------------------
+
+    fn terminate(&mut self, term: Term) {
+        let cur = self.cur.0 as usize;
+        let f = self.func();
+        debug_assert!(
+            matches!(f.blocks[cur].term, Term::Unreachable),
+            "block already terminated in {}",
+            f.name
+        );
+        f.blocks[cur].term = term;
+    }
+
+    /// Unconditional jump; leaves the current block terminated.
+    pub fn jmp(&mut self, b: BlockId) {
+        self.terminate(Term::Jmp(b));
+    }
+
+    /// Conditional branch.
+    pub fn br(&mut self, cond: impl Into<Operand>, t: BlockId, f: BlockId) {
+        self.terminate(Term::Br {
+            cond: cond.into(),
+            t,
+            f,
+        });
+    }
+
+    /// Return.
+    pub fn ret(&mut self, v: Option<Operand>) {
+        self.terminate(Term::Ret(v));
+    }
+
+    /// Builds a counted loop `for i in start..end` (unsigned, step 1).
+    ///
+    /// The body closure receives the builder and the register holding `i`.
+    /// On return, the builder is positioned in the exit block. The emitted
+    /// shape (preheader → head with `i < end` guard → body with `i += 1`) is
+    /// exactly what [`crate::analysis::scev`] recognizes for check hoisting.
+    pub fn count_loop(
+        &mut self,
+        start: impl Into<Operand>,
+        end: impl Into<Operand>,
+        body: impl FnOnce(&mut Self, Reg),
+    ) {
+        let start = start.into();
+        let end = end.into();
+        let i_local = self.local(Ty::I64);
+        let head = self.block();
+        let body_bb = self.block();
+        let exit = self.block();
+
+        self.set(i_local, start);
+        self.jmp(head);
+
+        self.switch_to(head);
+        let i0 = self.get(i_local);
+        let c = self.cmp(CmpOp::ULt, i0, end);
+        self.br(c, body_bb, exit);
+
+        self.switch_to(body_bb);
+        let i = self.get(i_local);
+        body(self, i);
+        // The body may have moved to another block; continue from there.
+        let i2 = self.get(i_local);
+        let inc = self.add(i2, 1u64);
+        self.set(i_local, inc);
+        self.jmp(head);
+
+        self.switch_to(exit);
+    }
+
+    /// Builds an if/else; both closures end with the builder positioned in a
+    /// shared continuation block.
+    pub fn if_else(
+        &mut self,
+        cond: impl Into<Operand>,
+        then_body: impl FnOnce(&mut Self),
+        else_body: impl FnOnce(&mut Self),
+    ) {
+        let t = self.block();
+        let e = self.block();
+        let cont = self.block();
+        self.br(cond, t, e);
+        self.switch_to(t);
+        then_body(self);
+        self.jmp(cont);
+        self.switch_to(e);
+        else_body(self);
+        self.jmp(cont);
+        self.switch_to(cont);
+    }
+
+    /// Builds an if without an else branch.
+    pub fn if_then(&mut self, cond: impl Into<Operand>, then_body: impl FnOnce(&mut Self)) {
+        self.if_else(cond, then_body, |_| {});
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Term;
+
+    #[test]
+    fn builds_minimal_function() {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.func("main", &[], Some(Ty::I64), |fb| {
+            let x = fb.add(2u64, 3u64);
+            fb.ret(Some(x.into()));
+        });
+        let m = mb.finish();
+        assert_eq!(m.func_by_name("main"), Some(f));
+        assert_eq!(m.funcs[0].blocks.len(), 1);
+        assert!(matches!(m.funcs[0].blocks[0].term, Term::Ret(Some(_))));
+    }
+
+    #[test]
+    fn count_loop_emits_guard_and_increment() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("f", &[], None, |fb| {
+            fb.count_loop(0u64, 10u64, |_, _| {});
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        // entry + head + body + exit.
+        assert_eq!(m.funcs[0].blocks.len(), 4);
+        assert_eq!(m.funcs[0].locals.len(), 1);
+    }
+
+    #[test]
+    fn params_occupy_leading_registers() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("f", &[Ty::Ptr, Ty::I64], None, |fb| {
+            assert_eq!(fb.param(0), Reg(0));
+            assert_eq!(fb.param(1), Reg(1));
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        assert_eq!(m.funcs[0].reg_tys[0], Ty::Ptr);
+        assert_eq!(m.funcs[0].reg_tys[1], Ty::I64);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn call_arity_checked() {
+        let mut mb = ModuleBuilder::new("t");
+        let callee = mb.declare("g", &[Ty::I64], None);
+        mb.func("f", &[], None, |fb| {
+            fb.call(callee, &[]);
+        });
+    }
+
+    #[test]
+    fn if_else_creates_diamond() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("f", &[Ty::I64], Some(Ty::I64), |fb| {
+            let l = fb.local(Ty::I64);
+            let p = fb.param(0);
+            fb.if_else(p, |fb| fb.set(l, 1u64), |fb| fb.set(l, 2u64));
+            let v = fb.get(l);
+            fb.ret(Some(v.into()));
+        });
+        let m = mb.finish();
+        assert_eq!(m.funcs[0].blocks.len(), 4);
+    }
+}

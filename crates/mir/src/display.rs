@@ -1,0 +1,298 @@
+//! Textual printer for the IR, for debugging and golden tests.
+
+use crate::ir::{Block, Function, Inst, Module, Operand, Term};
+use std::fmt::Write as _;
+
+fn op(o: &Operand) -> String {
+    match o {
+        Operand::Reg(r) => format!("r{}", r.0),
+        Operand::Imm(v) => {
+            if *v > 0xFFFF {
+                format!("{v:#x}")
+            } else {
+                format!("{v}")
+            }
+        }
+    }
+}
+
+fn inst(i: &Inst, out: &mut String) {
+    match i {
+        Inst::Bin { op: o, dst, a, b } => {
+            let _ = writeln!(out, "    r{} = {:?} {}, {}", dst.0, o, op(a), op(b));
+        }
+        Inst::Cmp { op: o, dst, a, b } => {
+            let _ = writeln!(out, "    r{} = icmp {:?} {}, {}", dst.0, o, op(a), op(b));
+        }
+        Inst::FBin { op: o, dst, a, b } => {
+            let _ = writeln!(out, "    r{} = f{:?} {}, {}", dst.0, o, op(a), op(b));
+        }
+        Inst::FCmp { op: o, dst, a, b } => {
+            let _ = writeln!(out, "    r{} = fcmp {:?} {}, {}", dst.0, o, op(a), op(b));
+        }
+        Inst::Cast { kind, dst, src } => {
+            let _ = writeln!(out, "    r{} = cast {:?} {}", dst.0, kind, op(src));
+        }
+        Inst::Select { dst, cond, t, f } => {
+            let _ = writeln!(
+                out,
+                "    r{} = select {}, {}, {}",
+                dst.0,
+                op(cond),
+                op(t),
+                op(f)
+            );
+        }
+        Inst::Gep {
+            dst,
+            base,
+            index,
+            scale,
+            disp,
+            inbounds,
+        } => {
+            let _ = writeln!(
+                out,
+                "    r{} = gep{} {} + {}*{} + {}",
+                dst.0,
+                if *inbounds { " inbounds" } else { "" },
+                op(base),
+                op(index),
+                scale,
+                disp
+            );
+        }
+        Inst::Load {
+            dst,
+            addr,
+            ty,
+            attrs,
+        } => {
+            let _ = writeln!(
+                out,
+                "    r{} = load {} [{}]{}{}",
+                dst.0,
+                ty,
+                op(addr),
+                if attrs.safe { " safe" } else { "" },
+                if attrs.no_lower { " nolb" } else { "" }
+            );
+        }
+        Inst::Store {
+            addr,
+            val,
+            ty,
+            attrs,
+        } => {
+            let _ = writeln!(
+                out,
+                "    store {} {}, [{}]{}{}",
+                ty,
+                op(val),
+                op(addr),
+                if attrs.safe { " safe" } else { "" },
+                if attrs.no_lower { " nolb" } else { "" }
+            );
+        }
+        Inst::AtomicRmw {
+            op: o,
+            dst,
+            addr,
+            val,
+            ty,
+            ..
+        } => {
+            let _ = writeln!(
+                out,
+                "    r{} = atomicrmw {:?} {} [{}], {}",
+                dst.0,
+                o,
+                ty,
+                op(addr),
+                op(val)
+            );
+        }
+        Inst::AtomicCas {
+            dst,
+            addr,
+            expected,
+            new,
+            ty,
+            ..
+        } => {
+            let _ = writeln!(
+                out,
+                "    r{} = cmpxchg {} [{}], {}, {}",
+                dst.0,
+                ty,
+                op(addr),
+                op(expected),
+                op(new)
+            );
+        }
+        Inst::ReadLocal { dst, local } => {
+            let _ = writeln!(out, "    r{} = l{}", dst.0, local.0);
+        }
+        Inst::WriteLocal { local, val } => {
+            let _ = writeln!(out, "    l{} = {}", local.0, op(val));
+        }
+        Inst::SlotAddr { dst, slot } => {
+            let _ = writeln!(out, "    r{} = &slot{}", dst.0, slot.0);
+        }
+        Inst::GlobalAddr { dst, global } => {
+            let _ = writeln!(out, "    r{} = &global{}", dst.0, global.0);
+        }
+        Inst::FuncAddr { dst, func } => {
+            let _ = writeln!(out, "    r{} = &func{}", dst.0, func.0);
+        }
+        Inst::Call { dst, func, args } => {
+            let args: Vec<_> = args.iter().map(op).collect();
+            match dst {
+                Some(d) => {
+                    let _ = writeln!(out, "    r{} = call f{}({})", d.0, func.0, args.join(", "));
+                }
+                None => {
+                    let _ = writeln!(out, "    call f{}({})", func.0, args.join(", "));
+                }
+            }
+        }
+        Inst::CallIndirect { dst, target, args } => {
+            let args: Vec<_> = args.iter().map(op).collect();
+            match dst {
+                Some(d) => {
+                    let _ = writeln!(
+                        out,
+                        "    r{} = call *{}({})",
+                        d.0,
+                        op(target),
+                        args.join(", ")
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "    call *{}({})", op(target), args.join(", "));
+                }
+            }
+        }
+        Inst::CallIntrinsic {
+            dst,
+            intrinsic,
+            args,
+        } => {
+            let args: Vec<_> = args.iter().map(op).collect();
+            match dst {
+                Some(d) => {
+                    let _ = writeln!(
+                        out,
+                        "    r{} = intrinsic #{}({})",
+                        d.0,
+                        intrinsic.0,
+                        args.join(", ")
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "    intrinsic #{}({})", intrinsic.0, args.join(", "));
+                }
+            }
+        }
+    }
+}
+
+fn block(bi: usize, b: &Block, out: &mut String) {
+    let _ = writeln!(out, "  b{bi}:");
+    for i in &b.insts {
+        inst(i, out);
+    }
+    match &b.term {
+        Term::Jmp(t) => {
+            let _ = writeln!(out, "    jmp b{}", t.0);
+        }
+        Term::Br { cond, t, f } => {
+            let _ = writeln!(out, "    br {}, b{}, b{}", op(cond), t.0, f.0);
+        }
+        Term::Ret(Some(v)) => {
+            let _ = writeln!(out, "    ret {}", op(v));
+        }
+        Term::Ret(None) => {
+            let _ = writeln!(out, "    ret");
+        }
+        Term::Unreachable => {
+            let _ = writeln!(out, "    unreachable");
+        }
+    }
+}
+
+/// Renders one function as text.
+pub fn print_function(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<_> = f
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("r{i}: {t}"))
+        .collect();
+    let ret = f.ret.map(|t| format!(" -> {t}")).unwrap_or_default();
+    let _ = writeln!(out, "fn {}({}){} {{", f.name, params.join(", "), ret);
+    for (si, s) in f.slots.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  slot{si} {}: {} bytes (padded {})",
+            s.name, s.size, s.padded_size
+        );
+    }
+    for (bi, b) in f.blocks.iter().enumerate() {
+        block(bi, b, &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a whole module as text.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "module {} (hardening: {})",
+        m.name,
+        m.hardening.unwrap_or("none")
+    );
+    for (gi, g) in m.globals.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "global{gi} {}: {} bytes (padded {})",
+            g.name, g.size, g.padded_size
+        );
+    }
+    for f in &m.funcs {
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ty::Ty;
+
+    #[test]
+    fn prints_without_panicking_and_contains_structure() {
+        let mut mb = ModuleBuilder::new("demo");
+        mb.global("g", 16, &[1, 2, 3]);
+        mb.func("main", &[Ty::I64], Some(Ty::I64), |fb| {
+            let s = fb.slot("buf", 32);
+            let p = fb.slot_addr(s);
+            fb.count_loop(0u64, 4u64, |fb, i| {
+                let q = fb.gep(p, i, 8, 0);
+                fb.store(Ty::I64, q, i);
+            });
+            let v = fb.load(Ty::I64, p);
+            fb.ret(Some(v.into()));
+        });
+        let text = print_module(&mb.finish());
+        assert!(text.contains("module demo"));
+        assert!(text.contains("fn main"));
+        assert!(text.contains("gep"));
+        assert!(text.contains("store i64"));
+        assert!(text.contains("br "));
+    }
+}

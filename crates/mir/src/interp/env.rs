@@ -1,0 +1,94 @@
+//! Type-keyed state bag shared between the VM and intrinsic handlers.
+//!
+//! Runtime crates (allocator, SGXBounds runtime, ASan/MPX runtimes) each
+//! stash their state here under their own type, so the VM stays agnostic of
+//! every scheme.
+
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
+/// Heterogeneous, type-keyed container.
+#[derive(Default)]
+pub struct Env {
+    map: HashMap<TypeId, Box<dyn Any>>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Stores `value`, replacing any previous value of the same type.
+    pub fn insert<T: Any>(&mut self, value: T) {
+        self.map.insert(TypeId::of::<T>(), Box::new(value));
+    }
+
+    /// Shared access to the stored `T`.
+    pub fn get<T: Any>(&self) -> Option<&T> {
+        self.map
+            .get(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_ref())
+    }
+
+    /// Mutable access to the stored `T`.
+    pub fn get_mut<T: Any>(&mut self) -> Option<&mut T> {
+        self.map
+            .get_mut(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_mut())
+    }
+
+    /// Mutable access, inserting `T::default()` first if absent.
+    pub fn get_or_default<T: Any + Default>(&mut self) -> &mut T {
+        self.map
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(T::default()))
+            .downcast_mut()
+            .expect("entry just keyed by TypeId of T")
+    }
+
+    /// Removes and returns the stored `T`.
+    pub fn remove<T: Any>(&mut self) -> Option<T> {
+        self.map
+            .remove(&TypeId::of::<T>())
+            .and_then(|b| b.downcast().ok())
+            .map(|b| *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default, PartialEq, Debug)]
+    struct Counter(u32);
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut e = Env::new();
+        e.insert(Counter(7));
+        assert_eq!(e.get::<Counter>(), Some(&Counter(7)));
+        e.get_mut::<Counter>().unwrap().0 += 1;
+        assert_eq!(e.get::<Counter>().unwrap().0, 8);
+    }
+
+    #[test]
+    fn get_or_default_inserts() {
+        let mut e = Env::new();
+        assert!(e.get::<Counter>().is_none());
+        e.get_or_default::<Counter>().0 = 3;
+        assert_eq!(e.remove::<Counter>(), Some(Counter(3)));
+        assert!(e.get::<Counter>().is_none());
+    }
+
+    #[test]
+    fn distinct_types_do_not_collide() {
+        #[derive(Default)]
+        struct Other(#[allow(dead_code)] u8);
+        let mut e = Env::new();
+        e.insert(Counter(1));
+        e.insert(Other(2));
+        assert!(e.get::<Counter>().is_some());
+        assert!(e.get::<Other>().is_some());
+    }
+}

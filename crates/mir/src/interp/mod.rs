@@ -1,0 +1,980 @@
+//! A multithreaded, cost-accounting interpreter for the mini-IR.
+//!
+//! Threads are simulated with a deterministic discrete-event scheduler: at
+//! every step the runnable thread with the smallest cycle count executes one
+//! quantum. This approximates parallel execution on the modelled 8-core
+//! machine (wall-clock time is the maximum per-thread cycle count), makes
+//! every run exactly reproducible, and still exhibits the interleavings that
+//! matter for the paper — e.g. the §4.1 demonstration that MPX-style
+//! disjoint metadata desynchronizes from its pointer under concurrent
+//! updates, while an SGXBounds tagged pointer cannot (tag and pointer share
+//! one 64-bit word).
+//!
+//! Intrinsics are the boundary to the host runtime (allocator, libc
+//! wrappers, protection-scheme runtimes). Scheduling-sensitive intrinsics
+//! (`spawn`, `join`, mutexes, `exit`) are built into the VM; everything else
+//! is a registered handler operating on [`Machine`] + [`Env`].
+
+pub mod env;
+pub mod trap;
+
+pub use env::Env;
+pub use trap::{AccessKind, Trap};
+
+use crate::ir::{BinOp, CastKind, CmpOp, FBinOp, FCmpOp, FuncId, Inst, Module, Operand, Reg, Term};
+use sgxs_sim::{Machine, MachineConfig, Stats};
+use std::collections::HashMap;
+
+/// Base address where globals are laid out.
+pub const GLOBALS_BASE: u32 = 0x0001_0000;
+/// Base of the synthetic code-address region used by [`Inst::FuncAddr`].
+pub const CODE_BASE: u64 = 0xF100_0000;
+/// Spacing between synthetic function addresses.
+pub const CODE_STRIDE: u64 = 16;
+/// Default top of the thread-stack region (stacks grow down from here).
+pub const STACK_TOP: u32 = 0xE000_0000;
+
+/// Returns the synthetic code address of a function.
+pub fn code_addr(f: FuncId) -> u64 {
+    CODE_BASE + f.0 as u64 * CODE_STRIDE
+}
+
+/// Maps a code address back to a function index, if it is one.
+pub fn func_of_code_addr(addr: u64, nfuncs: usize) -> Option<FuncId> {
+    if addr < CODE_BASE || !(addr - CODE_BASE).is_multiple_of(CODE_STRIDE) {
+        return None;
+    }
+    let idx = (addr - CODE_BASE) / CODE_STRIDE;
+    (idx < nfuncs as u64).then_some(FuncId(idx as u32))
+}
+
+/// VM configuration.
+#[derive(Clone, Copy)]
+pub struct VmConfig {
+    /// Machine (caches, EPC, cost model).
+    pub machine: MachineConfig,
+    /// Hard cap on total executed instructions.
+    pub max_instructions: u64,
+    /// Instructions per scheduling quantum.
+    pub quantum: u32,
+    /// Per-thread stack size in bytes.
+    pub stack_size: u32,
+    /// Maximum number of threads (including main).
+    pub max_threads: usize,
+}
+
+impl VmConfig {
+    /// Reasonable defaults on top of a machine configuration.
+    pub fn new(machine: MachineConfig) -> Self {
+        VmConfig {
+            machine,
+            max_instructions: 2_000_000_000,
+            quantum: 64,
+            stack_size: 256 << 10,
+            max_threads: 64,
+        }
+    }
+}
+
+/// Context passed to intrinsic handlers.
+pub struct IntrinsicCtx<'a> {
+    /// The machine (memory + caches + counters).
+    pub machine: &'a mut Machine,
+    /// Shared runtime state bag.
+    pub env: &'a mut Env,
+    /// Core of the calling thread.
+    pub core: usize,
+    /// Cycles the handler has charged so far (added to the calling thread).
+    pub cycles: u64,
+    /// Captured program output lines.
+    pub output: &'a mut Vec<String>,
+}
+
+impl IntrinsicCtx<'_> {
+    /// Charged load on behalf of the program.
+    pub fn load(&mut self, addr: u64, len: u8) -> Result<u64, Trap> {
+        let (v, c) = self.machine.load(self.core, addr, len).map_err(Trap::Mem)?;
+        self.cycles += c;
+        Ok(v)
+    }
+
+    /// Charged store on behalf of the program.
+    pub fn store(&mut self, addr: u64, len: u8, val: u64) -> Result<(), Trap> {
+        let c = self
+            .machine
+            .store(self.core, addr, len, val)
+            .map_err(Trap::Mem)?;
+        self.cycles += c;
+        Ok(())
+    }
+
+    /// Charges a bulk transfer (one cache access per line).
+    pub fn charge_bulk(&mut self, addr: u64, len: u32, is_store: bool) -> Result<(), Trap> {
+        let c = self
+            .machine
+            .charge_bulk(self.core, addr, len, is_store)
+            .map_err(Trap::Mem)?;
+        self.cycles += c;
+        Ok(())
+    }
+
+    /// Charges flat cycles (ALU work inside the runtime).
+    pub fn charge(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+}
+
+/// Handler signature for registered intrinsics.
+pub type IntrinsicFn = Box<dyn FnMut(&mut IntrinsicCtx<'_>, &[u64]) -> Result<Option<u64>, Trap>>;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Builtin {
+    Spawn,
+    Join,
+    ThreadId,
+    NCores,
+    MutexLock,
+    MutexUnlock,
+    Exit,
+    Abort,
+    PrintI64,
+}
+
+#[derive(Clone, Copy)]
+enum Resolved {
+    Builtin(Builtin),
+    Handler(usize),
+    Unknown,
+}
+
+struct Frame {
+    func: usize,
+    block: u32,
+    ip: u32,
+    regs: Box<[u64]>,
+    locals: Box<[u64]>,
+    slots: Box<[u32]>,
+    ret_dst: Option<Reg>,
+    saved_sp: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    BlockedOnMutex(u64),
+    Joining(usize),
+    Done,
+}
+
+struct Thread {
+    frames: Vec<Frame>,
+    cycles: u64,
+    state: ThreadState,
+    core: usize,
+    sp: u32,
+    stack_limit: u32,
+    retval: u64,
+}
+
+struct MutexState {
+    owner: Option<usize>,
+    pending_grant: bool,
+    waiters: std::collections::VecDeque<usize>,
+}
+
+/// Result of running a module to completion (or failure).
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Entry function's return value, or the trap that stopped the program.
+    pub result: Result<u64, Trap>,
+    /// Simulated wall-clock cycles (max over threads).
+    pub wall_cycles: u64,
+    /// Hardware counters.
+    pub stats: Stats,
+    /// Peak reserved virtual memory in bytes (the paper's memory metric).
+    pub peak_reserved: u64,
+    /// Peak committed (touched) memory in bytes.
+    pub peak_committed: u64,
+    /// Captured output lines.
+    pub output: Vec<String>,
+}
+
+impl RunOutcome {
+    /// Unwraps a successful exit code.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the trap message if the program trapped.
+    pub fn expect_ok(&self) -> u64 {
+        match &self.result {
+            Ok(v) => *v,
+            Err(t) => panic!("program trapped: {t}"),
+        }
+    }
+}
+
+/// The virtual machine.
+pub struct Vm<'m> {
+    /// The module being executed.
+    pub module: &'m Module,
+    /// The machine model.
+    pub machine: Machine,
+    /// Shared runtime state.
+    pub env: Env,
+    /// Captured program output.
+    pub output: Vec<String>,
+    cfg: VmConfig,
+    handler_names: Vec<String>,
+    handler_fns: Vec<Option<IntrinsicFn>>,
+    resolved: Vec<Resolved>,
+    globals_addr: Vec<u32>,
+    heap_base: u32,
+    threads: Vec<Thread>,
+    mutexes: HashMap<u64, MutexState>,
+    exited: Option<u64>,
+}
+
+impl<'m> Vm<'m> {
+    /// Creates a VM for `module`, laying out its globals in memory.
+    pub fn new(module: &'m Module, cfg: VmConfig) -> Self {
+        let mut machine = Machine::new(cfg.machine);
+        let mut addr = GLOBALS_BASE;
+        let mut globals_addr = Vec::with_capacity(module.globals.len());
+        for g in &module.globals {
+            let align = g.align.max(1);
+            addr = (addr + align - 1) & !(align - 1);
+            globals_addr.push(addr);
+            if !g.init.is_empty() {
+                machine.mem.write_bytes(addr, &g.init);
+            }
+            addr = addr
+                .checked_add(g.padded_size.max(1))
+                .expect("globals exceed address space");
+        }
+        let heap_base = (addr + 4095) & !4095;
+        // Account globals as reserved program memory.
+        machine.mem.reserve((heap_base - GLOBALS_BASE) as u64);
+        Vm {
+            module,
+            machine,
+            env: Env::new(),
+            output: Vec::new(),
+            cfg,
+            handler_names: Vec::new(),
+            handler_fns: Vec::new(),
+            resolved: Vec::new(),
+            globals_addr,
+            heap_base,
+            threads: Vec::new(),
+            mutexes: HashMap::new(),
+            exited: None,
+        }
+    }
+
+    /// First heap address (just past the globals), page-aligned.
+    pub fn heap_base(&self) -> u32 {
+        self.heap_base
+    }
+
+    /// Runtime address of a global.
+    pub fn global_addr(&self, g: crate::ir::GlobalId) -> u32 {
+        self.globals_addr[g.0 as usize]
+    }
+
+    /// Registers (or replaces) an intrinsic handler by name.
+    pub fn register_intrinsic(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut IntrinsicCtx<'_>, &[u64]) -> Result<Option<u64>, Trap> + 'static,
+    ) {
+        if let Some(i) = self.handler_names.iter().position(|n| n == name) {
+            self.handler_fns[i] = Some(Box::new(f));
+        } else {
+            self.handler_names.push(name.to_owned());
+            self.handler_fns.push(Some(Box::new(f)));
+        }
+    }
+
+    fn resolve_intrinsics(&mut self) {
+        self.resolved = self
+            .module
+            .intrinsics
+            .iter()
+            .map(|name| match name.as_str() {
+                "spawn" => Resolved::Builtin(Builtin::Spawn),
+                "join" => Resolved::Builtin(Builtin::Join),
+                "thread_id" => Resolved::Builtin(Builtin::ThreadId),
+                "ncores" => Resolved::Builtin(Builtin::NCores),
+                "mutex_lock" => Resolved::Builtin(Builtin::MutexLock),
+                "mutex_unlock" => Resolved::Builtin(Builtin::MutexUnlock),
+                "exit" => Resolved::Builtin(Builtin::Exit),
+                "abort" => Resolved::Builtin(Builtin::Abort),
+                "print_i64" => Resolved::Builtin(Builtin::PrintI64),
+                other => match self.handler_names.iter().position(|n| n == other) {
+                    Some(i) => Resolved::Handler(i),
+                    None => Resolved::Unknown,
+                },
+            })
+            .collect();
+    }
+
+    fn make_frame(
+        &mut self,
+        tid: usize,
+        func: usize,
+        args: &[u64],
+        ret_dst: Option<Reg>,
+    ) -> Result<Frame, Trap> {
+        let f = &self.module.funcs[func];
+        debug_assert_eq!(f.params.len(), args.len(), "arity checked by verifier");
+        let mut regs = vec![0u64; f.reg_tys.len()].into_boxed_slice();
+        regs[..args.len()].copy_from_slice(args);
+        let locals = vec![0u64; f.locals.len()].into_boxed_slice();
+        let t = &mut self.threads[tid];
+        let saved_sp = t.sp;
+        let mut sp = t.sp;
+        let mut slots = Vec::with_capacity(f.slots.len());
+        for s in &f.slots {
+            let size = s.padded_size.max(1);
+            sp = sp.checked_sub(size).ok_or(Trap::StackOverflow)?;
+            sp &= !(s.align.max(1) - 1);
+            if sp < t.stack_limit {
+                return Err(Trap::StackOverflow);
+            }
+            slots.push(sp);
+        }
+        t.sp = sp;
+        if t.frames.len() >= 4096 {
+            return Err(Trap::StackOverflow);
+        }
+        Ok(Frame {
+            func,
+            block: 0,
+            ip: 0,
+            regs,
+            locals,
+            slots: slots.into_boxed_slice(),
+            ret_dst,
+            saved_sp,
+        })
+    }
+
+    fn spawn_thread(&mut self, func: usize, args: &[u64], cycles: u64) -> Result<usize, Trap> {
+        if self.threads.len() >= self.cfg.max_threads {
+            return Err(Trap::ThreadError("too many threads".into()));
+        }
+        let tid = self.threads.len();
+        let top = STACK_TOP - (tid as u32) * self.cfg.stack_size;
+        let limit = top - self.cfg.stack_size + 4096;
+        self.machine.mem.reserve(self.cfg.stack_size as u64);
+        self.threads.push(Thread {
+            frames: Vec::new(),
+            cycles,
+            state: ThreadState::Runnable,
+            core: tid % self.cfg.machine.cores,
+            sp: top,
+            stack_limit: limit,
+            retval: 0,
+        });
+        let frame = self.make_frame(tid, func, args, None)?;
+        self.threads[tid].frames.push(frame);
+        Ok(tid)
+    }
+
+    /// Runs `entry(args...)` to completion.
+    pub fn run(&mut self, entry: &str, args: &[u64]) -> RunOutcome {
+        let result = self.run_inner(entry, args);
+        let wall = self.threads.iter().map(|t| t.cycles).max().unwrap_or(0);
+        RunOutcome {
+            result,
+            wall_cycles: wall,
+            stats: self.machine.stats,
+            peak_reserved: self.machine.mem.peak_reserved(),
+            peak_committed: self.machine.mem.peak_committed(),
+            output: std::mem::take(&mut self.output),
+        }
+    }
+
+    fn run_inner(&mut self, entry: &str, args: &[u64]) -> Result<u64, Trap> {
+        let Some(fid) = self.module.func_by_name(entry) else {
+            return Err(Trap::NoEntry(entry.to_owned()));
+        };
+        self.resolve_intrinsics();
+        self.threads.clear();
+        self.mutexes.clear();
+        self.exited = None;
+        self.spawn_thread(fid.0 as usize, args, 0)?;
+        loop {
+            // Pick the runnable thread with the smallest cycle count.
+            let mut best: Option<usize> = None;
+            for (i, t) in self.threads.iter().enumerate() {
+                if t.state == ThreadState::Runnable
+                    && best.is_none_or(|b| t.cycles < self.threads[b].cycles)
+                {
+                    best = Some(i);
+                }
+            }
+            let Some(tid) = best else {
+                if self.threads.iter().all(|t| t.state == ThreadState::Done) {
+                    return Ok(self.threads[0].retval);
+                }
+                return Err(Trap::Deadlock);
+            };
+            self.run_quantum(tid)?;
+            if let Some(code) = self.exited {
+                return Ok(code);
+            }
+            if self.threads[0].state == ThreadState::Done {
+                return Ok(self.threads[0].retval);
+            }
+            if self.machine.stats.instructions > self.cfg.max_instructions {
+                return Err(Trap::InstructionLimit);
+            }
+        }
+    }
+
+    fn run_quantum(&mut self, tid: usize) -> Result<(), Trap> {
+        let module = self.module;
+        for _ in 0..self.cfg.quantum {
+            if self.threads[tid].state != ThreadState::Runnable {
+                return Ok(());
+            }
+            let frame = self.threads[tid]
+                .frames
+                .last()
+                .expect("runnable thread has a frame");
+            let func = &module.funcs[frame.func];
+            let block = &func.blocks[frame.block as usize];
+            let ip = frame.ip as usize;
+            self.machine.stats.instructions += 1;
+            if ip < block.insts.len() {
+                // SAFETY-free borrow dance: instructions are read from the
+                // immutable module reference, never from self.
+                let inst = &block.insts[ip];
+                self.exec_inst(tid, inst)?;
+            } else {
+                let term = &block.term;
+                self.exec_term(tid, term)?;
+            }
+            if self.exited.is_some() {
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn val(frame: &Frame, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => frame.regs[r.0 as usize],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn exec_inst(&mut self, tid: usize, inst: &Inst) -> Result<(), Trap> {
+        let cost = self.cfg.machine.cost;
+        // Most instructions only need the top frame; split the borrow.
+        macro_rules! frame {
+            () => {
+                self.threads[tid].frames.last_mut().expect("has frame")
+            };
+        }
+        match inst {
+            Inst::Bin { op, dst, a, b } => {
+                let f = frame!();
+                let x = Self::val(f, *a);
+                let y = Self::val(f, *b);
+                let v = match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::Mul => x.wrapping_mul(y),
+                    BinOp::UDiv => {
+                        if y == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        x / y
+                    }
+                    BinOp::SDiv => {
+                        if y == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        (x as i64).wrapping_div(y as i64) as u64
+                    }
+                    BinOp::URem => {
+                        if y == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        x % y
+                    }
+                    BinOp::SRem => {
+                        if y == 0 {
+                            return Err(Trap::DivByZero);
+                        }
+                        (x as i64).wrapping_rem(y as i64) as u64
+                    }
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Shl => x.wrapping_shl(y as u32),
+                    BinOp::LShr => x.wrapping_shr(y as u32),
+                    BinOp::AShr => ((x as i64).wrapping_shr(y as u32)) as u64,
+                };
+                f.regs[dst.0 as usize] = v;
+                self.threads[tid].cycles += match op {
+                    BinOp::Mul => cost.mul,
+                    BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem => cost.div,
+                    _ => cost.alu,
+                };
+            }
+            Inst::Cmp { op, dst, a, b } => {
+                let f = frame!();
+                let x = Self::val(f, *a);
+                let y = Self::val(f, *b);
+                let v = match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::ULt => x < y,
+                    CmpOp::ULe => x <= y,
+                    CmpOp::UGt => x > y,
+                    CmpOp::UGe => x >= y,
+                    CmpOp::SLt => (x as i64) < y as i64,
+                    CmpOp::SLe => (x as i64) <= y as i64,
+                    CmpOp::SGt => (x as i64) > y as i64,
+                    CmpOp::SGe => (x as i64) >= y as i64,
+                };
+                f.regs[dst.0 as usize] = v as u64;
+                self.threads[tid].cycles += cost.alu;
+            }
+            Inst::FBin { op, dst, a, b } => {
+                let f = frame!();
+                let x = f64::from_bits(Self::val(f, *a));
+                let y = f64::from_bits(Self::val(f, *b));
+                let v = match op {
+                    FBinOp::Add => x + y,
+                    FBinOp::Sub => x - y,
+                    FBinOp::Mul => x * y,
+                    FBinOp::Div => x / y,
+                    FBinOp::Min => x.min(y),
+                    FBinOp::Max => x.max(y),
+                };
+                f.regs[dst.0 as usize] = v.to_bits();
+                self.threads[tid].cycles += match op {
+                    FBinOp::Mul => cost.fmul,
+                    FBinOp::Div => cost.fdiv,
+                    _ => cost.fsimple,
+                };
+            }
+            Inst::FCmp { op, dst, a, b } => {
+                let f = frame!();
+                let x = f64::from_bits(Self::val(f, *a));
+                let y = f64::from_bits(Self::val(f, *b));
+                let v = match op {
+                    FCmpOp::Eq => x == y,
+                    FCmpOp::Ne => x != y,
+                    FCmpOp::Lt => x < y,
+                    FCmpOp::Le => x <= y,
+                    FCmpOp::Gt => x > y,
+                    FCmpOp::Ge => x >= y,
+                };
+                f.regs[dst.0 as usize] = v as u64;
+                self.threads[tid].cycles += cost.fsimple;
+            }
+            Inst::Cast { kind, dst, src } => {
+                let f = frame!();
+                let x = Self::val(f, *src);
+                let v = match kind {
+                    CastKind::Sext(8) => (x as i8) as i64 as u64,
+                    CastKind::Sext(16) => (x as i16) as i64 as u64,
+                    CastKind::Sext(32) => (x as i32) as i64 as u64,
+                    CastKind::Sext(_) => x,
+                    CastKind::Trunc(n) => {
+                        if *n >= 64 {
+                            x
+                        } else {
+                            x & ((1u64 << n) - 1)
+                        }
+                    }
+                    CastKind::SiToF => ((x as i64) as f64).to_bits(),
+                    CastKind::UiToF => (x as f64).to_bits(),
+                    CastKind::FToSi => (f64::from_bits(x) as i64) as u64,
+                    CastKind::Bitcast => x,
+                    CastKind::FAbs => f64::from_bits(x).abs().to_bits(),
+                    CastKind::FSqrt => f64::from_bits(x).sqrt().to_bits(),
+                };
+                f.regs[dst.0 as usize] = v;
+                self.threads[tid].cycles += match kind {
+                    CastKind::FSqrt => cost.fdiv,
+                    CastKind::SiToF | CastKind::UiToF | CastKind::FToSi | CastKind::FAbs => {
+                        cost.fsimple
+                    }
+                    _ => cost.alu,
+                };
+            }
+            Inst::Select {
+                dst,
+                cond,
+                t,
+                f: fo,
+            } => {
+                let f = frame!();
+                let c = Self::val(f, *cond);
+                let v = if c != 0 {
+                    Self::val(f, *t)
+                } else {
+                    Self::val(f, *fo)
+                };
+                f.regs[dst.0 as usize] = v;
+                self.threads[tid].cycles += cost.alu;
+            }
+            Inst::Gep {
+                dst,
+                base,
+                index,
+                scale,
+                disp,
+                ..
+            } => {
+                let f = frame!();
+                let b = Self::val(f, *base);
+                let i = Self::val(f, *index);
+                let v = b
+                    .wrapping_add(i.wrapping_mul(*scale as u64))
+                    .wrapping_add(*disp as u64);
+                f.regs[dst.0 as usize] = v;
+                self.threads[tid].cycles += cost.gep;
+            }
+            Inst::Load { dst, addr, ty, .. } => {
+                let f = frame!();
+                let a = Self::val(f, *addr);
+                let core = self.threads[tid].core;
+                let (v, c) = self.machine.load(core, a, ty.width()).map_err(Trap::Mem)?;
+                let f = frame!();
+                f.regs[dst.0 as usize] = v;
+                self.threads[tid].cycles += c;
+            }
+            Inst::Store { addr, val, ty, .. } => {
+                let f = frame!();
+                let a = Self::val(f, *addr);
+                let v = Self::val(f, *val);
+                let core = self.threads[tid].core;
+                let c = self
+                    .machine
+                    .store(core, a, ty.width(), v)
+                    .map_err(Trap::Mem)?;
+                self.threads[tid].cycles += c;
+            }
+            Inst::AtomicRmw {
+                op,
+                dst,
+                addr,
+                val,
+                ty,
+                ..
+            } => {
+                let f = frame!();
+                let a = Self::val(f, *addr);
+                let v = Self::val(f, *val);
+                let core = self.threads[tid].core;
+                let (old, c1) = self.machine.load(core, a, ty.width()).map_err(Trap::Mem)?;
+                let new = match op {
+                    BinOp::Add => old.wrapping_add(v),
+                    BinOp::Sub => old.wrapping_sub(v),
+                    BinOp::And => old & v,
+                    BinOp::Or => old | v,
+                    BinOp::Xor => old ^ v,
+                    _ => v, // Exchange semantics for other ops.
+                };
+                let c2 = self
+                    .machine
+                    .store(core, a, ty.width(), new)
+                    .map_err(Trap::Mem)?;
+                let f = frame!();
+                f.regs[dst.0 as usize] = old;
+                self.threads[tid].cycles += c1 + c2 + cost.atomic_extra;
+            }
+            Inst::AtomicCas {
+                dst,
+                addr,
+                expected,
+                new,
+                ty,
+                ..
+            } => {
+                let f = frame!();
+                let a = Self::val(f, *addr);
+                let exp = Self::val(f, *expected);
+                let newv = Self::val(f, *new);
+                let core = self.threads[tid].core;
+                let (old, c1) = self.machine.load(core, a, ty.width()).map_err(Trap::Mem)?;
+                let mut c2 = 0;
+                if old == exp {
+                    c2 = self
+                        .machine
+                        .store(core, a, ty.width(), newv)
+                        .map_err(Trap::Mem)?;
+                }
+                let f = frame!();
+                f.regs[dst.0 as usize] = old;
+                self.threads[tid].cycles += c1 + c2 + cost.atomic_extra;
+            }
+            Inst::ReadLocal { dst, local } => {
+                let f = frame!();
+                f.regs[dst.0 as usize] = f.locals[local.0 as usize];
+            }
+            Inst::WriteLocal { local, val } => {
+                let f = frame!();
+                let v = Self::val(f, *val);
+                f.locals[local.0 as usize] = v;
+            }
+            Inst::SlotAddr { dst, slot } => {
+                let f = frame!();
+                f.regs[dst.0 as usize] = f.slots[slot.0 as usize] as u64;
+                self.threads[tid].cycles += cost.alu;
+            }
+            Inst::GlobalAddr { dst, global } => {
+                let a = self.globals_addr[global.0 as usize] as u64;
+                let f = frame!();
+                f.regs[dst.0 as usize] = a;
+                self.threads[tid].cycles += cost.alu;
+            }
+            Inst::FuncAddr { dst, func } => {
+                let f = frame!();
+                f.regs[dst.0 as usize] = code_addr(*func);
+                self.threads[tid].cycles += cost.alu;
+            }
+            Inst::Call { dst, func, args } => {
+                let f = frame!();
+                let argv: Vec<u64> = args.iter().map(|a| Self::val(f, *a)).collect();
+                f.ip += 1; // Return past the call.
+                self.threads[tid].cycles += cost.call;
+                let new = self.make_frame(tid, func.0 as usize, &argv, *dst)?;
+                self.threads[tid].frames.push(new);
+                return Ok(()); // ip already advanced.
+            }
+            Inst::CallIndirect { dst, target, args } => {
+                let f = frame!();
+                let t = Self::val(f, *target);
+                let Some(fid) = func_of_code_addr(t, self.module.funcs.len()) else {
+                    return Err(Trap::BadIndirectCall { target: t });
+                };
+                let callee = &self.module.funcs[fid.0 as usize];
+                if callee.params.len() != args.len() {
+                    return Err(Trap::BadIndirectCall { target: t });
+                }
+                let f = frame!();
+                let argv: Vec<u64> = args.iter().map(|a| Self::val(f, *a)).collect();
+                f.ip += 1;
+                self.threads[tid].cycles += cost.call + cost.branch;
+                let new = self.make_frame(tid, fid.0 as usize, &argv, *dst)?;
+                self.threads[tid].frames.push(new);
+                return Ok(());
+            }
+            Inst::CallIntrinsic {
+                dst,
+                intrinsic,
+                args,
+            } => {
+                let f = frame!();
+                let argv: Vec<u64> = args.iter().map(|a| Self::val(f, *a)).collect();
+                let res = self.exec_intrinsic(tid, intrinsic.0 as usize, &argv)?;
+                // The intrinsic may have blocked the thread (mutex/join); in
+                // that case do not advance ip — retry on wake.
+                if self.threads[tid].state != ThreadState::Runnable {
+                    return Ok(());
+                }
+                let f = frame!();
+                if let (Some(d), Some(v)) = (dst, res) {
+                    f.regs[d.0 as usize] = v;
+                }
+                f.ip += 1;
+                return Ok(());
+            }
+        }
+        frame!().ip += 1;
+        Ok(())
+    }
+
+    fn exec_intrinsic(
+        &mut self,
+        tid: usize,
+        intrinsic: usize,
+        args: &[u64],
+    ) -> Result<Option<u64>, Trap> {
+        let cost = self.cfg.machine.cost;
+        match self.resolved[intrinsic] {
+            Resolved::Builtin(b) => match b {
+                Builtin::Spawn => {
+                    let target = *args.first().ok_or_else(|| {
+                        Trap::ThreadError("spawn needs a function address".into())
+                    })?;
+                    let Some(fid) = func_of_code_addr(target, self.module.funcs.len()) else {
+                        return Err(Trap::BadIndirectCall { target });
+                    };
+                    let fargs = &args[1..];
+                    if self.module.funcs[fid.0 as usize].params.len() != fargs.len() {
+                        return Err(Trap::ThreadError(format!(
+                            "spawn of {} with wrong arity",
+                            self.module.funcs[fid.0 as usize].name
+                        )));
+                    }
+                    let cycles = self.threads[tid].cycles + 600; // Thread creation cost.
+                    let new = self.spawn_thread(fid.0 as usize, fargs, cycles)?;
+                    self.threads[tid].cycles += 600;
+                    Ok(Some(new as u64))
+                }
+                Builtin::Join => {
+                    let target = *args
+                        .first()
+                        .ok_or_else(|| Trap::ThreadError("join needs a thread id".into()))?
+                        as usize;
+                    if target >= self.threads.len() || target == tid {
+                        return Err(Trap::ThreadError(format!("bad join target {target}")));
+                    }
+                    if self.threads[target].state == ThreadState::Done {
+                        let c = self.threads[target].cycles;
+                        let me = &mut self.threads[tid];
+                        me.cycles = me.cycles.max(c);
+                        Ok(Some(self.threads[target].retval))
+                    } else {
+                        self.threads[tid].state = ThreadState::Joining(target);
+                        Ok(None)
+                    }
+                }
+                Builtin::ThreadId => Ok(Some(tid as u64)),
+                Builtin::NCores => Ok(Some(self.cfg.machine.cores as u64)),
+                Builtin::MutexLock => {
+                    let addr = *args
+                        .first()
+                        .ok_or_else(|| Trap::ThreadError("lock needs an address".into()))?;
+                    let m = self.mutexes.entry(addr).or_insert(MutexState {
+                        owner: None,
+                        pending_grant: false,
+                        waiters: Default::default(),
+                    });
+                    match m.owner {
+                        None => {
+                            m.owner = Some(tid);
+                            self.threads[tid].cycles += cost.atomic_extra;
+                            Ok(None)
+                        }
+                        Some(o) if o == tid => {
+                            if m.pending_grant {
+                                m.pending_grant = false;
+                                self.threads[tid].cycles += cost.atomic_extra;
+                                Ok(None)
+                            } else {
+                                Err(Trap::ThreadError("recursive mutex_lock".into()))
+                            }
+                        }
+                        Some(_) => {
+                            m.waiters.push_back(tid);
+                            self.threads[tid].state = ThreadState::BlockedOnMutex(addr);
+                            Ok(None)
+                        }
+                    }
+                }
+                Builtin::MutexUnlock => {
+                    let addr = *args
+                        .first()
+                        .ok_or_else(|| Trap::ThreadError("unlock needs an address".into()))?;
+                    let release_cycles = self.threads[tid].cycles + cost.atomic_extra;
+                    let m = self
+                        .mutexes
+                        .get_mut(&addr)
+                        .filter(|m| m.owner == Some(tid))
+                        .ok_or_else(|| Trap::ThreadError("unlock of unowned mutex".into()))?;
+                    self.threads[tid].cycles = release_cycles;
+                    if let Some(w) = m.waiters.pop_front() {
+                        m.owner = Some(w);
+                        m.pending_grant = true;
+                        let wt = &mut self.threads[w];
+                        wt.state = ThreadState::Runnable;
+                        wt.cycles = wt.cycles.max(release_cycles);
+                    } else {
+                        m.owner = None;
+                    }
+                    Ok(None)
+                }
+                Builtin::Exit => {
+                    self.exited = Some(args.first().copied().unwrap_or(0));
+                    Ok(None)
+                }
+                Builtin::Abort => Err(Trap::Abort("program called abort".into())),
+                Builtin::PrintI64 => {
+                    let v = args.first().copied().unwrap_or(0);
+                    self.output.push((v as i64).to_string());
+                    Ok(None)
+                }
+            },
+            Resolved::Handler(h) => {
+                let mut f = self.handler_fns[h]
+                    .take()
+                    .ok_or_else(|| Trap::ThreadError("re-entrant intrinsic handler".into()))?;
+                let core = self.threads[tid].core;
+                let mut ctx = IntrinsicCtx {
+                    machine: &mut self.machine,
+                    env: &mut self.env,
+                    core,
+                    cycles: cost.call,
+                    output: &mut self.output,
+                };
+                let res = f(&mut ctx, args);
+                let add = ctx.cycles;
+                self.handler_fns[h] = Some(f);
+                self.threads[tid].cycles += add;
+                res
+            }
+            Resolved::Unknown => Err(Trap::UnknownIntrinsic(
+                self.module.intrinsics[intrinsic].clone(),
+            )),
+        }
+    }
+
+    fn exec_term(&mut self, tid: usize, term: &Term) -> Result<(), Trap> {
+        let cost = self.cfg.machine.cost;
+        match term {
+            Term::Jmp(b) => {
+                let f = self.threads[tid].frames.last_mut().expect("has frame");
+                f.block = b.0;
+                f.ip = 0;
+                self.threads[tid].cycles += cost.branch;
+            }
+            Term::Br { cond, t, f: fb } => {
+                let f = self.threads[tid].frames.last_mut().expect("has frame");
+                let c = Self::val(f, *cond);
+                f.block = if c != 0 { t.0 } else { fb.0 };
+                f.ip = 0;
+                self.machine.stats.branches += 1;
+                self.threads[tid].cycles += cost.branch;
+            }
+            Term::Ret(v) => {
+                let f = self.threads[tid].frames.last().expect("has frame");
+                let val = v.map(|o| Self::val(f, o)).unwrap_or(0);
+                let frame = self.threads[tid].frames.pop().expect("has frame");
+                self.threads[tid].sp = frame.saved_sp;
+                self.threads[tid].cycles += cost.call;
+                match self.threads[tid].frames.last_mut() {
+                    Some(caller) => {
+                        if let Some(d) = frame.ret_dst {
+                            caller.regs[d.0 as usize] = val;
+                        }
+                    }
+                    None => {
+                        self.threads[tid].retval = val;
+                        self.threads[tid].state = ThreadState::Done;
+                        let done_cycles = self.threads[tid].cycles;
+                        // Wake joiners.
+                        for i in 0..self.threads.len() {
+                            if self.threads[i].state == ThreadState::Joining(tid) {
+                                self.threads[i].state = ThreadState::Runnable;
+                                self.threads[i].cycles = self.threads[i].cycles.max(done_cycles);
+                            }
+                        }
+                    }
+                }
+            }
+            Term::Unreachable => return Err(Trap::Unreachable),
+        }
+        Ok(())
+    }
+}

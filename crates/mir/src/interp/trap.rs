@@ -1,0 +1,117 @@
+//! Abnormal termination reasons for simulated programs.
+
+use sgxs_sim::MemFault;
+
+/// Why a memory access was performed (for diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read access.
+    Read,
+    /// Write access.
+    Write,
+    /// Atomic read-modify-write.
+    ReadWrite,
+}
+
+/// A fatal condition that stops the whole simulated program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trap {
+    /// Hardware-level memory fault (wild pointer, forbidden page, tag bits
+    /// reaching the memory system).
+    Mem(MemFault),
+    /// A protection scheme detected a memory-safety violation and the
+    /// program runs in fail-stop mode. `scheme` is the detecting scheme's
+    /// name ("sgxbounds", "asan", "mpx").
+    SafetyViolation {
+        /// Detecting scheme.
+        scheme: &'static str,
+        /// Offending (possibly tagged) address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u32,
+        /// Access kind.
+        access: AccessKind,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// The allocator could not satisfy a request within the enclave address
+    /// space (how MPX dies on SQLite/dedup/astar/mcf/xalanc, paper §6).
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes already reserved.
+        reserved: u64,
+    },
+    /// The program called `abort` or an equivalent runtime failure path.
+    Abort(String),
+    /// Integer division by zero.
+    DivByZero,
+    /// Indirect call whose target is not a function address.
+    BadIndirectCall {
+        /// The bogus target value.
+        target: u64,
+    },
+    /// Thread stack exhausted.
+    StackOverflow,
+    /// The configured instruction budget ran out (also how we contain the
+    /// memcached CVE-2011-4971 infinite loop the paper observed under
+    /// boundless memory, §7).
+    InstructionLimit,
+    /// `unreachable` executed.
+    Unreachable,
+    /// All live threads are blocked.
+    Deadlock,
+    /// Intrinsic with no registered handler.
+    UnknownIntrinsic(String),
+    /// Entry function not found.
+    NoEntry(String),
+    /// Thread-related misuse (bad join target, too many threads).
+    ThreadError(String),
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Trap::Mem(m) => write!(f, "{m}"),
+            Trap::SafetyViolation {
+                scheme,
+                addr,
+                size,
+                access,
+                msg,
+            } => write!(
+                f,
+                "[{scheme}] bounds violation: {access:?} of {size} bytes at {addr:#x} ({msg})"
+            ),
+            Trap::OutOfMemory {
+                requested,
+                reserved,
+            } => write!(
+                f,
+                "out of enclave memory: requested {requested} bytes with {reserved} reserved"
+            ),
+            Trap::Abort(m) => write!(f, "abort: {m}"),
+            Trap::DivByZero => write!(f, "division by zero"),
+            Trap::BadIndirectCall { target } => {
+                write!(f, "indirect call to non-function {target:#x}")
+            }
+            Trap::StackOverflow => write!(f, "stack overflow"),
+            Trap::InstructionLimit => write!(f, "instruction budget exhausted"),
+            Trap::Unreachable => write!(f, "unreachable executed"),
+            Trap::Deadlock => write!(f, "deadlock: all threads blocked"),
+            Trap::UnknownIntrinsic(n) => write!(f, "unknown intrinsic '{n}'"),
+            Trap::NoEntry(n) => write!(f, "entry function '{n}' not found"),
+            Trap::ThreadError(m) => write!(f, "thread error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+impl Trap {
+    /// True if this trap is a *detection* by a protection scheme (as opposed
+    /// to a crash, resource failure, or harness limit).
+    pub fn is_detection(&self) -> bool {
+        matches!(self, Trap::SafetyViolation { .. })
+    }
+}

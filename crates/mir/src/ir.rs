@@ -1,0 +1,564 @@
+//! Core IR data structures: modules, functions, blocks, instructions.
+//!
+//! The IR is a deliberately small subset of what LLVM offers, chosen so the
+//! paper's three instrumentation schemes can be expressed as the same kind
+//! of rewrite they perform on LLVM IR:
+//!
+//! - memory is accessed only through [`Inst::Load`]/[`Inst::Store`] (plus
+//!   atomics), the points where bounds checks are inserted;
+//! - pointer arithmetic is the dedicated [`Inst::Gep`] instruction, the
+//!   point where SGXBounds masks the low 32 bits (paper §3.2 "Pointer
+//!   arithmetic");
+//! - object creation sites are explicit: stack slots, globals, and calls to
+//!   allocation intrinsics;
+//! - cross-block values live in *locals*, register-allocated scalars with no
+//!   memory cost, which keeps the IR phi-free and easy to instrument.
+
+use crate::ty::Ty;
+
+/// Index of a function in a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Index of a basic block in a [`Function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Virtual register within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+/// Cross-block mutable scalar slot (register-allocated; no memory traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocalId(pub u32);
+
+/// Stack slot within a function (has a runtime address).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(pub u32);
+
+/// Index of a global in a [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+/// Index into a module's intrinsic name table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IntrinsicId(pub u32);
+
+/// An instruction operand: a register or a 64-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Value of a virtual register.
+    Reg(Reg),
+    /// Immediate (f64 immediates are bit-cast).
+    Imm(u64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+/// Integer binary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (traps on zero).
+    UDiv,
+    /// Signed division (traps on zero).
+    SDiv,
+    /// Unsigned remainder (traps on zero).
+    URem,
+    /// Signed remainder (traps on zero).
+    SRem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical left shift.
+    Shl,
+    /// Logical right shift.
+    LShr,
+    /// Arithmetic right shift.
+    AShr,
+}
+
+/// Integer comparison predicates (result is 0 or 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    ULt,
+    /// Unsigned less-or-equal.
+    ULe,
+    /// Unsigned greater-than.
+    UGt,
+    /// Unsigned greater-or-equal.
+    UGe,
+    /// Signed less-than.
+    SLt,
+    /// Signed less-or-equal.
+    SLe,
+    /// Signed greater-than.
+    SGt,
+    /// Signed greater-or-equal.
+    SGe,
+}
+
+/// Floating-point binary operations (operands are bit-cast f64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FBinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// IEEE minimum.
+    Min,
+    /// IEEE maximum.
+    Max,
+}
+
+/// Floating-point comparison predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FCmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+}
+
+/// Value conversions. Variant payloads are bit widths.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CastKind {
+    /// Sign-extend from the given source width in bits (8, 16, or 32).
+    Sext(u8),
+    /// Zero out all but the low `n` bits.
+    Trunc(u8),
+    /// Signed integer to f64.
+    SiToF,
+    /// Unsigned integer to f64.
+    UiToF,
+    /// f64 to signed integer (round toward zero, saturating).
+    FToSi,
+    /// Raw bit copy (used for ptr <-> int casts; SGXBounds survives these by
+    /// design because the tag travels with the bits, paper §3.2).
+    Bitcast,
+    /// f64 absolute value.
+    FAbs,
+    /// f64 square root.
+    FSqrt,
+}
+
+/// Flags attached to memory accesses, consumed by instrumentation passes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AccessAttrs {
+    /// Proven in-bounds by the safe-access analysis (paper §4.4): the
+    /// instrumentation pass elides the entire check, keeping only the tag
+    /// strip.
+    pub safe: bool,
+    /// The lower-bound check (and thus the LB memory load) is unnecessary:
+    /// the pointer provably moves monotonically upward from the object base
+    /// (paper §4.4 "Hoisting checks out of loops").
+    pub no_lower: bool,
+    /// Set by instrumentation passes on accesses they have already rewritten
+    /// (including check-sequence accesses they emit), so a rewriting
+    /// worklist never instruments its own output.
+    pub lowered: bool,
+}
+
+/// One IR instruction.
+///
+/// Field conventions throughout: `dst` is the destination register, `a`/`b`
+/// are operands, `addr` is the accessed address, `ty` the accessed type, and
+/// `attrs` the instrumentation flags.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Inst {
+    /// `dst = a <op> b` on 64-bit integers.
+    Bin {
+        op: BinOp,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// `dst = (a <pred> b) ? 1 : 0`.
+    Cmp {
+        op: CmpOp,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// `dst = a <op> b` on bit-cast f64.
+    FBin {
+        op: FBinOp,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// `dst = (a <pred> b) ? 1 : 0` on bit-cast f64.
+    FCmp {
+        op: FCmpOp,
+        dst: Reg,
+        a: Operand,
+        b: Operand,
+    },
+    /// Value conversion.
+    Cast {
+        kind: CastKind,
+        dst: Reg,
+        src: Operand,
+    },
+    /// `dst = cond != 0 ? t : f`.
+    Select {
+        dst: Reg,
+        cond: Operand,
+        t: Operand,
+        f: Operand,
+    },
+    /// Pointer arithmetic: `dst = base + index * scale + disp`.
+    ///
+    /// `inbounds` asserts the builder knows the result stays within the
+    /// referent object (e.g. struct-field offsets), enabling safe-access
+    /// elision.
+    Gep {
+        dst: Reg,
+        base: Operand,
+        index: Operand,
+        scale: u32,
+        disp: i64,
+        inbounds: bool,
+    },
+    /// `dst = *(ty*)addr` (zero-extended).
+    Load {
+        dst: Reg,
+        addr: Operand,
+        ty: Ty,
+        attrs: AccessAttrs,
+    },
+    /// `*(ty*)addr = val`.
+    Store {
+        addr: Operand,
+        val: Operand,
+        ty: Ty,
+        attrs: AccessAttrs,
+    },
+    /// Atomic read-modify-write; `dst` receives the old value.
+    AtomicRmw {
+        op: BinOp,
+        dst: Reg,
+        addr: Operand,
+        val: Operand,
+        ty: Ty,
+        attrs: AccessAttrs,
+    },
+    /// Atomic compare-and-swap; `dst` receives the old value.
+    AtomicCas {
+        dst: Reg,
+        addr: Operand,
+        expected: Operand,
+        new: Operand,
+        ty: Ty,
+        attrs: AccessAttrs,
+    },
+    /// `dst = local`.
+    ReadLocal { dst: Reg, local: LocalId },
+    /// `local = val`.
+    WriteLocal { local: LocalId, val: Operand },
+    /// `dst = &stack_slot`.
+    SlotAddr { dst: Reg, slot: SlotId },
+    /// `dst = &global`.
+    GlobalAddr { dst: Reg, global: GlobalId },
+    /// `dst = &function` (a synthetic code address usable by
+    /// [`Inst::CallIndirect`]).
+    FuncAddr { dst: Reg, func: FuncId },
+    /// Direct call.
+    Call {
+        dst: Option<Reg>,
+        func: FuncId,
+        args: Vec<Operand>,
+    },
+    /// Indirect call through a code address (how RIPE-style control-flow
+    /// hijacks are expressed).
+    CallIndirect {
+        dst: Option<Reg>,
+        target: Operand,
+        args: Vec<Operand>,
+    },
+    /// Call into the host runtime (allocator, libc wrappers, scheme
+    /// runtimes).
+    CallIntrinsic {
+        dst: Option<Reg>,
+        intrinsic: IntrinsicId,
+        args: Vec<Operand>,
+    },
+}
+
+/// Block terminator.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Conditional branch on `cond != 0`.
+    Br {
+        cond: Operand,
+        t: BlockId,
+        f: BlockId,
+    },
+    /// Function return.
+    Ret(Option<Operand>),
+    /// Must never execute (traps if reached).
+    Unreachable,
+}
+
+/// A basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// The terminator.
+    pub term: Term,
+}
+
+/// A function-local stack allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackSlot {
+    /// Debug name.
+    pub name: String,
+    /// Size the program asked for.
+    pub size: u32,
+    /// Alignment (power of two).
+    pub align: u32,
+    /// Size actually carved from the stack frame; instrumentation passes
+    /// grow this to append metadata (SGXBounds LB, ASan redzones).
+    pub padded_size: u32,
+}
+
+/// A function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Parameter types; parameters occupy registers `0..params.len()`.
+    pub params: Vec<Ty>,
+    /// Return type, if any.
+    pub ret: Option<Ty>,
+    /// Type of every virtual register (indexed by [`Reg`]).
+    pub reg_tys: Vec<Ty>,
+    /// Types of cross-block locals.
+    pub locals: Vec<Ty>,
+    /// Stack slots.
+    pub slots: Vec<StackSlot>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Allocates a fresh register of type `ty`.
+    pub fn new_reg(&mut self, ty: Ty) -> Reg {
+        let r = Reg(self.reg_tys.len() as u32);
+        self.reg_tys.push(ty);
+        r
+    }
+
+    /// Allocates a fresh local of type `ty`.
+    pub fn new_local(&mut self, ty: Ty) -> LocalId {
+        let l = LocalId(self.locals.len() as u32);
+        self.locals.push(ty);
+        l
+    }
+
+    /// Total IR instructions (excluding terminators).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Symbol name.
+    pub name: String,
+    /// Size the program declared.
+    pub size: u32,
+    /// Alignment (power of two).
+    pub align: u32,
+    /// Initializer; shorter than `size` means zero-fill the tail.
+    pub init: Vec<u8>,
+    /// Size actually laid out; instrumentation passes grow this to append
+    /// metadata.
+    pub padded_size: u32,
+}
+
+/// A compilation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name (used in diagnostics and reports).
+    pub name: String,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Functions; `main` must exist to run the module.
+    pub funcs: Vec<Function>,
+    /// Intrinsic name table referenced by [`IntrinsicId`].
+    pub intrinsics: Vec<String>,
+    /// Name of the hardening scheme applied, if any. Passes set this and
+    /// refuse to instrument a module twice.
+    pub hardening: Option<&'static str>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            globals: Vec::new(),
+            funcs: Vec::new(),
+            intrinsics: Vec::new(),
+            hardening: None,
+        }
+    }
+
+    /// Interns an intrinsic name, returning its id.
+    pub fn intrinsic(&mut self, name: &str) -> IntrinsicId {
+        if let Some(i) = self.intrinsics.iter().position(|n| n == name) {
+            return IntrinsicId(i as u32);
+        }
+        self.intrinsics.push(name.to_owned());
+        IntrinsicId((self.intrinsics.len() - 1) as u32)
+    }
+
+    /// Finds a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Total IR instructions across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(Function::inst_count).sum()
+    }
+}
+
+/// Iterates over the operands of an instruction (used by analyses).
+pub fn operands(inst: &Inst) -> Vec<Operand> {
+    match inst {
+        Inst::Bin { a, b, .. }
+        | Inst::Cmp { a, b, .. }
+        | Inst::FBin { a, b, .. }
+        | Inst::FCmp { a, b, .. } => vec![*a, *b],
+        Inst::Cast { src, .. } => vec![*src],
+        Inst::Select { cond, t, f, .. } => vec![*cond, *t, *f],
+        Inst::Gep { base, index, .. } => vec![*base, *index],
+        Inst::Load { addr, .. } => vec![*addr],
+        Inst::Store { addr, val, .. } => vec![*addr, *val],
+        Inst::AtomicRmw { addr, val, .. } => vec![*addr, *val],
+        Inst::AtomicCas {
+            addr,
+            expected,
+            new,
+            ..
+        } => vec![*addr, *expected, *new],
+        Inst::ReadLocal { .. }
+        | Inst::SlotAddr { .. }
+        | Inst::GlobalAddr { .. }
+        | Inst::FuncAddr { .. } => vec![],
+        Inst::WriteLocal { val, .. } => vec![*val],
+        Inst::Call { args, .. } | Inst::CallIntrinsic { args, .. } => args.clone(),
+        Inst::CallIndirect { target, args, .. } => {
+            let mut v = vec![*target];
+            v.extend_from_slice(args);
+            v
+        }
+    }
+}
+
+/// Returns the destination register of an instruction, if any.
+pub fn def_of(inst: &Inst) -> Option<Reg> {
+    match inst {
+        Inst::Bin { dst, .. }
+        | Inst::Cmp { dst, .. }
+        | Inst::FBin { dst, .. }
+        | Inst::FCmp { dst, .. }
+        | Inst::Cast { dst, .. }
+        | Inst::Select { dst, .. }
+        | Inst::Gep { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::AtomicRmw { dst, .. }
+        | Inst::AtomicCas { dst, .. }
+        | Inst::ReadLocal { dst, .. }
+        | Inst::SlotAddr { dst, .. }
+        | Inst::GlobalAddr { dst, .. }
+        | Inst::FuncAddr { dst, .. } => Some(*dst),
+        Inst::Call { dst, .. }
+        | Inst::CallIndirect { dst, .. }
+        | Inst::CallIntrinsic { dst, .. } => *dst,
+        Inst::Store { .. } | Inst::WriteLocal { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrinsic_interning_dedupes() {
+        let mut m = Module::new("t");
+        let a = m.intrinsic("malloc");
+        let b = m.intrinsic("free");
+        let c = m.intrinsic("malloc");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(m.intrinsics.len(), 2);
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let r: Operand = Reg(3).into();
+        let i: Operand = 42u64.into();
+        assert_eq!(r, Operand::Reg(Reg(3)));
+        assert_eq!(i, Operand::Imm(42));
+    }
+
+    #[test]
+    fn def_and_operands_cover_store() {
+        let s = Inst::Store {
+            addr: Reg(0).into(),
+            val: Operand::Imm(1),
+            ty: Ty::I64,
+            attrs: AccessAttrs::default(),
+        };
+        assert_eq!(def_of(&s), None);
+        assert_eq!(operands(&s).len(), 2);
+    }
+}

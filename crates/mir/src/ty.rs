@@ -1,0 +1,72 @@
+//! Value types of the mini-IR.
+
+/// Scalar value types.
+///
+/// `Ptr` is distinguished from `I64` so instrumentation passes can identify
+/// pointer creation and pointer loads/stores — Intel MPX in particular must
+/// spill/fill bounds (`bndstx`/`bndldx`) exactly when *pointers* cross
+/// memory, which is what makes pointer-intensive programs pathological for
+/// it (paper §2.2, §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 8-bit integer (zero-extended in registers).
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// IEEE-754 double, stored bit-cast in a 64-bit register.
+    F64,
+    /// Pointer. 64 bits in memory; under SGXBounds the high 32 bits carry
+    /// the upper-bound tag (paper Fig. 5).
+    Ptr,
+}
+
+impl Ty {
+    /// Width of the type in bytes as stored in memory.
+    pub fn width(self) -> u8 {
+        match self {
+            Ty::I8 => 1,
+            Ty::I16 => 2,
+            Ty::I32 => 4,
+            Ty::I64 | Ty::F64 | Ty::Ptr => 8,
+        }
+    }
+
+    /// Returns `true` for the pointer type.
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Ty::Ptr)
+    }
+}
+
+impl std::fmt::Display for Ty {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Ty::I8 => "i8",
+            Ty::I16 => "i16",
+            Ty::I32 => "i32",
+            Ty::I64 => "i64",
+            Ty::F64 => "f64",
+            Ty::Ptr => "ptr",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(Ty::I8.width(), 1);
+        assert_eq!(Ty::I16.width(), 2);
+        assert_eq!(Ty::I32.width(), 4);
+        assert_eq!(Ty::I64.width(), 8);
+        assert_eq!(Ty::F64.width(), 8);
+        assert_eq!(Ty::Ptr.width(), 8);
+        assert!(Ty::Ptr.is_ptr() && !Ty::I64.is_ptr());
+    }
+}

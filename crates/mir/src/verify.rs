@@ -1,0 +1,227 @@
+//! Structural verifier for modules.
+//!
+//! Run after construction and after every instrumentation pass; a pass that
+//! produces ill-formed IR is a bug in the pass, not in the program being
+//! hardened.
+
+use crate::ir::{def_of, operands, Inst, Module, Operand, Term};
+
+/// A verification failure, with enough context to locate the bad IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function name.
+    pub func: String,
+    /// Block index.
+    pub block: usize,
+    /// Description of the violation.
+    pub what: String,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} block {}: {}", self.func, self.block, self.what)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies structural invariants of `m`.
+///
+/// Checked invariants: register/local/slot/global/function/intrinsic/block
+/// indices are in range, call arities match declarations, blocks reachable
+/// from the entry have real terminators, and every function's entry block
+/// exists.
+pub fn verify(m: &Module) -> Result<(), VerifyError> {
+    for f in &m.funcs {
+        let err = |block: usize, what: String| VerifyError {
+            func: f.name.clone(),
+            block,
+            what,
+        };
+        if f.blocks.is_empty() {
+            return Err(err(0, "function has no blocks".into()));
+        }
+        if f.params.len() > f.reg_tys.len() {
+            return Err(err(0, "fewer registers than parameters".into()));
+        }
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for inst in &b.insts {
+                for op in operands(inst) {
+                    if let Operand::Reg(r) = op {
+                        if r.0 as usize >= f.reg_tys.len() {
+                            return Err(err(bi, format!("use of undeclared register r{}", r.0)));
+                        }
+                    }
+                }
+                if let Some(d) = def_of(inst) {
+                    if d.0 as usize >= f.reg_tys.len() {
+                        return Err(err(bi, format!("def of undeclared register r{}", d.0)));
+                    }
+                }
+                match inst {
+                    Inst::ReadLocal { local, .. } | Inst::WriteLocal { local, .. }
+                        if local.0 as usize >= f.locals.len() =>
+                    {
+                        return Err(err(bi, format!("bad local l{}", local.0)));
+                    }
+                    Inst::SlotAddr { slot, .. } if slot.0 as usize >= f.slots.len() => {
+                        return Err(err(bi, format!("bad slot s{}", slot.0)));
+                    }
+                    Inst::GlobalAddr { global, .. } if global.0 as usize >= m.globals.len() => {
+                        return Err(err(bi, format!("bad global g{}", global.0)));
+                    }
+                    Inst::FuncAddr { func, .. } if func.0 as usize >= m.funcs.len() => {
+                        return Err(err(bi, format!("bad function ref f{}", func.0)));
+                    }
+                    Inst::Call { func, args, dst } => {
+                        let Some(callee) = m.funcs.get(func.0 as usize) else {
+                            return Err(err(bi, format!("call to unknown function f{}", func.0)));
+                        };
+                        if callee.params.len() != args.len() {
+                            return Err(err(
+                                bi,
+                                format!(
+                                    "call to {} with {} args, expected {}",
+                                    callee.name,
+                                    args.len(),
+                                    callee.params.len()
+                                ),
+                            ));
+                        }
+                        if dst.is_some() && callee.ret.is_none() {
+                            return Err(err(
+                                bi,
+                                format!("call to void function {} expects a result", callee.name),
+                            ));
+                        }
+                    }
+                    Inst::CallIntrinsic { intrinsic, .. }
+                        if intrinsic.0 as usize >= m.intrinsics.len() =>
+                    {
+                        return Err(err(bi, format!("bad intrinsic id {}", intrinsic.0)));
+                    }
+                    Inst::Load { ty, dst, .. } => {
+                        let declared = f.reg_tys[dst.0 as usize];
+                        if declared.width() < ty.width() {
+                            return Err(err(
+                                bi,
+                                format!("load of {ty} into narrower register of type {declared}"),
+                            ));
+                        }
+                    }
+                    Inst::Gep { scale, .. } if *scale == 0 => {
+                        return Err(err(bi, "gep with zero scale".into()));
+                    }
+                    _ => {}
+                }
+            }
+            match &b.term {
+                Term::Jmp(t) => {
+                    if t.0 as usize >= f.blocks.len() {
+                        return Err(err(bi, format!("jump to unknown block b{}", t.0)));
+                    }
+                }
+                Term::Br { t, f: fb, cond } => {
+                    if let Operand::Reg(r) = cond {
+                        if r.0 as usize >= f.reg_tys.len() {
+                            return Err(err(bi, format!("branch on undeclared register r{}", r.0)));
+                        }
+                    }
+                    for tgt in [t, fb] {
+                        if tgt.0 as usize >= f.blocks.len() {
+                            return Err(err(bi, format!("branch to unknown block b{}", tgt.0)));
+                        }
+                    }
+                }
+                Term::Ret(v) => {
+                    if v.is_some() != f.ret.is_some() {
+                        return Err(err(
+                            bi,
+                            format!(
+                                "return value presence mismatch (function returns {:?})",
+                                f.ret
+                            ),
+                        ));
+                    }
+                }
+                Term::Unreachable => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ir::{BlockId, Reg};
+    use crate::ty::Ty;
+
+    #[test]
+    fn accepts_well_formed_module() {
+        let mut mb = ModuleBuilder::new("ok");
+        mb.func("main", &[], Some(Ty::I64), |fb| {
+            let s = fb.slot("buf", 64);
+            let p = fb.slot_addr(s);
+            fb.store(Ty::I64, p, 1u64);
+            let v = fb.load(Ty::I64, p);
+            fb.ret(Some(v.into()));
+        });
+        verify(&mb.finish()).expect("well-formed module must verify");
+    }
+
+    #[test]
+    fn rejects_undeclared_register() {
+        let mut mb = ModuleBuilder::new("bad");
+        mb.func("main", &[], None, |fb| {
+            fb.ret(None);
+        });
+        let mut m = mb.finish();
+        m.funcs[0].blocks[0].insts.push(crate::ir::Inst::Bin {
+            op: crate::ir::BinOp::Add,
+            dst: Reg(99),
+            a: Reg(98).into(),
+            b: 1u64.into(),
+        });
+        let e = verify(&m).unwrap_err();
+        assert!(e.what.contains("register"));
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let mut mb = ModuleBuilder::new("bad");
+        mb.func("main", &[], None, |fb| {
+            fb.ret(None);
+        });
+        let mut m = mb.finish();
+        m.funcs[0].blocks[0].term = crate::ir::Term::Jmp(BlockId(7));
+        assert!(verify(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_return_type_mismatch() {
+        let mut mb = ModuleBuilder::new("bad");
+        mb.func("main", &[], Some(Ty::I64), |fb| {
+            fb.ret(None);
+        });
+        assert!(verify(&mb.finish()).is_err());
+    }
+
+    #[test]
+    fn rejects_narrow_load_destination() {
+        let mut mb = ModuleBuilder::new("bad");
+        mb.func("main", &[], None, |fb| {
+            fb.ret(None);
+        });
+        let mut m = mb.finish();
+        let dst = m.funcs[0].new_reg(Ty::I8);
+        m.funcs[0].blocks[0].insts.push(crate::ir::Inst::Load {
+            dst,
+            addr: 0u64.into(),
+            ty: Ty::I64,
+            attrs: Default::default(),
+        });
+        assert!(verify(&m).is_err());
+    }
+}

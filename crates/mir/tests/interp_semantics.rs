@@ -1,0 +1,205 @@
+//! Focused interpreter-semantics tests: casts, atomics, selects, signed
+//! arithmetic, and narrow memory widths.
+
+use sgxs_mir::{BinOp, CastKind, CmpOp, Module, ModuleBuilder, RunOutcome, Trap, Ty, Vm, VmConfig};
+use sgxs_sim::{MachineConfig, Mode, Preset};
+
+fn run(m: &Module, args: &[u64]) -> RunOutcome {
+    sgxs_mir::verify(m).unwrap();
+    let mut vm = Vm::new(
+        m,
+        VmConfig::new(MachineConfig::preset(Preset::Tiny, Mode::Native)),
+    );
+    vm.run("main", args)
+}
+
+fn expr(build: impl FnOnce(&mut sgxs_mir::FuncBuilder<'_>) -> sgxs_mir::Reg) -> u64 {
+    let mut mb = ModuleBuilder::new("t");
+    mb.func("main", &[], Some(Ty::I64), |fb| {
+        let r = build(fb);
+        fb.ret(Some(r.into()));
+    });
+    run(&mb.finish(), &[]).expect_ok()
+}
+
+#[test]
+fn sign_extensions() {
+    assert_eq!(
+        expr(|fb| fb.cast(CastKind::Sext(8), 0xFFu64)),
+        u64::MAX,
+        "sext i8 -1"
+    );
+    assert_eq!(expr(|fb| fb.cast(CastKind::Sext(8), 0x7Fu64)), 0x7F);
+    assert_eq!(
+        expr(|fb| fb.cast(CastKind::Sext(16), 0x8000u64)),
+        0xFFFF_FFFF_FFFF_8000
+    );
+    assert_eq!(
+        expr(|fb| fb.cast(CastKind::Sext(32), 0xFFFF_FFFFu64)),
+        u64::MAX
+    );
+}
+
+#[test]
+fn truncation_masks_low_bits() {
+    assert_eq!(expr(|fb| fb.cast(CastKind::Trunc(8), 0x1234u64)), 0x34);
+    assert_eq!(
+        expr(|fb| fb.cast(CastKind::Trunc(32), u64::MAX)),
+        0xFFFF_FFFF
+    );
+}
+
+#[test]
+fn float_int_conversions() {
+    assert_eq!(
+        expr(|fb| {
+            let f = fb.cast(CastKind::SiToF, (-3i64) as u64);
+            fb.cast(CastKind::FToSi, f)
+        }),
+        (-3i64) as u64
+    );
+    assert_eq!(
+        expr(|fb| {
+            let f = fb.cast(CastKind::UiToF, 41u64);
+            let g = fb.fadd(f, fb.fconst(1.25));
+            fb.cast(CastKind::FToSi, g)
+        }),
+        42
+    );
+}
+
+#[test]
+fn signed_ops_and_comparisons() {
+    assert_eq!(
+        expr(|fb| fb.bin(BinOp::SDiv, (-9i64) as u64, 2u64)),
+        (-4i64) as u64
+    );
+    assert_eq!(
+        expr(|fb| fb.bin(BinOp::SRem, (-9i64) as u64, 2u64)),
+        (-1i64) as u64
+    );
+    assert_eq!(
+        expr(|fb| fb.bin(BinOp::AShr, (-8i64) as u64, 1u64)),
+        (-4i64) as u64
+    );
+    assert_eq!(expr(|fb| fb.cmp(CmpOp::SLt, (-1i64) as u64, 0u64)), 1);
+    assert_eq!(expr(|fb| fb.cmp(CmpOp::ULt, (-1i64) as u64, 0u64)), 0);
+}
+
+#[test]
+fn atomic_cas_success_and_failure() {
+    let mut mb = ModuleBuilder::new("t");
+    mb.func("main", &[], Some(Ty::I64), |fb| {
+        let s = fb.slot("cell", 8);
+        let p = fb.slot_addr(s);
+        fb.store(Ty::I64, p, 10u64);
+        // CAS(10 -> 20) succeeds, old = 10.
+        let old1 = fb.atomic_cas(Ty::I64, p, 10u64, 20u64);
+        // CAS(10 -> 30) fails (cell is 20), old = 20, cell unchanged.
+        let old2 = fb.atomic_cas(Ty::I64, p, 10u64, 30u64);
+        let cur = fb.load(Ty::I64, p);
+        let a = fb.add(old1, old2);
+        let b = fb.add(a, cur);
+        fb.ret(Some(b.into())); // 10 + 20 + 20 = 50.
+    });
+    assert_eq!(run(&mb.finish(), &[]).expect_ok(), 50);
+}
+
+#[test]
+fn atomic_rmw_variants() {
+    let mut mb = ModuleBuilder::new("t");
+    mb.func("main", &[], Some(Ty::I64), |fb| {
+        let s = fb.slot("cell", 8);
+        let p = fb.slot_addr(s);
+        fb.store(Ty::I64, p, 0b1100u64);
+        let old_and = fb.atomic_rmw(BinOp::And, Ty::I64, p, 0b1010u64); // 12 -> 8.
+        let old_or = fb.atomic_rmw(BinOp::Or, Ty::I64, p, 0b0001u64); // 8 -> 9.
+        let old_xor = fb.atomic_rmw(BinOp::Xor, Ty::I64, p, 0b1111u64); // 9 -> 6.
+        let cur = fb.load(Ty::I64, p);
+        let a = fb.add(old_and, old_or);
+        let b = fb.add(a, old_xor);
+        let c = fb.add(b, cur);
+        fb.ret(Some(c.into())); // 12 + 8 + 9 + 6 = 35.
+    });
+    assert_eq!(run(&mb.finish(), &[]).expect_ok(), 35);
+}
+
+#[test]
+fn narrow_widths_roundtrip_through_memory() {
+    let mut mb = ModuleBuilder::new("t");
+    mb.func("main", &[], Some(Ty::I64), |fb| {
+        let s = fb.slot("buf", 16);
+        let p = fb.slot_addr(s);
+        fb.store(Ty::I64, p, 0u64);
+        fb.store(Ty::I8, p, 0x1FFu64); // Truncated to 0xFF.
+        let q2 = fb.gep(p, 0u64, 1, 2);
+        fb.store(Ty::I16, q2, 0xABCDu64);
+        let q4 = fb.gep(p, 0u64, 1, 4);
+        fb.store(Ty::I32, q4, 0xDEAD_BEEFu64);
+        let whole = fb.load(Ty::I64, p);
+        fb.ret(Some(whole.into()));
+    });
+    assert_eq!(run(&mb.finish(), &[]).expect_ok(), 0xDEAD_BEEF_ABCD_00FF);
+}
+
+#[test]
+fn select_picks_sides() {
+    assert_eq!(expr(|fb| fb.select(1u64, 7u64, 9u64)), 7);
+    assert_eq!(expr(|fb| fb.select(0u64, 7u64, 9u64)), 9);
+    // Any nonzero condition is true.
+    assert_eq!(expr(|fb| fb.select(0xF0u64, 7u64, 9u64)), 7);
+}
+
+#[test]
+fn fmin_fmax_and_fabs() {
+    assert_eq!(
+        expr(|fb| {
+            let m = fb.fbin(sgxs_mir::FBinOp::Min, fb.fconst(2.0), fb.fconst(-3.0));
+            let a = fb.cast(CastKind::FAbs, m);
+            fb.cast(CastKind::FToSi, a)
+        }),
+        3
+    );
+    assert_eq!(
+        expr(|fb| {
+            let m = fb.fbin(sgxs_mir::FBinOp::Max, fb.fconst(2.0), fb.fconst(-3.0));
+            fb.cast(CastKind::FToSi, m)
+        }),
+        2
+    );
+}
+
+#[test]
+fn deadlock_is_reported() {
+    let mut mb = ModuleBuilder::new("t");
+    mb.func("main", &[], Some(Ty::I64), |fb| {
+        let s = fb.slot("m", 8);
+        let p = fb.slot_addr(s);
+        fb.intr_void("mutex_lock", &[p.into()]);
+        // Joining a thread that blocks on the mutex we hold.
+        let waiter = fb.func_addr(sgxs_mir::FuncId(1));
+        let t = fb.intr("spawn", &[waiter.into(), p.into()]);
+        fb.intr("join", &[t.into()]);
+        fb.ret(Some(0u64.into()));
+    });
+    mb.func("waiter", &[Ty::Ptr], Some(Ty::I64), |fb| {
+        let p = fb.param(0);
+        fb.intr_void("mutex_lock", &[p.into()]);
+        fb.ret(Some(0u64.into()));
+    });
+    let out = run(&mb.finish(), &[]);
+    assert!(matches!(out.result, Err(Trap::Deadlock)));
+}
+
+#[test]
+fn unreachable_traps() {
+    let mut mb = ModuleBuilder::new("t");
+    mb.func("main", &[], Some(Ty::I64), |fb| {
+        let b = fb.block();
+        fb.jmp(b);
+        // Block b keeps its default Unreachable terminator.
+        let _ = b;
+    });
+    let out = run(&mb.finish(), &[]);
+    assert!(matches!(out.result, Err(Trap::Unreachable)));
+}

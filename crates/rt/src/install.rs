@@ -1,0 +1,310 @@
+//! Wires the base runtime into a VM: allocator intrinsics, libc wrappers,
+//! and input staging.
+
+use crate::alloc::{AllocOpts, HeapAlloc};
+use crate::libc;
+use sgxs_mir::{Trap, Vm};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Base of the input-staging region (host-generated workload data).
+pub const INPUT_BASE: u32 = 0x4000_0000;
+/// End of the input-staging region.
+pub const INPUT_END: u32 = 0x8000_0000;
+
+/// Installs the base runtime (uninstrumented libc + allocator) into `vm`.
+///
+/// Returns a shared handle to the allocator so protection-scheme runtimes
+/// can wrap it (replace `malloc` with their own instrumented versions while
+/// delegating the actual carving to the same heap).
+pub fn install_base(vm: &mut Vm<'_>, opts: AllocOpts) -> Rc<RefCell<HeapAlloc>> {
+    let heap = Rc::new(RefCell::new(HeapAlloc::new(vm.heap_base(), opts)));
+
+    let h = heap.clone();
+    vm.register_intrinsic("malloc", move |ctx, args| {
+        let size = args.first().copied().unwrap_or(0) as u32;
+        h.borrow_mut().malloc(ctx, size).map(|a| Some(a as u64))
+    });
+
+    let h = heap.clone();
+    vm.register_intrinsic("calloc", move |ctx, args| {
+        let n = args.first().copied().unwrap_or(0) as u32;
+        let sz = args.get(1).copied().unwrap_or(0) as u32;
+        let bytes = n.checked_mul(sz).ok_or(Trap::OutOfMemory {
+            requested: n as u64 * sz as u64,
+            reserved: ctx.machine.mem.reserved(),
+        })?;
+        let a = h.borrow_mut().malloc(ctx, bytes)?;
+        libc::memset(ctx, a, 0, bytes)?;
+        Ok(Some(a as u64))
+    });
+
+    let h = heap.clone();
+    vm.register_intrinsic("realloc", move |ctx, args| {
+        let old = args.first().copied().unwrap_or(0) as u32;
+        let size = args.get(1).copied().unwrap_or(0) as u32;
+        let mut heap = h.borrow_mut();
+        if old == 0 {
+            return heap.malloc(ctx, size).map(|a| Some(a as u64));
+        }
+        let old_size = heap
+            .usable_size(old)
+            .ok_or_else(|| Trap::Abort(format!("realloc of unknown pointer {old:#x}")))?;
+        let new = heap.malloc(ctx, size)?;
+        libc::memcpy(ctx, new, old, old_size.min(size))?;
+        heap.free(ctx, old)?;
+        Ok(Some(new as u64))
+    });
+
+    let h = heap.clone();
+    vm.register_intrinsic("free", move |ctx, args| {
+        let a = args.first().copied().unwrap_or(0) as u32;
+        if a == 0 {
+            return Ok(None); // free(NULL) is a no-op.
+        }
+        h.borrow_mut().free(ctx, a)?;
+        Ok(None)
+    });
+
+    let h = heap.clone();
+    vm.register_intrinsic("malloc_usable_size", move |_ctx, args| {
+        let a = args.first().copied().unwrap_or(0) as u32;
+        Ok(Some(h.borrow().usable_size(a).unwrap_or(0) as u64))
+    });
+
+    let h = heap.clone();
+    vm.register_intrinsic("mmap", move |ctx, args| {
+        let bytes = args.first().copied().unwrap_or(0) as u32;
+        h.borrow_mut().mmap(ctx, bytes).map(|a| Some(a as u64))
+    });
+
+    let h = heap.clone();
+    vm.register_intrinsic("munmap", move |ctx, args| {
+        let a = args.first().copied().unwrap_or(0) as u32;
+        h.borrow_mut().munmap(ctx, a)?;
+        Ok(None)
+    });
+
+    vm.register_intrinsic("memcpy", |ctx, args| {
+        libc::memcpy(ctx, args[0] as u32, args[1] as u32, args[2] as u32)?;
+        Ok(Some(args[0]))
+    });
+    vm.register_intrinsic("memmove", |ctx, args| {
+        libc::memcpy(ctx, args[0] as u32, args[1] as u32, args[2] as u32)?;
+        Ok(Some(args[0]))
+    });
+    vm.register_intrinsic("memset", |ctx, args| {
+        libc::memset(ctx, args[0] as u32, args[1] as u8, args[2] as u32)?;
+        Ok(Some(args[0]))
+    });
+    vm.register_intrinsic("memcmp", |ctx, args| {
+        Ok(Some(libc::memcmp(
+            ctx,
+            args[0] as u32,
+            args[1] as u32,
+            args[2] as u32,
+        )?))
+    });
+    vm.register_intrinsic("strlen", |ctx, args| {
+        Ok(Some(libc::strlen(ctx, args[0] as u32)? as u64))
+    });
+    vm.register_intrinsic("strcpy", |ctx, args| {
+        libc::strcpy(ctx, args[0] as u32, args[1] as u32)?;
+        Ok(Some(args[0]))
+    });
+    vm.register_intrinsic("strcmp", |ctx, args| {
+        Ok(Some(libc::strcmp(ctx, args[0] as u32, args[1] as u32)?))
+    });
+    vm.register_intrinsic("strncpy", |ctx, args| {
+        libc::strncpy(ctx, args[0] as u32, args[1] as u32, args[2] as u32)?;
+        Ok(Some(args[0]))
+    });
+    vm.register_intrinsic("strcat", |ctx, args| {
+        libc::strcat(ctx, args[0] as u32, args[1] as u32)?;
+        Ok(Some(args[0]))
+    });
+    vm.register_intrinsic("strchr", |ctx, args| {
+        Ok(Some(
+            libc::strchr(ctx, args[0] as u32, args[1] as u8)? as u64
+        ))
+    });
+    vm.register_intrinsic("fmt_u64", |ctx, args| {
+        Ok(Some(libc::fmt_u64(ctx, args[0] as u32, args[1])? as u64))
+    });
+
+    // Field-projection marker (see `FuncBuilder::gep_field`): identity under
+    // the base runtime; SGXBounds with bounds narrowing overrides it.
+    vm.register_intrinsic("sb_narrow", |_ctx, args| {
+        Ok(Some(args.first().copied().unwrap_or(0)))
+    });
+
+    // Blesses a host-staged input region as a program object. The base
+    // runtime treats it as identity; protection schemes override it (or, for
+    // MPX, pattern-match it in the pass) to attach bounds metadata.
+    vm.register_intrinsic("tag_input", |_ctx, args| {
+        Ok(Some(args.first().copied().unwrap_or(0)))
+    });
+
+    heap
+}
+
+/// Host-side staging cursor for workload input data.
+pub struct Stager {
+    cursor: u32,
+}
+
+impl Default for Stager {
+    fn default() -> Self {
+        Stager { cursor: INPUT_BASE }
+    }
+}
+
+impl Stager {
+    /// Creates a stager at the base of the input region.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes `data` into the input region (uncharged: modelling data that
+    /// was placed in enclave memory before the measured phase) and returns
+    /// its address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input region is exhausted.
+    pub fn stage(&mut self, vm: &mut Vm<'_>, data: &[u8]) -> u32 {
+        let addr = self.stage_zeroed(vm, data.len() as u32);
+        vm.machine.mem.write_bytes(addr, data);
+        addr
+    }
+
+    /// Reserves `len` zeroed input bytes and returns their address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input region is exhausted.
+    pub fn stage_zeroed(&mut self, vm: &mut Vm<'_>, len: u32) -> u32 {
+        let addr = (self.cursor + 63) & !63; // Cache-line align inputs.
+                                             // Leave 8 bytes of slack after every region: `tag_input` appends a
+                                             // 4-byte lower bound at `addr + len`, which must never overlap the
+                                             // next staged input.
+        let end = addr
+            .checked_add(len.max(1))
+            .and_then(|e| e.checked_add(8))
+            .expect("input region overflow");
+        assert!(end <= INPUT_END, "input region exhausted");
+        self.cursor = end;
+        vm.machine.mem.reserve((end - addr) as u64);
+        addr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgxs_mir::{ModuleBuilder, Operand, Ty, Vm, VmConfig};
+    use sgxs_sim::{MachineConfig, Mode, Preset};
+
+    fn vmcfg() -> VmConfig {
+        VmConfig::new(MachineConfig::preset(Preset::Tiny, Mode::Native))
+    }
+
+    #[test]
+    fn malloc_free_roundtrip_from_ir() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("main", &[], Some(Ty::I64), |fb| {
+            let p = fb.intr_ptr("malloc", &[Operand::Imm(128)]);
+            fb.store(Ty::I64, p, 42u64);
+            let v = fb.load(Ty::I64, p);
+            fb.intr_void("free", &[p.into()]);
+            fb.ret(Some(v.into()));
+        });
+        let m = mb.finish();
+        let mut vm = Vm::new(&m, vmcfg());
+        install_base(&mut vm, AllocOpts::default());
+        assert_eq!(vm.run("main", &[]).expect_ok(), 42);
+    }
+
+    #[test]
+    fn calloc_zeroes_memory() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("main", &[], Some(Ty::I64), |fb| {
+            let p = fb.intr_ptr("calloc", &[Operand::Imm(4), Operand::Imm(8)]);
+            let q = fb.gep(p, 3u64, 8, 0);
+            let v = fb.load(Ty::I64, q);
+            fb.ret(Some(v.into()));
+        });
+        let m = mb.finish();
+        let mut vm = Vm::new(&m, vmcfg());
+        install_base(&mut vm, AllocOpts::default());
+        assert_eq!(vm.run("main", &[]).expect_ok(), 0);
+    }
+
+    #[test]
+    fn realloc_preserves_prefix() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("main", &[], Some(Ty::I64), |fb| {
+            let p = fb.intr_ptr("malloc", &[Operand::Imm(16)]);
+            fb.store(Ty::I64, p, 7u64);
+            let q = fb.intr_ptr("realloc", &[p.into(), Operand::Imm(256)]);
+            let v = fb.load(Ty::I64, q);
+            fb.ret(Some(v.into()));
+        });
+        let m = mb.finish();
+        let mut vm = Vm::new(&m, vmcfg());
+        install_base(&mut vm, AllocOpts::default());
+        assert_eq!(vm.run("main", &[]).expect_ok(), 7);
+    }
+
+    #[test]
+    fn libc_wrappers_callable_from_ir() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global("s", 16, b"sgx\0");
+        mb.func("main", &[], Some(Ty::I64), |fb| {
+            let src = fb.global_addr(g);
+            let dst = fb.intr_ptr("malloc", &[Operand::Imm(16)]);
+            fb.intr_void("strcpy", &[dst.into(), src.into()]);
+            let n = fb.intr("strlen", &[dst.into()]);
+            let c = fb.intr("strcmp", &[dst.into(), src.into()]);
+            let r = fb.add(n, c);
+            fb.ret(Some(r.into()));
+        });
+        let m = mb.finish();
+        let mut vm = Vm::new(&m, vmcfg());
+        install_base(&mut vm, AllocOpts::default());
+        assert_eq!(vm.run("main", &[]).expect_ok(), 3); // len 3, cmp 0.
+    }
+
+    #[test]
+    fn staging_places_data_readably() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("main", &[Ty::Ptr], Some(Ty::I64), |fb| {
+            let p = fb.param(0);
+            let v = fb.load(Ty::I64, p);
+            fb.ret(Some(v.into()));
+        });
+        let m = mb.finish();
+        let mut vm = Vm::new(&m, vmcfg());
+        install_base(&mut vm, AllocOpts::default());
+        let mut st = Stager::new();
+        let addr = st.stage(&mut vm, &123u64.to_le_bytes());
+        assert_eq!(vm.run("main", &[addr as u64]).expect_ok(), 123);
+    }
+
+    #[test]
+    fn mmap_is_page_granular_and_munmap_releases() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("main", &[], Some(Ty::I64), |fb| {
+            let p = fb.intr_ptr("mmap", &[Operand::Imm(8192)]);
+            let q = fb.intr_ptr("mmap", &[Operand::Imm(8196)]);
+            fb.intr_void("munmap", &[p.into()]);
+            let d = fb.sub(q, p);
+            fb.ret(Some(d.into()));
+        });
+        let m = mb.finish();
+        let mut vm = Vm::new(&m, vmcfg());
+        install_base(&mut vm, AllocOpts::default());
+        // First mapping is exactly 2 pages; 8196 B needs 3.
+        assert_eq!(vm.run("main", &[]).expect_ok(), 8192);
+    }
+}

@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Base runtime for simulated programs: heap allocator, libc-style
+//! intrinsics, and input staging.
+//!
+//! This plays the role of SCONE's libc in the paper (§2.1): the one
+//! uninstrumented component every scheme links against. Protection schemes
+//! (the `sgxbounds` and `sgxs-baselines` crates) wrap these primitives with
+//! their own checking versions, mirroring the paper's wrapper layer (§3.2).
+
+pub mod alloc;
+pub mod install;
+pub mod libc;
+
+pub use alloc::{AllocOpts, AllocStats, HeapAlloc};
+pub use install::{install_base, Stager, INPUT_BASE};

@@ -1,0 +1,242 @@
+//! Raw (uninstrumented) libc-style primitives with charged memory traffic.
+//!
+//! These model SCONE's uninstrumented libc (paper §3.2 "Function calls"):
+//! they operate on plain 32-bit addresses and *do not* perform any bounds
+//! checking themselves. Each protection scheme registers its own wrappers
+//! that validate/strip arguments and then delegate here, exactly like the
+//! paper's hand-written wrapper layer.
+
+use sgxs_mir::{IntrinsicCtx, Trap};
+
+/// Upper bound on string scans, to contain runaway reads of unterminated
+/// data.
+pub const MAX_STR: u32 = 1 << 22;
+
+/// Copies `n` bytes from `src` to `dst` (regions may not overlap;
+/// `memmove` semantics are provided anyway because the host buffer makes
+/// the copy atomic).
+pub fn memcpy(ctx: &mut IntrinsicCtx<'_>, dst: u32, src: u32, n: u32) -> Result<(), Trap> {
+    if n == 0 {
+        return Ok(());
+    }
+    ctx.charge_bulk(src as u64, n, false)?;
+    ctx.charge_bulk(dst as u64, n, true)?;
+    let mut buf = vec![0u8; n as usize];
+    ctx.machine.mem.read_bytes(src, &mut buf);
+    ctx.machine.mem.write_bytes(dst, &buf);
+    Ok(())
+}
+
+/// Fills `n` bytes at `dst` with `byte`.
+pub fn memset(ctx: &mut IntrinsicCtx<'_>, dst: u32, byte: u8, n: u32) -> Result<(), Trap> {
+    if n == 0 {
+        return Ok(());
+    }
+    ctx.charge_bulk(dst as u64, n, true)?;
+    let buf = vec![byte; n as usize];
+    ctx.machine.mem.write_bytes(dst, &buf);
+    Ok(())
+}
+
+/// Compares `n` bytes; returns <0, 0, >0 as `i64` (cast to u64).
+pub fn memcmp(ctx: &mut IntrinsicCtx<'_>, a: u32, b: u32, n: u32) -> Result<u64, Trap> {
+    if n == 0 {
+        return Ok(0);
+    }
+    ctx.charge_bulk(a as u64, n, false)?;
+    ctx.charge_bulk(b as u64, n, false)?;
+    let mut ba = vec![0u8; n as usize];
+    let mut bb = vec![0u8; n as usize];
+    ctx.machine.mem.read_bytes(a, &mut ba);
+    ctx.machine.mem.read_bytes(b, &mut bb);
+    let r = match ba.cmp(&bb) {
+        std::cmp::Ordering::Less => -1i64,
+        std::cmp::Ordering::Equal => 0,
+        std::cmp::Ordering::Greater => 1,
+    };
+    Ok(r as u64)
+}
+
+/// Length of the NUL-terminated string at `p`.
+pub fn strlen(ctx: &mut IntrinsicCtx<'_>, p: u32) -> Result<u32, Trap> {
+    let mut len = 0u32;
+    let mut addr = p;
+    let mut chunk = [0u8; 64];
+    loop {
+        ctx.charge_bulk(addr as u64, 64, false)?;
+        ctx.machine.mem.read_bytes(addr, &mut chunk);
+        if let Some(i) = chunk.iter().position(|&b| b == 0) {
+            return Ok(len + i as u32);
+        }
+        len += 64;
+        addr = addr
+            .checked_add(64)
+            .ok_or(Trap::Abort("strlen ran off the address space".into()))?;
+        if len > MAX_STR {
+            return Err(Trap::Abort("unterminated string".into()));
+        }
+    }
+}
+
+/// Copies the NUL-terminated string at `src` (including the terminator) to
+/// `dst`; returns the string length. **No bounds checking** — this is the
+/// classic overflow vector the RIPE configurations exploit.
+pub fn strcpy(ctx: &mut IntrinsicCtx<'_>, dst: u32, src: u32) -> Result<u32, Trap> {
+    let len = strlen(ctx, src)?;
+    memcpy(ctx, dst, src, len + 1)?;
+    Ok(len)
+}
+
+/// Copies at most `n` bytes of the string at `src` into `dst`, padding
+/// with NULs like the real `strncpy`; returns the copied string length.
+pub fn strncpy(ctx: &mut IntrinsicCtx<'_>, dst: u32, src: u32, n: u32) -> Result<u32, Trap> {
+    if n == 0 {
+        return Ok(0);
+    }
+    let len = strlen(ctx, src)?.min(n);
+    memcpy(ctx, dst, src, len)?;
+    if len < n {
+        memset(ctx, dst + len, 0, n - len)?;
+    }
+    Ok(len)
+}
+
+/// Appends the string at `src` to the string at `dst`; returns the new
+/// length. **No bounds checking** — the classic overflow vector.
+pub fn strcat(ctx: &mut IntrinsicCtx<'_>, dst: u32, src: u32) -> Result<u32, Trap> {
+    let dlen = strlen(ctx, dst)?;
+    let slen = strlen(ctx, src)?;
+    memcpy(ctx, dst + dlen, src, slen + 1)?;
+    Ok(dlen + slen)
+}
+
+/// Returns the address of the first occurrence of `byte` in the string at
+/// `p`, or 0 if absent.
+pub fn strchr(ctx: &mut IntrinsicCtx<'_>, p: u32, byte: u8) -> Result<u32, Trap> {
+    let mut addr = p;
+    let mut chunk = [0u8; 64];
+    let mut scanned = 0u32;
+    loop {
+        ctx.charge_bulk(addr as u64, 64, false)?;
+        ctx.machine.mem.read_bytes(addr, &mut chunk);
+        for (i, &b) in chunk.iter().enumerate() {
+            if b == byte {
+                return Ok(addr + i as u32);
+            }
+            if b == 0 {
+                return Ok(0);
+            }
+        }
+        scanned += 64;
+        addr = addr
+            .checked_add(64)
+            .ok_or(Trap::Abort("strchr ran off the address space".into()))?;
+        if scanned > MAX_STR {
+            return Err(Trap::Abort("unterminated string".into()));
+        }
+    }
+}
+
+/// Formats `val` as decimal at `dst` (NUL-terminated); returns the digit
+/// count. Stands in for the `printf` family of wrappers the paper hand
+/// writes (§3.2: "tracking and extracting the pointers on-the-fly").
+pub fn fmt_u64(ctx: &mut IntrinsicCtx<'_>, dst: u32, val: u64) -> Result<u32, Trap> {
+    let text = val.to_string();
+    ctx.charge(4 * text.len() as u64); // div/mod digit loop.
+    ctx.charge_bulk(dst as u64, text.len() as u32 + 1, true)?;
+    ctx.machine.mem.write_bytes(dst, text.as_bytes());
+    ctx.machine.mem.write(dst + text.len() as u32, 1, 0);
+    Ok(text.len() as u32)
+}
+
+/// `strcmp` on NUL-terminated strings.
+pub fn strcmp(ctx: &mut IntrinsicCtx<'_>, a: u32, b: u32) -> Result<u64, Trap> {
+    let la = strlen(ctx, a)?;
+    let lb = strlen(ctx, b)?;
+    let n = la.min(lb) + 1;
+    memcmp(ctx, a, b, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgxs_mir::interp::env::Env;
+    use sgxs_sim::{Machine, MachineConfig, Mode, Preset};
+
+    fn with_ctx(f: impl FnOnce(&mut IntrinsicCtx<'_>)) {
+        let mut m = Machine::new(MachineConfig::preset(Preset::Tiny, Mode::Native));
+        let mut e = Env::new();
+        let mut o = Vec::new();
+        let mut ctx = IntrinsicCtx {
+            machine: &mut m,
+            env: &mut e,
+            core: 0,
+            cycles: 0,
+            output: &mut o,
+        };
+        f(&mut ctx);
+    }
+
+    #[test]
+    fn memcpy_moves_bytes_and_charges() {
+        with_ctx(|ctx| {
+            ctx.machine.mem.write_bytes(0x1000, b"hello world");
+            memcpy(ctx, 0x2000, 0x1000, 11).unwrap();
+            let mut buf = [0u8; 11];
+            ctx.machine.mem.read_bytes(0x2000, &mut buf);
+            assert_eq!(&buf, b"hello world");
+            assert!(ctx.cycles > 0);
+        });
+    }
+
+    #[test]
+    fn memset_fills() {
+        with_ctx(|ctx| {
+            memset(ctx, 0x3000, 0xAB, 100).unwrap();
+            assert_eq!(ctx.load(0x3000 + 99, 1).unwrap(), 0xAB);
+            assert_eq!(ctx.load(0x3000 + 100, 1).unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn strlen_and_strcpy() {
+        with_ctx(|ctx| {
+            ctx.machine.mem.write_bytes(0x1000, b"sgxbounds\0");
+            assert_eq!(strlen(ctx, 0x1000).unwrap(), 9);
+            strcpy(ctx, 0x2000, 0x1000).unwrap();
+            assert_eq!(strlen(ctx, 0x2000).unwrap(), 9);
+        });
+    }
+
+    #[test]
+    fn strlen_spanning_chunks() {
+        with_ctx(|ctx| {
+            let s = vec![b'x'; 200];
+            ctx.machine.mem.write_bytes(0x1000, &s);
+            ctx.machine.mem.write_bytes(0x1000 + 200, &[0]);
+            assert_eq!(strlen(ctx, 0x1000).unwrap(), 200);
+        });
+    }
+
+    #[test]
+    fn memcmp_and_strcmp() {
+        with_ctx(|ctx| {
+            ctx.machine.mem.write_bytes(0x1000, b"abc\0");
+            ctx.machine.mem.write_bytes(0x2000, b"abd\0");
+            assert_eq!(memcmp(ctx, 0x1000, 0x2000, 2).unwrap(), 0);
+            assert_eq!(memcmp(ctx, 0x1000, 0x2000, 3).unwrap() as i64, -1);
+            assert_eq!(strcmp(ctx, 0x1000, 0x2000).unwrap() as i64, -1);
+            assert_eq!(strcmp(ctx, 0x1000, 0x1000).unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn unterminated_string_aborts() {
+        with_ctx(|ctx| {
+            // Fresh memory is all zeroes, so build a huge nonzero run.
+            let filler = vec![1u8; (MAX_STR + 128) as usize];
+            ctx.machine.mem.write_bytes(0x10_0000, &filler);
+            assert!(strlen(ctx, 0x10_0000).is_err());
+        });
+    }
+}

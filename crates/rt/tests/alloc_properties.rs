@@ -1,0 +1,127 @@
+//! Property tests on the allocator: no overlap, reuse discipline,
+//! reservation accounting, quarantine FIFO.
+
+use proptest::prelude::*;
+use sgxs_mir::interp::env::Env;
+use sgxs_mir::IntrinsicCtx;
+use sgxs_rt::{AllocOpts, HeapAlloc};
+use sgxs_sim::{Machine, MachineConfig, Mode, Preset};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Act {
+    /// Allocate `size % 4096 + 1` bytes.
+    Malloc(u32),
+    /// Free the (index % live)th live allocation.
+    Free(usize),
+}
+
+fn acts() -> impl Strategy<Value = Vec<Act>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..8192).prop_map(Act::Malloc),
+            (0usize..64).prop_map(Act::Free),
+        ],
+        1..120,
+    )
+}
+
+fn run_script(acts: &[Act], opts: AllocOpts) {
+    let mut m = Machine::new(MachineConfig::preset(Preset::Tiny, Mode::Native));
+    let mut e = Env::new();
+    let mut o = Vec::new();
+    let mut ctx = IntrinsicCtx {
+        machine: &mut m,
+        env: &mut e,
+        core: 0,
+        cycles: 0,
+        output: &mut o,
+    };
+    let mut ha = HeapAlloc::new(0x2_0000, opts);
+    // live: user base -> size.
+    let mut live: Vec<(u32, u32)> = Vec::new();
+    for act in acts {
+        match act {
+            Act::Malloc(s) => {
+                let size = s % 4096 + 1;
+                let p = ha.malloc(&mut ctx, size).expect("no cap set");
+                // No overlap with any live allocation.
+                for &(q, qs) in &live {
+                    assert!(
+                        p + size <= q || q + qs <= p,
+                        "overlap: [{p:#x},+{size}) vs [{q:#x},+{qs})"
+                    );
+                }
+                live.push((p, size));
+            }
+            Act::Free(i) => {
+                if live.is_empty() {
+                    continue;
+                }
+                let (p, _) = live.swap_remove(i % live.len());
+                ha.free(&mut ctx, p).expect("live pointer");
+            }
+        }
+    }
+    // Bookkeeping agrees with our model.
+    let model: HashMap<u32, u32> = live.iter().copied().collect();
+    assert_eq!(
+        ha.stats.live_bytes,
+        model.values().map(|&v| v as u64).sum::<u64>()
+    );
+    for (&p, &s) in &model {
+        assert_eq!(ha.usable_size(p), Some(s));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_overlap_plain(script in acts()) {
+        run_script(&script, AllocOpts::default());
+    }
+
+    #[test]
+    fn no_overlap_with_redzones_and_quarantine(script in acts()) {
+        run_script(&script, AllocOpts {
+            redzone_pre: 16,
+            redzone_post: 16,
+            quarantine_bytes: 64 << 10,
+            ..AllocOpts::default()
+        });
+    }
+
+    #[test]
+    fn reservations_never_decrease_below_live(script in acts()) {
+        let mut m = Machine::new(MachineConfig::preset(Preset::Tiny, Mode::Native));
+        let mut e = Env::new();
+        let mut o = Vec::new();
+        let mut ctx = IntrinsicCtx {
+            machine: &mut m,
+            env: &mut e,
+            core: 0,
+            cycles: 0,
+            output: &mut o,
+        };
+        let mut ha = HeapAlloc::new(0x2_0000, AllocOpts::default());
+        let mut live: Vec<u32> = Vec::new();
+        for act in &script {
+            match act {
+                Act::Malloc(s) => live.push(ha.malloc(&mut ctx, s % 4096 + 1).unwrap()),
+                Act::Free(i) => {
+                    if !live.is_empty() {
+                        let p = live.swap_remove(i % live.len());
+                        ha.free(&mut ctx, p).unwrap();
+                    }
+                }
+            }
+            prop_assert!(
+                ctx.machine.mem.reserved() >= ha.stats.live_bytes,
+                "reserved {} < live {}",
+                ctx.machine.mem.reserved(),
+                ha.stats.live_bytes
+            );
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Boundless memory blocks: failure-oblivious tolerance of out-of-bounds
+//! accesses (paper §4.2).
+//!
+//! When boundless mode is enabled, a detected out-of-bounds access is not
+//! fatal: it is redirected into an *overlay* area so neighbouring objects
+//! cannot be corrupted. The overlay is a bounded LRU cache mapping
+//! out-of-bounds addresses to on-demand 1 KB chunks, capped at 1 MB total;
+//! out-of-bounds **loads** with no overlay entry read zeroes (the classic
+//! failure-oblivious policy of Rinard et al. that the paper adopts).
+
+use sgxs_mir::{IntrinsicCtx, Trap};
+use sgxs_rt::HeapAlloc;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Size of one overlay chunk (paper §4.2: 1 KB).
+pub const CHUNK_BYTES: u32 = 1024;
+/// Maximum total overlay memory (paper §4.2: 1 MB) — bounds the damage of
+/// integer-overflow-driven multi-gigabyte "overflows".
+pub const CACHE_CAP_BYTES: u64 = 1 << 20;
+
+/// Counters describing boundless-memory activity.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BoundlessStats {
+    /// Out-of-bounds loads redirected to an existing overlay chunk.
+    pub load_hits: u64,
+    /// Out-of-bounds loads answered with zeroes (no overlay entry).
+    pub load_zero: u64,
+    /// Out-of-bounds stores redirected (hit or fresh chunk).
+    pub stores: u64,
+    /// Chunks evicted because the cache hit its cap.
+    pub evictions: u64,
+}
+
+/// The overlay LRU cache.
+pub struct BoundlessCache {
+    heap: Rc<RefCell<HeapAlloc>>,
+    /// chunk key (oob address / CHUNK_BYTES) -> overlay chunk base.
+    chunks: HashMap<u64, u32>,
+    /// LRU order of chunk keys (front = least recently used).
+    lru: VecDeque<u64>,
+    /// Read-only all-zero chunk for load misses.
+    zero_chunk: u32,
+    /// Activity counters.
+    pub stats: BoundlessStats,
+}
+
+impl BoundlessCache {
+    /// Creates the cache; `zero_chunk` must point at `CHUNK_BYTES + 8` bytes
+    /// of memory that the program never writes.
+    pub fn new(heap: Rc<RefCell<HeapAlloc>>, zero_chunk: u32) -> Self {
+        BoundlessCache {
+            heap,
+            chunks: HashMap::new(),
+            lru: VecDeque::new(),
+            zero_chunk,
+            stats: BoundlessStats::default(),
+        }
+    }
+
+    fn key_off(addr: u32) -> (u64, u32) {
+        ((addr / CHUNK_BYTES) as u64, addr % CHUNK_BYTES)
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(pos) = self.lru.iter().position(|&k| k == key) {
+            self.lru.remove(pos);
+        }
+        self.lru.push_back(key);
+    }
+
+    /// Redirects an out-of-bounds access at `addr`; returns the overlay
+    /// address to use instead.
+    ///
+    /// All bookkeeping runs on the slow path and is globally serialized,
+    /// matching the paper's implementation ("synchronized via a global
+    /// lock ... it lies on a slow path", §5.1).
+    pub fn redirect(
+        &mut self,
+        ctx: &mut IntrinsicCtx<'_>,
+        addr: u32,
+        is_store: bool,
+    ) -> Result<u32, Trap> {
+        let (key, off) = Self::key_off(addr);
+        // Global-lock + hash lookup cost.
+        ctx.charge(150);
+        if let Some(&base) = self.chunks.get(&key) {
+            self.touch(key);
+            if is_store {
+                self.stats.stores += 1;
+            } else {
+                self.stats.load_hits += 1;
+            }
+            return Ok(base + off);
+        }
+        if !is_store {
+            // Failure-oblivious read: zeroes.
+            self.stats.load_zero += 1;
+            return Ok(self.zero_chunk + off);
+        }
+        // Store miss: allocate a fresh chunk, evicting if over cap.
+        while (self.chunks.len() as u64 + 1) * CHUNK_BYTES as u64 > CACHE_CAP_BYTES {
+            let victim = self
+                .lru
+                .pop_front()
+                .expect("cache over cap implies entries");
+            let base = self.chunks.remove(&victim).expect("lru entry is mapped");
+            self.heap.borrow_mut().free(ctx, base)?;
+            self.stats.evictions += 1;
+        }
+        // 8 bytes of slack so an access starting at the last chunk byte
+        // cannot overrun the overlay chunk itself.
+        let base = self.heap.borrow_mut().malloc(ctx, CHUNK_BYTES + 8)?;
+        sgxs_rt::libc::memset(ctx, base, 0, CHUNK_BYTES + 8)?;
+        self.chunks.insert(key, base);
+        self.lru.push_back(key);
+        self.stats.stores += 1;
+        Ok(base + off)
+    }
+
+    /// Number of live overlay chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgxs_mir::interp::env::Env;
+    use sgxs_rt::AllocOpts;
+    use sgxs_sim::{Machine, MachineConfig, Mode, Preset};
+
+    fn setup() -> (Machine, Env, Vec<String>, BoundlessCache) {
+        let mut m = Machine::new(MachineConfig::preset(Preset::Tiny, Mode::Native));
+        let mut e = Env::new();
+        let mut o = Vec::new();
+        let heap = Rc::new(RefCell::new(HeapAlloc::new(0x2_0000, AllocOpts::default())));
+        let zero = {
+            let mut ctx = IntrinsicCtx {
+                machine: &mut m,
+                env: &mut e,
+                core: 0,
+                cycles: 0,
+                output: &mut o,
+            };
+            heap.borrow_mut().malloc(&mut ctx, CHUNK_BYTES + 8).unwrap()
+        };
+        let cache = BoundlessCache::new(heap, zero);
+        (m, e, o, cache)
+    }
+
+    macro_rules! ctx {
+        ($m:ident, $e:ident, $o:ident) => {
+            &mut IntrinsicCtx {
+                machine: &mut $m,
+                env: &mut $e,
+                core: 0,
+                cycles: 0,
+                output: &mut $o,
+            }
+        };
+    }
+
+    #[test]
+    fn load_miss_reads_zeroes() {
+        let (mut m, mut e, mut o, mut c) = setup();
+        let a = c.redirect(ctx!(m, e, o), 0x9999_1234, false).unwrap();
+        assert_eq!(m.mem.read(a, 8), 0);
+        assert_eq!(c.stats.load_zero, 1);
+        assert_eq!(c.chunk_count(), 0, "load misses must not allocate");
+    }
+
+    #[test]
+    fn store_then_load_roundtrips_through_overlay() {
+        let (mut m, mut e, mut o, mut c) = setup();
+        let w = c.redirect(ctx!(m, e, o), 0x9999_1234, true).unwrap();
+        m.mem.write(w, 8, 0xABCD);
+        let r = c.redirect(ctx!(m, e, o), 0x9999_1234, false).unwrap();
+        assert_eq!(w, r, "same OOB address must map to same overlay slot");
+        assert_eq!(m.mem.read(r, 8), 0xABCD);
+    }
+
+    #[test]
+    fn adjacent_oob_addresses_share_a_chunk() {
+        let (mut m, mut e, mut o, mut c) = setup();
+        let a = c.redirect(ctx!(m, e, o), 0x5000_0000, true).unwrap();
+        let b = c.redirect(ctx!(m, e, o), 0x5000_0008, true).unwrap();
+        assert_eq!(b, a + 8);
+        assert_eq!(c.chunk_count(), 1);
+    }
+
+    #[test]
+    fn cache_is_bounded_and_evicts_lru() {
+        let (mut m, mut e, mut o, mut c) = setup();
+        let n_chunks = (CACHE_CAP_BYTES / CHUNK_BYTES as u64) as u32;
+        // Fill the cache and then one more.
+        for i in 0..=n_chunks {
+            c.redirect(ctx!(m, e, o), 0x4000_0000 + i * CHUNK_BYTES, true)
+                .unwrap();
+        }
+        assert_eq!(c.chunk_count() as u64, CACHE_CAP_BYTES / CHUNK_BYTES as u64);
+        assert_eq!(c.stats.evictions, 1);
+        // The first (least recently used) chunk was evicted: loading from it
+        // now reads zeroes.
+        let a = c.redirect(ctx!(m, e, o), 0x4000_0000, false).unwrap();
+        let _ = a;
+        assert_eq!(c.stats.load_zero, 1);
+    }
+
+    #[test]
+    fn gigabyte_scale_overflow_stays_bounded() {
+        // An integer-overflow bug "writing" 64 MB OOB must not consume more
+        // than the 1 MB cap (paper §4.2's motivation for bounding the cache).
+        let (mut m, mut e, mut o, mut c) = setup();
+        for i in 0..(64 << 10) {
+            c.redirect(ctx!(m, e, o), 0x4000_0000 + i * CHUNK_BYTES, true)
+                .unwrap();
+        }
+        assert!(c.chunk_count() as u64 * CHUNK_BYTES as u64 <= CACHE_CAP_BYTES);
+        assert!(c.stats.evictions > 60_000);
+    }
+}

@@ -1,0 +1,696 @@
+//! The SGXBounds compile-time instrumentation pass (paper §3.2, §5.1).
+//!
+//! Rewrites a module so that, at run time:
+//!
+//! 1. every allocation site produces a *tagged pointer* and appends the
+//!    lower bound after the object (`malloc` family, globals, stack slots);
+//! 2. every pointer-arithmetic instruction is masked so it can only affect
+//!    the low 32 bits (a wild index can never corrupt the tag);
+//! 3. every memory access extracts `(p, UB, LB)` and branches to the
+//!    violation handler when out of bounds — unless the safe-access or
+//!    check-hoisting optimizations proved the check redundant, in which
+//!    case only the tag strip remains;
+//! 4. libc-style intrinsics are redirected to the checking wrappers.
+//!
+//! The pass is purely structural: it never executes anything. The companion
+//! runtime ([`crate::runtime`]) provides the `sb_*` intrinsics the rewritten
+//! code calls.
+
+use crate::SbConfig;
+use sgxs_mir::analysis::mark_safe_accesses;
+use sgxs_mir::ir::{
+    AccessAttrs, BinOp, Block, BlockId, CmpOp, Function, Inst, Module, Operand, Term,
+};
+use sgxs_mir::ty::Ty;
+
+/// Counters describing what the pass did (used by tests and the
+/// optimization-ablation experiment, Fig. 10).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct InstrumentReport {
+    /// Accesses lowered with the full (LB + UB) check.
+    pub full_checks: usize,
+    /// Accesses lowered with only the UB check (lower bound hoisted away).
+    pub ub_only_checks: usize,
+    /// Accesses proven safe: only the tag strip remains.
+    pub safe_elided: usize,
+    /// Pointer-arithmetic instructions masked.
+    pub geps_masked: usize,
+    /// Loop checks hoisted to preheaders.
+    pub hoisted_checks: usize,
+    /// Allocation-site intrinsics redirected to the runtime.
+    pub intrinsics_redirected: usize,
+}
+
+/// Errors the pass can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassError {
+    /// The module was already hardened with some scheme.
+    AlreadyInstrumented(&'static str),
+}
+
+impl std::fmt::Display for PassError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PassError::AlreadyInstrumented(s) => {
+                write!(f, "module already instrumented with {s}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PassError {}
+
+/// Intrinsics redirected to checking wrappers (paper §3.2 "Function calls").
+const REDIRECTS: &[(&str, &str)] = &[
+    ("malloc", "sb_malloc"),
+    ("calloc", "sb_calloc"),
+    ("realloc", "sb_realloc"),
+    ("free", "sb_free"),
+    ("mmap", "sb_mmap"),
+    ("munmap", "sb_munmap"),
+    ("memcpy", "sb_memcpy"),
+    ("memmove", "sb_memmove"),
+    ("memset", "sb_memset"),
+    ("memcmp", "sb_memcmp"),
+    ("strlen", "sb_strlen"),
+    ("strcpy", "sb_strcpy"),
+    ("strcmp", "sb_strcmp"),
+    ("strncpy", "sb_strncpy"),
+    ("strcat", "sb_strcat"),
+    ("strchr", "sb_strchr"),
+    ("fmt_u64", "sb_fmt_u64"),
+    ("malloc_usable_size", "sb_malloc_usable_size"),
+];
+
+/// Applies SGXBounds instrumentation to `module`.
+pub fn instrument(module: &mut Module, cfg: &SbConfig) -> Result<InstrumentReport, PassError> {
+    if let Some(s) = module.hardening {
+        return Err(PassError::AlreadyInstrumented(s));
+    }
+    let mut report = InstrumentReport::default();
+
+    // (1) Safe-access analysis (paper §4.4).
+    if cfg.safe_access_opt {
+        mark_safe_accesses(module);
+    }
+
+    // (2) Loop-check hoisting (paper §4.4). Incompatible with boundless
+    // redirection (a hoisted check has no single access to redirect), so it
+    // is applied only in fail-stop mode.
+    if cfg.hoist_opt && !cfg.boundless {
+        report.hoisted_checks = crate::opts::hoist_loop_checks(module);
+    }
+
+    // (2b) Bounds narrowing (paper §8): accesses through narrowed field
+    // pointers skip the lower-bound load (the narrowed UB points into the
+    // object, where no LB word lives).
+    if cfg.narrow_bounds {
+        crate::narrow::mark_narrowed_accesses(module);
+    }
+
+    // (3) Redirect allocation/libc intrinsics to the runtime wrappers.
+    let mapping: Vec<(sgxs_mir::ir::IntrinsicId, sgxs_mir::ir::IntrinsicId)> = REDIRECTS
+        .iter()
+        .filter_map(|(from, to)| {
+            let from_id = module
+                .intrinsics
+                .iter()
+                .position(|n| n == from)
+                .map(|i| sgxs_mir::ir::IntrinsicId(i as u32))?;
+            let to_id = module.intrinsic(to);
+            Some((from_id, to_id))
+        })
+        .collect();
+    for f in &mut module.funcs {
+        for b in &mut f.blocks {
+            for inst in &mut b.insts {
+                if let Inst::CallIntrinsic { intrinsic, .. } = inst {
+                    if let Some((_, to)) = mapping.iter().find(|(from, _)| from == intrinsic) {
+                        *intrinsic = *to;
+                        report.intrinsics_redirected += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    let sb_violation = module.intrinsic("sb_violation");
+
+    // Per-function rewriting.
+    for fi in 0..module.funcs.len() {
+        let (masked, lowered) = instrument_function(module, fi, sb_violation, &mut report);
+        report.geps_masked += masked;
+        let _ = lowered;
+    }
+
+    // (4) Tag every SlotAddr/GlobalAddr result (addresses of globals and
+    // stack objects become tagged pointers).
+    let global_sizes: Vec<u32> = module.globals.iter().map(|g| g.size).collect();
+    for f in &mut module.funcs {
+        tag_address_takes(f, &global_sizes);
+    }
+
+    // (5) Pad objects with the 4-byte lower bound and initialize it:
+    // stack slots at frame entry, globals in a synthetic init function
+    // called at the start of `main` (paper §3.2 "Pointer creation").
+    for f in &mut module.funcs {
+        insert_slot_lb_init(f);
+        for s in &mut f.slots {
+            s.padded_size = s.size + crate::tagged::LB_BYTES;
+        }
+    }
+    for g in &mut module.globals {
+        g.padded_size = g.size + crate::tagged::LB_BYTES;
+    }
+    insert_global_init(module);
+
+    module.hardening = Some("sgxbounds");
+    Ok(report)
+}
+
+/// Rewrites one function: masks geps, lowers access checks.
+fn instrument_function(
+    module: &mut Module,
+    fi: usize,
+    sb_violation: sgxs_mir::ir::IntrinsicId,
+    report: &mut InstrumentReport,
+) -> (usize, usize) {
+    let f = &mut module.funcs[fi];
+    let mut masked = 0;
+    let mut lowered = 0;
+
+    // Gep masking: d = gep ... becomes
+    //   t  = gep base, idx, scale, disp   (raw)
+    //   hi = and base, TAG_MASK
+    //   lo = and t, PTR_MASK
+    //   d  = or hi, lo
+    // Inbounds geps (struct offsets, fixed-index arrays) cannot overflow the
+    // low 32 bits and are left unmasked (paper §4.4 "Safe memory accesses").
+    for bi in 0..f.blocks.len() {
+        let mut i = 0;
+        while i < f.blocks[bi].insts.len() {
+            let inst = &f.blocks[bi].insts[i];
+            if let Inst::Gep {
+                dst,
+                base: base @ Operand::Reg(_),
+                index,
+                scale,
+                disp,
+                inbounds: false,
+            } = *inst
+            {
+                let t = f.new_reg(Ty::Ptr);
+                let hi = f.new_reg(Ty::I64);
+                let lo = f.new_reg(Ty::I64);
+                let seq = vec![
+                    Inst::Gep {
+                        dst: t,
+                        base,
+                        index,
+                        scale,
+                        disp,
+                        inbounds: true, // Marked so this pass never revisits it.
+                    },
+                    Inst::Bin {
+                        op: BinOp::And,
+                        dst: hi,
+                        a: base,
+                        b: Operand::Imm(crate::tagged::TAG_MASK),
+                    },
+                    Inst::Bin {
+                        op: BinOp::And,
+                        dst: lo,
+                        a: t.into(),
+                        b: Operand::Imm(crate::tagged::PTR_MASK),
+                    },
+                    Inst::Bin {
+                        op: BinOp::Or,
+                        dst,
+                        a: hi.into(),
+                        b: lo.into(),
+                    },
+                ];
+                f.blocks[bi].insts.splice(i..=i, seq);
+                i += 4;
+                masked += 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Access lowering with block splitting.
+    let tmp_local = f.new_local(Ty::I64);
+    let mut worklist: Vec<(usize, usize)> = (0..f.blocks.len()).map(|b| (b, 0)).collect();
+    while let Some((bi, start)) = worklist.pop() {
+        let mut i = start;
+        loop {
+            if i >= f.blocks[bi].insts.len() {
+                break;
+            }
+            let (addr, size, attrs, is_store) = match &f.blocks[bi].insts[i] {
+                Inst::Load {
+                    addr, ty, attrs, ..
+                } => (*addr, ty.width(), *attrs, false),
+                Inst::Store {
+                    addr, ty, attrs, ..
+                } => (*addr, ty.width(), *attrs, true),
+                Inst::AtomicRmw {
+                    addr, ty, attrs, ..
+                } => (*addr, ty.width(), *attrs, true),
+                Inst::AtomicCas {
+                    addr, ty, attrs, ..
+                } => (*addr, ty.width(), *attrs, true),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            if attrs.lowered {
+                i += 1;
+                continue;
+            }
+            let Operand::Reg(_) = addr else {
+                // Host-constant addresses are not program pointers.
+                set_lowered(&mut f.blocks[bi].insts[i]);
+                i += 1;
+                continue;
+            };
+
+            if attrs.safe {
+                // Tag strip only: p = addr & PTR_MASK.
+                let p = f.new_reg(Ty::Ptr);
+                let mask = Inst::Bin {
+                    op: BinOp::And,
+                    dst: p,
+                    a: addr,
+                    b: Operand::Imm(crate::tagged::PTR_MASK),
+                };
+                replace_addr(&mut f.blocks[bi].insts[i], p.into());
+                set_lowered(&mut f.blocks[bi].insts[i]);
+                f.blocks[bi].insts.insert(i, mask);
+                report.safe_elided += 1;
+                i += 2;
+                continue;
+            }
+
+            // Full or UB-only check: split the block.
+            let p = f.new_reg(Ty::Ptr);
+            let ub = f.new_reg(Ty::I64);
+            let pe = f.new_reg(Ty::I64);
+            let c_ub = f.new_reg(Ty::I64);
+            let mut check = vec![
+                Inst::Bin {
+                    op: BinOp::And,
+                    dst: p,
+                    a: addr,
+                    b: Operand::Imm(crate::tagged::PTR_MASK),
+                },
+                Inst::Bin {
+                    op: BinOp::LShr,
+                    dst: ub,
+                    a: addr,
+                    b: Operand::Imm(32),
+                },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    dst: pe,
+                    a: p.into(),
+                    b: Operand::Imm(size as u64),
+                },
+                Inst::Cmp {
+                    op: CmpOp::UGt,
+                    dst: c_ub,
+                    a: pe.into(),
+                    b: ub.into(),
+                },
+            ];
+            let cond = if attrs.no_lower {
+                report.ub_only_checks += 1;
+                c_ub
+            } else {
+                report.full_checks += 1;
+                let lb = f.new_reg(Ty::I64);
+                let c_lb = f.new_reg(Ty::I64);
+                let c = f.new_reg(Ty::I64);
+                check.push(Inst::Load {
+                    dst: lb,
+                    addr: ub.into(),
+                    ty: Ty::I32,
+                    attrs: AccessAttrs {
+                        safe: true,
+                        no_lower: true,
+                        lowered: true,
+                    },
+                });
+                check.push(Inst::Cmp {
+                    op: CmpOp::ULt,
+                    dst: c_lb,
+                    a: p.into(),
+                    b: lb.into(),
+                });
+                check.push(Inst::Bin {
+                    op: BinOp::Or,
+                    dst: c,
+                    a: c_ub.into(),
+                    b: c_lb.into(),
+                });
+                c
+            };
+
+            // Carve the continuation block out of the current one.
+            let rest: Vec<Inst> = f.blocks[bi].insts.split_off(i);
+            let orig_term = std::mem::replace(&mut f.blocks[bi].term, Term::Unreachable);
+            let cont_id = BlockId(f.blocks.len() as u32);
+            let ok_id = BlockId(f.blocks.len() as u32 + 1);
+            let fail_id = BlockId(f.blocks.len() as u32 + 2);
+
+            // cont block: aa = tmp_local; <access with addr = aa>; rest.
+            let aa = f.new_reg(Ty::Ptr);
+            let mut cont_insts = vec![Inst::ReadLocal {
+                dst: aa,
+                local: tmp_local,
+            }];
+            let mut access = rest.into_iter().collect::<Vec<_>>();
+            replace_addr(&mut access[0], aa.into());
+            set_lowered(&mut access[0]);
+            cont_insts.extend(access);
+            f.blocks.push(Block {
+                insts: cont_insts,
+                term: orig_term,
+            });
+
+            // ok block.
+            f.blocks.push(Block {
+                insts: vec![Inst::WriteLocal {
+                    local: tmp_local,
+                    val: p.into(),
+                }],
+                term: Term::Jmp(cont_id),
+            });
+
+            // fail block.
+            let rd = f.new_reg(Ty::Ptr);
+            f.blocks.push(Block {
+                insts: vec![
+                    Inst::CallIntrinsic {
+                        dst: Some(rd),
+                        intrinsic: sb_violation,
+                        args: vec![
+                            addr,
+                            Operand::Imm(size as u64),
+                            Operand::Imm(is_store as u64),
+                        ],
+                    },
+                    Inst::WriteLocal {
+                        local: tmp_local,
+                        val: rd.into(),
+                    },
+                ],
+                term: Term::Jmp(cont_id),
+            });
+
+            // Current block: check sequence + branch.
+            f.blocks[bi].insts.extend(check);
+            f.blocks[bi].term = Term::Br {
+                cond: cond.into(),
+                t: fail_id,
+                f: ok_id,
+            };
+            lowered += 1;
+            // Continue scanning in the continuation block, after the access.
+            worklist.push((cont_id.0 as usize, 2));
+            break;
+        }
+    }
+
+    (masked, lowered)
+}
+
+fn replace_addr(inst: &mut Inst, new_addr: Operand) {
+    match inst {
+        Inst::Load { addr, .. }
+        | Inst::Store { addr, .. }
+        | Inst::AtomicRmw { addr, .. }
+        | Inst::AtomicCas { addr, .. } => *addr = new_addr,
+        _ => unreachable!("replace_addr on non-access"),
+    }
+}
+
+fn set_lowered(inst: &mut Inst) {
+    match inst {
+        Inst::Load { attrs, .. }
+        | Inst::Store { attrs, .. }
+        | Inst::AtomicRmw { attrs, .. }
+        | Inst::AtomicCas { attrs, .. } => attrs.lowered = true,
+        _ => unreachable!("set_lowered on non-access"),
+    }
+}
+
+/// Rewrites `d = &slot` / `d = &global` into tagged-pointer construction:
+/// `base; ub = base + size; d = (ub << 32) | base`.
+fn tag_address_takes(f: &mut Function, global_sizes: &[u32]) {
+    let slot_sizes: Vec<u32> = f.slots.iter().map(|s| s.size).collect();
+    for bi in 0..f.blocks.len() {
+        let mut i = 0;
+        while i < f.blocks[bi].insts.len() {
+            let (dst, size, raw) = match f.blocks[bi].insts[i] {
+                Inst::SlotAddr { dst, slot } => {
+                    let t = f.new_reg(Ty::Ptr);
+                    f.blocks[bi].insts[i] = Inst::SlotAddr { dst: t, slot };
+                    (dst, slot_sizes[slot.0 as usize], t)
+                }
+                Inst::GlobalAddr { dst, global } => {
+                    let t = f.new_reg(Ty::Ptr);
+                    f.blocks[bi].insts[i] = Inst::GlobalAddr { dst: t, global };
+                    (dst, global_sizes[global.0 as usize], t)
+                }
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let ub = f.new_reg(Ty::I64);
+            let sh = f.new_reg(Ty::I64);
+            let seq = vec![
+                Inst::Bin {
+                    op: BinOp::Add,
+                    dst: ub,
+                    a: raw.into(),
+                    b: Operand::Imm(size as u64),
+                },
+                Inst::Bin {
+                    op: BinOp::Shl,
+                    dst: sh,
+                    a: ub.into(),
+                    b: Operand::Imm(32),
+                },
+                Inst::Bin {
+                    op: BinOp::Or,
+                    dst,
+                    a: sh.into(),
+                    b: raw.into(),
+                },
+            ];
+            f.blocks[bi].insts.splice(i + 1..i + 1, seq);
+            i += 4;
+        }
+    }
+}
+
+/// Inserts, at function entry, a lower-bound store for every stack slot:
+/// `*(i32*)(&slot + size) = &slot` (paper §3.2: stack objects are padded
+/// and initialized at frame creation).
+fn insert_slot_lb_init(f: &mut Function) {
+    if f.slots.is_empty() {
+        return;
+    }
+    let mut seq = Vec::with_capacity(f.slots.len() * 3);
+    for si in 0..f.slots.len() {
+        let t = f.new_reg(Ty::Ptr);
+        let la = f.new_reg(Ty::Ptr);
+        let size = f.slots[si].size;
+        seq.push(Inst::SlotAddr {
+            dst: t,
+            slot: sgxs_mir::ir::SlotId(si as u32),
+        });
+        seq.push(Inst::Gep {
+            dst: la,
+            base: t.into(),
+            index: Operand::Imm(0),
+            scale: 1,
+            disp: size as i64,
+            inbounds: true,
+        });
+        seq.push(Inst::Store {
+            addr: la.into(),
+            val: t.into(),
+            ty: Ty::I32,
+            attrs: AccessAttrs {
+                safe: true,
+                no_lower: true,
+                lowered: true,
+            },
+        });
+    }
+    f.blocks[0].insts.splice(0..0, seq);
+}
+
+/// Creates `__sb_init_globals` (stores every global's lower bound) and calls
+/// it at the top of `main`.
+fn insert_global_init(module: &mut Module) {
+    let nglobals = module.globals.len();
+    let mut init = Function {
+        name: "__sb_init_globals".into(),
+        params: vec![],
+        ret: None,
+        reg_tys: vec![],
+        locals: vec![],
+        slots: vec![],
+        blocks: vec![Block {
+            insts: vec![],
+            term: Term::Ret(None),
+        }],
+    };
+    for gi in 0..nglobals {
+        let size = module.globals[gi].size;
+        let t = init.new_reg(Ty::Ptr);
+        let la = init.new_reg(Ty::Ptr);
+        init.blocks[0].insts.push(Inst::GlobalAddr {
+            dst: t,
+            global: sgxs_mir::ir::GlobalId(gi as u32),
+        });
+        init.blocks[0].insts.push(Inst::Gep {
+            dst: la,
+            base: t.into(),
+            index: Operand::Imm(0),
+            scale: 1,
+            disp: size as i64,
+            inbounds: true,
+        });
+        init.blocks[0].insts.push(Inst::Store {
+            addr: la.into(),
+            val: t.into(),
+            ty: Ty::I32,
+            attrs: AccessAttrs {
+                safe: true,
+                no_lower: true,
+                lowered: true,
+            },
+        });
+    }
+    let init_id = sgxs_mir::ir::FuncId(module.funcs.len() as u32);
+    module.funcs.push(init);
+    if let Some(main) = module.func_by_name("main") {
+        let main_f = &mut module.funcs[main.0 as usize];
+        main_f.blocks[0].insts.insert(
+            0,
+            Inst::Call {
+                dst: None,
+                func: init_id,
+                args: vec![],
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgxs_mir::{verify, ModuleBuilder};
+
+    fn simple_module() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global_zeroed("g", 64);
+        mb.func("main", &[], Some(Ty::I64), |fb| {
+            let gp = fb.global_addr(g);
+            let s = fb.slot("buf", 32);
+            let sp = fb.slot_addr(s);
+            let hp = fb.intr_ptr("malloc", &[Operand::Imm(16)]);
+            fb.count_loop(0u64, 4u64, |fb, i| {
+                let a = fb.gep(gp, i, 8, 0);
+                let v = fb.load(Ty::I64, a);
+                let b = fb.gep(sp, i, 8, 0);
+                fb.store(Ty::I64, b, v);
+            });
+            fb.store(Ty::I64, hp, 1u64);
+            fb.intr_void("free", &[hp.into()]);
+            fb.ret(Some(0u64.into()));
+        });
+        mb.finish()
+    }
+
+    #[test]
+    fn instrumented_module_verifies() {
+        let mut m = simple_module();
+        let rep = instrument(&mut m, &SbConfig::default()).unwrap();
+        verify(&m).expect("instrumented IR must verify");
+        assert!(rep.full_checks + rep.ub_only_checks + rep.safe_elided > 0);
+        assert!(rep.geps_masked > 0);
+        assert_eq!(m.hardening, Some("sgxbounds"));
+    }
+
+    #[test]
+    fn double_instrumentation_rejected() {
+        let mut m = simple_module();
+        instrument(&mut m, &SbConfig::default()).unwrap();
+        assert!(matches!(
+            instrument(&mut m, &SbConfig::default()),
+            Err(PassError::AlreadyInstrumented("sgxbounds"))
+        ));
+    }
+
+    #[test]
+    fn objects_padded_with_lb() {
+        let mut m = simple_module();
+        instrument(&mut m, &SbConfig::default()).unwrap();
+        assert_eq!(m.globals[0].padded_size, 64 + 4);
+        let main = m.func_by_name("main").unwrap();
+        assert_eq!(m.funcs[main.0 as usize].slots[0].padded_size, 32 + 4);
+    }
+
+    #[test]
+    fn allocation_intrinsics_redirected() {
+        let mut m = simple_module();
+        let rep = instrument(&mut m, &SbConfig::default()).unwrap();
+        assert!(rep.intrinsics_redirected >= 2); // malloc + free.
+        assert!(m.intrinsics.iter().any(|n| n == "sb_malloc"));
+        assert!(m.intrinsics.iter().any(|n| n == "sb_violation"));
+    }
+
+    #[test]
+    fn init_function_created_and_called_from_main() {
+        let mut m = simple_module();
+        instrument(&mut m, &SbConfig::default()).unwrap();
+        let init = m.func_by_name("__sb_init_globals").expect("init exists");
+        let main = m.func_by_name("main").unwrap();
+        let first = &m.funcs[main.0 as usize].blocks[0].insts[0];
+        assert!(
+            matches!(first, Inst::Call { func, .. } if *func == init),
+            "main must call the global initializer first"
+        );
+    }
+
+    #[test]
+    fn optimizations_reduce_check_count() {
+        let m0 = simple_module();
+        let mut unopt = m0.clone();
+        let mut opt = m0;
+        let rep_unopt = instrument(
+            &mut unopt,
+            &SbConfig {
+                safe_access_opt: false,
+                hoist_opt: false,
+                boundless: false,
+                narrow_bounds: false,
+            },
+        )
+        .unwrap();
+        let rep_opt = instrument(&mut opt, &SbConfig::default()).unwrap();
+        assert!(
+            rep_opt.full_checks < rep_unopt.full_checks
+                || rep_opt.safe_elided > rep_unopt.safe_elided,
+            "optimizations must elide some checks: {rep_opt:?} vs {rep_unopt:?}"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! The SGXBounds tagged-pointer representation (paper §3.1, Fig. 5).
+//!
+//! A 64-bit tagged pointer holds the object's **upper bound** in its high
+//! 32 bits and the pointer itself in the low 32 bits:
+//!
+//! ```text
+//!   63            32 31             0
+//!  +----------------+----------------+
+//!  |  upper bound   |    pointer     |
+//!  +----------------+----------------+
+//! ```
+//!
+//! The upper bound doubles as the address of the object's **lower bound**
+//! (and any further metadata), which is stored in 4 bytes appended to the
+//! object. Because pointer and tag share one word, pointer assignment and
+//! metadata propagation are inherently atomic — the property that makes
+//! SGXBounds "synchronization-free" under multithreading (paper §4.1).
+
+/// Mask selecting the pointer half of a tagged pointer.
+pub const PTR_MASK: u64 = 0xFFFF_FFFF;
+/// Mask selecting the tag (upper bound) half.
+pub const TAG_MASK: u64 = 0xFFFF_FFFF_0000_0000;
+/// Bytes of per-object metadata appended by SGXBounds (the lower bound).
+pub const LB_BYTES: u32 = 4;
+
+/// Builds a tagged pointer from a base pointer and its upper bound.
+///
+/// Matches the paper's `specify_bounds`: `tagged = (UB << 32) | p`.
+pub fn make(ptr: u32, upper_bound: u32) -> u64 {
+    ((upper_bound as u64) << 32) | ptr as u64
+}
+
+/// Extracts the plain pointer (paper's `extract_p`).
+pub fn ptr_of(tagged: u64) -> u32 {
+    (tagged & PTR_MASK) as u32
+}
+
+/// Extracts the upper bound (paper's `extract_UB`).
+pub fn ub_of(tagged: u64) -> u32 {
+    (tagged >> 32) as u32
+}
+
+/// Replaces the pointer half, preserving the tag — the masking SGXBounds
+/// applies after every pointer-arithmetic instruction so that a wild
+/// integer operand can never corrupt the upper bound (paper §3.2 "Pointer
+/// arithmetic").
+pub fn with_ptr(tagged: u64, ptr: u64) -> u64 {
+    (tagged & TAG_MASK) | (ptr & PTR_MASK)
+}
+
+/// The paper's `bounds_violated` check, taking the access size into
+/// account: the access `[p, p+size)` must lie within `[lb, ub)`.
+pub fn violates(p: u32, size: u32, lb: u32, ub: u32) -> bool {
+    p < lb || (p as u64 + size as u64) > ub as u64
+}
+
+/// Whether a value carries a tag at all (untagged values have a zero upper
+/// half and always fail bounds checks — SGXBounds fails closed).
+pub fn is_tagged(v: u64) -> bool {
+    v & TAG_MASK != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = make(0x1000, 0x1100);
+        assert_eq!(ptr_of(t), 0x1000);
+        assert_eq!(ub_of(t), 0x1100);
+        assert!(is_tagged(t));
+        assert!(!is_tagged(0x1000));
+    }
+
+    #[test]
+    fn violation_boundaries() {
+        // Object [0x100, 0x200), 8-byte accesses.
+        assert!(!violates(0x100, 8, 0x100, 0x200));
+        assert!(!violates(0x1F8, 8, 0x100, 0x200));
+        assert!(violates(0x1F9, 8, 0x100, 0x200), "last byte out");
+        assert!(violates(0x200, 1, 0x100, 0x200), "at upper bound");
+        assert!(violates(0xFF, 1, 0x100, 0x200), "below lower bound");
+    }
+
+    #[test]
+    fn untagged_pointer_always_violates() {
+        let raw = 0x5000u64;
+        assert!(!is_tagged(raw));
+        // ub = 0 => any access fails the upper-bound check.
+        assert!(violates(ptr_of(raw), 1, 0, ub_of(raw)));
+    }
+
+    proptest! {
+        #[test]
+        fn make_extract_inverse(p: u32, ub: u32) {
+            let t = make(p, ub);
+            prop_assert_eq!(ptr_of(t), p);
+            prop_assert_eq!(ub_of(t), ub);
+        }
+
+        #[test]
+        fn with_ptr_preserves_tag(p: u32, ub: u32, wild: u64) {
+            let t = make(p, ub);
+            let moved = with_ptr(t, wild);
+            prop_assert_eq!(ub_of(moved), ub, "tag must survive arithmetic");
+            prop_assert_eq!(ptr_of(moved) as u64, wild & PTR_MASK);
+        }
+
+        #[test]
+        fn int_cast_roundtrip_is_identity(p: u32, ub: u32) {
+            // Paper §3.2 "Type casts": ptr -> int -> ptr preserves the tag.
+            let t = make(p, ub);
+            let as_int: u64 = t; // Bit-identical cast.
+            prop_assert_eq!(as_int, t);
+        }
+
+        #[test]
+        fn in_bounds_accesses_never_flag(base in 0u32..0xFFFF_0000, size in 1u32..4096, off in 0u32..4096, w in 1u32..9) {
+            let lb = base;
+            let ub = base.saturating_add(size);
+            prop_assume!(off + w <= size);
+            prop_assert!(!violates(base + off, w, lb, ub));
+        }
+
+        #[test]
+        fn oob_accesses_always_flag(base in 4096u32..0xFFFF_0000, size in 1u32..4096, w in 1u32..9) {
+            let lb = base;
+            let ub = base.saturating_add(size);
+            // One byte past the end.
+            prop_assert!(violates(ub.saturating_sub(w - 1), w, lb, ub));
+            // One byte before the start.
+            prop_assert!(violates(lb - 1, w, lb, ub));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! SGX machine model used as the execution substrate for the SGXBounds
+//! reproduction.
+//!
+//! The paper's evaluation is dominated by two architectural effects of Intel
+//! SGX (paper §2.1):
+//!
+//! 1. **Memory encryption (MEE):** every cache-line transfer between the CPU
+//!    cache and the Enclave Page Cache is decrypted and integrity-checked,
+//!    adding latency to LLC misses inside an enclave.
+//! 2. **EPC paging:** the EPC is tiny (~94 MB usable in SGX1). Working sets
+//!    larger than the EPC cause pages to be evicted (re-encrypted into
+//!    untrusted RAM) and faulted back in, which costs orders of magnitude
+//!    more than a regular memory access.
+//!
+//! This crate models both mechanistically: a sparse paged 32-bit address
+//! space ([`mem::PagedMem`]), a set-associative cache hierarchy
+//! ([`cache::Cache`]), an EPC residency tracker with CLOCK replacement
+//! ([`epc::Epc`]), and a cycle cost model ([`cost::CostModel`]) that the
+//! interpreter charges for every instruction and memory access. The
+//! [`machine::Machine`] ties them together and exposes `load`/`store` with
+//! cycle costs, so the relative overheads of SGXBounds, AddressSanitizer and
+//! Intel MPX *emerge* from their memory behaviour instead of being scripted.
+//!
+//! Nothing in this crate knows about any particular protection scheme.
+
+pub mod cache;
+pub mod cost;
+pub mod epc;
+pub mod machine;
+pub mod mem;
+pub mod stats;
+
+pub use cost::{CostModel, MachineConfig, Mode, Preset};
+pub use machine::{Machine, MemFault, MemFaultKind};
+pub use mem::{PagedMem, PAGE_SIZE};
+pub use stats::Stats;

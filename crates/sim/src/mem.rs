@@ -1,0 +1,321 @@
+//! Sparse, commit-on-touch 32-bit address space.
+//!
+//! SGXBounds is premised on enclave address spaces fitting in 32 bits (paper
+//! §3.1), so the simulated machine exposes exactly that: addresses are `u32`,
+//! and a 64-bit value whose high bits are non-zero is *not* a valid address —
+//! it is a tagged pointer that the instrumentation must strip first.
+//!
+//! Pages are materialized on first touch, which models `mmap` reserve/commit
+//! behaviour: reserving virtual memory (ASan's 512 MB shadow, MPX's bounds
+//! directory) is cheap until the pages are actually written. The paper's
+//! memory-consumption metric is *maximum reserved virtual memory* (§6.1), so
+//! [`PagedMem`] tracks reservations and their peak separately from committed
+//! (touched) pages.
+
+use std::collections::HashMap;
+
+/// Size of a simulated page in bytes.
+pub const PAGE_SIZE: u32 = 4096;
+const PAGE_SHIFT: u32 = 12;
+
+/// A sparse paged memory with a 32-bit address space.
+///
+/// Reads of never-written memory return zeroes (fresh anonymous pages).
+/// Individual pages can be marked forbidden (used by SGXBounds to poison the
+/// last enclave page as an arithmetic-overflow guard, paper §4.4).
+pub struct PagedMem {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+    forbidden: HashMap<u32, ()>,
+    /// Currently reserved virtual bytes (heap extents, shadow regions, …).
+    reserved: u64,
+    peak_reserved: u64,
+    peak_committed_pages: u64,
+}
+
+impl Default for PagedMem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PagedMem {
+    /// Creates an empty address space with nothing reserved.
+    pub fn new() -> Self {
+        PagedMem {
+            pages: HashMap::new(),
+            forbidden: HashMap::new(),
+            reserved: 0,
+            peak_reserved: 0,
+            peak_committed_pages: 0,
+        }
+    }
+
+    /// Registers `bytes` of reserved virtual memory (e.g. a shadow region).
+    pub fn reserve(&mut self, bytes: u64) {
+        self.reserved += bytes;
+        self.peak_reserved = self.peak_reserved.max(self.reserved);
+    }
+
+    /// Releases previously [`reserve`](Self::reserve)d virtual memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more is released than is currently reserved.
+    pub fn unreserve(&mut self, bytes: u64) {
+        assert!(bytes <= self.reserved, "unreserve underflow");
+        self.reserved -= bytes;
+    }
+
+    /// Currently reserved virtual bytes.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Peak reserved virtual bytes over the lifetime of this memory.
+    ///
+    /// This is the paper's memory-overhead metric (§6.1: "maximum amount of
+    /// reserved virtual memory").
+    pub fn peak_reserved(&self) -> u64 {
+        self.peak_reserved
+    }
+
+    /// Bytes in committed (touched) pages right now.
+    pub fn committed(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE as u64
+    }
+
+    /// Peak committed bytes over the lifetime of this memory.
+    pub fn peak_committed(&self) -> u64 {
+        self.peak_committed_pages * PAGE_SIZE as u64
+    }
+
+    /// Marks a page as inaccessible; any access to it faults.
+    pub fn forbid_page(&mut self, page_index: u32) {
+        self.forbidden.insert(page_index, ());
+    }
+
+    /// Returns `true` if the page at `page_index` is forbidden.
+    pub fn is_forbidden(&self, page_index: u32) -> bool {
+        self.forbidden.contains_key(&page_index)
+    }
+
+    /// Returns `true` if any byte of `[addr, addr + len)` lies in a
+    /// forbidden page or the range wraps around the address space.
+    pub fn range_faults(&self, addr: u32, len: u32) -> bool {
+        if len == 0 {
+            return false;
+        }
+        let Some(end) = addr.checked_add(len - 1) else {
+            return true;
+        };
+        if self.forbidden.is_empty() {
+            return false;
+        }
+        let first = addr >> PAGE_SHIFT;
+        let last = end >> PAGE_SHIFT;
+        (first..=last).any(|p| self.is_forbidden(p))
+    }
+
+    fn page_mut(&mut self, index: u32) -> &mut [u8; PAGE_SIZE as usize] {
+        if let std::collections::hash_map::Entry::Vacant(e) = self.pages.entry(index) {
+            e.insert(Box::new([0u8; PAGE_SIZE as usize]));
+            let committed = self.pages.len() as u64;
+            if committed > self.peak_committed_pages {
+                self.peak_committed_pages = committed;
+            }
+        }
+        self.pages.get_mut(&index).expect("page just inserted")
+    }
+
+    /// Reads `len` (1, 2, 4, or 8) bytes at `addr`, little-endian,
+    /// zero-extended to `u64`.
+    ///
+    /// Does not check forbidden pages; the [`crate::Machine`] front end does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is not one of 1, 2, 4, 8 or the range wraps.
+    pub fn read(&mut self, addr: u32, len: u8) -> u64 {
+        debug_assert!(matches!(len, 1 | 2 | 4 | 8));
+        let page = addr >> PAGE_SHIFT;
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off + len as usize <= PAGE_SIZE as usize {
+            let p = self.page_mut(page);
+            let mut buf = [0u8; 8];
+            buf[..len as usize].copy_from_slice(&p[off..off + len as usize]);
+            u64::from_le_bytes(buf)
+        } else {
+            // Crosses a page boundary: fall back to byte-wise.
+            let mut v: u64 = 0;
+            for i in 0..len as u32 {
+                let b = self.read_byte(addr.checked_add(i).expect("read wraps address space"));
+                v |= (b as u64) << (8 * i);
+            }
+            v
+        }
+    }
+
+    /// Writes the low `len` (1, 2, 4, or 8) bytes of `val` at `addr`,
+    /// little-endian.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is not one of 1, 2, 4, 8 or the range wraps.
+    pub fn write(&mut self, addr: u32, len: u8, val: u64) {
+        debug_assert!(matches!(len, 1 | 2 | 4 | 8));
+        let page = addr >> PAGE_SHIFT;
+        let off = (addr & (PAGE_SIZE - 1)) as usize;
+        if off + len as usize <= PAGE_SIZE as usize {
+            let p = self.page_mut(page);
+            p[off..off + len as usize].copy_from_slice(&val.to_le_bytes()[..len as usize]);
+        } else {
+            for i in 0..len as u32 {
+                let b = (val >> (8 * i)) as u8;
+                self.write_byte(addr.checked_add(i).expect("write wraps address space"), b);
+            }
+        }
+    }
+
+    fn read_byte(&mut self, addr: u32) -> u8 {
+        let p = self.page_mut(addr >> PAGE_SHIFT);
+        p[(addr & (PAGE_SIZE - 1)) as usize]
+    }
+
+    fn write_byte(&mut self, addr: u32, val: u8) {
+        let p = self.page_mut(addr >> PAGE_SHIFT);
+        p[(addr & (PAGE_SIZE - 1)) as usize] = val;
+    }
+
+    /// Copies `len` bytes out of memory into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range wraps the address space.
+    pub fn read_bytes(&mut self, addr: u32, buf: &mut [u8]) {
+        let mut a = addr;
+        let mut done = 0;
+        while done < buf.len() {
+            let page = a >> PAGE_SHIFT;
+            let off = (a & (PAGE_SIZE - 1)) as usize;
+            let chunk = (PAGE_SIZE as usize - off).min(buf.len() - done);
+            let p = self.page_mut(page);
+            buf[done..done + chunk].copy_from_slice(&p[off..off + chunk]);
+            done += chunk;
+            if done < buf.len() {
+                a = a
+                    .checked_add(chunk as u32)
+                    .expect("read wraps address space");
+            }
+        }
+    }
+
+    /// Copies `buf` into memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range wraps the address space.
+    pub fn write_bytes(&mut self, addr: u32, buf: &[u8]) {
+        let mut a = addr;
+        let mut done = 0;
+        while done < buf.len() {
+            let page = a >> PAGE_SHIFT;
+            let off = (a & (PAGE_SIZE - 1)) as usize;
+            let chunk = (PAGE_SIZE as usize - off).min(buf.len() - done);
+            let p = self.page_mut(page);
+            p[off..off + chunk].copy_from_slice(&buf[done..done + chunk]);
+            done += chunk;
+            if done < buf.len() {
+                a = a
+                    .checked_add(chunk as u32)
+                    .expect("write wraps address space");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_memory_reads_zero() {
+        let mut m = PagedMem::new();
+        assert_eq!(m.read(0x1234, 8), 0);
+        assert_eq!(m.read(u32::MAX - 8, 4), 0);
+    }
+
+    #[test]
+    fn read_write_roundtrip_all_widths() {
+        let mut m = PagedMem::new();
+        for (len, val) in [
+            (1u8, 0xABu64),
+            (2, 0xBEEF),
+            (4, 0xDEAD_BEEF),
+            (8, 0x0123_4567_89AB_CDEF),
+        ] {
+            m.write(0x8000, len, val);
+            assert_eq!(m.read(0x8000, len), val, "width {len}");
+        }
+    }
+
+    #[test]
+    fn narrow_write_does_not_clobber_neighbours() {
+        let mut m = PagedMem::new();
+        m.write(0x100, 8, u64::MAX);
+        m.write(0x102, 1, 0);
+        assert_eq!(m.read(0x100, 8), 0xFFFF_FFFF_FF00_FFFF);
+        assert_eq!(m.read(0x102, 1), 0);
+        assert_eq!(m.read(0x103, 1), 0xFF);
+    }
+
+    #[test]
+    fn cross_page_access_roundtrips() {
+        let mut m = PagedMem::new();
+        let addr = PAGE_SIZE - 3; // Crosses into page 1.
+        m.write(addr, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(addr, 8), 0x1122_3344_5566_7788);
+        // Both pages were committed.
+        assert_eq!(m.committed(), 2 * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip_across_pages() {
+        let mut m = PagedMem::new();
+        let data: Vec<u8> = (0..10000u32).map(|i| (i % 251) as u8).collect();
+        m.write_bytes(PAGE_SIZE - 100, &data);
+        let mut back = vec![0u8; data.len()];
+        m.read_bytes(PAGE_SIZE - 100, &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn reservation_peak_tracking() {
+        let mut m = PagedMem::new();
+        m.reserve(100);
+        m.reserve(50);
+        m.unreserve(120);
+        m.reserve(10);
+        assert_eq!(m.reserved(), 40);
+        assert_eq!(m.peak_reserved(), 150);
+    }
+
+    #[test]
+    fn forbidden_page_detection() {
+        let mut m = PagedMem::new();
+        m.forbid_page(10);
+        assert!(m.range_faults(10 * PAGE_SIZE, 1));
+        assert!(m.range_faults(10 * PAGE_SIZE - 1, 2));
+        assert!(!m.range_faults(10 * PAGE_SIZE - 1, 1));
+        assert!(!m.range_faults(11 * PAGE_SIZE, 8));
+        // Wrapping ranges always fault.
+        assert!(m.range_faults(u32::MAX, 2));
+    }
+
+    #[test]
+    fn committed_peak_grows_monotonically() {
+        let mut m = PagedMem::new();
+        m.write(0, 1, 1);
+        m.write(5 * PAGE_SIZE, 1, 1);
+        assert_eq!(m.peak_committed(), 2 * PAGE_SIZE as u64);
+    }
+}

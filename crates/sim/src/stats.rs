@@ -1,0 +1,111 @@
+//! Hardware event counters collected during a simulated run.
+//!
+//! These mirror the counters the paper reports in Table 3 and in the §6.2
+//! discussion: retired instructions, branches, L1 accesses, LLC misses, and
+//! EPC page faults.
+
+/// Aggregate event counters for one simulated execution.
+///
+/// Counters are monotonically increasing; [`Stats::delta`] subtracts a
+/// snapshot to obtain per-phase numbers (the harness uses this to exclude
+/// input-generation from measured regions).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Retired IR instructions (all threads).
+    pub instructions: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Data loads issued to the memory hierarchy.
+    pub loads: u64,
+    /// Data stores issued to the memory hierarchy.
+    pub stores: u64,
+    /// L1D accesses (loads + stores reaching the cache model).
+    pub l1_accesses: u64,
+    /// L1D misses.
+    pub l1_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+    /// Last-level cache misses (these pay DRAM latency, plus MEE inside an
+    /// enclave).
+    pub llc_misses: u64,
+    /// EPC page faults (page not resident in the EPC; enclave mode only).
+    pub epc_faults: u64,
+    /// EPC evictions performed to make room (each implies re-encryption).
+    pub epc_evictions: u64,
+    /// Cycles spent in the memory hierarchy (subset of total cycles).
+    pub mem_cycles: u64,
+}
+
+impl Stats {
+    /// Returns a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `self - earlier`, counter-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not an earlier snapshot of the
+    /// same run (any counter would underflow).
+    pub fn delta(&self, earlier: &Stats) -> Stats {
+        Stats {
+            instructions: self.instructions - earlier.instructions,
+            branches: self.branches - earlier.branches,
+            loads: self.loads - earlier.loads,
+            stores: self.stores - earlier.stores,
+            l1_accesses: self.l1_accesses - earlier.l1_accesses,
+            l1_misses: self.l1_misses - earlier.l1_misses,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            llc_misses: self.llc_misses - earlier.llc_misses,
+            epc_faults: self.epc_faults - earlier.epc_faults,
+            epc_evictions: self.epc_evictions - earlier.epc_evictions,
+            mem_cycles: self.mem_cycles - earlier.mem_cycles,
+        }
+    }
+
+    /// LLC miss rate relative to L1 accesses, in percent.
+    ///
+    /// Returns 0.0 when no memory accesses were recorded.
+    pub fn llc_miss_pct(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            100.0 * self.llc_misses as f64 / self.l1_accesses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let a = Stats {
+            instructions: 10,
+            loads: 4,
+            ..Stats::new()
+        };
+        let b = Stats {
+            instructions: 25,
+            loads: 9,
+            ..Stats::new()
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.instructions, 15);
+        assert_eq!(d.loads, 5);
+        assert_eq!(d.stores, 0);
+    }
+
+    #[test]
+    fn llc_miss_pct_handles_zero() {
+        assert_eq!(Stats::new().llc_miss_pct(), 0.0);
+        let s = Stats {
+            l1_accesses: 200,
+            llc_misses: 10,
+            ..Stats::new()
+        };
+        assert!((s.llc_miss_pct() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests pitting the cache and EPC models against simple
+//! reference implementations.
+
+use proptest::prelude::*;
+use sgxs_sim::cache::Cache;
+use sgxs_sim::epc::Epc;
+use std::collections::VecDeque;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The cache agrees with an exact per-set LRU reference model.
+    #[test]
+    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..1u64 << 16, 1..400)) {
+        let size = 4096u32;
+        let assoc = 4usize;
+        let sets = (size as usize / 64) / assoc;
+        let mut cache = Cache::new(size, assoc);
+        // Reference: per-set MRU-ordered deque of line tags.
+        let mut reference: Vec<VecDeque<u64>> = vec![VecDeque::new(); sets];
+        for &a in &addrs {
+            let line = a >> 6;
+            let set = (line as usize) & (sets - 1);
+            let model = &mut reference[set];
+            let ref_hit = if let Some(pos) = model.iter().position(|&t| t == line) {
+                model.remove(pos);
+                model.push_front(line);
+                true
+            } else {
+                model.push_front(line);
+                model.truncate(assoc);
+                false
+            };
+            let got = cache.access(a);
+            prop_assert_eq!(got, ref_hit, "divergence at address {:#x}", a);
+        }
+    }
+
+    /// EPC residency never exceeds capacity, and a page that was never
+    /// touched is never resident.
+    #[test]
+    fn epc_capacity_invariant(pages in prop::collection::vec(0u32..64, 1..500), cap in 1usize..32) {
+        let mut epc = Epc::new(cap);
+        let mut touched = std::collections::HashSet::new();
+        let mut faults = 0u64;
+        for &p in &pages {
+            let (fault, evicted) = epc.touch(p);
+            touched.insert(p);
+            if fault {
+                faults += 1;
+            }
+            prop_assert!(epc.resident_count() <= cap);
+            if evicted {
+                prop_assert!(fault, "evictions only happen while faulting");
+            }
+            prop_assert!(epc.resident(p), "just-touched page must be resident");
+        }
+        prop_assert_eq!(epc.faults(), faults);
+        for p in 64u32..80 {
+            prop_assert!(!epc.resident(p), "untouched page resident");
+        }
+        // Faults at least the number of distinct pages (cold misses).
+        prop_assert!(faults >= touched.len() as u64);
+    }
+
+    /// Within-capacity access sequences never evict.
+    #[test]
+    fn epc_no_eviction_within_capacity(pages in prop::collection::vec(0u32..16, 1..300)) {
+        let mut epc = Epc::new(16);
+        for &p in &pages {
+            epc.touch(p);
+        }
+        prop_assert_eq!(epc.evictions(), 0);
+        let distinct: std::collections::HashSet<_> = pages.iter().collect();
+        prop_assert_eq!(epc.faults(), distinct.len() as u64);
+    }
+}

@@ -1,0 +1,198 @@
+//! `apache` analogue: a threaded HTTP server with APR-style per-request
+//! memory pools allocated page-granular via `mmap` — the allocation pattern
+//! behind the paper's Apache findings (Fig. 13b): per-client megabyte-scale
+//! pools bloat MPX's bounds metadata, and SGXBounds' +4 bytes push each
+//! page-aligned pool request into one extra page (+50% memory, §7).
+//!
+//! Also hosts the Heartbleed reproduction (§7): a heartbeat handler that
+//! trusts the attacker-supplied payload length.
+
+use crate::util::{emit_tag_input, fork_join, Params, Suite, Workload};
+use rand::RngCore;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Operand, Ty, Vm};
+use sgxs_rt::Stager;
+
+/// Served page size at paper scale (the paper's Nginx page is 200 KB;
+/// Apache serves the same content here).
+const PAPER_PAGE: u64 = 100 << 10;
+/// Request pool size (APR default page-multiple).
+const REQ_POOL: u64 = 8192;
+
+/// The apache workload.
+#[derive(Default)]
+pub struct Apache {
+    /// Concurrent client threads override (Fig. 13 sweeps this).
+    pub clients_override: Option<u32>,
+    /// Requests override.
+    pub requests_override: Option<u64>,
+}
+
+impl Workload for Apache {
+    fn name(&self) -> &'static str {
+        "apache"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::App
+    }
+
+    fn build(&self, p: &Params) -> Module {
+        let conn_pool_bytes = (1u64 << 20) / p.scale.max(1); // ~1 MB per client.
+        let mut mb = ModuleBuilder::new("apache");
+
+        // worker(tid, nt, desc): desc = [content, content_len, nreq, lock_cell].
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let _tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let content = fb.load(Ty::Ptr, desc);
+                let cl_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let content_len = fb.load(Ty::I64, cl_a);
+                let nr_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let nreq_total = fb.load(Ty::I64, nr_a);
+                let lock_a = fb.gep_inbounds(desc, 0u64, 1, 24);
+                let my_reqs = fb.udiv(nreq_total, nt);
+                // Per-connection pool: lives for the whole connection.
+                let conn = fb.intr_ptr("mmap", &[Operand::Imm(conn_pool_bytes)]);
+                let served = fb.local(Ty::I64);
+                fb.set(served, 0u64);
+                fb.count_loop(0u64, my_reqs, |fb, r| {
+                    // Accept under the global mutex (Apache's accept lock).
+                    fb.intr_void("mutex_lock", &[lock_a.into()]);
+                    fb.intr_void("mutex_unlock", &[lock_a.into()]);
+                    // Per-request APR pool: page-aligned mmap.
+                    let pool = fb.intr_ptr("mmap", &[Operand::Imm(REQ_POOL)]);
+                    // Write response headers into the pool.
+                    fb.count_loop(0u64, 16u64, |fb, h| {
+                        let a = fb.gep(pool, h, 8, 0);
+                        let v = fb.add(h, 0x485454_50u64); // "HTTP"-ish.
+                        fb.store(Ty::I64, a, v);
+                    });
+                    // Record request metadata pointers in the connection
+                    // pool (pointer stores -> MPX bndstx spread).
+                    let slot_i = fb.urem(r, conn_pool_bytes / 8 - 1);
+                    let slot = fb.gep(conn, slot_i, 8, 0);
+                    fb.store(Ty::Ptr, slot, pool);
+                    // Copy the page body through the pool buffer in 4 KB
+                    // chunks (APR bucket brigade).
+                    let buf = fb.gep_inbounds(pool, 0u64, 1, 256);
+                    let chunks = fb.udiv(content_len, 4096u64);
+                    fb.count_loop(0u64, chunks, |fb, c| {
+                        let off = fb.mul(c, 4096u64);
+                        let src = fb.gep(content, off, 1, 0);
+                        fb.intr_void("memcpy", &[buf.into(), src.into(), 4096u64.into()]);
+                    });
+                    fb.intr_void("munmap", &[pool.into()]);
+                    let s = fb.get(served);
+                    let s2 = fb.add(s, 1u64);
+                    fb.set(served, s2);
+                });
+                fb.intr_void("munmap", &[conn.into()]);
+                let s = fb.get(served);
+                fb.ret(Some(s.into()));
+            },
+        );
+
+        mb.func(
+            "main",
+            &[Ty::Ptr, Ty::I64, Ty::I64, Ty::I64],
+            Some(Ty::I64),
+            |fb| {
+                let raw = fb.param(0);
+                let content_len = fb.param(1);
+                let nreq = fb.param(2);
+                let clients = fb.param(3);
+                let content = emit_tag_input(fb, raw, content_len);
+                let desc = fb.intr_ptr("malloc", &[Operand::Imm(40)]);
+                fb.store(Ty::Ptr, desc, content);
+                let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+                fb.store(Ty::I64, d8, content_len);
+                let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+                fb.store(Ty::I64, d16, nreq);
+                fork_join(fb, worker, clients, desc);
+                fb.intr_void("print_i64", &[nreq.into()]);
+                fb.ret(Some(nreq.into()));
+            },
+        );
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let content_len = (PAPER_PAGE / p.scale.max(1)).max(4096) / 4096 * 4096;
+        let mut content = vec![0u8; content_len as usize];
+        p.rng().fill_bytes(&mut content);
+        let addr = st.stage(vm, &content);
+        let clients = self.clients_override.unwrap_or(p.threads).max(1) as u64;
+        let nreq = self.requests_override.unwrap_or(clients * 96);
+        vec![addr as u64, content_len, nreq, clients]
+    }
+}
+
+/// The Heartbleed reproduction (§7): `main` returns 1 when secret bytes
+/// leaked into the heartbeat response, 0 when the reply is clean.
+pub struct Heartbleed;
+
+/// Actual heartbeat payload bytes.
+pub const HB_PAYLOAD: u64 = 16;
+/// Attacker-claimed payload length.
+pub const HB_CLAIMED: u64 = 1024;
+
+impl Workload for Heartbleed {
+    fn name(&self) -> &'static str {
+        "heartbleed"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::App
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("heartbleed");
+        mb.func("main", &[], Some(Ty::I64), |fb| {
+            // The heartbeat payload buffer, then (adjacent on the heap) a
+            // buffer of private key material.
+            let payload = fb.intr_ptr("malloc", &[Operand::Imm(HB_PAYLOAD)]);
+            fb.count_loop(0u64, HB_PAYLOAD, |fb, i| {
+                let a = fb.gep(payload, i, 1, 0);
+                fb.store(Ty::I8, a, 0x41u64); // 'A'.
+            });
+            let secret = fb.intr_ptr("malloc", &[Operand::Imm(256)]);
+            fb.count_loop(0u64, 256u64, |fb, i| {
+                let a = fb.gep(secret, i, 1, 0);
+                fb.store(Ty::I8, a, 0x53u64); // 'S' = secret material.
+            });
+            // The bug: an inline copy loop (OpenSSL's compiled memcpy) with
+            // the attacker-claimed length. Under boundless memory the
+            // out-of-bounds reads return zeroes, so the reply carries no
+            // secret — exactly the paper's §7 observation.
+            let resp = fb.intr_ptr("malloc", &[Operand::Imm(HB_CLAIMED + 64)]);
+            fb.count_loop(0u64, HB_CLAIMED, |fb, i| {
+                let src = fb.gep(payload, i, 1, 0);
+                let b = fb.load(Ty::I8, src);
+                let dst = fb.gep(resp, i, 1, 0);
+                fb.store(Ty::I8, dst, b);
+            });
+            // Scan the response for secret bytes.
+            let leaked = fb.local(Ty::I64);
+            fb.set(leaked, 0u64);
+            fb.count_loop(0u64, HB_CLAIMED, |fb, i| {
+                let a = fb.gep(resp, i, 1, 0);
+                let b = fb.load(Ty::I8, a);
+                let is_secret = fb.cmp(CmpOp::Eq, b, 0x53u64);
+                fb.if_then(is_secret, |fb| fb.set(leaked, 1u64));
+            });
+            let v = fb.get(leaked);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, _vm: &mut Vm<'_>, _st: &mut Stager, _p: &Params) -> Vec<u64> {
+        vec![]
+    }
+}

@@ -1,0 +1,361 @@
+//! `memcached` analogue: slab allocation + chained hash table, driven by a
+//! memaslap-style get/set mix from concurrent clients (paper Fig. 13a).
+//!
+//! Items are carved out of megabyte-scale slabs, so SGXBounds adds only 4
+//! bytes per *slab* (71.6 -> 71.8 MB in the paper), while the working set
+//! itself exceeds the EPC and dominates performance.
+
+use crate::util::{emit_xorshift, fork_join, Params, Suite, Workload};
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Operand, Ty, Vm};
+use sgxs_rt::Stager;
+
+/// Paper's memcached working set: 71.6 MB.
+const PAPER_XL: u64 = 72 << 20;
+/// Hash buckets.
+const BUCKETS: u64 = 16384;
+/// Item header: [key 8][next 8]; data follows.
+const ITEM_HDR: u64 = 16;
+
+/// The memcached workload.
+#[derive(Default)]
+pub struct Memcached {
+    /// Concurrent client threads override (Fig. 13 sweeps this).
+    pub clients_override: Option<u32>,
+    /// Requests override.
+    pub requests_override: Option<u64>,
+}
+
+impl Workload for Memcached {
+    fn name(&self) -> &'static str {
+        "memcached"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::App
+    }
+
+    fn build(&self, p: &Params) -> Module {
+        let item_size = 1024 / p.scale.max(1).min(16) + 64; // Scaled item payload.
+        let slab_bytes = (1u64 << 20) / p.scale.max(1); // Scaled 1 MB slabs.
+        let mut mb = ModuleBuilder::new("memcached");
+
+        // worker(tid, nt, desc): desc = [table, slab_state, nreq, nkeys].
+        // slab_state = [current_slab 8][offset 8][lock 8][item_size 8][slab_bytes 8].
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let table = fb.load(Ty::Ptr, desc);
+                let ss_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let slab = fb.load(Ty::Ptr, ss_a);
+                let nr_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let nreq_total = fb.load(Ty::I64, nr_a);
+                let nk_a = fb.gep_inbounds(desc, 0u64, 1, 24);
+                let nkeys = fb.load(Ty::I64, nk_a);
+                let my_reqs = fb.udiv(nreq_total, nt);
+                let isz_a = fb.gep_inbounds(slab, 0u64, 1, 24);
+                let item_sz = fb.load(Ty::I64, isz_a);
+                let rng = fb.local(Ty::I64);
+                let seed0 = fb.mul(tid, 0x9E3779B97F4A7C15u64);
+                let seed = fb.add(seed0, 1u64);
+                fb.set(rng, seed);
+                let hits = fb.local(Ty::I64);
+                fb.set(hits, 0u64);
+                fb.count_loop(0u64, my_reqs, |fb, _| {
+                    let r = emit_xorshift(fb, rng);
+                    let key0 = fb.lshr(r, 16u64);
+                    let key1 = fb.urem(key0, nkeys);
+                    let key = fb.add(key1, 1u64); // Never 0.
+                    let kind = fb.and(r, 15u64);
+                    let is_set = fb.cmp(CmpOp::ULt, kind, 2u64); // ~12% sets.
+                    let h = fb.mul(key, 0x100000001B3u64);
+                    let h2 = fb.lshr(h, 24u64);
+                    let b = fb.and(h2, BUCKETS - 1);
+                    let head = fb.gep(table, b, 8, 0);
+                    // All table/slab mutation under the cache lock (memcached
+                    // uses a global cache_lock in this era).
+                    let lock_a = fb.gep_inbounds(slab, 0u64, 1, 16);
+                    fb.intr_void("mutex_lock", &[lock_a.into()]);
+                    // Chain lookup.
+                    let cur = fb.local(Ty::Ptr);
+                    let first = fb.load(Ty::Ptr, head);
+                    fb.set(cur, first);
+                    let found = fb.local(Ty::Ptr);
+                    fb.set(found, 0u64);
+                    let walk = fb.block();
+                    let test = fb.block();
+                    let nextb = fb.block();
+                    let hitb = fb.block();
+                    let out = fb.block();
+                    fb.jmp(walk);
+                    fb.switch_to(walk);
+                    let c = fb.get(cur);
+                    let cp = fb.and(c, 0xFFFF_FFFFu64);
+                    let nonnull = fb.cmp(CmpOp::Ne, cp, 0u64);
+                    fb.br(nonnull, test, out);
+                    fb.switch_to(test);
+                    let c = fb.get(cur);
+                    let k = fb.load(Ty::I64, c);
+                    let eq = fb.cmp(CmpOp::Eq, k, key);
+                    fb.br(eq, hitb, nextb);
+                    fb.switch_to(nextb);
+                    let c = fb.get(cur);
+                    let na = fb.gep_inbounds(c, 0u64, 1, 8);
+                    let nx = fb.load(Ty::Ptr, na);
+                    fb.set(cur, nx);
+                    fb.jmp(walk);
+                    fb.switch_to(hitb);
+                    let c = fb.get(cur);
+                    fb.set(found, c);
+                    fb.jmp(out);
+                    fb.switch_to(out);
+
+                    let f = fb.get(found);
+                    let fp = fb.and(f, 0xFFFF_FFFFu64);
+                    let have = fb.cmp(CmpOp::Ne, fp, 0u64);
+                    fb.if_else(
+                        have,
+                        |fb| {
+                            // GET hit (or SET overwrite): touch the data.
+                            let f = fb.get(found);
+                            let da = fb.gep_inbounds(f, 0u64, 1, ITEM_HDR as i64);
+                            fb.if_else(
+                                is_set,
+                                |fb| {
+                                    // Rewrite payload.
+                                    let words = fb.udiv(item_sz, 8u64);
+                                    fb.count_loop(0u64, words, |fb, w| {
+                                        let a = fb.gep(da, w, 8, 0);
+                                        let v = fb.xor(key, w);
+                                        fb.store(Ty::I64, a, v);
+                                    });
+                                },
+                                |fb| {
+                                    // Read a sample of the payload.
+                                    let words = fb.udiv(item_sz, 64u64);
+                                    fb.count_loop(0u64, words, |fb, w| {
+                                        let a = fb.gep(da, w, 64, 0);
+                                        let v = fb.load(Ty::I64, a);
+                                        let hh = fb.get(hits);
+                                        let masked = fb.and(v, 1u64);
+                                        let h2 = fb.add(hh, masked);
+                                        fb.set(hits, h2);
+                                    });
+                                },
+                            );
+                            let hh = fb.get(hits);
+                            let h2 = fb.add(hh, 1u64);
+                            fb.set(hits, h2);
+                        },
+                        |fb| {
+                            // Miss: carve a new item from the slab.
+                            fb.if_then(is_set, |fb| {
+                                let off_a = fb.gep_inbounds(slab, 0u64, 1, 8);
+                                let off = fb.load(Ty::I64, off_a);
+                                let need = fb.add(item_sz, ITEM_HDR);
+                                let sb_a = fb.gep_inbounds(slab, 0u64, 1, 32);
+                                let slab_sz = fb.load(Ty::I64, sb_a);
+                                let end = fb.add(off, need);
+                                let fits = fb.cmp(CmpOp::ULe, end, slab_sz);
+                                fb.if_then(fits, |fb| {
+                                    let cs_a = fb.load(Ty::Ptr, slab);
+                                    let item = fb.gep(cs_a, off, 1, 0);
+                                    fb.store(Ty::I64, item, key);
+                                    let na = fb.gep_inbounds(item, 0u64, 1, 8);
+                                    let old = fb.load(Ty::Ptr, head);
+                                    fb.store(Ty::Ptr, na, old);
+                                    fb.store(Ty::Ptr, head, item);
+                                    let off2 = fb.add(off, need);
+                                    let off_a2 = fb.gep_inbounds(slab, 0u64, 1, 8);
+                                    fb.store(Ty::I64, off_a2, off2);
+                                    // Initialize payload.
+                                    let da = fb.gep_inbounds(item, 0u64, 1, ITEM_HDR as i64);
+                                    let words = fb.udiv(item_sz, 8u64);
+                                    fb.count_loop(0u64, words, |fb, w| {
+                                        let a = fb.gep(da, w, 8, 0);
+                                        let v = fb.add(key, w);
+                                        fb.store(Ty::I64, a, v);
+                                    });
+                                });
+                            });
+                        },
+                    );
+                    let lock_a2 = fb.gep_inbounds(slab, 0u64, 1, 16);
+                    fb.intr_void("mutex_unlock", &[lock_a2.into()]);
+                });
+                let h = fb.get(hits);
+                fb.ret(Some(h.into()));
+            },
+        );
+
+        let slab_bytes_c = slab_bytes;
+        let item_size_c = item_size;
+        mb.func(
+            "main",
+            &[Ty::I64, Ty::I64, Ty::I64, Ty::I64],
+            Some(Ty::I64),
+            |fb| {
+                let nreq = fb.param(0);
+                let nkeys = fb.param(1);
+                let clients = fb.param(2);
+                let nslabs = fb.param(3);
+                let table = fb.intr_ptr("calloc", &[Operand::Imm(BUCKETS * 8), 1u64.into()]);
+                // Slab state; the slab pointer rotates through pre-allocated
+                // slabs as they fill (a simplification of slabclass reuse:
+                // we pre-size the cache to its steady state).
+                let state = fb.intr_ptr("calloc", &[Operand::Imm(48), 1u64.into()]);
+                let first_slab = fb.intr_ptr("malloc", &[Operand::Imm(slab_bytes_c)]);
+                fb.store(Ty::Ptr, state, first_slab);
+                let isz_a = fb.gep_inbounds(state, 0u64, 1, 24);
+                fb.store(Ty::I64, isz_a, item_size_c);
+                let sb_a = fb.gep_inbounds(state, 0u64, 1, 32);
+                let total = fb.mul(nslabs, slab_bytes_c);
+                fb.store(Ty::I64, sb_a, total);
+                // Pre-allocate the remaining slabs contiguously (mmap-like
+                // growth): model as one big allocation so carving stays
+                // in-bounds under every scheme.
+                let multi = fb.cmp(CmpOp::UGt, nslabs, 1u64);
+                fb.if_then(multi, |fb| {
+                    let rest = fb.sub(total, slab_bytes_c);
+                    let _more = fb.intr_ptr("malloc", &[rest.into()]);
+                    // The first allocation is extended in place in our
+                    // simplified slab model: re-point the slab base at a
+                    // fresh contiguous region covering `total` bytes.
+                    let big = fb.intr_ptr("malloc", &[total.into()]);
+                    fb.store(Ty::Ptr, state, big);
+                });
+                let desc = fb.intr_ptr("malloc", &[Operand::Imm(32)]);
+                fb.store(Ty::Ptr, desc, table);
+                let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+                fb.store(Ty::Ptr, d8, state);
+                let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+                fb.store(Ty::I64, d16, nreq);
+                let d24 = fb.gep_inbounds(desc, 0u64, 1, 24);
+                fb.store(Ty::I64, d24, nkeys);
+                fork_join(fb, worker, clients, desc);
+                let v = fb.load(Ty::I64, d16);
+                fb.intr_void("print_i64", &[v.into()]);
+                fb.ret(Some(v.into()));
+            },
+        );
+        mb.finish()
+    }
+
+    fn stage(&self, _vm: &mut Vm<'_>, _st: &mut Stager, p: &Params) -> Vec<u64> {
+        let item_size = 1024 / p.scale.max(1).min(16) + 64;
+        let slab_bytes = (1u64 << 20) / p.scale.max(1);
+        let ws = p.ws_bytes(PAPER_XL);
+        let nslabs = (ws / slab_bytes).max(2);
+        let nkeys = ws / (item_size + ITEM_HDR) / 2;
+        let clients = self.clients_override.unwrap_or(p.threads) as u64;
+        let nreq = self
+            .requests_override
+            .unwrap_or_else(|| (nkeys * 4).max(1024));
+        vec![nreq, nkeys.max(16), clients.max(1), nslabs]
+    }
+}
+
+/// CVE-2011-4971 reproduction (§7): a `process_bin_sasl_auth`-style handler
+/// trusts an attacker-controlled (effectively negative) body length and
+/// copies it into a fixed item buffer.
+///
+/// `main` returns the number of requests fully served. Fail-stop schemes
+/// trap on the first out-of-bounds byte. Under boundless memory the copy's
+/// stores are redirected so nothing is corrupted, but — as the paper
+/// observed — the program then spins in its retry logic: the run ends with
+/// the instruction budget exhausted rather than a crash, reproducing the
+/// §7 "infinite loop due to a subsequent bug in the program's logic".
+pub struct MemcachedCve2011_4971;
+
+/// Item buffer size.
+pub const CVE_ITEM: u64 = 256;
+/// Attacker-claimed body length (a casted negative value).
+pub const CVE_CLAIMED: u64 = 1 << 22;
+
+impl Workload for MemcachedCve2011_4971 {
+    fn name(&self) -> &'static str {
+        "memcached_cve_2011_4971"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::App
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("memcached_cve");
+
+        // handle(req, len) -> bytes stored (0 on internal failure).
+        let handler = mb.func(
+            "handle_sasl_auth",
+            &[Ty::Ptr, Ty::I64],
+            Some(Ty::I64),
+            |fb| {
+                let req = fb.param(0);
+                let len = fb.param(1);
+                let item = fb.intr_ptr("malloc", &[Operand::Imm(CVE_ITEM)]);
+                // The bug: `len` comes straight off the wire.
+                fb.count_loop(0u64, len, |fb, i| {
+                    let src = fb.gep(req, i, 1, 0);
+                    let b = fb.load(Ty::I8, src);
+                    let dst = fb.gep(item, i, 1, 0);
+                    fb.store(Ty::I8, dst, b);
+                });
+                // "Verify" the stored item; under boundless redirection the
+                // tail reads back zeroes, the verification fails, and the
+                // daemon retries forever — the paper's observed hang.
+                let last = fb.sub(len, 1u64);
+                let va = fb.gep(item, last, 1, 0);
+                let tail = fb.load(Ty::I8, va);
+                let ok = fb.cmp(CmpOp::Ne, tail, 0u64);
+                let r = fb.select(ok, len, 0u64);
+                fb.intr_void("free", &[item.into()]);
+                fb.ret(Some(r.into()));
+            },
+        );
+
+        mb.func("main", &[Ty::Ptr, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let nreq = fb.param(1);
+            let req = crate::util::emit_tag_input(fb, raw, CVE_CLAIMED);
+            let served = fb.local(Ty::I64);
+            fb.set(served, 0u64);
+            fb.count_loop(0u64, nreq, |fb, r| {
+                let evil = fb.cmp(CmpOp::Eq, r, 0u64);
+                let len = fb.select(evil, CVE_CLAIMED, 64u64);
+                // Retry loop: keep handling until the handler reports
+                // success (the subsequent-logic bug).
+                let again = fb.block();
+                let done_req = fb.block();
+                fb.jmp(again);
+                fb.switch_to(again);
+                let stored = fb.call(handler, &[req.into(), len.into()]).unwrap();
+                let ok = fb.cmp(CmpOp::UGt, stored, 0u64);
+                fb.br(ok, done_req, again);
+                fb.switch_to(done_req);
+                let s = fb.get(served);
+                let s2 = fb.add(s, 1u64);
+                fb.set(served, s2);
+            });
+            let v = fb.get(served);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let mut req = vec![0x42u8; CVE_CLAIMED as usize];
+        let mut rng = p.rng();
+        use rand::RngCore;
+        rng.fill_bytes(&mut req[..64]);
+        for b in req.iter_mut().take(64) {
+            *b |= 1; // Benign requests must pass the tail check.
+        }
+        let addr = st.stage(vm, &req);
+        vec![addr as u64, 4]
+    }
+}

@@ -1,0 +1,21 @@
+//! Case-study applications (paper §7 and Fig. 1/13) plus the RIPE security
+//! benchmark (Table 4).
+
+pub mod apache;
+pub mod memcached;
+pub mod nginx;
+pub mod ripe;
+pub mod sqlite;
+
+use crate::util::Workload;
+
+/// The four server/database case studies (RIPE is driven separately by the
+/// harness because its output is a detection matrix, not a runtime).
+pub fn all() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(sqlite::Sqlite::default()),
+        Box::new(memcached::Memcached::default()),
+        Box::new(apache::Apache::default()),
+        Box::new(nginx::Nginx::default()),
+    ]
+}

@@ -1,0 +1,151 @@
+//! `nginx` analogue: a single-threaded event server with pre-allocated,
+//! reused buffers and minimal copying (paper Fig. 13c: the smarter memory
+//! policy is why MPX fares better here than on Apache), plus the
+//! CVE-2013-2028 chunked-transfer stack overflow (§7).
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::RngCore;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+/// Served page at paper scale: 200 KB (§7).
+const PAPER_PAGE: u64 = 200 << 10;
+
+/// The nginx workload.
+#[derive(Default)]
+pub struct Nginx {
+    /// Client count override: nginx itself stays single-threaded; clients
+    /// only set the request volume.
+    pub clients_override: Option<u32>,
+    /// Requests override.
+    pub requests_override: Option<u64>,
+}
+
+impl Workload for Nginx {
+    fn name(&self) -> &'static str {
+        "nginx"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::App
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("nginx");
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let page_len = fb.param(1);
+            let nreq = fb.param(2);
+            let page = emit_tag_input(fb, raw, page_len);
+            // Buffers allocated once at startup, reused per request.
+            let hdr_buf = fb.intr_ptr("malloc", &[512u64.into()]);
+            let out_buf = fb.intr_ptr("malloc", &[page_len.into()]);
+            let sock_buf = fb.intr_ptr("malloc", &[page_len.into()]);
+            let served = fb.local(Ty::I64);
+            fb.set(served, 0u64);
+            fb.count_loop(0u64, nreq, |fb, r| {
+                // Parse a small header (reused buffer).
+                fb.count_loop(0u64, 32u64, |fb, h| {
+                    let a = fb.gep(hdr_buf, h, 8, 0);
+                    let v = fb.xor(r, h);
+                    fb.store(Ty::I64, a, v);
+                });
+                // Copy the page twice: into the response buffer, then
+                // into the "socket/syscall" buffer (the paper's §7
+                // double-copy through SCONE's syscall thread).
+                fb.intr_void("memcpy", &[out_buf.into(), page.into(), page_len.into()]);
+                fb.intr_void(
+                    "memcpy",
+                    &[sock_buf.into(), out_buf.into(), page_len.into()],
+                );
+                let s = fb.get(served);
+                let s2 = fb.add(s, 1u64);
+                fb.set(served, s2);
+            });
+            let v = fb.get(served);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let page_len = (PAPER_PAGE / p.scale.max(1)).max(2048);
+        let mut page = vec![0u8; page_len as usize];
+        p.rng().fill_bytes(&mut page);
+        let addr = st.stage(vm, &page);
+        let clients = self.clients_override.unwrap_or(p.threads).max(1) as u64;
+        let nreq = self.requests_override.unwrap_or(clients * 64);
+        vec![addr as u64, page_len, nreq]
+    }
+}
+
+/// CVE-2013-2028 reproduction: a chunked-transfer request with a forged
+/// huge chunk size drives a copy loop past a fixed stack buffer. `main`
+/// returns the number of requests served after the attack (boundless mode
+/// drops the request and keeps serving; fail-stop schemes trap).
+pub struct NginxCve2013_2028;
+
+/// The fixed stack buffer being overflowed.
+pub const STACK_BUF: u64 = 128;
+/// Attacker chunk size.
+pub const EVIL_LEN: u64 = 4096;
+
+impl Workload for NginxCve2013_2028 {
+    fn name(&self) -> &'static str {
+        "nginx_cve_2013_2028"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::App
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("nginx_cve");
+
+        // handle_chunked(req, len) -> bytes consumed: the vulnerable
+        // function with the fixed stack buffer.
+        let handler = mb.func("handle_chunked", &[Ty::Ptr, Ty::I64], Some(Ty::I64), |fb| {
+            let req = fb.param(0);
+            let len = fb.param(1);
+            let buf = fb.slot("chunk_buf", STACK_BUF as u32);
+            let bp = fb.slot_addr(buf);
+            // The bug: the chunk length is trusted.
+            fb.count_loop(0u64, len, |fb, i| {
+                let src = fb.gep(req, i, 1, 0);
+                let b = fb.load(Ty::I8, src);
+                let dst = fb.gep(bp, i, 1, 0);
+                fb.store(Ty::I8, dst, b);
+            });
+            fb.ret(Some(len.into()));
+        });
+
+        mb.func("main", &[Ty::Ptr, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let nreq = fb.param(1);
+            let req = emit_tag_input(fb, raw, EVIL_LEN);
+            let served = fb.local(Ty::I64);
+            fb.set(served, 0u64);
+            fb.count_loop(0u64, nreq, |fb, r| {
+                // The first request is the attack; the rest are benign.
+                let evil = fb.cmp(CmpOp::Eq, r, 0u64);
+                let len = fb.select(evil, EVIL_LEN, 64u64);
+                fb.call(handler, &[req.into(), len.into()]);
+                let s = fb.get(served);
+                let s2 = fb.add(s, 1u64);
+                fb.set(served, s2);
+            });
+            let v = fb.get(served);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let mut req = vec![0x42u8; EVIL_LEN as usize];
+        p.rng().fill_bytes(&mut req[..64]);
+        let addr = st.stage(vm, &req);
+        vec![addr as u64, 8]
+    }
+}

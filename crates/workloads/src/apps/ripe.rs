@@ -1,0 +1,316 @@
+//! RIPE-style security benchmark (paper §6.6, Table 4).
+//!
+//! RIPE originally fires 850 attack combinations; on the paper's native
+//! testbed 46 survive, and inside SCONE/SGX only 16 remain (shellcode
+//! attacks die because SGX faults the `int` instruction, leaving
+//! code-pointer overwrites). This module generates those **16 viable
+//! configurations**: overflow location x target kind x overflow technique.
+//!
+//! An attack *succeeds* when the program's indirect call lands on the
+//! forbidden `shell` function (returns [`SHELL_MAGIC`]); it is *prevented*
+//! when the protection scheme traps first.
+
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Operand, Ty};
+
+/// Attacks RIPE fires successfully on the paper's native (non-SGX) setup.
+pub const NATIVE_VIABLE: usize = 46;
+/// Attacks remaining under SCONE/SGX (shellcode filtered by the enclave).
+pub const SGX_VIABLE: usize = 16;
+
+/// Value returned by `main` when the attack captured control flow.
+pub const SHELL_MAGIC: u64 = 0x5AFE;
+
+/// Size of the vulnerable buffer.
+const BUF: u64 = 16;
+
+/// Where the vulnerable buffer lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// Stack slot.
+    Stack,
+    /// Heap allocation.
+    Heap,
+    /// Zero-initialized global.
+    Bss,
+    /// Initialized global.
+    Data,
+}
+
+/// What the overflow overwrites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Target {
+    /// A function pointer in a *separate, adjacent* object — crossing the
+    /// object boundary, which bounds checkers see.
+    AdjacentFuncPtr,
+    /// A function pointer in the *same struct* as the buffer — invisible
+    /// to whole-object-granularity schemes (ASan, SGXBounds, MPX without
+    /// bounds narrowing).
+    InStructFuncPtr,
+}
+
+/// How the overflow is performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Technique {
+    /// In-function indexed stores (classic stack smashing) — visible to
+    /// MPX because the buffer's bounds are still in registers.
+    DirectLocal,
+    /// Byte-walk loop in the same function.
+    ByteWalkLocal,
+    /// Copy loop inside a helper function taking the buffer as a pointer
+    /// parameter — MPX loses the bounds at the call boundary.
+    HelperFunction,
+    /// `memcpy` from an attacker-controlled source — caught only by
+    /// checking libc wrappers (SGXBounds, ASan).
+    LibcMemcpy,
+}
+
+/// One attack configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackConfig {
+    /// Stable id (0..16).
+    pub id: usize,
+    /// Buffer location.
+    pub location: Location,
+    /// Overwrite target.
+    pub target: Target,
+    /// Overflow technique.
+    pub technique: Technique,
+}
+
+impl AttackConfig {
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        format!("{:?}/{:?}/{:?}", self.location, self.target, self.technique)
+    }
+}
+
+/// The 16 SGX-viable configurations: stack attacks use the two local
+/// techniques (the classic smashing forms RIPE deploys there); the other
+/// locations attack through helpers and libc, as RIPE's heap/BSS/data
+/// payload paths do.
+pub fn all_attacks() -> Vec<AttackConfig> {
+    let mut v = Vec::with_capacity(16);
+    let mut id = 0;
+    for target in [Target::AdjacentFuncPtr, Target::InStructFuncPtr] {
+        for technique in [Technique::DirectLocal, Technique::ByteWalkLocal] {
+            v.push(AttackConfig {
+                id,
+                location: Location::Stack,
+                target,
+                technique,
+            });
+            id += 1;
+        }
+    }
+    for location in [Location::Heap, Location::Bss, Location::Data] {
+        for target in [Target::AdjacentFuncPtr, Target::InStructFuncPtr] {
+            for technique in [Technique::HelperFunction, Technique::LibcMemcpy] {
+                v.push(AttackConfig {
+                    id,
+                    location,
+                    target,
+                    technique,
+                });
+                id += 1;
+            }
+        }
+    }
+    debug_assert_eq!(v.len(), SGX_VIABLE);
+    v
+}
+
+/// Builds the attack program for one configuration.
+///
+/// `main` returns [`SHELL_MAGIC`] when the hijack succeeded, 0 otherwise.
+pub fn build_attack(cfg: &AttackConfig) -> Module {
+    let mut mb = ModuleBuilder::new(format!("ripe_{}", cfg.id));
+
+    // The benign and forbidden indirect-call targets.
+    let benign = mb.func("benign", &[], Some(Ty::I64), |fb| {
+        fb.ret(Some(0u64.into()));
+    });
+    let shell = mb.func("shell", &[], Some(Ty::I64), |fb| {
+        fb.ret(Some(Operand::Imm(SHELL_MAGIC)));
+    });
+
+    // Helper used by the HelperFunction technique: byte-walks `total`
+    // bytes into `dst`, planting `value` in the final 8 — the callee has no
+    // idea of dst's bounds (only its pointer), which is where disjoint
+    // metadata schemes lose track.
+    let helper = mb.func(
+        "overflow_helper",
+        &[Ty::Ptr, Ty::I64, Ty::I64],
+        Some(Ty::I64),
+        |fb| {
+            let dst = fb.param(0);
+            let value = fb.param(1);
+            let total = fb.param(2);
+            fb.count_loop(0u64, total, |fb, i| {
+                let a = fb.gep(dst, i, 1, 0);
+                let from_end = fb.sub(total, i);
+                let in_tail = fb.cmp(CmpOp::ULe, from_end, 8u64);
+                let tail_idx = fb.sub(8u64, from_end);
+                let shift = fb.mul(tail_idx, 8u64);
+                let vb = fb.lshr(value, shift);
+                let sb = fb.and(vb, 0xFFu64);
+                let fill = fb.select(in_tail, sb, 0x41u64);
+                fb.store(Ty::I8, a, fill);
+            });
+            fb.ret(Some(0u64.into()));
+        },
+    );
+
+    // Globals for Bss/Data configurations. Layout: buffer first, then the
+    // (separate) funcptr holder right after — or one combined struct for
+    // the in-struct case.
+    let (g_buf, g_fp) = match (cfg.location, cfg.target) {
+        (Location::Bss, Target::AdjacentFuncPtr) => {
+            let b = mb.global_zeroed("vuln_buf", BUF as u32);
+            let f = mb.global_zeroed("func_ptr", 8);
+            (Some(b), Some(f))
+        }
+        (Location::Bss, Target::InStructFuncPtr) => {
+            let b = mb.global_zeroed("vuln_struct", (BUF + 8) as u32);
+            (Some(b), None)
+        }
+        (Location::Data, Target::AdjacentFuncPtr) => {
+            let b = mb.global("vuln_buf", BUF as u32, &[1, 2, 3, 4]);
+            let f = mb.global("func_ptr", 8, &[0; 8]);
+            (Some(b), Some(f))
+        }
+        (Location::Data, Target::InStructFuncPtr) => {
+            let b = mb.global("vuln_struct", (BUF + 8) as u32, &[1, 2, 3, 4]);
+            (Some(b), None)
+        }
+        _ => (None, None),
+    };
+
+    let cfg = *cfg;
+    mb.func("main", &[], Some(Ty::I64), |fb| {
+        // Materialize the buffer and the function-pointer cell.
+        let (buf, fp_cell) = match (cfg.location, cfg.target) {
+            (Location::Stack, Target::AdjacentFuncPtr) => {
+                // The funcptr slot is declared FIRST so it lands above the
+                // buffer (slots are carved downward), making the upward
+                // overflow reach it.
+                let fps = fb.slot("func_ptr", 8);
+                let bs = fb.slot("vuln_buf", BUF as u32);
+                let fp = fb.slot_addr(fps);
+                let b = fb.slot_addr(bs);
+                (b, fp)
+            }
+            (Location::Stack, Target::InStructFuncPtr) => {
+                let s = fb.slot("vuln_struct", (BUF + 8) as u32);
+                let b = fb.slot_addr(s);
+                let fp = fb.gep_inbounds(b, 0u64, 1, BUF as i64);
+                (b, fp)
+            }
+            (Location::Heap, Target::AdjacentFuncPtr) => {
+                let b = fb.intr_ptr("malloc", &[Operand::Imm(BUF)]);
+                let fp = fb.intr_ptr("malloc", &[Operand::Imm(8)]);
+                (b, fp)
+            }
+            (Location::Heap, Target::InStructFuncPtr) => {
+                let b = fb.intr_ptr("malloc", &[Operand::Imm(BUF + 8)]);
+                let fp = fb.gep_inbounds(b, 0u64, 1, BUF as i64);
+                (b, fp)
+            }
+            (_, Target::AdjacentFuncPtr) => {
+                let b = fb.global_addr(g_buf.expect("global configured"));
+                let fp = fb.global_addr(g_fp.expect("global configured"));
+                (b, fp)
+            }
+            (_, Target::InStructFuncPtr) => {
+                let b = fb.global_addr(g_buf.expect("global configured"));
+                let fp = fb.gep_inbounds(b, 0u64, 1, BUF as i64);
+                (b, fp)
+            }
+        };
+
+        // Initialize the function pointer to the benign target.
+        let benign_addr = fb.func_addr(benign);
+        fb.store(Ty::Ptr, fp_cell, benign_addr);
+
+        // The attacker's goal: write shell's code address over the cell.
+        // Distance from the buffer to the cell (attacker knowledge).
+        let fp_raw = fb.and(fp_cell, 0xFFFF_FFFFu64);
+        let buf_raw = fb.and(buf, 0xFFFF_FFFFu64);
+        let delta = fb.sub(fp_raw, buf_raw);
+        let total = fb.add(delta, 8u64);
+        let shell_addr = fb.func_addr(shell);
+
+        match cfg.technique {
+            Technique::DirectLocal => {
+                // Contiguous 8-byte stores; the final store plants the
+                // shell address.
+                let words = fb.udiv(total, 8u64);
+                fb.count_loop(0u64, words, |fb, w| {
+                    let off = fb.mul(w, 8u64);
+                    let a = fb.gep(buf, off, 1, 0);
+                    let last = fb.sub(words, 1u64);
+                    let is_last = fb.cmp(CmpOp::Eq, w, last);
+                    let fill = fb.select(is_last, shell_addr, 0x4141414141414141u64);
+                    fb.store(Ty::I64, a, fill);
+                });
+            }
+            Technique::ByteWalkLocal => {
+                // Byte-by-byte walk writing the shell address into the
+                // final 8 bytes.
+                fb.count_loop(0u64, total, |fb, i| {
+                    let a = fb.gep(buf, i, 1, 0);
+                    let from_end = fb.sub(total, i);
+                    let in_tail = fb.cmp(CmpOp::ULe, from_end, 8u64);
+                    let tail_idx0 = fb.sub(8u64, from_end);
+                    let shift = fb.mul(tail_idx0, 8u64);
+                    let sbyte = fb.lshr(shell_addr, shift);
+                    let sb = fb.and(sbyte, 0xFFu64);
+                    let fill = fb.select(in_tail, sb, 0x41u64);
+                    fb.store(Ty::I8, a, fill);
+                });
+            }
+            Technique::HelperFunction => {
+                // The whole overflow happens inside the callee, which only
+                // receives the buffer pointer.
+                fb.call(helper, &[buf.into(), shell_addr.into(), total.into()]);
+            }
+            Technique::LibcMemcpy => {
+                // memcpy from an attacker-built payload on the heap.
+                let payload = fb.intr_ptr("malloc", &[total.into()]);
+                let words = fb.udiv(total, 8u64);
+                fb.count_loop(0u64, words, |fb, w| {
+                    let a = fb.gep(payload, w, 8, 0);
+                    let last = fb.sub(words, 1u64);
+                    let is_last = fb.cmp(CmpOp::Eq, w, last);
+                    let fill = fb.select(is_last, shell_addr, 0x4141414141414141u64);
+                    fb.store(Ty::I64, a, fill);
+                });
+                fb.intr_void("memcpy", &[buf.into(), payload.into(), total.into()]);
+            }
+        }
+
+        // Dispatch through the (possibly clobbered) function pointer.
+        let target = fb.load(Ty::Ptr, fp_cell);
+        let r = fb.call_indirect(target, &[], Some(Ty::I64)).unwrap();
+        fb.intr_void("print_i64", &[r.into()]);
+        fb.ret(Some(r.into()));
+    });
+    mb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_sixteen_configurations() {
+        let a = all_attacks();
+        assert_eq!(a.len(), SGX_VIABLE);
+        let stack = a.iter().filter(|c| c.location == Location::Stack).count();
+        assert_eq!(stack, 4);
+        let instruct = a
+            .iter()
+            .filter(|c| c.target == Target::InStructFuncPtr)
+            .count();
+        assert_eq!(instruct, 8);
+    }
+}

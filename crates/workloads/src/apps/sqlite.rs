@@ -1,0 +1,223 @@
+//! `sqlite` analogue: an embedded row store driven by a speedtest-style
+//! insert/select/update workload (paper Fig. 1).
+//!
+//! SQLite is the paper's worst case for Intel MPX *because it is
+//! exceptionally pointer-intensive* (§2.3): rows and index nodes are
+//! individually heap-allocated and linked by pointers, so every operation
+//! stores and reloads pointers (bounds-table traffic), and the node pool
+//! spreads across hundreds of megabytes (bounds-table explosion -> OOM).
+//! This analogue keeps exactly that structure: a binary search index of
+//! malloc'd nodes over malloc'd row records.
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::seq::SliceRandom;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Operand, Ty, Vm};
+use sgxs_rt::Stager;
+
+/// Paper Fig. 1 native working sets reach 700–800 MB.
+const PAPER_XL: u64 = 768 << 20;
+/// Row payload bytes.
+const ROW: u64 = 64;
+/// Index node: [key 8][row 8][left 8][right 8].
+const NODE: u64 = 32;
+
+/// The sqlite workload.
+#[derive(Default)]
+pub struct Sqlite {
+    /// Explicit row count override (used by the Fig. 1 sweep); when `None`
+    /// the size class decides.
+    pub rows_override: Option<u64>,
+}
+
+/// Bytes of working set per row (row + node + allocator overhead).
+pub const BYTES_PER_ROW: u64 = ROW + NODE + 32;
+
+impl Sqlite {
+    /// A Fig. 1 sweep point with an explicit row count.
+    pub fn with_rows(rows: u64) -> Self {
+        Sqlite {
+            rows_override: Some(rows),
+        }
+    }
+}
+
+impl Workload for Sqlite {
+    fn name(&self) -> &'static str {
+        "sqlite"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::App
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("sqlite");
+
+        // insert(holder, key, row): BST insert, iterative.
+        let insert = mb.func(
+            "db_insert",
+            &[Ty::Ptr, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let holder = fb.param(0);
+                let key = fb.param(1);
+                let row = fb.param(2);
+                let node = fb.intr_ptr("malloc", &[Operand::Imm(NODE)]);
+                fb.store(Ty::I64, node, key);
+                let ra = fb.gep_inbounds(node, 0u64, 1, 8);
+                fb.store(Ty::Ptr, ra, row);
+                let la = fb.gep_inbounds(node, 0u64, 1, 16);
+                fb.store(Ty::I64, la, 0u64);
+                let rra = fb.gep_inbounds(node, 0u64, 1, 24);
+                fb.store(Ty::I64, rra, 0u64);
+                // Walk down from the root holder.
+                let link = fb.local(Ty::Ptr); // Address of the link to set.
+                fb.set(link, holder);
+                let walk = fb.block();
+                let descend = fb.block();
+                let place = fb.block();
+                fb.jmp(walk);
+
+                fb.switch_to(walk);
+                let l = fb.get(link);
+                let cur = fb.load(Ty::Ptr, l);
+                let p = fb.and(cur, 0xFFFF_FFFFu64);
+                let nonnull = fb.cmp(CmpOp::Ne, p, 0u64);
+                fb.br(nonnull, descend, place);
+
+                fb.switch_to(descend);
+                let l = fb.get(link);
+                let cur = fb.load(Ty::Ptr, l);
+                let ck = fb.load(Ty::I64, cur);
+                let goleft = fb.cmp(CmpOp::ULt, key, ck);
+                let loff = fb.gep_inbounds(cur, 0u64, 1, 16);
+                let roff = fb.gep_inbounds(cur, 0u64, 1, 24);
+                let nl = fb.select(goleft, loff, roff);
+                fb.set(link, nl);
+                fb.jmp(walk);
+
+                fb.switch_to(place);
+                let l = fb.get(link);
+                fb.store(Ty::Ptr, l, node);
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        // find(holder, key) -> row ptr (0 if absent).
+        let find = mb.func("db_find", &[Ty::Ptr, Ty::I64], Some(Ty::Ptr), |fb| {
+            let holder = fb.param(0);
+            let key = fb.param(1);
+            let cur = fb.local(Ty::Ptr);
+            let first = fb.load(Ty::Ptr, holder);
+            fb.set(cur, first);
+            let walk = fb.block();
+            let test = fb.block();
+            let descend = fb.block();
+            let hit = fb.block();
+            let miss = fb.block();
+            fb.jmp(walk);
+
+            fb.switch_to(walk);
+            let c = fb.get(cur);
+            let p = fb.and(c, 0xFFFF_FFFFu64);
+            let nonnull = fb.cmp(CmpOp::Ne, p, 0u64);
+            fb.br(nonnull, test, miss);
+
+            fb.switch_to(test);
+            let c = fb.get(cur);
+            let ck = fb.load(Ty::I64, c);
+            let eq = fb.cmp(CmpOp::Eq, ck, key);
+            fb.br(eq, hit, descend);
+
+            fb.switch_to(descend);
+            let c = fb.get(cur);
+            let ck = fb.load(Ty::I64, c);
+            let goleft = fb.cmp(CmpOp::ULt, key, ck);
+            let off = fb.select(goleft, 16u64, 24u64);
+            let la = fb.gep(c, off, 1, 0);
+            let next = fb.load(Ty::Ptr, la);
+            fb.set(cur, next);
+            fb.jmp(walk);
+
+            fb.switch_to(hit);
+            let c = fb.get(cur);
+            let ra = fb.gep_inbounds(c, 0u64, 1, 8);
+            let row = fb.load(Ty::Ptr, ra);
+            fb.ret(Some(row.into()));
+
+            fb.switch_to(miss);
+            fb.ret(Some(0u64.into()));
+        });
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let n = fb.param(1);
+            let _nt = fb.param(2);
+            let kb = fb.mul(n, 8u64);
+            let keys = emit_tag_input(fb, raw, kb);
+            let holder = fb.intr_ptr("calloc", &[8u64.into(), 1u64.into()]);
+
+            // Phase 1: inserts.
+            fb.count_loop(0u64, n, |fb, i| {
+                let ka = fb.gep(keys, i, 8, 0);
+                let key = fb.load(Ty::I64, ka);
+                let row = fb.intr_ptr("malloc", &[Operand::Imm(ROW)]);
+                fb.store(Ty::I64, row, key);
+                let pa = fb.gep_inbounds(row, 0u64, 1, 8);
+                fb.store(Ty::I64, pa, i);
+                fb.call(insert, &[holder.into(), key.into(), row.into()]);
+            });
+
+            // Phase 2: selects (scan keys in a scrambled order).
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            fb.count_loop(0u64, n, |fb, j| {
+                let jj = fb.mul(j, 7u64);
+                let idx = fb.urem(jj, n);
+                let ka = fb.gep(keys, idx, 8, 0);
+                let key = fb.load(Ty::I64, ka);
+                let row = fb.call(find, &[holder.into(), key.into()]).unwrap();
+                let pa = fb.gep_inbounds(row, 0u64, 1, 8);
+                let v = fb.load(Ty::I64, pa);
+                let c = fb.get(chk);
+                let s = fb.add(c, v);
+                fb.set(chk, s);
+            });
+
+            // Phase 3: updates on half the keys.
+            let half = fb.udiv(n, 2u64);
+            fb.count_loop(0u64, half, |fb, j| {
+                let jj = fb.mul(j, 13u64);
+                let idx = fb.urem(jj, n);
+                let ka = fb.gep(keys, idx, 8, 0);
+                let key = fb.load(Ty::I64, ka);
+                let row = fb.call(find, &[holder.into(), key.into()]).unwrap();
+                let ua = fb.gep_inbounds(row, 0u64, 1, 16);
+                let v = fb.load(Ty::I64, ua);
+                let v2 = fb.add(v, 1u64);
+                fb.store(Ty::I64, ua, v2);
+            });
+
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let n = self
+            .rows_override
+            .unwrap_or_else(|| (p.ws_bytes(PAPER_XL) / BYTES_PER_ROW).max(64));
+        let mut rng = p.rng();
+        // Distinct keys in random order (keeps the unbalanced BST shallow).
+        let mut keys: Vec<u64> = (0..n).map(|i| i * 2 + 1).collect();
+        keys.shuffle(&mut rng);
+        let mut data = Vec::with_capacity((n * 8) as usize);
+        for k in &keys {
+            data.extend_from_slice(&k.to_le_bytes());
+        }
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, n, p.threads as u64]
+    }
+}

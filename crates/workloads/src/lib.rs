@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Benchmark programs for the SGXBounds reproduction.
+//!
+//! Every program the paper evaluates is represented by an analogue built on
+//! the mini-IR, reproducing its memory and pointer character (see
+//! DESIGN.md's substitution table): the full Phoenix 2.0 suite, the 9
+//! PARSEC 3.0 programs the paper runs, the 13 SPEC CPU2006 programs, and
+//! the four case-study applications plus the RIPE security benchmark.
+
+pub mod apps;
+pub mod parsec;
+pub mod phoenix;
+pub mod spec;
+pub mod util;
+
+pub use util::{Params, SizeClass, Suite, Workload};
+
+/// All Phoenix + PARSEC workloads (the Fig. 7 set).
+pub fn phoenix_parsec() -> Vec<Box<dyn Workload>> {
+    let mut v = phoenix::all();
+    v.extend(parsec::all());
+    v
+}
+
+/// Every non-application workload.
+pub fn all_benchmarks() -> Vec<Box<dyn Workload>> {
+    let mut v = phoenix_parsec();
+    v.extend(spec::all());
+    v
+}
+
+/// Looks up any workload (benchmarks and apps) by name.
+pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    all_benchmarks()
+        .into_iter()
+        .chain(apps::all())
+        .find(|w| w.name() == name)
+}

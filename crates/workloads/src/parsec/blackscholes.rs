@@ -1,0 +1,138 @@
+//! `blackscholes`: per-option closed-form pricing. Compute-bound FP with a
+//! single streaming pass — the paper's near-zero-overhead case (Fig. 7).
+
+use crate::util::{emit_partition, emit_tag_input, fork_join, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CastKind, FBinOp, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 64 << 20;
+/// Option record: S, K, T, v (f64 each).
+const REC: u32 = 32;
+
+/// The blackscholes workload.
+pub struct Blackscholes;
+
+impl Workload for Blackscholes {
+    fn name(&self) -> &'static str {
+        "blackscholes"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("blackscholes");
+
+        // worker(tid, nt, desc): desc = [options, n, results].
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let opts = fb.load(Ty::Ptr, desc);
+                let n_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let n = fb.load(Ty::I64, n_a);
+                let r_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let results = fb.load(Ty::Ptr, r_a);
+                let (lo, hi) = emit_partition(fb, n, tid, nt);
+                fb.count_loop(lo, hi, |fb, i| {
+                    let base = fb.gep(opts, i, REC, 0);
+                    let s = fb.load(Ty::F64, base);
+                    let ka = fb.gep_inbounds(base, 0u64, 1, 8);
+                    let k = fb.load(Ty::F64, ka);
+                    let ta = fb.gep_inbounds(base, 0u64, 1, 16);
+                    let t = fb.load(Ty::F64, ta);
+                    let va = fb.gep_inbounds(base, 0u64, 1, 24);
+                    let v = fb.load(Ty::F64, va);
+                    // d1 = (s/k - 1 + 0.5 v^2 t) / (v sqrt(t)) — a moneyness
+                    // approximation keeping the FP op mix of the original.
+                    let sk = fb.fdiv(s, k);
+                    let m = fb.fsub(sk, fb.fconst(1.0));
+                    let v2 = fb.fmul(v, v);
+                    let v2t = fb.fmul(v2, t);
+                    let half = fb.fmul(v2t, fb.fconst(0.5));
+                    let num = fb.fadd(m, half);
+                    let st = fb.cast(CastKind::FSqrt, t);
+                    let den = fb.fmul(v, st);
+                    let d1 = fb.fdiv(num, den);
+                    // CNDF rational approximation (Abramowitz-Stegun-ish).
+                    let ax = fb.cast(CastKind::FAbs, d1);
+                    let kx = fb.fmul(ax, fb.fconst(0.2316419));
+                    let one_kx = fb.fadd(kx, fb.fconst(1.0));
+                    let z = fb.fdiv(fb.fconst(1.0), one_kx);
+                    let poly = {
+                        let t1 = fb.fmul(z, fb.fconst(0.319381530));
+                        let z2 = fb.fmul(z, z);
+                        let t2 = fb.fmul(z2, fb.fconst(-0.356563782));
+                        let z3 = fb.fmul(z2, z);
+                        let t3 = fb.fmul(z3, fb.fconst(1.781477937));
+                        let s1 = fb.fadd(t1, t2);
+                        fb.fadd(s1, t3)
+                    };
+                    let x2 = fb.fmul(d1, d1);
+                    let x2p1 = fb.fadd(x2, fb.fconst(1.0));
+                    let damp = fb.fdiv(fb.fconst(0.3989423), x2p1);
+                    let tail = fb.fmul(damp, poly);
+                    let cnd = fb.fsub(fb.fconst(1.0), tail);
+                    let scnd = fb.fmul(s, cnd);
+                    let price = fb.fbin(FBinOp::Max, scnd, fb.fconst(0.0));
+                    let out = fb.gep(results, i, 8, 0);
+                    fb.store(Ty::F64, out, price);
+                });
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let n = fb.param(1);
+            let nt = fb.param(2);
+            let bytes = fb.mul(n, REC as u64);
+            let opts = emit_tag_input(fb, raw, bytes);
+            let rb = fb.mul(n, 8u64);
+            let results = fb.intr_ptr("malloc", &[rb.into()]);
+            let desc = fb.intr_ptr("malloc", &[24u64.into()]);
+            fb.store(Ty::Ptr, desc, opts);
+            let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+            fb.store(Ty::I64, d8, n);
+            let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+            fb.store(Ty::Ptr, d16, results);
+            fork_join(fb, worker, nt, desc);
+            // Checksum: integerized sum of prices.
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            fb.count_loop(0u64, n, |fb, i| {
+                let a = fb.gep(results, i, 8, 0);
+                let v = fb.load(Ty::F64, a);
+                let scaled = fb.fmul(v, fb.fconst(100.0));
+                let iv = fb.cast(CastKind::FToSi, scaled);
+                let c = fb.get(chk);
+                let s = fb.add(c, iv);
+                fb.set(chk, s);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let n = p.ws_bytes(PAPER_XL) / REC as u64;
+        let mut rng = p.rng();
+        let mut data = Vec::with_capacity((n * REC as u64) as usize);
+        for _ in 0..n {
+            data.extend_from_slice(&rng.gen_range(20.0f64..180.0).to_le_bytes());
+            data.extend_from_slice(&rng.gen_range(20.0f64..180.0).to_le_bytes());
+            data.extend_from_slice(&rng.gen_range(0.1f64..2.0).to_le_bytes());
+            data.extend_from_slice(&rng.gen_range(0.05f64..0.6).to_le_bytes());
+        }
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, n, p.threads as u64]
+    }
+}

@@ -1,0 +1,139 @@
+//! `bodytrack`: particle-filter resampling. Each frame allocates a new
+//! particle generation and stores *pointers* to kept particles — the
+//! pointer-vector churn behind MPX's ~4x memory overhead (Fig. 7).
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::RngCore;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Operand, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 48 << 20;
+/// Particle record bytes (state + weight).
+const PART: u64 = 40;
+/// Frames processed.
+const FRAMES: u64 = 3;
+
+/// The bodytrack workload.
+pub struct Bodytrack;
+
+impl Workload for Bodytrack {
+    fn name(&self) -> &'static str {
+        "bodytrack"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("bodytrack");
+
+        mb.func(
+            "main",
+            &[Ty::Ptr, Ty::I64, Ty::I64, Ty::I64],
+            Some(Ty::I64),
+            |fb| {
+                let raw = fb.param(0);
+                let img_len = fb.param(1);
+                let nparticles = fb.param(2);
+                let _nt = fb.param(3);
+                let image = emit_tag_input(fb, raw, img_len);
+
+                // Particle pointer vector for the current generation.
+                let vec_bytes = fb.mul(nparticles, 8u64);
+                let cur = fb.local(Ty::Ptr);
+                let first = fb.intr_ptr("malloc", &[vec_bytes.into()]);
+                fb.set(cur, first);
+                // Populate generation 0.
+                fb.count_loop(0u64, nparticles, |fb, i| {
+                    let part = fb.intr_ptr("malloc", &[Operand::Imm(PART)]);
+                    let seed = fb.mul(i, 2654435761u64);
+                    fb.store(Ty::I64, part, seed);
+                    let c = fb.get(cur);
+                    let slot = fb.gep(c, i, 8, 0);
+                    fb.store(Ty::Ptr, slot, part);
+                });
+
+                let chk = fb.local(Ty::I64);
+                fb.set(chk, 0u64);
+                fb.count_loop(0u64, FRAMES, |fb, _f| {
+                    // Weight particles against the "image": a few dependent
+                    // lookups per particle.
+                    fb.count_loop(0u64, nparticles, |fb, i| {
+                        let c = fb.get(cur);
+                        let slot = fb.gep(c, i, 8, 0);
+                        let part = fb.load(Ty::Ptr, slot);
+                        let state = fb.load(Ty::I64, part);
+                        let w = fb.local(Ty::I64);
+                        fb.set(w, 0u64);
+                        let pos = fb.local(Ty::I64);
+                        fb.set(pos, state);
+                        fb.count_loop(0u64, 4u64, |fb, _| {
+                            let pv = fb.get(pos);
+                            let idx = fb.urem(pv, img_len);
+                            let a = fb.gep(image, idx, 1, 0);
+                            let pix = fb.load(Ty::I8, a);
+                            let wv = fb.get(w);
+                            let w2 = fb.add(wv, pix);
+                            fb.set(w, w2);
+                            let nx = fb.mul(pv, 6364136223846793005u64);
+                            let nx2 = fb.add(nx, 1442695040888963407u64);
+                            fb.set(pos, nx2);
+                        });
+                        let wa = fb.gep_inbounds(part, 0u64, 1, 8);
+                        let wv = fb.get(w);
+                        fb.store(Ty::I64, wa, wv);
+                    });
+                    // Resample: new generation keeps heavy particles,
+                    // respawns light ones; the pointer vector is rebuilt.
+                    let next = fb.intr_ptr("malloc", &[vec_bytes.into()]);
+                    fb.count_loop(0u64, nparticles, |fb, i| {
+                        let c = fb.get(cur);
+                        let slot = fb.gep(c, i, 8, 0);
+                        let part = fb.load(Ty::Ptr, slot);
+                        let wa = fb.gep_inbounds(part, 0u64, 1, 8);
+                        let w = fb.load(Ty::I64, wa);
+                        let keep = fb.cmp(CmpOp::UGt, w, 420u64);
+                        let dst = fb.gep(next, i, 8, 0);
+                        fb.if_else(
+                            keep,
+                            |fb| {
+                                fb.store(Ty::Ptr, dst, part);
+                                let x = fb.get(chk);
+                                let s = fb.add(x, 1u64);
+                                fb.set(chk, s);
+                            },
+                            |fb| {
+                                // Respawn: free and reallocate.
+                                fb.intr_void("free", &[part.into()]);
+                                let fresh = fb.intr_ptr("malloc", &[Operand::Imm(PART)]);
+                                let ns = fb.mul(i, 0x9E37u64);
+                                let w2 = fb.get(chk);
+                                let seed = fb.add(ns, w2);
+                                fb.store(Ty::I64, fresh, seed);
+                                fb.store(Ty::Ptr, dst, fresh);
+                            },
+                        );
+                    });
+                    let old = fb.get(cur);
+                    fb.intr_void("free", &[old.into()]);
+                    fb.set(cur, next);
+                });
+
+                let v = fb.get(chk);
+                fb.intr_void("print_i64", &[v.into()]);
+                fb.ret(Some(v.into()));
+            },
+        );
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let img_len = p.ws_bytes(PAPER_XL) / 2;
+        let nparticles = (p.ws_bytes(PAPER_XL) / 2 / (PART + 8)).max(64);
+        let mut img = vec![0u8; img_len as usize];
+        p.rng().fill_bytes(&mut img);
+        let addr = st.stage(vm, &img);
+        vec![addr as u64, img_len, nparticles, p.threads as u64]
+    }
+}

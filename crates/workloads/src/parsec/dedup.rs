@@ -1,0 +1,192 @@
+//! `dedup`: content-defined chunking + deduplication. Allocation- and
+//! pointer-heavy over a wide heap — the benchmark whose bounds-table
+//! explosion crashes MPX in the paper (Fig. 7: missing MPX bar).
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Operand, Ty, Vm};
+use sgxs_rt::Stager;
+
+// Dedup's heap (chunk store + staging buffers) reaches gigabyte scale in
+// PARSEC; the bounds tables over it are what crash MPX (Fig. 7).
+const PAPER_XL: u64 = 1 << 30;
+/// Hash buckets.
+const BUCKETS: u64 = 8192;
+/// Chunk-boundary mask (average chunk ~256 bytes).
+const BOUNDARY_MASK: u64 = 0xFF;
+
+/// The dedup workload.
+pub struct Dedup;
+
+impl Workload for Dedup {
+    fn name(&self) -> &'static str {
+        "dedup"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("dedup");
+
+        // commit(table, inp, start, end, hash) -> 1 if the chunk was new.
+        // New chunks are copied into fresh heap storage and linked into the
+        // bucket chain: node = [hash 8][data ptr 8][len 8][next 8].
+        let commit = mb.func(
+            "commit",
+            &[Ty::Ptr, Ty::Ptr, Ty::I64, Ty::I64, Ty::I64],
+            Some(Ty::I64),
+            |fb| {
+                let table = fb.param(0);
+                let inp = fb.param(1);
+                let start = fb.param(2);
+                let end = fb.param(3);
+                let hash = fb.param(4);
+                let b = fb.and(hash, BUCKETS - 1);
+                let head = fb.gep(table, b, 8, 0);
+                let cur = fb.local(Ty::Ptr);
+                let first = fb.load(Ty::Ptr, head);
+                fb.set(cur, first);
+
+                let walk = fb.block();
+                let check = fb.block();
+                let advance = fb.block();
+                let dup = fb.block();
+                let fresh = fb.block();
+                fb.jmp(walk);
+
+                fb.switch_to(walk);
+                let c = fb.get(cur);
+                let p = fb.and(c, 0xFFFF_FFFFu64);
+                let nonnull = fb.cmp(CmpOp::Ne, p, 0u64);
+                fb.br(nonnull, check, fresh);
+
+                fb.switch_to(check);
+                let c = fb.get(cur);
+                let h = fb.load(Ty::I64, c);
+                let eq = fb.cmp(CmpOp::Eq, h, hash);
+                fb.br(eq, dup, advance);
+
+                fb.switch_to(advance);
+                let c = fb.get(cur);
+                let na = fb.gep_inbounds(c, 0u64, 1, 24);
+                let next = fb.load(Ty::Ptr, na);
+                fb.set(cur, next);
+                fb.jmp(walk);
+
+                fb.switch_to(dup);
+                fb.ret(Some(0u64.into()));
+
+                fb.switch_to(fresh);
+                let clen = fb.sub(end, start);
+                // Unique chunks keep an 8x staging buffer (compression
+                // workspace), matching dedup's real heap appetite.
+                let stage_len = fb.mul(clen, 8u64);
+                let copy = fb.intr_ptr("malloc", &[stage_len.into()]);
+                let src = fb.gep(inp, start, 1, 0);
+                fb.intr_void("memcpy", &[copy.into(), src.into(), clen.into()]);
+                let node = fb.intr_ptr("malloc", &[Operand::Imm(32)]);
+                fb.store(Ty::I64, node, hash);
+                let da = fb.gep_inbounds(node, 0u64, 1, 8);
+                fb.store(Ty::Ptr, da, copy);
+                let la = fb.gep_inbounds(node, 0u64, 1, 16);
+                fb.store(Ty::I64, la, clen);
+                let na = fb.gep_inbounds(node, 0u64, 1, 24);
+                let old = fb.load(Ty::Ptr, head);
+                fb.store(Ty::Ptr, na, old);
+                fb.store(Ty::Ptr, head, node);
+                fb.ret(Some(1u64.into()));
+            },
+        );
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let len = fb.param(1);
+            let _nt = fb.param(2);
+            let inp = emit_tag_input(fb, raw, len);
+            let table = fb.intr_ptr("calloc", &[Operand::Imm(BUCKETS * 8), 1u64.into()]);
+
+            let chunk_start = fb.local(Ty::I64);
+            let roll = fb.local(Ty::I64);
+            let uniq = fb.local(Ty::I64);
+            let dups = fb.local(Ty::I64);
+            fb.set(chunk_start, 0u64);
+            fb.set(roll, 0u64);
+            fb.set(uniq, 0u64);
+            fb.set(dups, 0u64);
+
+            fb.count_loop(0u64, len, |fb, i| {
+                let a = fb.gep(inp, i, 1, 0);
+                let b = fb.load(Ty::I8, a);
+                let r = fb.get(roll);
+                let r2 = fb.mul(r, 31u64);
+                let r3 = fb.add(r2, b);
+                fb.set(roll, r3);
+                let masked = fb.and(r3, BOUNDARY_MASK);
+                let boundary = fb.cmp(CmpOp::Eq, masked, BOUNDARY_MASK);
+                fb.if_then(boundary, |fb| {
+                    let start = fb.get(chunk_start);
+                    let end = fb.add(i, 1u64);
+                    let h = fb.get(roll);
+                    let was_new = fb
+                        .call(
+                            commit,
+                            &[table.into(), inp.into(), start.into(), end.into(), h.into()],
+                        )
+                        .expect("commit returns");
+                    fb.if_else(
+                        was_new,
+                        |fb| {
+                            let u = fb.get(uniq);
+                            let s = fb.add(u, 1u64);
+                            fb.set(uniq, s);
+                        },
+                        |fb| {
+                            let d = fb.get(dups);
+                            let s = fb.add(d, 1u64);
+                            fb.set(dups, s);
+                        },
+                    );
+                    fb.set(chunk_start, end);
+                    fb.set(roll, 0u64);
+                });
+            });
+
+            let u = fb.get(uniq);
+            let d = fb.get(dups);
+            let hi = fb.shl(u, 20u64);
+            let v = fb.add(hi, d);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let len = p.ws_bytes(PAPER_XL) / 2;
+        let mut rng = p.rng();
+        // Repetitive data: blocks drawn from a small pool so many chunks
+        // dedup, interleaved with unique spans.
+        let pool: Vec<Vec<u8>> = (0..32)
+            .map(|_| {
+                let mut b = vec![0u8; 512];
+                rng.fill(&mut b[..]);
+                b
+            })
+            .collect();
+        let mut data = Vec::with_capacity(len as usize);
+        while data.len() < len as usize {
+            if rng.gen_bool(0.6) {
+                data.extend_from_slice(&pool[rng.gen_range(0..pool.len())]);
+            } else {
+                let mut b = vec![0u8; 512];
+                rng.fill(&mut b[..]);
+                data.extend_from_slice(&b);
+            }
+        }
+        data.truncate(len as usize);
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, len, p.threads as u64]
+    }
+}

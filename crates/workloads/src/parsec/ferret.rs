@@ -1,0 +1,145 @@
+//! `ferret`: content-based similarity search — queries scan a database of
+//! feature vectors through an index of vector pointers.
+
+use crate::util::{emit_partition, emit_tag_input, fork_join, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 96 << 20;
+/// Feature dimensions (i64 components for determinism).
+const DIMS: u64 = 16;
+/// Queries processed.
+const QUERIES: u64 = 8;
+
+/// The ferret workload.
+pub struct Ferret;
+
+impl Workload for Ferret {
+    fn name(&self) -> &'static str {
+        "ferret"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("ferret");
+
+        // worker(tid, nt, desc): desc = [index, n, queries, best_out].
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let index = fb.load(Ty::Ptr, desc);
+                let n_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let n = fb.load(Ty::I64, n_a);
+                let q_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let queries = fb.load(Ty::Ptr, q_a);
+                let o_a = fb.gep_inbounds(desc, 0u64, 1, 24);
+                let out = fb.load(Ty::Ptr, o_a);
+                let (lo, hi) = emit_partition(fb, QUERIES, tid, nt);
+                fb.count_loop(lo, hi, |fb, q| {
+                    let qv = fb.gep(queries, q, (DIMS * 8) as u32, 0);
+                    let best = fb.local(Ty::I64);
+                    fb.set(best, u64::MAX >> 1);
+                    fb.count_loop(0u64, n, |fb, i| {
+                        // Indirect: index holds vector pointers.
+                        let ia = fb.gep(index, i, 8, 0);
+                        let vec = fb.load(Ty::Ptr, ia);
+                        let dist = fb.local(Ty::I64);
+                        fb.set(dist, 0u64);
+                        fb.count_loop(0u64, DIMS, |fb, d| {
+                            let aa = fb.gep(qv, d, 8, 0);
+                            let av = fb.load(Ty::I64, aa);
+                            let ba = fb.gep(vec, d, 8, 0);
+                            let bv = fb.load(Ty::I64, ba);
+                            let diff = fb.sub(av, bv);
+                            let sq = fb.mul(diff, diff);
+                            let dv = fb.get(dist);
+                            let s = fb.add(dv, sq);
+                            fb.set(dist, s);
+                        });
+                        let dv = fb.get(dist);
+                        let bv = fb.get(best);
+                        let better = fb.cmp(CmpOp::ULt, dv, bv);
+                        fb.if_then(better, |fb| {
+                            fb.set(best, dv);
+                        });
+                    });
+                    let oa = fb.gep(out, q, 8, 0);
+                    let b = fb.get(best);
+                    fb.store(Ty::I64, oa, b);
+                });
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func(
+            "main",
+            &[Ty::Ptr, Ty::Ptr, Ty::I64, Ty::I64],
+            Some(Ty::I64),
+            |fb| {
+                let db_raw = fb.param(0);
+                let q_raw = fb.param(1);
+                let n = fb.param(2);
+                let nt = fb.param(3);
+                let db_bytes = fb.mul(n, DIMS * 8);
+                let db = emit_tag_input(fb, db_raw, db_bytes);
+                let queries = emit_tag_input(fb, q_raw, QUERIES * DIMS * 8);
+                // Build the pointer index over the flat database.
+                let ib = fb.mul(n, 8u64);
+                let index = fb.intr_ptr("malloc", &[ib.into()]);
+                fb.count_loop(0u64, n, |fb, i| {
+                    let vec = fb.gep(db, i, (DIMS * 8) as u32, 0);
+                    let slot = fb.gep(index, i, 8, 0);
+                    fb.store(Ty::Ptr, slot, vec);
+                });
+                let out = fb.intr_ptr("calloc", &[(QUERIES * 8).into(), 1u64.into()]);
+                let desc = fb.intr_ptr("malloc", &[32u64.into()]);
+                fb.store(Ty::Ptr, desc, index);
+                let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+                fb.store(Ty::I64, d8, n);
+                let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+                fb.store(Ty::Ptr, d16, queries);
+                let d24 = fb.gep_inbounds(desc, 0u64, 1, 24);
+                fb.store(Ty::Ptr, d24, out);
+                fork_join(fb, worker, nt, desc);
+                let chk = fb.local(Ty::I64);
+                fb.set(chk, 0u64);
+                fb.count_loop(0u64, QUERIES, |fb, q| {
+                    let oa = fb.gep(out, q, 8, 0);
+                    let v = fb.load(Ty::I64, oa);
+                    let c = fb.get(chk);
+                    let s = fb.add(c, v);
+                    fb.set(chk, s);
+                });
+                let v = fb.get(chk);
+                fb.intr_void("print_i64", &[v.into()]);
+                fb.ret(Some(v.into()));
+            },
+        );
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let n = (p.ws_bytes(PAPER_XL) / (DIMS * 8 + 8)).max(32);
+        let mut rng = p.rng();
+        let mut db = Vec::with_capacity((n * DIMS * 8) as usize);
+        for _ in 0..n * DIMS {
+            db.extend_from_slice(&rng.gen_range(0u64..1024).to_le_bytes());
+        }
+        let mut q = Vec::with_capacity((QUERIES * DIMS * 8) as usize);
+        for _ in 0..QUERIES * DIMS {
+            q.extend_from_slice(&rng.gen_range(0u64..1024).to_le_bytes());
+        }
+        let db_addr = st.stage(vm, &db);
+        let q_addr = st.stage(vm, &q);
+        vec![db_addr as u64, q_addr as u64, n, p.threads as u64]
+    }
+}

@@ -1,0 +1,151 @@
+//! `fluidanimate`: grid of cells, each holding a heap-allocated particle
+//! block reached through a cell-pointer array — per-cell pointers are what
+//! give MPX its ~4x memory overhead here (Fig. 7).
+
+use crate::util::{emit_partition, emit_tag_input, fork_join, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 128 << 20;
+/// Particles per cell.
+const PER_CELL: u64 = 8;
+/// Timesteps.
+const STEPS: u64 = 2;
+
+/// The fluidanimate workload.
+pub struct Fluidanimate;
+
+fn grid_for(p: &Params) -> u64 {
+    // cells * (8 ptr + PER_CELL * 16 bytes) ~ ws.
+    let cells = p.ws_bytes(PAPER_XL) / (8 + PER_CELL * 16);
+    ((cells as f64).sqrt() as u64).max(16)
+}
+
+impl Workload for Fluidanimate {
+    fn name(&self) -> &'static str {
+        "fluidanimate"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("fluidanimate");
+
+        // worker(tid, nt, desc): desc = [cells, g] — one timestep over a
+        // row partition; each cell interacts with its east/south neighbours.
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let cells = fb.load(Ty::Ptr, desc);
+                let g_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let g = fb.load(Ty::I64, g_a);
+                let gm1 = fb.sub(g, 1u64);
+                let (lo, hi) = emit_partition(fb, gm1, tid, nt);
+                fb.count_loop(lo, hi, |fb, y| {
+                    let row = fb.mul(y, g);
+                    fb.count_loop(0u64, gm1, |fb, x| {
+                        let idx = fb.add(row, x);
+                        let ca = fb.gep(cells, idx, 8, 0);
+                        let cell = fb.load(Ty::Ptr, ca);
+                        // East neighbour.
+                        let eidx = fb.add(idx, 1u64);
+                        let ea = fb.gep(cells, eidx, 8, 0);
+                        let east = fb.load(Ty::Ptr, ea);
+                        // South neighbour.
+                        let sidx = fb.add(idx, g);
+                        let sa = fb.gep(cells, sidx, 8, 0);
+                        let south = fb.load(Ty::Ptr, sa);
+                        // Interact: sum neighbour velocities into my
+                        // particles (integer SPH-ish kernel).
+                        fb.count_loop(0u64, PER_CELL, |fb, i| {
+                            let pa = fb.gep(cell, i, 16, 0);
+                            let v = fb.load(Ty::I64, pa);
+                            let eb = fb.gep(east, i, 16, 8);
+                            let ev = fb.load(Ty::I64, eb);
+                            let sb = fb.gep(south, i, 16, 8);
+                            let sv = fb.load(Ty::I64, sb);
+                            let sum = fb.add(ev, sv);
+                            let half = fb.lshr(sum, 1u64);
+                            let v2 = fb.add(v, half);
+                            let damp = fb.lshr(v2, 4u64);
+                            let v3 = fb.sub(v2, damp);
+                            fb.store(Ty::I64, pa, v3);
+                        });
+                    });
+                });
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let g = fb.param(1);
+            let nt = fb.param(2);
+            let ncells = fb.mul(g, g);
+            let seed_bytes = fb.mul(ncells, 8u64);
+            let seeds = emit_tag_input(fb, raw, seed_bytes);
+            // Allocate the cell-pointer array and one block per cell.
+            let cb = fb.mul(ncells, 8u64);
+            let cells = fb.intr_ptr("malloc", &[cb.into()]);
+            fb.count_loop(0u64, ncells, |fb, i| {
+                let block = fb.intr_ptr("malloc", &[(PER_CELL * 16).into()]);
+                let sa = fb.gep(seeds, i, 8, 0);
+                let seed = fb.load(Ty::I64, sa);
+                fb.count_loop(0u64, PER_CELL, |fb, k| {
+                    let pa = fb.gep(block, k, 16, 0);
+                    let val = fb.add(seed, k);
+                    fb.store(Ty::I64, pa, val);
+                    let va = fb.gep(block, k, 16, 8);
+                    let vel = fb.xor(seed, k);
+                    let vel2 = fb.and(vel, 0xFFFFu64);
+                    fb.store(Ty::I64, va, vel2);
+                });
+                let slot = fb.gep(cells, i, 8, 0);
+                fb.store(Ty::Ptr, slot, block);
+            });
+            let desc = fb.intr_ptr("malloc", &[16u64.into()]);
+            fb.store(Ty::Ptr, desc, cells);
+            let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+            fb.store(Ty::I64, d8, g);
+            fb.count_loop(0u64, STEPS, |fb, _| {
+                fork_join(fb, worker, nt, desc);
+            });
+            // Checksum: positions of a sample diagonal.
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            fb.count_loop(0u64, g, |fb, d| {
+                let idx = fb.mul(d, g);
+                let idx2 = fb.add(idx, d);
+                let ca = fb.gep(cells, idx2, 8, 0);
+                let cell = fb.load(Ty::Ptr, ca);
+                let v = fb.load(Ty::I64, cell);
+                let c = fb.get(chk);
+                let s = fb.add(c, v);
+                fb.set(chk, s);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let g = grid_for(p);
+        let mut rng = p.rng();
+        let mut seeds = Vec::with_capacity((g * g * 8) as usize);
+        for _ in 0..g * g {
+            seeds.extend_from_slice(&rng.gen_range(0u64..1 << 16).to_le_bytes());
+        }
+        let addr = st.stage(vm, &seeds);
+        vec![addr as u64, g, p.threads as u64]
+    }
+}

@@ -1,0 +1,41 @@
+//! PARSEC 3.0 benchmark analogues — the 9 programs the paper runs (§6.1;
+//! raytrace, freqmine, facesim, and canneal are excluded there too).
+//!
+//! | program        | character                                         |
+//! |----------------|---------------------------------------------------|
+//! | blackscholes   | FP-dense, tiny memory traffic (zero overheads)    |
+//! | bodytrack      | particle resampling, pointer vectors               |
+//! | dedup          | alloc + pointer churn over a wide heap (MPX OOM)  |
+//! | ferret         | feature-vector scans through an index              |
+//! | fluidanimate   | grid of cell pointers (MPX memory blow-up)        |
+//! | streamcluster  | flat-array distance kernels                        |
+//! | swaptions      | tiny WS, constant malloc/free (ASan quarantine)   |
+//! | vips           | streaming image pipeline                           |
+//! | x264           | fixed-size block SAD (safe-access opt target)     |
+
+pub mod blackscholes;
+pub mod bodytrack;
+pub mod dedup;
+pub mod ferret;
+pub mod fluidanimate;
+pub mod streamcluster;
+pub mod swaptions;
+pub mod vips;
+pub mod x264;
+
+use crate::util::Workload;
+
+/// The nine PARSEC workloads.
+pub fn all() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(blackscholes::Blackscholes),
+        Box::new(bodytrack::Bodytrack),
+        Box::new(dedup::Dedup),
+        Box::new(ferret::Ferret),
+        Box::new(fluidanimate::Fluidanimate),
+        Box::new(streamcluster::Streamcluster),
+        Box::new(swaptions::Swaptions),
+        Box::new(vips::Vips),
+        Box::new(x264::X264),
+    ]
+}

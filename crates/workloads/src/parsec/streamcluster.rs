@@ -1,0 +1,133 @@
+//! `streamcluster`: online clustering over flat point arrays — distance
+//! kernels dominated by streaming reads.
+
+use crate::util::{emit_partition, emit_tag_input, fork_join, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 128 << 20;
+/// Dimensions per point.
+const DIMS: u64 = 8;
+/// Candidate centers.
+const CENTERS: u64 = 16;
+
+/// The streamcluster workload.
+pub struct Streamcluster;
+
+impl Workload for Streamcluster {
+    fn name(&self) -> &'static str {
+        "streamcluster"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("streamcluster");
+
+        // worker(tid, nt, desc): desc = [points, n, centers, costs].
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let points = fb.load(Ty::Ptr, desc);
+                let n_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let n = fb.load(Ty::I64, n_a);
+                let c_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let centers = fb.load(Ty::Ptr, c_a);
+                let o_a = fb.gep_inbounds(desc, 0u64, 1, 24);
+                let costs = fb.load(Ty::Ptr, o_a);
+                let (lo, hi) = emit_partition(fb, n, tid, nt);
+                let total = fb.local(Ty::I64);
+                fb.set(total, 0u64);
+                fb.count_loop(lo, hi, |fb, i| {
+                    let pv = fb.gep(points, i, (DIMS * 8) as u32, 0);
+                    let best = fb.local(Ty::I64);
+                    fb.set(best, u64::MAX >> 1);
+                    fb.count_loop(0u64, CENTERS, |fb, c| {
+                        let cv = fb.gep(centers, c, (DIMS * 8) as u32, 0);
+                        let dist = fb.local(Ty::I64);
+                        fb.set(dist, 0u64);
+                        fb.count_loop(0u64, DIMS, |fb, d| {
+                            let aa = fb.gep(pv, d, 8, 0);
+                            let av = fb.load(Ty::I64, aa);
+                            let ba = fb.gep(cv, d, 8, 0);
+                            let bv = fb.load(Ty::I64, ba);
+                            let diff = fb.sub(av, bv);
+                            let sq = fb.mul(diff, diff);
+                            let dv = fb.get(dist);
+                            let s = fb.add(dv, sq);
+                            fb.set(dist, s);
+                        });
+                        let dv = fb.get(dist);
+                        let bv = fb.get(best);
+                        let better = fb.cmp(CmpOp::ULt, dv, bv);
+                        fb.if_then(better, |fb| fb.set(best, dv));
+                    });
+                    let b = fb.get(best);
+                    let t = fb.get(total);
+                    let s = fb.add(t, b);
+                    fb.set(total, s);
+                });
+                let oa = fb.gep(costs, tid, 8, 0);
+                let t = fb.get(total);
+                fb.store(Ty::I64, oa, t);
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let n = fb.param(1);
+            let nt = fb.param(2);
+            let bytes = fb.mul(n, DIMS * 8);
+            let points = emit_tag_input(fb, raw, bytes);
+            // Centers: the first CENTERS points, copied to the heap.
+            let centers = fb.intr_ptr("malloc", &[(CENTERS * DIMS * 8).into()]);
+            fb.intr_void(
+                "memcpy",
+                &[centers.into(), points.into(), (CENTERS * DIMS * 8).into()],
+            );
+            let costs = fb.intr_ptr("calloc", &[(64 * 8u64).into(), 1u64.into()]);
+            let desc = fb.intr_ptr("malloc", &[32u64.into()]);
+            fb.store(Ty::Ptr, desc, points);
+            let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+            fb.store(Ty::I64, d8, n);
+            let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+            fb.store(Ty::Ptr, d16, centers);
+            let d24 = fb.gep_inbounds(desc, 0u64, 1, 24);
+            fb.store(Ty::Ptr, d24, costs);
+            fork_join(fb, worker, nt, desc);
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            fb.count_loop(0u64, nt, |fb, i| {
+                let a = fb.gep(costs, i, 8, 0);
+                let v = fb.load(Ty::I64, a);
+                let c = fb.get(chk);
+                let s = fb.add(c, v);
+                fb.set(chk, s);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let n = (p.ws_bytes(PAPER_XL) / (DIMS * 8)).max(CENTERS * 2);
+        let mut rng = p.rng();
+        let mut data = Vec::with_capacity((n * DIMS * 8) as usize);
+        for _ in 0..n * DIMS {
+            data.extend_from_slice(&rng.gen_range(0u64..512).to_le_bytes());
+        }
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, n, p.threads as u64]
+    }
+}

@@ -1,0 +1,139 @@
+//! `swaptions`: Monte-Carlo pricing with a tiny working set but constant
+//! allocation/free of small row-pointer matrices in the hot loop — the
+//! paper's extreme case for ASan's quarantine (413 MB footprint from a
+//! 3.3 MB working set) and for MPX's bounds tables (13x, §6.2).
+
+use crate::util::{emit_partition, fork_join, Params, Suite, Workload};
+use sgxs_mir::{Module, ModuleBuilder, Operand, Ty, Vm};
+use sgxs_rt::Stager;
+
+/// Swaptions priced (scaled by size class).
+const PAPER_XL_SWAPTIONS: u64 = 8192;
+/// Simulation matrix geometry.
+const ROWS: u64 = 8;
+const COLS: u64 = 16;
+/// Paths per swaption.
+const PATHS: u64 = 4;
+
+/// The swaptions workload.
+pub struct Swaptions;
+
+impl Workload for Swaptions {
+    fn name(&self) -> &'static str {
+        "swaptions"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("swaptions");
+
+        // price(seed) -> price: allocates an HJM path matrix as an array of
+        // row pointers, fills it, reduces it, frees everything.
+        let price = mb.func("price_swaption", &[Ty::I64], Some(Ty::I64), |fb| {
+            let seed = fb.param(0);
+            let acc = fb.local(Ty::I64);
+            fb.set(acc, 0u64);
+            fb.count_loop(0u64, PATHS, |fb, path| {
+                let rows = fb.intr_ptr("malloc", &[Operand::Imm(ROWS * 8)]);
+                fb.count_loop(0u64, ROWS, |fb, r| {
+                    let row = fb.intr_ptr("malloc", &[Operand::Imm(COLS * 8)]);
+                    let slot = fb.gep(rows, r, 8, 0);
+                    fb.store(Ty::Ptr, slot, row);
+                    // Fill the row with a deterministic "shock" series.
+                    let base = fb.add(seed, path);
+                    let base2 = fb.mul(base, 2654435761u64);
+                    let base3 = fb.add(base2, r);
+                    fb.count_loop(0u64, COLS, |fb, c| {
+                        let x = fb.mul(base3, 6364136223846793005u64);
+                        let x2 = fb.add(x, c);
+                        let x3 = fb.lshr(x2, 33u64);
+                        let a = fb.gep(row, c, 8, 0);
+                        fb.store(Ty::I64, a, x3);
+                    });
+                });
+                // Reduce: discounted sum down the columns.
+                fb.count_loop(0u64, ROWS, |fb, r| {
+                    let slot = fb.gep(rows, r, 8, 0);
+                    let row = fb.load(Ty::Ptr, slot);
+                    fb.count_loop(0u64, COLS, |fb, c| {
+                        let a = fb.gep(row, c, 8, 0);
+                        let v = fb.load(Ty::I64, a);
+                        let disc = fb.lshr(v, 8u64);
+                        let cur = fb.get(acc);
+                        let s = fb.add(cur, disc);
+                        fb.set(acc, s);
+                    });
+                });
+                // Free the matrix (the churn ASan's quarantine punishes).
+                fb.count_loop(0u64, ROWS, |fb, r| {
+                    let slot = fb.gep(rows, r, 8, 0);
+                    let row = fb.load(Ty::Ptr, slot);
+                    fb.intr_void("free", &[row.into()]);
+                });
+                fb.intr_void("free", &[rows.into()]);
+            });
+            let v = fb.get(acc);
+            fb.ret(Some(v.into()));
+        });
+
+        // worker(tid, nt, desc): desc = [out, nswaptions].
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let out = fb.load(Ty::Ptr, desc);
+                let n_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let n = fb.load(Ty::I64, n_a);
+                let (lo, hi) = emit_partition(fb, n, tid, nt);
+                let acc = fb.local(Ty::I64);
+                fb.set(acc, 0u64);
+                fb.count_loop(lo, hi, |fb, s| {
+                    let p = fb.call(price, &[s.into()]).expect("price returns");
+                    let a = fb.get(acc);
+                    let x = fb.add(a, p);
+                    fb.set(acc, x);
+                });
+                let oa = fb.gep(out, tid, 8, 0);
+                let a = fb.get(acc);
+                fb.store(Ty::I64, oa, a);
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func("main", &[Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let n = fb.param(0);
+            let nt = fb.param(1);
+            let out = fb.intr_ptr("calloc", &[(64 * 8u64).into(), 1u64.into()]);
+            let desc = fb.intr_ptr("malloc", &[16u64.into()]);
+            fb.store(Ty::Ptr, desc, out);
+            let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+            fb.store(Ty::I64, d8, n);
+            fork_join(fb, worker, nt, desc);
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            fb.count_loop(0u64, nt, |fb, i| {
+                let a = fb.gep(out, i, 8, 0);
+                let v = fb.load(Ty::I64, a);
+                let c = fb.get(chk);
+                let s = fb.add(c, v);
+                fb.set(chk, s);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, _vm: &mut Vm<'_>, _st: &mut Stager, p: &Params) -> Vec<u64> {
+        let n = (PAPER_XL_SWAPTIONS * p.size.factor() / 16 / p.scale.max(1)).max(8);
+        vec![n, p.threads as u64]
+    }
+}

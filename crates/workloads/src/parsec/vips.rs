@@ -1,0 +1,129 @@
+//! `vips`: image pipeline — two streaming passes (3-tap convolution, then
+//! level adjustment) over a large buffer. Sequential and pointer-free.
+
+use crate::util::{emit_partition, emit_tag_input, fork_join, Params, Suite, Workload};
+use rand::RngCore;
+use sgxs_mir::{Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 192 << 20;
+
+/// The vips workload.
+pub struct Vips;
+
+impl Workload for Vips {
+    fn name(&self) -> &'static str {
+        "vips"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("vips");
+
+        // worker(tid, nt, desc): desc = [src, dst, len, phase].
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let src = fb.load(Ty::Ptr, desc);
+                let d_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let dst = fb.load(Ty::Ptr, d_a);
+                let l_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let len = fb.load(Ty::I64, l_a);
+                let p_a = fb.gep_inbounds(desc, 0u64, 1, 24);
+                let phase = fb.load(Ty::I64, p_a);
+                let interior = fb.sub(len, 2u64);
+                let (lo, hi) = emit_partition(fb, interior, tid, nt);
+                fb.if_else(
+                    phase,
+                    |fb| {
+                        // Phase 1: level adjust dst[i] = src[i]*3/4 + 16.
+                        fb.count_loop(lo, hi, |fb, i| {
+                            let a = fb.gep(src, i, 1, 0);
+                            let v = fb.load(Ty::I8, a);
+                            let x = fb.mul(v, 3u64);
+                            let y = fb.lshr(x, 2u64);
+                            let z = fb.add(y, 16u64);
+                            let zc = fb.and(z, 0xFFu64);
+                            let o = fb.gep(dst, i, 1, 0);
+                            fb.store(Ty::I8, o, zc);
+                        });
+                    },
+                    |fb| {
+                        // Phase 0: 3-tap box blur.
+                        fb.count_loop(lo, hi, |fb, i| {
+                            let a0 = fb.gep(src, i, 1, 0);
+                            let v0 = fb.load(Ty::I8, a0);
+                            let a1 = fb.gep(src, i, 1, 1);
+                            let v1 = fb.load(Ty::I8, a1);
+                            let a2 = fb.gep(src, i, 1, 2);
+                            let v2 = fb.load(Ty::I8, a2);
+                            let s = fb.add(v0, v1);
+                            let s2 = fb.add(s, v2);
+                            let avg = fb.udiv(s2, 3u64);
+                            let o = fb.gep(dst, i, 1, 1);
+                            fb.store(Ty::I8, o, avg);
+                        });
+                    },
+                );
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let len = fb.param(1);
+            let nt = fb.param(2);
+            let src = emit_tag_input(fb, raw, len);
+            let tmp = fb.intr_ptr("malloc", &[len.into()]);
+            let desc = fb.intr_ptr("malloc", &[32u64.into()]);
+            // Pass 1: blur src -> tmp.
+            fb.store(Ty::Ptr, desc, src);
+            let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+            fb.store(Ty::Ptr, d8, tmp);
+            let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+            fb.store(Ty::I64, d16, len);
+            let d24 = fb.gep_inbounds(desc, 0u64, 1, 24);
+            fb.store(Ty::I64, d24, 0u64);
+            fork_join(fb, worker, nt, desc);
+            // Pass 2: levels tmp -> src (in place over the input copy).
+            fb.store(Ty::Ptr, desc, tmp);
+            fb.store(Ty::Ptr, d8, src);
+            fb.store(Ty::I64, d24, 1u64);
+            fork_join(fb, worker, nt, desc);
+            // Checksum a sample stripe.
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            let step = fb.udiv(len, 1024u64);
+            let step1 = fb.or(step, 1u64);
+            let samples = fb.udiv(len, step1);
+            fb.count_loop(0u64, samples, |fb, i| {
+                let idx = fb.mul(i, step1);
+                let a = fb.gep(src, idx, 1, 0);
+                let v = fb.load(Ty::I8, a);
+                let c = fb.get(chk);
+                let s = fb.add(c, v);
+                fb.set(chk, s);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let len = p.ws_bytes(PAPER_XL) / 2;
+        let mut img = vec![0u8; len as usize];
+        p.rng().fill_bytes(&mut img);
+        let addr = st.stage(vm, &img);
+        vec![addr as u64, len, p.threads as u64]
+    }
+}

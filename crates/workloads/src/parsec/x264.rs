@@ -1,0 +1,183 @@
+//! `x264`: motion estimation — SAD over fixed-size blocks copied into a
+//! stack buffer accessed at compile-time-constant offsets. The constant
+//! offsets are exactly what the safe-access optimization elides, giving
+//! x264 its ~20% gain in the paper's Fig. 10.
+
+use crate::util::{emit_partition, emit_tag_input, fork_join, Params, Suite, Workload};
+use rand::RngCore;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 96 << 20;
+/// Block edge (8x8 blocks; 8 bytes per row loaded as one word).
+const BLK: u64 = 8;
+/// Search radius in blocks.
+const RADIUS: u64 = 2;
+
+/// The x264 workload.
+pub struct X264;
+
+fn frame_dim(p: &Params) -> u64 {
+    // Two frames of dim*dim bytes.
+    let per_frame = p.ws_bytes(PAPER_XL) / 2;
+    ((per_frame as f64).sqrt() as u64 / BLK * BLK).max(64)
+}
+
+impl Workload for X264 {
+    fn name(&self) -> &'static str {
+        "x264"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Parsec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("x264");
+
+        // worker(tid, nt, desc): desc = [cur, ref, dim, sads].
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let cur = fb.load(Ty::Ptr, desc);
+                let r_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let reff = fb.load(Ty::Ptr, r_a);
+                let d_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let dim = fb.load(Ty::I64, d_a);
+                let s_a = fb.gep_inbounds(desc, 0u64, 1, 24);
+                let sads = fb.load(Ty::Ptr, s_a);
+                let blocks = fb.udiv(dim, BLK);
+                // Skip the border blocks so the search window stays inside.
+                let inner = fb.sub(blocks, 2 * RADIUS);
+                let (lo, hi) = emit_partition(fb, inner, tid, nt);
+                let total = fb.local(Ty::I64);
+                fb.set(total, 0u64);
+                // The current block, copied to a fixed 64-byte stack buffer
+                // accessed at constant offsets (safe-access target).
+                let blkbuf = fb.slot("blkbuf", 64);
+                fb.count_loop(lo, hi, |fb, byr| {
+                    let by = fb.add(byr, RADIUS);
+                    fb.count_loop(0u64, inner, |fb, bxr| {
+                        let bx = fb.add(bxr, RADIUS);
+                        // Copy the current block row-by-row (8B per row).
+                        let bb = fb.slot_addr(blkbuf);
+                        for row in 0..BLK {
+                            let y = fb.mul(by, BLK);
+                            let y2 = fb.add(y, row);
+                            let off = fb.mul(y2, dim);
+                            let x = fb.mul(bx, BLK);
+                            let idx = fb.add(off, x);
+                            let src = fb.gep(cur, idx, 1, 0);
+                            let w = fb.load(Ty::I64, src);
+                            let dstslot = fb.gep_inbounds(bb, 0u64, 1, (row * 8) as i64);
+                            fb.store(Ty::I64, dstslot, w);
+                        }
+                        // Search the reference frame window.
+                        let best = fb.local(Ty::I64);
+                        fb.set(best, u64::MAX >> 1);
+                        fb.count_loop(0u64, 2 * RADIUS + 1, |fb, dy| {
+                            fb.count_loop(0u64, 2 * RADIUS + 1, |fb, dx| {
+                                let sad = fb.local(Ty::I64);
+                                fb.set(sad, 0u64);
+                                let cy = fb.add(by, dy);
+                                let ry = fb.sub(cy, RADIUS);
+                                let cx = fb.add(bx, dx);
+                                let rx = fb.sub(cx, RADIUS);
+                                for row in 0..BLK {
+                                    let y = fb.mul(ry, BLK);
+                                    let y2 = fb.add(y, row);
+                                    let off = fb.mul(y2, dim);
+                                    let x = fb.mul(rx, BLK);
+                                    let idx = fb.add(off, x);
+                                    let ra = fb.gep(reff, idx, 1, 0);
+                                    let rw = fb.load(Ty::I64, ra);
+                                    let bb2 = fb.slot_addr(blkbuf);
+                                    let ca = fb.gep_inbounds(bb2, 0u64, 1, (row * 8) as i64);
+                                    let cw = fb.load(Ty::I64, ca);
+                                    // Word-level absolute difference proxy.
+                                    let x1 = fb.xor(rw, cw);
+                                    let lo8 = fb.and(x1, 0x00FF_00FF_00FF_00FFu64);
+                                    let hi8 = fb.lshr(x1, 8u64);
+                                    let hi8m = fb.and(hi8, 0x00FF_00FF_00FF_00FFu64);
+                                    let d = fb.add(lo8, hi8m);
+                                    let s0 = fb.get(sad);
+                                    let s1 = fb.add(s0, d);
+                                    fb.set(sad, s1);
+                                }
+                                let sv = fb.get(sad);
+                                let bv = fb.get(best);
+                                let better = fb.cmp(CmpOp::ULt, sv, bv);
+                                fb.if_then(better, |fb| fb.set(best, sv));
+                            });
+                        });
+                        let bvv = fb.get(best);
+                        let folded = fb.and(bvv, 0xFFFFu64);
+                        let t = fb.get(total);
+                        let t2 = fb.add(t, folded);
+                        fb.set(total, t2);
+                    });
+                });
+                let oa = fb.gep(sads, tid, 8, 0);
+                let t = fb.get(total);
+                fb.store(Ty::I64, oa, t);
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func(
+            "main",
+            &[Ty::Ptr, Ty::Ptr, Ty::I64, Ty::I64],
+            Some(Ty::I64),
+            |fb| {
+                let cur_raw = fb.param(0);
+                let ref_raw = fb.param(1);
+                let dim = fb.param(2);
+                let nt = fb.param(3);
+                let bytes = fb.mul(dim, dim);
+                let cur = emit_tag_input(fb, cur_raw, bytes);
+                let reff = emit_tag_input(fb, ref_raw, bytes);
+                let sads = fb.intr_ptr("calloc", &[(64 * 8u64).into(), 1u64.into()]);
+                let desc = fb.intr_ptr("malloc", &[32u64.into()]);
+                fb.store(Ty::Ptr, desc, cur);
+                let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+                fb.store(Ty::Ptr, d8, reff);
+                let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+                fb.store(Ty::I64, d16, dim);
+                let d24 = fb.gep_inbounds(desc, 0u64, 1, 24);
+                fb.store(Ty::Ptr, d24, sads);
+                fork_join(fb, worker, nt, desc);
+                let chk = fb.local(Ty::I64);
+                fb.set(chk, 0u64);
+                fb.count_loop(0u64, nt, |fb, i| {
+                    let a = fb.gep(sads, i, 8, 0);
+                    let v = fb.load(Ty::I64, a);
+                    let c = fb.get(chk);
+                    let s = fb.add(c, v);
+                    fb.set(chk, s);
+                });
+                let v = fb.get(chk);
+                fb.intr_void("print_i64", &[v.into()]);
+                fb.ret(Some(v.into()));
+            },
+        );
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let dim = frame_dim(p);
+        let mut rng = p.rng();
+        let mut cur = vec![0u8; (dim * dim) as usize];
+        rng.fill_bytes(&mut cur);
+        // Reference frame: the current frame shifted, plus noise.
+        let mut reff = cur.clone();
+        reff.rotate_right((dim + 3) as usize);
+        let addr_c = st.stage(vm, &cur);
+        let addr_r = st.stage(vm, &reff);
+        vec![addr_c as u64, addr_r as u64, dim, p.threads as u64]
+    }
+}

@@ -1,0 +1,97 @@
+//! `histogram`: bucket-count a byte image. Pointer-free, sequential —
+//! near-zero overhead for every scheme in the paper (Fig. 7).
+
+use crate::util::{emit_partition, emit_tag_input, fork_join, Params, Suite, Workload};
+use rand::RngCore;
+use sgxs_mir::{Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+/// Paper-scale XL working set.
+const PAPER_XL: u64 = 256 << 20;
+
+/// The histogram workload.
+pub struct Histogram;
+
+impl Workload for Histogram {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("histogram");
+
+        // worker(tid, nthreads, desc): desc = [input, len, bins].
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let inp = fb.load(Ty::Ptr, desc);
+                let len_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let len = fb.load(Ty::I64, len_a);
+                let bins_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let bins = fb.load(Ty::Ptr, bins_a);
+                let (lo, hi) = emit_partition(fb, len, tid, nt);
+                let my_bins = fb.gep(bins, tid, 256 * 8, 0);
+                fb.count_loop(lo, hi, |fb, i| {
+                    let a = fb.gep(inp, i, 1, 0);
+                    let b = fb.load(Ty::I8, a);
+                    let slot = fb.gep(my_bins, b, 8, 0);
+                    let c = fb.load(Ty::I64, slot);
+                    let c2 = fb.add(c, 1u64);
+                    fb.store(Ty::I64, slot, c2);
+                });
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let len = fb.param(1);
+            let nt = fb.param(2);
+            let inp = emit_tag_input(fb, raw, len);
+            let bins_bytes = fb.mul(nt, 256 * 8u64);
+            let bins = fb.intr_ptr("calloc", &[bins_bytes.into(), 1u64.into()]);
+            let desc = fb.intr_ptr("malloc", &[24u64.into()]);
+            fb.store(Ty::Ptr, desc, inp);
+            let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+            fb.store(Ty::I64, d8, len);
+            let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+            fb.store(Ty::Ptr, d16, bins);
+            fork_join(fb, worker, nt, desc);
+            // Merge: checksum = sum over bins of bin_index * count.
+            let acc = fb.local(Ty::I64);
+            fb.set(acc, 0u64);
+            fb.count_loop(0u64, nt, |fb, t| {
+                let tb = fb.gep(bins, t, 256 * 8, 0);
+                fb.count_loop(0u64, 256u64, |fb, b| {
+                    let slot = fb.gep(tb, b, 8, 0);
+                    let c = fb.load(Ty::I64, slot);
+                    let w = fb.mul(c, b);
+                    let a = fb.get(acc);
+                    let s = fb.add(a, w);
+                    fb.set(acc, s);
+                });
+            });
+            let v = fb.get(acc);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let len = p.ws_bytes(PAPER_XL);
+        let mut data = vec![0u8; len as usize];
+        p.rng().fill_bytes(&mut data);
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, len, p.threads as u64]
+    }
+}

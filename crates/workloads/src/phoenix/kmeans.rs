@@ -1,0 +1,226 @@
+//! `kmeans`: iterative clustering. Re-scans its whole working set every
+//! iteration — the paper's canonical EPC-sensitivity benchmark (Fig. 8,
+//! Table 3).
+//!
+//! As in Phoenix, points live behind an **array of point pointers**: every
+//! point access first loads the pointer. That pointer array is what MPX
+//! spills bounds for — its bounds tables roughly double the working set
+//! (the paper's 68 MB -> 127 MB at size M), producing the Fig. 8 spike the
+//! moment the inflated set stops fitting the EPC.
+
+use crate::util::{emit_partition, emit_tag_input, fork_join, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Operand, Ty, Vm};
+use sgxs_rt::Stager;
+
+/// Paper Table 3: kmeans XL working set is 270 MB.
+const PAPER_XL: u64 = 270 << 20;
+/// Clusters.
+const K: u64 = 8;
+/// Lloyd iterations.
+const ITERS: u64 = 3;
+
+/// The kmeans workload.
+pub struct Kmeans;
+
+impl Workload for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("kmeans");
+
+        // worker(tid, nthreads, desc): desc = [point_ptrs, n, centroids, acc].
+        // acc layout: per thread, K * (sumx, sumy, count).
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let points = fb.load(Ty::Ptr, desc);
+                let n_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let n = fb.load(Ty::I64, n_a);
+                let c_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let centroids = fb.load(Ty::Ptr, c_a);
+                let a_a = fb.gep_inbounds(desc, 0u64, 1, 24);
+                let acc = fb.load(Ty::Ptr, a_a);
+                let my_acc = fb.gep(acc, tid, (K * 24) as u32, 0);
+                let (lo, hi) = emit_partition(fb, n, tid, nt);
+                fb.count_loop(lo, hi, |fb, i| {
+                    // Load the point pointer, then the coordinates.
+                    let ppa = fb.gep(points, i, 8, 0);
+                    let pp = fb.load(Ty::Ptr, ppa);
+                    let px = fb.load(Ty::I64, pp);
+                    let pa2 = fb.gep_inbounds(pp, 0u64, 1, 8);
+                    let py = fb.load(Ty::I64, pa2);
+                    // Find the nearest centroid.
+                    let best = fb.local(Ty::I64);
+                    let best_d = fb.local(Ty::I64);
+                    fb.set(best, 0u64);
+                    fb.set(best_d, u64::MAX >> 1);
+                    fb.count_loop(0u64, K, |fb, c| {
+                        let ca = fb.gep(centroids, c, 16, 0);
+                        let cx = fb.load(Ty::I64, ca);
+                        let ca2 = fb.gep(centroids, c, 16, 8);
+                        let cy = fb.load(Ty::I64, ca2);
+                        let dx = fb.sub(px, cx);
+                        let dy = fb.sub(py, cy);
+                        let dx2 = fb.mul(dx, dx);
+                        let dy2 = fb.mul(dy, dy);
+                        let d = fb.add(dx2, dy2);
+                        let bd = fb.get(best_d);
+                        let better = fb.cmp(CmpOp::ULt, d, bd);
+                        fb.if_then(better, |fb| {
+                            fb.set(best_d, d);
+                            fb.set(best, c);
+                        });
+                    });
+                    // Accumulate into my per-thread sums.
+                    let b = fb.get(best);
+                    let slot = fb.gep(my_acc, b, 24, 0);
+                    let sx = fb.load(Ty::I64, slot);
+                    let sx2 = fb.add(sx, px);
+                    fb.store(Ty::I64, slot, sx2);
+                    let slot_y = fb.gep(my_acc, b, 24, 8);
+                    let sy = fb.load(Ty::I64, slot_y);
+                    let sy2 = fb.add(sy, py);
+                    fb.store(Ty::I64, slot_y, sy2);
+                    let slot_c = fb.gep(my_acc, b, 24, 16);
+                    let sc = fb.load(Ty::I64, slot_c);
+                    let sc2 = fb.add(sc, 1u64);
+                    fb.store(Ty::I64, slot_c, sc2);
+                });
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let n = fb.param(1);
+            let nt = fb.param(2);
+            let bytes = fb.mul(n, 16u64);
+            let flat = emit_tag_input(fb, raw, bytes);
+            // Build the array of point pointers: each point is its own
+            // heap object, as in Phoenix.
+            let pb = fb.mul(n, 8u64);
+            let points = fb.intr_ptr("malloc", &[pb.into()]);
+            fb.count_loop(0u64, n, |fb, i| {
+                let pt = fb.intr_ptr("malloc", &[Operand::Imm(16)]);
+                let src = fb.gep(flat, i, 16, 0);
+                let x = fb.load(Ty::I64, src);
+                fb.store(Ty::I64, pt, x);
+                let src2 = fb.gep(flat, i, 16, 8);
+                let y = fb.load(Ty::I64, src2);
+                let dst2 = fb.gep_inbounds(pt, 0u64, 1, 8);
+                fb.store(Ty::I64, dst2, y);
+                let slot = fb.gep(points, i, 8, 0);
+                fb.store(Ty::Ptr, slot, pt);
+            });
+            let centroids = fb.intr_ptr("malloc", &[Operand::Imm(K * 16)]);
+            // Init centroids from the first K points.
+            fb.count_loop(0u64, K, |fb, c| {
+                let src = fb.gep(flat, c, 16, 0);
+                let x = fb.load(Ty::I64, src);
+                let src2 = fb.gep(flat, c, 16, 8);
+                let y = fb.load(Ty::I64, src2);
+                let dst = fb.gep(centroids, c, 16, 0);
+                fb.store(Ty::I64, dst, x);
+                let dst2 = fb.gep(centroids, c, 16, 8);
+                fb.store(Ty::I64, dst2, y);
+            });
+            let acc_bytes = fb.mul(nt, K * 24);
+            let acc = fb.intr_ptr("malloc", &[acc_bytes.into()]);
+            let desc = fb.intr_ptr("malloc", &[32u64.into()]);
+            fb.store(Ty::Ptr, desc, points);
+            let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+            fb.store(Ty::I64, d8, n);
+            let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+            fb.store(Ty::Ptr, d16, centroids);
+            let d24 = fb.gep_inbounds(desc, 0u64, 1, 24);
+            fb.store(Ty::Ptr, d24, acc);
+
+            fb.count_loop(0u64, ITERS, |fb, _iter| {
+                // Zero the accumulators.
+                let ab = fb.mul(nt, K * 24);
+                fb.intr_void("memset", &[acc.into(), 0u64.into(), ab.into()]);
+                fork_join(fb, worker, nt, desc);
+                // Reduce per-thread sums and update centroids.
+                fb.count_loop(0u64, K, |fb, c| {
+                    let sx = fb.local(Ty::I64);
+                    let sy = fb.local(Ty::I64);
+                    let cnt = fb.local(Ty::I64);
+                    fb.set(sx, 0u64);
+                    fb.set(sy, 0u64);
+                    fb.set(cnt, 0u64);
+                    fb.count_loop(0u64, nt, |fb, t| {
+                        let ta = fb.gep(acc, t, (K * 24) as u32, 0);
+                        let slot = fb.gep(ta, c, 24, 0);
+                        let x = fb.load(Ty::I64, slot);
+                        let v = fb.get(sx);
+                        let s = fb.add(v, x);
+                        fb.set(sx, s);
+                        let slot_y = fb.gep(ta, c, 24, 8);
+                        let y = fb.load(Ty::I64, slot_y);
+                        let v = fb.get(sy);
+                        let s = fb.add(v, y);
+                        fb.set(sy, s);
+                        let slot_c = fb.gep(ta, c, 24, 16);
+                        let k = fb.load(Ty::I64, slot_c);
+                        let v = fb.get(cnt);
+                        let s = fb.add(v, k);
+                        fb.set(cnt, s);
+                    });
+                    let cn = fb.get(cnt);
+                    let nonzero = fb.cmp(CmpOp::UGt, cn, 0u64);
+                    fb.if_then(nonzero, |fb| {
+                        let x = fb.get(sx);
+                        let y = fb.get(sy);
+                        let c_again = fb.get(cnt);
+                        let mx = fb.udiv(x, c_again);
+                        let my = fb.udiv(y, c_again);
+                        let dst = fb.gep(centroids, c, 16, 0);
+                        fb.store(Ty::I64, dst, mx);
+                        let dst2 = fb.gep(centroids, c, 16, 8);
+                        fb.store(Ty::I64, dst2, my);
+                    });
+                });
+            });
+
+            // Checksum: sum of final centroid coordinates.
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            fb.count_loop(0u64, K * 2, |fb, i| {
+                let a = fb.gep(centroids, i, 8, 0);
+                let v = fb.load(Ty::I64, a);
+                let c = fb.get(chk);
+                let s = fb.add(c, v);
+                fb.set(chk, s);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        // 8 B pointer slot + 32 B point chunk per point.
+        let n = p.ws_bytes(PAPER_XL) / 40;
+        let mut rng = p.rng();
+        let mut data = Vec::with_capacity((n * 16) as usize);
+        for _ in 0..n {
+            data.extend_from_slice(&rng.gen_range(0u64..1 << 20).to_le_bytes());
+            data.extend_from_slice(&rng.gen_range(0u64..1 << 20).to_le_bytes());
+        }
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, n, p.threads as u64]
+    }
+}

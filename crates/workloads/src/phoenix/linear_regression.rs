@@ -1,0 +1,129 @@
+//! `linear_regression`: one sequential pass computing point sums.
+//! Pointer-free and streaming — low overhead for every scheme.
+
+use crate::util::{emit_partition, emit_tag_input, fork_join, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 256 << 20;
+
+/// The linear_regression workload.
+pub struct LinearRegression;
+
+impl Workload for LinearRegression {
+    fn name(&self) -> &'static str {
+        "linear_regression"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("linear_regression");
+
+        // worker(tid, nt, desc): desc = [points, n, partials].
+        // partials: per thread 5 sums (sx, sy, sxx, syy, sxy).
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let points = fb.load(Ty::Ptr, desc);
+                let n_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let n = fb.load(Ty::I64, n_a);
+                let p_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let partials = fb.load(Ty::Ptr, p_a);
+                let (lo, hi) = emit_partition(fb, n, tid, nt);
+                let sx = fb.local(Ty::I64);
+                let sy = fb.local(Ty::I64);
+                let sxx = fb.local(Ty::I64);
+                let syy = fb.local(Ty::I64);
+                let sxy = fb.local(Ty::I64);
+                for l in [sx, sy, sxx, syy, sxy] {
+                    fb.set(l, 0u64);
+                }
+                fb.count_loop(lo, hi, |fb, i| {
+                    let xa = fb.gep(points, i, 8, 0);
+                    let xy = fb.load(Ty::I64, xa);
+                    // Points are packed as two i32 lanes in one i64.
+                    let x = fb.and(xy, 0xFFFF_FFFFu64);
+                    let y = fb.lshr(xy, 32u64);
+                    let v = fb.get(sx);
+                    let s = fb.add(v, x);
+                    fb.set(sx, s);
+                    let v = fb.get(sy);
+                    let s = fb.add(v, y);
+                    fb.set(sy, s);
+                    let xx = fb.mul(x, x);
+                    let v = fb.get(sxx);
+                    let s = fb.add(v, xx);
+                    fb.set(sxx, s);
+                    let yy = fb.mul(y, y);
+                    let v = fb.get(syy);
+                    let s = fb.add(v, yy);
+                    fb.set(syy, s);
+                    let xy2 = fb.mul(x, y);
+                    let v = fb.get(sxy);
+                    let s = fb.add(v, xy2);
+                    fb.set(sxy, s);
+                });
+                let my = fb.gep(partials, tid, 40, 0);
+                for (k, l) in [sx, sy, sxx, syy, sxy].into_iter().enumerate() {
+                    let v = fb.get(l);
+                    let slot = fb.gep_inbounds(my, 0u64, 1, (k * 8) as i64);
+                    fb.store(Ty::I64, slot, v);
+                }
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let n = fb.param(1);
+            let nt = fb.param(2);
+            let bytes = fb.mul(n, 8u64);
+            let points = emit_tag_input(fb, raw, bytes);
+            let pb = fb.mul(nt, 40u64);
+            let partials = fb.intr_ptr("calloc", &[pb.into(), 1u64.into()]);
+            let desc = fb.intr_ptr("malloc", &[24u64.into()]);
+            fb.store(Ty::Ptr, desc, points);
+            let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+            fb.store(Ty::I64, d8, n);
+            let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+            fb.store(Ty::Ptr, d16, partials);
+            fork_join(fb, worker, nt, desc);
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            let total = fb.mul(nt, 5u64);
+            fb.count_loop(0u64, total, |fb, i| {
+                let a = fb.gep(partials, i, 8, 0);
+                let v = fb.load(Ty::I64, a);
+                let c = fb.get(chk);
+                let s = fb.add(c, v);
+                fb.set(chk, s);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let n = p.ws_bytes(PAPER_XL) / 8;
+        let mut rng = p.rng();
+        let mut data = Vec::with_capacity((n * 8) as usize);
+        for _ in 0..n {
+            let x = rng.gen_range(0u64..4096);
+            let y = rng.gen_range(0u64..4096);
+            data.extend_from_slice(&((y << 32) | x).to_le_bytes());
+        }
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, n, p.threads as u64]
+    }
+}

@@ -1,0 +1,148 @@
+//! `matrix_multiply`: strided (column-major) reads of a large matrix —
+//! cache-unfriendly but page-sequential, so CPU-cache effects dominate and
+//! EPC paging does not (paper §6.3 "Matrixmul", Table 3).
+//!
+//! The full O(n^3) product is intractable under interpretation, so only a
+//! fixed band of output rows is computed; every output row still streams
+//! the entire `B` matrix column-wise, which is the access pattern the
+//! paper's analysis rests on.
+
+use crate::util::{emit_partition, emit_tag_input, fork_join, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+/// Paper Table 3: matrixmul XL working set is 412 MB.
+const PAPER_XL: u64 = 412 << 20;
+/// Output rows computed (the band).
+const ROWS: u64 = 4;
+
+/// The matrix_multiply workload.
+pub struct MatrixMultiply;
+
+/// Matrix dimension for the given parameters.
+pub fn dim(p: &Params) -> u64 {
+    // B dominates the working set: n*n*8 bytes.
+    let n = ((p.ws_bytes(PAPER_XL) / 8) as f64).sqrt() as u64;
+    n.max(64)
+}
+
+impl Workload for MatrixMultiply {
+    fn name(&self) -> &'static str {
+        "matrix_multiply"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("matrix_multiply");
+
+        // worker(tid, nt, desc): desc = [a, b, c, n]; computes row band
+        // rows [tid-partition of ROWS].
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let a = fb.load(Ty::Ptr, desc);
+                let b_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let b = fb.load(Ty::Ptr, b_a);
+                let c_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let c = fb.load(Ty::Ptr, c_a);
+                let n_a = fb.gep_inbounds(desc, 0u64, 1, 24);
+                let n = fb.load(Ty::I64, n_a);
+                let (lo, hi) = emit_partition(fb, ROWS, tid, nt);
+                fb.count_loop(lo, hi, |fb, i| {
+                    let arow = fb.mul(i, n);
+                    fb.count_loop(0u64, n, |fb, j| {
+                        let acc = fb.local(Ty::I64);
+                        fb.set(acc, 0u64);
+                        fb.count_loop(0u64, n, |fb, k| {
+                            let ai = fb.add(arow, k);
+                            let aa = fb.gep(a, ai, 8, 0);
+                            let av = fb.load(Ty::I64, aa);
+                            // Column access: B[k*n + j] — the stride.
+                            let bk = fb.mul(k, n);
+                            let bi = fb.add(bk, j);
+                            let ba = fb.gep(b, bi, 8, 0);
+                            let bv = fb.load(Ty::I64, ba);
+                            let prod = fb.mul(av, bv);
+                            let s0 = fb.get(acc);
+                            let s1 = fb.add(s0, prod);
+                            fb.set(acc, s1);
+                        });
+                        let ci = fb.add(arow, j);
+                        let ca = fb.gep(c, ci, 8, 0);
+                        let v = fb.get(acc);
+                        fb.store(Ty::I64, ca, v);
+                    });
+                });
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func(
+            "main",
+            &[Ty::Ptr, Ty::Ptr, Ty::I64, Ty::I64],
+            Some(Ty::I64),
+            |fb| {
+                let a_raw = fb.param(0);
+                let b_raw = fb.param(1);
+                let n = fb.param(2);
+                let nt = fb.param(3);
+                let a_bytes = fb.mul(n, ROWS * 8);
+                let a = emit_tag_input(fb, a_raw, a_bytes);
+                let nn = fb.mul(n, n);
+                let b_bytes = fb.mul(nn, 8u64);
+                let b = emit_tag_input(fb, b_raw, b_bytes);
+                let c_bytes = fb.mul(n, ROWS * 8);
+                let c = fb.intr_ptr("malloc", &[c_bytes.into()]);
+                let desc = fb.intr_ptr("malloc", &[32u64.into()]);
+                fb.store(Ty::Ptr, desc, a);
+                let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+                fb.store(Ty::Ptr, d8, b);
+                let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+                fb.store(Ty::Ptr, d16, c);
+                let d24 = fb.gep_inbounds(desc, 0u64, 1, 24);
+                fb.store(Ty::I64, d24, n);
+                fork_join(fb, worker, nt, desc);
+                // Checksum over the output band.
+                let chk = fb.local(Ty::I64);
+                fb.set(chk, 0u64);
+                let total = fb.mul(n, ROWS);
+                fb.count_loop(0u64, total, |fb, i| {
+                    let ca = fb.gep(c, i, 8, 0);
+                    let v = fb.load(Ty::I64, ca);
+                    let x = fb.get(chk);
+                    let s = fb.add(x, v);
+                    fb.set(chk, s);
+                });
+                let v = fb.get(chk);
+                fb.intr_void("print_i64", &[v.into()]);
+                fb.ret(Some(v.into()));
+            },
+        );
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let n = dim(p);
+        let mut rng = p.rng();
+        let mut a = Vec::with_capacity((ROWS * n * 8) as usize);
+        for _ in 0..ROWS * n {
+            a.extend_from_slice(&rng.gen_range(0u64..1024).to_le_bytes());
+        }
+        let mut b = Vec::with_capacity((n * n * 8) as usize);
+        for _ in 0..n * n {
+            b.extend_from_slice(&rng.gen_range(0u64..1024).to_le_bytes());
+        }
+        let a_addr = st.stage(vm, &a);
+        let b_addr = st.stage(vm, &b);
+        vec![a_addr as u64, b_addr as u64, n, p.threads as u64]
+    }
+}

@@ -1,0 +1,38 @@
+//! Phoenix 2.0 benchmark analogues (paper §6.1: all 7 programs).
+//!
+//! Each kernel reproduces the *memory and pointer character* of its
+//! namesake — the property the paper's overheads are functions of — at a
+//! scaled working set:
+//!
+//! | program            | character                                   |
+//! |--------------------|---------------------------------------------|
+//! | histogram          | sequential byte scan, pointer-free          |
+//! | kmeans             | iterative re-scan of the working set        |
+//! | linear_regression  | single sequential scan, pointer-free        |
+//! | matrix_multiply    | cache-unfriendly strided reads              |
+//! | pca                | array-of-row-pointers (pointer-intensive)   |
+//! | string_match       | byte scan with rare inner compares          |
+//! | word_count         | chained hash table (pointer + alloc heavy)  |
+
+pub mod histogram;
+pub mod kmeans;
+pub mod linear_regression;
+pub mod matrix_multiply;
+pub mod pca;
+pub mod string_match;
+pub mod word_count;
+
+use crate::util::Workload;
+
+/// All seven Phoenix workloads.
+pub fn all() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(histogram::Histogram),
+        Box::new(kmeans::Kmeans),
+        Box::new(linear_regression::LinearRegression),
+        Box::new(matrix_multiply::MatrixMultiply),
+        Box::new(pca::Pca),
+        Box::new(string_match::StringMatch),
+        Box::new(word_count::WordCount),
+    ]
+}

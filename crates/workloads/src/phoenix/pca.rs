@@ -1,0 +1,138 @@
+//! `pca`: covariance over an **array of row pointers** — the paper's
+//! canonical pointer-intensive benchmark (§6.2: MPX reaches 6.3x because
+//! every element access first loads a row pointer, multiplying instructions,
+//! branches, and L1 traffic).
+
+use crate::util::{emit_partition, fork_join, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+/// Paper §6.2: pca working set is 70 MB.
+const PAPER_XL: u64 = 70 << 20;
+/// Dimensions per row.
+pub const DIMS: u64 = 8;
+
+/// The pca workload.
+pub struct Pca;
+
+fn rows_for(p: &Params) -> u64 {
+    (p.ws_bytes(PAPER_XL) / (DIMS * 8 + 8)).max(64)
+}
+
+impl Workload for Pca {
+    fn name(&self) -> &'static str {
+        "pca"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("pca");
+
+        // worker(tid, nt, desc): desc = [rows_ptr_array, n, cov, means].
+        // Each thread computes the covariance contributions of its row
+        // range for all DIMS*(DIMS+1)/2 pairs, accumulating into its own
+        // cov stripe.
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let rows = fb.load(Ty::Ptr, desc);
+                let n_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let n = fb.load(Ty::I64, n_a);
+                let cov_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let cov = fb.load(Ty::Ptr, cov_a);
+                let my_cov = fb.gep(cov, tid, (DIMS * DIMS * 8) as u32, 0);
+                let (lo, hi) = emit_partition(fb, n, tid, nt);
+                fb.count_loop(lo, hi, |fb, i| {
+                    fb.count_loop(0u64, DIMS, |fb, a| {
+                        // The row pointer is re-loaded per element, as the
+                        // original's compiled inner loop does — this is what
+                        // makes pca pointer-intensive (every data access is
+                        // preceded by a pointer load, which costs MPX a
+                        // bndldx table walk: 6.3x in the paper's Fig. 7).
+                        let ra = fb.gep(rows, i, 8, 0);
+                        let row = fb.load(Ty::Ptr, ra);
+                        let xa = fb.gep(row, a, 8, 0);
+                        let xv = fb.load(Ty::I64, xa);
+                        fb.count_loop(0u64, DIMS, |fb, b| {
+                            let ra2 = fb.gep(rows, i, 8, 0);
+                            let row2 = fb.load(Ty::Ptr, ra2);
+                            let ya = fb.gep(row2, b, 8, 0);
+                            let yv = fb.load(Ty::I64, ya);
+                            let prod = fb.mul(xv, yv);
+                            let idx = fb.mul(a, DIMS);
+                            let idx2 = fb.add(idx, b);
+                            let ca = fb.gep(my_cov, idx2, 8, 0);
+                            let cur = fb.load(Ty::I64, ca);
+                            let s = fb.add(cur, prod);
+                            fb.store(Ty::I64, ca, s);
+                        });
+                    });
+                });
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let n = fb.param(1);
+            let nt = fb.param(2);
+            // Build the array-of-row-pointers from the flat staged
+            // input: each row is its own heap object.
+            let rp_bytes = fb.mul(n, 8u64);
+            let rows = fb.intr_ptr("malloc", &[rp_bytes.into()]);
+            let flat_bytes = fb.mul(n, DIMS * 8);
+            let flat = crate::util::emit_tag_input(fb, raw, flat_bytes);
+            fb.count_loop(0u64, n, |fb, i| {
+                let row = fb.intr_ptr("malloc", &[(DIMS * 8).into()]);
+                let src = fb.gep(flat, i, (DIMS * 8) as u32, 0);
+                fb.intr_void("memcpy", &[row.into(), src.into(), (DIMS * 8).into()]);
+                let slot = fb.gep(rows, i, 8, 0);
+                fb.store(Ty::Ptr, slot, row);
+            });
+            let cov_bytes = fb.mul(nt, DIMS * DIMS * 8);
+            let cov = fb.intr_ptr("calloc", &[cov_bytes.into(), 1u64.into()]);
+            let desc = fb.intr_ptr("malloc", &[24u64.into()]);
+            fb.store(Ty::Ptr, desc, rows);
+            let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+            fb.store(Ty::I64, d8, n);
+            let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+            fb.store(Ty::Ptr, d16, cov);
+            fork_join(fb, worker, nt, desc);
+            // Reduce to a checksum.
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            let cells = fb.mul(nt, DIMS * DIMS);
+            fb.count_loop(0u64, cells, |fb, i| {
+                let a = fb.gep(cov, i, 8, 0);
+                let v = fb.load(Ty::I64, a);
+                let c = fb.get(chk);
+                let s = fb.add(c, v);
+                fb.set(chk, s);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let n = rows_for(p);
+        let mut rng = p.rng();
+        let mut data = Vec::with_capacity((n * DIMS * 8) as usize);
+        for _ in 0..n * DIMS {
+            data.extend_from_slice(&rng.gen_range(0u64..256).to_le_bytes());
+        }
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, n, p.threads as u64]
+    }
+}

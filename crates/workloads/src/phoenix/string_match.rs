@@ -1,0 +1,119 @@
+//! `string_match`: scan a text for a set of encrypted keys — a byte scan
+//! with rare inner comparisons. Streaming and pointer-free.
+
+use crate::util::{emit_partition, emit_tag_input, fork_join, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 256 << 20;
+/// The needle, 8 bytes matched as one word.
+const NEEDLE: u64 = u64::from_le_bytes(*b"SGXBOUND");
+
+/// The string_match workload.
+pub struct StringMatch;
+
+impl Workload for StringMatch {
+    fn name(&self) -> &'static str {
+        "string_match"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("string_match");
+
+        // worker(tid, nt, desc): desc = [input, len, counts].
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let inp = fb.load(Ty::Ptr, desc);
+                let len_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let len = fb.load(Ty::I64, len_a);
+                let cnt_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let counts = fb.load(Ty::Ptr, cnt_a);
+                // Work in 8-byte steps; the last partial word is skipped.
+                let words = fb.udiv(len, 8u64);
+                let (lo, hi) = emit_partition(fb, words, tid, nt);
+                let found = fb.local(Ty::I64);
+                fb.set(found, 0u64);
+                fb.count_loop(lo, hi, |fb, i| {
+                    let a = fb.gep(inp, i, 8, 0);
+                    let w = fb.load(Ty::I64, a);
+                    let eq = fb.cmp(CmpOp::Eq, w, NEEDLE);
+                    fb.if_then(eq, |fb| {
+                        let f = fb.get(found);
+                        let s = fb.add(f, 1u64);
+                        fb.set(found, s);
+                    });
+                    // Cheap per-word "first byte" filter modelling the inner
+                    // strcmp of the original: compare low byte too.
+                    let b0 = fb.and(w, 0xFFu64);
+                    let near = fb.cmp(CmpOp::Eq, b0, NEEDLE & 0xFF);
+                    fb.if_then(near, |fb| {
+                        let f = fb.get(found);
+                        // Count near-misses in the high bits to keep the
+                        // checksum sensitive.
+                        let s = fb.add(f, 1u64 << 32);
+                        fb.set(found, s);
+                    });
+                });
+                let my = fb.gep(counts, tid, 8, 0);
+                let f = fb.get(found);
+                fb.store(Ty::I64, my, f);
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let len = fb.param(1);
+            let nt = fb.param(2);
+            let inp = emit_tag_input(fb, raw, len);
+            let cb = fb.mul(nt, 8u64);
+            let counts = fb.intr_ptr("calloc", &[cb.into(), 1u64.into()]);
+            let desc = fb.intr_ptr("malloc", &[24u64.into()]);
+            fb.store(Ty::Ptr, desc, inp);
+            let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+            fb.store(Ty::I64, d8, len);
+            let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+            fb.store(Ty::Ptr, d16, counts);
+            fork_join(fb, worker, nt, desc);
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            fb.count_loop(0u64, nt, |fb, i| {
+                let a = fb.gep(counts, i, 8, 0);
+                let v = fb.load(Ty::I64, a);
+                let c = fb.get(chk);
+                let s = fb.add(c, v);
+                fb.set(chk, s);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let len = p.ws_bytes(PAPER_XL);
+        let mut rng = p.rng();
+        let mut data = vec![0u8; len as usize];
+        rng.fill(&mut data[..]);
+        // Plant some needles at word-aligned offsets.
+        let words = len / 8;
+        for _ in 0..(words / 4096).max(2) {
+            let at = rng.gen_range(0..words) * 8;
+            data[at as usize..at as usize + 8].copy_from_slice(&NEEDLE.to_le_bytes());
+        }
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, len, p.threads as u64]
+    }
+}

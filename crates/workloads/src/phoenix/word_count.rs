@@ -1,0 +1,193 @@
+//! `word_count`: tokenize text into a chained hash table — pointer- and
+//! allocation-heavy (Fig. 7 shows MPX suffering here like on pca).
+
+use crate::util::{emit_partition, emit_tag_input, fork_join, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Operand, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 96 << 20;
+/// Hash buckets per thread-private table.
+const BUCKETS: u64 = 4096;
+
+/// The word_count workload.
+pub struct WordCount;
+
+impl Workload for WordCount {
+    fn name(&self) -> &'static str {
+        "word_count"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("word_count");
+
+        // insert(table, key) -> 0; table is an array of BUCKETS node
+        // pointers; node = [key 8][count 8][next 8].
+        let insert = mb.func("wc_insert", &[Ty::Ptr, Ty::I64], Some(Ty::I64), |fb| {
+            let table = fb.param(0);
+            let key = fb.param(1);
+            let h = fb.mul(key, 0x9E3779B97F4A7C15u64);
+            let h2 = fb.lshr(h, 40u64);
+            let b = fb.and(h2, BUCKETS - 1);
+            let head = fb.gep(table, b, 8, 0);
+            let cur = fb.local(Ty::Ptr);
+            let first = fb.load(Ty::Ptr, head);
+            fb.set(cur, first);
+            // Walk the chain looking for the key.
+            let walk = fb.block();
+            let check = fb.block();
+            let advance = fb.block();
+            let found = fb.block();
+            let miss = fb.block();
+            let done = fb.block();
+            fb.jmp(walk);
+
+            fb.switch_to(walk);
+            let c = fb.get(cur);
+            let p = fb.and(c, 0xFFFF_FFFFu64); // NULL test on the ptr half.
+            let nonnull = fb.cmp(CmpOp::Ne, p, 0u64);
+            fb.br(nonnull, check, miss);
+
+            fb.switch_to(check);
+            let c = fb.get(cur);
+            let k = fb.load(Ty::I64, c);
+            let eq = fb.cmp(CmpOp::Eq, k, key);
+            fb.br(eq, found, advance);
+
+            fb.switch_to(advance);
+            let c = fb.get(cur);
+            let next_a = fb.gep_inbounds(c, 0u64, 1, 16);
+            let next = fb.load(Ty::Ptr, next_a);
+            fb.set(cur, next);
+            fb.jmp(walk);
+
+            fb.switch_to(found);
+            let c = fb.get(cur);
+            let cnt_a = fb.gep_inbounds(c, 0u64, 1, 8);
+            let cnt = fb.load(Ty::I64, cnt_a);
+            let cnt2 = fb.add(cnt, 1u64);
+            fb.store(Ty::I64, cnt_a, cnt2);
+            fb.jmp(done);
+
+            fb.switch_to(miss);
+            let node = fb.intr_ptr("malloc", &[Operand::Imm(24)]);
+            fb.store(Ty::I64, node, key);
+            let cnt_a = fb.gep_inbounds(node, 0u64, 1, 8);
+            fb.store(Ty::I64, cnt_a, 1u64);
+            let next_a = fb.gep_inbounds(node, 0u64, 1, 16);
+            let old = fb.load(Ty::Ptr, head);
+            fb.store(Ty::Ptr, next_a, old);
+            fb.store(Ty::Ptr, head, node);
+            fb.jmp(done);
+
+            fb.switch_to(done);
+            fb.ret(Some(0u64.into()));
+        });
+
+        // worker(tid, nt, desc): desc = [input, nwords, tables].
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let desc = fb.param(2);
+                let inp = fb.load(Ty::Ptr, desc);
+                let n_a = fb.gep_inbounds(desc, 0u64, 1, 8);
+                let n = fb.load(Ty::I64, n_a);
+                let t_a = fb.gep_inbounds(desc, 0u64, 1, 16);
+                let tables = fb.load(Ty::Ptr, t_a);
+                let my_table_a = fb.gep(tables, tid, 8, 0);
+                let my_table = fb.load(Ty::Ptr, my_table_a);
+                let (lo, hi) = emit_partition(fb, n, tid, nt);
+                fb.count_loop(lo, hi, |fb, i| {
+                    // Words are pre-tokenized 8-byte stems.
+                    let a = fb.gep(inp, i, 8, 0);
+                    let w = fb.load(Ty::I64, a);
+                    fb.call(insert, &[my_table.into(), w.into()]);
+                });
+                fb.ret(Some(0u64.into()));
+            },
+        );
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let n = fb.param(1);
+            let nt = fb.param(2);
+            let bytes = fb.mul(n, 8u64);
+            let inp = emit_tag_input(fb, raw, bytes);
+            let tp_bytes = fb.mul(nt, 8u64);
+            let tables = fb.intr_ptr("malloc", &[tp_bytes.into()]);
+            fb.count_loop(0u64, nt, |fb, t| {
+                let tbl = fb.intr_ptr("calloc", &[Operand::Imm(BUCKETS * 8), 1u64.into()]);
+                let slot = fb.gep(tables, t, 8, 0);
+                fb.store(Ty::Ptr, slot, tbl);
+            });
+            let desc = fb.intr_ptr("malloc", &[24u64.into()]);
+            fb.store(Ty::Ptr, desc, inp);
+            let d8 = fb.gep_inbounds(desc, 0u64, 1, 8);
+            fb.store(Ty::I64, d8, n);
+            let d16 = fb.gep_inbounds(desc, 0u64, 1, 16);
+            fb.store(Ty::Ptr, d16, tables);
+            fork_join(fb, worker, nt, desc);
+            // Checksum: total distinct nodes and counts per table.
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            fb.count_loop(0u64, nt, |fb, t| {
+                let slot = fb.gep(tables, t, 8, 0);
+                let tbl = fb.load(Ty::Ptr, slot);
+                fb.count_loop(0u64, BUCKETS, |fb, b| {
+                    let head = fb.gep(tbl, b, 8, 0);
+                    let cur = fb.local(Ty::Ptr);
+                    let first = fb.load(Ty::Ptr, head);
+                    fb.set(cur, first);
+                    let walk = fb.block();
+                    let body = fb.block();
+                    let out = fb.block();
+                    fb.jmp(walk);
+                    fb.switch_to(walk);
+                    let c = fb.get(cur);
+                    let p = fb.and(c, 0xFFFF_FFFFu64);
+                    let nonnull = fb.cmp(CmpOp::Ne, p, 0u64);
+                    fb.br(nonnull, body, out);
+                    fb.switch_to(body);
+                    let c = fb.get(cur);
+                    let cnt_a = fb.gep_inbounds(c, 0u64, 1, 8);
+                    let cnt = fb.load(Ty::I64, cnt_a);
+                    let x = fb.get(chk);
+                    let x2 = fb.add(x, cnt);
+                    let x3 = fb.add(x2, 1u64 << 24);
+                    fb.set(chk, x3);
+                    let next_a = fb.gep_inbounds(c, 0u64, 1, 16);
+                    let next = fb.load(Ty::Ptr, next_a);
+                    fb.set(cur, next);
+                    fb.jmp(walk);
+                    fb.switch_to(out);
+                });
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let n = p.ws_bytes(PAPER_XL) / 8;
+        let mut rng = p.rng();
+        // Zipf-ish vocabulary: 4096 distinct stems, geometric-ish bias.
+        let mut data = Vec::with_capacity((n * 8) as usize);
+        for _ in 0..n {
+            let r: u64 = rng.gen_range(0..4096);
+            let stem = (r * r) % 4096 + 1; // Bias toward small ids; never 0.
+            data.extend_from_slice(&(0x574F_5244_0000_0000u64 | stem).to_le_bytes());
+        }
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, n, p.threads as u64]
+    }
+}

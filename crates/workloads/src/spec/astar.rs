@@ -1,0 +1,140 @@
+//! `astar`: grid pathfinding with heap-allocated search nodes whose
+//! pointers spread across bucket lists — one of the three SPEC programs
+//! whose bounds tables exhaust enclave memory under MPX (Fig. 11).
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Operand, Ty, Vm};
+use sgxs_rt::Stager;
+
+// Sized so the search-node spread reproduces astar's MPX bounds-table
+// OOM (Fig. 11): ~4 bytes of BT per node byte exceeds the enclave.
+const PAPER_XL: u64 = 1700 << 20;
+/// Search node: [cell 8][g 8][next 8].
+const NODE: u64 = 24;
+/// Cost buckets for the open list.
+const BUCKETS: u64 = 512;
+
+/// The astar workload.
+pub struct Astar;
+
+impl Workload for Astar {
+    fn name(&self) -> &'static str {
+        "astar"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("astar");
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let dim = fb.param(1);
+            let _nt = fb.param(2);
+            let cells = fb.mul(dim, dim);
+            let grid = emit_tag_input(fb, raw, cells);
+            // Dijkstra-ish bucket expansion: visit cells in waves,
+            // allocating a node per visited cell and pushing it into a
+            // cost bucket (pointer store).
+            let visited = fb.intr_ptr("calloc", &[cells.into(), 1u64.into()]);
+            let buckets = fb.intr_ptr("calloc", &[Operand::Imm(BUCKETS * 8), 1u64.into()]);
+            let expanded = fb.local(Ty::I64);
+            fb.set(expanded, 0u64);
+            // Seed and frontier cursors kept in a work queue of cell
+            // ids; a simple ring buffer on the heap.
+            let qcap = fb.add(cells, 1u64);
+            let qb = fb.mul(qcap, 8u64);
+            let queue = fb.intr_ptr("malloc", &[qb.into()]);
+            let qhead = fb.local(Ty::I64);
+            let qtail = fb.local(Ty::I64);
+            fb.set(qhead, 0u64);
+            fb.set(qtail, 1u64);
+            fb.store(Ty::I64, queue, 0u64); // Start at cell 0.
+            fb.store(Ty::I8, visited, 1u64);
+
+            let head_lt_tail = fb.block();
+            let body = fb.block();
+            let done = fb.block();
+            fb.jmp(head_lt_tail);
+
+            fb.switch_to(head_lt_tail);
+            let h = fb.get(qhead);
+            let t = fb.get(qtail);
+            let more = fb.cmp(CmpOp::ULt, h, t);
+            fb.br(more, body, done);
+
+            fb.switch_to(body);
+            let h = fb.get(qhead);
+            let qa = fb.gep(queue, h, 8, 0);
+            let cell = fb.load(Ty::I64, qa);
+            let h2 = fb.add(h, 1u64);
+            fb.set(qhead, h2);
+            // Allocate the search node; push into its cost bucket.
+            let node = fb.intr_ptr("malloc", &[Operand::Imm(NODE)]);
+            fb.store(Ty::I64, node, cell);
+            let ga = fb.gep_inbounds(node, 0u64, 1, 8);
+            let e = fb.get(expanded);
+            fb.store(Ty::I64, ga, e);
+            let bidx = fb.and(cell, BUCKETS - 1);
+            let bslot = fb.gep(buckets, bidx, 8, 0);
+            let old = fb.load(Ty::Ptr, bslot);
+            let na = fb.gep_inbounds(node, 0u64, 1, 16);
+            fb.store(Ty::Ptr, na, old);
+            fb.store(Ty::Ptr, bslot, node);
+            let e2 = fb.add(e, 1u64);
+            fb.set(expanded, e2);
+            // Expand east and south neighbours if passable.
+            for (scale, name) in [(1u64, "east"), (0u64, "south")] {
+                let _ = name;
+                let step = if scale == 1 {
+                    Operand::Imm(1)
+                } else {
+                    dim.into()
+                };
+                let nb = fb.add(cell, step);
+                let in_range = fb.cmp(CmpOp::ULt, nb, cells);
+                fb.if_then(in_range, |fb| {
+                    let va = fb.gep(visited, nb, 1, 0);
+                    let seen = fb.load(Ty::I8, va);
+                    let ga2 = fb.gep(grid, nb, 1, 0);
+                    let wall = fb.load(Ty::I8, ga2);
+                    let open = fb.cmp(CmpOp::Eq, wall, 0u64);
+                    let fresh = fb.cmp(CmpOp::Eq, seen, 0u64);
+                    let go = fb.and(open, fresh);
+                    fb.if_then(go, |fb| {
+                        fb.store(Ty::I8, va, 1u64);
+                        let tl = fb.get(qtail);
+                        let qa2 = fb.gep(queue, tl, 8, 0);
+                        fb.store(Ty::I64, qa2, nb);
+                        let tl2 = fb.add(tl, 1u64);
+                        fb.set(qtail, tl2);
+                    });
+                });
+            }
+            fb.jmp(head_lt_tail);
+
+            fb.switch_to(done);
+            let v = fb.get(expanded);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        // Node allocations dominate the working set: ~NODE bytes per open
+        // cell; grid sized so most cells are visited.
+        let cells = (p.ws_bytes(PAPER_XL) / (NODE + 2)).max(256);
+        let dim = (cells as f64).sqrt() as u64;
+        let mut rng = p.rng();
+        let mut grid = vec![0u8; (dim * dim) as usize];
+        for g in grid.iter_mut() {
+            *g = if rng.gen_bool(0.12) { 1 } else { 0 };
+        }
+        grid[0] = 0;
+        let addr = st.stage(vm, &grid);
+        vec![addr as u64, dim, p.threads as u64]
+    }
+}

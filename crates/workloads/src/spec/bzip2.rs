@@ -1,0 +1,149 @@
+//! `bzip2`: buffer-transform compression passes (run-length encoding and a
+//! move-to-front pass). Array-heavy, modest pointer use.
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Operand, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 160 << 20;
+
+/// The bzip2 workload.
+pub struct Bzip2;
+
+impl Workload for Bzip2 {
+    fn name(&self) -> &'static str {
+        "bzip2"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("bzip2");
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let len = fb.param(1);
+            let _nt = fb.param(2);
+            let inp = emit_tag_input(fb, raw, len);
+            let out = fb.intr_ptr("malloc", &[len.into()]);
+            // Pass 1: RLE into out; count emitted bytes.
+            let emitted = fb.local(Ty::I64);
+            let run = fb.local(Ty::I64);
+            let prev = fb.local(Ty::I64);
+            fb.set(emitted, 0u64);
+            fb.set(run, 0u64);
+            fb.set(prev, 256u64); // Sentinel.
+            fb.count_loop(0u64, len, |fb, i| {
+                let a = fb.gep(inp, i, 1, 0);
+                let b = fb.load(Ty::I8, a);
+                let pv = fb.get(prev);
+                let same = fb.cmp(CmpOp::Eq, b, pv);
+                let rv = fb.get(run);
+                let short = fb.cmp(CmpOp::ULt, rv, 255u64);
+                let cont = fb.and(same, short);
+                fb.if_else(
+                    cont,
+                    |fb| {
+                        let r = fb.get(run);
+                        let r2 = fb.add(r, 1u64);
+                        fb.set(run, r2);
+                    },
+                    |fb| {
+                        let e = fb.get(emitted);
+                        let oa = fb.gep(out, e, 1, 0);
+                        fb.store(Ty::I8, oa, b);
+                        let e2 = fb.add(e, 1u64);
+                        fb.set(emitted, e2);
+                        fb.set(run, 0u64);
+                    },
+                );
+                fb.set(prev, b);
+            });
+            // Pass 2: move-to-front over the RLE output using a 256-byte
+            // table in a fixed stack slot.
+            let mtf = fb.slot("mtf", 256);
+            let tp = fb.slot_addr(mtf);
+            fb.count_loop(0u64, 256u64, |fb, i| {
+                let a = fb.gep(tp, i, 1, 0);
+                fb.store(Ty::I8, a, i);
+            });
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            let e = fb.get(emitted);
+            fb.count_loop(0u64, e, |fb, i| {
+                let oa = fb.gep(out, i, 1, 0);
+                let b = fb.load(Ty::I8, oa);
+                // Find b's rank in the table (linear scan, like the
+                // byte-wise MTF of the original).
+                let rank = fb.local(Ty::I64);
+                fb.set(rank, 0u64);
+                let find = fb.block();
+                let step = fb.block();
+                let found = fb.block();
+                fb.jmp(find);
+                fb.switch_to(find);
+                let r = fb.get(rank);
+                let ta = fb.gep(tp, r, 1, 0);
+                let tv = fb.load(Ty::I8, ta);
+                let eq = fb.cmp(CmpOp::Eq, tv, b);
+                fb.br(eq, found, step);
+                fb.switch_to(step);
+                let r = fb.get(rank);
+                let r2 = fb.add(r, 1u64);
+                fb.set(rank, r2);
+                fb.jmp(find);
+                fb.switch_to(found);
+                // Move to front: shift [0, rank) up by one.
+                let r = fb.get(rank);
+                let shift = fb.local(Ty::I64);
+                fb.set(shift, r);
+                let shl = fb.block();
+                let shb = fb.block();
+                let shdone = fb.block();
+                fb.jmp(shl);
+                fb.switch_to(shl);
+                let s = fb.get(shift);
+                let nz = fb.cmp(CmpOp::UGt, s, 0u64);
+                fb.br(nz, shb, shdone);
+                fb.switch_to(shb);
+                let s = fb.get(shift);
+                let sm1 = fb.sub(s, 1u64);
+                let src = fb.gep(tp, sm1, 1, 0);
+                let v = fb.load(Ty::I8, src);
+                let dst = fb.gep(tp, s, 1, 0);
+                fb.store(Ty::I8, dst, v);
+                fb.set(shift, sm1);
+                fb.jmp(shl);
+                fb.switch_to(shdone);
+                fb.store(Ty::I8, tp, b);
+                let c = fb.get(chk);
+                let r2 = fb.get(rank);
+                let c2 = fb.add(c, r2);
+                fb.set(chk, c2);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            let _ = Operand::Imm(0);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let len = p.ws_bytes(PAPER_XL) / 4;
+        let mut rng = p.rng();
+        // Compressible data: runs + a small alphabet (keeps MTF scans
+        // short, as in real text).
+        let mut data = Vec::with_capacity(len as usize);
+        while (data.len() as u64) < len {
+            let b = rng.gen_range(0u8..16);
+            let run = rng.gen_range(1usize..10);
+            data.extend(std::iter::repeat_n(b, run));
+        }
+        data.truncate(len as usize);
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, len, p.threads as u64]
+    }
+}

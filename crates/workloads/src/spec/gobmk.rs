@@ -1,0 +1,120 @@
+//! `gobmk`: Go position evaluation — a small working set, deep branchy
+//! recursion over board copies on the stack.
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+/// Board cells (19x19 rounded up).
+const BOARD: u64 = 368;
+/// Positions evaluated at XL paper scale.
+const PAPER_XL_EVALS: u64 = 1 << 17;
+
+/// The gobmk workload.
+pub struct Gobmk;
+
+impl Workload for Gobmk {
+    fn name(&self) -> &'static str {
+        "gobmk"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("gobmk");
+
+        // evaluate(board, depth) -> score: copies the board to a stack
+        // slot, plays a deterministic move, recurses.
+        let eval = mb.declare("evaluate", &[Ty::Ptr, Ty::I64], Some(Ty::I64));
+        mb.define(eval, |fb| {
+            let board = fb.param(0);
+            let depth = fb.param(1);
+            let my = fb.slot("board_copy", BOARD as u32);
+            let mp = fb.slot_addr(my);
+            fb.intr_void("memcpy", &[mp.into(), board.into(), BOARD.into()]);
+            // Score: liberties-ish = sum of empty neighbours east of stones.
+            let score = fb.local(Ty::I64);
+            fb.set(score, 0u64);
+            fb.count_loop(0u64, BOARD - 1, |fb, i| {
+                let a = fb.gep(mp, i, 1, 0);
+                let v = fb.load(Ty::I8, a);
+                let stone = fb.cmp(CmpOp::Ne, v, 0u64);
+                fb.if_then(stone, |fb| {
+                    let ea = fb.gep(mp, i, 1, 1);
+                    let e = fb.load(Ty::I8, ea);
+                    let free = fb.cmp(CmpOp::Eq, e, 0u64);
+                    let s = fb.get(score);
+                    let s2 = fb.add(s, free);
+                    fb.set(score, s2);
+                });
+            });
+            let leaf = fb.cmp(CmpOp::Eq, depth, 0u64);
+            let out = fb.local(Ty::I64);
+            fb.if_else(
+                leaf,
+                |fb| {
+                    let s = fb.get(score);
+                    fb.set(out, s);
+                },
+                |fb| {
+                    // Play a move at a score-dependent cell, recurse twice
+                    // (alpha-beta's two branches).
+                    let s = fb.get(score);
+                    let at = fb.urem(s, BOARD);
+                    let ma = fb.gep(mp, at, 1, 0);
+                    fb.store(Ty::I8, ma, 1u64);
+                    let d2 = fb.sub(depth, 1u64);
+                    let a = fb.call(eval, &[mp.into(), d2.into()]).unwrap();
+                    let at2 = fb.add(at, 7u64);
+                    let at3 = fb.urem(at2, BOARD);
+                    let mb2 = fb.gep(mp, at3, 1, 0);
+                    fb.store(Ty::I8, mb2, 2u64);
+                    let b = fb.call(eval, &[mp.into(), d2.into()]).unwrap();
+                    let gt = fb.cmp(CmpOp::UGt, a, b);
+                    let best = fb.select(gt, a, b);
+                    fb.set(out, best);
+                },
+            );
+            let v = fb.get(out);
+            fb.ret(Some(v.into()));
+        });
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let evals = fb.param(1);
+            let _nt = fb.param(2);
+            let board = emit_tag_input(fb, raw, BOARD);
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            fb.count_loop(0u64, evals, |fb, i| {
+                let d = fb.and(i, 3u64);
+                let s = fb.call(eval, &[board.into(), d.into()]).unwrap();
+                let c = fb.get(chk);
+                let c2 = fb.add(c, s);
+                fb.set(chk, c2);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let evals = (PAPER_XL_EVALS * p.size.factor() / 16 / p.scale).max(16);
+        let mut rng = p.rng();
+        let mut board = vec![0u8; BOARD as usize];
+        for c in board.iter_mut() {
+            *c = if rng.gen_bool(0.3) {
+                rng.gen_range(1u8..3)
+            } else {
+                0
+            };
+        }
+        let addr = st.stage(vm, &board);
+        vec![addr as u64, evals, p.threads as u64]
+    }
+}

@@ -1,0 +1,117 @@
+//! `h264ref`: reference-encoder motion estimation, the single-threaded
+//! sibling of the PARSEC `x264` kernel with a denser search.
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::RngCore;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 96 << 20;
+const BLK: u64 = 8;
+const RADIUS: u64 = 3;
+
+/// The h264ref workload.
+pub struct H264ref;
+
+impl Workload for H264ref {
+    fn name(&self) -> &'static str {
+        "h264ref"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("h264ref");
+        mb.func(
+            "main",
+            &[Ty::Ptr, Ty::Ptr, Ty::I64, Ty::I64],
+            Some(Ty::I64),
+            |fb| {
+                let cur_raw = fb.param(0);
+                let ref_raw = fb.param(1);
+                let dim = fb.param(2);
+                let _nt = fb.param(3);
+                let bytes = fb.mul(dim, dim);
+                let cur = emit_tag_input(fb, cur_raw, bytes);
+                let reff = emit_tag_input(fb, ref_raw, bytes);
+                let blocks = fb.udiv(dim, BLK);
+                let inner = fb.sub(blocks, 2 * RADIUS);
+                // Sample every other block in each dimension to bound the
+                // interpreted instruction count; the access pattern per
+                // block is unchanged.
+                let inner2 = fb.udiv(inner, 2u64);
+                let chk = fb.local(Ty::I64);
+                fb.set(chk, 0u64);
+                fb.count_loop(0u64, inner2, |fb, byr| {
+                    let byr2 = fb.mul(byr, 2u64);
+                    let by = fb.add(byr2, RADIUS);
+                    fb.count_loop(0u64, inner2, |fb, bxr| {
+                        let bxr2 = fb.mul(bxr, 2u64);
+                        let bx = fb.add(bxr2, RADIUS);
+                        let best = fb.local(Ty::I64);
+                        fb.set(best, u64::MAX >> 1);
+                        fb.count_loop(0u64, 2 * RADIUS + 1, |fb, dy| {
+                            fb.count_loop(0u64, 2 * RADIUS + 1, |fb, dx| {
+                                let sad = fb.local(Ty::I64);
+                                fb.set(sad, 0u64);
+                                fb.count_loop(0u64, BLK, |fb, row| {
+                                    let cy = fb.mul(by, BLK);
+                                    let cy2 = fb.add(cy, row);
+                                    let coff = fb.mul(cy2, dim);
+                                    let cx = fb.mul(bx, BLK);
+                                    let cidx = fb.add(coff, cx);
+                                    let ca = fb.gep(cur, cidx, 1, 0);
+                                    let cw = fb.load(Ty::I64, ca);
+                                    let ry0 = fb.add(by, dy);
+                                    let ry = fb.sub(ry0, RADIUS);
+                                    let ryb = fb.mul(ry, BLK);
+                                    let ry2 = fb.add(ryb, row);
+                                    let roff = fb.mul(ry2, dim);
+                                    let rx0 = fb.add(bx, dx);
+                                    let rx = fb.sub(rx0, RADIUS);
+                                    let rxb = fb.mul(rx, BLK);
+                                    let ridx = fb.add(roff, rxb);
+                                    let ra = fb.gep(reff, ridx, 1, 0);
+                                    let rw = fb.load(Ty::I64, ra);
+                                    let x = fb.xor(cw, rw);
+                                    let m = fb.and(x, 0x7F7F_7F7F_7F7F_7F7Fu64);
+                                    let s0 = fb.get(sad);
+                                    let s1 = fb.add(s0, m);
+                                    fb.set(sad, s1);
+                                });
+                                let sv = fb.get(sad);
+                                let bv = fb.get(best);
+                                let better = fb.cmp(CmpOp::ULt, sv, bv);
+                                fb.if_then(better, |fb| fb.set(best, sv));
+                            });
+                        });
+                        let b = fb.get(best);
+                        let folded = fb.and(b, 0xFFFFu64);
+                        let c = fb.get(chk);
+                        let c2 = fb.add(c, folded);
+                        fb.set(chk, c2);
+                    });
+                });
+                let v = fb.get(chk);
+                fb.intr_void("print_i64", &[v.into()]);
+                fb.ret(Some(v.into()));
+            },
+        );
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let per_frame = p.ws_bytes(PAPER_XL) / 2;
+        let dim = (((per_frame as f64).sqrt() as u64) / BLK * BLK).max(64);
+        let mut rng = p.rng();
+        let mut cur = vec![0u8; (dim * dim) as usize];
+        rng.fill_bytes(&mut cur);
+        let mut reff = cur.clone();
+        reff.rotate_left((2 * dim + 5) as usize);
+        let a = st.stage(vm, &cur);
+        let b = st.stage(vm, &reff);
+        vec![a as u64, b as u64, dim, p.threads as u64]
+    }
+}

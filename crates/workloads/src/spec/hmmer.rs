@@ -1,0 +1,93 @@
+//! `hmmer`: profile-HMM Viterbi — dynamic programming over per-row arrays,
+//! sequential and compute-dense.
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 64 << 20;
+/// Profile length (DP row width).
+const STATES: u64 = 128;
+
+/// The hmmer workload.
+pub struct Hmmer;
+
+impl Workload for Hmmer {
+    fn name(&self) -> &'static str {
+        "hmmer"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("hmmer");
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let seqlen = fb.param(1);
+            let _nt = fb.param(2);
+            let seq = emit_tag_input(fb, raw, seqlen);
+            let row_bytes = STATES * 8;
+            let prev = fb.intr_ptr("calloc", &[row_bytes.into(), 1u64.into()]);
+            let cur = fb.intr_ptr("calloc", &[row_bytes.into(), 1u64.into()]);
+            let rows = fb.local(Ty::Ptr);
+            let rows2 = fb.local(Ty::Ptr);
+            fb.set(rows, prev);
+            fb.set(rows2, cur);
+            let best = fb.local(Ty::I64);
+            fb.set(best, 0u64);
+            fb.count_loop(0u64, seqlen, |fb, i| {
+                let sa = fb.gep(seq, i, 1, 0);
+                let sym = fb.load(Ty::I8, sa);
+                let p = fb.get(rows);
+                let c = fb.get(rows2);
+                fb.count_loop(0u64, STATES, |fb, s| {
+                    // match = prev[s-1] + emit(sym, s); stay = prev[s].
+                    let sm1 = fb.sub(s, 1u64);
+                    let sm1c = fb.and(sm1, STATES - 1);
+                    let ma = fb.gep(p, sm1c, 8, 0);
+                    let m = fb.load(Ty::I64, ma);
+                    let mix = fb.xor(sym, s);
+                    let emit = fb.and(mix, 0x3Fu64);
+                    let mscore = fb.add(m, emit);
+                    let ia = fb.gep(p, s, 8, 0);
+                    let stay = fb.load(Ty::I64, ia);
+                    let stay2 = fb.add(stay, 1u64);
+                    let gt = fb.cmp(CmpOp::UGt, mscore, stay2);
+                    let v = fb.select(gt, mscore, stay2);
+                    let decay = fb.lshr(v, 12u64);
+                    let v2 = fb.sub(v, decay);
+                    let ca = fb.gep(c, s, 8, 0);
+                    fb.store(Ty::I64, ca, v2);
+                    let b = fb.get(best);
+                    let better = fb.cmp(CmpOp::UGt, v2, b);
+                    fb.if_then(better, |fb| fb.set(best, v2));
+                });
+                // Swap rows.
+                let t = fb.get(rows);
+                let t2 = fb.get(rows2);
+                fb.set(rows, t2);
+                fb.set(rows2, t);
+            });
+            let v = fb.get(best);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        // Compute-bound: sequence length scales work; WS stays small like
+        // the original (two DP rows + the sequence).
+        let seqlen = (p.ws_bytes(PAPER_XL) / 512).max(256);
+        let mut rng = p.rng();
+        let mut seq = vec![0u8; seqlen as usize];
+        for c in seq.iter_mut() {
+            *c = rng.gen_range(0u8..20);
+        }
+        let addr = st.stage(vm, &seq);
+        vec![addr as u64, seqlen, p.threads as u64]
+    }
+}

@@ -1,0 +1,93 @@
+//! `lbm`: lattice-Boltzmann streaming — two large arrays, strictly
+//! sequential sweeps (memory-bandwidth bound).
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 400 << 20;
+/// Timesteps.
+const STEPS: u64 = 2;
+
+/// The lbm workload.
+pub struct Lbm;
+
+impl Workload for Lbm {
+    fn name(&self) -> &'static str {
+        "lbm"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("lbm");
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let cells = fb.param(1);
+            let _nt = fb.param(2);
+            let bytes = fb.mul(cells, 8u64);
+            let src0 = emit_tag_input(fb, raw, bytes);
+            let dst0 = fb.intr_ptr("malloc", &[bytes.into()]);
+            let src = fb.local(Ty::Ptr);
+            let dst = fb.local(Ty::Ptr);
+            fb.set(src, src0);
+            fb.set(dst, dst0);
+            let interior = fb.sub(cells, 2u64);
+            fb.count_loop(0u64, STEPS, |fb, _| {
+                let s = fb.get(src);
+                let d = fb.get(dst);
+                fb.count_loop(0u64, interior, |fb, i| {
+                    // Stream + collide: 3-point stencil with relaxation.
+                    let a0 = fb.gep(s, i, 8, 0);
+                    let v0 = fb.load(Ty::I64, a0);
+                    let a1 = fb.gep(s, i, 8, 8);
+                    let v1 = fb.load(Ty::I64, a1);
+                    let a2 = fb.gep(s, i, 8, 16);
+                    let v2 = fb.load(Ty::I64, a2);
+                    let sum = fb.add(v0, v2);
+                    let avg = fb.lshr(sum, 1u64);
+                    let diff = fb.sub(avg, v1);
+                    let relax = fb.lshr(diff, 2u64);
+                    let nv = fb.add(v1, relax);
+                    let o = fb.gep(d, i, 8, 8);
+                    fb.store(Ty::I64, o, nv);
+                });
+                let t = fb.get(src);
+                let t2 = fb.get(dst);
+                fb.set(src, t2);
+                fb.set(dst, t);
+            });
+            // Checksum a stripe.
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            let s = fb.get(src);
+            let samples = fb.udiv(cells, 64u64);
+            fb.count_loop(0u64, samples, |fb, i| {
+                let idx = fb.mul(i, 64u64);
+                let a = fb.gep(s, idx, 8, 0);
+                let v = fb.load(Ty::I64, a);
+                let c = fb.get(chk);
+                let s2 = fb.add(c, v);
+                fb.set(chk, s2);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let cells = (p.ws_bytes(PAPER_XL) / 16).max(512);
+        let mut rng = p.rng();
+        let mut data = Vec::with_capacity((cells * 8) as usize);
+        for _ in 0..cells {
+            data.extend_from_slice(&rng.gen_range(0u64..1 << 16).to_le_bytes());
+        }
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, cells, p.threads as u64]
+    }
+}

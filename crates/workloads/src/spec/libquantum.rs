@@ -1,0 +1,85 @@
+//! `libquantum`: quantum register simulation — gate sweeps over a large
+//! amplitude array with bit-pattern indexing.
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 96 << 20;
+/// Gates applied.
+const GATES: u64 = 12;
+
+/// The libquantum workload.
+pub struct Libquantum;
+
+impl Workload for Libquantum {
+    fn name(&self) -> &'static str {
+        "libquantum"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("libquantum");
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let n = fb.param(1); // Amplitudes (power of two).
+            let _nt = fb.param(2);
+            let bytes = fb.mul(n, 8u64);
+            let amps = emit_tag_input(fb, raw, bytes);
+            fb.count_loop(0u64, GATES, |fb, g| {
+                // CNOT-like: for each basis state with bit g set, swap
+                // amplitude with the state with bit (g+1) toggled —
+                // expressed as an in-place butterfly.
+                let bit = fb.and(g, 15u64);
+                let mask = fb.shl(1u64, bit);
+                fb.count_loop(0u64, n, |fb, i| {
+                    let hit = fb.and(i, mask);
+                    let is_set = fb.cmp(CmpOp::Ne, hit, 0u64);
+                    fb.if_then(is_set, |fb| {
+                        let j = fb.xor(i, mask);
+                        let ai = fb.gep(amps, i, 8, 0);
+                        let vi = fb.load(Ty::I64, ai);
+                        let aj = fb.gep(amps, j, 8, 0);
+                        let vj = fb.load(Ty::I64, aj);
+                        let s = fb.add(vi, vj);
+                        let d = fb.sub(vi, vj);
+                        let s2 = fb.lshr(s, 1u64);
+                        let d2 = fb.lshr(d, 1u64);
+                        fb.store(Ty::I64, ai, s2);
+                        fb.store(Ty::I64, aj, d2);
+                    });
+                });
+            });
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            let samples = fb.udiv(n, 32u64);
+            fb.count_loop(0u64, samples, |fb, i| {
+                let idx = fb.mul(i, 32u64);
+                let a = fb.gep(amps, idx, 8, 0);
+                let v = fb.load(Ty::I64, a);
+                let c = fb.get(chk);
+                let s = fb.add(c, v);
+                fb.set(chk, s);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let n = (p.ws_bytes(PAPER_XL) / 8 / 3).next_power_of_two().max(512);
+        let mut rng = p.rng();
+        let mut data = Vec::with_capacity((n * 8) as usize);
+        for _ in 0..n {
+            data.extend_from_slice(&rng.gen_range(0u64..1 << 20).to_le_bytes());
+        }
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, n, p.threads as u64]
+    }
+}

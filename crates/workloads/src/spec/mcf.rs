@@ -1,0 +1,108 @@
+//! `mcf`: network-simplex style pointer chasing over a large node/arc
+//! graph. The paper's poster child for ASan's EPC collapse (Fig. 11: ASan
+//! 2.4x from 3,400x more page faults, SGXBounds 1%).
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+// SPEC ref mcf peaks around 1.7 GB resident — the largest SPEC working
+// set and an MPX bounds-table OOM case in the paper (Fig. 11).
+const PAPER_XL: u64 = 1740 << 20;
+/// Node record: [potential 8][next ptr 8][arc cost 8][pad 8].
+const NODE: u64 = 32;
+/// Chase steps per pass.
+const PASSES: u64 = 6;
+
+/// The mcf workload.
+pub struct Mcf;
+
+impl Workload for Mcf {
+    fn name(&self) -> &'static str {
+        "mcf"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("mcf");
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let n = fb.param(1);
+            let _nt = fb.param(2);
+            let bytes = fb.mul(n, 8u64);
+            let perm = emit_tag_input(fb, raw, bytes);
+            // Allocate the node pool and thread a random cycle through
+            // it using the staged permutation.
+            let pool_bytes = fb.mul(n, NODE);
+            let pool = fb.intr_ptr("malloc", &[pool_bytes.into()]);
+            fb.count_loop(0u64, n, |fb, i| {
+                let node = fb.gep(pool, i, NODE as u32, 0);
+                fb.store(Ty::I64, node, i);
+                let pa = fb.gep(perm, i, 8, 0);
+                let succ = fb.load(Ty::I64, pa);
+                let succ_node = fb.gep(pool, succ, NODE as u32, 0);
+                let na = fb.gep_inbounds(node, 0u64, 1, 8);
+                fb.store(Ty::Ptr, na, succ_node);
+                let ca = fb.gep_inbounds(node, 0u64, 1, 16);
+                let cost = fb.and(succ, 0xFFu64);
+                fb.store(Ty::I64, ca, cost);
+            });
+            // Chase: update potentials along the cycle (random access
+            // across the whole pool, EPC-hostile).
+            let total = fb.local(Ty::I64);
+            fb.set(total, 0u64);
+            let cur = fb.local(Ty::Ptr);
+            fb.count_loop(0u64, PASSES, |fb, _| {
+                let first = fb.gep(pool, 0u64, NODE as u32, 0);
+                fb.set(cur, first);
+                fb.count_loop(0u64, n, |fb, _| {
+                    let c = fb.get(cur);
+                    let pot = fb.load(Ty::I64, c);
+                    let ca = fb.gep_inbounds(c, 0u64, 1, 16);
+                    let cost = fb.load(Ty::I64, ca);
+                    let newpot = fb.add(pot, cost);
+                    let red = fb.and(newpot, 0xFFFF_FFFFu64);
+                    fb.store(Ty::I64, c, red);
+                    let t = fb.get(total);
+                    let neg = fb.cmp(CmpOp::UGt, cost, 128u64);
+                    let t2 = fb.add(t, neg);
+                    fb.set(total, t2);
+                    let na = fb.gep_inbounds(c, 0u64, 1, 8);
+                    let next = fb.load(Ty::Ptr, na);
+                    fb.set(cur, next);
+                });
+            });
+            let v = fb.get(total);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let n = (p.ws_bytes(PAPER_XL) / NODE).max(64);
+        // A random single-cycle permutation (Sattolo's algorithm) so the
+        // chase visits every node in random order.
+        let mut rng = p.rng();
+        let mut idx: Vec<u64> = (0..n).collect();
+        for i in (1..n as usize).rev() {
+            let j = rng.gen_range(0..i);
+            idx.swap(i, j);
+        }
+        // succ[idx[k]] = idx[k+1].
+        let mut succ = vec![0u64; n as usize];
+        for k in 0..n as usize {
+            succ[idx[k] as usize] = idx[(k + 1) % n as usize];
+        }
+        let mut data = Vec::with_capacity((n * 8) as usize);
+        for s in &succ {
+            data.extend_from_slice(&s.to_le_bytes());
+        }
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, n, p.threads as u64]
+    }
+}

@@ -1,0 +1,96 @@
+//! `milc`: lattice QCD — 3x3 matrix products over a large lattice array,
+//! FP-dense sequential sweeps.
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CastKind, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 256 << 20;
+/// f64s per site (a 3x3 real matrix).
+const SITE: u64 = 9;
+
+/// The milc workload.
+pub struct Milc;
+
+impl Workload for Milc {
+    fn name(&self) -> &'static str {
+        "milc"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("milc");
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let sites = fb.param(1);
+            let _nt = fb.param(2);
+            let bytes = fb.mul(sites, SITE * 8);
+            let lat = emit_tag_input(fb, raw, bytes);
+            let acc_slot = fb.slot("acc", 9 * 8);
+            let accp = fb.slot_addr(acc_slot);
+            for k in 0..9 {
+                let a = fb.gep_inbounds(accp, 0u64, 1, k * 8);
+                fb.store(Ty::F64, a, fb.fconst(0.0));
+            }
+            let interior = fb.sub(sites, 1u64);
+            fb.count_loop(0u64, interior, |fb, s| {
+                let m1 = fb.gep(lat, s, (SITE * 8) as u32, 0);
+                let next = fb.add(s, 1u64);
+                let m2 = fb.gep(lat, next, (SITE * 8) as u32, 0);
+                // acc += m1 * m2 (3x3 real product), unrolled.
+                for i in 0..3i64 {
+                    for j in 0..3i64 {
+                        let mut terms = Vec::new();
+                        for k in 0..3i64 {
+                            let aa = fb.gep_inbounds(m1, 0u64, 1, (i * 3 + k) * 8);
+                            let av = fb.load(Ty::F64, aa);
+                            let ba = fb.gep_inbounds(m2, 0u64, 1, (k * 3 + j) * 8);
+                            let bv = fb.load(Ty::F64, ba);
+                            terms.push(fb.fmul(av, bv));
+                        }
+                        let s01 = fb.fadd(terms[0], terms[1]);
+                        let sum = fb.fadd(s01, terms[2]);
+                        let ca = fb.gep_inbounds(accp, 0u64, 1, (i * 3 + j) * 8);
+                        let cv = fb.load(Ty::F64, ca);
+                        // Keep bounded: acc = acc * 0.5 + sum * 1e-6.
+                        let half = fb.fmul(cv, fb.fconst(0.5));
+                        let scaled = fb.fmul(sum, fb.fconst(1e-6));
+                        let nv = fb.fadd(half, scaled);
+                        fb.store(Ty::F64, ca, nv);
+                    }
+                }
+            });
+            // Checksum.
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            for k in 0..9 {
+                let a = fb.gep_inbounds(accp, 0u64, 1, k * 8);
+                let v = fb.load(Ty::F64, a);
+                let scaled = fb.fmul(v, fb.fconst(1000.0));
+                let iv = fb.cast(CastKind::FToSi, scaled);
+                let c = fb.get(chk);
+                let s = fb.add(c, iv);
+                fb.set(chk, s);
+            }
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let sites = (p.ws_bytes(PAPER_XL) / (SITE * 8) / 4).max(64);
+        let mut rng = p.rng();
+        let mut data = Vec::with_capacity((sites * SITE * 8) as usize);
+        for _ in 0..sites * SITE {
+            data.extend_from_slice(&rng.gen_range(-1.0f64..1.0).to_le_bytes());
+        }
+        let addr = st.stage(vm, &data);
+        vec![addr as u64, sites, p.threads as u64]
+    }
+}

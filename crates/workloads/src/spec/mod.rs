@@ -1,0 +1,56 @@
+//! SPEC CPU2006 analogues — the 13 programs the paper evaluates (§6.7;
+//! perlbench, gcc, dealII, omnetpp, povray, and soplex are excluded there
+//! too). All single-threaded, like SPEC itself.
+//!
+//! Memory characters, following the originals:
+//!
+//! | program    | character                                            |
+//! |------------|------------------------------------------------------|
+//! | astar      | grid search, node pointers spread over the heap      |
+//! | bzip2      | buffer transforms (RLE + move-to-front)               |
+//! | gobmk      | small-WS board evaluation, branchy                    |
+//! | h264ref    | block motion estimation                               |
+//! | hmmer      | Viterbi dynamic programming rows                      |
+//! | lbm        | large-array lattice streaming                         |
+//! | libquantum | amplitude-array bit kernels                           |
+//! | mcf        | pointer-chasing network simplex (EPC thrashing)      |
+//! | milc       | small-matrix lattice arithmetic                       |
+//! | namd       | particle pairs through neighbour index               |
+//! | sjeng      | recursive game-tree search                            |
+//! | sphinx3    | GMM scoring sweeps                                    |
+//! | xalancbmk  | DOM-tree build + traversal (pointer-dense)           |
+
+pub mod astar;
+pub mod bzip2;
+pub mod gobmk;
+pub mod h264ref;
+pub mod hmmer;
+pub mod lbm;
+pub mod libquantum;
+pub mod mcf;
+pub mod milc;
+pub mod namd;
+pub mod sjeng;
+pub mod sphinx3;
+pub mod xalancbmk;
+
+use crate::util::Workload;
+
+/// The thirteen SPEC workloads.
+pub fn all() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(astar::Astar),
+        Box::new(bzip2::Bzip2),
+        Box::new(gobmk::Gobmk),
+        Box::new(h264ref::H264ref),
+        Box::new(hmmer::Hmmer),
+        Box::new(lbm::Lbm),
+        Box::new(libquantum::Libquantum),
+        Box::new(mcf::Mcf),
+        Box::new(milc::Milc),
+        Box::new(namd::Namd),
+        Box::new(sjeng::Sjeng),
+        Box::new(sphinx3::Sphinx3),
+        Box::new(xalancbmk::Xalancbmk),
+    ]
+}

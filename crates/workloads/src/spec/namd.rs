@@ -1,0 +1,108 @@
+//! `namd`: molecular-dynamics pair interactions through a neighbour index —
+//! FP kernels with indexed gathers.
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CastKind, CmpOp, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 128 << 20;
+/// Neighbours per particle.
+const NEIGH: u64 = 8;
+
+/// The namd workload.
+pub struct Namd;
+
+impl Workload for Namd {
+    fn name(&self) -> &'static str {
+        "namd"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("namd");
+        mb.func(
+            "main",
+            &[Ty::Ptr, Ty::Ptr, Ty::I64, Ty::I64],
+            Some(Ty::I64),
+            |fb| {
+                let pos_raw = fb.param(0);
+                let idx_raw = fb.param(1);
+                let n = fb.param(2);
+                let _nt = fb.param(3);
+                let pos_bytes = fb.mul(n, 24u64);
+                let pos = emit_tag_input(fb, pos_raw, pos_bytes);
+                let idx_bytes = fb.mul(n, NEIGH * 8);
+                let index = emit_tag_input(fb, idx_raw, idx_bytes);
+                let energy = fb.local(Ty::I64);
+                fb.set(energy, 0u64);
+                fb.count_loop(0u64, n, |fb, i| {
+                    let pa = fb.gep(pos, i, 24, 0);
+                    let x = fb.load(Ty::F64, pa);
+                    let pya = fb.gep(pos, i, 24, 8);
+                    let y = fb.load(Ty::F64, pya);
+                    let pza = fb.gep(pos, i, 24, 16);
+                    let z = fb.load(Ty::F64, pza);
+                    let row = fb.gep(index, i, (NEIGH * 8) as u32, 0);
+                    fb.count_loop(0u64, NEIGH, |fb, k| {
+                        let na = fb.gep(row, k, 8, 0);
+                        let j = fb.load(Ty::I64, na);
+                        let qa = fb.gep(pos, j, 24, 0);
+                        let xj = fb.load(Ty::F64, qa);
+                        let qya = fb.gep(pos, j, 24, 8);
+                        let yj = fb.load(Ty::F64, qya);
+                        let qza = fb.gep(pos, j, 24, 16);
+                        let zj = fb.load(Ty::F64, qza);
+                        let dx = fb.fsub(x, xj);
+                        let dy = fb.fsub(y, yj);
+                        let dz = fb.fsub(z, zj);
+                        let dx2 = fb.fmul(dx, dx);
+                        let dy2 = fb.fmul(dy, dy);
+                        let dz2 = fb.fmul(dz, dz);
+                        let r2a = fb.fadd(dx2, dy2);
+                        let r2 = fb.fadd(r2a, dz2);
+                        let r2e = fb.fadd(r2, fb.fconst(0.01));
+                        // Lennard-Jones-ish: 1/r2 - 1/r2^2 (cheap form).
+                        let inv = fb.fdiv(fb.fconst(1.0), r2e);
+                        let inv2 = fb.fmul(inv, inv);
+                        let e = fb.fsub(inv, inv2);
+                        let scaled = fb.fmul(e, fb.fconst(1000.0));
+                        let ei = fb.cast(CastKind::FToSi, scaled);
+                        let cur = fb.get(energy);
+                        let s = fb.add(cur, ei);
+                        fb.set(energy, s);
+                    });
+                });
+                let e = fb.get(energy);
+                let nonneg = fb.cmp(CmpOp::SGe, e, 0u64);
+                let _ = nonneg;
+                fb.intr_void("print_i64", &[e.into()]);
+                fb.ret(Some(e.into()));
+            },
+        );
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let n = (p.ws_bytes(PAPER_XL) / (24 + NEIGH * 8) / 2).max(64);
+        let mut rng = p.rng();
+        let mut pos = Vec::with_capacity((n * 24) as usize);
+        for _ in 0..n * 3 {
+            pos.extend_from_slice(&rng.gen_range(0.0f64..100.0).to_le_bytes());
+        }
+        let mut idx = Vec::with_capacity((n * NEIGH * 8) as usize);
+        for i in 0..n {
+            for k in 0..NEIGH {
+                // Mostly-local neighbours: spatial locality like cell lists.
+                let j = (i + k + rng.gen_range(0..16)) % n;
+                idx.extend_from_slice(&j.to_le_bytes());
+            }
+        }
+        let pa = st.stage(vm, &pos);
+        let ia = st.stage(vm, &idx);
+        vec![pa as u64, ia as u64, n, p.threads as u64]
+    }
+}

@@ -1,0 +1,166 @@
+//! `sjeng`: chess-style recursive game-tree search with a transposition
+//! table — small working set, integer-dense, branchy.
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Operand, Ty, Vm};
+use sgxs_rt::Stager;
+
+/// Board bytes (8x8 of piece codes, padded).
+const BOARD: u64 = 64;
+/// Transposition table entries.
+const TT: u64 = 1 << 14;
+/// Root searches at paper XL.
+const PAPER_XL_ROOTS: u64 = 1 << 15;
+
+/// The sjeng workload.
+pub struct Sjeng;
+
+impl Workload for Sjeng {
+    fn name(&self) -> &'static str {
+        "sjeng"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("sjeng");
+
+        // search(board, tt, depth, hash) -> score.
+        let search = mb.declare(
+            "search",
+            &[Ty::Ptr, Ty::Ptr, Ty::I64, Ty::I64],
+            Some(Ty::I64),
+        );
+        mb.define(search, |fb| {
+            let board = fb.param(0);
+            let tt = fb.param(1);
+            let depth = fb.param(2);
+            let hash = fb.param(3);
+            // Transposition-table probe: entry = [key 8][score 8].
+            let slot = fb.and(hash, TT - 1);
+            let ea = fb.gep(tt, slot, 16, 0);
+            let key = fb.load(Ty::I64, ea);
+            let hit = fb.cmp(CmpOp::Eq, key, hash);
+            let out = fb.local(Ty::I64);
+            fb.set(out, 0u64);
+            let hit_bb = fb.block();
+            let miss_bb = fb.block();
+            let done = fb.block();
+            fb.br(hit, hit_bb, miss_bb);
+
+            fb.switch_to(hit_bb);
+            let sa = fb.gep(tt, slot, 16, 8);
+            let cached = fb.load(Ty::I64, sa);
+            fb.set(out, cached);
+            fb.jmp(done);
+
+            fb.switch_to(miss_bb);
+            // Evaluate: material sum with square weights.
+            let score = fb.local(Ty::I64);
+            fb.set(score, 0u64);
+            fb.count_loop(0u64, BOARD, |fb, sq| {
+                let a = fb.gep(board, sq, 1, 0);
+                let piece = fb.load(Ty::I8, a);
+                let w = fb.add(sq, 1u64);
+                let v = fb.mul(piece, w);
+                let s = fb.get(score);
+                let s2 = fb.add(s, v);
+                fb.set(score, s2);
+            });
+            let leaf = fb.cmp(CmpOp::Eq, depth, 0u64);
+            fb.if_else(
+                leaf,
+                |fb| {
+                    let s = fb.get(score);
+                    fb.set(out, s);
+                },
+                |fb| {
+                    // Two candidate moves on a stack copy.
+                    let cp = fb.slot("child", BOARD as u32);
+                    let cpp = fb.slot_addr(cp);
+                    fb.intr_void("memcpy", &[cpp.into(), board.into(), BOARD.into()]);
+                    let s = fb.get(score);
+                    let from = fb.and(s, BOARD - 1);
+                    let fa = fb.gep(cpp, from, 1, 0);
+                    let pc = fb.load(Ty::I8, fa);
+                    fb.store(Ty::I8, fa, 0u64);
+                    let to = fb.lshr(s, 6u64);
+                    let to2 = fb.and(to, BOARD - 1);
+                    let ta = fb.gep(cpp, to2, 1, 0);
+                    fb.store(Ty::I8, ta, pc);
+                    let d2 = fb.sub(depth, 1u64);
+                    let h1 = fb.mul(hash, 0x100000001B3u64);
+                    let h2 = fb.xor(h1, s);
+                    let r1 = fb
+                        .call(
+                            search,
+                            &[cpp.into(), fb.param(1).into(), d2.into(), h2.into()],
+                        )
+                        .unwrap();
+                    let h3 = fb.add(h2, 0x9E3779B9u64);
+                    let r2 = fb
+                        .call(
+                            search,
+                            &[cpp.into(), fb.param(1).into(), d2.into(), h3.into()],
+                        )
+                        .unwrap();
+                    let gt = fb.cmp(CmpOp::UGt, r1, r2);
+                    let best = fb.select(gt, r1, r2);
+                    fb.set(out, best);
+                },
+            );
+            // Store into the TT.
+            let v = fb.get(out);
+            fb.store(Ty::I64, ea, hash);
+            let sa2 = fb.gep(tt, slot, 16, 8);
+            fb.store(Ty::I64, sa2, v);
+            fb.jmp(done);
+
+            fb.switch_to(done);
+            let v = fb.get(out);
+            fb.ret(Some(v.into()));
+        });
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let roots = fb.param(1);
+            let _nt = fb.param(2);
+            let board = emit_tag_input(fb, raw, BOARD);
+            let tt = fb.intr_ptr("calloc", &[Operand::Imm(TT * 16), 1u64.into()]);
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            fb.count_loop(0u64, roots, |fb, r| {
+                let d = fb.and(r, 3u64);
+                let h = fb.mul(r, 0x9E3779B97F4A7C15u64);
+                let s = fb
+                    .call(search, &[board.into(), tt.into(), d.into(), h.into()])
+                    .unwrap();
+                let c = fb.get(chk);
+                let c2 = fb.add(c, s);
+                fb.set(chk, c2);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let roots = (PAPER_XL_ROOTS * p.size.factor() / 16 / p.scale).max(16);
+        let mut rng = p.rng();
+        let mut board = vec![0u8; BOARD as usize];
+        for c in board.iter_mut() {
+            *c = if rng.gen_bool(0.4) {
+                rng.gen_range(1u8..7)
+            } else {
+                0
+            };
+        }
+        let addr = st.stage(vm, &board);
+        vec![addr as u64, roots, p.threads as u64]
+    }
+}

@@ -1,0 +1,103 @@
+//! `sphinx3`: acoustic scoring — GMM log-likelihood sweeps over frames,
+//! FP-dense with medium working set.
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CastKind, CmpOp, Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+const PAPER_XL: u64 = 96 << 20;
+/// Feature dimensions.
+const DIMS: u64 = 8;
+/// Gaussians in the mixture.
+const GAUSS: u64 = 64;
+
+/// The sphinx3 workload.
+pub struct Sphinx3;
+
+impl Workload for Sphinx3 {
+    fn name(&self) -> &'static str {
+        "sphinx3"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("sphinx3");
+        mb.func(
+            "main",
+            &[Ty::Ptr, Ty::Ptr, Ty::I64, Ty::I64],
+            Some(Ty::I64),
+            |fb| {
+                let frames_raw = fb.param(0);
+                let model_raw = fb.param(1);
+                let nframes = fb.param(2);
+                let _nt = fb.param(3);
+                let fbytes = fb.mul(nframes, DIMS * 8);
+                let frames = emit_tag_input(fb, frames_raw, fbytes);
+                let model = emit_tag_input(fb, model_raw, GAUSS * DIMS * 2 * 8);
+                let chk = fb.local(Ty::I64);
+                fb.set(chk, 0u64);
+                fb.count_loop(0u64, nframes, |fb, f| {
+                    let feat = fb.gep(frames, f, (DIMS * 8) as u32, 0);
+                    let best = fb.local(Ty::I64);
+                    fb.set(best, u64::MAX >> 1);
+                    fb.count_loop(0u64, GAUSS, |fb, g| {
+                        let mv = fb.gep(model, g, (DIMS * 2 * 8) as u32, 0);
+                        let dist = fb.local(Ty::F64);
+                        fb.set(dist, fb.fconst(0.0));
+                        fb.count_loop(0u64, DIMS, |fb, d| {
+                            let xa = fb.gep(feat, d, 8, 0);
+                            let x = fb.load(Ty::F64, xa);
+                            let ma = fb.gep(mv, d, 8, 0);
+                            let mu = fb.load(Ty::F64, ma);
+                            let va = fb.gep(mv, d, 8, (DIMS * 8) as i64);
+                            let w = fb.load(Ty::F64, va);
+                            let diff = fb.fsub(x, mu);
+                            let sq = fb.fmul(diff, diff);
+                            let weighted = fb.fmul(sq, w);
+                            let cur = fb.get(dist);
+                            let s = fb.fadd(cur, weighted);
+                            fb.set(dist, s);
+                        });
+                        let dv = fb.get(dist);
+                        let scaled = fb.fmul(dv, fb.fconst(64.0));
+                        let di = fb.cast(CastKind::FToSi, scaled);
+                        let bv = fb.get(best);
+                        let better = fb.cmp(CmpOp::ULt, di, bv);
+                        fb.if_then(better, |fb| fb.set(best, di));
+                    });
+                    let b = fb.get(best);
+                    let c = fb.get(chk);
+                    let c2 = fb.add(c, b);
+                    fb.set(chk, c2);
+                });
+                let v = fb.get(chk);
+                fb.intr_void("print_i64", &[v.into()]);
+                fb.ret(Some(v.into()));
+            },
+        );
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let nframes = (p.ws_bytes(PAPER_XL) / (DIMS * 8) / 16).max(32);
+        let mut rng = p.rng();
+        let mut frames = Vec::with_capacity((nframes * DIMS * 8) as usize);
+        for _ in 0..nframes * DIMS {
+            frames.extend_from_slice(&rng.gen_range(-4.0f64..4.0).to_le_bytes());
+        }
+        let mut model = Vec::with_capacity((GAUSS * DIMS * 2 * 8) as usize);
+        for _ in 0..GAUSS * DIMS {
+            model.extend_from_slice(&rng.gen_range(-4.0f64..4.0).to_le_bytes());
+        }
+        for _ in 0..GAUSS * DIMS {
+            model.extend_from_slice(&rng.gen_range(0.1f64..2.0).to_le_bytes());
+        }
+        let fa = st.stage(vm, &frames);
+        let ma = st.stage(vm, &model);
+        vec![fa as u64, ma as u64, nframes, p.threads as u64]
+    }
+}

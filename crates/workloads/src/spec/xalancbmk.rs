@@ -1,0 +1,154 @@
+//! `xalancbmk`: XML transformation — builds a DOM-like tree of
+//! heap-allocated nodes and repeatedly traverses it. Pointer-dense; one of
+//! the three SPEC programs that OOM under MPX in the paper (Fig. 11).
+
+use crate::util::{emit_tag_input, Params, Suite, Workload};
+use rand::Rng;
+use sgxs_mir::{CmpOp, Module, ModuleBuilder, Operand, Ty, Vm};
+use sgxs_rt::Stager;
+
+// Sized so the DOM-node spread reproduces xalancbmk's MPX OOM (Fig. 11).
+const PAPER_XL: u64 = 1700 << 20;
+/// Node: [tag 8][first_child 8][next_sibling 8][value 8].
+const NODE: u64 = 32;
+/// Traversal passes.
+const PASSES: u64 = 2;
+
+/// The xalancbmk workload.
+pub struct Xalancbmk;
+
+impl Workload for Xalancbmk {
+    fn name(&self) -> &'static str {
+        "xalancbmk"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Spec
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("xalancbmk");
+
+        mb.func("main", &[Ty::Ptr, Ty::I64, Ty::I64], Some(Ty::I64), |fb| {
+            let raw = fb.param(0);
+            let n = fb.param(1);
+            let _nt = fb.param(2);
+            let tags_bytes = fb.mul(n, 1u64);
+            let tags = emit_tag_input(fb, raw, tags_bytes);
+
+            // Build the "DOM": nodes pushed as children of a rolling
+            // window of parents, emulating nesting. Parent stack on
+            // the heap.
+            let root = fb.intr_ptr("calloc", &[Operand::Imm(NODE), 1u64.into()]);
+            let stack = fb.intr_ptr("malloc", &[Operand::Imm(64 * 8)]);
+            fb.store(Ty::Ptr, stack, root);
+            let depth = fb.local(Ty::I64);
+            fb.set(depth, 0u64);
+            fb.count_loop(0u64, n, |fb, i| {
+                let ta = fb.gep(tags, i, 1, 0);
+                let tag = fb.load(Ty::I8, ta);
+                let node = fb.intr_ptr("malloc", &[Operand::Imm(NODE)]);
+                fb.store(Ty::I64, node, tag);
+                let va = fb.gep_inbounds(node, 0u64, 1, 24);
+                fb.store(Ty::I64, va, i);
+                // Link as first child of the current parent.
+                let d = fb.get(depth);
+                let pa = fb.gep(stack, d, 8, 0);
+                let parent = fb.load(Ty::Ptr, pa);
+                let fc_a = fb.gep_inbounds(parent, 0u64, 1, 8);
+                let old_child = fb.load(Ty::Ptr, fc_a);
+                let sib_a = fb.gep_inbounds(node, 0u64, 1, 16);
+                fb.store(Ty::Ptr, sib_a, old_child);
+                fb.store(Ty::Ptr, fc_a, node);
+                // Open/close elements based on the tag byte.
+                let opens = fb.cmp(CmpOp::ULt, tag, 96u64);
+                let can_push = fb.cmp(CmpOp::ULt, d, 62u64);
+                let push = fb.and(opens, can_push);
+                fb.if_else(
+                    push,
+                    |fb| {
+                        let d = fb.get(depth);
+                        let d2 = fb.add(d, 1u64);
+                        let sa = fb.gep(stack, d2, 8, 0);
+                        fb.store(Ty::Ptr, sa, node);
+                        fb.set(depth, d2);
+                    },
+                    |fb| {
+                        let d = fb.get(depth);
+                        let can_pop = fb.cmp(CmpOp::UGt, d, 0u64);
+                        fb.if_then(can_pop, |fb| {
+                            let d = fb.get(depth);
+                            let d2 = fb.sub(d, 1u64);
+                            fb.set(depth, d2);
+                        });
+                    },
+                );
+            });
+
+            // Transform: repeated DFS traversals accumulating a digest
+            // (explicit stack; every step chases node pointers).
+            let chk = fb.local(Ty::I64);
+            fb.set(chk, 0u64);
+            let work = fb.intr_ptr("malloc", &[(1u64 << 16).into()]);
+            fb.count_loop(0u64, PASSES, |fb, _| {
+                let top = fb.local(Ty::I64);
+                fb.set(top, 1u64);
+                fb.store(Ty::Ptr, work, root);
+                let loop_bb = fb.block();
+                let body = fb.block();
+                let done = fb.block();
+                fb.jmp(loop_bb);
+                fb.switch_to(loop_bb);
+                let t = fb.get(top);
+                let more = fb.cmp(CmpOp::UGt, t, 0u64);
+                fb.br(more, body, done);
+                fb.switch_to(body);
+                let t = fb.get(top);
+                let t2 = fb.sub(t, 1u64);
+                fb.set(top, t2);
+                let wa = fb.gep(work, t2, 8, 0);
+                let node = fb.load(Ty::Ptr, wa);
+                let tag = fb.load(Ty::I64, node);
+                let va = fb.gep_inbounds(node, 0u64, 1, 24);
+                let val = fb.load(Ty::I64, va);
+                let mix = fb.mul(tag, 31u64);
+                let mix2 = fb.add(mix, val);
+                let c = fb.get(chk);
+                let c2 = fb.add(c, mix2);
+                fb.set(chk, c2);
+                // Push child and sibling (bounded by the work buffer).
+                for off in [8i64, 16] {
+                    let la = fb.gep_inbounds(node, 0u64, 1, off);
+                    let link = fb.load(Ty::Ptr, la);
+                    let lp = fb.and(link, 0xFFFF_FFFFu64);
+                    let nonnull = fb.cmp(CmpOp::Ne, lp, 0u64);
+                    let t3 = fb.get(top);
+                    let fits = fb.cmp(CmpOp::ULt, t3, 8190u64);
+                    let go = fb.and(nonnull, fits);
+                    fb.if_then(go, |fb| {
+                        let t4 = fb.get(top);
+                        let sa = fb.gep(work, t4, 8, 0);
+                        fb.store(Ty::Ptr, sa, link);
+                        let t5 = fb.add(t4, 1u64);
+                        fb.set(top, t5);
+                    });
+                }
+                fb.jmp(loop_bb);
+                fb.switch_to(done);
+            });
+            let v = fb.get(chk);
+            fb.intr_void("print_i64", &[v.into()]);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64> {
+        let n = (p.ws_bytes(PAPER_XL) / (NODE + 1)).max(64);
+        let mut rng = p.rng();
+        let mut tags = vec![0u8; n as usize];
+        rng.fill(&mut tags[..]);
+        let addr = st.stage(vm, &tags);
+        vec![addr as u64, n, p.threads as u64]
+    }
+}

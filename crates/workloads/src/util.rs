@@ -1,0 +1,276 @@
+//! Shared workload infrastructure: parameters, the workload trait, and
+//! IR-building helpers (fork/join, inline PRNG, input tagging).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sgxs_mir::{FuncBuilder, FuncId, Module, Operand, Reg, Ty, Vm};
+use sgxs_rt::Stager;
+
+/// Input size classes (paper §6.3 uses XS–XL).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SizeClass {
+    /// Tiny.
+    XS,
+    /// Small.
+    S,
+    /// Medium.
+    M,
+    /// Large (the default for Figs. 7/9/10/11/12).
+    L,
+    /// Extra large.
+    XL,
+}
+
+impl SizeClass {
+    /// All classes in increasing order.
+    pub const ALL: [SizeClass; 5] = [
+        SizeClass::XS,
+        SizeClass::S,
+        SizeClass::M,
+        SizeClass::L,
+        SizeClass::XL,
+    ];
+
+    /// Multiplier relative to XS (each step doubles twice, matching the
+    /// paper's kmeans ladder 17/34/68/135/270 MB).
+    pub fn factor(self) -> u64 {
+        match self {
+            SizeClass::XS => 1,
+            SizeClass::S => 2,
+            SizeClass::M => 4,
+            SizeClass::L => 8,
+            SizeClass::XL => 16,
+        }
+    }
+}
+
+/// Run parameters for one workload execution.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Input size class.
+    pub size: SizeClass,
+    /// Worker threads.
+    pub threads: u32,
+    /// Machine-scale divisor (working sets are paper sizes divided by it).
+    pub scale: u64,
+    /// Input-generation seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Default parameters for a machine scale: L size, 8 threads.
+    pub fn new(scale: u64) -> Self {
+        Params {
+            size: SizeClass::L,
+            threads: 8,
+            scale,
+            seed: 42,
+        }
+    }
+
+    /// Scales a paper-sized byte count to this run's machine scale and size
+    /// class, where `paper_bytes_xl` is the paper-scale XL working set.
+    pub fn ws_bytes(&self, paper_bytes_xl: u64) -> u64 {
+        (paper_bytes_xl * self.size.factor() / 16 / self.scale).max(4096)
+    }
+
+    /// A seeded host RNG for input generation.
+    pub fn rng(&self) -> SmallRng {
+        SmallRng::seed_from_u64(self.seed)
+    }
+}
+
+/// Which suite a workload belongs to (for report grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// Phoenix 2.0 (7 programs).
+    Phoenix,
+    /// PARSEC 3.0 (9 of 13, as in the paper).
+    Parsec,
+    /// SPEC CPU2006 (13 of 19, as in the paper).
+    Spec,
+    /// Case-study applications (§7).
+    App,
+}
+
+/// A benchmark program: builds its module and stages its input.
+pub trait Workload {
+    /// Short name as the paper uses it (e.g. "kmeans").
+    fn name(&self) -> &'static str;
+
+    /// Suite membership.
+    fn suite(&self) -> Suite;
+
+    /// Builds the (uninstrumented) module for the given parameters.
+    fn build(&self, p: &Params) -> Module;
+
+    /// Stages input data into VM memory and returns the `main` arguments.
+    fn stage(&self, vm: &mut Vm<'_>, st: &mut Stager, p: &Params) -> Vec<u64>;
+}
+
+/// Emits an inline xorshift64* step on a local holding the PRNG state;
+/// returns the register with the new value (6 ALU ops + a multiply).
+pub fn emit_xorshift(fb: &mut FuncBuilder<'_>, state: sgxs_mir::LocalId) -> Reg {
+    let x0 = fb.get(state);
+    let a = fb.shl(x0, 13u64);
+    let x1 = fb.xor(x0, a);
+    let b = fb.lshr(x1, 7u64);
+    let x2 = fb.xor(x1, b);
+    let c = fb.shl(x2, 17u64);
+    let x3 = fb.xor(x2, c);
+    fb.set(state, x3);
+    fb.mul(x3, 0x2545F4914F6CDD1Du64)
+}
+
+/// Emits a fork/join over `worker(tid, nthreads, shared)`: spawns
+/// `nthreads` workers and joins them all. `shared` is any pointer-sized
+/// value (typically a tagged pointer to a shared descriptor).
+///
+/// The worker function must have signature `(I64, I64, Ptr) -> I64`.
+pub fn fork_join(
+    fb: &mut FuncBuilder<'_>,
+    worker: FuncId,
+    nthreads: impl Into<Operand>,
+    shared: impl Into<Operand>,
+) {
+    let nthreads = nthreads.into();
+    let shared = shared.into();
+    let tids = fb.slot("tids", 64 * 8);
+    let tp = fb.slot_addr(tids);
+    let wf = fb.func_addr(worker);
+    fb.count_loop(0u64, nthreads, |fb, i| {
+        let t = fb.intr("spawn", &[wf.into(), i.into(), nthreads, shared]);
+        let slot = fb.gep(tp, i, 8, 0);
+        fb.store(Ty::I64, slot, t);
+    });
+    fb.count_loop(0u64, nthreads, |fb, i| {
+        let slot = fb.gep(tp, i, 8, 0);
+        let t = fb.load(Ty::I64, slot);
+        fb.intr("join", &[t.into()]);
+    });
+}
+
+/// Emits the per-thread `[lo, hi)` partition of `0..n`:
+/// `lo = n * tid / nthreads`, `hi = n * (tid+1) / nthreads`.
+pub fn emit_partition(
+    fb: &mut FuncBuilder<'_>,
+    n: impl Into<Operand>,
+    tid: Reg,
+    nthreads: Reg,
+) -> (Reg, Reg) {
+    let n = n.into();
+    let a = fb.mul(n, tid);
+    let lo = fb.udiv(a, nthreads);
+    let t1 = fb.add(tid, 1u64);
+    let b = fb.mul(n, t1);
+    let hi = fb.udiv(b, nthreads);
+    (lo, hi)
+}
+
+/// Emits `tag_input(ptr, bytes)` — blesses a staged input region, yielding
+/// a pointer usable under every scheme.
+pub fn emit_tag_input(
+    fb: &mut FuncBuilder<'_>,
+    ptr: impl Into<Operand>,
+    bytes: impl Into<Operand>,
+) -> Reg {
+    fb.intr_ptr("tag_input", &[ptr.into(), bytes.into()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgxs_mir::{ModuleBuilder, Vm, VmConfig};
+    use sgxs_rt::{install_base, AllocOpts};
+    use sgxs_sim::{MachineConfig, Mode, Preset};
+
+    #[test]
+    fn size_ladder_doubles() {
+        let p = |s| Params {
+            size: s,
+            threads: 1,
+            scale: 32,
+            seed: 1,
+        };
+        let xs = p(SizeClass::XS).ws_bytes(256 << 20);
+        let xl = p(SizeClass::XL).ws_bytes(256 << 20);
+        assert_eq!(xl / xs, 16);
+        assert_eq!(xl, (256 << 20) / 32);
+    }
+
+    #[test]
+    fn xorshift_sequence_is_deterministic_and_varied() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.func("main", &[], Some(Ty::I64), |fb| {
+            let st = fb.local(Ty::I64);
+            fb.set(st, 0x9E3779B97F4A7C15u64);
+            let a = emit_xorshift(fb, st);
+            let b = emit_xorshift(fb, st);
+            let ne = fb.cmp(sgxs_mir::CmpOp::Ne, a, b);
+            fb.ret(Some(ne.into()));
+        });
+        let m = mb.finish();
+        let mut vm = Vm::new(
+            &m,
+            VmConfig::new(MachineConfig::preset(Preset::Tiny, Mode::Native)),
+        );
+        assert_eq!(vm.run("main", &[]).expect_ok(), 1);
+    }
+
+    #[test]
+    fn fork_join_partitions_cover_range() {
+        let mut mb = ModuleBuilder::new("t");
+        let worker = mb.func(
+            "worker",
+            &[Ty::I64, Ty::I64, Ty::Ptr],
+            Some(Ty::I64),
+            |fb| {
+                let tid = fb.param(0);
+                let nt = fb.param(1);
+                let shared = fb.param(2);
+                let (lo, hi) = emit_partition(fb, 100u64, tid, nt);
+                // Sum my partition's indices into shared[tid].
+                let acc = fb.local(Ty::I64);
+                fb.set(acc, 0u64);
+                fb.count_loop(lo, hi, |fb, i| {
+                    let a = fb.get(acc);
+                    let s = fb.add(a, i);
+                    fb.set(acc, s);
+                });
+                let slot = fb.gep(shared, tid, 8, 0);
+                let v = fb.get(acc);
+                fb.store(Ty::I64, slot, v);
+                fb.ret(Some(0u64.into()));
+            },
+        );
+        mb.func("main", &[Ty::I64], Some(Ty::I64), |fb| {
+            let nt = fb.param(0);
+            let buf = fb.intr_ptr("malloc", &[Operand::Imm(64)]);
+            fork_join(fb, worker, nt, buf);
+            let total = fb.local(Ty::I64);
+            fb.set(total, 0u64);
+            fb.count_loop(0u64, nt, |fb, i| {
+                let slot = fb.gep(buf, i, 8, 0);
+                let v = fb.load(Ty::I64, slot);
+                let t = fb.get(total);
+                let s = fb.add(t, v);
+                fb.set(total, s);
+            });
+            let v = fb.get(total);
+            fb.ret(Some(v.into()));
+        });
+        let m = mb.finish();
+        for threads in [1u64, 3, 8] {
+            let mut vm = Vm::new(
+                &m,
+                VmConfig::new(MachineConfig::preset(Preset::Tiny, Mode::Native)),
+            );
+            install_base(&mut vm, AllocOpts::default());
+            assert_eq!(
+                vm.run("main", &[threads]).expect_ok(),
+                4950,
+                "{threads} threads"
+            );
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Heartbleed inside the enclave (paper §7): the unprotected server leaks
+//! key material through the heartbeat response; every scheme detects the
+//! overread; SGXBounds with boundless memory answers with zeroes and keeps
+//! the server alive.
+//!
+//! Run with `cargo run --example heartbleed_apache`.
+
+use sgxbounds::SbConfig;
+use sgxs_harness::{run_one, RunConfig, Scheme};
+use sgxs_sim::Preset;
+use sgxs_workloads::apps::apache::Heartbleed;
+
+fn main() {
+    let rc = RunConfig::new(Preset::Tiny);
+    println!("Heartbleed vs shielded execution\n");
+    let variants = [
+        ("native SGX (no protection)", Scheme::Baseline),
+        ("Intel MPX", Scheme::Mpx),
+        ("AddressSanitizer", Scheme::Asan),
+        ("SGXBounds (fail-stop)", Scheme::SgxBounds),
+        (
+            "SGXBounds (boundless memory)",
+            Scheme::SgxBoundsCustom(SbConfig {
+                boundless: true,
+                ..SbConfig::default()
+            }),
+        ),
+    ];
+    for (label, scheme) in variants {
+        let m = run_one(&Heartbleed, scheme, &rc);
+        let verdict = match m.result {
+            Ok(1) => "!!! SECRET LEAKED in heartbeat response".to_owned(),
+            Ok(0) => "reply clean (zeroes), server still running".to_owned(),
+            Ok(v) => format!("completed ({v})"),
+            Err(t) => format!("request killed: {t}"),
+        };
+        println!("{label:<30} {verdict}");
+    }
+}

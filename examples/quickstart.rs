@@ -1,0 +1,73 @@
+//! Quickstart: build a buggy program, run it natively (corrupts silently),
+//! then harden it with SGXBounds (detects) and with boundless memory
+//! (tolerates).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use sgxbounds_repro::prelude::*;
+
+/// An off-by-one writer: fills `n` slots of a 4-element array.
+fn build(n: u64) -> Module {
+    let mut mb = ModuleBuilder::new("quickstart");
+    mb.func("main", &[], Some(Ty::I64), |fb| {
+        let arr = fb.intr_ptr("malloc", &[Operand::Imm(32)]);
+        let canary = fb.intr_ptr("malloc", &[Operand::Imm(8)]);
+        fb.store(Ty::I64, canary, 0xC0FFEEu64);
+        fb.count_loop(0u64, n, |fb, i| {
+            let a = fb.gep(arr, i, 8, 0);
+            fb.store(Ty::I64, a, i);
+        });
+        let v = fb.load(Ty::I64, canary);
+        fb.ret(Some(v.into()));
+    });
+    mb.finish()
+}
+
+fn run(mut module: Module, cfg: Option<SbConfig>) -> RunOutcome {
+    if let Some(c) = &cfg {
+        sgxbounds::instrument(&mut module, c).expect("instrumentation");
+    }
+    let mut vm = Vm::new(
+        &module,
+        VmConfig::new(MachineConfig::preset(Preset::Tiny, Mode::Enclave)),
+    );
+    let heap = sgxs_rt::install_base(&mut vm, AllocOpts::default());
+    if let Some(c) = &cfg {
+        sgxbounds::install_sgxbounds(&mut vm, heap, c, None);
+    }
+    vm.run("main", &[])
+}
+
+fn main() {
+    // In bounds: everyone agrees.
+    let ok = run(build(4), Some(SbConfig::default()));
+    println!("in-bounds hardened run: canary = {:#x}", ok.expect_ok());
+
+    // Out of bounds, unprotected: the canary is silently corrupted.
+    let native = run(build(8), None);
+    println!(
+        "off-by-four native run: canary = {:#x} (corrupted!)",
+        native.expect_ok()
+    );
+
+    // Out of bounds, SGXBounds fail-stop: detected.
+    let hardened = run(build(8), Some(SbConfig::default()));
+    println!(
+        "off-by-four under SGXBounds: {:?}",
+        hardened.result.unwrap_err()
+    );
+
+    // Out of bounds, boundless memory: tolerated, neighbour intact.
+    let boundless = run(
+        build(8),
+        Some(SbConfig {
+            boundless: true,
+            ..SbConfig::default()
+        }),
+    );
+    println!(
+        "off-by-four under boundless memory: canary = {:#x} (protected), {} cycles",
+        boundless.expect_ok(),
+        boundless.wall_cycles
+    );
+}
