@@ -1,0 +1,863 @@
+//! Seeded random MIR program generator.
+//!
+//! Programs are flat lists of [`FOp`] operations over a fixed *object
+//! environment*: three heap arrays of seed-chosen sizes, a stack array, a
+//! global array, a heap struct with interior fields, a linked chain of heap
+//! nodes, and three string buffers. Every safe op is in-bounds by
+//! construction; the fault injector ([`crate::inject`]) splices dedicated
+//! out-of-bounds ops into the same representation.
+//!
+//! The builder emits a *progress beacon*: a global that is overwritten with
+//! `k + 1` after op `k` completes. After a trap the runner reads the beacon
+//! back to learn exactly which op the scheme stopped in — the basis for the
+//! detected-at-wrong-site verdict.
+
+use rand::prelude::*;
+use sgxs_mir::{CastKind, CmpOp, LocalId, Module, ModuleBuilder, Operand, Reg, Ty};
+
+/// Fixed slot count of the stack array.
+pub const STACK_SLOTS: u64 = 8;
+/// Fixed slot count of the global array.
+pub const GLOBAL_SLOTS: u64 = 8;
+/// Nodes in the pointer chain (walks clamp hops below this).
+pub const CHAIN_NODES: u64 = 6;
+/// Bytes of the string source/destination buffers.
+pub const STR_BYTES: u32 = 16;
+/// Bytes of the deliberately small strcpy destination.
+pub const STR_SMALL_BYTES: u32 = 8;
+/// Struct layout: `{ hdr: u64 @0, buf: u8[16] @8, tail: u64 @24 }`.
+pub const STRUCT_BYTES: u32 = 32;
+/// Offset of the `buf` field.
+pub const BUF_OFF: i64 = 8;
+/// Length of the `buf` field.
+pub const BUF_LEN: u32 = 16;
+/// Default NUL-terminated content length staged into `StrSrc`.
+pub const STR_INIT_LEN: u32 = 7;
+
+/// Operation family a seed is biased towards (mirrors the workload families
+/// the paper's Table 4 programs exercise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Indexed loads/stores and loops over arrays.
+    ArrayLoops,
+    /// Struct field projections (`gep_field` / bounds narrowing).
+    StructFields,
+    /// Linked-node pointer chasing.
+    PointerChase,
+    /// malloc/free churn.
+    AllocChurn,
+    /// libc wrapper calls (memcpy/memset/strcpy/strlen).
+    LibcWrappers,
+    /// Uniform mix of everything.
+    Mixed,
+}
+
+/// All families, for round-robin assignment.
+pub const FAMILIES: [Family; 6] = [
+    Family::ArrayLoops,
+    Family::StructFields,
+    Family::PointerChase,
+    Family::AllocChurn,
+    Family::LibcWrappers,
+    Family::Mixed,
+];
+
+/// One object in the program's environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Obj {
+    /// Heap array `i` (0..3), seed-chosen slot count.
+    Heap(u8),
+    /// Stack array of [`STACK_SLOTS`] slots.
+    Stack,
+    /// Global array of [`GLOBAL_SLOTS`] slots.
+    Global,
+    /// Heap struct `{hdr, buf[16], tail}`.
+    Struct,
+    /// Chain of [`CHAIN_NODES`] linked heap nodes.
+    Chain,
+    /// String source buffer ([`STR_BYTES`]).
+    StrSrc,
+    /// String destination buffer ([`STR_BYTES`]).
+    StrDst,
+    /// Small string destination ([`STR_SMALL_BYTES`]).
+    StrSmall,
+}
+
+/// One program operation. Safe ops are produced by [`generate`]; the `Oob*`
+/// ops only ever come from the fault injector.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant docs describe the fields
+pub enum FOp {
+    /// `acc ^= obj[slot]`.
+    Load { obj: Obj, slot: u64 },
+    /// `obj[slot] = acc + slot`.
+    Store { obj: Obj, slot: u64 },
+    /// `for i in 0..slots { obj[i] = acc + 13 * i }`.
+    LoopFill { obj: Obj },
+    /// `for i in 0..slots { acc ^= obj[i] }`.
+    LoopSum { obj: Obj },
+    /// Two chained geps with `a + b` in bounds, then a store.
+    GepChain { obj: Obj, a: u64, b: u64 },
+    /// Round-trip heap array `i`'s pointer through an integer register.
+    CastRoundtrip { heap: u8 },
+    /// If acc is odd, bump `obj[slot]`.
+    CondStore { obj: Obj, slot: u64 },
+    /// `acc = acc * k + c`.
+    Mix { k: u64, c: u64 },
+    /// Load a struct field (0 = hdr, 1 = buf[0], 2 = tail) into acc.
+    FieldLoad { field: u8 },
+    /// Store acc into a struct field (0 = hdr, 2 = tail).
+    FieldStore { field: u8 },
+    /// Byte store into `buf[off]` through a narrowed field pointer.
+    BufStore { off: u32 },
+    /// Walk `hops` chain links, then `acc ^= node.val`.
+    ChaseSum { hops: u64 },
+    /// Walk `hops` chain links, then `node.val = acc`.
+    ChaseStore { hops: u64 },
+    /// malloc a scratch object, touch it, free it.
+    Churn { bytes: u64 },
+    /// `memcpy(dst, src, slots * 8)` between two distinct arrays.
+    Memcpy { dst: Obj, src: Obj, slots: u64 },
+    /// `memset(obj, c, bytes)`.
+    Memset { obj: Obj, c: u64, bytes: u64 },
+    /// Write `len` chars + NUL into `StrSrc`.
+    StrFill { len: u32 },
+    /// `strcpy(StrDst, StrSrc)` (always fits).
+    Strcpy,
+    /// `acc += strlen(StrSrc)`.
+    Strlen,
+
+    // ---- fault ops (injector only) -----------------------------------
+    /// Store 8 bytes at `obj + slot_off * 8` (out of bounds).
+    OobStore { obj: Obj, slot_off: i64 },
+    /// Load 8 bytes at `obj + slot_off * 8` (out of bounds).
+    OobLoad { obj: Obj, slot_off: i64 },
+    /// Byte store at `buf[off]` with `off >= BUF_LEN` (intra-object when
+    /// the byte stays inside the struct).
+    OobBufStore { off: u32 },
+    /// `memcpy(dst, src, bytes)` with `bytes` exceeding `dst`.
+    OobMemcpy { dst: Obj, src: Obj, bytes: u64 },
+    /// `strcpy(StrSmall, StrSrc)` — overflows when the staged string is
+    /// longer than [`STR_SMALL_BYTES`] - 1.
+    OobStrcpy,
+}
+
+/// A generated program: seed, family, heap sizing, and the op list.
+#[derive(Debug, Clone)]
+pub struct Prog {
+    /// Generator seed (replays deterministically).
+    pub seed: u64,
+    /// Family the op mix was biased towards.
+    pub family: Family,
+    /// Slot counts of the three heap arrays (ascending by construction so
+    /// the injector can always pick a bigger memcpy source than dest).
+    pub heap_slots: [u64; 3],
+    /// The operations, in program order.
+    pub ops: Vec<FOp>,
+    /// Emit deterministic content initialization for every object (the
+    /// shrinker disables this for detection-only reproducers).
+    pub emit_init: bool,
+    /// Emit the digest epilogue folding all object contents (disabled by
+    /// the shrinker unless the disagreement is about the digest).
+    pub emit_digest: bool,
+}
+
+impl Prog {
+    /// Slot count of an array object.
+    pub fn slots(&self, obj: Obj) -> u64 {
+        match obj {
+            Obj::Heap(i) => self.heap_slots[i as usize],
+            Obj::Stack => STACK_SLOTS,
+            Obj::Global => GLOBAL_SLOTS,
+            _ => panic!("{obj:?} is not an array object"),
+        }
+    }
+
+    /// Byte size of any object.
+    pub fn bytes(&self, obj: Obj) -> u64 {
+        match obj {
+            Obj::Heap(_) | Obj::Stack | Obj::Global => self.slots(obj) * 8,
+            Obj::Struct => STRUCT_BYTES as u64,
+            Obj::Chain => 16, // one node; walks access one node at a time
+            Obj::StrSrc | Obj::StrDst => STR_BYTES as u64,
+            Obj::StrSmall => STR_SMALL_BYTES as u64,
+        }
+    }
+}
+
+/// The three array objects ops index into.
+const ARRAYS: [Obj; 5] = [
+    Obj::Heap(0),
+    Obj::Heap(1),
+    Obj::Heap(2),
+    Obj::Stack,
+    Obj::Global,
+];
+
+fn pick_array(rng: &mut SmallRng) -> Obj {
+    ARRAYS[rng.gen_range(0..ARRAYS.len())]
+}
+
+/// Generates the safe program for `seed` with at most `max_ops` operations.
+pub fn generate(seed: u64, max_ops: usize) -> Prog {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_f00d_0a75_c0de);
+    let family = FAMILIES[(seed % FAMILIES.len() as u64) as usize];
+    let heap_slots = [
+        rng.gen_range(4u64..8),
+        rng.gen_range(8u64..12),
+        rng.gen_range(12u64..16),
+    ];
+    let mut prog = Prog {
+        seed,
+        family,
+        heap_slots,
+        ops: Vec::new(),
+        emit_init: true,
+        emit_digest: true,
+    };
+    let n = rng.gen_range(4..max_ops.max(5));
+    for _ in 0..n {
+        let op = gen_op(&mut rng, family, &prog);
+        prog.ops.push(op);
+    }
+    prog
+}
+
+fn gen_op(rng: &mut SmallRng, family: Family, prog: &Prog) -> FOp {
+    // Family bias: 70% family-specific ops, 30% (or all of Mixed) uniform.
+    let specific = family != Family::Mixed && rng.gen_bool(0.7);
+    let class = if specific {
+        family
+    } else {
+        FAMILIES[rng.gen_range(0..5)]
+    };
+    match class {
+        Family::ArrayLoops => {
+            let obj = pick_array(rng);
+            let slot = rng.gen_range(0..prog.slots(obj));
+            match rng.gen_range(0..7u32) {
+                0 => FOp::Load { obj, slot },
+                1 => FOp::Store { obj, slot },
+                2 => FOp::LoopFill { obj },
+                3 => FOp::LoopSum { obj },
+                4 => {
+                    let a = rng.gen_range(0..prog.slots(obj));
+                    let b = rng.gen_range(0..prog.slots(obj) - a);
+                    FOp::GepChain { obj, a, b }
+                }
+                5 => FOp::CondStore { obj, slot },
+                _ => {
+                    if let Obj::Heap(i) = obj {
+                        FOp::CastRoundtrip { heap: i }
+                    } else {
+                        FOp::Mix {
+                            k: rng.gen::<u64>() | 1,
+                            c: rng.gen(),
+                        }
+                    }
+                }
+            }
+        }
+        Family::StructFields => match rng.gen_range(0..4u32) {
+            0 => FOp::FieldLoad {
+                field: rng.gen_range(0..3u8),
+            },
+            1 => FOp::FieldStore {
+                field: if rng.gen_bool(0.5) { 0 } else { 2 },
+            },
+            2 => FOp::BufStore {
+                off: rng.gen_range(0..BUF_LEN),
+            },
+            _ => FOp::FieldLoad { field: 1 },
+        },
+        Family::PointerChase => {
+            let hops = rng.gen_range(0..CHAIN_NODES - 1);
+            if rng.gen_bool(0.5) {
+                FOp::ChaseSum { hops }
+            } else {
+                FOp::ChaseStore { hops }
+            }
+        }
+        Family::AllocChurn => FOp::Churn {
+            bytes: rng.gen_range(8u64..256),
+        },
+        Family::LibcWrappers => match rng.gen_range(0..5u32) {
+            0 => {
+                let dst = pick_array(rng);
+                let mut src = pick_array(rng);
+                while src == dst {
+                    src = pick_array(rng);
+                }
+                let max = prog.slots(dst).min(prog.slots(src));
+                FOp::Memcpy {
+                    dst,
+                    src,
+                    slots: rng.gen_range(1..=max),
+                }
+            }
+            1 => {
+                let obj = pick_array(rng);
+                FOp::Memset {
+                    obj,
+                    c: rng.gen_range(0..256),
+                    bytes: rng.gen_range(1..=prog.bytes(obj)),
+                }
+            }
+            2 => FOp::StrFill {
+                len: rng.gen_range(0..=(STR_BYTES - 2)),
+            },
+            3 => FOp::Strcpy,
+            _ => FOp::Strlen,
+        },
+        Family::Mixed => unreachable!("Mixed resolves to a concrete class"),
+    }
+}
+
+/// Objects an op touches (used for lazy environment setup).
+pub fn objects_of(op: &FOp) -> Vec<Obj> {
+    match op {
+        FOp::Load { obj, .. }
+        | FOp::Store { obj, .. }
+        | FOp::LoopFill { obj }
+        | FOp::LoopSum { obj }
+        | FOp::GepChain { obj, .. }
+        | FOp::CondStore { obj, .. }
+        | FOp::Memset { obj, .. }
+        | FOp::OobStore { obj, .. }
+        | FOp::OobLoad { obj, .. } => vec![*obj],
+        FOp::CastRoundtrip { heap } => vec![Obj::Heap(*heap)],
+        FOp::Mix { .. } | FOp::Churn { .. } => vec![],
+        FOp::FieldLoad { .. } | FOp::FieldStore { .. } | FOp::BufStore { .. } => vec![Obj::Struct],
+        FOp::OobBufStore { .. } => vec![Obj::Struct],
+        FOp::ChaseSum { .. } | FOp::ChaseStore { .. } => vec![Obj::Chain],
+        FOp::Memcpy { dst, src, .. } | FOp::OobMemcpy { dst, src, .. } => vec![*dst, *src],
+        FOp::StrFill { .. } | FOp::Strlen => vec![Obj::StrSrc],
+        FOp::Strcpy => vec![Obj::StrDst, Obj::StrSrc],
+        FOp::OobStrcpy => vec![Obj::StrSmall, Obj::StrSrc],
+    }
+}
+
+/// Per-build object environment: base pointers live in locals so ops (and
+/// `CastRoundtrip`) can read and replace them.
+struct Env {
+    heap: [Option<LocalId>; 3],
+    stack: Option<Reg>,
+    global: Option<Reg>,
+    strct: Option<LocalId>,
+    chain: Option<LocalId>,
+    str_src: Option<LocalId>,
+    str_dst: Option<LocalId>,
+    str_small: Option<LocalId>,
+}
+
+/// Builds the executable module for `prog`, including the beacon global
+/// (always global id 0) and the digest epilogue.
+pub fn build(prog: &Prog) -> Module {
+    let mut mb = ModuleBuilder::new("fuzz");
+    // Beacon first so the runner can rely on GlobalId(0).
+    let beacon = mb.global_zeroed("beacon", 8);
+    let mut used: Vec<Obj> = prog.ops.iter().flat_map(objects_of).collect();
+    used.sort();
+    used.dedup();
+    let garr = if used.contains(&Obj::Global) {
+        Some(mb.global_zeroed("garr", (GLOBAL_SLOTS * 8) as u32))
+    } else {
+        None
+    };
+
+    mb.func("main", &[], Some(Ty::I64), |fb| {
+        let mut env = Env {
+            heap: [None; 3],
+            stack: None,
+            global: None,
+            strct: None,
+            chain: None,
+            str_src: None,
+            str_dst: None,
+            str_small: None,
+        };
+        let acc = fb.local(Ty::I64);
+        fb.set(acc, prog.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+
+        // ---- prologue: materialize used objects ----------------------
+        for &obj in &used {
+            match obj {
+                Obj::Heap(i) => {
+                    let slots = prog.heap_slots[i as usize];
+                    let p = fb.intr_ptr("malloc", &[Operand::Imm(slots * 8)]);
+                    let l = fb.local(Ty::Ptr);
+                    fb.set(l, p);
+                    env.heap[i as usize] = Some(l);
+                    if prog.emit_init {
+                        fb.count_loop(0u64, slots, |fb, i| {
+                            let a = fb.gep(p, i, 8, 0);
+                            let v = fb.mul(i, 0x9E37u64);
+                            fb.store(Ty::I64, a, v);
+                        });
+                    }
+                }
+                Obj::Stack => {
+                    let s = fb.slot("sarr", (STACK_SLOTS * 8) as u32);
+                    let base = fb.slot_addr(s);
+                    env.stack = Some(base);
+                    if prog.emit_init {
+                        fb.count_loop(0u64, STACK_SLOTS, |fb, i| {
+                            let a = fb.gep(base, i, 8, 0);
+                            let v = fb.xor(i, 0x5555u64);
+                            fb.store(Ty::I64, a, v);
+                        });
+                    }
+                }
+                Obj::Global => {
+                    let base = fb.global_addr(garr.expect("garr created for Global user"));
+                    env.global = Some(base);
+                    if prog.emit_init {
+                        fb.count_loop(0u64, GLOBAL_SLOTS, |fb, i| {
+                            let a = fb.gep(base, i, 8, 0);
+                            let v = fb.add(i, 0x33u64);
+                            fb.store(Ty::I64, a, v);
+                        });
+                    }
+                }
+                Obj::Struct => {
+                    let p = fb.intr_ptr("malloc", &[Operand::Imm(STRUCT_BYTES as u64)]);
+                    let l = fb.local(Ty::Ptr);
+                    fb.set(l, p);
+                    env.strct = Some(l);
+                    if prog.emit_init {
+                        let hdr = fb.gep_field(p, 0, 8);
+                        fb.store(Ty::I64, hdr, 0x1111_2222u64);
+                        let tail = fb.gep_field(p, BUF_OFF + BUF_LEN as i64, 8);
+                        fb.store(Ty::I64, tail, 0x3333_4444u64);
+                        let buf = fb.gep_field(p, BUF_OFF, BUF_LEN);
+                        fb.count_loop(0u64, BUF_LEN as u64, |fb, i| {
+                            let a = fb.gep(buf, i, 1, 0);
+                            let v = fb.mul(i, 7u64);
+                            fb.store(Ty::I8, a, v);
+                        });
+                    }
+                }
+                Obj::Chain => {
+                    // CHAIN_NODES nodes {next @0, val @8}, linked head→tail.
+                    let head = fb.local(Ty::Ptr);
+                    let prev = fb.local(Ty::Ptr);
+                    for j in 0..CHAIN_NODES {
+                        let node = fb.intr_ptr("malloc", &[Operand::Imm(16)]);
+                        let nul = fb.xor(0u64, 0u64);
+                        fb.store(Ty::Ptr, node, nul);
+                        let vslot = fb.gep(node, 0u64, 1, 8);
+                        fb.store(Ty::I64, vslot, j.wrapping_mul(0x77) ^ 0x1000);
+                        if j == 0 {
+                            fb.set(head, node);
+                        } else {
+                            let pv = fb.get(prev);
+                            fb.store(Ty::Ptr, pv, node);
+                        }
+                        fb.set(prev, node);
+                    }
+                    env.chain = Some(head);
+                }
+                Obj::StrSrc => {
+                    let p = fb.intr_ptr("malloc", &[Operand::Imm(STR_BYTES as u64)]);
+                    let l = fb.local(Ty::Ptr);
+                    fb.set(l, p);
+                    env.str_src = Some(l);
+                    if prog.emit_init {
+                        for i in 0..STR_INIT_LEN {
+                            let a = fb.gep(p, i as u64, 1, 0);
+                            fb.store(Ty::I8, a, (b'a' + i as u8) as u64);
+                        }
+                        let a = fb.gep(p, STR_INIT_LEN as u64, 1, 0);
+                        fb.store(Ty::I8, a, 0u64);
+                    }
+                }
+                Obj::StrDst | Obj::StrSmall => {
+                    let bytes = if obj == Obj::StrDst {
+                        STR_BYTES
+                    } else {
+                        STR_SMALL_BYTES
+                    };
+                    let p = fb.intr_ptr("malloc", &[Operand::Imm(bytes as u64)]);
+                    let l = fb.local(Ty::Ptr);
+                    fb.set(l, p);
+                    fb.store(Ty::I8, p, 0u64);
+                    if obj == Obj::StrDst {
+                        env.str_dst = Some(l);
+                    } else {
+                        env.str_small = Some(l);
+                    }
+                }
+            }
+        }
+
+        let beacon_addr = fb.global_addr(beacon);
+
+        // ---- the ops, each followed by a beacon update ----------------
+        for (k, op) in prog.ops.iter().enumerate() {
+            emit_op(fb, prog, &env, acc, op);
+            fb.store(Ty::I64, beacon_addr, (k + 1) as u64);
+        }
+
+        // ---- digest epilogue -----------------------------------------
+        if prog.emit_digest {
+            let digest = fb.local(Ty::I64);
+            let a0 = fb.get(acc);
+            fb.set(digest, a0);
+            let fold = |fb: &mut sgxs_mir::FuncBuilder<'_>,
+                        digest: LocalId,
+                        base: Reg,
+                        count: u64,
+                        scale: u32,
+                        ty: Ty| {
+                fb.count_loop(0u64, count, |fb, i| {
+                    let a = fb.gep(base, i, scale, 0);
+                    let v = fb.load(ty, a);
+                    let d = fb.get(digest);
+                    let d1 = fb.mul(d, 31u64);
+                    let d2 = fb.add(d1, v);
+                    fb.set(digest, d2);
+                });
+            };
+            for &obj in &used {
+                match obj {
+                    Obj::Heap(i) => {
+                        let base = fb.get(env.heap[i as usize].expect("heap set up"));
+                        fold(fb, digest, base, prog.heap_slots[i as usize], 8, Ty::I64);
+                    }
+                    Obj::Stack => fold(
+                        fb,
+                        digest,
+                        env.stack.expect("stack"),
+                        STACK_SLOTS,
+                        8,
+                        Ty::I64,
+                    ),
+                    Obj::Global => fold(
+                        fb,
+                        digest,
+                        env.global.expect("global"),
+                        GLOBAL_SLOTS,
+                        8,
+                        Ty::I64,
+                    ),
+                    Obj::Struct => {
+                        let p = fb.get(env.strct.expect("struct"));
+                        fold(fb, digest, p, STRUCT_BYTES as u64, 1, Ty::I8);
+                    }
+                    Obj::Chain => {
+                        let cur = fb.local(Ty::Ptr);
+                        let h = fb.get(env.chain.expect("chain"));
+                        fb.set(cur, h);
+                        fb.count_loop(0u64, CHAIN_NODES, |fb, _i| {
+                            let p = fb.get(cur);
+                            let vslot = fb.gep(p, 0u64, 1, 8);
+                            let v = fb.load(Ty::I64, vslot);
+                            let d = fb.get(digest);
+                            let d1 = fb.mul(d, 31u64);
+                            let d2 = fb.add(d1, v);
+                            fb.set(digest, d2);
+                            let next = fb.load(Ty::Ptr, p);
+                            // Stop advancing at the tail (next == null).
+                            let is_null = fb.cmp(CmpOp::Eq, next, 0u64);
+                            let keep = fb.get(cur);
+                            let sel = fb.select(is_null, keep, next);
+                            fb.set(cur, sel);
+                        });
+                    }
+                    Obj::StrSrc => {
+                        let p = fb.get(env.str_src.expect("strsrc"));
+                        fold(fb, digest, p, STR_BYTES as u64, 1, Ty::I8);
+                    }
+                    Obj::StrDst => {
+                        let p = fb.get(env.str_dst.expect("strdst"));
+                        fold(fb, digest, p, STR_BYTES as u64, 1, Ty::I8);
+                    }
+                    Obj::StrSmall => {
+                        let p = fb.get(env.str_small.expect("strsmall"));
+                        fold(fb, digest, p, STR_SMALL_BYTES as u64, 1, Ty::I8);
+                    }
+                }
+            }
+            let v = fb.get(digest);
+            fb.ret(Some(v.into()));
+        } else {
+            let v = fb.get(acc);
+            fb.ret(Some(v.into()));
+        }
+    });
+    mb.finish()
+}
+
+/// Base address of an array object.
+fn array_base(fb: &mut sgxs_mir::FuncBuilder<'_>, env: &Env, obj: Obj) -> Reg {
+    match obj {
+        Obj::Heap(i) => fb.get(env.heap[i as usize].expect("heap array set up")),
+        Obj::Stack => env.stack.expect("stack array set up"),
+        Obj::Global => env.global.expect("global array set up"),
+        Obj::StrSrc => fb.get(env.str_src.expect("strsrc set up")),
+        Obj::StrDst => fb.get(env.str_dst.expect("strdst set up")),
+        Obj::StrSmall => fb.get(env.str_small.expect("strsmall set up")),
+        _ => panic!("{obj:?} has no flat base"),
+    }
+}
+
+fn chain_walk(fb: &mut sgxs_mir::FuncBuilder<'_>, env: &Env, hops: u64) -> Reg {
+    let mut cur = fb.get(env.chain.expect("chain set up"));
+    for _ in 0..hops.min(CHAIN_NODES - 1) {
+        cur = fb.load(Ty::Ptr, cur);
+    }
+    cur
+}
+
+fn emit_op(fb: &mut sgxs_mir::FuncBuilder<'_>, prog: &Prog, env: &Env, acc: LocalId, op: &FOp) {
+    match op {
+        FOp::Load { obj, slot } => {
+            let base = array_base(fb, env, *obj);
+            let p = fb.gep(base, *slot, 8, 0);
+            let v = fb.load(Ty::I64, p);
+            let x = fb.get(acc);
+            let y = fb.xor(x, v);
+            fb.set(acc, y);
+        }
+        FOp::Store { obj, slot } => {
+            let base = array_base(fb, env, *obj);
+            let p = fb.gep(base, *slot, 8, 0);
+            let x = fb.get(acc);
+            let v = fb.add(x, *slot);
+            fb.store(Ty::I64, p, v);
+        }
+        FOp::LoopFill { obj } => {
+            let base = array_base(fb, env, *obj);
+            let n = prog.slots(*obj);
+            fb.count_loop(0u64, n, move |fb, i| {
+                let p = fb.gep(base, i, 8, 0);
+                let x = fb.get(acc);
+                let m = fb.mul(i, 13u64);
+                let v = fb.add(x, m);
+                fb.store(Ty::I64, p, v);
+            });
+        }
+        FOp::LoopSum { obj } => {
+            let base = array_base(fb, env, *obj);
+            let n = prog.slots(*obj);
+            fb.count_loop(0u64, n, move |fb, i| {
+                let p = fb.gep(base, i, 8, 0);
+                let v = fb.load(Ty::I64, p);
+                let x = fb.get(acc);
+                let y = fb.xor(x, v);
+                fb.set(acc, y);
+            });
+        }
+        FOp::GepChain { obj, a, b } => {
+            let base = array_base(fb, env, *obj);
+            let p = fb.gep(base, *a, 8, 0);
+            let q = fb.gep(p, *b, 8, 0);
+            let v = fb.get(acc);
+            fb.store(Ty::I64, q, v);
+        }
+        FOp::CastRoundtrip { heap } => {
+            let l = env.heap[*heap as usize].expect("heap array set up");
+            let h = fb.get(l);
+            let as_int = fb.cast(CastKind::Bitcast, h);
+            let mixed = fb.xor(as_int, 0u64);
+            let back = fb.cast(CastKind::Bitcast, mixed);
+            fb.set(l, back);
+        }
+        FOp::CondStore { obj, slot } => {
+            let base = array_base(fb, env, *obj);
+            let p = fb.gep(base, *slot, 8, 0);
+            let x = fb.get(acc);
+            let odd = fb.and(x, 1u64);
+            let c = fb.cmp(CmpOp::Ne, odd, 0u64);
+            fb.if_then(c, |fb| {
+                let v = fb.load(Ty::I64, p);
+                let v2 = fb.add(v, 1u64);
+                fb.store(Ty::I64, p, v2);
+            });
+        }
+        FOp::Mix { k, c } => {
+            let x = fb.get(acc);
+            let m = fb.mul(x, *k);
+            let s = fb.add(m, *c);
+            fb.set(acc, s);
+        }
+        FOp::FieldLoad { field } => {
+            let p = fb.get(env.strct.expect("struct set up"));
+            let (v, wide) = match field {
+                0 => {
+                    let a = fb.gep_field(p, 0, 8);
+                    (fb.load(Ty::I64, a), true)
+                }
+                1 => {
+                    let a = fb.gep_field(p, BUF_OFF, BUF_LEN);
+                    (fb.load(Ty::I8, a), false)
+                }
+                _ => {
+                    let a = fb.gep_field(p, BUF_OFF + BUF_LEN as i64, 8);
+                    (fb.load(Ty::I64, a), true)
+                }
+            };
+            let _ = wide;
+            let x = fb.get(acc);
+            let y = fb.add(x, v);
+            fb.set(acc, y);
+        }
+        FOp::FieldStore { field } => {
+            let p = fb.get(env.strct.expect("struct set up"));
+            let disp = if *field == 0 {
+                0
+            } else {
+                BUF_OFF + BUF_LEN as i64
+            };
+            let a = fb.gep_field(p, disp, 8);
+            let v = fb.get(acc);
+            fb.store(Ty::I64, a, v);
+        }
+        FOp::BufStore { off } | FOp::OobBufStore { off } => {
+            let p = fb.get(env.strct.expect("struct set up"));
+            let buf = fb.gep_field(p, BUF_OFF, BUF_LEN);
+            let a = fb.gep(buf, *off as u64, 1, 0);
+            let v = fb.get(acc);
+            fb.store(Ty::I8, a, v);
+        }
+        FOp::ChaseSum { hops } => {
+            let node = chain_walk(fb, env, *hops);
+            let vslot = fb.gep(node, 0u64, 1, 8);
+            let v = fb.load(Ty::I64, vslot);
+            let x = fb.get(acc);
+            let y = fb.xor(x, v);
+            fb.set(acc, y);
+        }
+        FOp::ChaseStore { hops } => {
+            let node = chain_walk(fb, env, *hops);
+            let vslot = fb.gep(node, 0u64, 1, 8);
+            let v = fb.get(acc);
+            fb.store(Ty::I64, vslot, v);
+        }
+        FOp::Churn { bytes } => {
+            let n = (*bytes).max(8);
+            let p = fb.intr_ptr("malloc", &[Operand::Imm(n)]);
+            let x = fb.get(acc);
+            fb.store(Ty::I64, p, x);
+            let v = fb.load(Ty::I64, p);
+            let y = fb.xor(x, v);
+            fb.set(acc, y);
+            fb.intr_void("free", &[p.into()]);
+        }
+        FOp::Memcpy { dst, src, slots } => {
+            let d = array_base(fb, env, *dst);
+            let s = array_base(fb, env, *src);
+            fb.intr_void("memcpy", &[d.into(), s.into(), Operand::Imm(slots * 8)]);
+        }
+        FOp::Memset { obj, c, bytes } => {
+            let base = array_base(fb, env, *obj);
+            fb.intr_void(
+                "memset",
+                &[base.into(), Operand::Imm(*c), Operand::Imm(*bytes)],
+            );
+        }
+        FOp::StrFill { len } => {
+            let p = array_base(fb, env, Obj::StrSrc);
+            for i in 0..*len {
+                let a = fb.gep(p, i as u64, 1, 0);
+                fb.store(Ty::I8, a, (b'a' + (i % 23) as u8) as u64);
+            }
+            let a = fb.gep(p, *len as u64, 1, 0);
+            fb.store(Ty::I8, a, 0u64);
+        }
+        FOp::Strcpy => {
+            let d = array_base(fb, env, Obj::StrDst);
+            let s = array_base(fb, env, Obj::StrSrc);
+            let _ = fb.intr_ptr("strcpy", &[d.into(), s.into()]);
+        }
+        FOp::Strlen => {
+            let s = array_base(fb, env, Obj::StrSrc);
+            let n = fb.intr("strlen", &[s.into()]);
+            let x = fb.get(acc);
+            let y = fb.add(x, n);
+            fb.set(acc, y);
+        }
+        FOp::OobStore { obj, slot_off } => {
+            let base = array_base(fb, env, *obj);
+            let p = fb.gep(base, 0u64, 8, slot_off * 8);
+            let v = fb.get(acc);
+            fb.store(Ty::I64, p, v);
+        }
+        FOp::OobLoad { obj, slot_off } => {
+            let base = array_base(fb, env, *obj);
+            let p = fb.gep(base, 0u64, 8, slot_off * 8);
+            let v = fb.load(Ty::I64, p);
+            let x = fb.get(acc);
+            let y = fb.xor(x, v);
+            fb.set(acc, y);
+        }
+        FOp::OobMemcpy { dst, src, bytes } => {
+            let d = array_base(fb, env, *dst);
+            let s = array_base(fb, env, *src);
+            fb.intr_void("memcpy", &[d.into(), s.into(), Operand::Imm(*bytes)]);
+        }
+        FOp::OobStrcpy => {
+            let d = array_base(fb, env, Obj::StrSmall);
+            let s = array_base(fb, env, Obj::StrSrc);
+            let _ = fb.intr_ptr("strcpy", &[d.into(), s.into()]);
+        }
+    }
+}
+
+/// Total instruction count of a module (insts + terminators) — the size
+/// metric shrunk reproducers are measured by.
+pub fn inst_count(m: &Module) -> usize {
+    m.funcs
+        .iter()
+        .map(|f| f.blocks.iter().map(|b| b.insts.len() + 1).sum::<usize>())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgxs_mir::verify;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42, 24);
+        let b = generate(42, 24);
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.heap_slots, b.heap_slots);
+    }
+
+    #[test]
+    fn distinct_seeds_usually_differ() {
+        let a = generate(1, 24);
+        let b = generate(2, 24);
+        assert!(a.ops != b.ops || a.heap_slots != b.heap_slots);
+    }
+
+    #[test]
+    fn generated_modules_verify() {
+        for seed in 0..60 {
+            let prog = generate(seed, 24);
+            let m = build(&prog);
+            verify(&m).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn every_family_is_exercised() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..12 {
+            seen.insert(format!("{:?}", generate(seed, 24).family));
+        }
+        assert_eq!(seen.len(), FAMILIES.len());
+    }
+
+    #[test]
+    fn lean_build_skips_init_and_digest() {
+        let mut prog = generate(7, 24);
+        let full = inst_count(&build(&prog));
+        prog.emit_init = false;
+        prog.emit_digest = false;
+        let lean = inst_count(&build(&prog));
+        assert!(lean < full, "lean {lean} should be smaller than {full}");
+    }
+}

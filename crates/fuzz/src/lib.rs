@@ -1,0 +1,457 @@
+#![warn(missing_docs)]
+
+//! `sgxs-fuzz` — differential fuzzing and fault injection across every
+//! bounds-checking scheme in the workspace.
+//!
+//! The pipeline per seed:
+//!
+//! 1. [`gen::generate`] builds a random, in-bounds-by-construction program
+//!    over a fixed object environment (heap/stack/global arrays, a struct
+//!    with interior fields, a pointer chain, string buffers).
+//! 2. The safe program runs under native, four SGXBounds configurations,
+//!    ASan, and MPX; every scheme must reproduce the native digest
+//!    bit-for-bit (no false positives, no silent corruption).
+//! 3. [`inject::inject`] splices exactly one spatial violation in;
+//!    [`oracle::analyze`] independently re-derives the violation and must
+//!    agree with the injector's ground truth.
+//! 4. [`runner`] executes the faulty program everywhere and classifies
+//!    each scheme's verdict (detected / detected-at-wrong-site / missed /
+//!    tolerated / false-positive / crash) against its detection model.
+//! 5. Any verdict outside the model is a *disagreement*; [`shrink`]
+//!    minimizes it to a small reproducer.
+//!
+//! [`run_campaign`] drives the loop and aggregates an extended
+//! Table-4-style security matrix (fault kinds x schemes).
+
+pub mod gen;
+pub mod inject;
+pub mod oracle;
+pub mod runner;
+pub mod shrink;
+
+use inject::{FaultKind, ALL_KINDS};
+use runner::{classify, exec, verdict_ok, FScheme, Verdict, ALL_SCHEMES};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct FuzzOpts {
+    /// Number of seeds (programs) to fuzz.
+    pub seeds: u64,
+    /// First seed.
+    pub seed0: u64,
+    /// Maximum safe ops per generated program.
+    pub max_ops: usize,
+    /// Minimize disagreements to small reproducers.
+    pub shrink: bool,
+}
+
+impl Default for FuzzOpts {
+    fn default() -> Self {
+        FuzzOpts {
+            seeds: 100,
+            seed0: 0,
+            max_ops: 20,
+            shrink: true,
+        }
+    }
+}
+
+/// Verdict tallies for one (fault kind, scheme) cell.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cell {
+    /// Runs classified `Detected`.
+    pub detected: u64,
+    /// Runs classified `DetectedWrongSite`.
+    pub wrong_site: u64,
+    /// Runs classified `Missed`.
+    pub missed: u64,
+    /// Runs classified `Tolerated` (boundless).
+    pub tolerated: u64,
+    /// Runs classified `Crash`.
+    pub crashed: u64,
+    /// Runs whose verdict fell outside the detection model.
+    pub disagreements: u64,
+    /// Total runs.
+    pub total: u64,
+}
+
+impl Cell {
+    fn add(&mut self, v: &Verdict, ok: bool) {
+        self.total += 1;
+        if !ok {
+            self.disagreements += 1;
+        }
+        match v {
+            Verdict::Detected => self.detected += 1,
+            Verdict::DetectedWrongSite { .. } => self.wrong_site += 1,
+            Verdict::Missed => self.missed += 1,
+            Verdict::Tolerated => self.tolerated += 1,
+            Verdict::Crash(_) => self.crashed += 1,
+            _ => {}
+        }
+    }
+
+    /// Runs where the scheme flagged the violation at all.
+    pub fn flagged(&self) -> u64 {
+        self.detected + self.wrong_site + self.tolerated
+    }
+}
+
+/// Safe-program tallies for one scheme.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SafeCell {
+    /// Bit-identical completions.
+    pub passes: u64,
+    /// Detections on in-bounds programs.
+    pub false_positives: u64,
+    /// Completions with a diverging digest.
+    pub mismatches: u64,
+    /// Other traps.
+    pub crashes: u64,
+    /// Total safe runs.
+    pub total: u64,
+}
+
+/// One disagreement found during the campaign.
+#[derive(Debug, Clone)]
+pub struct Disagreement {
+    /// Seed of the originating program.
+    pub seed: u64,
+    /// Fault kind (`None` = safe program).
+    pub kind: Option<FaultKind>,
+    /// Scheme whose verdict fell outside the model.
+    pub scheme: FScheme,
+    /// The observed verdict.
+    pub verdict: Verdict,
+    /// Minimized reproducer, when shrinking ran.
+    pub repro: Option<shrink::Repro>,
+}
+
+/// Campaign results.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Programs fuzzed.
+    pub programs: u64,
+    /// Total scheme executions.
+    pub runs: u64,
+    /// Per-scheme safe-program tallies.
+    pub safe: BTreeMap<FScheme, SafeCell>,
+    /// Per-(kind, scheme) fault tallies.
+    pub cells: BTreeMap<(FaultKind, FScheme), Cell>,
+    /// Every disagreement, shrunk when requested.
+    pub disagreements: Vec<Disagreement>,
+}
+
+impl Report {
+    /// Renders the extended security matrix plus a disagreement summary.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "differential fuzz: {} programs, {} runs, {} disagreement(s)\n",
+            self.programs,
+            self.runs,
+            self.disagreements.len()
+        );
+        let _ = writeln!(
+            s,
+            "safe programs (every scheme must reproduce the native digest):"
+        );
+        let _ = writeln!(
+            s,
+            "  {:<14} {:>6} {:>6} {:>10} {:>9}",
+            "scheme", "pass", "fp", "mismatch", "crash"
+        );
+        for (scheme, c) in &self.safe {
+            let _ = writeln!(
+                s,
+                "  {:<14} {:>6} {:>6} {:>10} {:>9}",
+                scheme.label(),
+                c.passes,
+                c.false_positives,
+                c.mismatches,
+                c.crashes
+            );
+        }
+        let _ = writeln!(s, "\ninjected faults — flagged/total per scheme:");
+        let _ = write!(s, "  {:<18}", "fault kind");
+        for scheme in ALL_SCHEMES {
+            let _ = write!(s, " {:>12}", scheme.label());
+        }
+        let _ = writeln!(s);
+        for kind in ALL_KINDS {
+            let _ = write!(s, "  {:<18}", kind.label());
+            for scheme in ALL_SCHEMES {
+                match self.cells.get(&(kind, scheme)) {
+                    Some(c) => {
+                        let mark = if c.disagreements > 0 { "!" } else { " " };
+                        let cell = format!("{}/{}", c.flagged(), c.total);
+                        let _ = write!(s, " {cell:>11}{mark}");
+                    }
+                    None => {
+                        let _ = write!(s, " {:>12}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(s);
+        }
+        if !self.disagreements.is_empty() {
+            let _ = writeln!(s, "\ndisagreements:");
+            for d in &self.disagreements {
+                let kind = d.kind.map(|k| k.label()).unwrap_or("safe-program");
+                let _ = write!(
+                    s,
+                    "  seed {} {} under {}: {}",
+                    d.seed,
+                    kind,
+                    d.scheme.label(),
+                    d.verdict.label()
+                );
+                match &d.repro {
+                    Some(r) => {
+                        let _ = writeln!(
+                            s,
+                            " — shrunk to {} ops / {} MIR insts: {:?}",
+                            r.prog.ops.len(),
+                            r.insts,
+                            r.prog.ops
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(s);
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Runs the differential campaign: for each seed, one safe program across
+/// all schemes plus one injected fault (kinds round-robin by seed).
+pub fn run_campaign(opts: &FuzzOpts) -> Report {
+    let mut report = Report::default();
+    for scheme in ALL_SCHEMES {
+        report.safe.insert(scheme, SafeCell::default());
+    }
+    for seed in opts.seed0..opts.seed0 + opts.seeds {
+        let prog = gen::generate(seed, opts.max_ops);
+        assert_eq!(
+            oracle::analyze(&prog),
+            None,
+            "seed {seed}: generator emitted an out-of-bounds op"
+        );
+        report.programs += 1;
+
+        let native = exec(&prog, FScheme::Native);
+        report.runs += 1;
+        {
+            let cell = report.safe.get_mut(&FScheme::Native).expect("seeded");
+            cell.total += 1;
+            match &native.result {
+                Ok(_) => cell.passes += 1,
+                Err(_) => cell.crashes += 1,
+            }
+        }
+        let native_digest = match &native.result {
+            Ok(d) => *d,
+            Err(t) => {
+                report.disagreements.push(Disagreement {
+                    seed,
+                    kind: None,
+                    scheme: FScheme::Native,
+                    verdict: Verdict::Crash(t.to_string()),
+                    repro: None,
+                });
+                continue;
+            }
+        };
+
+        for scheme in ALL_SCHEMES.into_iter().skip(1) {
+            let v = classify(None, native_digest, &exec(&prog, scheme));
+            report.runs += 1;
+            let cell = report.safe.get_mut(&scheme).expect("seeded");
+            cell.total += 1;
+            match &v {
+                Verdict::Pass => cell.passes += 1,
+                Verdict::FalsePositive(_) => cell.false_positives += 1,
+                Verdict::DigestMismatch { .. } => cell.mismatches += 1,
+                _ => cell.crashes += 1,
+            }
+            if !verdict_ok(scheme, None, &v) {
+                let repro = opts.shrink.then(|| shrink::shrink(&prog, None, scheme, &v));
+                report.disagreements.push(Disagreement {
+                    seed,
+                    kind: None,
+                    scheme,
+                    verdict: v,
+                    repro,
+                });
+            }
+        }
+
+        let kind = ALL_KINDS[(seed % ALL_KINDS.len() as u64) as usize];
+        let (fprog, fault) = inject::inject(&prog, kind, seed);
+        let v = oracle::analyze(&fprog).expect("injected program must violate");
+        assert_eq!(
+            v.op_index,
+            fault.victim_index(),
+            "seed {seed} {kind:?}: oracle disagrees with injector ground truth"
+        );
+        for scheme in ALL_SCHEMES {
+            let v = classify(Some(&fault), native_digest, &exec(&fprog, scheme));
+            report.runs += 1;
+            let ok = verdict_ok(scheme, Some(kind), &v);
+            report.cells.entry((kind, scheme)).or_default().add(&v, ok);
+            if !ok {
+                let repro = opts
+                    .shrink
+                    .then(|| shrink::shrink(&prog, Some(&fault), scheme, &v));
+                report.disagreements.push(Disagreement {
+                    seed,
+                    kind: Some(kind),
+                    scheme,
+                    verdict: v,
+                    repro,
+                });
+            }
+        }
+    }
+    report
+}
+
+/// One replayable corpus entry: everything needed to regenerate a
+/// (program, fault) pair deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusEntry {
+    /// Generator seed.
+    pub seed: u64,
+    /// Max safe ops at generation time.
+    pub max_ops: usize,
+    /// Injected fault kind, or `None` for the safe program.
+    pub kind: Option<FaultKind>,
+}
+
+impl CorpusEntry {
+    /// Serializes to one corpus line: `seed max_ops kind`.
+    pub fn to_line(&self) -> String {
+        format!(
+            "{} {} {}",
+            self.seed,
+            self.max_ops,
+            self.kind.map(|k| k.label()).unwrap_or("safe")
+        )
+    }
+
+    /// Parses one corpus line (ignores blank lines and `#` comments).
+    pub fn parse(line: &str) -> Option<CorpusEntry> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return None;
+        }
+        let mut it = line.split_whitespace();
+        let seed = it.next()?.parse().ok()?;
+        let max_ops = it.next()?.parse().ok()?;
+        let kind_s = it.next()?;
+        let kind = if kind_s == "safe" {
+            None
+        } else {
+            Some(*ALL_KINDS.iter().find(|k| k.label() == kind_s)?)
+        };
+        Some(CorpusEntry {
+            seed,
+            max_ops,
+            kind,
+        })
+    }
+
+    /// Replays the entry under every scheme; returns the disagreements
+    /// (empty = the entry conforms to the detection model).
+    pub fn replay(&self) -> Vec<(FScheme, Verdict)> {
+        let prog = gen::generate(self.seed, self.max_ops);
+        let (prog, fault) = match self.kind {
+            None => (prog, None),
+            Some(kind) => {
+                let (fprog, fault) = inject::inject(&prog, kind, self.seed);
+                (fprog, Some(fault))
+            }
+        };
+        let native_digest = exec(&prog, FScheme::Native).result.unwrap_or_default();
+        let mut bad = Vec::new();
+        for scheme in ALL_SCHEMES {
+            let v = classify(fault.as_ref(), native_digest, &exec(&prog, scheme));
+            if !verdict_ok(scheme, self.kind, &v) {
+                bad.push((scheme, v));
+            }
+        }
+        bad
+    }
+}
+
+/// Parses a whole corpus file. A non-blank, non-comment line that does not
+/// parse is an error (a typo'd fault kind must not silently drop coverage).
+pub fn parse_corpus(text: &str) -> Result<Vec<CorpusEntry>, String> {
+    let mut entries = Vec::new();
+    for (n, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        match CorpusEntry::parse(t) {
+            Some(e) => entries.push(e),
+            None => return Err(format!("corpus line {}: cannot parse '{t}'", n + 1)),
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_lines_round_trip() {
+        for entry in [
+            CorpusEntry {
+                seed: 7,
+                max_ops: 20,
+                kind: None,
+            },
+            CorpusEntry {
+                seed: 8,
+                max_ops: 16,
+                kind: Some(FaultKind::StrcpyOverflow),
+            },
+        ] {
+            assert_eq!(CorpusEntry::parse(&entry.to_line()), Some(entry));
+        }
+        assert_eq!(CorpusEntry::parse("# comment"), None);
+        assert_eq!(CorpusEntry::parse(""), None);
+    }
+
+    #[test]
+    fn tiny_campaign_is_clean_and_covers_the_matrix() {
+        let report = run_campaign(&FuzzOpts {
+            seeds: 18,
+            seed0: 100,
+            max_ops: 10,
+            shrink: true,
+        });
+        assert_eq!(report.programs, 18);
+        assert!(
+            report.disagreements.is_empty(),
+            "unexpected disagreements:\n{}",
+            report.render()
+        );
+        // 18 seeds round-robin over 9 kinds: every kind hit twice.
+        for kind in ALL_KINDS {
+            let c = report.cells[&(kind, FScheme::SgxBounds)];
+            assert_eq!(c.total, 2, "{kind:?}");
+        }
+        let rendered = report.render();
+        assert!(rendered.contains("heap-overflow"));
+        assert!(rendered.contains("sb-narrow"));
+    }
+}

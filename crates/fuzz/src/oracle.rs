@@ -1,0 +1,319 @@
+//! Precise object-map oracle.
+//!
+//! Re-derives, from the op list alone, which access (if any) is the first
+//! out-of-bounds one — independently of both the generator's in-bounds
+//! reasoning and the injector's ground truth, so each cross-checks the
+//! other. The oracle tracks the only piece of dynamic state that affects
+//! bounds (the current NUL-terminated length of `StrSrc`) and treats every
+//! other op's footprint statically.
+
+use crate::gen::{FOp, Obj, Prog, BUF_LEN, STRUCT_BYTES, STR_INIT_LEN};
+
+/// The first out-of-bounds access the oracle predicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index of the violating op in `prog.ops`.
+    pub op_index: usize,
+    /// Object whose bounds are exceeded.
+    pub obj: Obj,
+    /// Byte offset (relative to the object base) of the first OOB byte.
+    /// Negative for underflows.
+    pub off: i64,
+    /// OOB bytes accessed.
+    pub len: u64,
+    /// Whether the OOB access writes.
+    pub write: bool,
+    /// True when the access stays inside the allocation but leaves the
+    /// addressed *field* (detectable only with bounds narrowing).
+    pub intra: bool,
+}
+
+/// Footprint of one op against one object: byte range `[start, end)`
+/// relative to the object base.
+struct Access {
+    obj: Obj,
+    start: i64,
+    end: i64,
+    write: bool,
+}
+
+/// Analyzes `prog` and returns the first OOB access, or `None` when every
+/// access is in bounds.
+pub fn analyze(prog: &Prog) -> Option<Violation> {
+    let mut src_len: u64 = if prog.emit_init {
+        STR_INIT_LEN as u64
+    } else {
+        0
+    };
+    for (k, op) in prog.ops.iter().enumerate() {
+        let mut intra = false;
+        let accesses: Vec<Access> = match op {
+            FOp::Load { obj, slot } => vec![slot_access(*obj, *slot, false)],
+            FOp::Store { obj, slot } | FOp::CondStore { obj, slot } => {
+                vec![slot_access(*obj, *slot, true)]
+            }
+            FOp::LoopFill { obj } => vec![Access {
+                obj: *obj,
+                start: 0,
+                end: (prog.slots(*obj) * 8) as i64,
+                write: true,
+            }],
+            FOp::LoopSum { obj } => vec![Access {
+                obj: *obj,
+                start: 0,
+                end: (prog.slots(*obj) * 8) as i64,
+                write: false,
+            }],
+            FOp::GepChain { obj, a, b } => vec![slot_access(*obj, a + b, true)],
+            FOp::CastRoundtrip { .. } | FOp::Mix { .. } | FOp::Churn { .. } => vec![],
+            FOp::FieldLoad { field } => vec![field_access(*field, false)],
+            FOp::FieldStore { field } => vec![field_access(*field, true)],
+            FOp::BufStore { off } | FOp::OobBufStore { off } => {
+                // A byte store through the narrowed buf-field pointer:
+                // in-field is safe; in-object-but-out-of-field is an
+                // intra-object overflow; past the object is a plain OOB.
+                let abs = 8 + *off as i64;
+                if *off < BUF_LEN {
+                    vec![]
+                } else if (abs as u64) < STRUCT_BYTES as u64 {
+                    intra = true;
+                    vec![Access {
+                        obj: Obj::Struct,
+                        start: abs,
+                        end: abs + 1,
+                        write: true,
+                    }]
+                } else {
+                    vec![Access {
+                        obj: Obj::Struct,
+                        start: abs,
+                        end: abs + 1,
+                        write: true,
+                    }]
+                }
+            }
+            // Walks clamp to CHAIN_NODES - 1 in the builder; always in
+            // bounds of some node.
+            FOp::ChaseSum { .. } | FOp::ChaseStore { .. } => vec![],
+            FOp::Memcpy { dst, src, slots } => vec![
+                Access {
+                    obj: *dst,
+                    start: 0,
+                    end: (slots * 8) as i64,
+                    write: true,
+                },
+                Access {
+                    obj: *src,
+                    start: 0,
+                    end: (slots * 8) as i64,
+                    write: false,
+                },
+            ],
+            FOp::Memset { obj, bytes, .. } => vec![Access {
+                obj: *obj,
+                start: 0,
+                end: *bytes as i64,
+                write: true,
+            }],
+            FOp::StrFill { len } => {
+                src_len = *len as u64;
+                vec![Access {
+                    obj: Obj::StrSrc,
+                    start: 0,
+                    end: *len as i64 + 1,
+                    write: true,
+                }]
+            }
+            FOp::Strcpy => vec![
+                Access {
+                    obj: Obj::StrDst,
+                    start: 0,
+                    end: src_len as i64 + 1,
+                    write: true,
+                },
+                Access {
+                    obj: Obj::StrSrc,
+                    start: 0,
+                    end: src_len as i64 + 1,
+                    write: false,
+                },
+            ],
+            FOp::Strlen => vec![Access {
+                obj: Obj::StrSrc,
+                start: 0,
+                end: src_len as i64 + 1,
+                write: false,
+            }],
+            FOp::OobStore { obj, slot_off } => vec![Access {
+                obj: *obj,
+                start: slot_off * 8,
+                end: slot_off * 8 + 8,
+                write: true,
+            }],
+            FOp::OobLoad { obj, slot_off } => vec![Access {
+                obj: *obj,
+                start: slot_off * 8,
+                end: slot_off * 8 + 8,
+                write: false,
+            }],
+            FOp::OobMemcpy { dst, src, bytes } => vec![
+                Access {
+                    obj: *dst,
+                    start: 0,
+                    end: *bytes as i64,
+                    write: true,
+                },
+                Access {
+                    obj: *src,
+                    start: 0,
+                    end: *bytes as i64,
+                    write: false,
+                },
+            ],
+            FOp::OobStrcpy => vec![
+                Access {
+                    obj: Obj::StrSmall,
+                    start: 0,
+                    end: src_len as i64 + 1,
+                    write: true,
+                },
+                Access {
+                    obj: Obj::StrSrc,
+                    start: 0,
+                    end: src_len as i64 + 1,
+                    write: false,
+                },
+            ],
+        };
+        for a in accesses {
+            let size = prog.bytes(a.obj) as i64;
+            if a.start < 0 {
+                return Some(Violation {
+                    op_index: k,
+                    obj: a.obj,
+                    off: a.start,
+                    len: (a.end.min(0) - a.start) as u64,
+                    write: a.write,
+                    intra,
+                });
+            }
+            if a.end > size {
+                return Some(Violation {
+                    op_index: k,
+                    obj: a.obj,
+                    off: a.start.max(size),
+                    len: (a.end - a.start.max(size)) as u64,
+                    write: a.write,
+                    intra,
+                });
+            }
+            if intra {
+                // In-object but out-of-field (checked above as in-bounds of
+                // the allocation).
+                return Some(Violation {
+                    op_index: k,
+                    obj: a.obj,
+                    off: a.start,
+                    len: (a.end - a.start) as u64,
+                    write: a.write,
+                    intra,
+                });
+            }
+        }
+    }
+    None
+}
+
+fn slot_access(obj: Obj, slot: u64, write: bool) -> Access {
+    Access {
+        obj,
+        start: (slot * 8) as i64,
+        end: (slot * 8 + 8) as i64,
+        write,
+    }
+}
+
+fn field_access(field: u8, write: bool) -> Access {
+    let (start, len) = match field {
+        0 => (0i64, 8i64),
+        1 => (8, 1),
+        _ => ((8 + BUF_LEN as i64), 8),
+    };
+    Access {
+        obj: Obj::Struct,
+        start,
+        end: start + len,
+        write,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, STR_SMALL_BYTES};
+
+    #[test]
+    fn safe_programs_have_no_violation() {
+        for seed in 0..200 {
+            let prog = generate(seed, 24);
+            assert_eq!(analyze(&prog), None, "seed {seed}: {:?}", prog.ops);
+        }
+    }
+
+    #[test]
+    fn flags_oob_store_past_end() {
+        let mut prog = generate(3, 8);
+        let slots = prog.slots(Obj::Heap(0));
+        prog.ops.push(FOp::OobStore {
+            obj: Obj::Heap(0),
+            slot_off: slots as i64,
+        });
+        let v = analyze(&prog).expect("violation");
+        assert_eq!(v.op_index, prog.ops.len() - 1);
+        assert_eq!(v.off, (slots * 8) as i64);
+        assert!(v.write && !v.intra);
+    }
+
+    #[test]
+    fn flags_underflow_with_negative_offset() {
+        let mut prog = generate(4, 8);
+        prog.ops.insert(
+            0,
+            FOp::OobLoad {
+                obj: Obj::Stack,
+                slot_off: -1,
+            },
+        );
+        let v = analyze(&prog).expect("violation");
+        assert_eq!(v.op_index, 0);
+        assert_eq!(v.off, -8);
+        assert!(!v.write);
+    }
+
+    #[test]
+    fn intra_object_is_marked() {
+        let mut prog = generate(5, 8);
+        prog.ops.push(FOp::OobBufStore { off: BUF_LEN + 2 });
+        let v = analyze(&prog).expect("violation");
+        assert!(v.intra, "in-struct out-of-field store must be intra");
+        assert_eq!(v.obj, Obj::Struct);
+    }
+
+    #[test]
+    fn strcpy_overflow_depends_on_staged_length() {
+        let mut prog = generate(6, 8);
+        prog.ops.retain(|o| !matches!(o, FOp::StrFill { .. }));
+        let base = prog.ops.len();
+        prog.ops.push(FOp::StrFill { len: 10 });
+        prog.ops.push(FOp::OobStrcpy);
+        let v = analyze(&prog).expect("violation");
+        assert_eq!(v.op_index, base + 1);
+        assert_eq!(v.obj, Obj::StrSmall);
+        assert_eq!(v.off, STR_SMALL_BYTES as i64);
+
+        // With a short string the same strcpy is in bounds.
+        let mut ok = prog.clone();
+        ok.ops[base] = FOp::StrFill { len: 3 };
+        assert_eq!(analyze(&ok), None);
+    }
+}

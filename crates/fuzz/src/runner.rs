@@ -1,0 +1,374 @@
+//! Differential runner: executes one (program, fault) under every scheme,
+//! classifies the outcome against the injector ground truth, and checks it
+//! against the per-scheme detection model.
+
+use crate::gen::{self, Prog};
+use crate::inject::{Fault, FaultKind};
+use sgxbounds::SbConfig;
+use sgxs_baselines::asan::runtime::asan_alloc_opts;
+use sgxs_baselines::{
+    install_asan, install_mpx, instrument_asan, instrument_mpx, AsanConfig, MpxConfig,
+};
+use sgxs_mir::{verify, GlobalId, Trap, Vm, VmConfig};
+use sgxs_rt::{install_base, AllocOpts};
+use sgxs_sim::{MachineConfig, Mode, Preset};
+
+/// A protection scheme under differential test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FScheme {
+    /// No instrumentation.
+    Native,
+    /// SGXBounds, default configuration (both optimizations, fail-stop).
+    SgxBounds,
+    /// SGXBounds with every optimization disabled.
+    SgxBoundsNoOpt,
+    /// SGXBounds with bounds narrowing (detects intra-object overflows).
+    SgxBoundsNarrow,
+    /// SGXBounds in boundless-memory mode (tolerates instead of stopping).
+    SgxBoundsBoundless,
+    /// AddressSanitizer baseline.
+    Asan,
+    /// Intel MPX baseline.
+    Mpx,
+}
+
+/// Every scheme, report-column order.
+pub const ALL_SCHEMES: [FScheme; 7] = [
+    FScheme::Native,
+    FScheme::SgxBounds,
+    FScheme::SgxBoundsNoOpt,
+    FScheme::SgxBoundsNarrow,
+    FScheme::SgxBoundsBoundless,
+    FScheme::Asan,
+    FScheme::Mpx,
+];
+
+impl FScheme {
+    /// Column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FScheme::Native => "native",
+            FScheme::SgxBounds => "sgxbounds",
+            FScheme::SgxBoundsNoOpt => "sb-noopt",
+            FScheme::SgxBoundsNarrow => "sb-narrow",
+            FScheme::SgxBoundsBoundless => "sb-boundless",
+            FScheme::Asan => "asan",
+            FScheme::Mpx => "mpx",
+        }
+    }
+
+    fn sb_config(&self) -> Option<SbConfig> {
+        match self {
+            FScheme::SgxBounds => Some(SbConfig::default()),
+            FScheme::SgxBoundsNoOpt => Some(SbConfig {
+                safe_access_opt: false,
+                hoist_opt: false,
+                boundless: false,
+                narrow_bounds: false,
+            }),
+            FScheme::SgxBoundsNarrow => Some(SbConfig {
+                narrow_bounds: true,
+                ..SbConfig::default()
+            }),
+            FScheme::SgxBoundsBoundless => Some(SbConfig {
+                boundless: true,
+                ..SbConfig::default()
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Raw outcome of one execution.
+#[derive(Debug, Clone)]
+pub struct Exec {
+    /// Digest (or trap) the program finished with.
+    pub result: Result<u64, Trap>,
+    /// Progress beacon after the run: `k + 1` when op `k` was the last to
+    /// complete.
+    pub beacon: u64,
+    /// SGXBounds violation counter (boundless mode records tolerated
+    /// violations here; other schemes leave it 0).
+    pub violations: u64,
+}
+
+/// Builds, instruments, and runs `prog` under `scheme`.
+pub fn exec(prog: &Prog, scheme: FScheme) -> Exec {
+    let mut module = gen::build(prog);
+    match scheme {
+        FScheme::Native => {}
+        FScheme::Asan => {
+            instrument_asan(&mut module).expect("asan instrumentation");
+        }
+        FScheme::Mpx => {
+            instrument_mpx(&mut module).expect("mpx instrumentation");
+        }
+        _ => {
+            sgxbounds::instrument(&mut module, &scheme.sb_config().expect("sb scheme"))
+                .expect("sgxbounds instrumentation");
+        }
+    }
+    verify(&module).expect("instrumented fuzz module verifies");
+
+    let mut cfg = VmConfig::new(MachineConfig::preset(Preset::Tiny, Mode::Enclave));
+    cfg.max_instructions = 4_000_000;
+    let mut vm = Vm::new(&module, cfg);
+    let asan_cfg = AsanConfig::for_scale(128);
+    let heap = match scheme {
+        FScheme::Asan => install_base(&mut vm, asan_alloc_opts(&asan_cfg, u32::MAX as u64)),
+        _ => install_base(&mut vm, AllocOpts::default()),
+    };
+    let mut sb_rt = None;
+    match scheme {
+        FScheme::Native => {}
+        FScheme::Asan => {
+            install_asan(&mut vm, heap, &asan_cfg);
+        }
+        FScheme::Mpx => {
+            install_mpx(&mut vm, heap, MpxConfig::for_scale(128));
+        }
+        _ => {
+            sb_rt = Some(sgxbounds::install_sgxbounds(
+                &mut vm,
+                heap,
+                &scheme.sb_config().expect("sb scheme"),
+                None,
+            ));
+        }
+    }
+    let out = vm.run("main", &[]);
+    // The beacon is always GlobalId(0) — gen::build creates it first.
+    let baddr = vm.global_addr(GlobalId(0));
+    let mut buf = [0u8; 8];
+    vm.machine.mem.read_bytes(baddr, &mut buf);
+    Exec {
+        result: out.result,
+        beacon: u64::from_le_bytes(buf),
+        violations: sb_rt.map(|rt| *rt.violations.borrow()).unwrap_or(0),
+    }
+}
+
+/// Classification of one run against ground truth.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Safe program completed with the native digest.
+    Pass,
+    /// Fault detected, trap attributed to the injected op.
+    Detected,
+    /// Fault detected, but the scheme stopped in a different op.
+    DetectedWrongSite {
+        /// Beacon value at the trap (`victim + 1` would mean the fault op
+        /// completed).
+        beacon: u64,
+    },
+    /// Faulty program ran to completion, no violation observed.
+    Missed,
+    /// Boundless mode: program completed but the violation was logged.
+    Tolerated,
+    /// Safe program stopped with a safety violation.
+    FalsePositive(String),
+    /// Safe program completed with a digest different from native.
+    DigestMismatch {
+        /// Native digest.
+        want: u64,
+        /// This scheme's digest.
+        got: u64,
+    },
+    /// Any other trap (OOM, memory fault, instruction budget, ...).
+    Crash(String),
+}
+
+impl Verdict {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Pass => "pass",
+            Verdict::Detected => "detected",
+            Verdict::DetectedWrongSite { .. } => "wrong-site",
+            Verdict::Missed => "missed",
+            Verdict::Tolerated => "tolerated",
+            Verdict::FalsePositive(_) => "false-positive",
+            Verdict::DigestMismatch { .. } => "digest-mismatch",
+            Verdict::Crash(_) => "crash",
+        }
+    }
+
+    /// True when the scheme flagged the violation at all (detected at
+    /// either site, or tolerated it in boundless mode).
+    pub fn flagged(&self) -> bool {
+        matches!(
+            self,
+            Verdict::Detected | Verdict::DetectedWrongSite { .. } | Verdict::Tolerated
+        )
+    }
+}
+
+/// Classifies one execution. `fault` is `None` for safe programs;
+/// `native_digest` is the uninstrumented result of the same program.
+pub fn classify(fault: Option<&Fault>, native_digest: u64, e: &Exec) -> Verdict {
+    match fault {
+        None => match &e.result {
+            Ok(d) if *d == native_digest => Verdict::Pass,
+            Ok(d) => Verdict::DigestMismatch {
+                want: native_digest,
+                got: *d,
+            },
+            Err(t) if t.is_detection() => Verdict::FalsePositive(t.to_string()),
+            Err(t) => Verdict::Crash(t.to_string()),
+        },
+        Some(f) => match &e.result {
+            Err(t) if t.is_detection() => {
+                // Trap during op k leaves the beacon at k (only completed
+                // ops advance it).
+                if e.beacon == f.victim_index() as u64 {
+                    Verdict::Detected
+                } else {
+                    Verdict::DetectedWrongSite { beacon: e.beacon }
+                }
+            }
+            Ok(_) if e.violations > 0 => Verdict::Tolerated,
+            Ok(_) => Verdict::Missed,
+            Err(t) => Verdict::Crash(t.to_string()),
+        },
+    }
+}
+
+/// The detection model: which verdicts each scheme is *allowed* to produce
+/// for each fault kind. Anything outside this set is a disagreement worth
+/// shrinking. `None` kind means the safe (uninjected) program, where every
+/// scheme must `Pass`.
+pub fn allowed(scheme: FScheme, kind: Option<FaultKind>) -> &'static [&'static str] {
+    use FaultKind::*;
+    let Some(kind) = kind else {
+        return &["pass"];
+    };
+    match scheme {
+        // Native has no checks: it misses, or stumbles into a hardware
+        // fault by luck.
+        FScheme::Native => &["missed", "crash"],
+        // SGXBounds (any fail-stop variant without narrowing) detects every
+        // whole-object violation and by design misses intra-object ones
+        // (paper §8).
+        FScheme::SgxBounds | FScheme::SgxBoundsNoOpt => match kind {
+            IntraObject => &["missed"],
+            _ => &["detected"],
+        },
+        // Narrowing additionally catches intra-object overflows.
+        FScheme::SgxBoundsNarrow => &["detected"],
+        // Boundless mode never stops: violations are logged and tolerated.
+        // Wrapper violations fail hard even in boundless mode (§4.2), so
+        // "detected" stays allowed.
+        FScheme::SgxBoundsBoundless => match kind {
+            IntraObject => &["missed"],
+            _ => &["tolerated", "detected"],
+        },
+        // ASan catches redzone-adjacent violations and (with interceptors)
+        // wrapper overflows; far overflows may jump the redzone and
+        // intra-object accesses never leave the allocation. A missed wild
+        // write can corrupt an adjacent object and crash the program
+        // downstream, so "crash" rides along wherever "missed" writes are
+        // possible.
+        FScheme::Asan => match kind {
+            HeapOverflowFar => &["detected", "missed", "crash"],
+            IntraObject => &["missed"],
+            _ => &["detected"],
+        },
+        // MPX tracks pointer bounds but loses them through int laundering
+        // (CastRoundtrip) and does not intercept libc wrappers; Table 4
+        // scores it 2/16 for good reason. As with ASan, a missed write may
+        // corrupt neighbors (including MPX's own in-memory bounds tables)
+        // and crash later.
+        FScheme::Mpx => match kind {
+            IntraObject => &["missed"],
+            MemcpyOverflow | StrcpyOverflow => &["missed", "crash"],
+            _ => &["detected", "missed", "crash"],
+        },
+    }
+}
+
+/// True when `v` is within the detection model for `(scheme, kind)`.
+pub fn verdict_ok(scheme: FScheme, kind: Option<FaultKind>, v: &Verdict) -> bool {
+    allowed(scheme, kind).contains(&v.label())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::inject::{inject, ALL_KINDS};
+
+    #[test]
+    fn native_execution_is_deterministic() {
+        let prog = generate(17, 20);
+        let a = exec(&prog, FScheme::Native);
+        let b = exec(&prog, FScheme::Native);
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.beacon, b.beacon);
+    }
+
+    #[test]
+    fn safe_program_passes_under_every_scheme() {
+        let prog = generate(23, 20);
+        let native = exec(&prog, FScheme::Native).result.expect("native ok");
+        for s in ALL_SCHEMES {
+            let e = exec(&prog, s);
+            let v = classify(None, native, &e);
+            assert_eq!(v, Verdict::Pass, "{}: {:?}", s.label(), e.result);
+        }
+    }
+
+    #[test]
+    fn sgxbounds_detects_heap_overflow_at_the_right_site() {
+        let prog = generate(29, 12);
+        let (fprog, fault) = inject(&prog, FaultKind::HeapOverflow, 1);
+        let e = exec(&fprog, FScheme::SgxBounds);
+        let v = classify(Some(&fault), 0, &e);
+        assert_eq!(v, Verdict::Detected, "exec: {:?}", e);
+    }
+
+    #[test]
+    fn intra_object_needs_narrowing() {
+        let prog = generate(31, 12);
+        let (fprog, fault) = inject(&prog, FaultKind::IntraObject, 2);
+        let plain = classify(Some(&fault), 0, &exec(&fprog, FScheme::SgxBounds));
+        assert_eq!(plain, Verdict::Missed);
+        let narrow = classify(Some(&fault), 0, &exec(&fprog, FScheme::SgxBoundsNarrow));
+        assert_eq!(narrow, Verdict::Detected);
+    }
+
+    #[test]
+    fn boundless_tolerates_heap_overflow() {
+        let prog = generate(37, 12);
+        let (fprog, fault) = inject(&prog, FaultKind::HeapOverflow, 3);
+        let e = exec(&fprog, FScheme::SgxBoundsBoundless);
+        let v = classify(Some(&fault), 0, &e);
+        assert!(
+            verdict_ok(
+                FScheme::SgxBoundsBoundless,
+                Some(FaultKind::HeapOverflow),
+                &v
+            ),
+            "boundless verdict {v:?}"
+        );
+    }
+
+    #[test]
+    fn every_kind_matches_the_detection_model_on_a_few_seeds() {
+        for seed in [41u64, 43, 47] {
+            let prog = generate(seed, 12);
+            for kind in ALL_KINDS {
+                let (fprog, fault) = inject(&prog, kind, seed);
+                for s in ALL_SCHEMES {
+                    let e = exec(&fprog, s);
+                    let v = classify(Some(&fault), 0, &e);
+                    assert!(
+                        verdict_ok(s, Some(kind), &v),
+                        "seed {seed} {kind:?} under {}: verdict {v:?} (exec {:?})",
+                        s.label(),
+                        e.result
+                    );
+                }
+            }
+        }
+    }
+}

@@ -3,13 +3,91 @@
 //! Usage: `repro <experiment>... [--quick] [--tiny|--mini|--paper]`
 //! where experiment is one of: fig1 fig7 fig8 table3 fig9 fig10 table4
 //! fig11 fig12 fig13 cases all.
+//!
+//! `repro fuzz [--seeds N] [--seed0 N] [--max-ops N] [--no-shrink]
+//! [--corpus <path>]` runs the differential fuzzing campaign (and/or
+//! replays a corpus file) instead.
 
 use sgxs_harness::exp::{self, Effort};
 use sgxs_sim::Preset;
 use sgxs_workloads::SizeClass;
 
+/// Parses and runs the `fuzz` subcommand; exits the process when done.
+fn fuzz_main(args: &[String]) -> ! {
+    let mut opts = sgxs_fuzz::FuzzOpts::default();
+    let mut corpus: Option<String> = None;
+    let mut it = args.iter();
+    let parse_u64 = |flag: &str, it: &mut std::slice::Iter<'_, String>| -> u64 {
+        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("fuzz: {flag} needs a numeric argument");
+            std::process::exit(2);
+        })
+    };
+    let mut ran_seeds = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                opts.seeds = parse_u64("--seeds", &mut it);
+                ran_seeds = true;
+            }
+            "--seed0" => opts.seed0 = parse_u64("--seed0", &mut it),
+            "--max-ops" => opts.max_ops = parse_u64("--max-ops", &mut it) as usize,
+            "--no-shrink" => opts.shrink = false,
+            "--corpus" => {
+                corpus = Some(it.next().cloned().unwrap_or_else(|| {
+                    eprintln!("fuzz: --corpus needs a file path");
+                    std::process::exit(2);
+                }))
+            }
+            other => {
+                eprintln!("fuzz: unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut failed = false;
+    if let Some(path) = &corpus {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("fuzz: cannot read corpus {path}: {e}");
+            std::process::exit(2);
+        });
+        let entries = sgxs_fuzz::parse_corpus(&text).unwrap_or_else(|e| {
+            eprintln!("fuzz: {e}");
+            std::process::exit(2);
+        });
+        println!("replaying {} corpus entries from {path}", entries.len());
+        for entry in &entries {
+            let bad = entry.replay();
+            if bad.is_empty() {
+                continue;
+            }
+            failed = true;
+            for (scheme, v) in bad {
+                println!(
+                    "  corpus entry '{}': {} produced {:?}",
+                    entry.to_line(),
+                    scheme.label(),
+                    v
+                );
+            }
+        }
+        if !failed {
+            println!("corpus clean: every entry matches the detection model\n");
+        }
+    }
+    if corpus.is_none() || ran_seeds {
+        let report = sgxs_fuzz::run_campaign(&opts);
+        println!("{}", report.render());
+        failed |= !report.disagreements.is_empty();
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("fuzz") {
+        fuzz_main(&args[1..]);
+    }
     let mut preset = Preset::Mini;
     let mut effort = Effort::Full;
     let mut wanted: Vec<String> = Vec::new();
@@ -25,7 +103,8 @@ fn main() {
     if wanted.is_empty() {
         eprintln!(
             "usage: repro <fig1|fig7|fig8|table3|fig9|fig10|table4|fig11|fig12|fig13|cases|all> \
-             [--quick] [--tiny|--mini|--paper]"
+             [--quick] [--tiny|--mini|--paper]\n       \
+             repro fuzz [--seeds N] [--seed0 N] [--max-ops N] [--no-shrink] [--corpus FILE]"
         );
         std::process::exit(2);
     }

@@ -1,0 +1,421 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The container builds with no crates.io access, so the workspace vendors
+//! this minimal drop-in. It keeps the `proptest!` surface the tests are
+//! written against — strategies, `prop_assert*`, `prop_assume!`,
+//! `prop_oneof!`, `prop::collection::vec`, `any::<T>()` — with two
+//! deliberate simplifications:
+//!
+//! - **Deterministic cases.** Each test derives its RNG seed from its own
+//!   name, so runs are reproducible without a persisted failure file.
+//! - **No shrinking.** On failure the harness prints the failing case's
+//!   inputs (`Debug`) and the case index; minimization is left to the
+//!   caller (the `sgxs-fuzz` crate has a real shrinker for the cases where
+//!   it matters).
+
+/// Run-count configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] expansion.
+pub mod test_runner {
+    pub use super::ProptestConfig as Config;
+    use rand::prelude::*;
+
+    /// The RNG driving case generation.
+    pub type TestRng = SmallRng;
+
+    /// Builds the deterministic per-test RNG: the seed is an FNV-1a hash
+    /// of the test name, so every test gets a distinct but stable stream.
+    pub fn new_rng(test_name: &str) -> TestRng {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        SmallRng::seed_from_u64(h)
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use rand::prelude::*;
+    use rand::SampleUniform;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for std::ops::Range<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.gen_range(self.start..self.end)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident / $i:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(S0 / 0);
+    impl_tuple_strategy!(S0 / 0, S1 / 1);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+
+    /// Uniform choice among boxed strategies (built by [`prop_oneof!`]).
+    pub struct OneOf<T> {
+        choices: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Wraps the given alternatives.
+        pub fn new(choices: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!choices.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { choices }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.choices[rng.gen_range(0..self.choices.len())].sample(rng)
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (**self).sample(rng)
+        }
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::prelude::*;
+
+    /// `Vec` of `len` in `sizes` whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, sizes: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.sizes.start..self.sizes.end);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::prelude::*;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy for the full range of `T`.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Everything tests normally import.
+pub mod prelude {
+    pub use super::arbitrary::any;
+    pub use super::strategy::{Just, Strategy};
+    pub use super::ProptestConfig;
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::ops::ControlFlow::Break(());
+        }
+    };
+}
+
+/// Uniform choice among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(Box::new($arm) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Defines property tests. Supports the two parameter forms the workspace
+/// uses: `name(x in strategy, ...)` and `name(x: Type, ...)`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands each `fn` item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    // `x in strategy` parameters.
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_run(
+                &$cfg,
+                stringify!($name),
+                |__rng| { ($($crate::strategy::Strategy::sample(&($strat), __rng),)+) },
+                |($($arg,)+)| { $body ::std::ops::ControlFlow::Continue(()) },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    // `x: Type` parameters (sugar for `x in any::<Type>()`).
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident : $ty:ty),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_run(
+                &$cfg,
+                stringify!($name),
+                |__rng| { ($($crate::strategy::Strategy::sample(&$crate::arbitrary::any::<$ty>(), __rng),)+) },
+                |($($arg,)+)| { $body ::std::ops::ControlFlow::Continue(()) },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Runs `cases` sampled inputs through `body`, reporting the failing case
+/// before propagating its panic. Not part of the public API.
+#[doc(hidden)]
+pub fn __proptest_run<I: std::fmt::Debug>(
+    cfg: &ProptestConfig,
+    name: &str,
+    mut sample: impl FnMut(&mut test_runner::TestRng) -> I,
+    mut body: impl FnMut(I) -> std::ops::ControlFlow<()>,
+) {
+    let mut rng = test_runner::new_rng(name);
+    for case in 0..cfg.cases {
+        let input = sample(&mut rng);
+        let desc = format!("{input:?}");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(input)));
+        match result {
+            Ok(_) => {}
+            Err(payload) => {
+                eprintln!("proptest(shim): {name} failed at case {case}/{}", cfg.cases);
+                eprintln!("proptest(shim): failing input: {desc}");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 5u32..10, y in 0usize..3) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!(y < 3);
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0u64..100, 1..7)) {
+            prop_assert!(!v.is_empty() && v.len() < 7);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn typed_params_cover_full_range(a: u32, b: u64) {
+            // Smoke: values exist; no constraint to violate.
+            let _ = (a, b);
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        use super::strategy::Strategy;
+        let s = prop_oneof![
+            (0u32..1).prop_map(|_| 1usize),
+            (0u32..1).prop_map(|_| 2usize),
+            Just(3usize),
+        ];
+        let mut rng = super::test_runner::new_rng("oneof");
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.sample(&mut rng)] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use super::strategy::Strategy;
+        let s = prop::collection::vec(0u64..1000, 3..10);
+        let a: Vec<Vec<u64>> = {
+            let mut rng = super::test_runner::new_rng("det");
+            (0..5).map(|_| s.sample(&mut rng)).collect()
+        };
+        let b: Vec<Vec<u64>> = {
+            let mut rng = super::test_runner::new_rng("det");
+            (0..5).map(|_| s.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -69,7 +69,9 @@ fn hoist_function(f: &mut Function, sb_violation: sgxs_mir::ir::IntrinsicId) -> 
         }
         let accesses = affine_accesses(f, cl);
         // Group by (base, scale); keep the max (disp + width) per group.
-        let mut groups: HashMap<(Operand, u32), (i64, Vec<(BlockId, usize)>)> = HashMap::new();
+        // Per (base, scale): max (disp + width) seen, plus every access site.
+        type Group = (i64, Vec<(BlockId, usize)>);
+        let mut groups: HashMap<(Operand, u32), Group> = HashMap::new();
         for a in accesses {
             if a.scale as u64 * cl.step > MAX_STRIDE {
                 continue;

@@ -92,7 +92,76 @@ mod tests {
         assert!(violates(ptr_of(raw), 1, 0, ub_of(raw)));
     }
 
+    /// Naive reference semantics: the access `[p, p+size)` within `[lb,
+    /// ub)`, computed in unbounded (u64) arithmetic with no masking tricks.
+    fn violates_ref(p: u32, size: u32, lb: u32, ub: u32) -> bool {
+        let start = p as u64;
+        let end = p as u64 + size as u64;
+        start < lb as u64 || end > ub as u64
+    }
+
+    #[test]
+    fn violates_matches_reference_at_32bit_edges() {
+        // Cross product of the addresses where 32-bit wraparound or
+        // off-by-one errors would hide: 0, 1, UB-1, UB, and the top of the
+        // address space.
+        let interesting = [
+            0u32,
+            1,
+            0xFF,
+            0x100,
+            0x1FF,
+            0x200,
+            u32::MAX - 8,
+            u32::MAX - 1,
+            u32::MAX,
+        ];
+        let bounds = [
+            (0u32, 0u32),
+            (0, 0x200),
+            (0x100, 0x200),
+            (0x100, u32::MAX),
+            (u32::MAX - 4, u32::MAX),
+        ];
+        for p in interesting {
+            for size in [1u32, 2, 4, 8, 4096] {
+                for (lb, ub) in bounds {
+                    assert_eq!(
+                        violates(p, size, lb, ub),
+                        violates_ref(p, size, lb, ub),
+                        "p={p:#x} size={size} lb={lb:#x} ub={ub:#x}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn access_wrapping_past_u32_max_always_flags() {
+        // p + size overflows 32 bits: the checked form must not wrap to a
+        // small in-bounds-looking address.
+        assert!(violates(u32::MAX, 8, 0, u32::MAX));
+        assert!(violates(u32::MAX - 3, 8, u32::MAX - 16, u32::MAX));
+        // ...but the same access fitting exactly under UB is fine.
+        assert!(!violates(u32::MAX - 8, 8, u32::MAX - 16, u32::MAX));
+    }
+
+    #[test]
+    fn with_ptr_survives_extreme_wild_values() {
+        let t = make(0x4000, 0x4100);
+        for wild in [0u64, 1, PTR_MASK, TAG_MASK, u64::MAX, 0xDEAD_BEEF_0000_0000] {
+            let moved = with_ptr(t, wild);
+            assert_eq!(ub_of(moved), 0x4100, "wild={wild:#x} corrupted the tag");
+            assert_eq!(ptr_of(moved) as u64, wild & PTR_MASK);
+        }
+    }
+
     proptest! {
+        #[test]
+        fn violates_matches_reference_on_random_inputs(p in any::<u32>(), size in 1u32..8192, lb in any::<u32>(), ub in any::<u32>()) {
+            prop_assert_eq!(violates(p, size, lb, ub), violates_ref(p, size, lb, ub));
+        }
+
         #[test]
         fn make_extract_inverse(p: u32, ub: u32) {
             let t = make(p, ub);

@@ -339,7 +339,7 @@ mod paging_asymmetry_tests {
     fn sequential_paging_is_cheap_random_is_catastrophic() {
         let cfg = MachineConfig::preset(Preset::Tiny, Mode::Enclave);
         let ws = cfg.epc_bytes * 2;
-        let accesses = (ws / 64);
+        let accesses = ws / 64;
 
         // Sequential: walk the working set twice, line by line.
         let mut seq = Machine::new(cfg);

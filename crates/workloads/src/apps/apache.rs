@@ -69,7 +69,7 @@ impl Workload for Apache {
                     // Write response headers into the pool.
                     fb.count_loop(0u64, 16u64, |fb, h| {
                         let a = fb.gep(pool, h, 8, 0);
-                        let v = fb.add(h, 0x485454_50u64); // "HTTP"-ish.
+                        let v = fb.add(h, 0x4854_5450u64); // "HTTP"-ish.
                         fb.store(Ty::I64, a, v);
                     });
                     // Record request metadata pointers in the connection

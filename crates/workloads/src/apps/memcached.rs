@@ -35,7 +35,7 @@ impl Workload for Memcached {
     }
 
     fn build(&self, p: &Params) -> Module {
-        let item_size = 1024 / p.scale.max(1).min(16) + 64; // Scaled item payload.
+        let item_size = 1024 / p.scale.clamp(1, 16) + 64; // Scaled item payload.
         let slab_bytes = (1u64 << 20) / p.scale.max(1); // Scaled 1 MB slabs.
         let mut mb = ModuleBuilder::new("memcached");
 
@@ -246,7 +246,7 @@ impl Workload for Memcached {
     }
 
     fn stage(&self, _vm: &mut Vm<'_>, _st: &mut Stager, p: &Params) -> Vec<u64> {
-        let item_size = 1024 / p.scale.max(1).min(16) + 64;
+        let item_size = 1024 / p.scale.clamp(1, 16) + 64;
         let slab_bytes = (1u64 << 20) / p.scale.max(1);
         let ws = p.ws_bytes(PAPER_XL);
         let nslabs = (ws / slab_bytes).max(2);
