@@ -1,7 +1,9 @@
 //! ASan compile-time instrumentation: shadow checks before every access.
 
 use super::{shadow_of, GLOBAL_REDZONE, SHADOW_BASE, SHADOW_SHIFT};
-use sgxs_mir::ir::{AccessAttrs, BinOp, Block, BlockId, CmpOp, Inst, Module, Operand, Term};
+use sgxs_mir::ir::{
+    AccessAttrs, BinOp, Block, BlockId, CheckSite, CmpOp, Inst, Module, Operand, SiteMarker, Term,
+};
 use sgxs_mir::ty::Ty;
 
 /// What the ASan pass did.
@@ -38,10 +40,20 @@ const REDIRECTS: &[(&str, &str)] = &[
 /// Returns the name of the existing scheme if the module is already
 /// instrumented.
 pub fn instrument_asan(module: &mut Module) -> Result<AsanReport, &'static str> {
+    instrument_asan_with(module, false)
+}
+
+/// Like [`instrument_asan`], optionally wrapping every shadow check in
+/// transparent site markers (registered in the module's check-site table).
+pub fn instrument_asan_with(
+    module: &mut Module,
+    markers: bool,
+) -> Result<AsanReport, &'static str> {
     if let Some(s) = module.hardening {
         return Err(s);
     }
     let mut report = AsanReport::default();
+    let mut sites: Vec<CheckSite> = std::mem::take(&mut module.check_sites);
 
     // Redirect allocation intrinsics.
     let mapping: Vec<(sgxs_mir::ir::IntrinsicId, sgxs_mir::ir::IntrinsicId)> = REDIRECTS
@@ -153,7 +165,7 @@ pub fn instrument_asan(module: &mut Module) -> Result<AsanReport, &'static str> 
                 let sa = f.new_reg(Ty::Ptr);
                 let sb = f.new_reg(Ty::I8);
                 let c = f.new_reg(Ty::I64);
-                let check = vec![
+                let mut check = vec![
                     Inst::Bin {
                         op: BinOp::LShr,
                         dst: sh,
@@ -188,6 +200,26 @@ pub fn instrument_asan(module: &mut Module) -> Result<AsanReport, &'static str> 
                     },
                 ];
 
+                // Transparent site markers: Begin ahead of the shadow
+                // check, End in the continuation just before the access.
+                let site = if markers {
+                    let site = sites.len() as u32;
+                    sites.push(CheckSite {
+                        func: f.name.clone(),
+                        kind: "asan",
+                    });
+                    check.insert(
+                        0,
+                        Inst::Site {
+                            site,
+                            marker: SiteMarker::Begin,
+                        },
+                    );
+                    Some(site)
+                } else {
+                    None
+                };
+
                 // Carve out the continuation.
                 let rest: Vec<Inst> = f.blocks[bi].insts.split_off(i);
                 let orig_term = std::mem::replace(&mut f.blocks[bi].term, Term::Unreachable);
@@ -197,6 +229,18 @@ pub fn instrument_asan(module: &mut Module) -> Result<AsanReport, &'static str> 
 
                 let mut cont_insts = rest;
                 set_lowered(&mut cont_insts[0]);
+                let resume_at = if let Some(site) = site {
+                    cont_insts.insert(
+                        0,
+                        Inst::Site {
+                            site,
+                            marker: SiteMarker::End,
+                        },
+                    );
+                    2
+                } else {
+                    1
+                };
                 f.blocks.push(Block {
                     insts: cont_insts,
                     term: orig_term,
@@ -270,12 +314,13 @@ pub fn instrument_asan(module: &mut Module) -> Result<AsanReport, &'static str> 
                     f: cont_id,
                 };
                 report.checks += 1;
-                worklist.push((cont_id.0 as usize, 1));
+                worklist.push((cont_id.0 as usize, resume_at));
                 break;
             }
         }
     }
 
+    module.check_sites = sites;
     module.hardening = Some("asan");
     Ok(report)
 }

@@ -178,11 +178,20 @@ pub fn install_asan(
     });
 
     let rep = reports.clone();
-    vm.register_intrinsic("asan_report", move |_ctx, args| {
+    vm.register_intrinsic("asan_report", move |ctx, args| {
         *rep.borrow_mut() += 1;
         let addr = args.first().copied().unwrap_or(0);
         let size = args.get(1).copied().unwrap_or(0) as u32;
         let is_store = args.get(2).copied().unwrap_or(0) != 0;
+        if ctx.machine.obs_enabled() {
+            let site = ctx.machine.cur_site;
+            ctx.machine.emit(sgxs_sim::obs::Event::CheckFail {
+                site,
+                addr,
+                size,
+                is_store,
+            });
+        }
         Err(report_trap(addr, size, is_store))
     });
 

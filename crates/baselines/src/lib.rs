@@ -11,8 +11,8 @@
 pub mod asan;
 pub mod mpx;
 
-pub use asan::{install_asan, instrument_asan, AsanConfig, AsanRuntime};
-pub use mpx::{install_mpx, instrument_mpx, MpxConfig, MpxRuntime};
+pub use asan::{install_asan, instrument_asan, instrument_asan_with, AsanConfig, AsanRuntime};
+pub use mpx::{install_mpx, instrument_mpx, instrument_mpx_with, MpxConfig, MpxRuntime};
 
 #[cfg(test)]
 mod e2e {

@@ -14,7 +14,9 @@
 //! MPX's weak detection (RIPE 2/16, Table 4).
 
 use super::tables::{INIT_LB, INIT_UB};
-use sgxs_mir::ir::{BinOp, Block, BlockId, CastKind, CmpOp, Inst, Module, Operand, Reg, Term};
+use sgxs_mir::ir::{
+    BinOp, Block, BlockId, CastKind, CheckSite, CmpOp, Inst, Module, Operand, Reg, SiteMarker, Term,
+};
 use sgxs_mir::ty::Ty;
 use std::collections::HashMap;
 
@@ -38,10 +40,17 @@ pub struct MpxReport {
 /// Returns the name of the existing scheme if the module is already
 /// instrumented.
 pub fn instrument_mpx(module: &mut Module) -> Result<MpxReport, &'static str> {
+    instrument_mpx_with(module, false)
+}
+
+/// Like [`instrument_mpx`], optionally wrapping every bndcl/bndcu check in
+/// transparent site markers (registered in the module's check-site table).
+pub fn instrument_mpx_with(module: &mut Module, markers: bool) -> Result<MpxReport, &'static str> {
     if let Some(s) = module.hardening {
         return Err(s);
     }
     let mut report = MpxReport::default();
+    let mut sites: Vec<CheckSite> = std::mem::take(&mut module.check_sites);
 
     let mpx_report = module.intrinsic("mpx_report");
     let bndstx = module.intrinsic("mpx_bndstx");
@@ -238,7 +247,7 @@ pub fn instrument_mpx(module: &mut Module) -> Result<MpxReport, &'static str> {
                 let c1 = f.new_reg(Ty::I64);
                 let c2 = f.new_reg(Ty::I64);
                 let c = f.new_reg(Ty::I64);
-                let check = vec![
+                let mut check = vec![
                     Inst::Bin {
                         op: BinOp::Add,
                         dst: pe,
@@ -264,6 +273,25 @@ pub fn instrument_mpx(module: &mut Module) -> Result<MpxReport, &'static str> {
                         b: c2.into(),
                     },
                 ];
+                // Transparent site markers: Begin ahead of the bndcl/bndcu
+                // pair, End in the continuation just before the access.
+                let site = if markers {
+                    let site = sites.len() as u32;
+                    sites.push(CheckSite {
+                        func: f.name.clone(),
+                        kind: "mpx",
+                    });
+                    check.insert(
+                        0,
+                        Inst::Site {
+                            site,
+                            marker: SiteMarker::Begin,
+                        },
+                    );
+                    Some(site)
+                } else {
+                    None
+                };
                 let mut rest: Vec<Inst> = f.blocks[bi].insts.split_off(i);
                 let orig_term = std::mem::replace(&mut f.blocks[bi].term, Term::Unreachable);
                 set_lowered(&mut rest[0]);
@@ -307,8 +335,14 @@ pub fn instrument_mpx(module: &mut Module) -> Result<MpxReport, &'static str> {
                     }
                     _ => {}
                 }
+                if let Some(site) = site {
+                    cont_insts.push(Inst::Site {
+                        site,
+                        marker: SiteMarker::End,
+                    });
+                }
                 cont_insts.push(access);
-                let resume_at = 1 + after_access.len();
+                let resume_at = cont_insts.len() + after_access.len();
                 cont_insts.extend(after_access);
                 cont_insts.extend(rest);
 
@@ -343,6 +377,7 @@ pub fn instrument_mpx(module: &mut Module) -> Result<MpxReport, &'static str> {
         }
     }
 
+    module.check_sites = sites;
     module.hardening = Some("mpx");
     Ok(report)
 }

@@ -190,11 +190,20 @@ pub fn install_mpx(vm: &mut Vm<'_>, heap: Rc<RefCell<HeapAlloc>>, cfg: MpxConfig
     });
 
     let t = tables.clone();
-    vm.register_intrinsic("mpx_report", move |_ctx, args| {
+    vm.register_intrinsic("mpx_report", move |ctx, args| {
         t.borrow_mut().stats.violations += 1;
         let addr = args.first().copied().unwrap_or(0);
         let size = args.get(1).copied().unwrap_or(0) as u32;
         let is_store = args.get(2).copied().unwrap_or(0) != 0;
+        if ctx.machine.obs_enabled() {
+            let site = ctx.machine.cur_site;
+            ctx.machine.emit(sgxs_sim::obs::Event::CheckFail {
+                site,
+                addr,
+                size,
+                is_store,
+            });
+        }
         Err(Trap::SafetyViolation {
             scheme: "mpx",
             addr,

@@ -58,6 +58,7 @@ fn bench(c: &mut Criterion) {
                 hoist_opt: false,
                 boundless: false,
                 narrow_bounds: false,
+                site_markers: false,
             },
         ),
         (
@@ -67,6 +68,7 @@ fn bench(c: &mut Criterion) {
                 hoist_opt: true,
                 boundless: false,
                 narrow_bounds: false,
+                site_markers: false,
             },
         ),
     ] {

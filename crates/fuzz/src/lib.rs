@@ -30,7 +30,7 @@ pub mod runner;
 pub mod shrink;
 
 use inject::{FaultKind, ALL_KINDS};
-use runner::{classify, exec, verdict_ok, FScheme, Verdict, ALL_SCHEMES};
+use runner::{classify, exec, exec_traced, verdict_ok, FScheme, Verdict, ALL_SCHEMES};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -127,7 +127,13 @@ pub struct Disagreement {
     pub verdict: Verdict,
     /// Minimized reproducer, when shrinking ran.
     pub repro: Option<shrink::Repro>,
+    /// Last events of a traced re-run of the failing execution (empty when
+    /// tracing captured nothing).
+    pub trace: Vec<String>,
 }
+
+/// Events kept per disagreement trace.
+const TRACE_LAST_K: usize = 32;
 
 /// Campaign results.
 #[derive(Debug, Clone, Default)]
@@ -223,6 +229,12 @@ impl Report {
                         let _ = writeln!(s);
                     }
                 }
+                if !d.trace.is_empty() {
+                    let _ = writeln!(s, "    last {} trace events:", d.trace.len());
+                    for line in &d.trace {
+                        let _ = writeln!(s, "      {line}");
+                    }
+                }
             }
         }
         s
@@ -264,6 +276,7 @@ pub fn run_campaign(opts: &FuzzOpts) -> Report {
                     scheme: FScheme::Native,
                     verdict: Verdict::Crash(t.to_string()),
                     repro: None,
+                    trace: exec_traced(&prog, FScheme::Native, TRACE_LAST_K).1,
                 });
                 continue;
             }
@@ -288,6 +301,7 @@ pub fn run_campaign(opts: &FuzzOpts) -> Report {
                     scheme,
                     verdict: v,
                     repro,
+                    trace: exec_traced(&prog, scheme, TRACE_LAST_K).1,
                 });
             }
         }
@@ -315,6 +329,7 @@ pub fn run_campaign(opts: &FuzzOpts) -> Report {
                     scheme,
                     verdict: v,
                     repro,
+                    trace: exec_traced(&fprog, scheme, TRACE_LAST_K).1,
                 });
             }
         }
@@ -429,6 +444,30 @@ mod tests {
         }
         assert_eq!(CorpusEntry::parse("# comment"), None);
         assert_eq!(CorpusEntry::parse(""), None);
+    }
+
+    #[test]
+    fn traced_rerun_matches_plain_and_captures_events() {
+        // The trace attached to a disagreement must come from an execution
+        // that behaves exactly like the one that disagreed: markers and the
+        // recorder may not perturb result, beacon, or violation count.
+        let prog = gen::generate(42, 12);
+        let (fprog, _fault) = inject::inject(&prog, FaultKind::HeapOverflow, 42);
+        for scheme in [FScheme::SgxBounds, FScheme::Asan, FScheme::Mpx] {
+            let plain = exec(&fprog, scheme);
+            let (traced, events) = exec_traced(&fprog, scheme, 32);
+            assert_eq!(
+                format!("{:?}", plain.result),
+                format!("{:?}", traced.result),
+                "{}",
+                scheme.label()
+            );
+            assert_eq!(plain.beacon, traced.beacon, "{}", scheme.label());
+            assert_eq!(plain.violations, traced.violations, "{}", scheme.label());
+            assert!(!events.is_empty(), "{}: no events traced", scheme.label());
+            let (_, again) = exec_traced(&fprog, scheme, 32);
+            assert_eq!(events, again, "{}: trace not deterministic", scheme.label());
+        }
     }
 
     #[test]

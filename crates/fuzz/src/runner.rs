@@ -7,11 +7,14 @@ use crate::inject::{Fault, FaultKind};
 use sgxbounds::SbConfig;
 use sgxs_baselines::asan::runtime::asan_alloc_opts;
 use sgxs_baselines::{
-    install_asan, install_mpx, instrument_asan, instrument_mpx, AsanConfig, MpxConfig,
+    install_asan, install_mpx, instrument_asan_with, instrument_mpx_with, AsanConfig, MpxConfig,
 };
 use sgxs_mir::{verify, GlobalId, Trap, Vm, VmConfig};
 use sgxs_rt::{install_base, AllocOpts};
+use sgxs_sim::obs::{Recorder, TraceRecorder};
 use sgxs_sim::{MachineConfig, Mode, Preset};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// A protection scheme under differential test.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,6 +68,7 @@ impl FScheme {
                 hoist_opt: false,
                 boundless: false,
                 narrow_bounds: false,
+                site_markers: false,
             }),
             FScheme::SgxBoundsNarrow => Some(SbConfig {
                 narrow_bounds: true,
@@ -94,18 +98,36 @@ pub struct Exec {
 
 /// Builds, instruments, and runs `prog` under `scheme`.
 pub fn exec(prog: &Prog, scheme: FScheme) -> Exec {
+    exec_inner(prog, scheme, None)
+}
+
+/// Like [`exec`] but with the observability layer on; returns the run plus
+/// the last `last_k` rendered events (the context attached to
+/// disagreement reports).
+pub fn exec_traced(prog: &Prog, scheme: FScheme, last_k: usize) -> (Exec, Vec<String>) {
+    let rec = Rc::new(RefCell::new(TraceRecorder::new(last_k)));
+    let e = exec_inner(prog, scheme, Some(rec.clone()));
+    let r = Rc::try_unwrap(rec)
+        .expect("machine dropped its recorder handle")
+        .into_inner();
+    (e, r.last_events(last_k))
+}
+
+fn exec_inner(prog: &Prog, scheme: FScheme, rec: Option<Rc<RefCell<dyn Recorder>>>) -> Exec {
+    let markers = rec.is_some();
     let mut module = gen::build(prog);
     match scheme {
         FScheme::Native => {}
         FScheme::Asan => {
-            instrument_asan(&mut module).expect("asan instrumentation");
+            instrument_asan_with(&mut module, markers).expect("asan instrumentation");
         }
         FScheme::Mpx => {
-            instrument_mpx(&mut module).expect("mpx instrumentation");
+            instrument_mpx_with(&mut module, markers).expect("mpx instrumentation");
         }
         _ => {
-            sgxbounds::instrument(&mut module, &scheme.sb_config().expect("sb scheme"))
-                .expect("sgxbounds instrumentation");
+            let mut cfg = scheme.sb_config().expect("sb scheme");
+            cfg.site_markers = markers;
+            sgxbounds::instrument(&mut module, &cfg).expect("sgxbounds instrumentation");
         }
     }
     verify(&module).expect("instrumented fuzz module verifies");
@@ -113,6 +135,7 @@ pub fn exec(prog: &Prog, scheme: FScheme) -> Exec {
     let mut cfg = VmConfig::new(MachineConfig::preset(Preset::Tiny, Mode::Enclave));
     cfg.max_instructions = 4_000_000;
     let mut vm = Vm::new(&module, cfg);
+    vm.machine.set_recorder(rec);
     let asan_cfg = AsanConfig::for_scale(128);
     let heap = match scheme {
         FScheme::Asan => install_base(&mut vm, asan_alloc_opts(&asan_cfg, u32::MAX as u64)),

@@ -94,6 +94,25 @@ pub fn run(preset: Preset) -> Cases {
     Cases { rows }
 }
 
+impl Cases {
+    /// Machine-readable form for `results/bench.json`.
+    pub fn to_json(&self) -> sgxs_obs::json::Json {
+        use sgxs_obs::json::Json;
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("case", r.case.into()),
+                    ("scheme", r.scheme.as_str().into()),
+                    ("verdict", r.verdict.as_str().into()),
+                ])
+            })
+            .collect();
+        Json::obj(vec![("rows", Json::Arr(rows))])
+    }
+}
+
 impl fmt::Display for Cases {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Section 7 security case studies")?;

@@ -3,8 +3,9 @@
 //! early in the sweep; ASan is stable but slow and memory-hungry;
 //! SGXBounds stays within ~35% of native SGX with near-zero extra memory.
 
-use crate::report::{fmt_bytes, fmt_ratio, ratio, Table};
+use crate::report::{fmt_bytes, fmt_ratio, json_opt_f64, json_opt_u64, ratio, Table};
 use crate::scheme::{run_one, RunConfig, Scheme};
+use sgxs_obs::json::Json;
 use sgxs_sim::Preset;
 use sgxs_workloads::apps::sqlite::{Sqlite, BYTES_PER_ROW};
 use std::fmt;
@@ -62,6 +63,40 @@ pub fn run(preset: Preset, steps: usize) -> Fig1 {
         });
     }
     Fig1 { points }
+}
+
+impl Fig1 {
+    /// Machine-readable form for `results/bench.json`.
+    pub fn to_json(&self) -> Json {
+        let points: Vec<Json> = self
+            .points
+            .iter()
+            .map(|p| {
+                Json::obj(vec![
+                    ("rows", p.rows.into()),
+                    ("ws_bytes", p.ws_bytes.into()),
+                    (
+                        "perf_vs_sgx",
+                        Json::obj(vec![
+                            ("mpx", json_opt_f64(p.perf[0])),
+                            ("asan", json_opt_f64(p.perf[1])),
+                            ("sgxbounds", json_opt_f64(p.perf[2])),
+                        ]),
+                    ),
+                    (
+                        "peak_reserved_bytes",
+                        Json::obj(vec![
+                            ("sgx", p.base_mem.into()),
+                            ("mpx", json_opt_u64(p.mem[0])),
+                            ("asan", json_opt_u64(p.mem[1])),
+                            ("sgxbounds", json_opt_u64(p.mem[2])),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![("points", Json::Arr(points))])
+    }
 }
 
 impl fmt::Display for Fig1 {

@@ -2,8 +2,9 @@
 //! over native SGX on Phoenix + PARSEC (8 threads).
 
 use super::Effort;
-use crate::report::{fmt_ratio, geomean, ratio, Table};
+use crate::report::{fmt_ratio, geomean, json_scheme_triple, ratio, Table};
 use crate::scheme::{run_one, RunConfig, Scheme};
+use sgxs_obs::json::Json;
 use sgxs_sim::Preset;
 use std::fmt;
 
@@ -60,6 +61,28 @@ pub fn run(preset: Preset, effort: Effort) -> Fig7 {
         gmean_perf: [0, 1, 2].map(|i| col(&|r| r.perf, i)),
         gmean_mem: [0, 1, 2].map(|i| col(&|r| r.mem, i)),
         rows,
+    }
+}
+
+impl Fig7 {
+    /// Machine-readable form for `results/bench.json`.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("benchmark", r.name.as_str().into()),
+                    ("perf", json_scheme_triple(r.perf)),
+                    ("mem", json_scheme_triple(r.mem)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("rows", Json::Arr(rows)),
+            ("gmean_perf", json_scheme_triple(self.gmean_perf)),
+            ("gmean_mem", json_scheme_triple(self.gmean_mem)),
+        ])
     }
 }
 

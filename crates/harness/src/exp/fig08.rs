@@ -4,6 +4,7 @@
 
 use crate::report::{fmt_bytes, fmt_ratio, ratio, Table};
 use crate::scheme::{run_one, Measured, RunConfig, Scheme};
+use sgxs_obs::json::Json;
 use sgxs_sim::Preset;
 use sgxs_workloads::SizeClass;
 use std::fmt;
@@ -104,7 +105,55 @@ pub fn run(preset: Preset, sizes: &[SizeClass]) -> Fig8 {
     Fig8 { sweeps }
 }
 
+fn counter_json(cs: &CounterSet) -> Json {
+    Json::obj(vec![
+        ("llc_miss_pct", cs.llc_pct.into()),
+        ("epc_faults", cs.faults.into()),
+        ("bounds_tables", cs.bts.into()),
+    ])
+}
+
 impl Fig8 {
+    /// Machine-readable form for `results/bench.json` (covers Table 3's
+    /// counters too).
+    pub fn to_json(&self) -> Json {
+        let sweeps: Vec<Json> = self
+            .sweeps
+            .iter()
+            .map(|s| {
+                let cells: Vec<Json> = s
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        let opt = |x: &Option<CounterSet>| {
+                            x.as_ref().map(counter_json).unwrap_or(Json::Null)
+                        };
+                        Json::obj(vec![
+                            ("size", format!("{:?}", c.size).into()),
+                            ("ws_bytes", c.ws_bytes.into()),
+                            (
+                                "vs_sgxbounds",
+                                Json::obj(vec![
+                                    ("sgx", crate::report::json_opt_f64(c.vs_sgxbounds[0])),
+                                    ("mpx", crate::report::json_opt_f64(c.vs_sgxbounds[1])),
+                                    ("asan", crate::report::json_opt_f64(c.vs_sgxbounds[2])),
+                                ]),
+                            ),
+                            ("counters_sgxbounds", counter_json(&c.sgxb)),
+                            ("counters_asan", opt(&c.asan)),
+                            ("counters_mpx", opt(&c.mpx)),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("benchmark", s.name.as_str().into()),
+                    ("cells", Json::Arr(cells)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![("sweeps", Json::Arr(sweeps))])
+    }
+
     /// Renders Table 3 (counters for kmeans and matrixmul).
     pub fn table3(&self) -> String {
         let mut out =

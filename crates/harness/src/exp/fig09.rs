@@ -3,8 +3,9 @@
 //! with thread count.
 
 use super::Effort;
-use crate::report::{fmt_ratio, geomean, ratio, Table};
+use crate::report::{fmt_ratio, geomean, json_opt_f64, ratio, Table};
 use crate::scheme::{run_one, RunConfig, Scheme};
+use sgxs_obs::json::Json;
 use sgxs_sim::Preset;
 use std::fmt;
 
@@ -52,6 +53,32 @@ pub fn run(preset: Preset, effort: Effort) -> Fig9 {
     }
     let gmean = [0, 1, 2, 3].map(|i| geomean(rows.iter().filter_map(|r| r.over[i])));
     Fig9 { rows, gmean }
+}
+
+fn quad(vals: [Option<f64>; 4]) -> Json {
+    Json::obj(vec![
+        ("asan_1t", json_opt_f64(vals[0])),
+        ("asan_4t", json_opt_f64(vals[1])),
+        ("sgxbounds_1t", json_opt_f64(vals[2])),
+        ("sgxbounds_4t", json_opt_f64(vals[3])),
+    ])
+}
+
+impl Fig9 {
+    /// Machine-readable form for `results/bench.json`.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("benchmark", r.name.as_str().into()),
+                    ("over", quad(r.over)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![("rows", Json::Arr(rows)), ("gmean", quad(self.gmean))])
+    }
 }
 
 impl fmt::Display for Fig9 {

@@ -2,9 +2,10 @@
 //! safe-access only / hoisting only / both (paper §4.4, §6.5).
 
 use super::Effort;
-use crate::report::{fmt_ratio, geomean, ratio, Table};
+use crate::report::{fmt_ratio, geomean, json_opt_f64, ratio, Table};
 use crate::scheme::{run_one, RunConfig, Scheme};
 use sgxbounds::SbConfig;
+use sgxs_obs::json::Json;
 use sgxs_sim::Preset;
 use std::fmt;
 
@@ -18,6 +19,7 @@ pub fn variants() -> [(&'static str, SbConfig); 4] {
                 hoist_opt: false,
                 boundless: false,
                 narrow_bounds: false,
+                site_markers: false,
             },
         ),
         (
@@ -27,6 +29,7 @@ pub fn variants() -> [(&'static str, SbConfig); 4] {
                 hoist_opt: false,
                 boundless: false,
                 narrow_bounds: false,
+                site_markers: false,
             },
         ),
         (
@@ -36,6 +39,7 @@ pub fn variants() -> [(&'static str, SbConfig); 4] {
                 hoist_opt: true,
                 boundless: false,
                 narrow_bounds: false,
+                site_markers: false,
             },
         ),
         ("all", SbConfig::default()),
@@ -83,6 +87,35 @@ pub fn run(preset: Preset, effort: Effort) -> Fig10 {
     }
     let gmean = [0, 1, 2, 3].map(|i| geomean(rows.iter().filter_map(|r| r.over[i])));
     Fig10 { rows, gmean }
+}
+
+fn variant_obj(vals: [Option<f64>; 4]) -> Json {
+    Json::obj(vec![
+        ("none", json_opt_f64(vals[0])),
+        ("safe", json_opt_f64(vals[1])),
+        ("hoist", json_opt_f64(vals[2])),
+        ("all", json_opt_f64(vals[3])),
+    ])
+}
+
+impl Fig10 {
+    /// Machine-readable form for `results/bench.json`.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("benchmark", r.name.as_str().into()),
+                    ("over", variant_obj(r.over)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("rows", Json::Arr(rows)),
+            ("gmean", variant_obj(self.gmean)),
+        ])
+    }
 }
 
 impl fmt::Display for Fig10 {

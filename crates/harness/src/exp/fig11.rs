@@ -2,8 +2,9 @@
 //! overheads over native SGX. MPX fails astar, mcf, and xalancbmk.
 
 use super::Effort;
-use crate::report::{fmt_ratio, geomean, ratio, Table};
+use crate::report::{fmt_ratio, geomean, json_scheme_triple, ratio, Table};
 use crate::scheme::{run_one, RunConfig, Scheme};
+use sgxs_obs::json::Json;
 use sgxs_sim::{Mode, Preset};
 use std::fmt;
 
@@ -76,6 +77,29 @@ pub fn run(preset: Preset, effort: Effort) -> SpecFig {
         Mode::Enclave,
         "Figure 11: SPEC inside the enclave — overheads over native SGX",
     )
+}
+
+impl SpecFig {
+    /// Machine-readable form for `results/bench.json`.
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .rows
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("benchmark", r.name.as_str().into()),
+                    ("perf", json_scheme_triple(r.perf)),
+                    ("mem", json_scheme_triple(r.mem)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("caption", self.caption.into()),
+            ("rows", Json::Arr(rows)),
+            ("gmean_perf", json_scheme_triple(self.gmean_perf)),
+            ("gmean_mem", json_scheme_triple(self.gmean_mem)),
+        ])
+    }
 }
 
 impl fmt::Display for SpecFig {

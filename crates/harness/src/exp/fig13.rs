@@ -1,8 +1,9 @@
 //! Figure 13: case-study servers — throughput/latency across client
 //! concurrency plus the peak-memory table (Memcached, Apache, Nginx).
 
-use crate::report::{fmt_bytes, Table};
+use crate::report::{fmt_bytes, json_opt_f64, json_opt_u64, Table};
 use crate::scheme::{run_one, RunConfig, Scheme};
+use sgxs_obs::json::Json;
 use sgxs_sim::{Mode, Preset};
 use sgxs_workloads::apps::{apache::Apache, memcached::Memcached, nginx::Nginx};
 use sgxs_workloads::Workload;
@@ -104,6 +105,34 @@ pub fn run(preset: Preset, client_steps: &[u32], req_per_client: u64) -> Fig13 {
 }
 
 impl Fig13 {
+    /// Machine-readable form for `results/bench.json`.
+    pub fn to_json(&self) -> Json {
+        let apps: Vec<Json> = self
+            .apps
+            .iter()
+            .map(|app| {
+                let samples: Vec<Json> = app
+                    .samples
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("clients", s.clients.into()),
+                            ("scheme", s.scheme.into()),
+                            ("throughput_req_per_mcycle", json_opt_f64(s.throughput)),
+                            ("latency_cycles", json_opt_f64(s.latency)),
+                            ("peak_reserved_bytes", json_opt_u64(s.peak_mem)),
+                        ])
+                    })
+                    .collect();
+                Json::obj(vec![
+                    ("app", app.name.as_str().into()),
+                    ("samples", Json::Arr(samples)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![("apps", Json::Arr(apps))])
+    }
+
     /// Peak memory table at the highest client count (the paper's
     /// "memory usage for peak throughput" table).
     pub fn memory_table(&self) -> String {

@@ -7,6 +7,7 @@ use sgxs_baselines::{
     install_asan, install_mpx, instrument_asan, instrument_mpx, AsanConfig, MpxConfig,
 };
 use sgxs_mir::{verify, Module, Trap, Vm, VmConfig};
+use sgxs_obs::json::Json;
 use sgxs_rt::{install_base, AllocOpts};
 use sgxs_sim::{MachineConfig, Preset};
 use sgxs_workloads::apps::ripe::{self, AttackConfig};
@@ -86,6 +87,45 @@ pub fn run(preset: Preset) -> Tab4 {
 }
 
 impl Tab4 {
+    /// Machine-readable form for `results/bench.json`.
+    pub fn to_json(&self) -> Json {
+        let cell = |o: Outcome| {
+            Json::Str(
+                match o {
+                    Outcome::Prevented => "prevented",
+                    Outcome::Succeeded => "hijacked",
+                    Outcome::Other => "other",
+                }
+                .into(),
+            )
+        };
+        let attacks: Vec<Json> = self
+            .matrix
+            .iter()
+            .map(|(cfg, o)| {
+                Json::obj(vec![
+                    ("attack", cfg.label().into()),
+                    ("mpx", cell(o[0])),
+                    ("asan", cell(o[1])),
+                    ("sgxbounds", cell(o[2])),
+                ])
+            })
+            .collect();
+        let p = self.prevented();
+        Json::obj(vec![
+            ("attacks", Json::Arr(attacks)),
+            (
+                "prevented",
+                Json::obj(vec![
+                    ("mpx", p[0].into()),
+                    ("asan", p[1].into()),
+                    ("sgxbounds", p[2].into()),
+                    ("total", self.matrix.len().into()),
+                ]),
+            ),
+        ])
+    }
+
     /// Prevented counts in [mpx, asan, sgxbounds] order.
     pub fn prevented(&self) -> [usize; 3] {
         let mut p = [0; 3];

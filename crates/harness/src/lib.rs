@@ -12,8 +12,10 @@
 //! ```
 
 pub mod exp;
+pub mod profile;
 pub mod report;
 pub mod scheme;
 
 pub use exp::Effort;
-pub use scheme::{run_one, Measured, RunConfig, Scheme};
+pub use profile::{profile_one, ProfileRun};
+pub use scheme::{run_one, run_one_obs, Measured, ObsRun, RunConfig, Scheme};

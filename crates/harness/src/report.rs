@@ -44,6 +44,32 @@ pub fn fmt_bytes(b: u64) -> String {
     }
 }
 
+/// `Option<f64>` as JSON; `null` encodes a crashed/missing measurement.
+pub fn json_opt_f64(v: Option<f64>) -> sgxs_obs::json::Json {
+    match v {
+        Some(x) if x.is_finite() => sgxs_obs::json::Json::F64(x),
+        _ => sgxs_obs::json::Json::Null,
+    }
+}
+
+/// `Option<u64>` as JSON; `null` encodes a crashed/missing measurement.
+pub fn json_opt_u64(v: Option<u64>) -> sgxs_obs::json::Json {
+    match v {
+        Some(x) => sgxs_obs::json::Json::U64(x),
+        None => sgxs_obs::json::Json::Null,
+    }
+}
+
+/// `[mpx, asan, sgxbounds]` measurement triple as a keyed JSON object (the
+/// column order every scheme-comparison figure uses).
+pub fn json_scheme_triple(vals: [Option<f64>; 3]) -> sgxs_obs::json::Json {
+    sgxs_obs::json::Json::obj(vec![
+        ("mpx", json_opt_f64(vals[0])),
+        ("asan", json_opt_f64(vals[1])),
+        ("sgxbounds", json_opt_f64(vals[2])),
+    ])
+}
+
 /// A simple aligned text table.
 pub struct Table {
     header: Vec<String>,

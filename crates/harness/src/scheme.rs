@@ -4,12 +4,15 @@
 use sgxbounds::SbConfig;
 use sgxs_baselines::asan::runtime::asan_alloc_opts;
 use sgxs_baselines::{
-    install_asan, install_mpx, instrument_asan, instrument_mpx, AsanConfig, MpxConfig,
+    install_asan, install_mpx, instrument_asan_with, instrument_mpx_with, AsanConfig, MpxConfig,
 };
-use sgxs_mir::{verify, Trap, Vm, VmConfig};
+use sgxs_mir::{verify, CheckSite, Trap, Vm, VmConfig};
 use sgxs_rt::{install_base, AllocOpts, Stager};
+use sgxs_sim::obs::Recorder;
 use sgxs_sim::{MachineConfig, Mode, Preset, Stats};
 use sgxs_workloads::{Params, Workload};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Enclave virtual-memory budget at paper scale (the 4 GB 32-bit space the
 /// paper's §8 discussion assumes). Scaled presets divide it by the machine
@@ -123,12 +126,56 @@ impl RunConfig {
     }
 }
 
+/// An observed execution: the measurement plus everything needed to build a
+/// per-check-site profile from the recorder's event stream.
+#[derive(Debug)]
+pub struct ObsRun {
+    /// The measurement (same fields [`run_one`] reports).
+    pub measured: Measured,
+    /// Check-site table of the instrumented module (index = site ID).
+    pub sites: Vec<CheckSite>,
+    /// Summed per-thread cycles (total CPU time; the denominator for
+    /// app-vs-instrumentation attribution).
+    pub cpu_cycles: u64,
+}
+
 /// Builds, hardens, and runs `workload` under `scheme`.
 pub fn run_one(workload: &dyn Workload, scheme: Scheme, rc: &RunConfig) -> Measured {
+    run_one_inner(workload, scheme, rc, None).measured
+}
+
+/// Like [`run_one`] but with the observability layer on: the instrumentation
+/// passes register site markers for every inserted check and the machine
+/// routes events through `rec`. Passing a
+/// [`NoopRecorder`](sgxs_sim::obs::NoopRecorder) must not change any
+/// simulated counter (markers are transparent and the emit path is gated on
+/// an inlined `enabled()`).
+pub fn run_one_obs(
+    workload: &dyn Workload,
+    scheme: Scheme,
+    rc: &RunConfig,
+    rec: Rc<RefCell<dyn Recorder>>,
+) -> ObsRun {
+    run_one_inner(workload, scheme, rc, Some(rec))
+}
+
+fn run_one_inner(
+    workload: &dyn Workload,
+    scheme: Scheme,
+    rc: &RunConfig,
+    rec: Option<Rc<RefCell<dyn Recorder>>>,
+) -> ObsRun {
+    let markers = rec.is_some();
     let mut module = workload.build(&rc.params);
     let sb_cfg = match scheme {
-        Scheme::SgxBounds => Some(SbConfig::default()),
-        Scheme::SgxBoundsCustom(c) => Some(c),
+        Scheme::SgxBounds => Some(SbConfig {
+            site_markers: markers,
+            ..SbConfig::default()
+        }),
+        Scheme::SgxBoundsCustom(c) => Some(SbConfig {
+            site_markers: markers,
+            ..c
+        }),
         _ => None,
     };
     match scheme {
@@ -138,10 +185,10 @@ pub fn run_one(workload: &dyn Workload, scheme: Scheme, rc: &RunConfig) -> Measu
                 .expect("sgxbounds instrumentation");
         }
         Scheme::Asan => {
-            instrument_asan(&mut module).expect("asan instrumentation");
+            instrument_asan_with(&mut module, markers).expect("asan instrumentation");
         }
         Scheme::Mpx => {
-            instrument_mpx(&mut module).expect("mpx instrumentation");
+            instrument_mpx_with(&mut module, markers).expect("mpx instrumentation");
         }
     }
     if let Err(e) = verify(&module) {
@@ -162,6 +209,7 @@ pub fn run_one(workload: &dyn Workload, scheme: Scheme, rc: &RunConfig) -> Measu
     // scale) so reserved-memory ratios stay comparable across presets.
     cfg.stack_size = ((2u64 << 20) / rc.scale()).max(32 << 10) as u32;
     let mut vm = Vm::new(&module, cfg);
+    vm.machine.set_recorder(rec);
     let cap = rc.enclave_cap();
     let asan_cfg = AsanConfig::for_scale(rc.scale());
     let heap = match scheme {
@@ -191,7 +239,7 @@ pub fn run_one(workload: &dyn Workload, scheme: Scheme, rc: &RunConfig) -> Measu
     let mut st = Stager::new();
     let args = workload.stage(&mut vm, &mut st, &rc.params);
     let out = vm.run("main", &args);
-    Measured {
+    let measured = Measured {
         workload: workload.name().to_owned(),
         scheme: scheme.label(),
         result: out.result,
@@ -203,6 +251,12 @@ pub fn run_one(workload: &dyn Workload, scheme: Scheme, rc: &RunConfig) -> Measu
             .as_ref()
             .map(|r| r.tables.borrow().bt_count())
             .unwrap_or(0),
+    };
+    drop(vm);
+    ObsRun {
+        measured,
+        sites: std::mem::take(&mut module.check_sites),
+        cpu_cycles: out.cpu_cycles,
     }
 }
 

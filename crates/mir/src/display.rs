@@ -1,6 +1,6 @@
 //! Textual printer for the IR, for debugging and golden tests.
 
-use crate::ir::{Block, Function, Inst, Module, Operand, Term};
+use crate::ir::{Block, Function, Inst, Module, Operand, SiteMarker, Term};
 use std::fmt::Write as _;
 
 fn op(o: &Operand) -> String {
@@ -193,6 +193,13 @@ fn inst(i: &Inst, out: &mut String) {
                     let _ = writeln!(out, "    intrinsic #{}({})", intrinsic.0, args.join(", "));
                 }
             }
+        }
+        Inst::Site { site, marker } => {
+            let which = match marker {
+                SiteMarker::Begin => "begin",
+                SiteMarker::End => "end",
+            };
+            let _ = writeln!(out, "    site {which} #{site}");
         }
     }
 }

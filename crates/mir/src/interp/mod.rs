@@ -21,7 +21,10 @@ pub mod trap;
 pub use env::Env;
 pub use trap::{AccessKind, Trap};
 
-use crate::ir::{BinOp, CastKind, CmpOp, FBinOp, FCmpOp, FuncId, Inst, Module, Operand, Reg, Term};
+use crate::ir::{
+    BinOp, CastKind, CmpOp, FBinOp, FCmpOp, FuncId, Inst, Module, Operand, Reg, SiteMarker, Term,
+};
+use sgxs_sim::obs::Event;
 use sgxs_sim::{Machine, MachineConfig, Stats};
 use std::collections::HashMap;
 
@@ -174,6 +177,9 @@ struct Thread {
     sp: u32,
     stack_limit: u32,
     retval: u64,
+    // Check site this thread is inside (site ID, thread cycles at Begin).
+    // Only maintained when an enabled recorder is installed.
+    obs_site: Option<(u32, u64)>,
 }
 
 struct MutexState {
@@ -189,6 +195,9 @@ pub struct RunOutcome {
     pub result: Result<u64, Trap>,
     /// Simulated wall-clock cycles (max over threads).
     pub wall_cycles: u64,
+    /// Summed per-thread cycles (total CPU time; the denominator for
+    /// app-vs-instrumentation cycle attribution).
+    pub cpu_cycles: u64,
     /// Hardware counters.
     pub stats: Stats,
     /// Peak reserved virtual memory in bytes (the paper's memory metric).
@@ -375,6 +384,7 @@ impl<'m> Vm<'m> {
             sp: top,
             stack_limit: limit,
             retval: 0,
+            obs_site: None,
         });
         let frame = self.make_frame(tid, func, args, None)?;
         self.threads[tid].frames.push(frame);
@@ -385,9 +395,11 @@ impl<'m> Vm<'m> {
     pub fn run(&mut self, entry: &str, args: &[u64]) -> RunOutcome {
         let result = self.run_inner(entry, args);
         let wall = self.threads.iter().map(|t| t.cycles).max().unwrap_or(0);
+        let cpu = self.threads.iter().map(|t| t.cycles).sum();
         RunOutcome {
             result,
             wall_cycles: wall,
+            cpu_cycles: cpu,
             stats: self.machine.stats,
             peak_reserved: self.machine.mem.peak_reserved(),
             peak_committed: self.machine.mem.peak_committed(),
@@ -445,7 +457,16 @@ impl<'m> Vm<'m> {
                 .expect("runnable thread has a frame");
             let func = &module.funcs[frame.func];
             let block = &func.blocks[frame.block as usize];
-            let ip = frame.ip as usize;
+            let mut ip = frame.ip as usize;
+            // Site markers are transparent: consume them *outside* the
+            // counted instruction stream so they never retire an
+            // instruction, charge a cycle, or occupy a quantum slot —
+            // instrumented runs keep bit-identical counters and scheduling.
+            while let Some(&Inst::Site { site, marker }) = block.insts.get(ip) {
+                self.note_site(tid, site, marker);
+                ip += 1;
+                self.threads[tid].frames.last_mut().expect("has frame").ip = ip as u32;
+            }
             self.machine.stats.instructions += 1;
             if ip < block.insts.len() {
                 // SAFETY-free borrow dance: instructions are read from the
@@ -461,6 +482,32 @@ impl<'m> Vm<'m> {
             }
         }
         Ok(())
+    }
+
+    /// Handles a transparent site marker: `Begin` snapshots the thread's
+    /// cycle count, `End` emits a `CheckExec` event with the cycle delta.
+    /// Does nothing unless an enabled recorder is installed.
+    fn note_site(&mut self, tid: usize, site: u32, marker: SiteMarker) {
+        if !self.machine.obs_enabled() {
+            return;
+        }
+        match marker {
+            SiteMarker::Begin => {
+                self.threads[tid].obs_site = Some((site, self.threads[tid].cycles));
+            }
+            SiteMarker::End => {
+                // Attribute to the Begin marker's site (tolerating an
+                // unmatched End, which simply drops on the floor).
+                if let Some((begin_site, at)) = self.threads[tid].obs_site.take() {
+                    let cycles = self.threads[tid].cycles.saturating_sub(at);
+                    self.machine.emit(Event::CheckExec {
+                        site: begin_site,
+                        cycles,
+                    });
+                }
+                let _ = site;
+            }
+        }
     }
 
     #[inline]
@@ -789,6 +836,9 @@ impl<'m> Vm<'m> {
                 f.ip += 1;
                 return Ok(());
             }
+            // Site markers are consumed by `run_quantum` before the counted
+            // step; reaching one here is an interpreter bug.
+            Inst::Site { .. } => unreachable!("site markers never retire"),
         }
         frame!().ip += 1;
         Ok(())
@@ -911,6 +961,11 @@ impl<'m> Vm<'m> {
                     .take()
                     .ok_or_else(|| Trap::ThreadError("re-entrant intrinsic handler".into()))?;
                 let core = self.threads[tid].core;
+                // Let violation handlers attribute failures to the check
+                // site the calling thread is inside (if any).
+                if self.machine.obs_enabled() {
+                    self.machine.cur_site = self.threads[tid].obs_site.map(|(s, _)| s);
+                }
                 let mut ctx = IntrinsicCtx {
                     machine: &mut self.machine,
                     env: &mut self.env,

@@ -320,6 +320,37 @@ pub enum Inst {
         intrinsic: IntrinsicId,
         args: Vec<Operand>,
     },
+    /// Observability marker delimiting an inserted check sequence.
+    ///
+    /// Markers are *transparent*: the interpreter consumes them outside the
+    /// counted instruction stream, so they never retire an instruction,
+    /// charge a cycle, or occupy a scheduling-quantum slot. Instrumentation
+    /// passes only emit them when site markers are requested, and `site`
+    /// indexes [`Module::check_sites`].
+    Site { site: u32, marker: SiteMarker },
+}
+
+/// Which end of a check sequence a [`Inst::Site`] marker delimits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteMarker {
+    /// First marker: the check sequence starts at the next instruction.
+    Begin,
+    /// Second marker: the check sequence (including the guarded access, for
+    /// inline lowerings) ended at the previous instruction.
+    End,
+}
+
+/// Metadata for one check site inserted by an instrumentation pass.
+///
+/// Site IDs are indices into [`Module::check_sites`] and are stable for a
+/// given module + pass configuration because passes run deterministically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckSite {
+    /// Function the check was inserted into.
+    pub func: String,
+    /// Check kind label (e.g. `sb_full`, `sb_safe`, `sb_hoist`, `asan`,
+    /// `mpx`).
+    pub kind: &'static str,
 }
 
 /// Block terminator.
@@ -433,6 +464,9 @@ pub struct Module {
     /// Name of the hardening scheme applied, if any. Passes set this and
     /// refuse to instrument a module twice.
     pub hardening: Option<&'static str>,
+    /// Check-site table filled by instrumentation passes when site markers
+    /// are enabled; [`Inst::Site`] markers index into it.
+    pub check_sites: Vec<CheckSite>,
 }
 
 impl Module {
@@ -444,7 +478,18 @@ impl Module {
             funcs: Vec::new(),
             intrinsics: Vec::new(),
             hardening: None,
+            check_sites: Vec::new(),
         }
+    }
+
+    /// Registers a check site and returns its stable ID.
+    pub fn add_check_site(&mut self, func: impl Into<String>, kind: &'static str) -> u32 {
+        let id = self.check_sites.len() as u32;
+        self.check_sites.push(CheckSite {
+            func: func.into(),
+            kind,
+        });
+        id
     }
 
     /// Interns an intrinsic name, returning its id.
@@ -492,7 +537,8 @@ pub fn operands(inst: &Inst) -> Vec<Operand> {
         Inst::ReadLocal { .. }
         | Inst::SlotAddr { .. }
         | Inst::GlobalAddr { .. }
-        | Inst::FuncAddr { .. } => vec![],
+        | Inst::FuncAddr { .. }
+        | Inst::Site { .. } => vec![],
         Inst::WriteLocal { val, .. } => vec![*val],
         Inst::Call { args, .. } | Inst::CallIntrinsic { args, .. } => args.clone(),
         Inst::CallIndirect { target, args, .. } => {
@@ -523,7 +569,7 @@ pub fn def_of(inst: &Inst) -> Option<Reg> {
         Inst::Call { dst, .. }
         | Inst::CallIndirect { dst, .. }
         | Inst::CallIntrinsic { dst, .. } => *dst,
-        Inst::Store { .. } | Inst::WriteLocal { .. } => None,
+        Inst::Store { .. } | Inst::WriteLocal { .. } | Inst::Site { .. } => None,
     }
 }
 

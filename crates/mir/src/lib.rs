@@ -22,8 +22,9 @@ pub mod verify;
 pub use builder::{FuncBuilder, ModuleBuilder};
 pub use interp::{AccessKind, Env, IntrinsicCtx, RunOutcome, Trap, Vm, VmConfig};
 pub use ir::{
-    AccessAttrs, BinOp, Block, BlockId, CastKind, CmpOp, FBinOp, FCmpOp, FuncId, Function, Global,
-    GlobalId, Inst, IntrinsicId, LocalId, Module, Operand, Reg, SlotId, StackSlot, Term,
+    AccessAttrs, BinOp, Block, BlockId, CastKind, CheckSite, CmpOp, FBinOp, FCmpOp, FuncId,
+    Function, Global, GlobalId, Inst, IntrinsicId, LocalId, Module, Operand, Reg, SiteMarker,
+    SlotId, StackSlot, Term,
 };
 pub use ty::Ty;
 pub use verify::{verify, VerifyError};

@@ -112,6 +112,9 @@ pub fn verify(m: &Module) -> Result<(), VerifyError> {
                     Inst::Gep { scale, .. } if *scale == 0 => {
                         return Err(err(bi, "gep with zero scale".into()));
                     }
+                    Inst::Site { site, .. } if *site as usize >= m.check_sites.len() => {
+                        return Err(err(bi, format!("site marker #{site} has no table entry")));
+                    }
                     _ => {}
                 }
             }

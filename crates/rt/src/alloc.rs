@@ -172,6 +172,10 @@ impl HeapAlloc {
         self.stats.allocs += 1;
         self.stats.live_bytes += size as u64;
         self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
+        if ctx.machine.obs_enabled() {
+            ctx.machine
+                .emit(sgxs_sim::obs::Event::Alloc { addr: user, size });
+        }
         Ok(user)
     }
 
@@ -251,6 +255,9 @@ impl HeapAlloc {
             ))
         })?;
         ctx.charge(40);
+        if ctx.machine.obs_enabled() {
+            ctx.machine.emit(sgxs_sim::obs::Event::Free { addr });
+        }
         self.stats.frees += 1;
         self.stats.live_bytes = self.stats.live_bytes.saturating_sub(info.user_size as u64);
         if self.opts.quarantine_bytes > 0 {

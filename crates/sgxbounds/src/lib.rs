@@ -66,6 +66,11 @@ pub struct SbConfig {
     /// Narrow bounds on `gep_field` projections to catch intra-object
     /// overflows (the paper's §8 extension; experimental there and here).
     pub narrow_bounds: bool,
+    /// Emit transparent `site` markers around every inserted check and fill
+    /// the module's check-site table, enabling per-site profiling through
+    /// the obs layer. Markers never retire instructions or charge cycles,
+    /// but they do change the IR shape, so they are off by default.
+    pub site_markers: bool,
 }
 
 impl Default for SbConfig {
@@ -75,6 +80,7 @@ impl Default for SbConfig {
             hoist_opt: true,
             boundless: false,
             narrow_bounds: false,
+            site_markers: false,
         }
     }
 }
@@ -139,6 +145,7 @@ mod e2e {
             hoist_opt: false,
             boundless: false,
             narrow_bounds: false,
+            site_markers: false,
         };
         let (out, _) = run_hardened(&mut heap_writer(), cfg, &[11]);
         assert!(matches!(out.result, Err(Trap::SafetyViolation { .. })));
@@ -389,6 +396,7 @@ mod e2e {
                 hoist_opt: true,
                 boundless: false,
                 narrow_bounds: false,
+                site_markers: false,
             },
             &[11],
         );

@@ -14,7 +14,8 @@
 use sgxs_mir::analysis::cfg::{dominates, dominators};
 use sgxs_mir::analysis::{affine_accesses, counted_loops};
 use sgxs_mir::ir::{
-    def_of, BinOp, Block, BlockId, CmpOp, Function, Inst, Module, Operand, Reg, Term,
+    def_of, BinOp, Block, BlockId, CheckSite, CmpOp, Function, Inst, Module, Operand, Reg,
+    SiteMarker, Term,
 };
 use sgxs_mir::ty::Ty;
 use std::collections::HashMap;
@@ -25,11 +26,19 @@ pub const MAX_STRIDE: u64 = 1024;
 /// Hoists loop bounds checks across the whole module; returns the number of
 /// preheader checks inserted.
 pub fn hoist_loop_checks(module: &mut Module) -> usize {
+    hoist_loop_checks_with(module, false)
+}
+
+/// Like [`hoist_loop_checks`], optionally wrapping every preheader check in
+/// transparent site markers (registered in the module's check-site table).
+pub fn hoist_loop_checks_with(module: &mut Module, markers: bool) -> usize {
     let sb_violation = module.intrinsic("sb_violation");
     let mut hoisted = 0;
+    let mut sites = std::mem::take(&mut module.check_sites);
     for f in &mut module.funcs {
-        hoisted += hoist_function(f, sb_violation);
+        hoisted += hoist_function(f, sb_violation, markers, &mut sites);
     }
+    module.check_sites = sites;
     hoisted
 }
 
@@ -48,7 +57,12 @@ fn single_def_block(f: &Function, r: Reg) -> Option<BlockId> {
     found
 }
 
-fn hoist_function(f: &mut Function, sb_violation: sgxs_mir::ir::IntrinsicId) -> usize {
+fn hoist_function(
+    f: &mut Function,
+    sb_violation: sgxs_mir::ir::IntrinsicId,
+    markers: bool,
+    sites: &mut Vec<CheckSite>,
+) -> usize {
     let loops = counted_loops(f);
     if loops.is_empty() {
         return 0;
@@ -127,7 +141,7 @@ fn hoist_function(f: &mut Function, sb_violation: sgxs_mir::ir::IntrinsicId) -> 
             let limit = f.new_reg(Ty::I64);
             let limit2 = f.new_reg(Ty::I64);
             let c = f.new_reg(Ty::I64);
-            let insts = vec![
+            let mut insts = vec![
                 Inst::Bin {
                     op: BinOp::And,
                     dst: p,
@@ -169,6 +183,24 @@ fn hoist_function(f: &mut Function, sb_violation: sgxs_mir::ir::IntrinsicId) -> 
                     b: ub.into(),
                 },
             ];
+            if markers {
+                let site = sites.len() as u32;
+                sites.push(CheckSite {
+                    func: f.name.clone(),
+                    kind: "sb_hoist",
+                });
+                insts.insert(
+                    0,
+                    Inst::Site {
+                        site,
+                        marker: SiteMarker::Begin,
+                    },
+                );
+                insts.push(Inst::Site {
+                    site,
+                    marker: SiteMarker::End,
+                });
+            }
             // Fail block.
             let fail_id = BlockId(f.blocks.len() as u32);
             f.blocks.push(Block {

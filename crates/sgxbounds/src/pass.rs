@@ -19,7 +19,8 @@
 use crate::SbConfig;
 use sgxs_mir::analysis::mark_safe_accesses;
 use sgxs_mir::ir::{
-    AccessAttrs, BinOp, Block, BlockId, CmpOp, Function, Inst, Module, Operand, Term,
+    AccessAttrs, BinOp, Block, BlockId, CheckSite, CmpOp, Function, Inst, Module, Operand,
+    SiteMarker, Term,
 };
 use sgxs_mir::ty::Ty;
 
@@ -98,7 +99,7 @@ pub fn instrument(module: &mut Module, cfg: &SbConfig) -> Result<InstrumentRepor
     // redirection (a hoisted check has no single access to redirect), so it
     // is applied only in fail-stop mode.
     if cfg.hoist_opt && !cfg.boundless {
-        report.hoisted_checks = crate::opts::hoist_loop_checks(module);
+        report.hoisted_checks = crate::opts::hoist_loop_checks_with(module, cfg.site_markers);
     }
 
     // (2b) Bounds narrowing (paper §8): accesses through narrowed field
@@ -138,7 +139,8 @@ pub fn instrument(module: &mut Module, cfg: &SbConfig) -> Result<InstrumentRepor
 
     // Per-function rewriting.
     for fi in 0..module.funcs.len() {
-        let (masked, lowered) = instrument_function(module, fi, sb_violation, &mut report);
+        let (masked, lowered) =
+            instrument_function(module, fi, sb_violation, &mut report, cfg.site_markers);
         report.geps_masked += masked;
         let _ = lowered;
     }
@@ -174,7 +176,10 @@ fn instrument_function(
     fi: usize,
     sb_violation: sgxs_mir::ir::IntrinsicId,
     report: &mut InstrumentReport,
+    markers: bool,
 ) -> (usize, usize) {
+    let mut sites = std::mem::take(&mut module.check_sites);
+    let fname = module.funcs[fi].name.clone();
     let f = &mut module.funcs[fi];
     let mut masked = 0;
     let mut lowered = 0;
@@ -288,9 +293,31 @@ fn instrument_function(
                 };
                 replace_addr(&mut f.blocks[bi].insts[i], p.into());
                 set_lowered(&mut f.blocks[bi].insts[i]);
-                f.blocks[bi].insts.insert(i, mask);
-                report.safe_elided += 1;
-                i += 2;
+                if markers {
+                    let site = sites.len() as u32;
+                    sites.push(CheckSite {
+                        func: fname.clone(),
+                        kind: "sb_safe",
+                    });
+                    let seq = [
+                        Inst::Site {
+                            site,
+                            marker: SiteMarker::Begin,
+                        },
+                        mask,
+                        Inst::Site {
+                            site,
+                            marker: SiteMarker::End,
+                        },
+                    ];
+                    f.blocks[bi].insts.splice(i..i, seq);
+                    report.safe_elided += 1;
+                    i += 4;
+                } else {
+                    f.blocks[bi].insts.insert(i, mask);
+                    report.safe_elided += 1;
+                    i += 2;
+                }
                 continue;
             }
 
@@ -357,6 +384,23 @@ fn instrument_function(
                 });
                 c
             };
+            let site = if markers {
+                let site = sites.len() as u32;
+                sites.push(CheckSite {
+                    func: fname.clone(),
+                    kind: if attrs.no_lower { "sb_ub" } else { "sb_full" },
+                });
+                check.insert(
+                    0,
+                    Inst::Site {
+                        site,
+                        marker: SiteMarker::Begin,
+                    },
+                );
+                Some(site)
+            } else {
+                None
+            };
 
             // Carve the continuation block out of the current one.
             let rest: Vec<Inst> = f.blocks[bi].insts.split_off(i);
@@ -365,12 +409,21 @@ fn instrument_function(
             let ok_id = BlockId(f.blocks.len() as u32 + 1);
             let fail_id = BlockId(f.blocks.len() as u32 + 2);
 
-            // cont block: aa = tmp_local; <access with addr = aa>; rest.
+            // cont block: aa = tmp_local; [site end]; <access with addr = aa>;
+            // rest. The End marker sits before the access so the access's
+            // own memory cycles stay attributed to the application.
             let aa = f.new_reg(Ty::Ptr);
             let mut cont_insts = vec![Inst::ReadLocal {
                 dst: aa,
                 local: tmp_local,
             }];
+            if let Some(site) = site {
+                cont_insts.push(Inst::Site {
+                    site,
+                    marker: SiteMarker::End,
+                });
+            }
+            let resume_at = cont_insts.len() + 1;
             let mut access = rest.into_iter().collect::<Vec<_>>();
             replace_addr(&mut access[0], aa.into());
             set_lowered(&mut access[0]);
@@ -419,11 +472,12 @@ fn instrument_function(
             };
             lowered += 1;
             // Continue scanning in the continuation block, after the access.
-            worklist.push((cont_id.0 as usize, 2));
+            worklist.push((cont_id.0 as usize, resume_at));
             break;
         }
     }
 
+    module.check_sites = sites;
     (masked, lowered)
 }
 
@@ -681,8 +735,7 @@ mod tests {
             &SbConfig {
                 safe_access_opt: false,
                 hoist_opt: false,
-                boundless: false,
-                narrow_bounds: false,
+                ..SbConfig::default()
             },
         )
         .unwrap();

@@ -248,6 +248,15 @@ pub fn install_sgxbounds(
         let size = args.get(1).copied().unwrap_or(0) as u32;
         let is_store = args.get(2).copied().unwrap_or(0) != 0;
         *vio.borrow_mut() += 1;
+        if ctx.machine.obs_enabled() {
+            let site = ctx.machine.cur_site;
+            ctx.machine.emit(sgxs_sim::obs::Event::CheckFail {
+                site,
+                addr,
+                size,
+                is_store,
+            });
+        }
         if let Some(hk) = &hk {
             hk.borrow_mut().on_access(
                 ctx,

@@ -28,6 +28,7 @@ fn full_checks_emit_the_fig4d_sequence() {
         hoist_opt: false,
         boundless: false,
         narrow_bounds: false,
+        site_markers: false,
     });
     // Tag strip: `And rX, 0xffffffff`.
     assert!(text.contains("And"), "missing mask:\n{text}");
@@ -78,6 +79,7 @@ fn hoisting_moves_checks_out_of_loops() {
             hoist_opt: false,
             boundless: false,
             narrow_bounds: false,
+            site_markers: false,
         },
     )
     .unwrap();
@@ -123,6 +125,7 @@ fn boundless_lowering_reads_the_redirected_address() {
         hoist_opt: false,
         boundless: true,
         narrow_bounds: false,
+        site_markers: false,
     });
     // The continuation reads a local (the ok/fail paths both write it).
     assert!(

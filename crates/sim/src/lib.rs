@@ -36,3 +36,7 @@ pub use cost::{CostModel, MachineConfig, Mode, Preset};
 pub use machine::{Machine, MemFault, MemFaultKind};
 pub use mem::{PagedMem, PAGE_SIZE};
 pub use stats::Stats;
+
+/// Re-export of the observability layer, so scheme runtimes and the harness
+/// can name event and recorder types without a separate dependency edge.
+pub use sgxs_obs as obs;

@@ -6,6 +6,9 @@ use crate::cost::{MachineConfig, Mode};
 use crate::epc::Epc;
 use crate::mem::{PagedMem, PAGE_SIZE};
 use crate::stats::Stats;
+use sgxs_obs::{Event, Recorder};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Why a memory access faulted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,6 +52,13 @@ pub struct Machine {
     cfg: MachineConfig,
     /// Event counters.
     pub stats: Stats,
+    recorder: Option<Rc<RefCell<dyn Recorder>>>,
+    // Cached `recorder.enabled()` so the guard is a plain bool test.
+    obs_on: bool,
+    /// Check site currently executing on the active thread, if any — set by
+    /// the interpreter before dispatching a runtime intrinsic so violation
+    /// handlers can attribute failures to the offending check site.
+    pub cur_site: Option<u32>,
 }
 
 impl Machine {
@@ -73,6 +83,36 @@ impl Machine {
             epc,
             cfg,
             stats: Stats::new(),
+            recorder: None,
+            obs_on: false,
+            cur_site: None,
+        }
+    }
+
+    /// Installs (or removes) an observability recorder.
+    ///
+    /// With `None` or a recorder whose `enabled()` is false, every emission
+    /// site reduces to one always-false bool test on a *rare* path; counters
+    /// and cycle accounting are bit-identical to a build without obs calls.
+    pub fn set_recorder(&mut self, rec: Option<Rc<RefCell<dyn Recorder>>>) {
+        self.obs_on = rec.as_ref().is_some_and(|r| r.borrow().enabled());
+        self.recorder = rec;
+    }
+
+    /// Whether an enabled recorder is installed.
+    #[inline(always)]
+    pub fn obs_enabled(&self) -> bool {
+        self.obs_on
+    }
+
+    /// Emits an observability event, timestamped with the retired
+    /// instruction count. No-op unless an enabled recorder is installed.
+    #[inline]
+    pub fn emit(&mut self, ev: Event) {
+        if self.obs_on {
+            if let Some(rec) = &self.recorder {
+                rec.borrow_mut().record(self.stats.instructions, ev);
+            }
         }
     }
 
@@ -145,10 +185,16 @@ impl Machine {
                 if fault {
                     self.stats.epc_faults += 1;
                     cycles += self.cfg.cost.epc_fault;
+                    if self.obs_on {
+                        self.emit(Event::EpcFault { page });
+                    }
                 }
                 if evicted {
                     self.stats.epc_evictions += 1;
                     cycles += self.cfg.cost.epc_evict;
+                    if self.obs_on {
+                        self.emit(Event::EpcEvict { page });
+                    }
                 }
             }
         }

@@ -46,21 +46,31 @@ impl Stats {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if `earlier` is not an earlier snapshot of the
-    /// same run (any counter would underflow).
+    /// Panics (in every build profile) if `earlier` is not an earlier
+    /// snapshot of the same run — i.e. if any counter would underflow.
+    /// Plain `-` would only catch the reversed-arguments mistake in debug
+    /// builds and silently wrap in release, poisoning measurements.
     pub fn delta(&self, earlier: &Stats) -> Stats {
+        fn sub(now: u64, then: u64, counter: &'static str) -> u64 {
+            now.checked_sub(then).unwrap_or_else(|| {
+                panic!(
+                    "Stats::delta: counter `{counter}` would underflow \
+                     ({now} - {then}); snapshots passed in the wrong order?"
+                )
+            })
+        }
         Stats {
-            instructions: self.instructions - earlier.instructions,
-            branches: self.branches - earlier.branches,
-            loads: self.loads - earlier.loads,
-            stores: self.stores - earlier.stores,
-            l1_accesses: self.l1_accesses - earlier.l1_accesses,
-            l1_misses: self.l1_misses - earlier.l1_misses,
-            l2_misses: self.l2_misses - earlier.l2_misses,
-            llc_misses: self.llc_misses - earlier.llc_misses,
-            epc_faults: self.epc_faults - earlier.epc_faults,
-            epc_evictions: self.epc_evictions - earlier.epc_evictions,
-            mem_cycles: self.mem_cycles - earlier.mem_cycles,
+            instructions: sub(self.instructions, earlier.instructions, "instructions"),
+            branches: sub(self.branches, earlier.branches, "branches"),
+            loads: sub(self.loads, earlier.loads, "loads"),
+            stores: sub(self.stores, earlier.stores, "stores"),
+            l1_accesses: sub(self.l1_accesses, earlier.l1_accesses, "l1_accesses"),
+            l1_misses: sub(self.l1_misses, earlier.l1_misses, "l1_misses"),
+            l2_misses: sub(self.l2_misses, earlier.l2_misses, "l2_misses"),
+            llc_misses: sub(self.llc_misses, earlier.llc_misses, "llc_misses"),
+            epc_faults: sub(self.epc_faults, earlier.epc_faults, "epc_faults"),
+            epc_evictions: sub(self.epc_evictions, earlier.epc_evictions, "epc_evictions"),
+            mem_cycles: sub(self.mem_cycles, earlier.mem_cycles, "mem_cycles"),
         }
     }
 
@@ -96,6 +106,27 @@ mod tests {
         assert_eq!(d.instructions, 15);
         assert_eq!(d.loads, 5);
         assert_eq!(d.stores, 0);
+    }
+
+    #[test]
+    fn delta_wrong_order_panics_with_counter_name() {
+        let early = Stats {
+            instructions: 10,
+            ..Stats::new()
+        };
+        let late = Stats {
+            instructions: 25,
+            ..Stats::new()
+        };
+        // Correct order works …
+        assert_eq!(late.delta(&early).instructions, 15);
+        // … reversed order must panic loudly instead of wrapping.
+        let err = std::panic::catch_unwind(|| early.delta(&late)).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String message");
+        assert!(msg.contains("instructions"), "names the counter: {msg}");
+        assert!(msg.contains("wrong order"), "explains the cause: {msg}");
     }
 
     #[test]

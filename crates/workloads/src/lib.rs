@@ -11,6 +11,7 @@
 pub mod apps;
 pub mod parsec;
 pub mod phoenix;
+pub mod simple;
 pub mod spec;
 pub mod util;
 
@@ -30,8 +31,12 @@ pub fn all_benchmarks() -> Vec<Box<dyn Workload>> {
     v
 }
 
-/// Looks up any workload (benchmarks and apps) by name.
+/// Looks up any workload (benchmarks, apps, and the `simple` smoke
+/// workload) by name.
 pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
+    if name == "simple" {
+        return Some(Box::new(simple::Simple));
+    }
     all_benchmarks()
         .into_iter()
         .chain(apps::all())

@@ -1,0 +1,57 @@
+//! `simple`: a minimal smoke workload for `repro profile` and CI. One
+//! thread, one heap buffer, a fill pass and a checksum pass, then a free.
+//! Deliberately tiny and not part of any paper suite — it is reachable only
+//! through [`by_name`](crate::by_name) so the figure experiments never pick
+//! it up.
+
+use crate::util::{Params, Suite, Workload};
+use sgxs_mir::{Module, ModuleBuilder, Ty, Vm};
+use sgxs_rt::Stager;
+
+/// Elements in the buffer (fixed: the workload exists to exercise the
+/// observability path quickly, not to scale).
+const ELEMS: u64 = 4096;
+
+/// The simple smoke workload.
+pub struct Simple;
+
+impl Workload for Simple {
+    fn name(&self) -> &'static str {
+        "simple"
+    }
+
+    fn suite(&self) -> Suite {
+        Suite::Phoenix
+    }
+
+    fn build(&self, _p: &Params) -> Module {
+        let mut mb = ModuleBuilder::new("simple");
+        mb.func("main", &[Ty::I64], Some(Ty::I64), |fb| {
+            let n = fb.param(0);
+            let bytes = fb.mul(n, 8u64);
+            let buf = fb.intr_ptr("malloc", &[bytes.into()]);
+            fb.count_loop(0u64, n, |fb, i| {
+                let slot = fb.gep(buf, i, 8, 0);
+                let v = fb.mul(i, 3u64);
+                fb.store(Ty::I64, slot, v);
+            });
+            let acc = fb.local(Ty::I64);
+            fb.set(acc, 0u64);
+            fb.count_loop(0u64, n, |fb, i| {
+                let slot = fb.gep(buf, i, 8, 0);
+                let v = fb.load(Ty::I64, slot);
+                let a = fb.get(acc);
+                let s = fb.add(a, v);
+                fb.set(acc, s);
+            });
+            fb.intr_void("free", &[buf.into()]);
+            let v = fb.get(acc);
+            fb.ret(Some(v.into()));
+        });
+        mb.finish()
+    }
+
+    fn stage(&self, _vm: &mut Vm<'_>, _st: &mut Stager, _p: &Params) -> Vec<u64> {
+        vec![ELEMS]
+    }
+}

@@ -56,6 +56,38 @@ fn builds_and_staging_are_deterministic_per_seed() {
 }
 
 #[test]
+fn traced_runs_are_deterministic_per_seed_and_scheme() {
+    // Beyond build/staging determinism: a full traced execution (workload +
+    // seed + scheme) must replay to the exact same event stream. The obs
+    // digest folds every event the machine emitted — check execs and their
+    // cycle deltas, allocs/frees, EPC faults/evictions — so an equal digest
+    // means the whole observable run was identical.
+    use sgxs_harness::scheme::{RunConfig, Scheme};
+    let mut rc = RunConfig::new(Preset::Tiny);
+    rc.params = params(7);
+    for (wname, scheme) in [
+        ("simple", Scheme::SgxBounds),
+        ("string_match", Scheme::Asan),
+        ("histogram", Scheme::Mpx),
+    ] {
+        let w = sgxs_workloads::by_name(wname).expect(wname);
+        let a = sgxs_harness::profile_one(w.as_ref(), scheme, &rc, 256, 5);
+        let b = sgxs_harness::profile_one(w.as_ref(), scheme, &rc, 256, 5);
+        assert_eq!(
+            a.profile.digest, b.profile.digest,
+            "{wname}: traced event stream varies across identical runs"
+        );
+        assert_eq!(a.profile.events, b.profile.events, "{wname}");
+        assert_eq!(
+            a.recorder.last_events(16),
+            b.recorder.last_events(16),
+            "{wname}: trailing events differ"
+        );
+        assert!(a.measured.ok(), "{wname}: traced run failed");
+    }
+}
+
+#[test]
 fn some_workload_inputs_actually_depend_on_the_seed() {
     // Guards against the opposite failure: a "deterministic" generator that
     // ignores the seed entirely. At least one workload's staged inputs must

@@ -242,7 +242,12 @@ proptest! {
             (false, true, false),
             (true, true, true),
         ] {
-            let cfg = SbConfig { safe_access_opt: safe, hoist_opt: hoist, boundless, narrow_bounds: false };
+            let cfg = SbConfig {
+                safe_access_opt: safe,
+                hoist_opt: hoist,
+                boundless,
+                ..SbConfig::default()
+            };
             let got = run(&module, "sgxbounds", cfg);
             prop_assert_eq!(got, native, "sgxbounds {:?} diverged", cfg);
         }
