@@ -2,12 +2,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sgxs_bench::{bench_rc, BENCH_PRESET};
-use sgxs_harness::exp::fig01;
+use sgxs_harness::exp::{fig01, DEFAULT_SEED};
 use sgxs_harness::{run_one, Scheme};
 use sgxs_workloads::apps::sqlite::Sqlite;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", fig01::run(BENCH_PRESET, 3));
+    println!("{}", fig01::run(BENCH_PRESET, 3, DEFAULT_SEED));
     let mut g = c.benchmark_group("fig01");
     g.sample_size(10);
     for scheme in [Scheme::Baseline, Scheme::SgxBounds, Scheme::Asan] {

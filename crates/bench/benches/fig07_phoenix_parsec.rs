@@ -3,11 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sgxs_bench::{timed_run, BENCH_PRESET};
-use sgxs_harness::exp::{fig07, Effort};
+use sgxs_harness::exp::{fig07, Effort, DEFAULT_SEED};
 use sgxs_harness::Scheme;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", fig07::run(BENCH_PRESET, Effort::Quick));
+    println!("{}", fig07::run(BENCH_PRESET, Effort::Quick, DEFAULT_SEED));
     let mut g = c.benchmark_group("fig07");
     g.sample_size(10);
     for (name, scheme) in [

@@ -2,12 +2,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sgxs_bench::BENCH_PRESET;
-use sgxs_harness::exp::fig08;
+use sgxs_harness::exp::{fig08, DEFAULT_SEED};
 use sgxs_harness::{run_one, RunConfig, Scheme};
 use sgxs_workloads::SizeClass;
 
 fn bench(c: &mut Criterion) {
-    let f8 = fig08::run(BENCH_PRESET, &[SizeClass::XS, SizeClass::M, SizeClass::XL]);
+    let f8 = fig08::run(
+        BENCH_PRESET,
+        &[SizeClass::XS, SizeClass::M, SizeClass::XL],
+        DEFAULT_SEED,
+    );
     println!("{f8}");
     let mut g = c.benchmark_group("fig08");
     g.sample_size(10);

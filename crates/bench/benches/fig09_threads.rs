@@ -2,12 +2,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sgxs_bench::BENCH_PRESET;
-use sgxs_harness::exp::{fig09, Effort};
+use sgxs_harness::exp::{fig09, Effort, DEFAULT_SEED};
 use sgxs_harness::{run_one, RunConfig, Scheme};
 use sgxs_workloads::SizeClass;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", fig09::run(BENCH_PRESET, Effort::Quick));
+    println!("{}", fig09::run(BENCH_PRESET, Effort::Quick, DEFAULT_SEED));
     let mut g = c.benchmark_group("fig09");
     g.sample_size(10);
     for threads in [1u32, 4] {

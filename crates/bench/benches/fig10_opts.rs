@@ -2,11 +2,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sgxs_bench::{bench_rc, BENCH_PRESET};
-use sgxs_harness::exp::{fig10, Effort};
+use sgxs_harness::exp::{fig10, Effort, DEFAULT_SEED};
 use sgxs_harness::{run_one, Scheme};
 
 fn bench(c: &mut Criterion) {
-    println!("{}", fig10::run(BENCH_PRESET, Effort::Quick));
+    println!("{}", fig10::run(BENCH_PRESET, Effort::Quick, DEFAULT_SEED));
     let mut g = c.benchmark_group("fig10");
     g.sample_size(10);
     for (label, cfg) in fig10::variants() {

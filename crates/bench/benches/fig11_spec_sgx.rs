@@ -2,11 +2,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sgxs_bench::{timed_run, BENCH_PRESET};
-use sgxs_harness::exp::{fig11, Effort};
+use sgxs_harness::exp::{fig11, Effort, DEFAULT_SEED};
 use sgxs_harness::Scheme;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", fig11::run(BENCH_PRESET, Effort::Quick));
+    println!("{}", fig11::run(BENCH_PRESET, Effort::Quick, DEFAULT_SEED));
     let mut g = c.benchmark_group("fig11");
     g.sample_size(10);
     for scheme in [Scheme::Baseline, Scheme::SgxBounds, Scheme::Asan] {

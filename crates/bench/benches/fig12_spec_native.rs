@@ -2,12 +2,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sgxs_bench::{bench_rc, BENCH_PRESET};
-use sgxs_harness::exp::{fig12, Effort};
+use sgxs_harness::exp::{fig12, Effort, DEFAULT_SEED};
 use sgxs_harness::{run_one, Scheme};
 use sgxs_sim::Mode;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", fig12::run(BENCH_PRESET, Effort::Quick));
+    println!("{}", fig12::run(BENCH_PRESET, Effort::Quick, DEFAULT_SEED));
     let mut g = c.benchmark_group("fig12");
     g.sample_size(10);
     for scheme in [Scheme::SgxBounds, Scheme::Asan] {

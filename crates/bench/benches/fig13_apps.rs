@@ -2,12 +2,15 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sgxs_bench::{bench_rc, BENCH_PRESET};
-use sgxs_harness::exp::fig13;
+use sgxs_harness::exp::{fig13, DEFAULT_SEED};
 use sgxs_harness::{run_one, Scheme};
 use sgxs_workloads::apps::memcached::Memcached;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", fig13::run(BENCH_PRESET, &[1, 4, 16], 16));
+    println!(
+        "{}",
+        fig13::run(BENCH_PRESET, &[1, 4, 16], 16, DEFAULT_SEED)
+    );
     let mut g = c.benchmark_group("fig13");
     g.sample_size(10);
     for scheme in [Scheme::Baseline, Scheme::SgxBounds, Scheme::Mpx] {

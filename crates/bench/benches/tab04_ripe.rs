@@ -2,15 +2,17 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sgxs_bench::BENCH_PRESET;
-use sgxs_harness::exp::tab04;
+use sgxs_harness::exp::{tab04, DEFAULT_SEED};
 
 fn bench(c: &mut Criterion) {
-    let t = tab04::run(BENCH_PRESET);
+    let t = tab04::run(BENCH_PRESET, DEFAULT_SEED);
     println!("{t}");
     assert_eq!(t.prevented(), [2, 8, 8], "Table 4 must match the paper");
     let mut g = c.benchmark_group("tab04");
     g.sample_size(10);
-    g.bench_function("ripe_matrix", |b| b.iter(|| tab04::run(BENCH_PRESET)));
+    g.bench_function("ripe_matrix", |b| {
+        b.iter(|| tab04::run(BENCH_PRESET, DEFAULT_SEED))
+    });
     g.finish();
 }
 

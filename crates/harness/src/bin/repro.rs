@@ -1,330 +1,22 @@
-//! Regenerates the paper's tables and figures.
+//! Regenerates the paper's tables and figures, and drives the analysis
+//! tier. The real work lives in [`sgxs_harness::cli`]; this binary only
+//! maps its `Result` onto process exit codes:
 //!
-//! Usage: `repro <experiment>... [--quick] [--tiny|--mini|--paper]
-//! [--json <path>]` where experiment is one of: fig1 fig7 fig8 table3 fig9
-//! fig10 table4 fig11 fig12 fig13 cases all. With `--json` the selected
-//! experiments are additionally written to `<path>` in the `sgxs-bench-v1`
-//! schema (see `results/README.md`).
+//! * `Ok(code)` — subcommand ran; exit with its code (gates and failed
+//!   runs use 1);
+//! * `Err(msg)` — usage or I/O error; print it and exit 2.
 //!
-//! `repro profile <workload> [--scheme <s>] [--trace out.jsonl]
-//! [--json out.json] [--top N] [--ring N]` runs one workload with the
-//! observability layer on and prints its per-check-site profile.
-//!
-//! `repro fuzz [--seeds N] [--seed0 N] [--max-ops N] [--no-shrink]
-//! [--corpus <path>]` runs the differential fuzzing campaign (and/or
-//! replays a corpus file) instead.
-
-use sgxs_harness::exp::{self, Effort};
-use sgxs_harness::profile::{profile_one, render, DEFAULT_RING, DEFAULT_TOP};
-use sgxs_harness::scheme::{RunConfig, Scheme};
-use sgxs_obs::json::Json;
-use sgxs_sim::Preset;
-use sgxs_workloads::SizeClass;
-
-/// Writes `text` to `path`, creating parent directories; exits on failure.
-fn write_file(path: &str, text: &str) {
-    if let Some(dir) = std::path::Path::new(path).parent() {
-        if !dir.as_os_str().is_empty() {
-            let _ = std::fs::create_dir_all(dir);
-        }
-    }
-    if let Err(e) = std::fs::write(path, text) {
-        eprintln!("repro: cannot write {path}: {e}");
-        std::process::exit(2);
-    }
-}
-
-/// Parses and runs the `profile` subcommand; exits the process when done.
-fn profile_main(args: &[String]) -> ! {
-    let mut workload: Option<String> = None;
-    let mut scheme = Scheme::SgxBounds;
-    let mut preset = Preset::Tiny;
-    let mut size = SizeClass::XS;
-    let mut trace: Option<String> = None;
-    let mut json: Option<String> = None;
-    let mut top = DEFAULT_TOP;
-    let mut ring = DEFAULT_RING;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        let next = |flag: &str, it: &mut std::slice::Iter<'_, String>| -> String {
-            it.next().cloned().unwrap_or_else(|| {
-                eprintln!("profile: {flag} needs an argument");
-                std::process::exit(2);
-            })
-        };
-        match a.as_str() {
-            "--scheme" => {
-                scheme = match next("--scheme", &mut it).as_str() {
-                    "sgx" | "baseline" => Scheme::Baseline,
-                    "sgxbounds" => Scheme::SgxBounds,
-                    "asan" => Scheme::Asan,
-                    "mpx" => Scheme::Mpx,
-                    other => {
-                        eprintln!("profile: unknown scheme '{other}' (sgx|sgxbounds|asan|mpx)");
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--trace" => trace = Some(next("--trace", &mut it)),
-            "--json" => json = Some(next("--json", &mut it)),
-            "--top" => {
-                top = next("--top", &mut it).parse().unwrap_or_else(|_| {
-                    eprintln!("profile: --top needs a number");
-                    std::process::exit(2);
-                })
-            }
-            "--ring" => {
-                ring = next("--ring", &mut it).parse().unwrap_or_else(|_| {
-                    eprintln!("profile: --ring needs a number");
-                    std::process::exit(2);
-                })
-            }
-            "--tiny" => preset = Preset::Tiny,
-            "--mini" => preset = Preset::Mini,
-            "--paper" => preset = Preset::Paper,
-            "--quick" => size = SizeClass::XS,
-            "--full" => size = SizeClass::L,
-            other if !other.starts_with('-') && workload.is_none() => {
-                workload = Some(other.to_owned())
-            }
-            other => {
-                eprintln!("profile: unknown argument '{other}'");
-                std::process::exit(2);
-            }
-        }
-    }
-    let Some(name) = workload else {
-        eprintln!(
-            "usage: repro profile <workload> [--scheme sgx|sgxbounds|asan|mpx] \
-             [--trace FILE.jsonl] [--json FILE.json] [--top N] [--ring N] \
-             [--tiny|--mini|--paper] [--quick|--full]"
-        );
-        std::process::exit(2);
-    };
-    let Some(w) = sgxs_workloads::by_name(&name) else {
-        eprintln!("profile: unknown workload '{name}'");
-        std::process::exit(2);
-    };
-    let mut rc = RunConfig::new(preset);
-    rc.params.size = size;
-    let pr = profile_one(w.as_ref(), scheme, &rc, ring, top);
-    print!("{}", render(&pr.profile));
-    if let Some(path) = &trace {
-        write_file(path, &pr.recorder.to_jsonl());
-        println!(
-            "trace: {} events written to {path} ({} dropped from the ring)",
-            pr.recorder.ring_len(),
-            pr.recorder.dropped()
-        );
-    }
-    if let Some(path) = &json {
-        write_file(path, &pr.profile.to_json().to_pretty());
-        println!("profile json written to {path}");
-    }
-    // A hardened run that never executed a check means the site plumbing is
-    // broken — fail loudly so CI catches it.
-    let hardened = !matches!(scheme, Scheme::Baseline);
-    if hardened && pr.profile.top_sites.is_empty() {
-        eprintln!("profile: no check site fired under {}", scheme.label());
-        std::process::exit(1);
-    }
-    std::process::exit(if pr.measured.ok() { 0 } else { 1 });
-}
-
-/// Parses and runs the `fuzz` subcommand; exits the process when done.
-fn fuzz_main(args: &[String]) -> ! {
-    let mut opts = sgxs_fuzz::FuzzOpts::default();
-    let mut corpus: Option<String> = None;
-    let mut it = args.iter();
-    let parse_u64 = |flag: &str, it: &mut std::slice::Iter<'_, String>| -> u64 {
-        it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
-            eprintln!("fuzz: {flag} needs a numeric argument");
-            std::process::exit(2);
-        })
-    };
-    let mut ran_seeds = false;
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--seeds" => {
-                opts.seeds = parse_u64("--seeds", &mut it);
-                ran_seeds = true;
-            }
-            "--seed0" => opts.seed0 = parse_u64("--seed0", &mut it),
-            "--max-ops" => opts.max_ops = parse_u64("--max-ops", &mut it) as usize,
-            "--no-shrink" => opts.shrink = false,
-            "--corpus" => {
-                corpus = Some(it.next().cloned().unwrap_or_else(|| {
-                    eprintln!("fuzz: --corpus needs a file path");
-                    std::process::exit(2);
-                }))
-            }
-            other => {
-                eprintln!("fuzz: unknown argument '{other}'");
-                std::process::exit(2);
-            }
-        }
-    }
-    let mut failed = false;
-    if let Some(path) = &corpus {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("fuzz: cannot read corpus {path}: {e}");
-            std::process::exit(2);
-        });
-        let entries = sgxs_fuzz::parse_corpus(&text).unwrap_or_else(|e| {
-            eprintln!("fuzz: {e}");
-            std::process::exit(2);
-        });
-        println!("replaying {} corpus entries from {path}", entries.len());
-        for entry in &entries {
-            let bad = entry.replay();
-            if bad.is_empty() {
-                continue;
-            }
-            failed = true;
-            for (scheme, v) in bad {
-                println!(
-                    "  corpus entry '{}': {} produced {:?}",
-                    entry.to_line(),
-                    scheme.label(),
-                    v
-                );
-            }
-        }
-        if !failed {
-            println!("corpus clean: every entry matches the detection model\n");
-        }
-    }
-    if corpus.is_none() || ran_seeds {
-        let report = sgxs_fuzz::run_campaign(&opts);
-        println!("{}", report.render());
-        failed |= !report.disagreements.is_empty();
-    }
-    std::process::exit(if failed { 1 } else { 0 });
-}
+//! See `repro` with no arguments for the subcommand summary: the
+//! experiment suite (`repro all --quick`), `profile`, `fuzz`,
+//! `bench record`, `compare`, and `render`.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("fuzz") {
-        fuzz_main(&args[1..]);
-    }
-    if args.first().map(String::as_str) == Some("profile") {
-        profile_main(&args[1..]);
-    }
-    let mut preset = Preset::Mini;
-    let mut effort = Effort::Full;
-    let mut json_path: Option<String> = None;
-    let mut wanted: Vec<String> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--quick" => effort = Effort::Quick,
-            "--tiny" => preset = Preset::Tiny,
-            "--mini" => preset = Preset::Mini,
-            "--paper" => preset = Preset::Paper,
-            "--json" => {
-                json_path = Some(it.next().cloned().unwrap_or_else(|| {
-                    eprintln!("repro: --json needs a file path");
-                    std::process::exit(2);
-                }))
-            }
-            other => wanted.push(other.trim_start_matches('-').to_lowercase()),
+    match sgxs_harness::cli::run(&args) {
+        Ok(code) => std::process::exit(code),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
         }
-    }
-    if wanted.is_empty() {
-        eprintln!(
-            "usage: repro <fig1|fig7|fig8|table3|fig9|fig10|table4|fig11|fig12|fig13|cases|all> \
-             [--quick] [--tiny|--mini|--paper] [--json FILE]\n       \
-             repro profile <workload> [--scheme S] [--trace FILE] [--json FILE]\n       \
-             repro fuzz [--seeds N] [--seed0 N] [--max-ops N] [--no-shrink] [--corpus FILE]"
-        );
-        std::process::exit(2);
-    }
-    let all = wanted.iter().any(|w| w == "all");
-    let want = |name: &str| all || wanted.iter().any(|w| w == name);
-    let quick = effort == Effort::Quick;
-    let mut experiments: Vec<(&str, Json)> = Vec::new();
-
-    println!(
-        "SGXBounds reproduction — preset {:?}, effort {:?}\n",
-        preset, effort
-    );
-
-    if want("fig1") {
-        let steps = if quick { 3 } else { 5 };
-        let f = exp::fig01::run(preset, steps);
-        println!("{f}\n");
-        experiments.push(("fig1", f.to_json()));
-    }
-    if want("fig7") {
-        let f = exp::fig07::run(preset, effort);
-        println!("{f}\n");
-        experiments.push(("fig7", f.to_json()));
-    }
-    if want("fig8") || want("table3") {
-        let sizes: &[SizeClass] = if quick {
-            &[SizeClass::XS, SizeClass::M, SizeClass::XL]
-        } else {
-            &SizeClass::ALL
-        };
-        let f8 = exp::fig08::run(preset, sizes);
-        if want("fig8") {
-            println!("{f8}\n");
-        }
-        if want("table3") {
-            println!("{}\n", f8.table3());
-        }
-        experiments.push(("fig8", f8.to_json()));
-    }
-    if want("fig9") {
-        let f = exp::fig09::run(preset, effort);
-        println!("{f}\n");
-        experiments.push(("fig9", f.to_json()));
-    }
-    if want("fig10") {
-        let f = exp::fig10::run(preset, effort);
-        println!("{f}\n");
-        experiments.push(("fig10", f.to_json()));
-    }
-    if want("table4") {
-        let t = exp::tab04::run(preset);
-        println!("{t}\n");
-        experiments.push(("table4", t.to_json()));
-    }
-    if want("fig11") {
-        let f = exp::fig11::run(preset, effort);
-        println!("{f}\n");
-        experiments.push(("fig11", f.to_json()));
-    }
-    if want("fig12") {
-        let f = exp::fig12::run(preset, effort);
-        println!("{f}\n");
-        experiments.push(("fig12", f.to_json()));
-    }
-    if want("fig13") {
-        let clients: &[u32] = if quick {
-            &[1, 4, 16]
-        } else {
-            &[1, 2, 4, 8, 16, 32]
-        };
-        let rpc = if quick { 24 } else { 64 };
-        let f = exp::fig13::run(preset, clients, rpc);
-        println!("{f}\n");
-        experiments.push(("fig13", f.to_json()));
-    }
-    if want("cases") {
-        let c = exp::cases::run(preset);
-        println!("{c}\n");
-        experiments.push(("cases", c.to_json()));
-    }
-
-    if let Some(path) = &json_path {
-        let doc = Json::obj(vec![
-            ("schema", "sgxs-bench-v1".into()),
-            ("preset", format!("{preset:?}").into()),
-            ("effort", format!("{effort:?}").into()),
-            ("experiments", Json::obj(experiments)),
-        ]);
-        write_file(path, &doc.to_pretty());
-        println!("bench json written to {path}");
     }
 }

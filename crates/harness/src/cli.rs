@@ -1,0 +1,602 @@
+//! The `repro` command line, as a library.
+//!
+//! Every subcommand is a function returning `Result<i32, String>`: the
+//! `Ok` value is the process exit code (0 = success, 1 = a gate or run
+//! failure the caller asked us to detect), an `Err` is a usage or I/O
+//! problem the binary prints to stderr before exiting 2. Nothing in this
+//! module calls `std::process::exit`, so the subcommands are testable
+//! in-process.
+//!
+//! Subcommands:
+//!
+//! * experiments (`repro fig7 --quick`, `repro all --json out.json`) —
+//!   regenerate the paper's tables/figures, optionally writing the
+//!   `sgxs-bench-v1` document;
+//! * `repro profile <workload>` — run one workload with the
+//!   observability layer on and print its per-check-site profile;
+//! * `repro fuzz` — the differential fuzzing campaign;
+//! * `repro bench record` — run the full suite and append one
+//!   `sgxs-history-v1` line per replicate to `results/history.jsonl`;
+//! * `repro compare A B [--gate]` — statistical regression comparison of
+//!   two bench documents / history replicate sets;
+//! * `repro render profile.json` — folded stacks, SVG treemap, and an
+//!   ASCII table from a `sgxs-profile-v1` document.
+
+use crate::exp::{self, Effort, DEFAULT_SEED};
+use crate::profile::{profile_one, render as render_profile, DEFAULT_RING, DEFAULT_TOP};
+use crate::scheme::{RunConfig, Scheme};
+use sgxs_obs::json::Json;
+use sgxs_obs::read::{parse_bench, parse_profile};
+use sgxs_perf::{compare, flatten, parse_history, render, CompareOpts, HistoryRecord, Metric};
+use sgxs_sim::Preset;
+use sgxs_workloads::SizeClass;
+
+/// Experiment names the suite accepts (besides `all`).
+pub const EXPERIMENTS: [&str; 11] = [
+    "fig1", "fig7", "fig8", "table3", "fig9", "fig10", "table4", "fig11", "fig12", "fig13", "cases",
+];
+
+/// Top-level usage text.
+pub const USAGE: &str =
+    "usage: repro <fig1|fig7|fig8|table3|fig9|fig10|table4|fig11|fig12|fig13|cases|all> \
+     [--quick] [--tiny|--mini|--paper] [--seed N] [--json FILE]\n       \
+     repro profile <workload> [--scheme S] [--trace FILE] [--json FILE]\n       \
+     repro fuzz [--seeds N] [--seed0 N] [--max-ops N] [--no-shrink] [--corpus FILE]\n       \
+     repro bench record [--quick] [--tiny|--mini|--paper] [--replicates N] [--seed0 N] \
+     [--rev REV] [--out FILE]\n       \
+     repro compare <BASE> <NEW> [--gate] [--top N] [--threshold F] [--noise-mult F] \
+     [--rev R] [--base-rev R] [--preset P] [--json FILE]\n       \
+     repro render <profile.json> [--top N] [--folded FILE] [--svg FILE]";
+
+/// Minimal argument cursor shared by every subcommand: uniform
+/// "`<cmd>: <flag> needs ...`" errors instead of per-site `unwrap_or_else`
+/// + `exit` blocks.
+pub struct Args<'a> {
+    cmd: &'static str,
+    it: std::slice::Iter<'a, String>,
+}
+
+impl<'a> Args<'a> {
+    /// Wraps `args` for the subcommand named `cmd`.
+    pub fn new(cmd: &'static str, args: &'a [String]) -> Args<'a> {
+        Args {
+            cmd,
+            it: args.iter(),
+        }
+    }
+
+    /// The next raw argument, if any.
+    pub fn next_arg(&mut self) -> Option<&'a str> {
+        self.it.next().map(String::as_str)
+    }
+
+    /// The value following `flag`, or a uniform error.
+    pub fn value(&mut self, flag: &str) -> Result<String, String> {
+        self.it
+            .next()
+            .cloned()
+            .ok_or_else(|| format!("{}: {flag} needs an argument", self.cmd))
+    }
+
+    /// The parsed value following `flag`, or a uniform error.
+    pub fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String> {
+        let v = self.value(flag)?;
+        v.parse()
+            .map_err(|_| format!("{}: {flag} needs a valid value, got '{v}'", self.cmd))
+    }
+
+    /// An error message prefixed with this subcommand's name.
+    pub fn fail(&self, msg: impl std::fmt::Display) -> String {
+        format!("{}: {msg}", self.cmd)
+    }
+}
+
+/// Maps a `--tiny|--mini|--paper` flag to its preset.
+fn preset_flag(arg: &str) -> Option<Preset> {
+    match arg {
+        "--tiny" => Some(Preset::Tiny),
+        "--mini" => Some(Preset::Mini),
+        "--paper" => Some(Preset::Paper),
+        _ => None,
+    }
+}
+
+/// Writes `text` to `path`, creating parent directories.
+fn write_file(path: &str, text: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Top-level dispatch: the whole `repro` command line minus process exit.
+pub fn run(args: &[String]) -> Result<i32, String> {
+    match args.first().map(String::as_str) {
+        Some("fuzz") => run_fuzz(&args[1..]),
+        Some("profile") => run_profile(&args[1..]),
+        Some("bench") => run_bench(&args[1..]),
+        Some("compare") => run_compare(&args[1..]),
+        Some("render") => run_render(&args[1..]),
+        _ => run_experiments(args),
+    }
+}
+
+/// Runs the selected experiments and returns the full `sgxs-bench-v1`
+/// document. `print` controls the human tables; the JSON is always built.
+pub fn run_suite(
+    preset: Preset,
+    effort: Effort,
+    wanted: &[String],
+    seed: u64,
+    print: bool,
+) -> Result<Json, String> {
+    for w in wanted {
+        if w != "all" && !EXPERIMENTS.contains(&w.as_str()) {
+            return Err(format!("unknown experiment '{w}'\n{USAGE}"));
+        }
+    }
+    let all = wanted.iter().any(|w| w == "all");
+    let want = |name: &str| all || wanted.iter().any(|w| w == name);
+    let quick = effort == Effort::Quick;
+    let mut experiments: Vec<(&str, Json)> = Vec::new();
+
+    if print {
+        println!(
+            "SGXBounds reproduction — preset {:?}, effort {:?}\n",
+            preset, effort
+        );
+    }
+    macro_rules! say {
+        ($($t:tt)*) => {
+            if print {
+                println!($($t)*);
+            }
+        };
+    }
+
+    if want("fig1") {
+        let steps = if quick { 3 } else { 5 };
+        let f = exp::fig01::run(preset, steps, seed);
+        say!("{f}\n");
+        experiments.push(("fig1", f.to_json()));
+    }
+    if want("fig7") {
+        let f = exp::fig07::run(preset, effort, seed);
+        say!("{f}\n");
+        experiments.push(("fig7", f.to_json()));
+    }
+    if want("fig8") || want("table3") {
+        let sizes: &[SizeClass] = if quick {
+            &[SizeClass::XS, SizeClass::M, SizeClass::XL]
+        } else {
+            &SizeClass::ALL
+        };
+        let f8 = exp::fig08::run(preset, sizes, seed);
+        if want("fig8") {
+            say!("{f8}\n");
+        }
+        if want("table3") {
+            say!("{}\n", f8.table3());
+        }
+        experiments.push(("fig8", f8.to_json()));
+    }
+    if want("fig9") {
+        let f = exp::fig09::run(preset, effort, seed);
+        say!("{f}\n");
+        experiments.push(("fig9", f.to_json()));
+    }
+    if want("fig10") {
+        let f = exp::fig10::run(preset, effort, seed);
+        say!("{f}\n");
+        experiments.push(("fig10", f.to_json()));
+    }
+    if want("table4") {
+        let t = exp::tab04::run(preset, seed);
+        say!("{t}\n");
+        experiments.push(("table4", t.to_json()));
+    }
+    if want("fig11") {
+        let f = exp::fig11::run(preset, effort, seed);
+        say!("{f}\n");
+        experiments.push(("fig11", f.to_json()));
+    }
+    if want("fig12") {
+        let f = exp::fig12::run(preset, effort, seed);
+        say!("{f}\n");
+        experiments.push(("fig12", f.to_json()));
+    }
+    if want("fig13") {
+        let clients: &[u32] = if quick {
+            &[1, 4, 16]
+        } else {
+            &[1, 2, 4, 8, 16, 32]
+        };
+        let rpc = if quick { 24 } else { 64 };
+        let f = exp::fig13::run(preset, clients, rpc, seed);
+        say!("{f}\n");
+        experiments.push(("fig13", f.to_json()));
+    }
+    if want("cases") {
+        let c = exp::cases::run(preset, seed);
+        say!("{c}\n");
+        experiments.push(("cases", c.to_json()));
+    }
+
+    Ok(Json::obj(vec![
+        ("schema", "sgxs-bench-v1".into()),
+        ("preset", format!("{preset:?}").into()),
+        ("effort", format!("{effort:?}").into()),
+        ("experiments", Json::obj(experiments)),
+    ]))
+}
+
+/// The experiment suite (`repro fig7 --quick`, `repro all --json f`).
+pub fn run_experiments(args: &[String]) -> Result<i32, String> {
+    let mut preset = Preset::Mini;
+    let mut effort = Effort::Full;
+    let mut seed = DEFAULT_SEED;
+    let mut json_path: Option<String> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = Args::new("repro", args);
+    while let Some(a) = it.next_arg() {
+        if let Some(p) = preset_flag(a) {
+            preset = p;
+            continue;
+        }
+        match a {
+            "--quick" => effort = Effort::Quick,
+            "--seed" => seed = it.parse("--seed")?,
+            "--json" => json_path = Some(it.value("--json")?),
+            other => wanted.push(other.trim_start_matches('-').to_lowercase()),
+        }
+    }
+    if wanted.is_empty() {
+        return Err(USAGE.to_owned());
+    }
+    let doc = run_suite(preset, effort, &wanted, seed, true)?;
+    if let Some(path) = &json_path {
+        write_file(path, &doc.to_pretty()).map_err(|e| format!("repro: {e}"))?;
+        println!("bench json written to {path}");
+    }
+    Ok(0)
+}
+
+/// `repro profile <workload>`: one observed run, rendered.
+pub fn run_profile(args: &[String]) -> Result<i32, String> {
+    let mut workload: Option<String> = None;
+    let mut scheme = Scheme::SgxBounds;
+    let mut preset = Preset::Tiny;
+    let mut size = SizeClass::XS;
+    let mut seed = DEFAULT_SEED;
+    let mut trace: Option<String> = None;
+    let mut json: Option<String> = None;
+    let mut top = DEFAULT_TOP;
+    let mut ring = DEFAULT_RING;
+    let mut it = Args::new("profile", args);
+    while let Some(a) = it.next_arg() {
+        if let Some(p) = preset_flag(a) {
+            preset = p;
+            continue;
+        }
+        match a {
+            "--scheme" => {
+                scheme = match it.value("--scheme")?.as_str() {
+                    "sgx" | "baseline" => Scheme::Baseline,
+                    "sgxbounds" => Scheme::SgxBounds,
+                    "asan" => Scheme::Asan,
+                    "mpx" => Scheme::Mpx,
+                    other => {
+                        return Err(
+                            it.fail(format!("unknown scheme '{other}' (sgx|sgxbounds|asan|mpx)"))
+                        )
+                    }
+                }
+            }
+            "--trace" => trace = Some(it.value("--trace")?),
+            "--json" => json = Some(it.value("--json")?),
+            "--top" => top = it.parse("--top")?,
+            "--ring" => ring = it.parse("--ring")?,
+            "--seed" => seed = it.parse("--seed")?,
+            "--quick" => size = SizeClass::XS,
+            "--full" => size = SizeClass::L,
+            other if !other.starts_with('-') && workload.is_none() => {
+                workload = Some(other.to_owned())
+            }
+            other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
+        }
+    }
+    let Some(name) = workload else {
+        return Err(it.fail(format!("a workload name is required\n{USAGE}")));
+    };
+    let Some(w) = sgxs_workloads::by_name(&name) else {
+        return Err(it.fail(format!("unknown workload '{name}'")));
+    };
+    let mut rc = RunConfig::new(preset);
+    rc.params.size = size;
+    rc.params.seed = seed;
+    let pr = profile_one(w.as_ref(), scheme, &rc, ring, top);
+    print!("{}", render_profile(&pr.profile));
+    if let Some(path) = &trace {
+        write_file(path, &pr.recorder.to_jsonl()).map_err(|e| it.fail(e))?;
+        println!(
+            "trace: {} events written to {path} ({} dropped from the ring)",
+            pr.recorder.ring_len(),
+            pr.recorder.dropped()
+        );
+    }
+    if let Some(path) = &json {
+        write_file(path, &pr.profile.to_json().to_pretty()).map_err(|e| it.fail(e))?;
+        println!("profile json written to {path}");
+    }
+    // A hardened run that never executed a check means the site plumbing is
+    // broken — fail loudly so CI catches it.
+    let hardened = !matches!(scheme, Scheme::Baseline);
+    if hardened && pr.profile.top_sites.is_empty() {
+        eprintln!("profile: no check site fired under {}", scheme.label());
+        return Ok(1);
+    }
+    Ok(if pr.measured.ok() { 0 } else { 1 })
+}
+
+/// `repro fuzz`: differential fuzzing campaign and/or corpus replay.
+pub fn run_fuzz(args: &[String]) -> Result<i32, String> {
+    let mut opts = sgxs_fuzz::FuzzOpts::default();
+    let mut corpus: Option<String> = None;
+    let mut ran_seeds = false;
+    let mut it = Args::new("fuzz", args);
+    while let Some(a) = it.next_arg() {
+        match a {
+            "--seeds" => {
+                opts.seeds = it.parse("--seeds")?;
+                ran_seeds = true;
+            }
+            "--seed0" => opts.seed0 = it.parse("--seed0")?,
+            "--max-ops" => opts.max_ops = it.parse::<u64>("--max-ops")? as usize,
+            "--no-shrink" => opts.shrink = false,
+            "--corpus" => corpus = Some(it.value("--corpus")?),
+            other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
+        }
+    }
+    let mut failed = false;
+    if let Some(path) = &corpus {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| it.fail(format!("cannot read corpus {path}: {e}")))?;
+        let entries = sgxs_fuzz::parse_corpus(&text).map_err(|e| it.fail(e))?;
+        println!("replaying {} corpus entries from {path}", entries.len());
+        for entry in &entries {
+            let bad = entry.replay();
+            if bad.is_empty() {
+                continue;
+            }
+            failed = true;
+            for (scheme, v) in bad {
+                println!(
+                    "  corpus entry '{}': {} produced {:?}",
+                    entry.to_line(),
+                    scheme.label(),
+                    v
+                );
+            }
+        }
+        if !failed {
+            println!("corpus clean: every entry matches the detection model\n");
+        }
+    }
+    if corpus.is_none() || ran_seeds {
+        let report = sgxs_fuzz::run_campaign(&opts);
+        println!("{}", report.render());
+        failed |= !report.disagreements.is_empty();
+    }
+    Ok(if failed { 1 } else { 0 })
+}
+
+/// The short git revision of the working tree, or "unknown" outside a
+/// repository.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=7", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// `repro bench record`: run the full suite and append one
+/// `sgxs-history-v1` line per replicate. Replicate `i` runs with seed
+/// `seed0 + i`, so same-rev replicates expose the input-noise floor.
+pub fn run_bench(args: &[String]) -> Result<i32, String> {
+    let mut it = Args::new("bench", args);
+    match it.next_arg() {
+        Some("record") => {}
+        _ => return Err(it.fail(format!("expected 'bench record ...'\n{USAGE}"))),
+    }
+    let mut preset = Preset::Mini;
+    let mut effort = Effort::Full;
+    let mut out = "results/history.jsonl".to_owned();
+    let mut replicates: u64 = 1;
+    let mut seed0 = DEFAULT_SEED;
+    let mut rev: Option<String> = None;
+    while let Some(a) = it.next_arg() {
+        if let Some(p) = preset_flag(a) {
+            preset = p;
+            continue;
+        }
+        match a {
+            "--quick" => effort = Effort::Quick,
+            "--out" => out = it.value("--out")?,
+            "--replicates" => replicates = it.parse("--replicates")?,
+            "--seed0" => seed0 = it.parse("--seed0")?,
+            "--rev" => rev = Some(it.value("--rev")?),
+            other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
+        }
+    }
+    if replicates == 0 {
+        return Err(it.fail("--replicates must be at least 1"));
+    }
+    let rev = rev.unwrap_or_else(git_rev);
+    let mut lines = String::new();
+    for i in 0..replicates {
+        let seed = seed0 + i;
+        println!(
+            "recording replicate {}/{replicates}: rev {rev}, preset {preset:?}, \
+             effort {effort:?}, seed {seed}",
+            i + 1
+        );
+        let doc =
+            run_suite(preset, effort, &["all".to_owned()], seed, false).map_err(|e| it.fail(e))?;
+        let record = HistoryRecord::new(&rev, seed, doc).map_err(|e| it.fail(e))?;
+        lines.push_str(&record.to_line());
+        lines.push('\n');
+    }
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&out)
+        .map_err(|e| it.fail(format!("cannot open {out}: {e}")))?;
+    f.write_all(lines.as_bytes())
+        .map_err(|e| it.fail(format!("cannot append to {out}: {e}")))?;
+    println!(
+        "appended {replicates} record(s) to {out} (rev {rev}, seeds {seed0}..={})",
+        seed0 + replicates - 1
+    );
+    Ok(0)
+}
+
+/// Loads one comparison side: a `sgxs-bench-v1` file is a single
+/// replicate; a `sgxs-history-v1` JSONL file contributes every record of
+/// the chosen (rev, preset, effort) — by default the newest record's,
+/// i.e. the last matching line.
+fn load_side(
+    cmd: &Args<'_>,
+    path: &str,
+    rev: Option<&str>,
+    preset: Option<&str>,
+) -> Result<(String, Vec<Vec<Metric>>), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| cmd.fail(format!("cannot read {path}: {e}")))?;
+    // A history file is JSONL: its first line is a complete
+    // `sgxs-history-v1` object. A bench document is pretty-printed, so
+    // its first line alone never parses.
+    let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+    let is_history = Json::parse(first)
+        .ok()
+        .and_then(|v| {
+            v.get("schema")
+                .and_then(Json::as_str)
+                .map(|s| s == sgxs_perf::HISTORY_SCHEMA)
+        })
+        .unwrap_or(false);
+    if !is_history {
+        let doc = parse_bench(&text).map_err(|e| cmd.fail(format!("{path}: {e}")))?;
+        if let Some(p) = preset {
+            if doc.preset != p {
+                return Err(cmd.fail(format!("{path} is preset {}, wanted {p}", doc.preset)));
+            }
+        }
+        let label = format!("{path} ({}/{}, n=1)", doc.preset, doc.effort);
+        return Ok((label, vec![flatten(&doc)]));
+    }
+    let recs = parse_history(&text).map_err(|e| cmd.fail(format!("{path}: {e}")))?;
+    let pick = recs
+        .iter()
+        .rev()
+        .find(|r| rev.is_none_or(|v| r.rev == v) && preset.is_none_or(|p| r.preset == p))
+        .ok_or_else(|| cmd.fail(format!("{path}: no record matches the rev/preset filter")))?;
+    let (rev, preset, effort) = (pick.rev.clone(), pick.preset.clone(), pick.effort.clone());
+    let sel: Vec<Vec<Metric>> = recs
+        .iter()
+        .filter(|r| r.rev == rev && r.preset == preset && r.effort == effort)
+        .map(HistoryRecord::metrics)
+        .collect();
+    let label = format!("{path}@{rev} ({preset}/{effort}, n={})", sel.len());
+    Ok((label, sel))
+}
+
+/// `repro compare BASE NEW`: statistical comparison with an optional CI
+/// gate (`--gate` turns confirmed regressions into exit code 1).
+pub fn run_compare(args: &[String]) -> Result<i32, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut gate = false;
+    let mut top = 20usize;
+    let mut opts = CompareOpts::default();
+    let mut json: Option<String> = None;
+    let mut base_rev: Option<String> = None;
+    let mut new_rev: Option<String> = None;
+    let mut preset: Option<String> = None;
+    let mut it = Args::new("compare", args);
+    while let Some(a) = it.next_arg() {
+        match a {
+            "--gate" => gate = true,
+            "--top" => top = it.parse("--top")?,
+            "--threshold" => opts.rel_threshold = it.parse("--threshold")?,
+            "--noise-mult" => opts.noise_mult = it.parse("--noise-mult")?,
+            "--base-rev" => base_rev = Some(it.value("--base-rev")?),
+            "--rev" | "--new-rev" => new_rev = Some(it.value(a)?),
+            "--preset" => preset = Some(it.value("--preset")?),
+            "--json" => json = Some(it.value("--json")?),
+            other if !other.starts_with('-') => paths.push(other.to_owned()),
+            other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        return Err(it.fail(format!(
+            "expected exactly two inputs (got {})\n{USAGE}",
+            paths.len()
+        )));
+    };
+    let (base_label, base) = load_side(&it, base_path, base_rev.as_deref(), preset.as_deref())?;
+    let (new_label, new) = load_side(&it, new_path, new_rev.as_deref(), preset.as_deref())?;
+    let report = compare(&base_label, &base, &new_label, &new, opts);
+    print!("{}", report.render(top));
+    if let Some(path) = &json {
+        write_file(path, &report.to_json().to_pretty()).map_err(|e| it.fail(e))?;
+        println!("compare json written to {path}");
+    }
+    Ok(if gate && report.gate_failed() { 1 } else { 0 })
+}
+
+/// `repro render <profile.json>`: ASCII table to stdout, plus optional
+/// folded-stack and SVG files.
+pub fn run_render(args: &[String]) -> Result<i32, String> {
+    let mut input: Option<String> = None;
+    let mut top = 10usize;
+    let mut folded: Option<String> = None;
+    let mut svg: Option<String> = None;
+    let mut it = Args::new("render", args);
+    while let Some(a) = it.next_arg() {
+        match a {
+            "--top" => top = it.parse("--top")?,
+            "--folded" => folded = Some(it.value("--folded")?),
+            "--svg" => svg = Some(it.value("--svg")?),
+            other if !other.starts_with('-') && input.is_none() => input = Some(other.to_owned()),
+            other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
+        }
+    }
+    let Some(path) = input else {
+        return Err(it.fail(format!("a profile.json input is required\n{USAGE}")));
+    };
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| it.fail(format!("cannot read {path}: {e}")))?;
+    let doc = parse_profile(&text).map_err(|e| it.fail(format!("{path}: {e}")))?;
+    print!("{}", render::ascii_table(&doc, top));
+    if let Some(out) = &folded {
+        write_file(out, &render::folded(&doc)).map_err(|e| it.fail(e))?;
+        println!("folded stacks written to {out}");
+    }
+    if let Some(out) = &svg {
+        write_file(out, &render::svg(&doc)).map_err(|e| it.fail(e))?;
+        println!("svg written to {out}");
+    }
+    Ok(0)
+}

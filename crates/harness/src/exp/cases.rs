@@ -54,8 +54,9 @@ fn verdict(case: &'static str, w: &dyn Workload, scheme: Scheme, rc: &RunConfig)
 }
 
 /// Runs every case under every scheme, plus SGXBounds+boundless.
-pub fn run(preset: Preset) -> Cases {
-    let rc = RunConfig::new(preset);
+pub fn run(preset: Preset, seed: u64) -> Cases {
+    let mut rc = RunConfig::new(preset);
+    rc.params.seed = seed;
     let boundless = Scheme::SgxBoundsCustom(SbConfig {
         boundless: true,
         ..SbConfig::default()

@@ -33,8 +33,9 @@ pub struct Fig1 {
 }
 
 /// Runs the sweep. `steps` points, doubling row counts.
-pub fn run(preset: Preset, steps: usize) -> Fig1 {
-    let rc = RunConfig::new(preset);
+pub fn run(preset: Preset, steps: usize, seed: u64) -> Fig1 {
+    let mut rc = RunConfig::new(preset);
+    rc.params.seed = seed;
     // Start around 1/16th of the enclave cap's row equivalent and double;
     // the later points push MPX's 4x bounds-table factor over the cap.
     let cap = rc.enclave_cap();

@@ -31,10 +31,11 @@ pub struct Fig7 {
 }
 
 /// Runs the experiment.
-pub fn run(preset: Preset, effort: Effort) -> Fig7 {
+pub fn run(preset: Preset, effort: Effort, seed: u64) -> Fig7 {
     let mut rc = RunConfig::new(preset);
     rc.params.size = effort.size();
     rc.params.threads = 8;
+    rc.params.seed = seed;
     let mut rows = Vec::new();
     for w in sgxs_workloads::phoenix_parsec() {
         let base = run_one(w.as_ref(), Scheme::Baseline, &rc);

@@ -70,7 +70,7 @@ pub struct Fig8 {
 }
 
 /// Runs the sweep over `sizes`.
-pub fn run(preset: Preset, sizes: &[SizeClass]) -> Fig8 {
+pub fn run(preset: Preset, sizes: &[SizeClass], seed: u64) -> Fig8 {
     let mut sweeps = Vec::new();
     for name in BENCHMARKS {
         let w = sgxs_workloads::by_name(name).expect("benchmark registered");
@@ -79,6 +79,7 @@ pub fn run(preset: Preset, sizes: &[SizeClass]) -> Fig8 {
             let mut rc = RunConfig::new(preset);
             rc.params.size = size;
             rc.params.threads = 8;
+            rc.params.seed = seed;
             let sgxb = run_one(w.as_ref(), Scheme::SgxBounds, &rc);
             assert!(sgxb.ok(), "{name} sgxbounds failed: {:?}", sgxb.result);
             let base = run_one(w.as_ref(), Scheme::Baseline, &rc);

@@ -29,7 +29,7 @@ pub struct Fig9 {
 }
 
 /// Runs the experiment.
-pub fn run(preset: Preset, effort: Effort) -> Fig9 {
+pub fn run(preset: Preset, effort: Effort, seed: u64) -> Fig9 {
     let mut rows = Vec::new();
     for w in sgxs_workloads::phoenix_parsec() {
         let mut over = [None; 4];
@@ -37,6 +37,7 @@ pub fn run(preset: Preset, effort: Effort) -> Fig9 {
             let mut rc = RunConfig::new(preset);
             rc.params.size = effort.size();
             rc.params.threads = threads;
+            rc.params.seed = seed;
             let base = run_one(w.as_ref(), Scheme::Baseline, &rc);
             assert!(base.ok(), "{} baseline failed", w.name());
             for (si, scheme) in [Scheme::Asan, Scheme::SgxBounds].into_iter().enumerate() {

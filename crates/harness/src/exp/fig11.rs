@@ -34,11 +34,18 @@ pub struct SpecFig {
 
 /// Runs SPEC under the given execution mode (Enclave = Fig. 11, Native =
 /// Fig. 12).
-pub fn run_spec(preset: Preset, effort: Effort, mode: Mode, caption: &'static str) -> SpecFig {
+pub fn run_spec(
+    preset: Preset,
+    effort: Effort,
+    mode: Mode,
+    caption: &'static str,
+    seed: u64,
+) -> SpecFig {
     let mut rc = RunConfig::new(preset);
     rc.mode = mode;
     rc.params.size = effort.size();
     rc.params.threads = 1; // SPEC is single-threaded.
+    rc.params.seed = seed;
     let mut rows = Vec::new();
     for w in sgxs_workloads::spec::all() {
         let base = run_one(w.as_ref(), Scheme::Baseline, &rc);
@@ -70,12 +77,13 @@ pub fn run_spec(preset: Preset, effort: Effort, mode: Mode, caption: &'static st
 }
 
 /// Figure 11: in-enclave SPEC.
-pub fn run(preset: Preset, effort: Effort) -> SpecFig {
+pub fn run(preset: Preset, effort: Effort, seed: u64) -> SpecFig {
     run_spec(
         preset,
         effort,
         Mode::Enclave,
         "Figure 11: SPEC inside the enclave — overheads over native SGX",
+        seed,
     )
 }
 

@@ -8,11 +8,12 @@ use super::Effort;
 use sgxs_sim::{Mode, Preset};
 
 /// Runs SPEC in native (non-enclave) mode.
-pub fn run(preset: Preset, effort: Effort) -> SpecFig {
+pub fn run(preset: Preset, effort: Effort, seed: u64) -> SpecFig {
     run_spec(
         preset,
         effort,
         Mode::Native,
         "Figure 12: SPEC outside the enclave — overheads over native execution",
+        seed,
     )
 }

@@ -60,7 +60,7 @@ fn build_app(name: &str, clients: u32, requests: u64) -> Box<dyn Workload> {
 
 /// Runs the sweep over `client_steps`, issuing `req_per_client` requests
 /// per client.
-pub fn run(preset: Preset, client_steps: &[u32], req_per_client: u64) -> Fig13 {
+pub fn run(preset: Preset, client_steps: &[u32], req_per_client: u64, seed: u64) -> Fig13 {
     let mut apps = Vec::new();
     for name in ["memcached", "apache", "nginx"] {
         let mut samples = Vec::new();
@@ -79,6 +79,7 @@ pub fn run(preset: Preset, client_steps: &[u32], req_per_client: u64) -> Fig13 {
             for (label, scheme, mode) in variants {
                 let mut rc = RunConfig::new(preset);
                 rc.mode = mode;
+                rc.params.seed = seed;
                 let m = run_one(w.as_ref(), scheme, &rc);
                 let (tp, lat) = if m.ok() && m.wall_cycles > 0 {
                     let tp = requests as f64 / (m.wall_cycles as f64 / 1_000_000.0);

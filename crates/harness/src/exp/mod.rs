@@ -13,6 +13,12 @@ pub mod tab04;
 
 use sgxs_workloads::SizeClass;
 
+/// The input-generation seed every committed baseline was recorded with
+/// (the `Params::new` default). `repro bench record` varies the seed per
+/// replicate so same-rev runs expose the input-sensitivity noise floor;
+/// everything else passes this constant for byte-stable outputs.
+pub const DEFAULT_SEED: u64 = 42;
+
 /// Experiment effort level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Effort {

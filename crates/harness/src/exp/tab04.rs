@@ -75,8 +75,9 @@ fn run_attack(module: Module, scheme: &str, rc: &RunConfig) -> Outcome {
 }
 
 /// Runs the full matrix.
-pub fn run(preset: Preset) -> Tab4 {
-    let rc = RunConfig::new(preset);
+pub fn run(preset: Preset, seed: u64) -> Tab4 {
+    let mut rc = RunConfig::new(preset);
+    rc.params.seed = seed;
     let mut matrix = Vec::new();
     for cfg in ripe::all_attacks() {
         let outcomes =

@@ -1,0 +1,171 @@
+//! In-process tests of the `repro` command line. Every subcommand
+//! returns `Result<i32, String>` instead of exiting, so the acceptance
+//! criteria of the analysis tier are pinned here without spawning
+//! processes:
+//!
+//! * same-rev replicates must pass the `--gate`;
+//! * a synthetic +30 % `perf_vs_sgx` shift must fail it with exit 1;
+//! * the committed `results/history.jsonl` must gate cleanly against the
+//!   committed `results/bench.json` (what the CI perf-gate job runs);
+//! * `profile` → `render` round-trips through `sgxs-profile-v1`.
+
+use sgxs_harness::cli;
+use sgxs_perf::HistoryRecord;
+
+/// Repo-relative path into `results/`.
+fn results(name: &str) -> String {
+    format!("{}/../../results/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// A fresh scratch directory per test.
+fn scratch(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sgxs-cli-{test}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| (*s).to_owned()).collect()
+}
+
+/// A minimal valid bench document with one directional metric.
+fn bench_doc(perf: f64) -> String {
+    format!(
+        r#"{{
+  "schema": "sgxs-bench-v1",
+  "preset": "Tiny",
+  "effort": "Quick",
+  "experiments": {{
+    "fig1": {{
+      "points": [
+        {{"rows": 256, "perf_vs_sgx": {{"mpx": 18.8, "asan": 4.5, "sgxbounds": {perf}}}}}
+      ]
+    }}
+  }}
+}}"#
+    )
+}
+
+#[test]
+fn same_rev_replicates_pass_the_gate() {
+    let dir = scratch("samerev");
+    // Three replicates of the same rev, seed-level jitter only.
+    let mut lines = String::new();
+    for (seed, perf) in [(42u64, 1.170), (43, 1.173), (44, 1.168)] {
+        let bench = sgxs_obs::json::Json::parse(&bench_doc(perf)).unwrap();
+        lines.push_str(&HistoryRecord::new("r1", seed, bench).unwrap().to_line());
+        lines.push('\n');
+    }
+    let hist = dir.join("history.jsonl");
+    std::fs::write(&hist, lines).unwrap();
+    let base = dir.join("base.json");
+    std::fs::write(&base, bench_doc(1.171)).unwrap();
+
+    let code = cli::run_compare(&args(&[
+        base.to_str().unwrap(),
+        hist.to_str().unwrap(),
+        "--gate",
+    ]))
+    .unwrap();
+    assert_eq!(code, 0, "same-rev replicates must not trip the gate");
+}
+
+#[test]
+fn synthetic_thirty_percent_shift_fails_the_gate() {
+    let dir = scratch("shift");
+    let base = dir.join("base.json");
+    let new = dir.join("new.json");
+    std::fs::write(&base, bench_doc(1.17)).unwrap();
+    std::fs::write(&new, bench_doc(1.521)).unwrap(); // +30 %
+
+    let gated = cli::run_compare(&args(&[
+        base.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--gate",
+    ]))
+    .unwrap();
+    assert_eq!(gated, 1, "+30% perf_vs_sgx shift must fail the gate");
+
+    // Without --gate the regression is reported but the exit stays 0.
+    let ungated =
+        cli::run_compare(&args(&[base.to_str().unwrap(), new.to_str().unwrap()])).unwrap();
+    assert_eq!(ungated, 0);
+}
+
+#[test]
+fn committed_history_gates_cleanly_against_committed_baseline() {
+    let report = scratch("committed").join("compare.json");
+    let code = cli::run_compare(&args(&[
+        &results("bench.json"),
+        &results("history.jsonl"),
+        "--gate",
+        "--json",
+        report.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert_eq!(code, 0, "committed artifacts must agree with each other");
+    let text = std::fs::read_to_string(&report).unwrap();
+    let j = sgxs_obs::json::Json::parse(&text).unwrap();
+    assert_eq!(
+        j.get("schema").and_then(sgxs_obs::json::Json::as_str),
+        Some("sgxs-compare-v1")
+    );
+}
+
+#[test]
+fn profile_then_render_roundtrips() {
+    let dir = scratch("render");
+    let json = dir.join("profile.json");
+    let folded = dir.join("profile.folded");
+    let svg = dir.join("profile.svg");
+    let code = cli::run_profile(&args(&[
+        "sqlite",
+        "--tiny",
+        "--quick",
+        "--json",
+        json.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert_eq!(code, 0);
+    let code = cli::run_render(&args(&[
+        json.to_str().unwrap(),
+        "--folded",
+        folded.to_str().unwrap(),
+        "--svg",
+        svg.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert_eq!(code, 0);
+
+    // Folded stacks are inferno-shaped and sum to the profiled cpu cycles.
+    let doc = sgxs_obs::read::parse_profile(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    let text = std::fs::read_to_string(&folded).unwrap();
+    let total: u64 = text
+        .lines()
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+        .sum();
+    assert_eq!(
+        total, doc.cpu_cycles,
+        "folded counts must sum to cpu_cycles"
+    );
+    let svg_text = std::fs::read_to_string(&svg).unwrap();
+    assert!(svg_text.starts_with("<svg ") && svg_text.trim_end().ends_with("</svg>"));
+}
+
+#[test]
+fn usage_errors_are_errors_not_exits() {
+    assert!(cli::run(&[]).is_err());
+    assert!(cli::run(&args(&["no_such_experiment"])).is_err());
+    assert!(cli::run(&args(&["compare", "only-one-side.json"])).is_err());
+    assert!(cli::run(&args(&["render"])).is_err());
+    assert!(cli::run(&args(&["bench"])).is_err());
+    assert!(cli::run(&args(&["profile", "--scheme"])).is_err());
+
+    // Malformed inputs surface as errors too.
+    let dir = scratch("badinput");
+    let bad = dir.join("bad.json");
+    std::fs::write(&bad, "{not json").unwrap();
+    assert!(cli::run_compare(&args(&[bad.to_str().unwrap(), bad.to_str().unwrap()])).is_err());
+    assert!(cli::run_render(&args(&[bad.to_str().unwrap()])).is_err());
+}

@@ -167,8 +167,16 @@ impl Json {
             }
             Json::F64(v) => {
                 if v.is_finite() {
-                    // Rust's shortest-roundtrip float formatting.
+                    // Rust's shortest-roundtrip float formatting, with one
+                    // correction: integral values print as `2` which would
+                    // re-parse as an integer (a different `Json` variant and
+                    // a diff-visible change in committed baselines), so they
+                    // get an explicit `.0` suffix.
+                    let start = out.len();
                     let _ = write!(out, "{v}");
+                    if !out[start..].contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
                 } else {
                     out.push_str("null");
                 }
@@ -419,6 +427,29 @@ mod tests {
         assert!(text.contains("\\n"));
         assert!(text.contains("\\u0001"));
         assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_roundtrip_shortest_and_stay_floats() {
+        // Integral floats must not collapse into the integer variant (that
+        // would flip `Json` equality and churn committed baselines).
+        for v in [2.0f64, -3.0, 0.0, 1e10] {
+            let text = Json::F64(v).to_compact();
+            assert!(
+                text.contains(['.', 'e', 'E']),
+                "{text} would re-parse as an integer"
+            );
+            assert_eq!(Json::parse(&text).unwrap(), Json::F64(v));
+        }
+        // Shortest-roundtrip: no trailing noise digits on common ratios.
+        assert_eq!(Json::F64(1.17).to_compact(), "1.17");
+        assert_eq!(Json::F64(0.1).to_compact(), "0.1");
+        assert_eq!(Json::F64(2.0).to_compact(), "2.0");
+        // Full-precision values survive the round trip bit-exactly.
+        for v in [1.0 / 3.0, f64::MIN_POSITIVE, 18.80840745173663] {
+            let back = Json::parse(&Json::F64(v).to_compact()).unwrap();
+            assert_eq!(back, Json::F64(v));
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! kind.
 
 pub mod json;
+pub mod read;
 
 use json::Json;
 use std::collections::VecDeque;

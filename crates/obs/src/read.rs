@@ -1,0 +1,290 @@
+//! Readers for the machine-readable schemas this crate's producers emit:
+//! `sgxs-bench-v1` (`repro ... --json`) and `sgxs-profile-v1`
+//! (`repro profile ... --json`).
+//!
+//! Emission lives next to the data it serializes (`Profile::to_json`, the
+//! experiment `to_json` impls); parsing lives here so downstream analysis
+//! (the `sgxs-perf` history/compare/render tier) never re-implements schema
+//! knowledge. Readers are strict about the schema tag and the envelope
+//! shape but deliberately lenient about experiment payloads — those evolve
+//! per figure, and the analysis tier works on flattened numeric leaves
+//! rather than per-figure structs. All errors are `Err(String)`s; no input,
+//! however malformed or truncated, panics.
+
+use crate::json::Json;
+
+/// Schema tag of bench documents.
+pub const BENCH_SCHEMA: &str = "sgxs-bench-v1";
+
+/// Schema tag of profile documents.
+pub const PROFILE_SCHEMA: &str = "sgxs-profile-v1";
+
+/// A parsed `sgxs-bench-v1` document.
+#[derive(Debug, Clone)]
+pub struct BenchDoc {
+    /// Machine preset the run used (`Tiny` / `Mini` / `Paper`).
+    pub preset: String,
+    /// Effort level (`Quick` / `Full`).
+    pub effort: String,
+    /// `(experiment id, payload)` in document order.
+    pub experiments: Vec<(String, Json)>,
+}
+
+impl BenchDoc {
+    /// The payload of one experiment, if present.
+    pub fn experiment(&self, id: &str) -> Option<&Json> {
+        self.experiments
+            .iter()
+            .find(|(k, _)| k == id)
+            .map(|(_, v)| v)
+    }
+}
+
+/// One `top_sites` row of a profile document.
+#[derive(Debug, Clone)]
+pub struct ProfileSite {
+    /// Check-site ID.
+    pub site: u64,
+    /// Enclosing function.
+    pub func: String,
+    /// Check kind label.
+    pub kind: String,
+    /// Completed executions.
+    pub execs: u64,
+    /// Cycles spent in the check sequence.
+    pub cycles: u64,
+    /// Violations at this site.
+    pub fails: u64,
+}
+
+/// A parsed `sgxs-profile-v1` document.
+#[derive(Debug, Clone)]
+pub struct ProfileDoc {
+    /// Workload name.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Simulated wall-clock cycles.
+    pub wall_cycles: u64,
+    /// Summed thread cycles.
+    pub cpu_cycles: u64,
+    /// Application share of CPU cycles.
+    pub app_cycles: u64,
+    /// Instrumentation share of CPU cycles.
+    pub check_cycles: u64,
+    /// Completed check executions.
+    pub check_execs: u64,
+    /// Violations recorded.
+    pub check_fails: u64,
+    /// Check sites the pass inserted.
+    pub sites_total: u64,
+    /// Sites that fired at least once.
+    pub sites_active: u64,
+    /// Hottest sites, as serialized (already sorted by cycles, descending).
+    pub top_sites: Vec<ProfileSite>,
+    /// Total events recorded.
+    pub events: u64,
+    /// Hex digest over the full event stream.
+    pub digest: String,
+}
+
+fn obj_of<'a>(v: &'a Json, what: &str) -> Result<&'a Json, String> {
+    match v {
+        Json::Obj(_) => Ok(v),
+        other => Err(format!("{what}: expected an object, got {other:?}")),
+    }
+}
+
+fn str_field(v: &Json, key: &str, what: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("{what}: missing or non-string field '{key}'"))
+}
+
+fn u64_field(v: &Json, key: &str, what: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("{what}: missing or non-integer field '{key}'"))
+}
+
+fn check_schema(v: &Json, expect: &str, what: &str) -> Result<(), String> {
+    let tag = str_field(v, "schema", what)?;
+    if tag != expect {
+        return Err(format!("{what}: schema is '{tag}', expected '{expect}'"));
+    }
+    Ok(())
+}
+
+/// Rejects non-finite numbers anywhere in the tree. The writer serializes
+/// non-finite floats as `null`, so a parsed `Infinity` can only come from a
+/// hand-edited or foreign file (e.g. a `1e999` literal) — refuse it rather
+/// than let NaN poison downstream statistics.
+fn check_finite(v: &Json, path: &str) -> Result<(), String> {
+    match v {
+        Json::F64(f) if !f.is_finite() => Err(format!("non-finite number at {path}")),
+        Json::Arr(items) => items
+            .iter()
+            .enumerate()
+            .try_for_each(|(i, item)| check_finite(item, &format!("{path}[{i}]"))),
+        Json::Obj(fields) => fields
+            .iter()
+            .try_for_each(|(k, item)| check_finite(item, &format!("{path}.{k}"))),
+        _ => Ok(()),
+    }
+}
+
+/// Interprets an already-parsed JSON value as a bench document.
+pub fn bench_from_json(v: &Json) -> Result<BenchDoc, String> {
+    let what = "bench";
+    obj_of(v, what)?;
+    check_schema(v, BENCH_SCHEMA, what)?;
+    check_finite(v, what)?;
+    let exps = v
+        .get("experiments")
+        .ok_or_else(|| format!("{what}: missing field 'experiments'"))?;
+    let Json::Obj(fields) = exps else {
+        return Err(format!("{what}: 'experiments' is not an object"));
+    };
+    Ok(BenchDoc {
+        preset: str_field(v, "preset", what)?,
+        effort: str_field(v, "effort", what)?,
+        experiments: fields.clone(),
+    })
+}
+
+/// Parses a `sgxs-bench-v1` document from text.
+pub fn parse_bench(text: &str) -> Result<BenchDoc, String> {
+    bench_from_json(&Json::parse(text).map_err(|e| format!("bench: {e}"))?)
+}
+
+/// Interprets an already-parsed JSON value as a profile document.
+pub fn profile_from_json(v: &Json) -> Result<ProfileDoc, String> {
+    let what = "profile";
+    obj_of(v, what)?;
+    check_schema(v, PROFILE_SCHEMA, what)?;
+    check_finite(v, what)?;
+    let att = v
+        .get("attribution")
+        .ok_or_else(|| format!("{what}: missing field 'attribution'"))?;
+    let mut top_sites = Vec::new();
+    let rows = v
+        .get("top_sites")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: missing or non-array field 'top_sites'"))?;
+    for (i, row) in rows.iter().enumerate() {
+        let what = format!("profile top_sites[{i}]");
+        top_sites.push(ProfileSite {
+            site: u64_field(row, "site", &what)?,
+            func: str_field(row, "func", &what)?,
+            kind: str_field(row, "kind", &what)?,
+            execs: u64_field(row, "execs", &what)?,
+            cycles: u64_field(row, "cycles", &what)?,
+            fails: u64_field(row, "fails", &what)?,
+        });
+    }
+    let doc = ProfileDoc {
+        workload: str_field(v, "workload", what)?,
+        scheme: str_field(v, "scheme", what)?,
+        wall_cycles: u64_field(v, "wall_cycles", what)?,
+        cpu_cycles: u64_field(v, "cpu_cycles", what)?,
+        app_cycles: u64_field(att, "app_cycles", "profile attribution")?,
+        check_cycles: u64_field(att, "check_cycles", "profile attribution")?,
+        check_execs: u64_field(v, "check_execs", what)?,
+        check_fails: u64_field(v, "check_fails", what)?,
+        sites_total: u64_field(v, "sites_total", what)?,
+        sites_active: u64_field(v, "sites_active", what)?,
+        top_sites,
+        events: u64_field(v, "events", what)?,
+        digest: str_field(v, "digest", what)?,
+    };
+    if doc.app_cycles + doc.check_cycles != doc.cpu_cycles {
+        return Err(format!(
+            "{what}: attribution does not sum (app {} + checks {} != cpu {})",
+            doc.app_cycles, doc.check_cycles, doc.cpu_cycles
+        ));
+    }
+    Ok(doc)
+}
+
+/// Parses a `sgxs-profile-v1` document from text.
+pub fn parse_profile(text: &str) -> Result<ProfileDoc, String> {
+    profile_from_json(&Json::parse(text).map_err(|e| format!("profile: {e}"))?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Profile, Recorder, TraceRecorder};
+
+    fn sample_profile_json() -> Json {
+        let mut r = TraceRecorder::new(8);
+        r.record(
+            1,
+            crate::Event::CheckExec {
+                site: 0,
+                cycles: 10,
+            },
+        );
+        let labels = vec![("main".to_owned(), "sb_full".to_owned())];
+        Profile::build("w", "sgxbounds", &r, &labels, 100, 200, 5).to_json()
+    }
+
+    #[test]
+    fn emitted_profile_parses_back() {
+        let j = sample_profile_json();
+        let doc = parse_profile(&j.to_pretty()).expect("own output parses");
+        assert_eq!(doc.workload, "w");
+        assert_eq!(doc.check_cycles, 10);
+        assert_eq!(doc.app_cycles + doc.check_cycles, doc.cpu_cycles);
+        assert_eq!(doc.top_sites.len(), 1);
+        assert_eq!(doc.top_sites[0].func, "main");
+    }
+
+    #[test]
+    fn committed_bench_baseline_parses() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/bench.json");
+        let text = std::fs::read_to_string(path).expect("committed baseline exists");
+        let doc = parse_bench(&text).expect("committed baseline parses");
+        assert_eq!(doc.preset, "Tiny");
+        assert_eq!(doc.effort, "Quick");
+        for key in ["fig1", "fig7", "fig8", "table4", "cases"] {
+            assert!(doc.experiment(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected_without_panic() {
+        let j = Json::obj(vec![("schema", "sgxs-bench-v9".into())]);
+        let e = bench_from_json(&j).unwrap_err();
+        assert!(e.contains("sgxs-bench-v9"), "{e}");
+        let e = parse_profile(&j.to_compact()).unwrap_err();
+        assert!(e.contains("schema"), "{e}");
+    }
+
+    #[test]
+    fn truncated_and_nonobject_inputs_error_gracefully() {
+        assert!(parse_bench("{\"schema\": \"sgxs-b").is_err());
+        assert!(parse_bench("[1, 2, 3]").is_err());
+        assert!(parse_profile("").is_err());
+    }
+
+    #[test]
+    fn nonfinite_numbers_are_rejected() {
+        let text = r#"{"schema": "sgxs-bench-v1", "preset": "Tiny",
+                       "effort": "Quick", "experiments": {"fig1": {"x": 1e999}}}"#;
+        let e = parse_bench(text).unwrap_err();
+        assert!(e.contains("non-finite"), "{e}");
+    }
+
+    #[test]
+    fn bench_envelope_fields_are_required() {
+        let text = r#"{"schema": "sgxs-bench-v1", "preset": "Tiny"}"#;
+        let e = parse_bench(text).unwrap_err();
+        assert!(e.contains("experiments"), "{e}");
+        let text = r#"{"schema": "sgxs-bench-v1", "preset": "Tiny",
+                       "experiments": {}}"#;
+        let e = parse_bench(text).unwrap_err();
+        assert!(e.contains("effort"), "{e}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Flattening a `sgxs-bench-v1` document into comparable scalar metrics.
+//!
+//! Comparison works on dotted paths with numeric leaves, e.g.
+//! `fig7.kmeans.perf.sgxbounds` or `fig13.memcached.c16.sgxbounds.
+//! throughput_req_per_mcycle`. Array elements are keyed by their naming
+//! field when they have one (`benchmark`, `app`, `case`, `attack`) so
+//! paths stay stable when rows are added or reordered; anonymous arrays
+//! (e.g. the fig1 sweep points) fall back to positional indices.
+
+use sgxs_obs::json::Json;
+use sgxs_obs::read::BenchDoc;
+
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Overhead-style metric: an increase is a regression.
+    LowerIsBetter,
+    /// Throughput-style metric: a decrease is a regression.
+    HigherIsBetter,
+    /// Descriptive value (input sizes, raw counters): compared and
+    /// reported, but never gates.
+    Informational,
+}
+
+/// One flattened metric.
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Dotted path, rooted at the experiment id.
+    pub path: String,
+    /// The value.
+    pub value: f64,
+}
+
+/// Fields that name an array element (checked in order).
+const KEY_FIELDS: [&str; 5] = ["benchmark", "app", "case", "attack", "name"];
+
+/// Words that mark an overhead-style metric (matched against the
+/// underscore-split words of each path segment).
+const LOWER_IS_BETTER: [&str; 5] = ["perf", "mem", "latency", "reserved", "overhead"];
+
+/// Words that mark a throughput-style metric.
+const HIGHER_IS_BETTER: [&str; 2] = ["throughput", "prevented"];
+
+/// Classifies a metric path.
+///
+/// Direction is derived from the path, not stored in the document, so old
+/// history records stay classifiable as the schema grows. Matching is by
+/// whole underscore-separated words (`gmean_perf` and `perf_vs_sgx` both
+/// contain the word `perf`; `memcached` does not contain `mem`).
+pub fn direction_of(path: &str) -> Direction {
+    let has = |frags: &[&str]| path.split(['.', '_']).any(|word| frags.contains(&word));
+    if has(&LOWER_IS_BETTER) {
+        Direction::LowerIsBetter
+    } else if has(&HIGHER_IS_BETTER) {
+        Direction::HigherIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+fn key_of(v: &Json) -> Option<String> {
+    KEY_FIELDS
+        .iter()
+        .find_map(|k| v.get(k).and_then(Json::as_str))
+        // Keys become path segments; keep them dot-free.
+        .map(|s| s.replace(['.', ' '], "_"))
+}
+
+fn walk(prefix: &str, v: &Json, out: &mut Vec<Metric>) {
+    match v {
+        Json::U64(n) => out.push(Metric {
+            path: prefix.to_owned(),
+            value: *n as f64,
+        }),
+        Json::I64(n) => out.push(Metric {
+            path: prefix.to_owned(),
+            value: *n as f64,
+        }),
+        Json::F64(f) if f.is_finite() => out.push(Metric {
+            path: prefix.to_owned(),
+            value: *f,
+        }),
+        Json::Obj(fields) => {
+            for (k, item) in fields {
+                walk(&format!("{prefix}.{k}"), item, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let seg = key_of(item).unwrap_or_else(|| i.to_string());
+                walk(&format!("{prefix}.{seg}"), item, out);
+            }
+        }
+        // Strings, bools, nulls (crashed measurements) carry no scalar.
+        _ => {}
+    }
+}
+
+/// Flattens a bench document into metrics, in document order.
+pub fn flatten(doc: &BenchDoc) -> Vec<Metric> {
+    let mut out = Vec::new();
+    for (id, payload) in &doc.experiments {
+        walk(id, payload, &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgxs_obs::read::parse_bench;
+
+    fn doc(experiments: &str) -> BenchDoc {
+        parse_bench(&format!(
+            r#"{{"schema": "sgxs-bench-v1", "preset": "Tiny",
+                 "effort": "Quick", "experiments": {experiments}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn flattens_named_rows_and_anonymous_points() {
+        let d = doc(r#"{"fig7": {"rows": [
+                  {"benchmark": "kmeans", "perf": {"sgxbounds": 1.17}},
+                  {"benchmark": "pca", "perf": {"sgxbounds": 1.05}}],
+                 "gmean_perf": {"sgxbounds": 1.11}},
+                "fig1": {"points": [{"rows": 100, "perf_vs_sgx": {"mpx": null}}]}}"#);
+        let m = flatten(&d);
+        let paths: Vec<&str> = m.iter().map(|x| x.path.as_str()).collect();
+        assert!(paths.contains(&"fig7.rows.kmeans.perf.sgxbounds"));
+        assert!(paths.contains(&"fig7.gmean_perf.sgxbounds"));
+        // Anonymous array → positional index; null → no metric.
+        assert!(paths.contains(&"fig1.points.0.rows"));
+        assert!(!paths.iter().any(|p| p.contains("mpx")));
+        let v = m
+            .iter()
+            .find(|x| x.path == "fig7.rows.kmeans.perf.sgxbounds")
+            .unwrap();
+        assert!((v.value - 1.17).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directions_follow_path_vocabulary() {
+        assert_eq!(
+            direction_of("fig7.rows.kmeans.perf.sgxbounds"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_of("fig1.points.0.perf_vs_sgx.sgxbounds"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_of("fig1.points.0.peak_reserved_bytes.asan"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_of("fig13.apps.memcached.samples.3.throughput_req_per_mcycle"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_of("table4.prevented.sgxbounds"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            direction_of("fig7.gmean_perf.sgxbounds"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(direction_of("fig1.points.0.rows"), Direction::Informational);
+        // Substrings inside words don't match: memcached is not `mem`.
+        assert_eq!(
+            direction_of("fig13.apps.memcached.samples.0.clients"),
+            Direction::Informational
+        );
+        assert_eq!(
+            direction_of("fig8.sweeps.kmeans.cells.0.counters_asan.epc_faults"),
+            Direction::Informational
+        );
+        // `mem` matches as a whole segment or prefix, not inside a word.
+        assert_eq!(
+            direction_of("fig7.rows.kmeans.mem.asan"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_of("fig13.apps.memcached.samples.0.latency_cycles"),
+            Direction::LowerIsBetter
+        );
+    }
+}

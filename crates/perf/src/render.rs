@@ -1,0 +1,359 @@
+//! `sgxs-profile-v1` renderers: folded stacks, a self-contained SVG
+//! flame/treemap view, and an ASCII top-N table.
+//!
+//! The folded form is the interchange format flamegraph tooling consumes
+//! (`stack;frames count`, one line per stack): feed it to inferno or
+//! `flamegraph.pl` unchanged. The SVG view needs no tooling at all — one
+//! file, no scripts, no external fonts — and lays the cycle budget out as
+//! a two-level treemap: the CPU bar splits into application vs
+//! instrumentation, and the instrumentation span subdivides into the
+//! hottest check sites.
+
+use sgxs_obs::read::ProfileDoc;
+
+/// Folded-stack text (inferno-compatible).
+///
+/// Stacks are `workload;scheme;app` for the application share and
+/// `workload;scheme;checks;<func>;<kind>#<site>` per check site; counts
+/// are simulated cycles. Sites beyond the serialized top-N are folded
+/// into a `checks;(other)` stack so the totals still sum to `cpu_cycles`.
+pub fn folded(p: &ProfileDoc) -> String {
+    let mut out = String::new();
+    let root = format!("{};{}", p.workload, p.scheme);
+    if p.app_cycles > 0 {
+        out.push_str(&format!("{root};app {}\n", p.app_cycles));
+    }
+    let mut attributed = 0u64;
+    for s in &p.top_sites {
+        attributed += s.cycles;
+        out.push_str(&format!(
+            "{root};checks;{};{}#{} {}\n",
+            s.func, s.kind, s.site, s.cycles
+        ));
+    }
+    let rest = p.check_cycles.saturating_sub(attributed);
+    if rest > 0 {
+        out.push_str(&format!("{root};checks;(other) {rest}\n"));
+    }
+    out
+}
+
+/// ASCII top-N table with cycle share per site.
+pub fn ascii_table(p: &ProfileDoc, top: usize) -> String {
+    let mut out = format!(
+        "{} under {}: cpu {} = app {} ({:.1}%) + checks {} ({:.1}%)\n",
+        p.workload,
+        p.scheme,
+        p.cpu_cycles,
+        p.app_cycles,
+        pct(p.app_cycles, p.cpu_cycles),
+        p.check_cycles,
+        pct(p.check_cycles, p.cpu_cycles),
+    );
+    out.push_str(&format!(
+        "{} check execs, {} fails, {} of {} sites active\n",
+        p.check_execs, p.check_fails, p.sites_active, p.sites_total
+    ));
+    out.push_str(&format!(
+        "{:>6}  {:<24} {:<10} {:>12} {:>12} {:>7} {:>7}\n",
+        "site", "func", "kind", "execs", "cycles", "fails", "%checks"
+    ));
+    for s in p.top_sites.iter().take(top) {
+        out.push_str(&format!(
+            "{:>6}  {:<24} {:<10} {:>12} {:>12} {:>7} {:>6.1}%\n",
+            format!("#{}", s.site),
+            s.func,
+            s.kind,
+            s.execs,
+            s.cycles,
+            s.fails,
+            pct(s.cycles, p.check_cycles),
+        ));
+    }
+    out
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 * 100.0 / whole as f64
+    }
+}
+
+/// Deterministic fill color per label (warm palette, flamegraph-style).
+fn color(label: &str) -> String {
+    let mut h: u32 = 2166136261;
+    for b in label.bytes() {
+        h = (h ^ b as u32).wrapping_mul(16777619);
+    }
+    let r = 205 + (h % 50);
+    let g = 60 + ((h >> 8) % 120);
+    let b = (h >> 16) % 40;
+    format!("rgb({r},{g},{b})")
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+const W: f64 = 1000.0;
+const ROW_H: f64 = 28.0;
+const PAD: f64 = 6.0;
+
+struct SvgRect<'a> {
+    x: f64,
+    y: f64,
+    w: f64,
+    fill: String,
+    label: String,
+    title: &'a str,
+}
+
+/// Self-contained SVG flame/treemap view of the cycle budget.
+///
+/// Three rows: total CPU, app-vs-checks split, and per-site subdivision
+/// of the checks span (top-N, remainder folded into `(other)`). Widths
+/// are proportional to cycles; every rect carries a `<title>` tooltip so
+/// any SVG viewer shows exact numbers on hover.
+pub fn svg(p: &ProfileDoc) -> String {
+    let total = p.cpu_cycles.max(1) as f64;
+    let scale = |cycles: u64| cycles as f64 / total * (W - 2.0 * PAD);
+    let mut rects: Vec<SvgRect> = Vec::new();
+    let titles: Vec<String> = {
+        let mut t = vec![
+            format!("cpu: {} cycles (wall {})", p.cpu_cycles, p.wall_cycles),
+            format!(
+                "app: {} cycles ({:.1}%)",
+                p.app_cycles,
+                pct(p.app_cycles, p.cpu_cycles)
+            ),
+            format!(
+                "checks: {} cycles ({:.1}%), {} execs",
+                p.check_cycles,
+                pct(p.check_cycles, p.cpu_cycles),
+                p.check_execs
+            ),
+        ];
+        let mut attributed = 0u64;
+        for s in &p.top_sites {
+            attributed += s.cycles;
+            t.push(format!(
+                "site #{} {} [{}]: {} cycles ({:.1}% of checks), {} execs, {} fails",
+                s.site,
+                s.func,
+                s.kind,
+                s.cycles,
+                pct(s.cycles, p.check_cycles),
+                s.execs,
+                s.fails
+            ));
+        }
+        t.push(format!(
+            "(other): {} cycles",
+            p.check_cycles.saturating_sub(attributed)
+        ));
+        t
+    };
+
+    // Row 0: the whole CPU budget.
+    rects.push(SvgRect {
+        x: PAD,
+        y: PAD,
+        w: scale(p.cpu_cycles),
+        fill: "rgb(120,120,120)".into(),
+        label: format!(
+            "{} / {} — {} cpu cycles",
+            p.workload, p.scheme, p.cpu_cycles
+        ),
+        title: &titles[0],
+    });
+    // Row 1: app vs instrumentation.
+    let y1 = PAD + ROW_H + 2.0;
+    rects.push(SvgRect {
+        x: PAD,
+        y: y1,
+        w: scale(p.app_cycles),
+        fill: "rgb(90,140,200)".into(),
+        label: format!("app {:.1}%", pct(p.app_cycles, p.cpu_cycles)),
+        title: &titles[1],
+    });
+    let checks_x = PAD + scale(p.app_cycles);
+    rects.push(SvgRect {
+        x: checks_x,
+        y: y1,
+        w: scale(p.check_cycles),
+        fill: "rgb(210,90,60)".into(),
+        label: format!("checks {:.1}%", pct(p.check_cycles, p.cpu_cycles)),
+        title: &titles[2],
+    });
+    // Row 2: per-site treemap of the checks span.
+    let y2 = y1 + ROW_H + 2.0;
+    let mut x = checks_x;
+    let mut attributed = 0u64;
+    for (i, s) in p.top_sites.iter().enumerate() {
+        attributed += s.cycles;
+        let w = scale(s.cycles);
+        rects.push(SvgRect {
+            x,
+            y: y2,
+            w,
+            fill: color(&format!("{}#{}", s.func, s.site)),
+            label: format!("{}#{}", s.func, s.site),
+            title: &titles[3 + i],
+        });
+        x += w;
+    }
+    let rest = p.check_cycles.saturating_sub(attributed);
+    if rest > 0 {
+        rects.push(SvgRect {
+            x,
+            y: y2,
+            w: scale(rest),
+            fill: "rgb(160,140,120)".into(),
+            label: "(other)".into(),
+            title: titles.last().expect("pushed above"),
+        });
+    }
+
+    let h = y2 + ROW_H + PAD;
+    let mut out = format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{h}" viewBox="0 0 {W} {h}" font-family="monospace" font-size="12">
+<rect x="0" y="0" width="{W}" height="{h}" fill="rgb(250,250,248)"/>
+"#
+    );
+    for r in &rects {
+        if r.w < 0.25 {
+            continue; // invisible slivers: skip, tooltip lives on the parent
+        }
+        out.push_str(&format!(
+            r#"<g><title>{}</title><rect x="{:.2}" y="{:.2}" width="{:.2}" height="{ROW_H}" fill="{}" stroke="white"/>"#,
+            esc(r.title),
+            r.x,
+            r.y,
+            r.w,
+            r.fill
+        ));
+        // Only label rects wide enough to hold ~4 characters.
+        if r.w > 34.0 {
+            let max_chars = (r.w / 7.5) as usize;
+            let mut label = r.label.clone();
+            if label.len() > max_chars {
+                label.truncate(max_chars.saturating_sub(1));
+                label.push('…');
+            }
+            out.push_str(&format!(
+                r#"<text x="{:.2}" y="{:.2}" fill="white">{}</text>"#,
+                r.x + 4.0,
+                r.y + ROW_H - 9.0,
+                esc(&label)
+            ));
+        }
+        out.push_str("</g>\n");
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgxs_obs::read::{parse_profile, ProfileSite};
+
+    fn sample() -> ProfileDoc {
+        ProfileDoc {
+            workload: "string_match".into(),
+            scheme: "sgxbounds".into(),
+            wall_cycles: 500,
+            cpu_cycles: 1000,
+            app_cycles: 700,
+            check_cycles: 300,
+            check_execs: 42,
+            check_fails: 1,
+            sites_total: 9,
+            sites_active: 3,
+            top_sites: vec![
+                ProfileSite {
+                    site: 2,
+                    func: "worker".into(),
+                    kind: "sb_full".into(),
+                    execs: 30,
+                    cycles: 200,
+                    fails: 0,
+                },
+                ProfileSite {
+                    site: 0,
+                    func: "main".into(),
+                    kind: "sb_safe".into(),
+                    execs: 12,
+                    cycles: 80,
+                    fails: 1,
+                },
+            ],
+            events: 43,
+            digest: "deadbeef".into(),
+        }
+    }
+
+    #[test]
+    fn folded_stacks_sum_to_cpu_cycles() {
+        let text = folded(&sample());
+        let mut total = 0u64;
+        for line in text.lines() {
+            let (stack, count) = line.rsplit_once(' ').expect("stack count");
+            assert!(stack.starts_with("string_match;sgxbounds;"));
+            total += count.parse::<u64>().expect("numeric count");
+        }
+        assert_eq!(total, 1000, "app + sites + (other) covers the budget");
+        assert!(text.contains("checks;worker;sb_full#2 200"));
+        assert!(
+            text.contains("checks;(other) 20"),
+            "300 - 280 folded:\n{text}"
+        );
+    }
+
+    #[test]
+    fn ascii_table_reports_shares() {
+        let t = ascii_table(&sample(), 10);
+        assert!(t.contains("app 700 (70.0%)"));
+        assert!(t.contains("#2"));
+        assert!(t.contains("66.7%"), "200/300 cycles:\n{t}");
+    }
+
+    #[test]
+    fn svg_is_self_contained_and_deterministic() {
+        let p = sample();
+        let a = svg(&p);
+        assert_eq!(a, svg(&p));
+        assert!(a.starts_with("<svg"));
+        assert!(a.trim_end().ends_with("</svg>"));
+        assert!(
+            !a.contains("http://") || a.contains("xmlns"),
+            "no external refs"
+        );
+        assert!(a.contains("worker#2"));
+        assert!(a.contains("<title>"));
+        // Escaping: a hostile function name must not break the markup.
+        let mut evil = sample();
+        evil.top_sites[0].func = "a<b&c".into();
+        let s = svg(&evil);
+        assert!(s.contains("a&lt;b&amp;c"));
+        assert!(!s.contains("a<b"));
+    }
+
+    #[test]
+    fn renders_real_emitted_profile() {
+        // End-to-end through the obs writer + reader.
+        use sgxs_obs::{Event, Profile, Recorder, TraceRecorder};
+        let mut r = TraceRecorder::new(16);
+        r.record(1, Event::CheckExec { site: 0, cycles: 7 });
+        let labels = vec![("main".to_owned(), "sb_full".to_owned())];
+        let j = Profile::build("w", "sgxbounds", &r, &labels, 50, 100, 5).to_json();
+        let doc = parse_profile(&j.to_pretty()).unwrap();
+        assert!(folded(&doc).contains("w;sgxbounds;app 93"));
+        assert!(svg(&doc).contains("</svg>"));
+        assert!(ascii_table(&doc, 3).contains("sb_full"));
+    }
+}

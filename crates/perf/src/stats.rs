@@ -1,0 +1,151 @@
+//! Statistics for replicate comparison: summaries, percentile-bootstrap
+//! confidence intervals, and noise-floor estimation.
+//!
+//! Everything is deterministic: the bootstrap resamples through the
+//! vendored xorshift64* `SmallRng` with a caller-supplied seed, so two
+//! runs of `repro compare` over the same inputs produce byte-identical
+//! reports — the same property every other artifact in this repo has.
+
+use rand::prelude::*;
+
+/// Summary of one replicate set.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Number of replicates.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for n < 2).
+    pub sd: f64,
+}
+
+/// Summarizes a replicate set. Empty input yields an all-zero summary.
+pub fn summarize(xs: &[f64]) -> Summary {
+    let n = xs.len();
+    if n == 0 {
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            sd: 0.0,
+        };
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let sd = if n < 2 {
+        0.0
+    } else {
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0);
+        var.sqrt()
+    };
+    Summary { n, mean, sd }
+}
+
+/// Percentile-bootstrap confidence interval for `mean(b) - mean(a)`.
+///
+/// Resamples both sides with replacement `iters` times and returns the
+/// `[alpha/2, 1-alpha/2]` percentile band of the mean difference. With a
+/// single replicate per side the band collapses to the point difference —
+/// callers fall back to threshold-only gating in that case.
+pub fn bootstrap_ci(a: &[f64], b: &[f64], iters: usize, seed: u64, alpha: f64) -> (f64, f64) {
+    assert!(!a.is_empty() && !b.is_empty(), "bootstrap needs data");
+    let point = summarize(b).mean - summarize(a).mean;
+    if a.len() == 1 && b.len() == 1 {
+        return (point, point);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let resample_mean = |xs: &[f64], rng: &mut SmallRng| -> f64 {
+        let mut s = 0.0;
+        for _ in 0..xs.len() {
+            s += xs[rng.gen_range(0..xs.len())];
+        }
+        s / xs.len() as f64
+    };
+    let mut diffs: Vec<f64> = (0..iters.max(1))
+        .map(|_| {
+            let ma = resample_mean(a, &mut rng);
+            let mb = resample_mean(b, &mut rng);
+            mb - ma
+        })
+        .collect();
+    diffs.sort_by(|x, y| x.partial_cmp(y).expect("finite diffs"));
+    let pick = |q: f64| {
+        let idx = ((diffs.len() - 1) as f64 * q).round() as usize;
+        diffs[idx]
+    };
+    (pick(alpha / 2.0), pick(1.0 - alpha / 2.0))
+}
+
+/// Relative noise floor of a replicate set: `sd / |mean|`.
+///
+/// Zero for fewer than two replicates or a zero mean. The compare engine
+/// widens its per-metric regression threshold to a multiple of the larger
+/// side's floor, so metrics that are naturally seed-sensitive (e.g.
+/// word_count's data-dependent branches) don't trip the gate on input
+/// noise.
+pub fn noise_floor(xs: &[f64]) -> f64 {
+    let s = summarize(xs);
+    if s.n < 2 || s.mean == 0.0 {
+        0.0
+    } else {
+        s.sd / s.mean.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = summarize(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((s.sd - 1.0).abs() < 1e-12);
+        assert_eq!(summarize(&[]).n, 0);
+        assert_eq!(summarize(&[5.0]).sd, 0.0);
+    }
+
+    #[test]
+    fn bootstrap_brackets_a_real_shift() {
+        let a = [1.00, 1.02, 0.98, 1.01, 0.99];
+        let b = [1.30, 1.32, 1.28, 1.31, 1.29];
+        let (lo, hi) = bootstrap_ci(&a, &b, 2000, 7, 0.05);
+        assert!(lo > 0.2, "shift is clearly positive, got lo={lo}");
+        assert!(hi < 0.4, "shift is bounded, got hi={hi}");
+    }
+
+    #[test]
+    fn bootstrap_covers_zero_for_identical_sets() {
+        let a = [1.0, 1.1, 0.9, 1.05];
+        let (lo, hi) = bootstrap_ci(&a, &a, 2000, 7, 0.05);
+        assert!(lo <= 0.0 && hi >= 0.0, "({lo}, {hi}) must straddle zero");
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let a = [1.0, 1.2, 0.8];
+        let b = [1.1, 1.3, 0.7];
+        assert_eq!(
+            bootstrap_ci(&a, &b, 500, 42, 0.05),
+            bootstrap_ci(&a, &b, 500, 42, 0.05)
+        );
+        assert_ne!(
+            bootstrap_ci(&a, &b, 500, 42, 0.05),
+            bootstrap_ci(&a, &b, 500, 43, 0.05)
+        );
+    }
+
+    #[test]
+    fn single_replicates_collapse_to_point_difference() {
+        let (lo, hi) = bootstrap_ci(&[2.0], &[2.6], 1000, 1, 0.05);
+        assert!((lo - 0.6).abs() < 1e-12 && (hi - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_floor_is_relative_spread() {
+        assert_eq!(noise_floor(&[1.0]), 0.0);
+        let f = noise_floor(&[1.0, 1.0, 1.0]);
+        assert_eq!(f, 0.0);
+        let f = noise_floor(&[0.9, 1.1]);
+        assert!(f > 0.1 && f < 0.2, "{f}");
+    }
+}

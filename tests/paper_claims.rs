@@ -3,7 +3,7 @@
 //! security scores. These are the "does the reproduction reproduce?"
 //! checks; `repro --mini` regenerates the full-size artifacts.
 
-use sgxbounds_repro::harness::exp::{self, Effort};
+use sgxbounds_repro::harness::exp::{self, Effort, DEFAULT_SEED};
 use sgxbounds_repro::harness::{run_one, RunConfig, Scheme};
 use sgxs_sim::Preset;
 use sgxs_workloads::SizeClass;
@@ -12,7 +12,7 @@ const P: Preset = Preset::Tiny;
 
 #[test]
 fn fig7_overhead_ordering_matches_paper() {
-    let fig = exp::fig07::run(P, Effort::Quick);
+    let fig = exp::fig07::run(P, Effort::Quick, DEFAULT_SEED);
     let [_mpx, asan, sgxb] = fig.gmean_perf;
     let (asan, sgxb) = (asan.unwrap(), sgxb.unwrap());
     // SGXBounds must be the cheapest hardened scheme (paper: 17% vs 51%/75%).
@@ -88,8 +88,8 @@ fn fig12_sgxbounds_loses_its_advantage_outside_the_enclave() {
     // crossover is partial: we assert that SGXBounds' relative lead over
     // ASan shrinks substantially once the EPC is out of the picture
     // (EXPERIMENTS.md discusses the deviation).
-    let inside = exp::fig11::run(P, Effort::Full);
-    let outside = exp::fig12::run(P, Effort::Full);
+    let inside = exp::fig11::run(P, Effort::Full, DEFAULT_SEED);
+    let outside = exp::fig12::run(P, Effort::Full, DEFAULT_SEED);
     let lead = |f: &exp::fig11::SpecFig| {
         let [_, asan, sgxb] = f.gmean_perf;
         // Overhead-above-baseline ratio: how much worse ASan is.
@@ -105,7 +105,7 @@ fn fig12_sgxbounds_loses_its_advantage_outside_the_enclave() {
 
 #[test]
 fn fig11_sgxbounds_wins_inside_the_enclave() {
-    let fig = exp::fig11::run(P, Effort::Quick);
+    let fig = exp::fig11::run(P, Effort::Quick, DEFAULT_SEED);
     let [_, asan, sgxb] = fig.gmean_perf;
     assert!(
         sgxb.unwrap() < asan.unwrap(),
@@ -118,7 +118,7 @@ fn fig11_sgxbounds_wins_inside_the_enclave() {
 
 #[test]
 fn fig9_sgxbounds_overhead_does_not_grow_with_threads() {
-    let fig = exp::fig09::run(P, Effort::Quick);
+    let fig = exp::fig09::run(P, Effort::Quick, DEFAULT_SEED);
     // [asan@1, asan@4, sgxbounds@1, sgxbounds@4] gmeans.
     let sb1 = fig.gmean[2].unwrap();
     let sb4 = fig.gmean[3].unwrap();
@@ -130,7 +130,7 @@ fn fig9_sgxbounds_overhead_does_not_grow_with_threads() {
 
 #[test]
 fn fig10_optimizations_never_hurt_and_sometimes_help() {
-    let fig = exp::fig10::run(P, Effort::Quick);
+    let fig = exp::fig10::run(P, Effort::Quick, DEFAULT_SEED);
     let none = fig.gmean[0].unwrap();
     let all = fig.gmean[3].unwrap();
     assert!(
@@ -152,7 +152,7 @@ fn fig10_optimizations_never_hurt_and_sometimes_help() {
 
 #[test]
 fn table4_matches_exactly() {
-    let t = exp::tab04::run(P);
+    let t = exp::tab04::run(P, DEFAULT_SEED);
     assert_eq!(
         t.prevented(),
         [2, 8, 8],
@@ -162,7 +162,7 @@ fn table4_matches_exactly() {
 
 #[test]
 fn fig1_sqlite_shapes() {
-    let fig = exp::fig01::run(P, 4);
+    let fig = exp::fig01::run(P, 4, DEFAULT_SEED);
     // MPX must crash somewhere in the sweep; SGXBounds never does and
     // keeps memory at baseline.
     let mpx_crashes = fig.points.iter().any(|p| p.perf[0].is_none());
@@ -186,7 +186,7 @@ fn fig1_sqlite_shapes() {
 
 #[test]
 fn fig13_throughput_ordering_at_load() {
-    let fig = exp::fig13::run(P, &[4], 64);
+    let fig = exp::fig13::run(P, &[4], 64, DEFAULT_SEED);
     for app in &fig.apps {
         let tp = |scheme: &str| {
             app.samples
