@@ -1,0 +1,207 @@
+//! Unsigned interval domain for 64-bit values.
+//!
+//! Intervals are inclusive `[lo, hi]` ranges over `u64`. Arithmetic on two
+//! *exact* (singleton) intervals wraps modulo 2^64 like the interpreter
+//! does, so a constant underflow such as `base - 8` produces the precise
+//! huge offset (which then proves the access out of bounds). Arithmetic on
+//! genuine ranges is checked: any possible overflow collapses to ⊤ rather
+//! than wrapping a bound past the other, which would be unsound.
+
+/// Inclusive unsigned interval `[lo, hi]`; `lo <= hi` always holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Smallest possible value.
+    pub lo: u64,
+    /// Largest possible value.
+    pub hi: u64,
+}
+
+impl Interval {
+    /// The full range (no information).
+    pub const TOP: Interval = Interval {
+        lo: 0,
+        hi: u64::MAX,
+    };
+
+    /// A singleton interval.
+    pub fn exact(v: u64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// An arbitrary range; normalizes a crossed pair to ⊤.
+    pub fn range(lo: u64, hi: u64) -> Interval {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval::TOP
+        }
+    }
+
+    /// `Some(v)` when the interval is the singleton `v`.
+    pub fn as_exact(&self) -> Option<u64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// Whether the interval carries no information.
+    pub fn is_top(&self) -> bool {
+        *self == Interval::TOP
+    }
+
+    /// Least upper bound (interval hull).
+    pub fn join(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(o.lo),
+            hi: self.hi.max(o.hi),
+        }
+    }
+
+    /// Widening: any bound that moved since `prev` jumps to its extreme,
+    /// guaranteeing termination of ascending chains.
+    pub fn widen_from(&self, prev: &Interval) -> Interval {
+        Interval {
+            lo: if self.lo < prev.lo { 0 } else { self.lo },
+            hi: if self.hi > prev.hi { u64::MAX } else { self.hi },
+        }
+    }
+
+    /// Greatest lower bound; `None` when the intersection is empty.
+    pub fn meet(&self, o: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(o.lo);
+        let hi = self.hi.min(o.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Addition: exact+exact wraps (precise mod 2^64); ranges are checked.
+    pub fn add(&self, o: &Interval) -> Interval {
+        if let (Some(a), Some(b)) = (self.as_exact(), o.as_exact()) {
+            return Interval::exact(a.wrapping_add(b));
+        }
+        match (self.lo.checked_add(o.lo), self.hi.checked_add(o.hi)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Subtraction: exact-exact wraps; a range that can underflow is ⊤.
+    pub fn sub(&self, o: &Interval) -> Interval {
+        if let (Some(a), Some(b)) = (self.as_exact(), o.as_exact()) {
+            return Interval::exact(a.wrapping_sub(b));
+        }
+        match (self.lo.checked_sub(o.hi), self.hi.checked_sub(o.lo)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Multiplication: exact*exact wraps; ranges are checked.
+    pub fn mul(&self, o: &Interval) -> Interval {
+        if let (Some(a), Some(b)) = (self.as_exact(), o.as_exact()) {
+            return Interval::exact(a.wrapping_mul(b));
+        }
+        match (self.lo.checked_mul(o.lo), self.hi.checked_mul(o.hi)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Addition of a signed displacement (gep `disp`).
+    pub fn add_signed(&self, d: i64) -> Interval {
+        if d >= 0 {
+            self.add(&Interval::exact(d as u64))
+        } else {
+            self.sub(&Interval::exact(d.unsigned_abs()))
+        }
+    }
+
+    /// Bitwise and: only useful bound is `hi <= min(his)` for masks.
+    pub fn and(&self, o: &Interval) -> Interval {
+        Interval {
+            lo: 0,
+            hi: self.hi.min(o.hi),
+        }
+    }
+
+    /// Left shift by an exact amount; otherwise ⊤.
+    pub fn shl(&self, o: &Interval) -> Interval {
+        match o.as_exact() {
+            Some(s) if s < 64 => {
+                if let Some(v) = self.as_exact() {
+                    return Interval::exact(v.wrapping_shl(s as u32));
+                }
+                match (self.lo.checked_shl(s as u32), self.hi.checked_shl(s as u32)) {
+                    (Some(lo), Some(hi))
+                        if lo >> s == self.lo && hi >> s == self.hi && lo <= hi =>
+                    {
+                        Interval { lo, hi }
+                    }
+                    _ => Interval::TOP,
+                }
+            }
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Logical right shift by an exact amount; otherwise ⊤.
+    pub fn lshr(&self, o: &Interval) -> Interval {
+        match o.as_exact() {
+            Some(s) if s < 64 => Interval {
+                lo: self.lo >> s,
+                hi: self.hi >> s,
+            },
+            _ => Interval::TOP,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_arithmetic_wraps_like_the_interpreter() {
+        let z = Interval::exact(0);
+        let one = Interval::exact(1);
+        // 0 - 1 wraps to u64::MAX: a constant underflow stays precise.
+        assert_eq!(z.sub(&one), Interval::exact(u64::MAX));
+        assert_eq!(Interval::exact(u64::MAX).add(&one), Interval::exact(0));
+    }
+
+    #[test]
+    fn range_arithmetic_is_checked() {
+        let r = Interval::range(1, 10);
+        assert_eq!(r.add(&Interval::exact(5)), Interval::range(6, 15));
+        // A range that can overflow collapses to ⊤, never a crossed pair.
+        assert!(r.add(&Interval::range(0, u64::MAX)).is_top());
+        assert!(Interval::range(0, 5).sub(&Interval::exact(1)).is_top());
+    }
+
+    #[test]
+    fn join_meet_widen() {
+        let a = Interval::range(2, 5);
+        let b = Interval::range(4, 9);
+        assert_eq!(a.join(&b), Interval::range(2, 9));
+        assert_eq!(a.meet(&b), Some(Interval::range(4, 5)));
+        assert_eq!(Interval::exact(1).meet(&Interval::exact(2)), None);
+        // Widening jumps only the bounds that moved.
+        assert_eq!(
+            Interval::range(0, 6).widen_from(&Interval::range(0, 4)),
+            Interval::range(0, u64::MAX)
+        );
+        assert_eq!(
+            Interval::range(0, 4).widen_from(&Interval::range(0, 4)),
+            Interval::range(0, 4)
+        );
+    }
+
+    #[test]
+    fn scaled_index_shapes() {
+        // i in [0, 9], i*8 in [0, 72] — the gep offset pattern.
+        let i = Interval::range(0, 9);
+        assert_eq!(i.mul(&Interval::exact(8)), Interval::range(0, 72));
+        assert_eq!(i.shl(&Interval::exact(3)), Interval::range(0, 72));
+        assert_eq!(
+            Interval::range(8, 64).lshr(&Interval::exact(3)),
+            Interval::range(1, 8)
+        );
+    }
+}

@@ -1,0 +1,742 @@
+//! Flow-sensitive pointer-provenance and value-range analysis.
+//!
+//! The abstract value of a register or local is either a numeric interval
+//! or a pointer `(referent, offset interval, inbounds)`. Provenance is
+//! tracked across blocks and joins, through `gep`s, copies, and
+//! cross-block locals — strictly subsuming the per-block facts of
+//! `sgxs_mir::analysis::safe`. Branch conditions refine intervals on CFG
+//! edges (including the local a compared register was read from), which is
+//! what lets `count_loop` bodies prove their index in range.
+//!
+//! Soundness stance (documented in DESIGN.md §8): allocation is fail-stop
+//! (a returned pointer refers to an object of the requested size), calls
+//! that may free or run concurrent code kill heap provenance, and
+//! `gep`/`sb_narrow` builder contracts are trusted exactly as the
+//! per-block analysis already trusts them.
+
+use crate::dataflow::{self, Analysis};
+use crate::interval::Interval;
+use sgxs_mir::ir::{
+    def_of, BinOp, BlockId, CastKind, CmpOp, Function, Inst, IntrinsicId, LocalId, Module, Operand,
+    Reg, Term,
+};
+use sgxs_mir::ty::Ty;
+use std::collections::HashMap;
+
+/// What an abstract pointer refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Referent {
+    /// Stack slot of the analyzed function.
+    Slot {
+        /// Slot index.
+        id: u32,
+        /// Declared size in bytes.
+        size: u64,
+    },
+    /// Module global.
+    Global {
+        /// Global index.
+        id: u32,
+        /// Declared size in bytes.
+        size: u64,
+    },
+    /// Heap object allocated at the numbered `malloc`/`calloc`/`realloc`
+    /// site (sites are numbered per function, in block order).
+    Alloc {
+        /// Allocation-site number.
+        site: u32,
+        /// Requested size in bytes.
+        size: u64,
+    },
+    /// Sub-object carved out by `sb_narrow` at the numbered site; offsets
+    /// are relative to the narrowed base, bounds to the narrowed size.
+    Narrow {
+        /// Narrowing-site number.
+        site: u32,
+        /// Narrowed size in bytes.
+        size: u64,
+    },
+}
+
+impl Referent {
+    /// Object (or sub-object) size in bytes.
+    pub fn size(&self) -> u64 {
+        match self {
+            Referent::Slot { size, .. }
+            | Referent::Global { size, .. }
+            | Referent::Alloc { size, .. }
+            | Referent::Narrow { size, .. } => *size,
+        }
+    }
+
+    /// Whether a call that may free or run concurrent code invalidates
+    /// facts about this referent.
+    fn killed_by_calls(&self) -> bool {
+        matches!(self, Referent::Alloc { .. } | Referent::Narrow { .. })
+    }
+}
+
+/// Abstract value of a register or local.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AbsVal {
+    /// A number in the interval.
+    Num(Interval),
+    /// A pointer `offset` bytes past the base of `referent`.
+    Ptr {
+        /// The object pointed into.
+        referent: Referent,
+        /// Byte offset from the object base.
+        off: Interval,
+        /// Produced by an `inbounds` gep: the builder vouches the address
+        /// lies within the object even when the offset interval is ⊤.
+        inb: bool,
+    },
+}
+
+impl AbsVal {
+    /// No information.
+    pub const TOP: AbsVal = AbsVal::Num(Interval::TOP);
+
+    fn interval(&self) -> Interval {
+        match self {
+            AbsVal::Num(iv) => *iv,
+            AbsVal::Ptr { .. } => Interval::TOP,
+        }
+    }
+}
+
+fn join_val(a: &AbsVal, b: &AbsVal, widen: bool) -> AbsVal {
+    let widened = |prev: &Interval, j: Interval| if widen { j.widen_from(prev) } else { j };
+    match (a, b) {
+        (AbsVal::Num(x), AbsVal::Num(y)) => AbsVal::Num(widened(x, x.join(y))),
+        (
+            AbsVal::Ptr {
+                referent: ra,
+                off: oa,
+                inb: ia,
+            },
+            AbsVal::Ptr {
+                referent: rb,
+                off: ob,
+                inb: ib,
+            },
+        ) if ra == rb => AbsVal::Ptr {
+            referent: *ra,
+            off: widened(oa, oa.join(ob)),
+            inb: *ia && *ib,
+        },
+        _ => AbsVal::TOP,
+    }
+}
+
+/// Per-point state: abstract values of registers and locals (absent = ⊤).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PState {
+    regs: HashMap<u32, AbsVal>,
+    locals: HashMap<u32, AbsVal>,
+}
+
+impl PState {
+    fn reg(&self, r: Reg) -> AbsVal {
+        self.regs.get(&r.0).copied().unwrap_or(AbsVal::TOP)
+    }
+
+    fn set_reg(&mut self, r: Reg, v: AbsVal) {
+        if v == AbsVal::TOP {
+            self.regs.remove(&r.0);
+        } else {
+            self.regs.insert(r.0, v);
+        }
+    }
+
+    fn local(&self, l: LocalId) -> AbsVal {
+        self.locals.get(&l.0).copied().unwrap_or(AbsVal::TOP)
+    }
+
+    fn set_local(&mut self, l: LocalId, v: AbsVal) {
+        if v == AbsVal::TOP {
+            self.locals.remove(&l.0);
+        } else {
+            self.locals.insert(l.0, v);
+        }
+    }
+
+    /// Drops every fact about heap referents (calls may free them).
+    fn kill_heap(&mut self) {
+        let heap =
+            |v: &AbsVal| matches!(v, AbsVal::Ptr { referent, .. } if referent.killed_by_calls());
+        self.regs.retain(|_, v| !heap(v));
+        self.locals.retain(|_, v| !heap(v));
+    }
+
+    /// Drops facts about one allocation site plus every narrowed view
+    /// (a `Narrow` may be derived from the freed object; the analysis does
+    /// not track which parent a narrow came from). Freeing one object
+    /// cannot invalidate another live object's bounds, so everything else
+    /// survives.
+    fn kill_alloc(&mut self, dead_site: u32) {
+        let dead = |v: &AbsVal| {
+            matches!(
+                v,
+                AbsVal::Ptr { referent: Referent::Alloc { site, .. }, .. } if *site == dead_site
+            ) || matches!(
+                v,
+                AbsVal::Ptr {
+                    referent: Referent::Narrow { .. },
+                    ..
+                }
+            )
+        };
+        self.regs.retain(|_, v| !dead(v));
+        self.locals.retain(|_, v| !dead(v));
+    }
+}
+
+/// Intrinsics that neither free memory nor hand control to code that
+/// might: heap facts survive them. Everything else (free, realloc, munmap,
+/// thread operations, unknown names) kills heap provenance.
+const HEAP_PRESERVING: [&str; 18] = [
+    "malloc",
+    "calloc",
+    "mmap",
+    "malloc_usable_size",
+    "memcpy",
+    "memmove",
+    "memset",
+    "memcmp",
+    "strlen",
+    "strcpy",
+    "strncpy",
+    "strcmp",
+    "strcat",
+    "strchr",
+    "fmt_u64",
+    "tag_input",
+    "sb_narrow",
+    "print_i64",
+];
+
+/// Returns whether an intrinsic call lets heap facts survive.
+pub fn preserves_heap(name: &str) -> bool {
+    HEAP_PRESERVING.contains(&name)
+}
+
+/// The dataflow problem: provenance + ranges for one function.
+pub struct ProvAnalysis<'a> {
+    m: &'a Module,
+    fi: usize,
+    /// Allocation/narrowing instructions numbered in block order.
+    sites: HashMap<(u32, u32), u32>,
+}
+
+impl<'a> ProvAnalysis<'a> {
+    /// Prepares the analysis for function `fi` of `m`.
+    pub fn new(m: &'a Module, fi: usize) -> Self {
+        let mut sites = HashMap::new();
+        for (bi, blk) in m.funcs[fi].blocks.iter().enumerate() {
+            for (ii, inst) in blk.insts.iter().enumerate() {
+                if let Inst::CallIntrinsic { intrinsic, .. } = inst {
+                    let name = m.intrinsics[intrinsic.0 as usize].as_str();
+                    if matches!(name, "malloc" | "calloc" | "realloc" | "sb_narrow") {
+                        sites.insert((bi as u32, ii as u32), sites.len() as u32);
+                    }
+                }
+            }
+        }
+        ProvAnalysis { m, fi, sites }
+    }
+
+    fn func(&self) -> &Function {
+        &self.m.funcs[self.fi]
+    }
+
+    fn intr_name(&self, id: IntrinsicId) -> &str {
+        &self.m.intrinsics[id.0 as usize]
+    }
+
+    fn eval(&self, op: &Operand, st: &PState) -> AbsVal {
+        match op {
+            Operand::Imm(v) => AbsVal::Num(Interval::exact(*v)),
+            Operand::Reg(r) => st.reg(*r),
+        }
+    }
+
+    fn eval_num(&self, op: &Operand, st: &PState) -> Interval {
+        self.eval(op, st).interval()
+    }
+
+    /// Applies one instruction to the state.
+    pub fn step(&self, bi: u32, ii: u32, inst: &Inst, st: &mut PState) {
+        match inst {
+            Inst::Bin { op, dst, a, b } => {
+                let v = self.bin_val(*op, a, b, st);
+                st.set_reg(*dst, v);
+            }
+            Inst::Cmp { dst, .. } => st.set_reg(*dst, AbsVal::Num(Interval::range(0, 1))),
+            Inst::Cast { kind, dst, src } => {
+                let v = match kind {
+                    CastKind::Bitcast => self.eval(src, st),
+                    CastKind::Trunc(bits) => {
+                        let iv = self.eval_num(src, st);
+                        let max = mask_of(*bits);
+                        if iv.hi <= max {
+                            AbsVal::Num(iv)
+                        } else {
+                            AbsVal::Num(Interval::range(0, max))
+                        }
+                    }
+                    CastKind::Sext(bits) => {
+                        let iv = self.eval_num(src, st);
+                        // Non-negative in the source width: sext is identity.
+                        if *bits > 0 && iv.hi <= mask_of(*bits) >> 1 {
+                            AbsVal::Num(iv)
+                        } else {
+                            AbsVal::TOP
+                        }
+                    }
+                    _ => AbsVal::TOP,
+                };
+                st.set_reg(*dst, v);
+            }
+            Inst::Select { dst, t, f, .. } => {
+                let v = join_val(&self.eval(t, st), &self.eval(f, st), false);
+                st.set_reg(*dst, v);
+            }
+            Inst::Gep {
+                dst,
+                base,
+                index,
+                scale,
+                disp,
+                inbounds,
+            } => {
+                let delta = self
+                    .eval_num(index, st)
+                    .mul(&Interval::exact(*scale as u64));
+                let v = match self.eval(base, st) {
+                    AbsVal::Ptr { referent, off, .. } => AbsVal::Ptr {
+                        referent,
+                        off: off.add(&delta).add_signed(*disp),
+                        inb: *inbounds,
+                    },
+                    AbsVal::Num(b) => AbsVal::Num(b.add(&delta).add_signed(*disp)),
+                };
+                st.set_reg(*dst, v);
+            }
+            Inst::Load { dst, .. } => st.set_reg(*dst, AbsVal::TOP),
+            Inst::Store { .. } | Inst::Site { .. } => {}
+            Inst::AtomicRmw { dst, .. } | Inst::AtomicCas { dst, .. } => {
+                st.set_reg(*dst, AbsVal::TOP)
+            }
+            Inst::ReadLocal { dst, local } => {
+                let v = st.local(*local);
+                st.set_reg(*dst, v);
+            }
+            Inst::WriteLocal { local, val } => {
+                let v = self.eval(val, st);
+                st.set_local(*local, v);
+            }
+            Inst::SlotAddr { dst, slot } => {
+                let size = self.func().slots[slot.0 as usize].size as u64;
+                st.set_reg(
+                    *dst,
+                    AbsVal::Ptr {
+                        referent: Referent::Slot { id: slot.0, size },
+                        off: Interval::exact(0),
+                        inb: false,
+                    },
+                );
+            }
+            Inst::GlobalAddr { dst, global } => {
+                let size = self.m.globals[global.0 as usize].size as u64;
+                st.set_reg(
+                    *dst,
+                    AbsVal::Ptr {
+                        referent: Referent::Global { id: global.0, size },
+                        off: Interval::exact(0),
+                        inb: false,
+                    },
+                );
+            }
+            Inst::CallIntrinsic {
+                dst,
+                intrinsic,
+                args,
+            } => {
+                let name = self.intr_name(*intrinsic);
+                if !preserves_heap(name) {
+                    // Deallocating through a pointer of known provenance
+                    // invalidates only that object (and narrowed views,
+                    // which may derive from it); an unknown argument or any
+                    // other heap-killing intrinsic drops every heap fact.
+                    match (name, args.first().map(|a| self.eval(a, st))) {
+                        (
+                            "free" | "munmap" | "realloc",
+                            Some(AbsVal::Ptr {
+                                referent: Referent::Alloc { site, .. },
+                                ..
+                            }),
+                        ) => st.kill_alloc(site),
+                        _ => st.kill_heap(),
+                    }
+                }
+                let site = self.sites.get(&(bi, ii)).copied();
+                let out = match name {
+                    "malloc" => self
+                        .exact_arg(args, 0, st)
+                        .map(|size| self.alloc_val(site, size)),
+                    "calloc" => {
+                        let n = self.exact_arg(args, 0, st);
+                        let e = self.exact_arg(args, 1, st);
+                        match (n, e) {
+                            (Some(n), Some(e)) => {
+                                n.checked_mul(e).map(|size| self.alloc_val(site, size))
+                            }
+                            _ => None,
+                        }
+                    }
+                    "realloc" => self
+                        .exact_arg(args, 1, st)
+                        .map(|size| self.alloc_val(site, size)),
+                    "sb_narrow" => self.exact_arg(args, 1, st).map(|size| AbsVal::Ptr {
+                        referent: Referent::Narrow {
+                            site: site.expect("sb_narrow is a numbered site"),
+                            size,
+                        },
+                        off: Interval::exact(0),
+                        inb: false,
+                    }),
+                    _ => None,
+                };
+                if let Some(d) = dst {
+                    st.set_reg(*d, out.unwrap_or(AbsVal::TOP));
+                }
+            }
+            Inst::Call { dst, .. } | Inst::CallIndirect { dst, .. } => {
+                st.kill_heap();
+                if let Some(d) = dst {
+                    st.set_reg(*d, AbsVal::TOP);
+                }
+            }
+            // Anything else (including future variants) just clobbers its def.
+            other => {
+                if let Some(d) = def_of(other) {
+                    st.set_reg(d, AbsVal::TOP);
+                }
+            }
+        }
+    }
+
+    fn alloc_val(&self, site: Option<u32>, size: u64) -> AbsVal {
+        AbsVal::Ptr {
+            referent: Referent::Alloc {
+                site: site.expect("allocation is a numbered site"),
+                size,
+            },
+            off: Interval::exact(0),
+            inb: false,
+        }
+    }
+
+    fn exact_arg(&self, args: &[Operand], i: usize, st: &PState) -> Option<u64> {
+        args.get(i).and_then(|a| self.eval_num(a, st).as_exact())
+    }
+
+    fn bin_val(&self, op: BinOp, a: &Operand, b: &Operand, st: &PState) -> AbsVal {
+        let va = self.eval(a, st);
+        let vb = self.eval(b, st);
+        // Identity forms preserve provenance: `p ^ 0`, `p | 0`, `p + 0`,
+        // `p - 0` all return the pointer unchanged (the fuzz generator's
+        // cast-roundtrip op relies on this).
+        let exact0 = |v: &AbsVal| v.interval().as_exact() == Some(0);
+        match op {
+            BinOp::Add | BinOp::Or | BinOp::Xor => {
+                if exact0(&vb) {
+                    return va;
+                }
+                if exact0(&va) {
+                    return vb;
+                }
+            }
+            BinOp::Sub | BinOp::Shl | BinOp::LShr if exact0(&vb) => return va,
+            _ => {}
+        }
+        let (x, y) = (va.interval(), vb.interval());
+        let iv = match op {
+            BinOp::Add => x.add(&y),
+            BinOp::Sub => x.sub(&y),
+            BinOp::Mul => x.mul(&y),
+            BinOp::And => x.and(&y),
+            BinOp::Shl => x.shl(&y),
+            BinOp::LShr => x.lshr(&y),
+            BinOp::Or | BinOp::Xor => match (x.as_exact(), y.as_exact()) {
+                (Some(p), Some(q)) => Interval::exact(if op == BinOp::Or { p | q } else { p ^ q }),
+                _ => Interval::TOP,
+            },
+            _ => Interval::TOP,
+        };
+        AbsVal::Num(iv)
+    }
+
+    /// Meets `target`'s numeric value (register and, when the register was
+    /// read from a local still holding the same value, that local too) with
+    /// `constraint`.
+    fn apply_constraint(
+        &self,
+        blk: &sgxs_mir::ir::Block,
+        target: &Operand,
+        constraint: Option<Interval>,
+        st: &mut PState,
+    ) {
+        let (Some(c), Operand::Reg(r)) = (constraint, target) else {
+            return;
+        };
+        if let AbsVal::Num(iv) = st.reg(*r) {
+            if let Some(m) = iv.meet(&c) {
+                st.set_reg(*r, AbsVal::Num(m));
+            }
+        }
+        // Find the local the register's value came from: its last def must
+        // be a ReadLocal whose local is not rewritten afterwards.
+        let mut alias: Option<LocalId> = None;
+        for inst in &blk.insts {
+            match inst {
+                Inst::ReadLocal { dst, local } if dst == r => alias = Some(*local),
+                Inst::WriteLocal { local, .. } if Some(*local) == alias => alias = None,
+                other if def_of(other) == Some(*r) => alias = None,
+                _ => {}
+            }
+        }
+        if let Some(l) = alias {
+            if let AbsVal::Num(iv) = st.local(l) {
+                if let Some(m) = iv.meet(&c) {
+                    st.set_local(l, AbsVal::Num(m));
+                }
+            }
+        }
+    }
+}
+
+fn mask_of(bits: u8) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// `[lo, u64::MAX]`, or `None` when `lo` overflows (empty edge).
+fn at_least(lo: u64) -> Option<Interval> {
+    Some(Interval::range(lo, u64::MAX))
+}
+
+/// `[0, hi]`.
+fn at_most(hi: u64) -> Option<Interval> {
+    Some(Interval::range(0, hi))
+}
+
+impl Analysis for ProvAnalysis<'_> {
+    type State = PState;
+
+    fn entry_state(&self, _f: &Function) -> PState {
+        PState::default()
+    }
+
+    fn transfer_block(&self, f: &Function, b: BlockId, st: &mut PState) {
+        for (ii, inst) in f.blocks[b.0 as usize].insts.iter().enumerate() {
+            self.step(b.0, ii as u32, inst, st);
+        }
+    }
+
+    fn refine_edge(&self, f: &Function, from: BlockId, to: BlockId, st: &mut PState) {
+        let blk = &f.blocks[from.0 as usize];
+        let Term::Br { cond, t, f: fb } = &blk.term else {
+            return;
+        };
+        if t == fb {
+            return;
+        }
+        let Operand::Reg(c) = cond else { return };
+        // Last definition of the condition register must be a compare.
+        let mut cmp = None;
+        for inst in &blk.insts {
+            if def_of(inst) == Some(*c) {
+                cmp = match inst {
+                    Inst::Cmp { op, a, b, .. } => Some((*op, *a, *b)),
+                    _ => None,
+                };
+            }
+        }
+        let Some((op, a, b)) = cmp else { return };
+        let taken = to == *t;
+        // Normalize to the predicate that holds on this edge.
+        let eff = if taken { op } else { negate(op) };
+        let av = self.eval_num(&a, st);
+        let bv = self.eval_num(&b, st);
+        let (ca, cb) = match eff {
+            CmpOp::ULt => (
+                bv.hi.checked_sub(1).and_then(at_most),
+                av.lo.checked_add(1).and_then(at_least),
+            ),
+            CmpOp::ULe => (at_most(bv.hi), at_least(av.lo)),
+            CmpOp::UGt => (
+                bv.lo.checked_add(1).and_then(at_least),
+                av.hi.checked_sub(1).and_then(at_most),
+            ),
+            CmpOp::UGe => (at_least(bv.lo), at_most(av.hi)),
+            CmpOp::Eq => (Some(bv), Some(av)),
+            // Ne and the signed predicates refine nothing.
+            _ => (None, None),
+        };
+        self.apply_constraint(blk, &a, ca, st);
+        self.apply_constraint(blk, &b, cb, st);
+    }
+
+    fn join(&self, into: &mut PState, other: &PState, widen: bool) -> bool {
+        let mut changed = false;
+        let join_map = |into: &mut HashMap<u32, AbsVal>, other: &HashMap<u32, AbsVal>| {
+            let mut c = false;
+            into.retain(|k, v| {
+                let o = other.get(k).copied().unwrap_or(AbsVal::TOP);
+                let j = join_val(v, &o, widen);
+                if j != *v {
+                    *v = j;
+                    c = true;
+                }
+                j != AbsVal::TOP
+            });
+            c
+        };
+        changed |= join_map(&mut into.regs, &other.regs);
+        changed |= join_map(&mut into.locals, &other.locals);
+        changed
+    }
+}
+
+fn negate(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::ULt => CmpOp::UGe,
+        CmpOp::ULe => CmpOp::UGt,
+        CmpOp::UGt => CmpOp::ULe,
+        CmpOp::UGe => CmpOp::ULt,
+        CmpOp::SLt => CmpOp::SGe,
+        CmpOp::SLe => CmpOp::SGt,
+        CmpOp::SGt => CmpOp::SLe,
+        CmpOp::SGe => CmpOp::SLt,
+    }
+}
+
+/// Verdict of the static analysis about one access site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Every execution of the access stays within its object.
+    Safe,
+    /// Every execution of the access leaves its object (or narrowed field).
+    Oob,
+    /// The analysis cannot decide.
+    Unknown,
+}
+
+impl Class {
+    /// Stable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Class::Safe => "proved-safe",
+            Class::Oob => "proved-oob",
+            Class::Unknown => "unknown",
+        }
+    }
+}
+
+/// One classified memory-access site.
+#[derive(Debug, Clone)]
+pub struct AccessFact {
+    /// Block index within the function.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub inst: u32,
+    /// `"load"`, `"store"`, `"rmw"`, or `"cas"`.
+    pub kind: &'static str,
+    /// Access width in bytes.
+    pub width: u8,
+    /// The verdict.
+    pub class: Class,
+    /// Referent, when provenance is known.
+    pub referent: Option<Referent>,
+    /// Offset bounds `[lo, hi]`, when provenance is known.
+    pub offset: Option<(u64, u64)>,
+}
+
+/// Classifies a pointer value against an access of `width` bytes.
+pub fn classify(val: &AbsVal, width: u8) -> Class {
+    let AbsVal::Ptr { referent, off, inb } = val else {
+        return Class::Unknown;
+    };
+    let (size, w) = (referent.size(), width as u64);
+    if off.hi.checked_add(w).is_some_and(|end| end <= size) {
+        return Class::Safe;
+    }
+    if *inb && off.is_top() && size >= w {
+        // The builder vouched the address is in-bounds; an in-bounds base
+        // of an object at least as large as the access cannot overrun.
+        return Class::Safe;
+    }
+    if !inb && off.lo.checked_add(w).is_none_or(|end| end > size) {
+        return Class::Oob;
+    }
+    Class::Unknown
+}
+
+fn access_of(inst: &Inst) -> Option<(&'static str, Ty, &Operand)> {
+    match inst {
+        Inst::Load { addr, ty, .. } => Some(("load", *ty, addr)),
+        Inst::Store { addr, ty, .. } => Some(("store", *ty, addr)),
+        Inst::AtomicRmw { addr, ty, .. } => Some(("rmw", *ty, addr)),
+        Inst::AtomicCas { addr, ty, .. } => Some(("cas", *ty, addr)),
+        _ => None,
+    }
+}
+
+/// Runs the analysis over function `fi` and classifies every access site.
+/// Sites in unreachable blocks are reported `Unknown`.
+pub fn access_facts(m: &Module, fi: usize) -> Vec<AccessFact> {
+    let analysis = ProvAnalysis::new(m, fi);
+    let f = &m.funcs[fi];
+    let states = dataflow::solve(&analysis, f);
+    let mut out = Vec::new();
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        let mut st = states[bi].clone();
+        for (ii, inst) in blk.insts.iter().enumerate() {
+            if let Some((kind, ty, addr)) = access_of(inst) {
+                let (class, referent, offset) = match &st {
+                    Some(st) => {
+                        let val = analysis.eval(addr, st);
+                        let class = classify(&val, ty.width());
+                        match val {
+                            AbsVal::Ptr { referent, off, .. } => {
+                                (class, Some(referent), Some((off.lo, off.hi)))
+                            }
+                            AbsVal::Num(_) => (class, None, None),
+                        }
+                    }
+                    None => (Class::Unknown, None, None),
+                };
+                out.push(AccessFact {
+                    block: bi as u32,
+                    inst: ii as u32,
+                    kind,
+                    width: ty.width(),
+                    class,
+                    referent,
+                    offset,
+                });
+            }
+            if let Some(st) = &mut st {
+                analysis.step(bi as u32, ii as u32, inst, st);
+            }
+        }
+    }
+    out
+}

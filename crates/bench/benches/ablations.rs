@@ -59,6 +59,7 @@ fn bench(c: &mut Criterion) {
                 boundless: false,
                 narrow_bounds: false,
                 site_markers: false,
+                flow_elide: false,
             },
         ),
         (
@@ -69,6 +70,7 @@ fn bench(c: &mut Criterion) {
                 boundless: false,
                 narrow_bounds: false,
                 site_markers: false,
+                flow_elide: false,
             },
         ),
     ] {

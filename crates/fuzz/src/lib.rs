@@ -8,7 +8,7 @@
 //! 1. [`gen::generate`] builds a random, in-bounds-by-construction program
 //!    over a fixed object environment (heap/stack/global arrays, a struct
 //!    with interior fields, a pointer chain, string buffers).
-//! 2. The safe program runs under native, four SGXBounds configurations,
+//! 2. The safe program runs under native, five SGXBounds configurations,
 //!    ASan, and MPX; every scheme must reproduce the native digest
 //!    bit-for-bit (no false positives, no silent corruption).
 //! 3. [`inject::inject`] splices exactly one spatial violation in;

@@ -25,6 +25,9 @@ pub enum FScheme {
     SgxBounds,
     /// SGXBounds with every optimization disabled.
     SgxBoundsNoOpt,
+    /// SGXBounds with the flow-sensitive dataflow tier on top of the
+    /// default optimizations (cross-block safe proofs + check elision).
+    SgxBoundsFlow,
     /// SGXBounds with bounds narrowing (detects intra-object overflows).
     SgxBoundsNarrow,
     /// SGXBounds in boundless-memory mode (tolerates instead of stopping).
@@ -36,10 +39,11 @@ pub enum FScheme {
 }
 
 /// Every scheme, report-column order.
-pub const ALL_SCHEMES: [FScheme; 7] = [
+pub const ALL_SCHEMES: [FScheme; 8] = [
     FScheme::Native,
     FScheme::SgxBounds,
     FScheme::SgxBoundsNoOpt,
+    FScheme::SgxBoundsFlow,
     FScheme::SgxBoundsNarrow,
     FScheme::SgxBoundsBoundless,
     FScheme::Asan,
@@ -53,6 +57,7 @@ impl FScheme {
             FScheme::Native => "native",
             FScheme::SgxBounds => "sgxbounds",
             FScheme::SgxBoundsNoOpt => "sb-noopt",
+            FScheme::SgxBoundsFlow => "sb-flow",
             FScheme::SgxBoundsNarrow => "sb-narrow",
             FScheme::SgxBoundsBoundless => "sb-boundless",
             FScheme::Asan => "asan",
@@ -69,6 +74,11 @@ impl FScheme {
                 boundless: false,
                 narrow_bounds: false,
                 site_markers: false,
+                flow_elide: false,
+            }),
+            FScheme::SgxBoundsFlow => Some(SbConfig {
+                flow_elide: true,
+                ..SbConfig::default()
             }),
             FScheme::SgxBoundsNarrow => Some(SbConfig {
                 narrow_bounds: true,
@@ -272,7 +282,7 @@ pub fn allowed(scheme: FScheme, kind: Option<FaultKind>) -> &'static [&'static s
         // SGXBounds (any fail-stop variant without narrowing) detects every
         // whole-object violation and by design misses intra-object ones
         // (paper §8).
-        FScheme::SgxBounds | FScheme::SgxBoundsNoOpt => match kind {
+        FScheme::SgxBounds | FScheme::SgxBoundsNoOpt | FScheme::SgxBoundsFlow => match kind {
             IntraObject => &["missed"],
             _ => &["detected"],
         },

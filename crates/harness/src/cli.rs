@@ -15,6 +15,8 @@
 //! * `repro profile <workload>` — run one workload with the
 //!   observability layer on and print its per-check-site profile;
 //! * `repro fuzz` — the differential fuzzing campaign;
+//! * `repro lint` — the static OOB lint over workload modules (exits 1 on
+//!   any proved-OOB access);
 //! * `repro bench record` — run the full suite and append one
 //!   `sgxs-history-v1` line per replicate to `results/history.jsonl`;
 //! * `repro compare A B [--gate]` — statistical regression comparison of
@@ -42,6 +44,7 @@ pub const USAGE: &str =
      [--quick] [--tiny|--mini|--paper] [--seed N] [--json FILE]\n       \
      repro profile <workload> [--scheme S] [--trace FILE] [--json FILE]\n       \
      repro fuzz [--seeds N] [--seed0 N] [--max-ops N] [--no-shrink] [--corpus FILE]\n       \
+     repro lint [NAMES...] [--demo-oob] [--seed N] [--json FILE]\n       \
      repro bench record [--quick] [--tiny|--mini|--paper] [--replicates N] [--seed0 N] \
      [--rev REV] [--out FILE]\n       \
      repro compare <BASE> <NEW> [--gate] [--top N] [--threshold F] [--noise-mult F] \
@@ -115,6 +118,7 @@ fn write_file(path: &str, text: &str) -> Result<(), String> {
 pub fn run(args: &[String]) -> Result<i32, String> {
     match args.first().map(String::as_str) {
         Some("fuzz") => run_fuzz(&args[1..]),
+        Some("lint") => crate::lint::run_lint(&args[1..]),
         Some("profile") => run_profile(&args[1..]),
         Some("bench") => run_bench(&args[1..]),
         Some("compare") => run_compare(&args[1..]),

@@ -13,6 +13,7 @@
 
 pub mod cli;
 pub mod exp;
+pub mod lint;
 pub mod profile;
 pub mod report;
 pub mod scheme;

@@ -1,0 +1,189 @@
+//! `repro lint`: the static OOB lint over workload modules.
+//!
+//! Builds each requested workload *uninstrumented*, runs the
+//! `sgxs-analyze` classification, and reports every access the analysis
+//! proves out of bounds. The human output is a per-module summary plus one
+//! diagnostic line per finding; `--json` writes a `sgxs-lint-v1` document.
+//! The exit code is nonzero iff any module has a proved-OOB access, so the
+//! command doubles as a CI gate.
+
+use crate::cli::Args;
+use crate::scheme::RunConfig;
+use sgxs_analyze::{lint_module, LintReport};
+use sgxs_mir::{Module, ModuleBuilder, Operand, Ty};
+use sgxs_obs::json::Json;
+use sgxs_sim::Preset;
+use sgxs_workloads::SizeClass;
+
+/// A committed, provably out-of-bounds module: a 5-element heap array
+/// written in bounds, then read one element past the end. The lint must
+/// flag exactly the final load — used by tests and `repro lint --demo-oob`
+/// to prove the gate actually fires.
+pub fn oob_demo() -> Module {
+    let mut mb = ModuleBuilder::new("oob-demo");
+    mb.func("main", &[], Some(Ty::I64), |fb| {
+        let p = fb.intr_ptr("malloc", &[Operand::Imm(40)]);
+        fb.count_loop(0u64, 5u64, |fb, i| {
+            let a = fb.gep(p, i, 8, 0);
+            fb.store(Ty::I64, a, i);
+        });
+        // One past the end: offset 40 in a 40-byte object.
+        let oob = fb.gep(p, 5u64, 8, 0);
+        let v = fb.load(Ty::I64, oob);
+        fb.ret(Some(v.into()));
+    });
+    mb.finish()
+}
+
+fn finding_json(f: &sgxs_analyze::Finding) -> Json {
+    Json::obj(vec![
+        ("function", f.function.as_str().into()),
+        ("block", (f.block as u64).into()),
+        ("inst", (f.inst as u64).into()),
+        ("site", (f.site as u64).into()),
+        ("kind", f.kind.into()),
+        ("width", (f.width as u64).into()),
+        ("object", f.object.as_str().into()),
+        ("offset_lo", f.offset.0.into()),
+        ("offset_hi", f.offset.1.into()),
+        ("ir", f.ir.as_str().into()),
+    ])
+}
+
+fn report_json(r: &LintReport) -> Json {
+    Json::obj(vec![
+        ("module", r.module.as_str().into()),
+        ("sites", (r.sites() as u64).into()),
+        ("proved_safe", (r.proved_safe as u64).into()),
+        ("unknown", (r.unknown as u64).into()),
+        ("proved_oob", (r.proved_oob as u64).into()),
+        (
+            "findings",
+            Json::Arr(r.findings.iter().map(finding_json).collect()),
+        ),
+    ])
+}
+
+fn render(r: &LintReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} access sites — {} proved-safe, {} unknown, {} proved-oob",
+        r.module,
+        r.sites(),
+        r.proved_safe,
+        r.unknown,
+        r.proved_oob
+    );
+    for f in &r.findings {
+        let _ = writeln!(
+            out,
+            "  {}:b{}:i{} [site {}]: {} of {}B at offset [{}, {}] past {}\n    {}",
+            f.function,
+            f.block,
+            f.inst,
+            f.site,
+            f.kind,
+            f.width,
+            f.offset.0,
+            f.offset.1,
+            f.object,
+            f.ir
+        );
+    }
+    out
+}
+
+/// `repro lint [NAMES...] [--demo-oob] [--json FILE]`: lints workload
+/// modules (all benchmarks by default) and exits 1 on any proved-OOB
+/// access.
+pub fn run_lint(args: &[String]) -> Result<i32, String> {
+    let mut json: Option<String> = None;
+    let mut demo = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut seed = crate::exp::DEFAULT_SEED;
+    let mut it = Args::new("lint", args);
+    while let Some(a) = it.next_arg() {
+        match a {
+            "--json" => json = Some(it.value("--json")?),
+            "--demo-oob" => demo = true,
+            "--seed" => seed = it.parse("--seed")?,
+            other if !other.starts_with('-') => names.push(other.to_owned()),
+            other => return Err(it.fail(format!("unknown argument '{other}'"))),
+        }
+    }
+
+    // Workload modules are built exactly as the experiments build them,
+    // just never instrumented: the lint sees the application IR.
+    let mut rc = RunConfig::new(Preset::Tiny);
+    rc.params.size = SizeClass::XS;
+    rc.params.seed = seed;
+    let mut modules: Vec<Module> = Vec::new();
+    if demo {
+        modules.push(oob_demo());
+    }
+    if names.is_empty() {
+        if !demo {
+            for w in sgxs_workloads::all_benchmarks() {
+                modules.push(w.build(&rc.params));
+            }
+        }
+    } else {
+        for name in &names {
+            let Some(w) = sgxs_workloads::by_name(name) else {
+                return Err(it.fail(format!("unknown workload '{name}'")));
+            };
+            modules.push(w.build(&rc.params));
+        }
+    }
+
+    let mut reports = Vec::new();
+    for mut m in modules {
+        let r = lint_module(&mut m);
+        print!("{}", render(&r));
+        reports.push(r);
+    }
+    let oob: usize = reports.iter().map(|r| r.proved_oob).sum();
+    println!(
+        "lint: {} modules, {} sites, {} proved-oob",
+        reports.len(),
+        reports.iter().map(LintReport::sites).sum::<usize>(),
+        oob
+    );
+
+    if let Some(path) = &json {
+        let doc = Json::obj(vec![
+            ("schema", "sgxs-lint-v1".into()),
+            ("seed", seed.into()),
+            ("proved_oob", (oob as u64).into()),
+            (
+                "modules",
+                Json::Arr(reports.iter().map(report_json).collect()),
+            ),
+        ]);
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+        }
+        std::fs::write(path, doc.to_pretty())
+            .map_err(|e| it.fail(format!("cannot write {path}: {e}")))?;
+        println!("lint json written to {path}");
+    }
+    Ok(if oob > 0 { 1 } else { 0 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_module_is_provably_oob() {
+        let mut m = oob_demo();
+        let r = lint_module(&mut m);
+        assert_eq!(r.proved_oob, 1, "{r:?}");
+        assert_eq!(r.findings[0].kind, "load");
+        assert_eq!(r.findings[0].offset, (40, 40));
+    }
+}

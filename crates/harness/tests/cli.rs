@@ -169,3 +169,43 @@ fn usage_errors_are_errors_not_exits() {
     assert!(cli::run_compare(&args(&[bad.to_str().unwrap(), bad.to_str().unwrap()])).is_err());
     assert!(cli::run_render(&args(&[bad.to_str().unwrap()])).is_err());
 }
+
+#[test]
+fn lint_gates_on_the_demo_and_passes_clean_workloads() {
+    let dir = scratch("lint");
+    let json = dir.join("lint.json");
+
+    // The committed provably-OOB demo must fail the gate and produce a
+    // well-formed sgxs-lint-v1 document.
+    let code = cli::run(&args(&[
+        "lint",
+        "--demo-oob",
+        "--json",
+        json.to_str().unwrap(),
+    ]))
+    .unwrap();
+    assert_eq!(code, 1, "demo OOB must exit nonzero");
+    let doc = sgxs_obs::json::Json::parse(&std::fs::read_to_string(&json).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some("sgxs-lint-v1")
+    );
+    assert_eq!(doc.get("proved_oob").and_then(|v| v.as_u64()), Some(1));
+    let modules = doc.get("modules").and_then(|v| v.as_arr()).unwrap();
+    let findings = modules[0].get("findings").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(findings.len(), 1);
+    let f = &findings[0];
+    assert_eq!(f.get("kind").and_then(|v| v.as_str()), Some("load"));
+    assert_eq!(f.get("offset_lo").and_then(|v| v.as_u64()), Some(40));
+    assert!(f
+        .get("ir")
+        .and_then(|v| v.as_str())
+        .is_some_and(|s| s.contains("load")));
+
+    // Clean workloads lint green.
+    let code = cli::run(&args(&["lint", "kmeans", "histogram"])).unwrap();
+    assert_eq!(code, 0, "clean workloads must lint green");
+
+    // Unknown workloads are usage errors.
+    assert!(cli::run(&args(&["lint", "no_such_workload"])).is_err());
+}

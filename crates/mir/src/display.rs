@@ -1,7 +1,21 @@
 //! Textual printer for the IR, for debugging and golden tests.
 
-use crate::ir::{Block, Function, Inst, Module, Operand, SiteMarker, Term};
+use crate::ir::{AccessAttrs, Block, Function, Inst, Module, Operand, SiteMarker, Term};
 use std::fmt::Write as _;
+
+fn attrs(a: &AccessAttrs) -> String {
+    let mut s = String::new();
+    if a.safe {
+        s.push_str(" safe");
+    }
+    if a.no_lower {
+        s.push_str(" nolb");
+    }
+    if a.lowered {
+        s.push_str(" lowered");
+    }
+    s
+}
 
 fn op(o: &Operand) -> String {
     match o {
@@ -66,32 +80,30 @@ fn inst(i: &Inst, out: &mut String) {
             dst,
             addr,
             ty,
-            attrs,
+            attrs: a,
         } => {
             let _ = writeln!(
                 out,
-                "    r{} = load {} [{}]{}{}",
+                "    r{} = load {} [{}]{}",
                 dst.0,
                 ty,
                 op(addr),
-                if attrs.safe { " safe" } else { "" },
-                if attrs.no_lower { " nolb" } else { "" }
+                attrs(a)
             );
         }
         Inst::Store {
             addr,
             val,
             ty,
-            attrs,
+            attrs: a,
         } => {
             let _ = writeln!(
                 out,
-                "    store {} {}, [{}]{}{}",
+                "    store {} {}, [{}]{}",
                 ty,
                 op(val),
                 op(addr),
-                if attrs.safe { " safe" } else { "" },
-                if attrs.no_lower { " nolb" } else { "" }
+                attrs(a)
             );
         }
         Inst::AtomicRmw {
@@ -100,16 +112,17 @@ fn inst(i: &Inst, out: &mut String) {
             addr,
             val,
             ty,
-            ..
+            attrs: a,
         } => {
             let _ = writeln!(
                 out,
-                "    r{} = atomicrmw {:?} {} [{}], {}",
+                "    r{} = atomicrmw {:?} {} [{}], {}{}",
                 dst.0,
                 o,
                 ty,
                 op(addr),
-                op(val)
+                op(val),
+                attrs(a)
             );
         }
         Inst::AtomicCas {
@@ -118,16 +131,17 @@ fn inst(i: &Inst, out: &mut String) {
             expected,
             new,
             ty,
-            ..
+            attrs: a,
         } => {
             let _ = writeln!(
                 out,
-                "    r{} = cmpxchg {} [{}], {}, {}",
+                "    r{} = cmpxchg {} [{}], {}, {}{}",
                 dst.0,
                 ty,
                 op(addr),
                 op(expected),
-                op(new)
+                op(new),
+                attrs(a)
             );
         }
         Inst::ReadLocal { dst, local } => {
@@ -228,6 +242,14 @@ fn block(bi: usize, b: &Block, out: &mut String) {
     }
 }
 
+/// Renders a single instruction as one trimmed line of text (the same
+/// syntax `print_function` uses), for lint diagnostics and snapshots.
+pub fn print_inst(i: &Inst) -> String {
+    let mut out = String::new();
+    inst(i, &mut out);
+    out.trim().to_owned()
+}
+
 /// Renders one function as text.
 pub fn print_function(f: &Function) -> String {
     let mut out = String::new();
@@ -301,5 +323,83 @@ mod tests {
         assert!(text.contains("gep"));
         assert!(text.contains("store i64"));
         assert!(text.contains("br "));
+    }
+
+    #[test]
+    fn access_attributes_snapshot() {
+        // Pins the exact textual form of `safe`/`nolb`/`lowered` so lint
+        // diagnostics and golden tests can quote IR lines verbatim.
+        use crate::ir::{AccessAttrs, BinOp, Reg};
+        use crate::ty::Ty as T;
+
+        let marked = AccessAttrs {
+            safe: true,
+            no_lower: true,
+            lowered: true,
+        };
+        let plain = AccessAttrs::default();
+        let lines = [
+            (
+                Inst::Load {
+                    dst: Reg(1),
+                    addr: Operand::Reg(Reg(0)),
+                    ty: T::I64,
+                    attrs: marked,
+                },
+                "r1 = load i64 [r0] safe nolb lowered",
+            ),
+            (
+                Inst::Load {
+                    dst: Reg(1),
+                    addr: Operand::Reg(Reg(0)),
+                    ty: T::I64,
+                    attrs: plain,
+                },
+                "r1 = load i64 [r0]",
+            ),
+            (
+                Inst::Store {
+                    addr: Operand::Reg(Reg(0)),
+                    val: Operand::Imm(7),
+                    ty: T::I8,
+                    attrs: AccessAttrs {
+                        safe: true,
+                        ..plain
+                    },
+                },
+                "store i8 7, [r0] safe",
+            ),
+            (
+                Inst::AtomicRmw {
+                    op: BinOp::Add,
+                    dst: Reg(2),
+                    addr: Operand::Reg(Reg(0)),
+                    val: Operand::Imm(1),
+                    ty: T::I64,
+                    attrs: AccessAttrs {
+                        no_lower: true,
+                        ..plain
+                    },
+                },
+                "r2 = atomicrmw Add i64 [r0], 1 nolb",
+            ),
+            (
+                Inst::AtomicCas {
+                    dst: Reg(2),
+                    addr: Operand::Reg(Reg(0)),
+                    expected: Operand::Imm(0),
+                    new: Operand::Imm(1),
+                    ty: T::I64,
+                    attrs: AccessAttrs {
+                        lowered: true,
+                        ..plain
+                    },
+                },
+                "r2 = cmpxchg i64 [r0], 0, 1 lowered",
+            ),
+        ];
+        for (inst, expect) in lines {
+            assert_eq!(print_inst(&inst), expect);
+        }
     }
 }

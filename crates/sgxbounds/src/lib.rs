@@ -71,6 +71,12 @@ pub struct SbConfig {
     /// the obs layer. Markers never retire instructions or charge cycles,
     /// but they do change the IR shape, so they are off by default.
     pub site_markers: bool,
+    /// Run the flow-sensitive dataflow tier (`sgxs-analyze`) before
+    /// lowering: cross-block safe-access proofs plus must-availability
+    /// redundant-check elision. Strictly subsumes `safe_access_opt`. Only
+    /// effective in fail-stop mode (an elided check would skip the
+    /// boundless redirection). Off by default.
+    pub flow_elide: bool,
 }
 
 impl Default for SbConfig {
@@ -81,6 +87,7 @@ impl Default for SbConfig {
             boundless: false,
             narrow_bounds: false,
             site_markers: false,
+            flow_elide: false,
         }
     }
 }
@@ -146,6 +153,7 @@ mod e2e {
             boundless: false,
             narrow_bounds: false,
             site_markers: false,
+            flow_elide: false,
         };
         let (out, _) = run_hardened(&mut heap_writer(), cfg, &[11]);
         assert!(matches!(out.result, Err(Trap::SafetyViolation { .. })));
@@ -397,9 +405,24 @@ mod e2e {
                 boundless: false,
                 narrow_bounds: false,
                 site_markers: false,
+                flow_elide: false,
             },
             &[11],
         );
+        assert!(matches!(out.result, Err(Trap::SafetyViolation { .. })));
+        assert_eq!(*rt.violations.borrow(), 1);
+    }
+
+    #[test]
+    fn flow_elision_preserves_detection_and_results() {
+        let cfg = SbConfig {
+            flow_elide: true,
+            ..SbConfig::default()
+        };
+        let (ok, rt) = run_hardened(&mut heap_writer(), cfg, &[10]);
+        assert_eq!(ok.expect_ok(), 9);
+        assert_eq!(*rt.violations.borrow(), 0);
+        let (out, rt) = run_hardened(&mut heap_writer(), cfg, &[11]);
         assert!(matches!(out.result, Err(Trap::SafetyViolation { .. })));
         assert_eq!(*rt.violations.borrow(), 1);
     }

@@ -40,6 +40,10 @@ pub struct InstrumentReport {
     pub hoisted_checks: usize,
     /// Allocation-site intrinsics redirected to the runtime.
     pub intrinsics_redirected: usize,
+    /// Accesses newly proven safe by the flow-sensitive tier.
+    pub flow_marked: usize,
+    /// Checks elided by the must-availability analysis.
+    pub flow_elided: usize,
 }
 
 /// Errors the pass can report.
@@ -93,6 +97,14 @@ pub fn instrument(module: &mut Module, cfg: &SbConfig) -> Result<InstrumentRepor
     // (1) Safe-access analysis (paper §4.4).
     if cfg.safe_access_opt {
         mark_safe_accesses(module);
+    }
+
+    // (1b) Flow-sensitive tier: cross-block provenance proofs plus
+    // must-availability elision. Fail-stop only — an elided check would
+    // skip the boundless redirection of a genuinely OOB access.
+    if cfg.flow_elide && !cfg.boundless {
+        report.flow_marked = sgxs_analyze::mark_safe_flow(module);
+        report.flow_elided = sgxs_analyze::elide_redundant_checks(module);
     }
 
     // (2) Loop-check hoisting (paper §4.4). Incompatible with boundless

@@ -29,6 +29,7 @@ fn full_checks_emit_the_fig4d_sequence() {
         boundless: false,
         narrow_bounds: false,
         site_markers: false,
+        flow_elide: false,
     });
     // Tag strip: `And rX, 0xffffffff`.
     assert!(text.contains("And"), "missing mask:\n{text}");
@@ -80,6 +81,7 @@ fn hoisting_moves_checks_out_of_loops() {
             boundless: false,
             narrow_bounds: false,
             site_markers: false,
+            flow_elide: false,
         },
     )
     .unwrap();
@@ -126,6 +128,7 @@ fn boundless_lowering_reads_the_redirected_address() {
         boundless: true,
         narrow_bounds: false,
         site_markers: false,
+        flow_elide: false,
     });
     // The continuation reads a local (the ok/fail paths both write it).
     assert!(

@@ -13,6 +13,8 @@
 //!
 //! - [`sim`] — SGX machine model (caches, EPC paging, MEE costs);
 //! - [`mir`] — the mini compiler IR, analyses, and interpreter;
+//! - [`analyze`] — the flow-sensitive dataflow tier (value-range
+//!   provenance, redundant-check elision, static OOB lint);
 //! - [`rt`] — base runtime (allocator, libc wrappers);
 //! - [`sgxbounds`] — the paper's contribution;
 //! - [`baselines`] — ASan- and MPX-style schemes;
@@ -46,6 +48,7 @@
 //! ```
 
 pub use sgxbounds;
+pub use sgxs_analyze as analyze;
 pub use sgxs_baselines as baselines;
 pub use sgxs_harness as harness;
 pub use sgxs_mir as mir;

@@ -1,7 +1,7 @@
 //! Replays the fixed-seed differential-fuzz regression corpus.
 //!
 //! Every corpus entry regenerates its program (and injected fault) purely
-//! from the seed, runs it under all seven schemes, and must match the
+//! from the seed, runs it under all eight schemes, and must match the
 //! per-scheme detection model — deterministically, offline, on every
 //! `cargo test` run.
 

@@ -1,0 +1,153 @@
+//! Differential validation of the static OOB lint against the fuzz
+//! oracle, over the fixed-seed regression corpus.
+//!
+//! For every corpus entry the injected module is linted *uninstrumented*
+//! and the classification is checked against the injector/oracle ground
+//! truth via the progress beacon:
+//!
+//! * the builder stores `k + 1` to the beacon global (always `GlobalId(0)`)
+//!   after op `k`, so walking `main` in block order partitions its access
+//!   sites into per-op windows;
+//! * **soundness**: no access inside the injected op's window is ever
+//!   classified proved-safe (a proved-safe fault would be elided by the
+//!   flow tier and the violation lost);
+//! * **precision of `proved-oob`**: every proved-oob access lies in the
+//!   victim window, and the oracle independently attributes the first
+//!   violation to the same op index;
+//! * safe corpus entries lint with zero proved-oob sites.
+
+use sgxs_analyze::{access_facts, Class};
+use sgxs_fuzz::inject::{inject, FaultKind};
+use sgxs_fuzz::{gen, oracle, parse_corpus, CorpusEntry};
+use sgxs_mir::{GlobalId, Inst, Module, Operand};
+use std::collections::{HashMap, HashSet};
+
+fn corpus() -> Vec<CorpusEntry> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/fuzz_seeds.txt");
+    let text = std::fs::read_to_string(path).expect("corpus file readable");
+    parse_corpus(&text).expect("corpus parses")
+}
+
+/// Fault kinds whose victim op performs the access directly (a lint-visible
+/// load/store). Wrapper kinds (`memcpy`/`strcpy`) violate inside an
+/// intrinsic, which the access-site lint does not classify.
+fn is_direct(kind: FaultKind) -> bool {
+    !matches!(kind, FaultKind::MemcpyOverflow | FaultKind::StrcpyOverflow)
+}
+
+/// Maps every instruction position in `main` to its op window: window `k`
+/// spans from the beacon store of value `k` (exclusive) to the store of
+/// `k + 1` (inclusive). Positions before the beacon's `GlobalAddr` (the
+/// object-materialization prologue) get no window. Also returns the
+/// positions of the beacon stores themselves (in-bounds by construction;
+/// excluded from the soundness assertion).
+type Pos = (u32, u32);
+
+fn op_windows(m: &Module, fi: usize) -> (HashMap<Pos, usize>, HashSet<Pos>) {
+    let mut windows = HashMap::new();
+    let mut beacon_stores = HashSet::new();
+    let mut beacon_reg = None;
+    let mut window: Option<usize> = None;
+    for (bi, b) in m.funcs[fi].blocks.iter().enumerate() {
+        for (ii, inst) in b.insts.iter().enumerate() {
+            if let Some(w) = window {
+                windows.insert((bi as u32, ii as u32), w);
+            }
+            match inst {
+                Inst::GlobalAddr { dst, global } if *global == GlobalId(0) => {
+                    beacon_reg = Some(*dst);
+                    window = Some(0);
+                }
+                Inst::Store {
+                    addr: Operand::Reg(r),
+                    val: Operand::Imm(v),
+                    ..
+                } if Some(*r) == beacon_reg => {
+                    beacon_stores.insert((bi as u32, ii as u32));
+                    window = Some(*v as usize);
+                }
+                _ => {}
+            }
+        }
+    }
+    (windows, beacon_stores)
+}
+
+#[test]
+fn safe_corpus_entries_have_no_proved_oob_sites() {
+    for entry in corpus().iter().filter(|e| e.kind.is_none()) {
+        let prog = gen::generate(entry.seed, entry.max_ops);
+        let m = gen::build(&prog);
+        let main = m.func_by_name("main").expect("main exists").0 as usize;
+        for fact in access_facts(&m, main) {
+            assert_ne!(
+                fact.class,
+                Class::Oob,
+                "seed {}: safe program has a proved-oob access: {fact:?}",
+                entry.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_faults_are_never_proved_safe_and_oob_verdicts_match_the_oracle() {
+    let mut direct_checked = 0usize;
+    for entry in corpus() {
+        let Some(kind) = entry.kind else { continue };
+        let prog = gen::generate(entry.seed, entry.max_ops);
+        // Corpus replay salts the injection with the seed itself.
+        let (fprog, fault) = inject(&prog, kind, entry.seed);
+        let victim = fault.victim_index();
+
+        // The oracle independently re-derives the first violation; the
+        // lint's proved-oob sites must point at the same op.
+        let v = oracle::analyze(&fprog).expect("oracle sees the injected fault");
+        assert_eq!(
+            v.op_index, victim,
+            "seed {}: oracle and injector disagree on the victim op",
+            entry.seed
+        );
+
+        let m = gen::build(&fprog);
+        let main = m.func_by_name("main").expect("main exists").0 as usize;
+        let (windows, beacon_stores) = op_windows(&m, main);
+        let mut oob_in_window = 0usize;
+        for fact in access_facts(&m, main) {
+            let pos = (fact.block, fact.inst);
+            let w = windows.get(&pos).copied();
+            if w == Some(victim) && !beacon_stores.contains(&pos) {
+                // Soundness: nothing in the faulting op's window may be
+                // proved safe.
+                assert_ne!(
+                    fact.class,
+                    Class::Safe,
+                    "seed {} {kind:?}: access in the victim window proved safe: {fact:?}",
+                    entry.seed
+                );
+            }
+            if fact.class == Class::Oob {
+                // Precision: a proved-oob verdict must be the injected op.
+                assert_eq!(
+                    w,
+                    Some(victim),
+                    "seed {} {kind:?}: proved-oob outside the victim window: {fact:?}",
+                    entry.seed
+                );
+                oob_in_window += 1;
+            }
+        }
+        if is_direct(kind) {
+            assert!(
+                oob_in_window >= 1,
+                "seed {} {kind:?}: direct-access fault not proved OOB",
+                entry.seed
+            );
+            direct_checked += 1;
+        }
+    }
+    assert!(
+        direct_checked >= 7,
+        "corpus lost direct-access fault coverage ({direct_checked})"
+    );
+}

@@ -132,10 +132,10 @@ fn fig9_sgxbounds_overhead_does_not_grow_with_threads() {
 fn fig10_optimizations_never_hurt_and_sometimes_help() {
     let fig = exp::fig10::run(P, Effort::Quick, DEFAULT_SEED);
     let none = fig.gmean[0].unwrap();
-    let all = fig.gmean[3].unwrap();
+    let both = fig.gmean[3].unwrap();
     assert!(
-        all <= none * 1.02,
-        "optimizations must not slow things down: none={none:.3} all={all:.3}"
+        both <= none * 1.02,
+        "optimizations must not slow things down: none={none:.3} both={both:.3}"
     );
     // At least one benchmark gains noticeably (paper: kmeans/matrixmul/x264
     // gain up to ~20%).
@@ -147,6 +147,40 @@ fn fig10_optimizations_never_hurt_and_sometimes_help() {
     assert!(
         best_gain > 1.05,
         "some benchmark must gain >5% from optimizations, best was {best_gain:.3}"
+    );
+}
+
+#[test]
+fn fig10_check_counts_are_monotone_across_the_ablation() {
+    // Each optimization tier may only remove dynamic checks, never add
+    // them: none >= safe >= both >= flow per benchmark, and the flow tier
+    // must be a strict improvement over `both` somewhere.
+    let fig = exp::fig10::run(P, Effort::Quick, DEFAULT_SEED);
+    let mut flow_strictly_better = false;
+    for r in &fig.rows {
+        let [none, safe, _hoist, both, flow] = r.checks;
+        let (none, safe, both, flow) = (
+            none.expect("none checks"),
+            safe.expect("safe checks"),
+            both.expect("both checks"),
+            flow.expect("flow checks"),
+        );
+        assert!(
+            none >= safe && safe >= both && both >= flow,
+            "{}: check counts not monotone: none={none} safe={safe} both={both} flow={flow}",
+            r.name
+        );
+        if flow < both {
+            flow_strictly_better = true;
+        }
+    }
+    assert!(
+        flow_strictly_better,
+        "the flow tier must elide checks beyond `both` on at least one benchmark: {:?}",
+        fig.rows
+            .iter()
+            .map(|r| (r.name.clone(), r.checks))
+            .collect::<Vec<_>>()
     );
 }
 
