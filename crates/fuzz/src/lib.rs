@@ -30,7 +30,7 @@ pub mod runner;
 pub mod shrink;
 
 use inject::{FaultKind, ALL_KINDS};
-use runner::{classify, exec, exec_traced, verdict_ok, FScheme, Verdict, ALL_SCHEMES};
+use runner::{classify, exec, exec_chaos, exec_traced, verdict_ok, FScheme, Verdict, ALL_SCHEMES};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -337,6 +337,94 @@ pub fn run_campaign(opts: &FuzzOpts) -> Report {
     report
 }
 
+/// Results of the environmental-chaos campaign mode.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosFuzzReport {
+    /// Programs fuzzed.
+    pub programs: u64,
+    /// Total chaotic scheme executions.
+    pub runs: u64,
+    /// Runs that completed with the clean digest and zero retries (the
+    /// fault plan happened not to fire).
+    pub clean: u64,
+    /// Runs that rode out at least one injected allocator failure and
+    /// still reproduced the clean digest ([`Verdict::Tolerated`]).
+    pub rode_out: u64,
+    /// Total retry attempts across all runs.
+    pub retries: u64,
+    /// Runs whose result diverged under chaos (digest mismatch, false
+    /// positive, or crash) — each one is a recovery bug.
+    pub failures: Vec<(u64, FScheme, Verdict)>,
+}
+
+impl ChaosFuzzReport {
+    /// True when every chaotic run reproduced the clean digest.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "chaos fuzz: {} programs, {} runs — {} clean, {} rode out \
+             injected OOM ({} retries), {} failure(s)",
+            self.programs,
+            self.runs,
+            self.clean,
+            self.rode_out,
+            self.retries,
+            self.failures.len()
+        );
+        for (seed, scheme, v) in &self.failures {
+            let _ = writeln!(
+                s,
+                "  seed {seed} under {}: {} ({v:?})",
+                scheme.label(),
+                v.label()
+            );
+        }
+        s
+    }
+}
+
+/// Chaos campaign mode: every *safe* program runs under every scheme with
+/// an allocator fault plan installed and an OOM-retry recovery policy. The
+/// environmental faults are transient by construction, so every run must
+/// still reproduce the clean native digest bit-for-bit; a run that needed
+/// retries to get there is classified [`Verdict::Tolerated`].
+pub fn run_chaos_fuzz(opts: &FuzzOpts) -> ChaosFuzzReport {
+    let mut report = ChaosFuzzReport::default();
+    for seed in opts.seed0..opts.seed0 + opts.seeds {
+        let prog = gen::generate(seed, opts.max_ops);
+        report.programs += 1;
+        let native = exec(&prog, FScheme::Native);
+        let Ok(native_digest) = native.result else {
+            report
+                .failures
+                .push((seed, FScheme::Native, Verdict::Crash("clean run".into())));
+            continue;
+        };
+        let chaos_seed = seed.wrapping_mul(0xD6E8_FEB8_6659_FD93).wrapping_add(1);
+        for scheme in ALL_SCHEMES {
+            let e = exec_chaos(&prog, scheme, chaos_seed);
+            report.runs += 1;
+            report.retries += e.retries;
+            let mut v = classify(None, native_digest, &e);
+            if v == Verdict::Pass && e.retries > 0 {
+                v = Verdict::Tolerated;
+            }
+            match v {
+                Verdict::Pass => report.clean += 1,
+                Verdict::Tolerated => report.rode_out += 1,
+                bad => report.failures.push((seed, scheme, bad)),
+            }
+        }
+    }
+    report
+}
+
 /// One replayable corpus entry: everything needed to regenerate a
 /// (program, fault) pair deterministically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -468,6 +556,23 @@ mod tests {
             let (_, again) = exec_traced(&fprog, scheme, 32);
             assert_eq!(events, again, "{}: trace not deterministic", scheme.label());
         }
+    }
+
+    #[test]
+    fn chaos_fuzz_rides_out_injected_oom_with_identical_digests() {
+        let report = run_chaos_fuzz(&FuzzOpts {
+            seeds: 6,
+            seed0: 300,
+            max_ops: 12,
+            shrink: false,
+        });
+        assert_eq!(report.programs, 6);
+        assert!(report.passed(), "chaos failures:\n{}", report.render());
+        assert!(
+            report.rode_out > 0 && report.retries > 0,
+            "fault plan never fired — chaos mode is not exercising recovery:\n{}",
+            report.render()
+        );
     }
 
     #[test]

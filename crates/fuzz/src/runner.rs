@@ -9,8 +9,8 @@ use sgxs_baselines::asan::runtime::asan_alloc_opts;
 use sgxs_baselines::{
     install_asan, install_mpx, instrument_asan_with, instrument_mpx_with, AsanConfig, MpxConfig,
 };
-use sgxs_mir::{verify, GlobalId, Trap, Vm, VmConfig};
-use sgxs_rt::{install_base, AllocOpts};
+use sgxs_mir::{verify, GlobalId, PolicySet, RecoveryPolicy, Trap, TrapClass, Vm, VmConfig};
+use sgxs_rt::{install_base, AllocFaultPlan, AllocOpts};
 use sgxs_sim::obs::{Recorder, TraceRecorder};
 use sgxs_sim::{MachineConfig, Mode, Preset};
 use std::cell::RefCell;
@@ -104,11 +104,22 @@ pub struct Exec {
     /// SGXBounds violation counter (boundless mode records tolerated
     /// violations here; other schemes leave it 0).
     pub violations: u64,
+    /// Interpreter retry attempts (chaos mode only; 0 otherwise).
+    pub retries: u64,
 }
 
 /// Builds, instruments, and runs `prog` under `scheme`.
 pub fn exec(prog: &Prog, scheme: FScheme) -> Exec {
-    exec_inner(prog, scheme, None)
+    exec_inner(prog, scheme, None, None)
+}
+
+/// Like [`exec`] but under environmental chaos: a fault plan seeded with
+/// `chaos_seed` makes the allocator fail intermittently, and the
+/// interpreter retries the injected OOMs with backoff. A correct scheme
+/// must still reproduce the clean native digest bit-for-bit — any
+/// divergence means a transient allocation failure corrupted results.
+pub fn exec_chaos(prog: &Prog, scheme: FScheme, chaos_seed: u64) -> Exec {
+    exec_inner(prog, scheme, None, Some(chaos_seed))
 }
 
 /// Like [`exec`] but with the observability layer on; returns the run plus
@@ -116,14 +127,51 @@ pub fn exec(prog: &Prog, scheme: FScheme) -> Exec {
 /// disagreement reports).
 pub fn exec_traced(prog: &Prog, scheme: FScheme, last_k: usize) -> (Exec, Vec<String>) {
     let rec = Rc::new(RefCell::new(TraceRecorder::new(last_k)));
-    let e = exec_inner(prog, scheme, Some(rec.clone()));
+    let e = exec_inner(prog, scheme, Some(rec.clone()), None);
     let r = Rc::try_unwrap(rec)
         .expect("machine dropped its recorder handle")
         .into_inner();
     (e, r.last_events(last_k))
 }
 
-fn exec_inner(prog: &Prog, scheme: FScheme, rec: Option<Rc<RefCell<dyn Recorder>>>) -> Exec {
+fn exec_inner(
+    prog: &Prog,
+    scheme: FScheme,
+    rec: Option<Rc<RefCell<dyn Recorder>>>,
+    chaos_seed: Option<u64>,
+) -> Exec {
+    catch_exec(move || exec_uncaught(prog, scheme, rec, chaos_seed))
+}
+
+/// Runs `f`, converting a panic anywhere in the scheme pipeline
+/// (instrumentation, install, interpretation) into a `Trap::Abort` so one
+/// buggy scheme surfaces as a [`Verdict::Crash`] for that input instead of
+/// tearing down the whole campaign.
+fn catch_exec(f: impl FnOnce() -> Exec) -> Exec {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(e) => e,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Exec {
+                result: Err(Trap::Abort(format!("scheme panicked: {msg}"))),
+                beacon: 0,
+                violations: 0,
+                retries: 0,
+            }
+        }
+    }
+}
+
+fn exec_uncaught(
+    prog: &Prog,
+    scheme: FScheme,
+    rec: Option<Rc<RefCell<dyn Recorder>>>,
+    chaos_seed: Option<u64>,
+) -> Exec {
     let markers = rec.is_some();
     let mut module = gen::build(prog);
     match scheme {
@@ -151,6 +199,7 @@ fn exec_inner(prog: &Prog, scheme: FScheme, rec: Option<Rc<RefCell<dyn Recorder>
         FScheme::Asan => install_base(&mut vm, asan_alloc_opts(&asan_cfg, u32::MAX as u64)),
         _ => install_base(&mut vm, AllocOpts::default()),
     };
+    let chaos_heap = heap.clone();
     let mut sb_rt = None;
     match scheme {
         FScheme::Native => {}
@@ -169,6 +218,20 @@ fn exec_inner(prog: &Prog, scheme: FScheme, rec: Option<Rc<RefCell<dyn Recorder>
             ));
         }
     }
+    if let Some(seed) = chaos_seed {
+        // Chaos campaign mode: the allocator fails intermittently and the
+        // interpreter rides the injected OOMs out with bounded retries.
+        chaos_heap
+            .borrow_mut()
+            .set_fault_plan(Some(AllocFaultPlan::new(seed, 96).with_budget(6)));
+        vm.set_recovery(PolicySet::uniform(RecoveryPolicy::Abort).with_override(
+            TrapClass::Oom,
+            RecoveryPolicy::RetryWithBackoff {
+                max_attempts: 16,
+                backoff: 1_000,
+            },
+        ));
+    }
     let out = vm.run("main", &[]);
     // The beacon is always GlobalId(0) — gen::build creates it first.
     let baddr = vm.global_addr(GlobalId(0));
@@ -178,6 +241,7 @@ fn exec_inner(prog: &Prog, scheme: FScheme, rec: Option<Rc<RefCell<dyn Recorder>
         result: out.result,
         beacon: u64::from_le_bytes(buf),
         violations: sb_rt.map(|rt| *rt.violations.borrow()).unwrap_or(0),
+        retries: vm.recovery_stats().attempts,
     }
 }
 
@@ -383,6 +447,29 @@ mod tests {
             ),
             "boundless verdict {v:?}"
         );
+    }
+
+    #[test]
+    fn panicking_scheme_yields_a_crash_verdict() {
+        // A scheme whose pipeline panics must degrade to Verdict::Crash for
+        // that one input, not abort the campaign process.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let e = catch_exec(|| panic!("deliberate mock-scheme failure"));
+        std::panic::set_hook(hook);
+        let trap = e.result.as_ref().expect_err("panic must become a trap");
+        assert!(
+            trap.to_string().contains("deliberate mock-scheme failure"),
+            "payload carried through: {trap}"
+        );
+        let v = classify(None, 0, &e);
+        assert!(matches!(v, Verdict::Crash(_)), "got {v:?}");
+        // Faulty-program classification also lands on Crash, never on a
+        // detection verdict.
+        let prog = generate(53, 8);
+        let (_, fault) = inject(&prog, FaultKind::HeapOverflow, 5);
+        let v = classify(Some(&fault), 0, &e);
+        assert!(matches!(v, Verdict::Crash(_)), "got {v:?}");
     }
 
     #[test]

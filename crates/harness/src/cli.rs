@@ -14,7 +14,11 @@
 //!   `sgxs-bench-v1` document;
 //! * `repro profile <workload>` — run one workload with the
 //!   observability layer on and print its per-check-site profile;
-//! * `repro fuzz` — the differential fuzzing campaign;
+//! * `repro fuzz` — the differential fuzzing campaign (`--chaos` adds the
+//!   environmental-chaos mode: allocator fault injection + OOM retry);
+//! * `repro chaos` — the availability-under-attack campaign: seeded chaos
+//!   schedules against the per-request server modules under every
+//!   scheme/recovery-policy combo, with a corruption + availability gate;
 //! * `repro lint` — the static OOB lint over workload modules (exits 1 on
 //!   any proved-OOB access);
 //! * `repro bench record` — run the full suite and append one
@@ -43,7 +47,9 @@ pub const USAGE: &str =
     "usage: repro <fig1|fig7|fig8|table3|fig9|fig10|table4|fig11|fig12|fig13|cases|all> \
      [--quick] [--tiny|--mini|--paper] [--seed N] [--json FILE]\n       \
      repro profile <workload> [--scheme S] [--trace FILE] [--json FILE]\n       \
-     repro fuzz [--seeds N] [--seed0 N] [--max-ops N] [--no-shrink] [--corpus FILE]\n       \
+     repro fuzz [--seeds N] [--seed0 N] [--max-ops N] [--no-shrink] [--corpus FILE] [--chaos]\n       \
+     repro chaos [--seeds N] [--seed0 N] [--requests N] [--threshold F] [--demo-corruption] \
+     [--json FILE]\n       \
      repro lint [NAMES...] [--demo-oob] [--seed N] [--json FILE]\n       \
      repro bench record [--quick] [--tiny|--mini|--paper] [--replicates N] [--seed0 N] \
      [--rev REV] [--out FILE]\n       \
@@ -118,6 +124,7 @@ fn write_file(path: &str, text: &str) -> Result<(), String> {
 pub fn run(args: &[String]) -> Result<i32, String> {
     match args.first().map(String::as_str) {
         Some("fuzz") => run_fuzz(&args[1..]),
+        Some("chaos") => run_chaos(&args[1..]),
         Some("lint") => crate::lint::run_lint(&args[1..]),
         Some("profile") => run_profile(&args[1..]),
         Some("bench") => run_bench(&args[1..]),
@@ -349,6 +356,7 @@ pub fn run_fuzz(args: &[String]) -> Result<i32, String> {
     let mut opts = sgxs_fuzz::FuzzOpts::default();
     let mut corpus: Option<String> = None;
     let mut ran_seeds = false;
+    let mut chaos = false;
     let mut it = Args::new("fuzz", args);
     while let Some(a) = it.next_arg() {
         match a {
@@ -360,6 +368,7 @@ pub fn run_fuzz(args: &[String]) -> Result<i32, String> {
             "--max-ops" => opts.max_ops = it.parse::<u64>("--max-ops")? as usize,
             "--no-shrink" => opts.shrink = false,
             "--corpus" => corpus = Some(it.value("--corpus")?),
+            "--chaos" => chaos = true,
             other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
         }
     }
@@ -388,12 +397,46 @@ pub fn run_fuzz(args: &[String]) -> Result<i32, String> {
             println!("corpus clean: every entry matches the detection model\n");
         }
     }
-    if corpus.is_none() || ran_seeds {
+    if chaos {
+        let report = sgxs_fuzz::run_chaos_fuzz(&opts);
+        println!("{}", report.render());
+        failed |= !report.passed();
+    } else if corpus.is_none() || ran_seeds {
         let report = sgxs_fuzz::run_campaign(&opts);
         println!("{}", report.render());
         failed |= !report.disagreements.is_empty();
     }
     Ok(if failed { 1 } else { 0 })
+}
+
+/// `repro chaos`: the availability-under-attack campaign. Exits 1 when
+/// any gated (protected) scheme shows cross-object corruption or the
+/// boundless combo's availability drops below the threshold.
+pub fn run_chaos(args: &[String]) -> Result<i32, String> {
+    let mut opts = sgxs_resil::CampaignOpts::default();
+    let mut json: Option<String> = None;
+    let mut it = Args::new("chaos", args);
+    while let Some(a) = it.next_arg() {
+        match a {
+            "--seeds" => opts.seeds = it.parse("--seeds")?,
+            "--seed0" => opts.seed0 = it.parse("--seed0")?,
+            "--requests" => opts.requests = it.parse("--requests")?,
+            "--threshold" => opts.threshold = it.parse("--threshold")?,
+            "--demo-corruption" => opts.demo_corruption = true,
+            "--json" => json = Some(it.value("--json")?),
+            other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
+        }
+    }
+    if opts.seeds == 0 {
+        return Err(it.fail("--seeds must be at least 1"));
+    }
+    let report = sgxs_resil::run_chaos_campaign(&opts);
+    print!("{}", report.render());
+    if let Some(path) = &json {
+        write_file(path, &report.to_json().to_pretty()).map_err(|e| it.fail(e))?;
+        println!("chaos json written to {path}");
+    }
+    Ok(if report.gate_failed() { 1 } else { 0 })
 }
 
 /// The short git revision of the working tree, or "unknown" outside a

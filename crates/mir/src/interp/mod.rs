@@ -16,10 +16,14 @@
 //! is a registered handler operating on [`Machine`] + [`Env`].
 
 pub mod env;
+pub mod recovery;
 pub mod trap;
 
 pub use env::Env;
+pub use recovery::{PolicySet, RecoveryPolicy, RecoveryStats, TrapClass};
 pub use trap::{AccessKind, Trap};
+
+use recovery::{RecoveryAction, RecoveryCtl};
 
 use crate::ir::{
     BinOp, CastKind, CmpOp, FBinOp, FCmpOp, FuncId, Inst, Module, Operand, Reg, SiteMarker, Term,
@@ -241,6 +245,7 @@ pub struct Vm<'m> {
     threads: Vec<Thread>,
     mutexes: HashMap<u64, MutexState>,
     exited: Option<u64>,
+    recovery: Option<RecoveryCtl>,
 }
 
 impl<'m> Vm<'m> {
@@ -277,7 +282,28 @@ impl<'m> Vm<'m> {
             threads: Vec::new(),
             mutexes: HashMap::new(),
             exited: None,
+            recovery: None,
         }
+    }
+
+    /// Installs a trap-recovery policy set consulted whenever a trap
+    /// reaches the scheduler loop. With no policy installed (or with
+    /// [`RecoveryPolicy::Abort`] everywhere, the default) traps propagate
+    /// exactly as before; the consultation happens only on the
+    /// already-terminal trap path, so the hot path is untouched.
+    pub fn set_recovery(&mut self, policies: PolicySet) {
+        self.recovery = Some(RecoveryCtl::new(policies));
+    }
+
+    /// Removes any installed recovery policy (traps propagate again).
+    pub fn clear_recovery(&mut self) {
+        self.recovery = None;
+    }
+
+    /// Recovery-activity counters, cumulative across `run()` calls.
+    /// Zero if no policy is installed.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery.as_ref().map(|c| c.stats).unwrap_or_default()
     }
 
     /// First heap address (just past the globals), page-aligned.
@@ -415,6 +441,9 @@ impl<'m> Vm<'m> {
         self.threads.clear();
         self.mutexes.clear();
         self.exited = None;
+        if let Some(ctl) = self.recovery.as_mut() {
+            ctl.attempts_this_run = 0;
+        }
         self.spawn_thread(fid.0 as usize, args, 0)?;
         loop {
             // Pick the runnable thread with the smallest cycle count.
@@ -432,7 +461,13 @@ impl<'m> Vm<'m> {
                 }
                 return Err(Trap::Deadlock);
             };
-            self.run_quantum(tid)?;
+            if let Err(trap) = self.run_quantum(tid) {
+                match self.consult_recovery(&trap, tid) {
+                    RecoveryAction::Propagate => return Err(trap),
+                    RecoveryAction::ExitDegraded => return Ok(0),
+                    RecoveryAction::Retry => {}
+                }
+            }
             if let Some(code) = self.exited {
                 return Ok(code);
             }
@@ -441,6 +476,67 @@ impl<'m> Vm<'m> {
             }
             if self.machine.stats.instructions > self.cfg.max_instructions {
                 return Err(Trap::InstructionLimit);
+            }
+        }
+    }
+
+    /// Consults the installed recovery policy about a trap that reached
+    /// the scheduler loop. Cold path: runs at most once per trap, which is
+    /// otherwise terminal for the whole run.
+    fn consult_recovery(&mut self, trap: &Trap, tid: usize) -> RecoveryAction {
+        let Some(ctl) = self.recovery.as_mut() else {
+            return RecoveryAction::Propagate;
+        };
+        let class = TrapClass::of(trap);
+        let kind = class.label();
+        match ctl.policies.policy_for(class) {
+            RecoveryPolicy::Abort => RecoveryAction::Propagate,
+            RecoveryPolicy::GracefulExit => {
+                ctl.stats.degraded += 1;
+                if self.machine.obs_enabled() {
+                    self.machine.emit(Event::RecoveryDegraded { kind });
+                }
+                RecoveryAction::ExitDegraded
+            }
+            RecoveryPolicy::Boundless => {
+                // The boundless runtime absorbs violations before they trap;
+                // one that still escapes (e.g. a fail-stop libc wrapper) ends
+                // the run degraded-but-clean. Other traps stay fatal.
+                if class == TrapClass::Safety {
+                    ctl.stats.degraded += 1;
+                    if self.machine.obs_enabled() {
+                        self.machine.emit(Event::RecoveryDegraded { kind });
+                    }
+                    RecoveryAction::ExitDegraded
+                } else {
+                    RecoveryAction::Propagate
+                }
+            }
+            RecoveryPolicy::RetryWithBackoff {
+                max_attempts,
+                backoff,
+            } => {
+                if !class.retryable() {
+                    return RecoveryAction::Propagate;
+                }
+                if ctl.attempts_this_run >= max_attempts {
+                    ctl.stats.gave_up += 1;
+                    let attempts = ctl.attempts_this_run;
+                    if self.machine.obs_enabled() {
+                        self.machine.emit(Event::RecoveryGaveUp { kind, attempts });
+                    }
+                    return RecoveryAction::Propagate;
+                }
+                ctl.attempts_this_run += 1;
+                ctl.stats.attempts += 1;
+                let attempt = ctl.attempts_this_run;
+                // Linear backoff: waiting longer each time models the
+                // enclave riding out an environmental pressure spike.
+                self.threads[tid].cycles += backoff * attempt as u64;
+                if self.machine.obs_enabled() {
+                    self.machine.emit(Event::RecoveryAttempt { kind, attempt });
+                }
+                RecoveryAction::Retry
             }
         }
     }

@@ -1,0 +1,225 @@
+//! Trap-recovery policies consulted by the interpreter's scheduler loop.
+//!
+//! The paper's §4.2 argues that availability — surviving a bug instead of
+//! dying on the first trap — is SGXBounds' key operational advantage over
+//! fail-stop schemes. This module makes the *response* to a trap a
+//! first-class, configurable policy (as CGuard does for violation
+//! handling): the default [`RecoveryPolicy::Abort`] propagates traps
+//! exactly as before (the hook sits on the already-terminal trap path, so
+//! it costs nothing when disabled), while drivers such as `sgxs-resil` can
+//! select graceful per-request exits, boundless toleration, or bounded
+//! retry of transient environmental faults.
+//!
+//! Policies form a small lattice ordered by how much execution they
+//! preserve: `Abort` ⊑ `GracefulExit` ⊑ `RetryWithBackoff` ⊑ `Boundless`
+//! (boundless never even reaches the trap path for redirected accesses).
+//! A [`PolicySet`] assigns one policy per [`TrapClass`] with a default,
+//! so e.g. safety violations can abort while allocator OOM retries.
+
+use super::trap::Trap;
+
+/// What the interpreter should do when a trap reaches the scheduler loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Fail-stop: propagate the trap to the caller (the default).
+    Abort,
+    /// Crash-only semantics: convert the trap into a clean `Ok(0)` exit of
+    /// the current `run()` and count the run as degraded. Per-request
+    /// drivers use this so one poisoned request cannot take down the
+    /// server loop.
+    GracefulExit,
+    /// Tolerate scheme detections: a `SafetyViolation` that still escapes a
+    /// failure-oblivious runtime ends the run cleanly (degraded); every
+    /// other trap propagates. This is the interpreter-level backstop for
+    /// boundless-memory configurations, whose runtime absorbs violations
+    /// before they ever become traps.
+    Boundless,
+    /// Re-execute the faulting operation, charging `backoff` cycles per
+    /// attempt (linearly growing), up to `max_attempts` per run. Only
+    /// environmental faults raised *inside* intrinsic handlers are
+    /// retried — for those the faulting call's instruction pointer has not
+    /// advanced, so the retry simply re-executes the call. Deterministic
+    /// program traps (division by zero, wild stores) propagate regardless.
+    RetryWithBackoff {
+        /// Retry budget per `run()` invocation.
+        max_attempts: u32,
+        /// Cycles charged to the faulting thread per attempt.
+        backoff: u64,
+    },
+}
+
+/// Coarse trap classification used for per-kind policy overrides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapClass {
+    /// Hardware-level memory faults.
+    Mem,
+    /// Scheme-detected memory-safety violations.
+    Safety,
+    /// Allocator / enclave-capacity exhaustion (the retryable
+    /// environmental fault class).
+    Oom,
+    /// Explicit `abort` or runtime failure paths.
+    Abort,
+    /// Arithmetic traps (division by zero).
+    Arith,
+    /// Stack exhaustion.
+    Stack,
+    /// Harness limits (instruction budget) — note these are enforced
+    /// outside the recovery hook and always propagate.
+    Limit,
+    /// Everything else (thread misuse, unknown intrinsics, bad calls).
+    Other,
+}
+
+impl TrapClass {
+    /// Classifies a trap.
+    pub fn of(trap: &Trap) -> TrapClass {
+        match trap {
+            Trap::Mem(_) => TrapClass::Mem,
+            Trap::SafetyViolation { .. } => TrapClass::Safety,
+            Trap::OutOfMemory { .. } => TrapClass::Oom,
+            Trap::Abort(_) => TrapClass::Abort,
+            Trap::DivByZero => TrapClass::Arith,
+            Trap::StackOverflow => TrapClass::Stack,
+            Trap::InstructionLimit | Trap::Deadlock => TrapClass::Limit,
+            _ => TrapClass::Other,
+        }
+    }
+
+    /// Short label used in observability events.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrapClass::Mem => "mem",
+            TrapClass::Safety => "safety",
+            TrapClass::Oom => "oom",
+            TrapClass::Abort => "abort",
+            TrapClass::Arith => "arith",
+            TrapClass::Stack => "stack",
+            TrapClass::Limit => "limit",
+            TrapClass::Other => "other",
+        }
+    }
+
+    /// Whether re-executing the faulting operation is well-defined.
+    ///
+    /// Only intrinsic-raised environmental faults qualify: the interpreter
+    /// advances an intrinsic call's `ip` after the handler succeeds, so a
+    /// trap leaves the call ready to re-execute. Allocator OOM is the
+    /// canonical (and currently only) member.
+    pub fn retryable(&self) -> bool {
+        matches!(self, TrapClass::Oom)
+    }
+}
+
+/// A default policy plus per-trap-class overrides.
+#[derive(Debug, Clone)]
+pub struct PolicySet {
+    default: RecoveryPolicy,
+    overrides: Vec<(TrapClass, RecoveryPolicy)>,
+}
+
+impl PolicySet {
+    /// One policy for every trap class.
+    pub fn uniform(policy: RecoveryPolicy) -> Self {
+        PolicySet {
+            default: policy,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces) a per-class override.
+    pub fn with_override(mut self, class: TrapClass, policy: RecoveryPolicy) -> Self {
+        if let Some(slot) = self.overrides.iter_mut().find(|(c, _)| *c == class) {
+            slot.1 = policy;
+        } else {
+            self.overrides.push((class, policy));
+        }
+        self
+    }
+
+    /// The policy governing `class`.
+    pub fn policy_for(&self, class: TrapClass) -> RecoveryPolicy {
+        self.overrides
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, p)| *p)
+            .unwrap_or(self.default)
+    }
+}
+
+impl Default for PolicySet {
+    fn default() -> Self {
+        PolicySet::uniform(RecoveryPolicy::Abort)
+    }
+}
+
+/// Recovery-activity counters, cumulative over a `Vm`'s lifetime.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Retries performed (`recovery.attempt` events).
+    pub attempts: u64,
+    /// Traps converted into degraded-but-clean exits
+    /// (`recovery.degraded` events).
+    pub degraded: u64,
+    /// Retry budgets exhausted (`recovery.gave_up` events).
+    pub gave_up: u64,
+}
+
+/// Internal decision returned by the interpreter's policy consultation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecoveryAction {
+    /// Propagate the trap unchanged.
+    Propagate,
+    /// End the run cleanly with `Ok(0)`; the stats record the degradation.
+    ExitDegraded,
+    /// Resume the scheduler loop; the faulting operation re-executes.
+    Retry,
+}
+
+/// Live policy state attached to a `Vm` by `set_recovery`.
+pub(crate) struct RecoveryCtl {
+    pub(crate) policies: PolicySet,
+    pub(crate) stats: RecoveryStats,
+    /// Retry attempts consumed by the current `run()` (reset per run).
+    pub(crate) attempts_this_run: u32,
+}
+
+impl RecoveryCtl {
+    pub(crate) fn new(policies: PolicySet) -> Self {
+        RecoveryCtl {
+            policies,
+            stats: RecoveryStats::default(),
+            attempts_this_run: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overrides_shadow_the_default() {
+        let set = PolicySet::uniform(RecoveryPolicy::Abort)
+            .with_override(TrapClass::Oom, RecoveryPolicy::GracefulExit)
+            .with_override(TrapClass::Oom, RecoveryPolicy::Boundless);
+        assert_eq!(set.policy_for(TrapClass::Oom), RecoveryPolicy::Boundless);
+        assert_eq!(set.policy_for(TrapClass::Safety), RecoveryPolicy::Abort);
+    }
+
+    #[test]
+    fn classification_covers_the_trap_surface() {
+        assert_eq!(
+            TrapClass::of(&Trap::OutOfMemory {
+                requested: 1,
+                reserved: 0
+            }),
+            TrapClass::Oom
+        );
+        assert_eq!(TrapClass::of(&Trap::DivByZero), TrapClass::Arith);
+        assert_eq!(TrapClass::of(&Trap::StackOverflow), TrapClass::Stack);
+        assert_eq!(TrapClass::of(&Trap::InstructionLimit), TrapClass::Limit);
+        assert!(TrapClass::Oom.retryable());
+        assert!(!TrapClass::Safety.retryable());
+    }
+}

@@ -20,7 +20,10 @@ pub mod ty;
 pub mod verify;
 
 pub use builder::{FuncBuilder, ModuleBuilder};
-pub use interp::{AccessKind, Env, IntrinsicCtx, RunOutcome, Trap, Vm, VmConfig};
+pub use interp::{
+    AccessKind, Env, IntrinsicCtx, PolicySet, RecoveryPolicy, RecoveryStats, RunOutcome, Trap,
+    TrapClass, Vm, VmConfig,
+};
 pub use ir::{
     AccessAttrs, BinOp, Block, BlockId, CastKind, CheckSite, CmpOp, FBinOp, FCmpOp, FuncId,
     Function, Global, GlobalId, Inst, IntrinsicId, LocalId, Module, Operand, Reg, SiteMarker,

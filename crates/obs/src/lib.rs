@@ -89,6 +89,28 @@ pub enum Event {
         /// Phase name.
         name: &'static str,
     },
+    /// The recovery policy intercepted a trap and is retrying the faulting
+    /// operation (`attempt` counts from 1).
+    RecoveryAttempt {
+        /// Trap-kind label (e.g. `oom`, `safety`).
+        kind: &'static str,
+        /// Retry attempt number, starting at 1.
+        attempt: u32,
+    },
+    /// The recovery policy converted a trap into degraded-but-alive service
+    /// (graceful per-request exit or boundless toleration).
+    RecoveryDegraded {
+        /// Trap-kind label.
+        kind: &'static str,
+    },
+    /// The recovery policy exhausted its retry budget and let the trap
+    /// propagate.
+    RecoveryGaveUp {
+        /// Trap-kind label.
+        kind: &'static str,
+        /// Attempts consumed before giving up.
+        attempts: u32,
+    },
 }
 
 impl Event {
@@ -103,6 +125,9 @@ impl Event {
             Event::Free { .. } => "free",
             Event::PhaseBegin { .. } => "phase_begin",
             Event::PhaseEnd { .. } => "phase_end",
+            Event::RecoveryAttempt { .. } => "recovery.attempt",
+            Event::RecoveryDegraded { .. } => "recovery.degraded",
+            Event::RecoveryGaveUp { .. } => "recovery.gave_up",
         }
     }
 
@@ -130,6 +155,15 @@ impl Event {
             Event::Free { addr } => format!("[ins {at}] free addr={addr:#x}"),
             Event::PhaseBegin { name } => format!("[ins {at}] phase_begin {name}"),
             Event::PhaseEnd { name } => format!("[ins {at}] phase_end {name}"),
+            Event::RecoveryAttempt { kind, attempt } => {
+                format!("[ins {at}] recovery.attempt kind={kind} attempt={attempt}")
+            }
+            Event::RecoveryDegraded { kind } => {
+                format!("[ins {at}] recovery.degraded kind={kind}")
+            }
+            Event::RecoveryGaveUp { kind, attempts } => {
+                format!("[ins {at}] recovery.gave_up kind={kind} attempts={attempts}")
+            }
         }
     }
 
@@ -164,6 +198,17 @@ impl Event {
             }
             Event::PhaseBegin { name } | Event::PhaseEnd { name } => {
                 fields.push(("name", (*name).into()));
+            }
+            Event::RecoveryAttempt { kind, attempt } => {
+                fields.push(("kind", (*kind).into()));
+                fields.push(("attempt", (*attempt).into()));
+            }
+            Event::RecoveryDegraded { kind } => {
+                fields.push(("kind", (*kind).into()));
+            }
+            Event::RecoveryGaveUp { kind, attempts } => {
+                fields.push(("kind", (*kind).into()));
+                fields.push(("attempts", (*attempts).into()));
             }
         }
         Json::obj(fields)
@@ -474,6 +519,17 @@ impl Recorder for TraceRecorder {
                 h = fnv(h, name.as_bytes());
                 self.phases
                     .push((now, name, matches!(ev, Event::PhaseBegin { .. })));
+            }
+            Event::RecoveryAttempt { kind, attempt } => {
+                h = fnv(h, kind.as_bytes());
+                h = fnv(h, &attempt.to_le_bytes());
+            }
+            Event::RecoveryDegraded { kind } => {
+                h = fnv(h, kind.as_bytes());
+            }
+            Event::RecoveryGaveUp { kind, attempts } => {
+                h = fnv(h, kind.as_bytes());
+                h = fnv(h, &attempts.to_le_bytes());
             }
         }
         self.digest = h;

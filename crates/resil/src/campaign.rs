@@ -1,0 +1,351 @@
+//! Chaos campaigns: many seeds × scheme/policy combos, aggregated into an
+//! availability matrix with a CI gate and a `sgxs-chaos-v1` JSON document.
+
+use crate::chaos::ChaosSchedule;
+use crate::serve::{
+    abort_policy, boundless_policy, graceful_policy, retry_policy, serve, AvailabilityReport,
+    RScheme, ServerApp,
+};
+use sgxs_mir::PolicySet;
+use sgxs_obs::json::Json;
+use std::fmt::Write as _;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignOpts {
+    /// Seeds (one server run per seed per combo; the app rotates by seed).
+    pub seeds: u64,
+    /// First seed.
+    pub seed0: u64,
+    /// Requests per server run.
+    pub requests: u32,
+    /// Minimum availability the boundless combo must reach (gate).
+    pub threshold: f64,
+    /// CI negative test: also gate the native combo's corruption, which a
+    /// working corruption oracle always reports.
+    pub demo_corruption: bool,
+}
+
+impl Default for CampaignOpts {
+    fn default() -> Self {
+        CampaignOpts {
+            seeds: 100,
+            seed0: 1,
+            requests: 48,
+            threshold: 0.90,
+            demo_corruption: false,
+        }
+    }
+}
+
+/// One scheme × policy configuration under campaign test.
+pub struct Combo {
+    /// Scheme to instrument with.
+    pub scheme: RScheme,
+    /// Policy-set label for reports.
+    pub policy: &'static str,
+    /// The recovery policies.
+    pub policies: PolicySet,
+    /// Whether the corruption gate applies (protected schemes only).
+    pub gated: bool,
+}
+
+/// The campaign matrix: the fail-stop baselines, the crash-only lattice
+/// steps, and the boundless deployment.
+pub fn combos() -> Vec<Combo> {
+    vec![
+        Combo {
+            scheme: RScheme::Native,
+            policy: "abort",
+            policies: abort_policy(),
+            gated: false,
+        },
+        Combo {
+            scheme: RScheme::SgxBounds,
+            policy: "abort",
+            policies: abort_policy(),
+            gated: true,
+        },
+        Combo {
+            scheme: RScheme::SgxBounds,
+            policy: "graceful",
+            policies: graceful_policy(),
+            gated: true,
+        },
+        Combo {
+            scheme: RScheme::SgxBounds,
+            policy: "retry",
+            policies: retry_policy(),
+            gated: true,
+        },
+        Combo {
+            scheme: RScheme::Boundless,
+            policy: "boundless",
+            policies: boundless_policy(),
+            gated: true,
+        },
+    ]
+}
+
+/// Aggregated results for one combo across every seed.
+#[derive(Debug, Clone, Default)]
+pub struct ComboRow {
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Policy label.
+    pub policy: &'static str,
+    /// Server runs.
+    pub runs: u64,
+    /// Total requests scheduled.
+    pub total: u64,
+    /// Served cleanly.
+    pub served: u64,
+    /// Degraded but answered.
+    pub degraded: u64,
+    /// Aborted individually (crash-only isolation).
+    pub aborted: u64,
+    /// Lost to whole-server death (fail-stop).
+    pub lost: u64,
+    /// Interpreter retry attempts.
+    pub retries: u64,
+    /// Runs that ended with corrupted canaries.
+    pub corrupted_runs: u64,
+    /// Total corrupted canary bytes.
+    pub corrupted_bytes: u64,
+    /// AEX re-entry cycles charged.
+    pub aex_cycles: u64,
+}
+
+impl ComboRow {
+    fn add(&mut self, r: &AvailabilityReport) {
+        self.runs += 1;
+        self.total += r.total as u64;
+        self.served += r.served as u64;
+        self.degraded += r.degraded as u64;
+        self.aborted += r.aborted as u64;
+        self.lost += r.lost as u64;
+        self.retries += r.recovery.attempts;
+        if !r.intact() {
+            self.corrupted_runs += 1;
+        }
+        self.corrupted_bytes += r.corrupted_canary_bytes as u64;
+        self.aex_cycles += r.aex_penalty_cycles;
+    }
+
+    /// Answered fraction across every scheduled request.
+    pub fn availability(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        (self.served + self.degraded) as f64 / self.total as f64
+    }
+}
+
+/// Campaign results.
+pub struct ChaosReport {
+    /// The options the campaign ran with.
+    pub opts: CampaignOpts,
+    /// One row per combo, `combos()` order.
+    pub rows: Vec<ComboRow>,
+    /// Gate failures, human-readable.
+    pub failures: Vec<String>,
+}
+
+impl ChaosReport {
+    /// True when any gate condition failed.
+    pub fn gate_failed(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Renders the availability matrix.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "chaos campaign: {} seeds x {} combos, {} requests/run, \
+             availability threshold {:.2}\n",
+            self.opts.seeds,
+            self.rows.len(),
+            self.opts.requests,
+            self.opts.threshold
+        );
+        let _ = writeln!(
+            s,
+            "  {:<22} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8}",
+            "scheme/policy",
+            "runs",
+            "served",
+            "degraded",
+            "aborted",
+            "lost",
+            "retries",
+            "corrupted",
+            "avail"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                s,
+                "  {:<22} {:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>7.1}%",
+                format!("{}/{}", row.scheme, row.policy),
+                row.runs,
+                row.served,
+                row.degraded,
+                row.aborted,
+                row.lost,
+                row.retries,
+                format!("{}B/{}r", row.corrupted_bytes, row.corrupted_runs),
+                row.availability() * 100.0
+            );
+        }
+        if self.failures.is_empty() {
+            let _ = writeln!(s, "\ngate: ok");
+        } else {
+            let _ = writeln!(s, "\ngate: FAILED");
+            for f in &self.failures {
+                let _ = writeln!(s, "  {f}");
+            }
+        }
+        s
+    }
+
+    /// The `sgxs-chaos-v1` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", "sgxs-chaos-v1".into()),
+            ("seeds", self.opts.seeds.into()),
+            ("seed0", self.opts.seed0.into()),
+            ("requests", (self.opts.requests as u64).into()),
+            ("threshold", self.opts.threshold.into()),
+            (
+                "combos",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("scheme", r.scheme.into()),
+                                ("policy", r.policy.into()),
+                                ("runs", r.runs.into()),
+                                ("total", r.total.into()),
+                                ("served", r.served.into()),
+                                ("degraded", r.degraded.into()),
+                                ("aborted", r.aborted.into()),
+                                ("lost", r.lost.into()),
+                                ("retries", r.retries.into()),
+                                ("corrupted_runs", r.corrupted_runs.into()),
+                                ("corrupted_bytes", r.corrupted_bytes.into()),
+                                ("aex_cycles", r.aex_cycles.into()),
+                                ("availability", r.availability().into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "gate",
+                Json::obj(vec![
+                    ("failed", self.gate_failed().into()),
+                    (
+                        "failures",
+                        Json::Arr(self.failures.iter().map(|f| f.as_str().into()).collect()),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Runs the campaign: every combo over every seed, the app rotating with
+/// the seed so all three servers contribute to every row.
+pub fn run_chaos_campaign(opts: &CampaignOpts) -> ChaosReport {
+    let combos = combos();
+    let mut rows: Vec<ComboRow> = combos
+        .iter()
+        .map(|c| ComboRow {
+            scheme: c.scheme.label(),
+            policy: c.policy,
+            ..ComboRow::default()
+        })
+        .collect();
+    for i in 0..opts.seeds {
+        let seed = opts.seed0 + i;
+        let schedule = ChaosSchedule::generate(seed, opts.requests);
+        let app = ServerApp::ALL[(seed % ServerApp::ALL.len() as u64) as usize];
+        for (combo, row) in combos.iter().zip(rows.iter_mut()) {
+            let rep = serve(app, combo.scheme, &combo.policies, &schedule);
+            row.add(&rep);
+        }
+    }
+
+    let mut failures = Vec::new();
+    for (combo, row) in combos.iter().zip(rows.iter()) {
+        let gated = combo.gated || (opts.demo_corruption && combo.scheme == RScheme::Native);
+        if gated && row.corrupted_bytes > 0 {
+            failures.push(format!(
+                "{}/{}: {} corrupted canary bytes across {} run(s) — \
+                 cross-object corruption escaped the scheme",
+                row.scheme, row.policy, row.corrupted_bytes, row.corrupted_runs
+            ));
+        }
+        if combo.scheme == RScheme::Boundless && row.availability() < opts.threshold {
+            failures.push(format!(
+                "{}/{}: availability {:.3} below threshold {:.2}",
+                row.scheme,
+                row.policy,
+                row.availability(),
+                opts.threshold
+            ));
+        }
+    }
+    ChaosReport {
+        opts: opts.clone(),
+        rows,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_campaign_passes_the_gate_and_orders_the_lattice() {
+        let opts = CampaignOpts {
+            seeds: 6,
+            seed0: 1,
+            requests: 24,
+            ..CampaignOpts::default()
+        };
+        let rep = run_chaos_campaign(&opts);
+        assert!(!rep.gate_failed(), "{}", rep.render());
+        let avail: std::collections::HashMap<(&str, &str), f64> = rep
+            .rows
+            .iter()
+            .map(|r| ((r.scheme, r.policy), r.availability()))
+            .collect();
+        // Fail-stop loses availability; the crash-only and boundless
+        // configurations answer everything the schedule throws at them.
+        assert!(avail[&("sgxbounds", "abort")] < avail[&("sgxbounds", "graceful")]);
+        assert!(avail[&("sb-boundless", "boundless")] >= opts.threshold);
+        // Native corrupts (reported, not gated by default).
+        let native = &rep.rows[0];
+        assert!(native.corrupted_bytes > 0);
+        let json = rep.to_json().to_pretty();
+        assert!(json.contains("sgxs-chaos-v1"));
+        assert!(json.contains("availability"));
+    }
+
+    #[test]
+    fn demo_corruption_flag_fails_the_gate() {
+        let opts = CampaignOpts {
+            seeds: 2,
+            seed0: 1,
+            requests: 16,
+            demo_corruption: true,
+            ..CampaignOpts::default()
+        };
+        let rep = run_chaos_campaign(&opts);
+        assert!(rep.gate_failed(), "{}", rep.render());
+        assert!(rep.failures.iter().any(|f| f.contains("native")));
+    }
+}

@@ -1,0 +1,448 @@
+//! Request-level crash isolation for the server workloads.
+//!
+//! One [`serve`] call runs one server (nginx / apache / memcached
+//! per-request module from `sgxs-workloads`) under one protection scheme
+//! and one recovery [`PolicySet`] against one [`ChaosSchedule`]. Each
+//! request is a separate `vm.run("handle", ..)` invocation, so a trap is
+//! naturally scoped to the request that raised it:
+//!
+//! * with a fail-stop policy (`Abort` for safety violations) the first
+//!   propagated trap kills the whole server — every request still queued is
+//!   *lost*, which is exactly the availability cost the paper's §4.2
+//!   attributes to fail-stop schemes;
+//! * with crash-only policies (`GracefulExit`, `Boundless`, retry
+//!   overrides) only the poisoned request is dropped (degraded) and the
+//!   server keeps draining the queue.
+//!
+//! After the run the host checks the two canary objects adjacent to the
+//! request buffer against their setup-time fill: any non-pattern byte is
+//! cross-object corruption that the scheme failed to contain.
+
+use crate::chaos::{ChaosKind, ChaosSchedule};
+use sgxs_mir::{
+    verify, GlobalId, PolicySet, RecoveryPolicy, RecoveryStats, TrapClass, Vm, VmConfig,
+};
+use sgxs_rt::{install_base, AllocOpts, Stager};
+use sgxs_sim::{MachineConfig, Mode, Preset};
+use sgxs_workloads::apps::server::{
+    BENIGN_MAX, CANARY_BYTES, CANARY_PATTERN, EVIL_LEN, INPUT_BYTES, STATE_CANARY_A, STATE_CANARY_B,
+};
+use sgxs_workloads::apps::{apache, memcached, nginx};
+
+/// Which server application to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerApp {
+    /// Event server, buffers reused across requests.
+    Nginx,
+    /// Per-request APR-style pools (heaviest allocator pressure).
+    Apache,
+    /// Slab items; overflow runs into the neighbouring items.
+    Memcached,
+}
+
+impl ServerApp {
+    /// All apps, campaign rotation order.
+    pub const ALL: [ServerApp; 3] = [ServerApp::Nginx, ServerApp::Apache, ServerApp::Memcached];
+
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServerApp::Nginx => "nginx",
+            ServerApp::Apache => "apache",
+            ServerApp::Memcached => "memcached",
+        }
+    }
+
+    fn module(&self) -> sgxs_mir::Module {
+        match self {
+            ServerApp::Nginx => nginx::server_module(),
+            ServerApp::Apache => apache::server_module(),
+            ServerApp::Memcached => memcached::server_module(),
+        }
+    }
+}
+
+/// Protection scheme for a server run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RScheme {
+    /// Uninstrumented: overflows silently corrupt neighbours.
+    Native,
+    /// SGXBounds, fail-stop.
+    SgxBounds,
+    /// SGXBounds with boundless memory: overflows are redirected into the
+    /// overlay, the request completes, neighbours stay intact.
+    Boundless,
+}
+
+impl RScheme {
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RScheme::Native => "native",
+            RScheme::SgxBounds => "sgxbounds",
+            RScheme::Boundless => "sb-boundless",
+        }
+    }
+
+    fn sb_config(&self) -> Option<sgxbounds::SbConfig> {
+        match self {
+            RScheme::Native => None,
+            RScheme::SgxBounds => Some(sgxbounds::SbConfig::default()),
+            RScheme::Boundless => Some(sgxbounds::SbConfig {
+                boundless: true,
+                ..sgxbounds::SbConfig::default()
+            }),
+        }
+    }
+}
+
+/// Per-request connection scratch passed to every `handle` call.
+const SCRATCH_BYTES: u64 = 64;
+
+/// One server run's availability ledger.
+#[derive(Debug, Clone)]
+pub struct AvailabilityReport {
+    /// Application label.
+    pub app: &'static str,
+    /// Scheme label.
+    pub scheme: &'static str,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Requests the schedule contained.
+    pub total: u32,
+    /// Requests served cleanly.
+    pub served: u32,
+    /// Requests completed via a degrading recovery (graceful exit /
+    /// tolerated violation).
+    pub degraded: u32,
+    /// Requests aborted by a propagated trap (crash-only isolation: only
+    /// that request dies).
+    pub aborted: u32,
+    /// Requests never attempted because the server died (fail-stop only).
+    pub lost: u32,
+    /// Interpreter recovery counters accumulated over the run.
+    pub recovery: RecoveryStats,
+    /// Canary bytes that no longer hold the setup pattern — cross-object
+    /// corruption the scheme failed to contain.
+    pub corrupted_canary_bytes: u32,
+    /// AEX re-entry cycles charged by the chaos schedule.
+    pub aex_penalty_cycles: u64,
+    /// Boundless overlay violations tolerated (0 for other schemes).
+    pub tolerated_violations: u64,
+}
+
+impl AvailabilityReport {
+    /// Fraction of requests that produced a response (served or degraded).
+    pub fn availability(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        (self.served + self.degraded) as f64 / self.total as f64
+    }
+
+    /// True when no canary byte was corrupted.
+    pub fn intact(&self) -> bool {
+        self.corrupted_canary_bytes == 0
+    }
+}
+
+/// Benign request length for request `r`: deterministic, never overflowing
+/// (memcached leaves 8 bytes of key slack, hence [`BENIGN_MAX`]).
+fn benign_len(r: u32) -> u64 {
+    16 + (r as u64 * 37) % (BENIGN_MAX - 16)
+}
+
+/// Runs `app` under `scheme` with recovery `policies` against `schedule`.
+///
+/// Panics if the server's `setup` entry fails — the chaos tier only
+/// injects faults from the first request onward.
+pub fn serve(
+    app: ServerApp,
+    scheme: RScheme,
+    policies: &PolicySet,
+    schedule: &ChaosSchedule,
+) -> AvailabilityReport {
+    let mut module = app.module();
+    if let Some(cfg) = scheme.sb_config() {
+        sgxbounds::instrument(&mut module, &cfg).expect("server instrumentation");
+    }
+    verify(&module).expect("server module verifies");
+
+    let mut cfg = VmConfig::new(MachineConfig::preset(Preset::Tiny, Mode::Enclave));
+    cfg.max_instructions = 500_000_000;
+    let mut vm = Vm::new(&module, cfg);
+    let heap = install_base(&mut vm, AllocOpts::default());
+    let sb_rt = scheme
+        .sb_config()
+        .map(|cfg| sgxbounds::install_sgxbounds(&mut vm, heap.clone(), &cfg, None));
+
+    // Stage the request input: INPUT_BYTES of seeded bytes, none zero (so
+    // boundless zero-reads are distinguishable) and none the canary pattern.
+    let mut input = vec![0u8; INPUT_BYTES as usize];
+    let mut s = schedule.seed.wrapping_mul(0x6C62_272E_07BB_0142) | 1;
+    for b in input.iter_mut() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        let mut v = (s >> 32) as u8;
+        if v == 0 || v == CANARY_PATTERN {
+            v = 1;
+        }
+        *b = v;
+    }
+    let mut st = Stager::new();
+    let addr = st.stage(&mut vm, &input);
+
+    let out = vm.run("setup", &[addr as u64, INPUT_BYTES as u64]);
+    out.result.expect("server setup must succeed");
+
+    // The state global is always GlobalId(0) in the server modules; the
+    // low 32 bits of each slot are the plain address under every scheme.
+    let state = vm.global_addr(GlobalId(0));
+    let canary_a = vm.machine.mem.read(state + STATE_CANARY_A as u32, 8) as u32;
+    let canary_b = vm.machine.mem.read(state + STATE_CANARY_B as u32, 8) as u32;
+
+    vm.set_recovery(policies.clone());
+    // Fail-stop servers die with their first propagated safety trap;
+    // crash-only configurations isolate the failure to the request.
+    let fail_stop = policies.policy_for(TrapClass::Safety) == RecoveryPolicy::Abort;
+
+    let mut report = AvailabilityReport {
+        app: app.label(),
+        scheme: scheme.label(),
+        seed: schedule.seed,
+        total: schedule.requests,
+        served: 0,
+        degraded: 0,
+        aborted: 0,
+        lost: 0,
+        recovery: RecoveryStats::default(),
+        corrupted_canary_bytes: 0,
+        aex_penalty_cycles: 0,
+        tolerated_violations: 0,
+    };
+
+    let mut active: Vec<bool> = vec![false; schedule.events.len()];
+    for r in 0..schedule.requests {
+        // Open and close environmental fault windows.
+        for (i, ev) in schedule.events.iter().enumerate() {
+            let covers = ev.covers(r);
+            if covers && !active[i] {
+                match ev.kind {
+                    ChaosKind::EpcStorm { clamp_pages } => {
+                        vm.machine.set_epc_capacity_pages(clamp_pages);
+                    }
+                    ChaosKind::AllocFaults { .. } => {
+                        heap.borrow_mut().set_fault_plan(schedule.fault_plan(i));
+                    }
+                    ChaosKind::OverlayClamp { cap_bytes } => {
+                        if let Some(rt) = &sb_rt {
+                            if let Some(bl) = &rt.boundless {
+                                bl.borrow_mut().set_cap_bytes(cap_bytes);
+                            }
+                        }
+                    }
+                    ChaosKind::AexStorm { .. } => {}
+                }
+            } else if !covers && active[i] {
+                match ev.kind {
+                    ChaosKind::EpcStorm { .. } => {
+                        let pages = vm.machine.configured_epc_pages();
+                        vm.machine.set_epc_capacity_pages(pages);
+                    }
+                    ChaosKind::AllocFaults { .. } => {
+                        heap.borrow_mut().set_fault_plan(None);
+                    }
+                    ChaosKind::OverlayClamp { .. } => {
+                        if let Some(rt) = &sb_rt {
+                            if let Some(bl) = &rt.boundless {
+                                bl.borrow_mut()
+                                    .set_cap_bytes(sgxbounds::boundless::CACHE_CAP_BYTES);
+                            }
+                        }
+                    }
+                    ChaosKind::AexStorm { .. } => {}
+                }
+            }
+            active[i] = covers;
+            if covers {
+                if let ChaosKind::AexStorm { reentry_cycles } = ev.kind {
+                    report.aex_penalty_cycles += reentry_cycles;
+                }
+            }
+        }
+
+        let len = if schedule.is_attack(r) {
+            EVIL_LEN
+        } else {
+            benign_len(r)
+        };
+        let degraded_before = vm.recovery_stats().degraded;
+        let violations_before = sb_rt
+            .as_ref()
+            .map(|rt| *rt.violations.borrow())
+            .unwrap_or(0);
+        let out = vm.run("handle", &[r as u64, len, SCRATCH_BYTES]);
+        match out.result {
+            Ok(_) => {
+                let tolerated = sb_rt
+                    .as_ref()
+                    .map(|rt| *rt.violations.borrow())
+                    .unwrap_or(0)
+                    > violations_before;
+                if vm.recovery_stats().degraded > degraded_before || tolerated {
+                    report.degraded += 1;
+                } else {
+                    report.served += 1;
+                }
+            }
+            Err(_) => {
+                report.aborted += 1;
+                if fail_stop {
+                    report.lost = schedule.requests - r - 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    report.recovery = vm.recovery_stats();
+    report.tolerated_violations = sb_rt
+        .as_ref()
+        .map(|rt| *rt.violations.borrow())
+        .unwrap_or(0);
+    for base in [canary_a, canary_b] {
+        for i in 0..CANARY_BYTES {
+            if vm.machine.mem.read(base + i, 1) as u8 != CANARY_PATTERN {
+                report.corrupted_canary_bytes += 1;
+            }
+        }
+    }
+    report
+}
+
+/// The policy a fail-stop deployment uses: every trap aborts the server.
+pub fn abort_policy() -> PolicySet {
+    PolicySet::uniform(RecoveryPolicy::Abort)
+}
+
+/// Crash-only: every trap degrades to a clean per-request exit.
+pub fn graceful_policy() -> PolicySet {
+    PolicySet::uniform(RecoveryPolicy::GracefulExit)
+}
+
+/// Crash-only with transient-fault retry: traps degrade the request,
+/// except allocator OOM, which is retried with linear backoff first.
+pub fn retry_policy() -> PolicySet {
+    PolicySet::uniform(RecoveryPolicy::GracefulExit).with_override(
+        TrapClass::Oom,
+        RecoveryPolicy::RetryWithBackoff {
+            max_attempts: 12,
+            backoff: 2_000,
+        },
+    )
+}
+
+/// The boundless deployment: the runtime absorbs violations before they
+/// trap; any safety trap that still escapes ends the request cleanly, and
+/// chaos-injected OOM is ridden out with retries.
+pub fn boundless_policy() -> PolicySet {
+    PolicySet::uniform(RecoveryPolicy::Boundless).with_override(
+        TrapClass::Oom,
+        RecoveryPolicy::RetryWithBackoff {
+            max_attempts: 12,
+            backoff: 2_000,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_schedule(seed: u64, requests: u32) -> ChaosSchedule {
+        // Attacks only — no environmental noise — for sharp assertions.
+        let mut s = ChaosSchedule::generate(seed, requests);
+        s.events.clear();
+        s
+    }
+
+    #[test]
+    fn native_serves_everything_but_corrupts_the_canaries() {
+        for app in ServerApp::ALL {
+            let sch = quiet_schedule(7, 24);
+            let rep = serve(app, RScheme::Native, &abort_policy(), &sch);
+            assert_eq!(rep.served, 24, "{}", app.label());
+            assert_eq!(rep.lost, 0);
+            assert!(
+                rep.corrupted_canary_bytes > 0,
+                "{}: attack did not reach the canaries — the corruption \
+                 oracle is dead",
+                app.label()
+            );
+        }
+    }
+
+    #[test]
+    fn fail_stop_sgxbounds_dies_on_the_first_attack_with_canaries_intact() {
+        for app in ServerApp::ALL {
+            let sch = quiet_schedule(7, 24);
+            let first_attack = sch.attacks[0];
+            let rep = serve(app, RScheme::SgxBounds, &abort_policy(), &sch);
+            assert!(rep.intact(), "{}", app.label());
+            assert_eq!(rep.aborted, 1, "{}", app.label());
+            assert_eq!(rep.lost, 24 - first_attack - 1, "{}", app.label());
+            assert_eq!(rep.served, first_attack, "{}", app.label());
+            assert!(rep.availability() < 1.0);
+        }
+    }
+
+    #[test]
+    fn crash_only_isolation_keeps_the_server_draining() {
+        for app in ServerApp::ALL {
+            let sch = quiet_schedule(7, 24);
+            let attacks = sch.attacks.len() as u32;
+            let rep = serve(app, RScheme::SgxBounds, &graceful_policy(), &sch);
+            assert!(rep.intact(), "{}", app.label());
+            assert_eq!(rep.lost, 0, "{}", app.label());
+            assert_eq!(rep.degraded, attacks, "{}", app.label());
+            assert_eq!(rep.served, 24 - attacks, "{}", app.label());
+            assert_eq!(rep.availability(), 1.0);
+        }
+    }
+
+    #[test]
+    fn boundless_serves_attacks_as_degraded_with_canaries_intact() {
+        for app in ServerApp::ALL {
+            let sch = quiet_schedule(7, 24);
+            let attacks = sch.attacks.len() as u32;
+            let rep = serve(app, RScheme::Boundless, &boundless_policy(), &sch);
+            assert!(rep.intact(), "{}", app.label());
+            assert_eq!(rep.lost, 0, "{}", app.label());
+            assert_eq!(rep.aborted, 0, "{}", app.label());
+            assert_eq!(rep.degraded, attacks, "{}", app.label());
+            assert!(rep.tolerated_violations > 0, "{}", app.label());
+            assert_eq!(rep.availability(), 1.0);
+        }
+    }
+
+    #[test]
+    fn full_chaos_schedule_keeps_boundless_available() {
+        // With environmental windows on, the boundless + retry combo still
+        // answers every request on this seed.
+        let sch = ChaosSchedule::generate(11, 32);
+        let rep = serve(
+            ServerApp::Apache,
+            RScheme::Boundless,
+            &boundless_policy(),
+            &sch,
+        );
+        assert!(rep.intact());
+        assert_eq!(rep.lost, 0);
+        assert!(
+            rep.availability() >= 0.9,
+            "availability {}",
+            rep.availability()
+        );
+    }
+}

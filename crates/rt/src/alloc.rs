@@ -59,6 +59,54 @@ impl Default for AllocOpts {
     }
 }
 
+/// Deterministic allocator-failure injection (chaos tier): a seeded
+/// xorshift stream decides per request whether the allocator reports OOM,
+/// modelling transient enclave memory pressure. Zero-cost when no plan is
+/// installed — `malloc`/`mmap` behaviour is bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct AllocFaultPlan {
+    /// Failure probability in parts per 1024 (0 never, 1024 always).
+    pub fail_per_1024: u16,
+    /// Remaining injected failures; `None` is unlimited.
+    pub budget: Option<u32>,
+    state: u64,
+}
+
+impl AllocFaultPlan {
+    /// A plan seeded from the chaos schedule.
+    pub fn new(seed: u64, fail_per_1024: u16) -> Self {
+        AllocFaultPlan {
+            fail_per_1024,
+            budget: None,
+            state: seed | 1,
+        }
+    }
+
+    /// Caps the number of failures the plan may inject.
+    pub fn with_budget(mut self, failures: u32) -> Self {
+        self.budget = Some(failures);
+        self
+    }
+
+    fn should_fail(&mut self) -> bool {
+        if self.fail_per_1024 == 0 || self.budget == Some(0) {
+            return false;
+        }
+        // xorshift64*: deterministic, seed-driven.
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let r = (self.state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 54) & 1023;
+        let fail = (r as u16) < self.fail_per_1024;
+        if fail {
+            if let Some(b) = self.budget.as_mut() {
+                *b -= 1;
+            }
+        }
+        fail
+    }
+}
+
 #[derive(Debug, Clone, Copy)]
 struct ChunkInfo {
     /// Chunk base (header address).
@@ -98,6 +146,8 @@ pub struct HeapAlloc {
     quarantine_used: u64,
     /// Live `mmap` mappings: page-aligned base -> reserved bytes.
     mmap_live: HashMap<u32, u32>,
+    /// Chaos failure-injection plan, if any.
+    fault_plan: Option<AllocFaultPlan>,
     /// Statistics.
     pub stats: AllocStats,
 }
@@ -124,6 +174,7 @@ impl HeapAlloc {
             quarantine: VecDeque::new(),
             quarantine_used: 0,
             mmap_live: HashMap::new(),
+            fault_plan: None,
             stats: AllocStats::default(),
         }
     }
@@ -131,6 +182,26 @@ impl HeapAlloc {
     /// The allocator's policy options.
     pub fn opts(&self) -> AllocOpts {
         self.opts
+    }
+
+    /// Installs (or clears) a chaos failure-injection plan.
+    pub fn set_fault_plan(&mut self, plan: Option<AllocFaultPlan>) {
+        self.fault_plan = plan;
+    }
+
+    /// Consults the fault plan; an injected failure reports OOM before any
+    /// state changes, so the allocator stays consistent and the request can
+    /// be retried.
+    fn injected_failure(&mut self, ctx: &IntrinsicCtx<'_>, request: u64) -> Result<(), Trap> {
+        if let Some(plan) = self.fault_plan.as_mut() {
+            if plan.should_fail() {
+                return Err(Trap::OutOfMemory {
+                    requested: request,
+                    reserved: ctx.machine.mem.reserved(),
+                });
+            }
+        }
+        Ok(())
     }
 
     fn check_cap(&self, ctx: &IntrinsicCtx<'_>, request: u64) -> Result<(), Trap> {
@@ -151,6 +222,7 @@ impl HeapAlloc {
     /// space is exhausted.
     pub fn malloc(&mut self, ctx: &mut IntrinsicCtx<'_>, size: u32) -> Result<u32, Trap> {
         let size = size.max(1);
+        self.injected_failure(ctx, size as u64)?;
         let footprint = HEADER
             .checked_add(self.opts.redzone_pre)
             .and_then(|v| v.checked_add(size))
@@ -313,6 +385,7 @@ impl HeapAlloc {
     /// request grown by SGXBounds' 4 metadata bytes spills into one extra
     /// page (paper §7 "Apache").
     pub fn mmap(&mut self, ctx: &mut IntrinsicCtx<'_>, bytes: u32) -> Result<u32, Trap> {
+        self.injected_failure(ctx, bytes as u64)?;
         let rounded = bytes
             .max(1)
             .checked_add(PAGE - 1)
@@ -494,6 +567,41 @@ mod tests {
             let fat_grow = ctx.machine.mem.reserved() - before;
             assert!(fat_grow > plain_grow);
         });
+    }
+
+    #[test]
+    fn fault_plan_injects_deterministic_oom() {
+        let (mut m, mut e, mut o) = ctx_parts();
+        let mut ha = HeapAlloc::new(0x2_0000, AllocOpts::default());
+        with_ctx!(m, e, o, ctx, {
+            // Certain failure: every request reports OOM, no state changes,
+            // and clearing the plan makes the same request succeed (the
+            // transient-fault model retry policies ride out).
+            ha.set_fault_plan(Some(AllocFaultPlan::new(7, 1024)));
+            assert!(matches!(
+                ha.malloc(&mut ctx, 64),
+                Err(Trap::OutOfMemory { .. })
+            ));
+            assert!(matches!(
+                ha.mmap(&mut ctx, 8192),
+                Err(Trap::OutOfMemory { .. })
+            ));
+            assert_eq!(ha.stats.allocs, 0);
+            ha.set_fault_plan(None);
+            assert!(ha.malloc(&mut ctx, 64).is_ok());
+            // A budgeted plan stops injecting after its quota.
+            ha.set_fault_plan(Some(AllocFaultPlan::new(7, 1024).with_budget(2)));
+            assert!(ha.malloc(&mut ctx, 64).is_err());
+            assert!(ha.malloc(&mut ctx, 64).is_err());
+            assert!(ha.malloc(&mut ctx, 64).is_ok());
+        });
+        // Same seed, same decision stream.
+        let mut a = AllocFaultPlan::new(99, 512);
+        let mut b = AllocFaultPlan::new(99, 512);
+        let sa: Vec<bool> = (0..64).map(|_| a.should_fail()).collect();
+        let sb: Vec<bool> = (0..64).map(|_| b.should_fail()).collect();
+        assert_eq!(sa, sb);
+        assert!(sa.iter().any(|&f| f) && sa.iter().any(|&f| !f));
     }
 
     #[test]

@@ -12,5 +12,5 @@ pub mod alloc;
 pub mod install;
 pub mod libc;
 
-pub use alloc::{AllocOpts, AllocStats, HeapAlloc};
+pub use alloc::{AllocFaultPlan, AllocOpts, AllocStats, HeapAlloc};
 pub use install::{install_base, Stager, INPUT_BASE};

@@ -35,14 +35,26 @@ pub struct BoundlessStats {
 }
 
 /// The overlay LRU cache.
+///
+/// Recency is tracked with a monotonic use counter: each touch stamps the
+/// chunk and appends `(stamp, key)` to a queue. Eviction pops from the
+/// front, lazily skipping entries whose stamp is no longer the chunk's
+/// current one — O(1) amortized, versus the former O(n) scan-and-remove
+/// walk of the queue on every hit.
 pub struct BoundlessCache {
     heap: Rc<RefCell<HeapAlloc>>,
-    /// chunk key (oob address / CHUNK_BYTES) -> overlay chunk base.
-    chunks: HashMap<u64, u32>,
-    /// LRU order of chunk keys (front = least recently used).
-    lru: VecDeque<u64>,
+    /// chunk key (oob address / CHUNK_BYTES) -> (chunk base, last-use stamp).
+    chunks: HashMap<u64, (u32, u64)>,
+    /// Use-order queue of `(stamp, key)`; front = oldest. Entries whose
+    /// stamp disagrees with the chunk map are stale and skipped on pop.
+    lru: VecDeque<(u64, u64)>,
+    /// Monotonic use counter.
+    tick: u64,
     /// Read-only all-zero chunk for load misses.
     zero_chunk: u32,
+    /// Current cache cap in bytes (defaults to [`CACHE_CAP_BYTES`]; chaos
+    /// injection can clamp it to model overlay exhaustion).
+    cap_bytes: u64,
     /// Activity counters.
     pub stats: BoundlessStats,
 }
@@ -55,7 +67,9 @@ impl BoundlessCache {
             heap,
             chunks: HashMap::new(),
             lru: VecDeque::new(),
+            tick: 0,
             zero_chunk,
+            cap_bytes: CACHE_CAP_BYTES,
             stats: BoundlessStats::default(),
         }
     }
@@ -65,10 +79,45 @@ impl BoundlessCache {
     }
 
     fn touch(&mut self, key: u64) {
-        if let Some(pos) = self.lru.iter().position(|&k| k == key) {
-            self.lru.remove(pos);
+        self.tick += 1;
+        if let Some(entry) = self.chunks.get_mut(&key) {
+            entry.1 = self.tick;
         }
-        self.lru.push_back(key);
+        self.lru.push_back((self.tick, key));
+        // Stale entries accumulate between evictions; compact when the
+        // queue far outgrows the live set so memory stays bounded by the
+        // chunk count, not the hit count.
+        if self.lru.len() > 64 + 8 * self.chunks.len() {
+            let chunks = &self.chunks;
+            self.lru
+                .retain(|(stamp, k)| chunks.get(k).is_some_and(|(_, s)| s == stamp));
+        }
+    }
+
+    /// Pops the least-recently-used live chunk, skipping stale queue
+    /// entries.
+    fn pop_lru(&mut self) -> Option<(u64, u32)> {
+        while let Some((stamp, key)) = self.lru.pop_front() {
+            if let Some(&(base, cur)) = self.chunks.get(&key) {
+                if cur == stamp {
+                    self.chunks.remove(&key);
+                    return Some((key, base));
+                }
+            }
+        }
+        None
+    }
+
+    /// Current cache cap in bytes.
+    pub fn cap_bytes(&self) -> u64 {
+        self.cap_bytes
+    }
+
+    /// Clamps (or restores) the cache cap — chaos injection for overlay
+    /// exhaustion. Floored at one chunk. Shrinking takes effect lazily on
+    /// the next store miss, which evicts down to the new cap.
+    pub fn set_cap_bytes(&mut self, bytes: u64) {
+        self.cap_bytes = bytes.max(CHUNK_BYTES as u64);
     }
 
     /// Redirects an out-of-bounds access at `addr`; returns the overlay
@@ -86,7 +135,7 @@ impl BoundlessCache {
         let (key, off) = Self::key_off(addr);
         // Global-lock + hash lookup cost.
         ctx.charge(150);
-        if let Some(&base) = self.chunks.get(&key) {
+        if let Some(&(base, _)) = self.chunks.get(&key) {
             self.touch(key);
             if is_store {
                 self.stats.stores += 1;
@@ -101,12 +150,8 @@ impl BoundlessCache {
             return Ok(self.zero_chunk + off);
         }
         // Store miss: allocate a fresh chunk, evicting if over cap.
-        while (self.chunks.len() as u64 + 1) * CHUNK_BYTES as u64 > CACHE_CAP_BYTES {
-            let victim = self
-                .lru
-                .pop_front()
-                .expect("cache over cap implies entries");
-            let base = self.chunks.remove(&victim).expect("lru entry is mapped");
+        while (self.chunks.len() as u64 + 1) * CHUNK_BYTES as u64 > self.cap_bytes {
+            let (_, base) = self.pop_lru().expect("cache over cap implies entries");
             self.heap.borrow_mut().free(ctx, base)?;
             self.stats.evictions += 1;
         }
@@ -114,8 +159,9 @@ impl BoundlessCache {
         // cannot overrun the overlay chunk itself.
         let base = self.heap.borrow_mut().malloc(ctx, CHUNK_BYTES + 8)?;
         sgxs_rt::libc::memset(ctx, base, 0, CHUNK_BYTES + 8)?;
-        self.chunks.insert(key, base);
-        self.lru.push_back(key);
+        self.tick += 1;
+        self.chunks.insert(key, (base, self.tick));
+        self.lru.push_back((self.tick, key));
         self.stats.stores += 1;
         Ok(base + off)
     }
@@ -208,6 +254,102 @@ mod tests {
         let a = c.redirect(ctx!(m, e, o), 0x4000_0000, false).unwrap();
         let _ = a;
         assert_eq!(c.stats.load_zero, 1);
+    }
+
+    #[test]
+    fn touch_renews_recency_and_eviction_follows_use_order() {
+        // Pins the O(1) lazy-pop LRU: a re-touched chunk must outlive
+        // chunks whose last use is older, even though its original queue
+        // entry (now stale) still sits at the front.
+        let (mut m, mut e, mut o, mut c) = setup();
+        let addr_of = |i: u32| 0x4000_0000 + i * CHUNK_BYTES;
+        c.redirect(ctx!(m, e, o), addr_of(0), true).unwrap(); // A
+        c.redirect(ctx!(m, e, o), addr_of(1), true).unwrap(); // B
+        c.redirect(ctx!(m, e, o), addr_of(2), true).unwrap(); // C
+                                                              // Touch A again: use order is now B, C, A.
+        c.redirect(ctx!(m, e, o), addr_of(0), true).unwrap();
+        // Clamp to 2 chunks and insert D: B then C must be evicted, A kept.
+        c.set_cap_bytes(2 * CHUNK_BYTES as u64);
+        c.redirect(ctx!(m, e, o), addr_of(3), true).unwrap(); // D
+        assert_eq!(c.stats.evictions, 2);
+        assert_eq!(c.chunk_count(), 2);
+        let hits_before = c.stats.load_hits;
+        let zero_before = c.stats.load_zero;
+        c.redirect(ctx!(m, e, o), addr_of(0), false).unwrap(); // A: hit.
+        c.redirect(ctx!(m, e, o), addr_of(1), false).unwrap(); // B: gone.
+        c.redirect(ctx!(m, e, o), addr_of(2), false).unwrap(); // C: gone.
+        assert_eq!(c.stats.load_hits - hits_before, 1, "A must survive");
+        assert_eq!(c.stats.load_zero - zero_before, 2, "B and C evicted");
+    }
+
+    #[test]
+    fn cap_clamp_floors_at_one_chunk() {
+        let (mut m, mut e, mut o, mut c) = setup();
+        c.set_cap_bytes(0);
+        assert_eq!(c.cap_bytes(), CHUNK_BYTES as u64);
+        c.redirect(ctx!(m, e, o), 0x4000_0000, true).unwrap();
+        c.redirect(ctx!(m, e, o), 0x4000_0000 + CHUNK_BYTES, true)
+            .unwrap();
+        assert_eq!(c.chunk_count(), 1);
+        assert_eq!(c.stats.evictions, 1);
+    }
+
+    #[test]
+    fn boundless_invariants_hold_over_random_oob_streams() {
+        // Property sweep across seeded random OOB address streams:
+        //  1. the shared zero chunk is never written through a redirect;
+        //  2. the cache never holds more than CACHE_CAP_BYTES of chunks;
+        //  3. the counters reconcile: every chunk allocation (live +
+        //     evicted) was driven by a counted redirect, so
+        //     hits + zero-loads + stores >= allocations.
+        let xorshift = |state: &mut u64| {
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            *state
+        };
+        for seed in 0..8u64 {
+            let (mut m, mut e, mut o, mut c) = setup();
+            let zero_base = {
+                // The zero chunk allocated by setup() sits below the heap
+                // cursor; recover it from a fresh miss redirect.
+                let a = c.redirect(ctx!(m, e, o), 0xDEAD_0001, false).unwrap();
+                a - (0xDEAD_0001u32 % CHUNK_BYTES)
+            };
+            let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for _ in 0..4000 {
+                let r = xorshift(&mut state);
+                // OOB addresses spread over ~16 MB so the stream both hits
+                // and overflows the 1 MB cap.
+                let addr = 0x4000_0000u32 + (r as u32 % (16 << 20));
+                let is_store = r & (1 << 40) != 0;
+                let out = c.redirect(ctx!(m, e, o), addr, is_store).unwrap();
+                if is_store {
+                    m.mem.write(out, 8, r | 1);
+                }
+                assert!(
+                    c.chunk_count() as u64 * CHUNK_BYTES as u64 <= CACHE_CAP_BYTES,
+                    "cap exceeded at seed {seed}"
+                );
+            }
+            for i in 0..CHUNK_BYTES + 8 {
+                assert_eq!(
+                    m.mem.read(zero_base + i, 1),
+                    0,
+                    "zero chunk written at offset {i} (seed {seed})"
+                );
+            }
+            let s = c.stats;
+            let allocations = c.chunk_count() as u64 + s.evictions;
+            assert!(
+                s.load_hits + s.load_zero + s.stores >= allocations,
+                "counters fail to reconcile at seed {seed}: {s:?} vs {allocations} allocations"
+            );
+            assert!(
+                s.stores > 0 && s.load_zero > 0,
+                "stream exercised both paths"
+            );
+        }
     }
 
     #[test]

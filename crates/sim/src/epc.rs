@@ -74,6 +74,40 @@ impl Epc {
         }
     }
 
+    /// Re-sizes the EPC in place (chaos injection: EPC pressure storms
+    /// model other enclaves grabbing protected pages mid-run).
+    ///
+    /// Shrinking evicts resident pages with the same CLOCK second-chance
+    /// scan `touch` uses until the survivors fit, counting each eviction;
+    /// the evicted pages fault back in on their next access. Growing just
+    /// raises the ceiling. The capacity is floored at one page.
+    pub fn set_capacity(&mut self, capacity_pages: usize) {
+        let cap = capacity_pages.max(1);
+        while self.slots.len() > cap {
+            if self.hand >= self.slots.len() {
+                self.hand = 0;
+            }
+            let (victim, referenced) = self.slots[self.hand];
+            if referenced {
+                self.slots[self.hand].1 = false;
+                self.hand += 1;
+                continue;
+            }
+            self.map.remove(&victim);
+            self.slots.remove(self.hand);
+            // Slots after the hand shifted down one; re-point their map
+            // entries (bounded by capacity, which is small).
+            for (i, (p, _)) in self.slots.iter().enumerate().skip(self.hand) {
+                self.map.insert(*p, i);
+            }
+            self.evictions += 1;
+        }
+        self.capacity = cap;
+        if self.hand >= self.capacity {
+            self.hand = 0;
+        }
+    }
+
     /// Returns `true` if `page` is currently resident.
     pub fn resident(&self, page: u32) -> bool {
         self.map.contains_key(&page)
@@ -152,6 +186,52 @@ mod tests {
         }
         assert_eq!(e.faults(), 16);
         assert_eq!(e.evictions(), 0);
+    }
+
+    #[test]
+    fn capacity_clamp_evicts_and_recovers() {
+        let mut e = Epc::new(8);
+        for p in 0..8u32 {
+            e.touch(p);
+        }
+        assert_eq!(e.resident_count(), 8);
+        // Storm: clamp to 3 pages. Five pages must leave, counted as
+        // evictions, and the tracker stays internally consistent.
+        e.set_capacity(3);
+        assert_eq!(e.capacity(), 3);
+        assert_eq!(e.resident_count(), 3);
+        assert_eq!(e.evictions(), 5);
+        let survivors: Vec<u32> = (0..8).filter(|&p| e.resident(p)).collect();
+        assert_eq!(survivors.len(), 3);
+        // Each evicted page faults back in exactly once when re-touched.
+        let evicted: Vec<u32> = (0..8).filter(|&p| !e.resident(p)).collect();
+        let faults_before = e.faults();
+        for &p in &evicted {
+            e.touch(p);
+        }
+        assert_eq!(e.faults() - faults_before, 5);
+        // Storm passes: restore capacity, everything fits again.
+        e.set_capacity(8);
+        for p in 0..8u32 {
+            e.touch(p);
+        }
+        let f2 = e.faults();
+        for p in 0..8u32 {
+            e.touch(p);
+        }
+        assert_eq!(e.faults(), f2, "no faults once the storm passes");
+    }
+
+    #[test]
+    fn capacity_clamp_floors_at_one_page() {
+        let mut e = Epc::new(4);
+        e.touch(1);
+        e.touch(2);
+        e.set_capacity(0);
+        assert_eq!(e.capacity(), 1);
+        assert_eq!(e.resident_count(), 1);
+        e.touch(3);
+        assert!(e.resident(3));
     }
 
     #[test]

@@ -131,6 +131,29 @@ impl Machine {
         self.epc.as_ref().map_or(0, |e| e.faults())
     }
 
+    /// Current EPC capacity in pages (`None` in native mode).
+    pub fn epc_capacity_pages(&self) -> Option<usize> {
+        self.epc.as_ref().map(|e| e.capacity())
+    }
+
+    /// Clamps (or restores) the EPC capacity mid-run — chaos injection for
+    /// EPC pressure storms, where other enclaves steal protected pages.
+    /// Shrinking evicts resident pages immediately (counted in the stats);
+    /// they fault back in on next access at the usual fault cost. No-op in
+    /// native mode; the capacity is floored at one page.
+    pub fn set_epc_capacity_pages(&mut self, pages: usize) {
+        if let Some(epc) = self.epc.as_mut() {
+            let before = epc.evictions();
+            epc.set_capacity(pages);
+            self.stats.epc_evictions += epc.evictions() - before;
+        }
+    }
+
+    /// The configured (un-clamped) EPC capacity in pages, from the preset.
+    pub fn configured_epc_pages(&self) -> usize {
+        (self.cfg.epc_bytes / PAGE_SIZE as u64) as usize
+    }
+
     /// Validates an address range, returning the 32-bit base or a fault.
     fn check_range(&self, addr: u64, len: u32) -> Result<u32, MemFault> {
         if addr > u32::MAX as u64 {

@@ -132,6 +132,95 @@ impl Workload for Apache {
     }
 }
 
+/// Per-request server module (see [`crate::apps::server`]): apache flavour
+/// — every request allocates an APR-style pool, copies the request bytes
+/// through it (bucket-brigade double copy), and frees it on the way out.
+/// The extra per-request allocation is the chaos tier's richest
+/// allocator-fault surface; the trusted length on the second copy is the
+/// Heartbleed-shaped overflow into the fixed buffer.
+pub fn server_module() -> Module {
+    use crate::apps::server::*;
+    let mut mb = ModuleBuilder::new("apache_server");
+    let state = mb.global_zeroed("state", STATE_SLOTS * 8);
+
+    mb.func("setup", &[Ty::Ptr, Ty::I64], Some(Ty::I64), |fb| {
+        let raw = fb.param(0);
+        let len = fb.param(1);
+        let inp = emit_tag_input(fb, raw, len);
+        let buf = fb.intr_ptr("malloc", &[(REQ_BUF as u64).into()]);
+        let can_a = fb.intr_ptr("malloc", &[(CANARY_BYTES as u64).into()]);
+        let can_b = fb.intr_ptr("malloc", &[(CANARY_BYTES as u64).into()]);
+        for can in [can_a, can_b] {
+            fb.count_loop(0u64, CANARY_BYTES as u64, |fb, i| {
+                let a = fb.gep(can, i, 1, 0);
+                fb.store(Ty::I8, a, CANARY_PATTERN as u64);
+            });
+        }
+        let st = fb.global_addr(state);
+        for (slot, v) in [(0u32, inp), (8, buf), (16, can_a), (24, can_b)] {
+            let a = fb.add(st, slot as u64);
+            fb.store(Ty::I64, a, v);
+        }
+        fb.ret(Some(0u64.into()));
+    });
+
+    mb.func(
+        "handle",
+        &[Ty::I64, Ty::I64, Ty::I64],
+        Some(Ty::I64),
+        |fb| {
+            let r = fb.param(0);
+            let len = fb.param(1);
+            let scratch = fb.param(2);
+            let st = fb.global_addr(state);
+            let inp = fb.load(Ty::I64, st);
+            let bufp = fb.add(st, 8u64);
+            let buf = fb.load(Ty::I64, bufp);
+            // Per-request APR pool: sized for the claimed length plus headers,
+            // freed at request end. Connection scratch rides in the same pool.
+            let pool_sz = fb.add(len, scratch);
+            let pool_sz = fb.add(pool_sz, 64u64);
+            let pool = fb.intr_ptr("malloc", &[pool_sz.into()]);
+            // First copy: request bytes into the pool (in bounds — the pool is
+            // sized from the claimed length).
+            let base = fb.mul(r, 13u64);
+            fb.count_loop(0u64, len, |fb, i| {
+                let k = fb.add(base, i);
+                let k = fb.and(k, (INPUT_BYTES - 1) as u64);
+                let src = fb.gep(inp, k, 1, 0);
+                let b = fb.load(Ty::I8, src);
+                let dst = fb.gep(pool, i, 1, 0);
+                fb.store(Ty::I8, dst, b);
+            });
+            // Second copy: pool into the fixed request buffer with the claimed
+            // length still trusted — the overflow.
+            fb.count_loop(0u64, len, |fb, i| {
+                let src = fb.gep(pool, i, 1, 0);
+                let b = fb.load(Ty::I8, src);
+                let dst = fb.gep(buf, i, 1, 0);
+                fb.store(Ty::I8, dst, b);
+            });
+            fb.intr_void("free", &[pool.into()]);
+            let acc = fb.local(Ty::I64);
+            fb.set(acc, 0u64);
+            fb.count_loop(0u64, 32u64, |fb, i| {
+                let a = fb.gep(buf, i, 1, 0);
+                let b = fb.load(Ty::I8, a);
+                let t = fb.get(acc);
+                let s = fb.add(t, b);
+                fb.set(acc, s);
+            });
+            let cp = fb.add(st, STATE_COUNT);
+            let c = fb.load(Ty::I64, cp);
+            let c2 = fb.add(c, 1u64);
+            fb.store(Ty::I64, cp, c2);
+            let v = fb.get(acc);
+            fb.ret(Some(v.into()));
+        },
+    );
+    mb.finish()
+}
+
 /// The Heartbleed reproduction (§7): `main` returns 1 when secret bytes
 /// leaked into the heartbeat response, 0 when the reply is clean.
 pub struct Heartbleed;

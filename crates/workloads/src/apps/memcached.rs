@@ -259,6 +259,92 @@ impl Workload for Memcached {
     }
 }
 
+/// Per-request server module (see [`crate::apps::server`]): memcached
+/// flavour — the fixed buffer is a slab *item* holding an 8-byte key
+/// followed by the value bytes, and the canaries are the adjacent items in
+/// the slab. `handle` is a binary-protocol SET that trusts the
+/// attacker-controlled body length (the CVE-2011-4971 shape), so an
+/// oversized value runs off the item into its slab neighbours.
+pub fn server_module() -> Module {
+    use crate::apps::server::*;
+    let mut mb = ModuleBuilder::new("memcached_server");
+    let state = mb.global_zeroed("state", STATE_SLOTS * 8);
+
+    mb.func("setup", &[Ty::Ptr, Ty::I64], Some(Ty::I64), |fb| {
+        let raw = fb.param(0);
+        let len = fb.param(1);
+        let inp = crate::util::emit_tag_input(fb, raw, len);
+        // Three consecutive slab items: the victim and its two neighbours.
+        let item = fb.intr_ptr("malloc", &[(REQ_BUF as u64).into()]);
+        let can_a = fb.intr_ptr("malloc", &[(CANARY_BYTES as u64).into()]);
+        let can_b = fb.intr_ptr("malloc", &[(CANARY_BYTES as u64).into()]);
+        for can in [can_a, can_b] {
+            fb.count_loop(0u64, CANARY_BYTES as u64, |fb, i| {
+                let a = fb.gep(can, i, 1, 0);
+                fb.store(Ty::I8, a, CANARY_PATTERN as u64);
+            });
+        }
+        let st = fb.global_addr(state);
+        for (slot, v) in [(0u32, inp), (8, item), (16, can_a), (24, can_b)] {
+            let a = fb.add(st, slot as u64);
+            fb.store(Ty::I64, a, v);
+        }
+        fb.ret(Some(0u64.into()));
+    });
+
+    mb.func(
+        "handle",
+        &[Ty::I64, Ty::I64, Ty::I64],
+        Some(Ty::I64),
+        |fb| {
+            let r = fb.param(0);
+            let len = fb.param(1);
+            let scratch = fb.param(2);
+            let st = fb.global_addr(state);
+            let inp = fb.load(Ty::I64, st);
+            let itemp = fb.add(st, 8u64);
+            let item = fb.load(Ty::I64, itemp);
+            // Connection read buffer, fresh per request.
+            let conn = fb.intr_ptr("malloc", &[scratch.into()]);
+            fb.store(Ty::I8, conn, 1u64);
+            // SET: write the 8-byte key, then the value with the trusted body
+            // length, after the key.
+            let key = fb.mul(r, 0x9E37_79B9u64);
+            fb.store(Ty::I64, item, key);
+            let base = fb.mul(r, 13u64);
+            fb.count_loop(0u64, len, |fb, i| {
+                let k = fb.add(base, i);
+                let k = fb.and(k, (INPUT_BYTES - 1) as u64);
+                let src = fb.gep(inp, k, 1, 0);
+                let b = fb.load(Ty::I8, src);
+                let off = fb.add(i, 8u64);
+                let dst = fb.gep(item, off, 1, 0);
+                fb.store(Ty::I8, dst, b);
+            });
+            fb.intr_void("free", &[conn.into()]);
+            // GET it back: digest the key and the value head.
+            let acc = fb.local(Ty::I64);
+            let k0 = fb.load(Ty::I64, item);
+            fb.set(acc, k0);
+            fb.count_loop(0u64, 24u64, |fb, i| {
+                let off = fb.add(i, 8u64);
+                let a = fb.gep(item, off, 1, 0);
+                let b = fb.load(Ty::I8, a);
+                let t = fb.get(acc);
+                let s = fb.add(t, b);
+                fb.set(acc, s);
+            });
+            let cp = fb.add(st, STATE_COUNT);
+            let c = fb.load(Ty::I64, cp);
+            let c2 = fb.add(c, 1u64);
+            fb.store(Ty::I64, cp, c2);
+            let v = fb.get(acc);
+            fb.ret(Some(v.into()));
+        },
+    );
+    mb.finish()
+}
+
 /// CVE-2011-4971 reproduction (§7): a `process_bin_sasl_auth`-style handler
 /// trusts an attacker-controlled (effectively negative) body length and
 /// copies it into a fixed item buffer.

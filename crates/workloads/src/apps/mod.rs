@@ -19,3 +19,50 @@ pub fn all() -> Vec<Box<dyn Workload>> {
         Box::new(nginx::Nginx::default()),
     ]
 }
+
+/// Shared layout of the per-request *server modules* (the resilience tier's
+/// request-level crash-isolation drivers in `sgxs-resil`).
+///
+/// Each server app exposes a `server_module()` with two entries the driver
+/// invokes separately — the whole point is that one `vm.run` == one request,
+/// so a trap is naturally scoped to the request that caused it:
+///
+/// * `setup(raw_input, input_len) -> 0` — allocates the long-lived server
+///   state: the request buffer under attack plus two *canary* objects
+///   allocated immediately after it, filled with [`CANARY_PATTERN`]. Tagged
+///   pointers to everything land in the state global ([`mir::GlobalId`]`(0)`)
+///   so the host can locate the canaries and check them for cross-object
+///   corruption after the run.
+/// * `handle(req_index, req_len, scratch_bytes) -> digest` — serves one
+///   request: allocates `scratch_bytes` of connection scratch (the chaos
+///   tier's allocator-fault surface), then copies `req_len` request bytes
+///   into the fixed buffer *trusting the attacker-controlled length* — the
+///   CVE-2013-2028/CVE-2011-4971 pattern. A length above the buffer size
+///   overflows toward the canaries.
+pub mod server {
+    /// Fixed per-request buffer every handler copies into.
+    pub const REQ_BUF: u32 = 256;
+    /// Size of each canary object adjacent to the request buffer.
+    pub const CANARY_BYTES: u32 = 128;
+    /// Byte pattern the canaries are filled with at setup.
+    pub const CANARY_PATTERN: u8 = 0x5A;
+    /// Staged input region size (power of two: handlers mask indices).
+    pub const INPUT_BYTES: u32 = 4096;
+    /// Attack request length: overflows [`REQ_BUF`] far enough to cross the
+    /// allocator's size-class rounding (a 256-byte object occupies a
+    /// 384-byte chunk) and smash the first canary outright plus the head of
+    /// the second.
+    pub const EVIL_LEN: u64 = 640;
+    /// Largest benign request length (memcached prepends an 8-byte key, so
+    /// benign lengths must leave that much slack).
+    pub const BENIGN_MAX: u64 = 200;
+    /// State-global slot indices (8 bytes each): input, request buffer,
+    /// canary A, canary B, requests handled.
+    pub const STATE_SLOTS: u32 = 5;
+    /// Byte offset of the canary-A slot inside the state global.
+    pub const STATE_CANARY_A: u64 = 16;
+    /// Byte offset of the canary-B slot inside the state global.
+    pub const STATE_CANARY_B: u64 = 24;
+    /// Byte offset of the served-request counter inside the state global.
+    pub const STATE_COUNT: u64 = 32;
+}

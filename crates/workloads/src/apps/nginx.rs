@@ -80,6 +80,94 @@ impl Workload for Nginx {
     }
 }
 
+/// Per-request server module (see [`crate::apps::server`] for the layout
+/// contract): nginx flavour — the request buffer and connection scratch are
+/// allocated once at setup and reused for every request, single copy from
+/// the input into the fixed chunk buffer (the CVE-2013-2028 shape, but
+/// driven one `handle` call per request so the resil driver can isolate
+/// crashes).
+pub fn server_module() -> Module {
+    use crate::apps::server::*;
+    let mut mb = ModuleBuilder::new("nginx_server");
+    let state = mb.global_zeroed("state", STATE_SLOTS * 8);
+
+    mb.func("setup", &[Ty::Ptr, Ty::I64], Some(Ty::I64), |fb| {
+        let raw = fb.param(0);
+        let len = fb.param(1);
+        let inp = emit_tag_input(fb, raw, len);
+        let buf = fb.intr_ptr("malloc", &[(REQ_BUF as u64).into()]);
+        let can_a = fb.intr_ptr("malloc", &[(CANARY_BYTES as u64).into()]);
+        let can_b = fb.intr_ptr("malloc", &[(CANARY_BYTES as u64).into()]);
+        for can in [can_a, can_b] {
+            fb.count_loop(0u64, CANARY_BYTES as u64, |fb, i| {
+                let a = fb.gep(can, i, 1, 0);
+                fb.store(Ty::I8, a, CANARY_PATTERN as u64);
+            });
+        }
+        let st = fb.global_addr(state);
+        for (slot, v) in [(0u32, inp), (8, buf), (16, can_a), (24, can_b)] {
+            let a = fb.add(st, slot as u64);
+            fb.store(Ty::I64, a, v);
+        }
+        fb.ret(Some(0u64.into()));
+    });
+
+    mb.func(
+        "handle",
+        &[Ty::I64, Ty::I64, Ty::I64],
+        Some(Ty::I64),
+        |fb| {
+            let r = fb.param(0);
+            let len = fb.param(1);
+            let scratch = fb.param(2);
+            let st = fb.global_addr(state);
+            let inp = fb.load(Ty::I64, st);
+            let bufp = fb.add(st, 8u64);
+            let buf = fb.load(Ty::I64, bufp);
+            // Connection scratch: fresh per request — the chaos tier's
+            // allocator-fault surface.
+            let conn = fb.intr_ptr("malloc", &[scratch.into()]);
+            fb.store(Ty::I8, conn, 1u64);
+            // Parse a small header into a reused stack buffer.
+            let hdr = fb.slot("hdr", 64);
+            let hp = fb.slot_addr(hdr);
+            fb.count_loop(0u64, 8u64, |fb, h| {
+                let a = fb.gep(hp, h, 8, 0);
+                let v = fb.xor(r, h);
+                fb.store(Ty::I64, a, v);
+            });
+            // The bug: the chunk length is trusted; one copy input -> buffer.
+            let base = fb.mul(r, 13u64);
+            fb.count_loop(0u64, len, |fb, i| {
+                let k = fb.add(base, i);
+                let k = fb.and(k, (INPUT_BYTES - 1) as u64);
+                let src = fb.gep(inp, k, 1, 0);
+                let b = fb.load(Ty::I8, src);
+                let dst = fb.gep(buf, i, 1, 0);
+                fb.store(Ty::I8, dst, b);
+            });
+            fb.intr_void("free", &[conn.into()]);
+            // Digest over the response head + bump the served counter.
+            let acc = fb.local(Ty::I64);
+            fb.set(acc, 0u64);
+            fb.count_loop(0u64, 32u64, |fb, i| {
+                let a = fb.gep(buf, i, 1, 0);
+                let b = fb.load(Ty::I8, a);
+                let t = fb.get(acc);
+                let s = fb.add(t, b);
+                fb.set(acc, s);
+            });
+            let cp = fb.add(st, STATE_COUNT);
+            let c = fb.load(Ty::I64, cp);
+            let c2 = fb.add(c, 1u64);
+            fb.store(Ty::I64, cp, c2);
+            let v = fb.get(acc);
+            fb.ret(Some(v.into()));
+        },
+    );
+    mb.finish()
+}
+
 /// CVE-2013-2028 reproduction: a chunked-transfer request with a forged
 /// huge chunk size drives a copy loop past a fixed stack buffer. `main`
 /// returns the number of requests served after the attack (boundless mode
