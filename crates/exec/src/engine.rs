@@ -1,0 +1,887 @@
+//! The compiled tier's dispatch loop.
+//!
+//! [`CompiledEngine`] implements [`QuantumEngine`]: it replaces only the
+//! reference interpreter's inner instruction loop. Everything that could
+//! drift — scheduling, intrinsic dispatch, call-frame construction, return
+//! bookkeeping, recovery — is delegated back to the VM through its engine
+//! entry points, so both tiers share one implementation of the cold paths.
+//!
+//! Bit-identity invariants replicated here (see DESIGN.md §10):
+//!
+//! - `stats.instructions` increments *before* an op executes; site markers
+//!   are consumed uncounted and uncharged, and only while quantum slots
+//!   remain (a marker after the quantum's last counted op waits for the
+//!   next quantum, preserving event order across thread interleavings).
+//!   The engine accumulates the counter in a register and syncs it before
+//!   anything that can observe it — memory accesses (EPC events timestamp
+//!   with it), event emission, intrinsics, calls/returns, traps, and
+//!   quantum exit — so every observable read sees the exact value.
+//! - Cycle charges per op match the reference exactly, including the
+//!   zero-cost `ReadLocal`/`WriteLocal` and the charge-after-success rule
+//!   for trapping ops (a trapped op retires in the instruction counter but
+//!   charges nothing).
+//! - On any trap or block, the exact `(block, ip)` of the responsible op is
+//!   written back to the frame, so retries and wakeups re-enter exactly
+//!   where the reference would.
+//! - Fused runs execute only when the whole run fits in the remaining
+//!   quantum; otherwise each op runs individually.
+
+use crate::lower::{FuncCode, Op};
+use sgxs_mir::interp::func_of_code_addr;
+use sgxs_mir::{BinOp, CastKind, CmpOp, FBinOp, FCmpOp, Frame, QuantumEngine, Reg, Trap, Vm};
+use sgxs_sim::obs::Event;
+use sgxs_sim::CostModel;
+
+/// Inline-cache entry for one `CallIndirect` site: the last validated
+/// target address and the function index it resolved to. Code addresses
+/// are never 0, so 0 marks an empty slot.
+#[derive(Debug, Clone, Copy)]
+struct IC {
+    target: u64,
+    func: u32,
+}
+
+/// The pre-lowered fast execution tier (install with [`crate::attach`]).
+pub struct CompiledEngine {
+    funcs: Box<[FuncCode]>,
+    /// Per-function parameter count, for indirect-call validation.
+    arity: Box<[u32]>,
+    ics: Vec<IC>,
+    argbuf: Vec<u64>,
+    /// Cost model snapshot (fixed for the VM's lifetime, like the charges
+    /// already baked into the lowered ops).
+    cost: CostModel,
+    /// Scheduling quantum snapshot.
+    quantum: u32,
+    /// Test hook: charge one bogus cycle on the next executed op. Used by
+    /// the negative tier-equivalence test to prove the oracle trips.
+    pub(crate) perturb: bool,
+}
+
+impl CompiledEngine {
+    pub(crate) fn new(
+        funcs: Vec<FuncCode>,
+        arity: Vec<u32>,
+        ic_count: u32,
+        cost: CostModel,
+        quantum: u32,
+    ) -> Self {
+        CompiledEngine {
+            funcs: funcs.into_boxed_slice(),
+            arity: arity.into_boxed_slice(),
+            ics: vec![IC { target: 0, func: 0 }; ic_count as usize],
+            argbuf: Vec::new(),
+            cost,
+            quantum,
+            perturb: false,
+        }
+    }
+
+    /// The lowered code of every function (used by the text round-trip).
+    pub fn code(&self) -> &[FuncCode] {
+        &self.funcs
+    }
+
+    /// The per-function frame constant pools (install with
+    /// `Vm::set_frame_consts`).
+    pub fn const_pools(&self) -> Vec<Box<[u64]>> {
+        self.funcs.iter().map(|f| f.consts.clone()).collect()
+    }
+}
+
+#[inline(always)]
+fn bin_val(op: BinOp, x: u64, y: u64) -> u64 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl(y as u32),
+        BinOp::LShr => x.wrapping_shr(y as u32),
+        BinOp::AShr => ((x as i64).wrapping_shr(y as u32)) as u64,
+        // Division is lowered to Op::DivRem, never Op::Bin.
+        BinOp::UDiv | BinOp::SDiv | BinOp::URem | BinOp::SRem => unreachable!("div in Op::Bin"),
+    }
+}
+
+#[inline(always)]
+fn cmp_val(op: CmpOp, x: u64, y: u64) -> u64 {
+    let v = match op {
+        CmpOp::Eq => x == y,
+        CmpOp::Ne => x != y,
+        CmpOp::ULt => x < y,
+        CmpOp::ULe => x <= y,
+        CmpOp::UGt => x > y,
+        CmpOp::UGe => x >= y,
+        CmpOp::SLt => (x as i64) < y as i64,
+        CmpOp::SLe => (x as i64) <= y as i64,
+        CmpOp::SGt => (x as i64) > y as i64,
+        CmpOp::SGe => (x as i64) >= y as i64,
+    };
+    v as u64
+}
+
+#[inline(always)]
+fn fbin_val(op: FBinOp, xb: u64, yb: u64) -> u64 {
+    let x = f64::from_bits(xb);
+    let y = f64::from_bits(yb);
+    let v = match op {
+        FBinOp::Add => x + y,
+        FBinOp::Sub => x - y,
+        FBinOp::Mul => x * y,
+        FBinOp::Div => x / y,
+        FBinOp::Min => x.min(y),
+        FBinOp::Max => x.max(y),
+    };
+    v.to_bits()
+}
+
+#[inline(always)]
+fn fcmp_val(op: FCmpOp, xb: u64, yb: u64) -> u64 {
+    let x = f64::from_bits(xb);
+    let y = f64::from_bits(yb);
+    let v = match op {
+        FCmpOp::Eq => x == y,
+        FCmpOp::Ne => x != y,
+        FCmpOp::Lt => x < y,
+        FCmpOp::Le => x <= y,
+        FCmpOp::Gt => x > y,
+        FCmpOp::Ge => x >= y,
+    };
+    v as u64
+}
+
+#[inline(always)]
+fn cast_val(kind: CastKind, x: u64) -> u64 {
+    match kind {
+        CastKind::Sext(8) => (x as i8) as i64 as u64,
+        CastKind::Sext(16) => (x as i16) as i64 as u64,
+        CastKind::Sext(32) => (x as i32) as i64 as u64,
+        CastKind::Sext(_) => x,
+        CastKind::Trunc(n) => {
+            if n >= 64 {
+                x
+            } else {
+                x & ((1u64 << n) - 1)
+            }
+        }
+        CastKind::SiToF => ((x as i64) as f64).to_bits(),
+        CastKind::UiToF => (x as f64).to_bits(),
+        CastKind::FToSi => (f64::from_bits(x) as i64) as u64,
+        CastKind::Bitcast => x,
+        CastKind::FAbs => f64::from_bits(x).abs().to_bits(),
+        CastKind::FSqrt => f64::from_bits(x).sqrt().to_bits(),
+    }
+}
+
+/// Executes one trap-free register-only op (a fused-run constituent)
+/// without touching counters. Semantics shared with the main dispatch via
+/// the `*_val` helpers above.
+#[inline(always)]
+fn exec_pure(op: &Op, frame: &mut Frame) {
+    let regs = &mut frame.regs;
+    match op {
+        Op::Bin { op, dst, a, b, .. } => {
+            let v = bin_val(*op, regs[*a as usize], regs[*b as usize]);
+            regs[*dst as usize] = v;
+        }
+        Op::Cmp { op, dst, a, b } => {
+            let v = cmp_val(*op, regs[*a as usize], regs[*b as usize]);
+            regs[*dst as usize] = v;
+        }
+        Op::FBin { op, dst, a, b, .. } => {
+            let v = fbin_val(*op, regs[*a as usize], regs[*b as usize]);
+            regs[*dst as usize] = v;
+        }
+        Op::FCmp { op, dst, a, b } => {
+            let v = fcmp_val(*op, regs[*a as usize], regs[*b as usize]);
+            regs[*dst as usize] = v;
+        }
+        Op::Cast { kind, dst, src, .. } => {
+            let v = cast_val(*kind, regs[*src as usize]);
+            regs[*dst as usize] = v;
+        }
+        Op::Select { dst, cond, t, f } => {
+            let i = if regs[*cond as usize] != 0 { *t } else { *f };
+            regs[*dst as usize] = regs[i as usize];
+        }
+        Op::Gep {
+            dst,
+            base,
+            index,
+            scale,
+            disp,
+        } => {
+            let v = regs[*base as usize]
+                .wrapping_add(regs[*index as usize].wrapping_mul(*scale as u64))
+                .wrapping_add(*disp as u64);
+            regs[*dst as usize] = v;
+        }
+        Op::ReadLocal { dst, local } => {
+            regs[*dst as usize] = frame.locals[*local as usize];
+        }
+        Op::WriteLocal { local, val } => {
+            frame.locals[*local as usize] = regs[*val as usize];
+        }
+        Op::SlotAddr { dst, slot } => {
+            regs[*dst as usize] = frame.slots[*slot as usize] as u64;
+        }
+        Op::Addr { dst, imm } => {
+            regs[*dst as usize] = *imm;
+        }
+        _ => unreachable!("non-pure op in fused run"),
+    }
+}
+
+/// What the inner loop hands back to the outer (vm-borrow-free) loop.
+enum Pending {
+    /// Push a frame for `func`; args are in the scratch buffer, the
+    /// caller's ip is already advanced and the call cost charged.
+    Call { func: u32, ret_dst: Option<Reg> },
+    /// Run intrinsic `idx`; the frame's ip points *at* the CallIntrinsic op
+    /// located at `pc`.
+    Intrinsic {
+        idx: u32,
+        dst: Option<u32>,
+        pc: usize,
+    },
+    /// Pop the frame, returning `val`.
+    Ret { val: u64 },
+}
+
+impl QuantumEngine for CompiledEngine {
+    fn run_quantum(&mut self, vm: &mut Vm<'_>, tid: usize) -> Result<(), Trap> {
+        let CompiledEngine {
+            funcs,
+            arity,
+            ics,
+            argbuf,
+            cost,
+            quantum,
+            perturb,
+        } = self;
+        let cost = *cost;
+        let quantum = *quantum;
+        let max_insts = vm.config().max_instructions;
+        let mut left = quantum;
+        'outer: loop {
+            if !vm.engine_runnable(tid) {
+                return Ok(());
+            }
+            let (rival_lo, rival_hi) = vm.engine_rival_cycles(tid);
+            let hot = vm.engine_hot(tid);
+            let machine = hot.machine;
+            let frame = hot.frame;
+            let cycles = hot.cycles;
+            let obs_site = hot.obs_site;
+            let core = hot.core;
+            let code = &funcs[frame.func];
+            let mut pc = code.pc_of(frame.block, frame.ip);
+            if *perturb {
+                // Deliberate single-cycle accounting fault (test hook).
+                *perturb = false;
+                *cycles += 1;
+            }
+            // Retired ops, branches, and cycle charges accumulated in
+            // locals; synced to the machine counters and the thread's cycle
+            // clock before anything that can observe them.
+            let mut done: u64 = 0;
+            let mut brs: u64 = 0;
+            let mut cyc_acc: u64 = 0;
+            macro_rules! sync {
+                () => {{
+                    machine.stats.instructions += done;
+                    machine.stats.branches += brs;
+                    *cycles += cyc_acc;
+                    // Dead at return sites, live at continue sites.
+                    #[allow(unused_assignments)]
+                    {
+                        done = 0;
+                        brs = 0;
+                        cyc_acc = 0;
+                    }
+                }};
+            }
+            // Flush the architectural (block, ip) and counters on the way
+            // out of the quantum (trap, block, or slots exhausted).
+            macro_rules! flush {
+                ($pc:expr) => {{
+                    let (b, i) = code.loc[$pc];
+                    frame.block = b;
+                    frame.ip = i;
+                    sync!();
+                }};
+            }
+            let pending = loop {
+                if left == 0 {
+                    // Quantum exhausted. The scheduler round-trip is
+                    // unobservable when this thread would be re-picked and
+                    // the instruction limit is not hit (see
+                    // `Vm::engine_rival_cycles`), so refill in place.
+                    sync!();
+                    if machine.stats.instructions <= max_insts
+                        && *cycles < rival_lo
+                        && *cycles <= rival_hi
+                    {
+                        left = quantum;
+                        continue;
+                    }
+                    let (b, i) = code.loc[pc];
+                    frame.block = b;
+                    frame.ip = i;
+                    return Ok(());
+                }
+                // One dispatch per iteration: superinstruction headers,
+                // site markers, and plain ops are all arms of a single
+                // match. `ct!()` retires one instruction (the reference
+                // counts before an op executes); headers batch their own
+                // counts and `continue`, falling through to per-op
+                // stepping of their constituents when the sequence does
+                // not fit the remaining quantum.
+                macro_rules! ct {
+                    () => {{
+                        done += 1;
+                        left -= 1;
+                    }};
+                }
+                match &code.ops[pc] {
+                    // Site markers: transparent, consumed outside the
+                    // counted stream (identical to the reference prelude).
+                    Op::Site { site, begin } => {
+                        if machine.obs_enabled() {
+                            sync!();
+                            if *begin {
+                                *obs_site = Some((*site, *cycles));
+                            } else if let Some((begin_site, at)) = obs_site.take() {
+                                machine.emit(Event::CheckExec {
+                                    site: begin_site,
+                                    cycles: cycles.saturating_sub(at),
+                                });
+                            }
+                        }
+                    }
+                    Op::Fused { len, cyc } => {
+                        if left >= *len {
+                            for op in &code.ops[pc + 1..pc + 1 + *len as usize] {
+                                exec_pure(op, frame);
+                            }
+                            done += *len as u64;
+                            cyc_acc += cyc;
+                            left -= *len;
+                            pc += 1 + *len as usize;
+                            continue;
+                        }
+                        // Does not fit: step the constituents one at a time.
+                    }
+                    Op::FusedLoad { len, cyc } => {
+                        if left > *len {
+                            for op in &code.ops[pc + 1..pc + 1 + *len as usize] {
+                                exec_pure(op, frame);
+                            }
+                            done += *len as u64 + 1;
+                            cyc_acc += cyc;
+                            left -= *len + 1;
+                            let lpc = pc + 1 + *len as usize;
+                            let Op::Load { dst, addr, width } = &code.ops[lpc] else {
+                                unreachable!("FusedLoad not followed by a load")
+                            };
+                            let a = frame.regs[*addr as usize];
+                            sync!();
+                            match machine.load(core, a, *width) {
+                                Ok((v, c)) => {
+                                    frame.regs[*dst as usize] = v;
+                                    cyc_acc += c;
+                                }
+                                Err(e) => {
+                                    flush!(lpc);
+                                    return Err(Trap::Mem(e));
+                                }
+                            }
+                            pc = lpc + 1;
+                            continue;
+                        }
+                    }
+                    Op::FusedStore { len, cyc } => {
+                        if left > *len {
+                            for op in &code.ops[pc + 1..pc + 1 + *len as usize] {
+                                exec_pure(op, frame);
+                            }
+                            done += *len as u64 + 1;
+                            cyc_acc += cyc;
+                            left -= *len + 1;
+                            let spc = pc + 1 + *len as usize;
+                            let Op::Store { addr, val, width } = &code.ops[spc] else {
+                                unreachable!("FusedStore not followed by a store")
+                            };
+                            let a = frame.regs[*addr as usize];
+                            let v = frame.regs[*val as usize];
+                            sync!();
+                            match machine.store(core, a, *width, v) {
+                                Ok(c) => cyc_acc += c,
+                                Err(e) => {
+                                    flush!(spc);
+                                    return Err(Trap::Mem(e));
+                                }
+                            }
+                            pc = spc + 1;
+                            continue;
+                        }
+                    }
+                    Op::FusedBr { len, cyc } => {
+                        if left > *len {
+                            for op in &code.ops[pc + 1..pc + 1 + *len as usize] {
+                                exec_pure(op, frame);
+                            }
+                            done += *len as u64 + 1;
+                            brs += 1;
+                            cyc_acc += cyc;
+                            left -= *len + 1;
+                            let Op::Br { cond, t, f } = &code.ops[pc + 1 + *len as usize] else {
+                                unreachable!("FusedBr not followed by a branch")
+                            };
+                            let c = frame.regs[*cond as usize];
+                            pc = (if c != 0 { *t } else { *f }) as usize;
+                            continue;
+                        }
+                    }
+                    Op::FusedJmp { len, cyc } => {
+                        if left > *len {
+                            for op in &code.ops[pc + 1..pc + 1 + *len as usize] {
+                                exec_pure(op, frame);
+                            }
+                            done += *len as u64 + 1;
+                            cyc_acc += cyc;
+                            left -= *len + 1;
+                            let Op::Jmp { target } = &code.ops[pc + 1 + *len as usize] else {
+                                unreachable!("FusedJmp not followed by a jump")
+                            };
+                            pc = *target as usize;
+                            continue;
+                        }
+                    }
+                    Op::SbCheck { cyc_pre, cyc_post } => {
+                        if left >= 8 {
+                            // The whole check runs straight-line: the
+                            // lowering pattern pinned each constituent's
+                            // opcode, so the semantics are hardcoded here
+                            // (destructuring only re-checks the shape) and
+                            // no per-op dispatch happens. Values are
+                            // re-read from the register file between steps,
+                            // so operand aliasing behaves exactly as
+                            // per-op execution.
+                            let (
+                                &Op::Bin {
+                                    dst: d0,
+                                    a: a0,
+                                    b: b0,
+                                    ..
+                                },
+                                &Op::Bin {
+                                    dst: d1,
+                                    a: a1,
+                                    b: b1,
+                                    ..
+                                },
+                                &Op::Bin {
+                                    dst: d2,
+                                    a: a2,
+                                    b: b2,
+                                    ..
+                                },
+                                &Op::Cmp {
+                                    dst: d3,
+                                    a: a3,
+                                    b: b3,
+                                    ..
+                                },
+                                &Op::Load { dst, addr, width },
+                                &Op::Cmp {
+                                    dst: d5,
+                                    a: a5,
+                                    b: b5,
+                                    ..
+                                },
+                                &Op::Bin {
+                                    dst: d6,
+                                    a: a6,
+                                    b: b6,
+                                    ..
+                                },
+                                &Op::Br { cond, t, f },
+                            ) = (
+                                &code.ops[pc + 1],
+                                &code.ops[pc + 2],
+                                &code.ops[pc + 3],
+                                &code.ops[pc + 4],
+                                &code.ops[pc + 5],
+                                &code.ops[pc + 6],
+                                &code.ops[pc + 7],
+                                &code.ops[pc + 8],
+                            )
+                            else {
+                                unreachable!("SbCheck constituents out of shape")
+                            };
+                            let r = &mut frame.regs;
+                            // and: lower bound from the tagged pointer.
+                            r[d0 as usize] = r[a0 as usize] & r[b0 as usize];
+                            // lshr: upper-bound pointer from the tag.
+                            r[d1 as usize] = r[a1 as usize].wrapping_shr(r[b1 as usize] as u32);
+                            // add: end of the access.
+                            r[d2 as usize] = r[a2 as usize].wrapping_add(r[b2 as usize]);
+                            // cmp.ugt: past the upper bound?
+                            r[d3 as usize] = (r[a3 as usize] > r[b3 as usize]) as u64;
+                            done += 5;
+                            cyc_acc += cyc_pre;
+                            left -= 8;
+                            // Lower-bound fetch (the one op that can trap;
+                            // it retires before executing, like the
+                            // reference, and charges only on success).
+                            let a = frame.regs[addr as usize];
+                            sync!();
+                            match machine.load(core, a, width) {
+                                Ok((v, c)) => {
+                                    frame.regs[dst as usize] = v;
+                                    cyc_acc += c;
+                                }
+                                Err(e) => {
+                                    flush!(pc + 5);
+                                    return Err(Trap::Mem(e));
+                                }
+                            }
+                            let r = &mut frame.regs;
+                            // cmp.ult: before the lower bound?
+                            r[d5 as usize] = (r[a5 as usize] < r[b5 as usize]) as u64;
+                            // or: combined verdict.
+                            r[d6 as usize] = r[a6 as usize] | r[b6 as usize];
+                            done += 3;
+                            brs += 1;
+                            cyc_acc += cyc_post;
+                            let c = frame.regs[cond as usize];
+                            pc = (if c != 0 { t } else { f }) as usize;
+                            continue;
+                        }
+                    }
+                    Op::Bin { op, dst, a, b, cyc } => {
+                        ct!();
+                        let x = frame.regs[*a as usize];
+                        let y = frame.regs[*b as usize];
+                        frame.regs[*dst as usize] = bin_val(*op, x, y);
+                        cyc_acc += cyc;
+                    }
+                    Op::DivRem { op, dst, a, b } => {
+                        ct!();
+                        let x = frame.regs[*a as usize];
+                        let y = frame.regs[*b as usize];
+                        if y == 0 {
+                            flush!(pc);
+                            return Err(Trap::DivByZero);
+                        }
+                        frame.regs[*dst as usize] = match op {
+                            BinOp::UDiv => x / y,
+                            BinOp::SDiv => (x as i64).wrapping_div(y as i64) as u64,
+                            BinOp::URem => x % y,
+                            BinOp::SRem => (x as i64).wrapping_rem(y as i64) as u64,
+                            _ => unreachable!("non-division in Op::DivRem"),
+                        };
+                        cyc_acc += cost.div;
+                    }
+                    Op::Cmp { op, dst, a, b } => {
+                        ct!();
+                        let x = frame.regs[*a as usize];
+                        let y = frame.regs[*b as usize];
+                        frame.regs[*dst as usize] = cmp_val(*op, x, y);
+                        cyc_acc += cost.alu;
+                    }
+                    Op::FBin { op, dst, a, b, cyc } => {
+                        ct!();
+                        let x = frame.regs[*a as usize];
+                        let y = frame.regs[*b as usize];
+                        frame.regs[*dst as usize] = fbin_val(*op, x, y);
+                        cyc_acc += cyc;
+                    }
+                    Op::FCmp { op, dst, a, b } => {
+                        ct!();
+                        let x = frame.regs[*a as usize];
+                        let y = frame.regs[*b as usize];
+                        frame.regs[*dst as usize] = fcmp_val(*op, x, y);
+                        cyc_acc += cost.fsimple;
+                    }
+                    Op::Cast {
+                        kind,
+                        dst,
+                        src,
+                        cyc,
+                    } => {
+                        ct!();
+                        let x = frame.regs[*src as usize];
+                        frame.regs[*dst as usize] = cast_val(*kind, x);
+                        cyc_acc += cyc;
+                    }
+                    Op::Select { dst, cond, t, f } => {
+                        ct!();
+                        let c = frame.regs[*cond as usize];
+                        let i = if c != 0 { *t } else { *f };
+                        frame.regs[*dst as usize] = frame.regs[i as usize];
+                        cyc_acc += cost.alu;
+                    }
+                    Op::Gep {
+                        dst,
+                        base,
+                        index,
+                        scale,
+                        disp,
+                    } => {
+                        ct!();
+                        let b = frame.regs[*base as usize];
+                        let i = frame.regs[*index as usize];
+                        frame.regs[*dst as usize] = b
+                            .wrapping_add(i.wrapping_mul(*scale as u64))
+                            .wrapping_add(*disp as u64);
+                        cyc_acc += cost.gep;
+                    }
+                    Op::Load { dst, addr, width } => {
+                        ct!();
+                        let a = frame.regs[*addr as usize];
+                        sync!();
+                        match machine.load(core, a, *width) {
+                            Ok((v, c)) => {
+                                frame.regs[*dst as usize] = v;
+                                cyc_acc += c;
+                            }
+                            Err(e) => {
+                                flush!(pc);
+                                return Err(Trap::Mem(e));
+                            }
+                        }
+                    }
+                    Op::Store { addr, val, width } => {
+                        ct!();
+                        let a = frame.regs[*addr as usize];
+                        let v = frame.regs[*val as usize];
+                        sync!();
+                        match machine.store(core, a, *width, v) {
+                            Ok(c) => cyc_acc += c,
+                            Err(e) => {
+                                flush!(pc);
+                                return Err(Trap::Mem(e));
+                            }
+                        }
+                    }
+                    Op::AtomicRmw {
+                        op,
+                        dst,
+                        addr,
+                        val,
+                        width,
+                    } => {
+                        ct!();
+                        let a = frame.regs[*addr as usize];
+                        let v = frame.regs[*val as usize];
+                        sync!();
+                        let (old, c1) = match machine.load(core, a, *width) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                flush!(pc);
+                                return Err(Trap::Mem(e));
+                            }
+                        };
+                        let new = match op {
+                            BinOp::Add => old.wrapping_add(v),
+                            BinOp::Sub => old.wrapping_sub(v),
+                            BinOp::And => old & v,
+                            BinOp::Or => old | v,
+                            BinOp::Xor => old ^ v,
+                            _ => v, // Exchange semantics for other ops.
+                        };
+                        let c2 = match machine.store(core, a, *width, new) {
+                            Ok(c) => c,
+                            Err(e) => {
+                                flush!(pc);
+                                return Err(Trap::Mem(e));
+                            }
+                        };
+                        frame.regs[*dst as usize] = old;
+                        cyc_acc += c1 + c2 + cost.atomic_extra;
+                    }
+                    Op::AtomicCas {
+                        dst,
+                        addr,
+                        expected,
+                        new,
+                        width,
+                    } => {
+                        ct!();
+                        let a = frame.regs[*addr as usize];
+                        let exp = frame.regs[*expected as usize];
+                        let newv = frame.regs[*new as usize];
+                        sync!();
+                        let (old, c1) = match machine.load(core, a, *width) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                flush!(pc);
+                                return Err(Trap::Mem(e));
+                            }
+                        };
+                        let mut c2 = 0;
+                        if old == exp {
+                            c2 = match machine.store(core, a, *width, newv) {
+                                Ok(c) => c,
+                                Err(e) => {
+                                    flush!(pc);
+                                    return Err(Trap::Mem(e));
+                                }
+                            };
+                        }
+                        frame.regs[*dst as usize] = old;
+                        cyc_acc += c1 + c2 + cost.atomic_extra;
+                    }
+                    Op::ReadLocal { dst, local } => {
+                        ct!();
+                        frame.regs[*dst as usize] = frame.locals[*local as usize];
+                    }
+                    Op::WriteLocal { local, val } => {
+                        ct!();
+                        frame.locals[*local as usize] = frame.regs[*val as usize];
+                    }
+                    Op::SlotAddr { dst, slot } => {
+                        ct!();
+                        frame.regs[*dst as usize] = frame.slots[*slot as usize] as u64;
+                        cyc_acc += cost.alu;
+                    }
+                    Op::Addr { dst, imm } => {
+                        ct!();
+                        frame.regs[*dst as usize] = *imm;
+                        cyc_acc += cost.alu;
+                    }
+                    Op::Call { dst, func, args } => {
+                        ct!();
+                        argbuf.clear();
+                        argbuf.extend(args.iter().map(|a| frame.regs[*a as usize]));
+                        let (b, i) = code.loc[pc];
+                        frame.block = b;
+                        frame.ip = i + 1; // Return past the call.
+                        cyc_acc += cost.call;
+                        sync!();
+                        break Pending::Call {
+                            func: *func,
+                            ret_dst: dst.map(Reg),
+                        };
+                    }
+                    Op::CallIndirect {
+                        dst,
+                        target,
+                        args,
+                        ic,
+                    } => {
+                        ct!();
+                        let t = frame.regs[*target as usize];
+                        let slot = &mut ics[*ic as usize];
+                        // Inline cache: a hit skips decode and arity
+                        // validation (both depend only on the target).
+                        let func = if slot.target == t {
+                            slot.func
+                        } else {
+                            let Some(fid) = func_of_code_addr(t, arity.len()) else {
+                                flush!(pc);
+                                return Err(Trap::BadIndirectCall { target: t });
+                            };
+                            if arity[fid.0 as usize] as usize != args.len() {
+                                flush!(pc);
+                                return Err(Trap::BadIndirectCall { target: t });
+                            }
+                            *slot = IC {
+                                target: t,
+                                func: fid.0,
+                            };
+                            fid.0
+                        };
+                        argbuf.clear();
+                        argbuf.extend(args.iter().map(|a| frame.regs[*a as usize]));
+                        let (b, i) = code.loc[pc];
+                        frame.block = b;
+                        frame.ip = i + 1;
+                        cyc_acc += cost.call + cost.branch;
+                        sync!();
+                        break Pending::Call {
+                            func,
+                            ret_dst: dst.map(Reg),
+                        };
+                    }
+                    Op::CallIntrinsic {
+                        dst,
+                        intrinsic,
+                        args,
+                    } => {
+                        ct!();
+                        argbuf.clear();
+                        argbuf.extend(args.iter().map(|a| frame.regs[*a as usize]));
+                        // ip stays *at* the op: a blocked thread retries it
+                        // on wake, a retryable trap re-executes it.
+                        flush!(pc);
+                        break Pending::Intrinsic {
+                            idx: *intrinsic,
+                            dst: *dst,
+                            pc,
+                        };
+                    }
+                    Op::Jmp { target } => {
+                        ct!();
+                        cyc_acc += cost.branch;
+                        pc = *target as usize;
+                        continue;
+                    }
+                    Op::Br { cond, t, f } => {
+                        ct!();
+                        let c = frame.regs[*cond as usize];
+                        pc = if c != 0 { *t } else { *f } as usize;
+                        brs += 1;
+                        cyc_acc += cost.branch;
+                        continue;
+                    }
+                    Op::Ret { val } => {
+                        ct!();
+                        let v = val.map(|s| frame.regs[s as usize]).unwrap_or(0);
+                        sync!();
+                        break Pending::Ret { val: v };
+                    }
+                    Op::Unreachable => {
+                        // Retires like any op (`left` is dead: we trap out).
+                        done += 1;
+                        flush!(pc);
+                        return Err(Trap::Unreachable);
+                    }
+                }
+                pc += 1;
+            };
+            // Cold paths: delegate to the VM so call/return/intrinsic
+            // semantics are shared with the reference tier.
+            match pending {
+                Pending::Call { func, ret_dst } => {
+                    vm.engine_call(tid, func as usize, argbuf, ret_dst)?;
+                }
+                Pending::Intrinsic { idx, dst, pc } => {
+                    let res = vm.engine_intrinsic(tid, idx as usize, argbuf)?;
+                    if !vm.engine_runnable(tid) {
+                        return Ok(());
+                    }
+                    let hot = vm.engine_hot(tid);
+                    if let (Some(d), Some(v)) = (dst, res) {
+                        hot.frame.regs[d as usize] = v;
+                    }
+                    let (b, i) = funcs[hot.frame.func].loc[pc];
+                    hot.frame.block = b;
+                    hot.frame.ip = i + 1;
+                    if vm.engine_exited() {
+                        return Ok(());
+                    }
+                }
+                Pending::Ret { val } => {
+                    vm.engine_ret(tid, val);
+                }
+            }
+            continue 'outer;
+        }
+    }
+}

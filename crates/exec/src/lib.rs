@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+
+//! `sgxs-exec` — the pre-compiled fast execution tier for the MIR VM.
+//!
+//! The reference interpreter in `sgxs-mir` walks the IR tree per
+//! instruction: three indexed lookups to find the current instruction, an
+//! operand decode, and a cost-model match, every step. This crate lowers
+//! each function once into a dense opcode array ([`lower::FuncCode`]) —
+//! resolved jump offsets, interned operands, pre-resolved global/function
+//! addresses, baked cycle charges, inline caches for indirect calls, and
+//! superinstruction fusion over the trap-free register runs the sgxbounds
+//! passes emit (`gep → extract-bounds → compare` chains) — then executes it
+//! with a flat dispatch loop ([`engine::CompiledEngine`]).
+//!
+//! **The tier is pinned bit-identical to the reference interpreter**: same
+//! digests, same named stats counters, same cycle charges, same obs events
+//! in the same order, same trap and recovery behavior (DESIGN.md §10
+//! documents the oracle; `tests/tier_equivalence.rs` and the CI
+//! tier-equivalence job enforce it corpus-wide). Selection is by
+//! [`sgxs_sim::ExecTier`] threaded through every runner, with
+//! `ExecTier::Reference` staying the default oracle.
+//!
+//! ```no_run
+//! # use sgxs_mir::{Vm, VmConfig, Module};
+//! # use sgxs_sim::{MachineConfig, Mode, Preset};
+//! # let module: Module = unimplemented!();
+//! let mut vm = Vm::new(&module, VmConfig::new(MachineConfig::preset(Preset::Tiny, Mode::Enclave)));
+//! // ... install runtimes/schemes ...
+//! sgxs_exec::attach(&mut vm);   // from here on, quanta run on the fast tier
+//! let out = vm.run("main", &[]);
+//! ```
+
+pub mod engine;
+pub mod lower;
+pub mod text;
+
+pub use engine::CompiledEngine;
+pub use lower::{FuncCode, Op};
+
+use sgxs_mir::Vm;
+
+/// Lowers `vm`'s module and returns the compiled engine (not yet
+/// installed). The lowering snapshots the global address layout and cost
+/// model, both fixed for the VM's lifetime.
+pub fn compile(vm: &Vm<'_>) -> CompiledEngine {
+    let cost = vm.config().machine.cost;
+    let mut ic_count = 0u32;
+    let globals: Vec<u32> = (0..vm.module.globals.len())
+        .map(|g| vm.global_addr(sgxs_mir::GlobalId(g as u32)))
+        .collect();
+    let lookup = |g: u32| globals[g as usize];
+    let funcs: Vec<FuncCode> = vm
+        .module
+        .funcs
+        .iter()
+        .map(|f| lower::lower_func(f, &lookup, &cost, &mut ic_count))
+        .collect();
+    let arity: Vec<u32> = vm
+        .module
+        .funcs
+        .iter()
+        .map(|f| f.params.len() as u32)
+        .collect();
+    CompiledEngine::new(funcs, arity, ic_count, cost, vm.config().quantum)
+}
+
+/// Compiles `vm`'s module and installs the fast tier. Call after `Vm::new`
+/// (any time before `run`; installed runtimes are unaffected because
+/// intrinsic binding stays in the VM).
+pub fn attach(vm: &mut Vm<'_>) {
+    let engine = compile(vm);
+    vm.set_frame_consts(engine.const_pools());
+    vm.set_engine(Box::new(engine));
+}
+
+/// Test hook: installs the fast tier with a deliberate single-cycle
+/// accounting fault on the first executed op. The tier-equivalence oracle
+/// must flag the resulting run as divergent — the CI negative test that
+/// proves the gate can fail.
+pub fn attach_perturbed(vm: &mut Vm<'_>) {
+    let mut engine = compile(vm);
+    engine.perturb = true;
+    vm.set_frame_consts(engine.const_pools());
+    vm.set_engine(Box::new(engine));
+}

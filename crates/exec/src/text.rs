@@ -1,0 +1,559 @@
+//! Textual display and parser for lowered code.
+//!
+//! One line per opcode, prefixed with a register/constant-pool header and
+//! block-start markers, lossless for everything the equivalence oracle
+//! cares about: `parse_func(display_func(c))` reconstructs the exact op
+//! array, constant pool, and block starts, so instruction counts, jump
+//! targets, and site-id markers round-trip bit-for-bit (the PR 2
+//! zero-counter-perturbation pin, extended to the compiled tier).
+//!
+//! All operands print as `rN`: indices below `nregs` are architectural
+//! registers, indices at or above it address the interned constant pool
+//! appended to the frame's register file (see [`crate::lower::FuncCode`]).
+
+use crate::lower::{FuncCode, Op};
+use sgxs_mir::{BinOp, CastKind, CmpOp, FBinOp, FCmpOp};
+use std::fmt::Write as _;
+
+fn dst_str(d: Option<u32>) -> String {
+    match d {
+        Some(d) => format!("r{d}"),
+        None => "_".into(),
+    }
+}
+
+fn bin_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::UDiv => "udiv",
+        BinOp::SDiv => "sdiv",
+        BinOp::URem => "urem",
+        BinOp::SRem => "srem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::LShr => "lshr",
+        BinOp::AShr => "ashr",
+    }
+}
+
+fn cmp_name(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::ULt => "ult",
+        CmpOp::ULe => "ule",
+        CmpOp::UGt => "ugt",
+        CmpOp::UGe => "uge",
+        CmpOp::SLt => "slt",
+        CmpOp::SLe => "sle",
+        CmpOp::SGt => "sgt",
+        CmpOp::SGe => "sge",
+    }
+}
+
+fn fbin_name(op: FBinOp) -> &'static str {
+    match op {
+        FBinOp::Add => "fadd",
+        FBinOp::Sub => "fsub",
+        FBinOp::Mul => "fmul",
+        FBinOp::Div => "fdiv",
+        FBinOp::Min => "fmin",
+        FBinOp::Max => "fmax",
+    }
+}
+
+fn fcmp_name(op: FCmpOp) -> &'static str {
+    match op {
+        FCmpOp::Eq => "feq",
+        FCmpOp::Ne => "fne",
+        FCmpOp::Lt => "flt",
+        FCmpOp::Le => "fle",
+        FCmpOp::Gt => "fgt",
+        FCmpOp::Ge => "fge",
+    }
+}
+
+fn cast_name(kind: CastKind) -> String {
+    match kind {
+        CastKind::Sext(n) => format!("sext{n}"),
+        CastKind::Trunc(n) => format!("trunc{n}"),
+        CastKind::SiToF => "sitof".into(),
+        CastKind::UiToF => "uitof".into(),
+        CastKind::FToSi => "ftosi".into(),
+        CastKind::Bitcast => "bitcast".into(),
+        CastKind::FAbs => "fabs".into(),
+        CastKind::FSqrt => "fsqrt".into(),
+    }
+}
+
+/// Renders one lowered function as line-oriented text.
+pub fn display_func(code: &FuncCode) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "func {}", code.name);
+    let _ = writeln!(out, "nregs {}", code.nregs);
+    for c in code.consts.iter() {
+        let _ = writeln!(out, "const {c}");
+    }
+    let mut next_block = 0usize;
+    for (pc, op) in code.ops.iter().enumerate() {
+        while next_block < code.block_start.len() && code.block_start[next_block] as usize == pc {
+            let _ = writeln!(out, "block {next_block}");
+            next_block += 1;
+        }
+        let line = match op {
+            Op::Bin { op, dst, a, b, cyc } => {
+                format!("bin {} r{dst} r{a} r{b} {cyc}", bin_name(*op))
+            }
+            Op::DivRem { op, dst, a, b } => {
+                format!("divrem {} r{dst} r{a} r{b}", bin_name(*op))
+            }
+            Op::Cmp { op, dst, a, b } => format!("cmp {} r{dst} r{a} r{b}", cmp_name(*op)),
+            Op::FBin { op, dst, a, b, cyc } => {
+                format!("fbin {} r{dst} r{a} r{b} {cyc}", fbin_name(*op))
+            }
+            Op::FCmp { op, dst, a, b } => format!("fcmp {} r{dst} r{a} r{b}", fcmp_name(*op)),
+            Op::Cast {
+                kind,
+                dst,
+                src,
+                cyc,
+            } => format!("cast {} r{dst} r{src} {cyc}", cast_name(*kind)),
+            Op::Select { dst, cond, t, f } => format!("select r{dst} r{cond} r{t} r{f}"),
+            Op::Gep {
+                dst,
+                base,
+                index,
+                scale,
+                disp,
+            } => format!("gep r{dst} r{base} r{index} {scale} {disp}"),
+            Op::Load { dst, addr, width } => format!("load r{dst} r{addr} {width}"),
+            Op::Store { addr, val, width } => format!("store r{addr} r{val} {width}"),
+            Op::AtomicRmw {
+                op,
+                dst,
+                addr,
+                val,
+                width,
+            } => format!("armw {} r{dst} r{addr} r{val} {width}", bin_name(*op)),
+            Op::AtomicCas {
+                dst,
+                addr,
+                expected,
+                new,
+                width,
+            } => format!("acas r{dst} r{addr} r{expected} r{new} {width}"),
+            Op::ReadLocal { dst, local } => format!("rdloc r{dst} l{local}"),
+            Op::WriteLocal { local, val } => format!("wrloc l{local} r{val}"),
+            Op::SlotAddr { dst, slot } => format!("slot r{dst} s{slot}"),
+            Op::Addr { dst, imm } => format!("addr r{dst} {imm}"),
+            Op::Call { dst, func, args } => {
+                let mut s = format!("call {} f{func}", dst_str(*dst));
+                for a in args.iter() {
+                    let _ = write!(s, " r{a}");
+                }
+                s
+            }
+            Op::CallIndirect {
+                dst,
+                target,
+                args,
+                ic,
+            } => {
+                let mut s = format!("icall {} r{target} ic{ic}", dst_str(*dst));
+                for a in args.iter() {
+                    let _ = write!(s, " r{a}");
+                }
+                s
+            }
+            Op::CallIntrinsic {
+                dst,
+                intrinsic,
+                args,
+            } => {
+                let mut s = format!("intr {} n{intrinsic}", dst_str(*dst));
+                for a in args.iter() {
+                    let _ = write!(s, " r{a}");
+                }
+                s
+            }
+            Op::Site { site, begin } => {
+                format!("site {site} {}", if *begin { "begin" } else { "end" })
+            }
+            Op::Fused { len, cyc } => format!("fused {len} {cyc}"),
+            Op::FusedLoad { len, cyc } => format!("fused.load {len} {cyc}"),
+            Op::FusedStore { len, cyc } => format!("fused.store {len} {cyc}"),
+            Op::FusedBr { len, cyc } => format!("fused.br {len} {cyc}"),
+            Op::FusedJmp { len, cyc } => format!("fused.jmp {len} {cyc}"),
+            Op::SbCheck { cyc_pre, cyc_post } => format!("sbcheck {cyc_pre} {cyc_post}"),
+            Op::Jmp { target } => format!("jmp {target}"),
+            Op::Br { cond, t, f } => format!("br r{cond} {t} {f}"),
+            Op::Ret { val } => match val {
+                Some(v) => format!("ret r{v}"),
+                None => "ret _".into(),
+            },
+            Op::Unreachable => "unreachable".into(),
+        };
+        let _ = writeln!(out, "  {line}");
+    }
+    out
+}
+
+fn parse_reg(tok: &str) -> Result<u32, String> {
+    tok.strip_prefix('r')
+        .and_then(|r| r.parse().ok())
+        .ok_or_else(|| format!("bad register '{tok}'"))
+}
+
+fn parse_dst(tok: &str) -> Result<Option<u32>, String> {
+    if tok == "_" {
+        Ok(None)
+    } else {
+        parse_reg(tok).map(Some)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(tok: &str) -> Result<T, String> {
+    tok.parse().map_err(|_| format!("bad number '{tok}'"))
+}
+
+fn parse_pfx<T: std::str::FromStr>(tok: &str, pfx: char) -> Result<T, String> {
+    tok.strip_prefix(pfx)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad '{pfx}'-token '{tok}'"))
+}
+
+fn parse_bin_name(tok: &str) -> Result<BinOp, String> {
+    Ok(match tok {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "udiv" => BinOp::UDiv,
+        "sdiv" => BinOp::SDiv,
+        "urem" => BinOp::URem,
+        "srem" => BinOp::SRem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "lshr" => BinOp::LShr,
+        "ashr" => BinOp::AShr,
+        _ => return Err(format!("bad binop '{tok}'")),
+    })
+}
+
+fn parse_cmp_name(tok: &str) -> Result<CmpOp, String> {
+    Ok(match tok {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "ult" => CmpOp::ULt,
+        "ule" => CmpOp::ULe,
+        "ugt" => CmpOp::UGt,
+        "uge" => CmpOp::UGe,
+        "slt" => CmpOp::SLt,
+        "sle" => CmpOp::SLe,
+        "sgt" => CmpOp::SGt,
+        "sge" => CmpOp::SGe,
+        _ => return Err(format!("bad cmp '{tok}'")),
+    })
+}
+
+fn parse_fbin_name(tok: &str) -> Result<FBinOp, String> {
+    Ok(match tok {
+        "fadd" => FBinOp::Add,
+        "fsub" => FBinOp::Sub,
+        "fmul" => FBinOp::Mul,
+        "fdiv" => FBinOp::Div,
+        "fmin" => FBinOp::Min,
+        "fmax" => FBinOp::Max,
+        _ => return Err(format!("bad fbin '{tok}'")),
+    })
+}
+
+fn parse_fcmp_name(tok: &str) -> Result<FCmpOp, String> {
+    Ok(match tok {
+        "feq" => FCmpOp::Eq,
+        "fne" => FCmpOp::Ne,
+        "flt" => FCmpOp::Lt,
+        "fle" => FCmpOp::Le,
+        "fgt" => FCmpOp::Gt,
+        "fge" => FCmpOp::Ge,
+        _ => return Err(format!("bad fcmp '{tok}'")),
+    })
+}
+
+fn parse_cast_name(tok: &str) -> Result<CastKind, String> {
+    Ok(match tok {
+        "sitof" => CastKind::SiToF,
+        "uitof" => CastKind::UiToF,
+        "ftosi" => CastKind::FToSi,
+        "bitcast" => CastKind::Bitcast,
+        "fabs" => CastKind::FAbs,
+        "fsqrt" => CastKind::FSqrt,
+        _ => {
+            if let Some(n) = tok.strip_prefix("sext") {
+                CastKind::Sext(parse_num(n)?)
+            } else if let Some(n) = tok.strip_prefix("trunc") {
+                CastKind::Trunc(parse_num(n)?)
+            } else {
+                return Err(format!("bad cast '{tok}'"));
+            }
+        }
+    })
+}
+
+/// A lowered function reconstructed from text by [`parse_func`].
+pub struct ParsedFunc {
+    /// Function name from the `func` header.
+    pub name: String,
+    /// Architectural register count from the `nregs` header.
+    pub nregs: u32,
+    /// Interned constant pool from the `const` lines, in order.
+    pub consts: Vec<u64>,
+    /// The opcode array.
+    pub ops: Vec<Op>,
+    /// Dense-pc index of each block's first op.
+    pub block_start: Vec<u32>,
+}
+
+/// Parses the output of [`display_func`] back into a [`ParsedFunc`].
+pub fn parse_func(text: &str) -> Result<ParsedFunc, String> {
+    let mut name = None;
+    let mut nregs: Option<u32> = None;
+    let mut consts: Vec<u64> = Vec::new();
+    let mut ops: Vec<Op> = Vec::new();
+    let mut block_start: Vec<u32> = Vec::new();
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let err = |m: String| format!("line {}: {m}", ln + 1);
+        match toks[0] {
+            "func" => {
+                name = Some(
+                    toks.get(1)
+                        .ok_or_else(|| err("missing name".into()))?
+                        .to_string(),
+                );
+                continue;
+            }
+            "nregs" => {
+                nregs = Some(
+                    parse_num(toks.get(1).ok_or_else(|| err("missing nregs".into()))?)
+                        .map_err(err)?,
+                );
+                continue;
+            }
+            "const" => {
+                consts.push(
+                    parse_num(toks.get(1).ok_or_else(|| err("missing const".into()))?)
+                        .map_err(err)?,
+                );
+                continue;
+            }
+            "block" => {
+                let b: usize = parse_num(toks.get(1).ok_or_else(|| err("missing block".into()))?)
+                    .map_err(err)?;
+                if b != block_start.len() {
+                    return Err(err(format!("block {b} out of order")));
+                }
+                block_start.push(ops.len() as u32);
+                continue;
+            }
+            _ => {}
+        }
+        let need = |i: usize| -> Result<&str, String> {
+            toks.get(i)
+                .copied()
+                .ok_or_else(|| format!("line {}: missing field {i}", ln + 1))
+        };
+        let op = match toks[0] {
+            "bin" => Op::Bin {
+                op: parse_bin_name(need(1)?).map_err(&err)?,
+                dst: parse_reg(need(2)?).map_err(&err)?,
+                a: parse_reg(need(3)?).map_err(&err)?,
+                b: parse_reg(need(4)?).map_err(&err)?,
+                cyc: parse_num(need(5)?).map_err(&err)?,
+            },
+            "divrem" => Op::DivRem {
+                op: parse_bin_name(need(1)?).map_err(&err)?,
+                dst: parse_reg(need(2)?).map_err(&err)?,
+                a: parse_reg(need(3)?).map_err(&err)?,
+                b: parse_reg(need(4)?).map_err(&err)?,
+            },
+            "cmp" => Op::Cmp {
+                op: parse_cmp_name(need(1)?).map_err(&err)?,
+                dst: parse_reg(need(2)?).map_err(&err)?,
+                a: parse_reg(need(3)?).map_err(&err)?,
+                b: parse_reg(need(4)?).map_err(&err)?,
+            },
+            "fbin" => Op::FBin {
+                op: parse_fbin_name(need(1)?).map_err(&err)?,
+                dst: parse_reg(need(2)?).map_err(&err)?,
+                a: parse_reg(need(3)?).map_err(&err)?,
+                b: parse_reg(need(4)?).map_err(&err)?,
+                cyc: parse_num(need(5)?).map_err(&err)?,
+            },
+            "fcmp" => Op::FCmp {
+                op: parse_fcmp_name(need(1)?).map_err(&err)?,
+                dst: parse_reg(need(2)?).map_err(&err)?,
+                a: parse_reg(need(3)?).map_err(&err)?,
+                b: parse_reg(need(4)?).map_err(&err)?,
+            },
+            "cast" => Op::Cast {
+                kind: parse_cast_name(need(1)?).map_err(&err)?,
+                dst: parse_reg(need(2)?).map_err(&err)?,
+                src: parse_reg(need(3)?).map_err(&err)?,
+                cyc: parse_num(need(4)?).map_err(&err)?,
+            },
+            "select" => Op::Select {
+                dst: parse_reg(need(1)?).map_err(&err)?,
+                cond: parse_reg(need(2)?).map_err(&err)?,
+                t: parse_reg(need(3)?).map_err(&err)?,
+                f: parse_reg(need(4)?).map_err(&err)?,
+            },
+            "gep" => Op::Gep {
+                dst: parse_reg(need(1)?).map_err(&err)?,
+                base: parse_reg(need(2)?).map_err(&err)?,
+                index: parse_reg(need(3)?).map_err(&err)?,
+                scale: parse_num(need(4)?).map_err(&err)?,
+                disp: parse_num(need(5)?).map_err(&err)?,
+            },
+            "load" => Op::Load {
+                dst: parse_reg(need(1)?).map_err(&err)?,
+                addr: parse_reg(need(2)?).map_err(&err)?,
+                width: parse_num(need(3)?).map_err(&err)?,
+            },
+            "store" => Op::Store {
+                addr: parse_reg(need(1)?).map_err(&err)?,
+                val: parse_reg(need(2)?).map_err(&err)?,
+                width: parse_num(need(3)?).map_err(&err)?,
+            },
+            "armw" => Op::AtomicRmw {
+                op: parse_bin_name(need(1)?).map_err(&err)?,
+                dst: parse_reg(need(2)?).map_err(&err)?,
+                addr: parse_reg(need(3)?).map_err(&err)?,
+                val: parse_reg(need(4)?).map_err(&err)?,
+                width: parse_num(need(5)?).map_err(&err)?,
+            },
+            "acas" => Op::AtomicCas {
+                dst: parse_reg(need(1)?).map_err(&err)?,
+                addr: parse_reg(need(2)?).map_err(&err)?,
+                expected: parse_reg(need(3)?).map_err(&err)?,
+                new: parse_reg(need(4)?).map_err(&err)?,
+                width: parse_num(need(5)?).map_err(&err)?,
+            },
+            "rdloc" => Op::ReadLocal {
+                dst: parse_reg(need(1)?).map_err(&err)?,
+                local: parse_pfx(need(2)?, 'l').map_err(&err)?,
+            },
+            "wrloc" => Op::WriteLocal {
+                local: parse_pfx(need(1)?, 'l').map_err(&err)?,
+                val: parse_reg(need(2)?).map_err(&err)?,
+            },
+            "slot" => Op::SlotAddr {
+                dst: parse_reg(need(1)?).map_err(&err)?,
+                slot: parse_pfx(need(2)?, 's').map_err(&err)?,
+            },
+            "addr" => Op::Addr {
+                dst: parse_reg(need(1)?).map_err(&err)?,
+                imm: parse_num(need(2)?).map_err(&err)?,
+            },
+            "call" => Op::Call {
+                dst: parse_dst(need(1)?).map_err(&err)?,
+                func: parse_pfx(need(2)?, 'f').map_err(&err)?,
+                args: toks[3..]
+                    .iter()
+                    .map(|t| parse_reg(t))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(&err)?
+                    .into(),
+            },
+            "icall" => Op::CallIndirect {
+                dst: parse_dst(need(1)?).map_err(&err)?,
+                target: parse_reg(need(2)?).map_err(&err)?,
+                ic: need(3)?
+                    .strip_prefix("ic")
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("bad ic slot".into()))?,
+                args: toks[4..]
+                    .iter()
+                    .map(|t| parse_reg(t))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(&err)?
+                    .into(),
+            },
+            "intr" => Op::CallIntrinsic {
+                dst: parse_dst(need(1)?).map_err(&err)?,
+                intrinsic: parse_pfx(need(2)?, 'n').map_err(&err)?,
+                args: toks[3..]
+                    .iter()
+                    .map(|t| parse_reg(t))
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(&err)?
+                    .into(),
+            },
+            "site" => Op::Site {
+                site: parse_num(need(1)?).map_err(&err)?,
+                begin: match need(2)? {
+                    "begin" => true,
+                    "end" => false,
+                    other => return Err(err(format!("bad marker '{other}'"))),
+                },
+            },
+            "fused" => Op::Fused {
+                len: parse_num(need(1)?).map_err(&err)?,
+                cyc: parse_num(need(2)?).map_err(&err)?,
+            },
+            "fused.load" => Op::FusedLoad {
+                len: parse_num(need(1)?).map_err(&err)?,
+                cyc: parse_num(need(2)?).map_err(&err)?,
+            },
+            "fused.store" => Op::FusedStore {
+                len: parse_num(need(1)?).map_err(&err)?,
+                cyc: parse_num(need(2)?).map_err(&err)?,
+            },
+            "fused.br" => Op::FusedBr {
+                len: parse_num(need(1)?).map_err(&err)?,
+                cyc: parse_num(need(2)?).map_err(&err)?,
+            },
+            "fused.jmp" => Op::FusedJmp {
+                len: parse_num(need(1)?).map_err(&err)?,
+                cyc: parse_num(need(2)?).map_err(&err)?,
+            },
+            "sbcheck" => Op::SbCheck {
+                cyc_pre: parse_num(need(1)?).map_err(&err)?,
+                cyc_post: parse_num(need(2)?).map_err(&err)?,
+            },
+            "jmp" => Op::Jmp {
+                target: parse_num(need(1)?).map_err(&err)?,
+            },
+            "br" => Op::Br {
+                cond: parse_reg(need(1)?).map_err(&err)?,
+                t: parse_num(need(2)?).map_err(&err)?,
+                f: parse_num(need(3)?).map_err(&err)?,
+            },
+            "ret" => Op::Ret {
+                val: match need(1)? {
+                    "_" => None,
+                    tok => Some(parse_reg(tok).map_err(&err)?),
+                },
+            },
+            "unreachable" => Op::Unreachable,
+            other => return Err(err(format!("unknown opcode '{other}'"))),
+        };
+        ops.push(op);
+    }
+    Ok(ParsedFunc {
+        name: name.ok_or("missing 'func' header")?,
+        nregs: nregs.ok_or("missing 'nregs' header")?,
+        consts,
+        ops,
+        block_start,
+    })
+}

@@ -30,7 +30,10 @@ pub mod runner;
 pub mod shrink;
 
 use inject::{FaultKind, ALL_KINDS};
-use runner::{classify, exec, exec_chaos, exec_traced, verdict_ok, FScheme, Verdict, ALL_SCHEMES};
+use runner::{
+    classify, exec_chaos_tier, exec_tier, exec_traced, verdict_ok, FScheme, Verdict, ALL_SCHEMES,
+};
+use sgxs_sim::ExecTier;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -45,6 +48,10 @@ pub struct FuzzOpts {
     pub max_ops: usize,
     /// Minimize disagreements to small reproducers.
     pub shrink: bool,
+    /// Execution tier the campaign runs on. Verdicts, digests, and the
+    /// rendered matrix must be identical across tiers (the tier-equivalence
+    /// gate runs the same corpus on both and diffs).
+    pub tier: ExecTier,
 }
 
 impl Default for FuzzOpts {
@@ -54,6 +61,7 @@ impl Default for FuzzOpts {
             seed0: 0,
             max_ops: 20,
             shrink: true,
+            tier: ExecTier::default(),
         }
     }
 }
@@ -257,7 +265,7 @@ pub fn run_campaign(opts: &FuzzOpts) -> Report {
         );
         report.programs += 1;
 
-        let native = exec(&prog, FScheme::Native);
+        let native = exec_tier(&prog, FScheme::Native, opts.tier);
         report.runs += 1;
         {
             let cell = report.safe.get_mut(&FScheme::Native).expect("seeded");
@@ -283,7 +291,7 @@ pub fn run_campaign(opts: &FuzzOpts) -> Report {
         };
 
         for scheme in ALL_SCHEMES.into_iter().skip(1) {
-            let v = classify(None, native_digest, &exec(&prog, scheme));
+            let v = classify(None, native_digest, &exec_tier(&prog, scheme, opts.tier));
             report.runs += 1;
             let cell = report.safe.get_mut(&scheme).expect("seeded");
             cell.total += 1;
@@ -315,7 +323,11 @@ pub fn run_campaign(opts: &FuzzOpts) -> Report {
             "seed {seed} {kind:?}: oracle disagrees with injector ground truth"
         );
         for scheme in ALL_SCHEMES {
-            let v = classify(Some(&fault), native_digest, &exec(&fprog, scheme));
+            let v = classify(
+                Some(&fault),
+                native_digest,
+                &exec_tier(&fprog, scheme, opts.tier),
+            );
             report.runs += 1;
             let ok = verdict_ok(scheme, Some(kind), &v);
             report.cells.entry((kind, scheme)).or_default().add(&v, ok);
@@ -399,7 +411,7 @@ pub fn run_chaos_fuzz(opts: &FuzzOpts) -> ChaosFuzzReport {
     for seed in opts.seed0..opts.seed0 + opts.seeds {
         let prog = gen::generate(seed, opts.max_ops);
         report.programs += 1;
-        let native = exec(&prog, FScheme::Native);
+        let native = exec_tier(&prog, FScheme::Native, opts.tier);
         let Ok(native_digest) = native.result else {
             report
                 .failures
@@ -408,7 +420,7 @@ pub fn run_chaos_fuzz(opts: &FuzzOpts) -> ChaosFuzzReport {
         };
         let chaos_seed = seed.wrapping_mul(0xD6E8_FEB8_6659_FD93).wrapping_add(1);
         for scheme in ALL_SCHEMES {
-            let e = exec_chaos(&prog, scheme, chaos_seed);
+            let e = exec_chaos_tier(&prog, scheme, chaos_seed, opts.tier);
             report.runs += 1;
             report.retries += e.retries;
             let mut v = classify(None, native_digest, &e);
@@ -473,6 +485,13 @@ impl CorpusEntry {
     /// Replays the entry under every scheme; returns the disagreements
     /// (empty = the entry conforms to the detection model).
     pub fn replay(&self) -> Vec<(FScheme, Verdict)> {
+        self.replay_tier(ExecTier::default())
+    }
+
+    /// [`CorpusEntry::replay`] on an explicit execution tier — the CI
+    /// tier-equivalence job replays the whole regression corpus on the
+    /// compiled tier and expects the same clean verdicts.
+    pub fn replay_tier(&self, tier: ExecTier) -> Vec<(FScheme, Verdict)> {
         let prog = gen::generate(self.seed, self.max_ops);
         let (prog, fault) = match self.kind {
             None => (prog, None),
@@ -481,10 +500,16 @@ impl CorpusEntry {
                 (fprog, Some(fault))
             }
         };
-        let native_digest = exec(&prog, FScheme::Native).result.unwrap_or_default();
+        let native_digest = exec_tier(&prog, FScheme::Native, tier)
+            .result
+            .unwrap_or_default();
         let mut bad = Vec::new();
         for scheme in ALL_SCHEMES {
-            let v = classify(fault.as_ref(), native_digest, &exec(&prog, scheme));
+            let v = classify(
+                fault.as_ref(),
+                native_digest,
+                &exec_tier(&prog, scheme, tier),
+            );
             if !verdict_ok(scheme, self.kind, &v) {
                 bad.push((scheme, v));
             }
@@ -542,7 +567,7 @@ mod tests {
         let prog = gen::generate(42, 12);
         let (fprog, _fault) = inject::inject(&prog, FaultKind::HeapOverflow, 42);
         for scheme in [FScheme::SgxBounds, FScheme::Asan, FScheme::Mpx] {
-            let plain = exec(&fprog, scheme);
+            let plain = exec_tier(&fprog, scheme, ExecTier::default());
             let (traced, events) = exec_traced(&fprog, scheme, 32);
             assert_eq!(
                 format!("{:?}", plain.result),
@@ -565,6 +590,7 @@ mod tests {
             seed0: 300,
             max_ops: 12,
             shrink: false,
+            ..FuzzOpts::default()
         });
         assert_eq!(report.programs, 6);
         assert!(report.passed(), "chaos failures:\n{}", report.render());
@@ -582,6 +608,7 @@ mod tests {
             seed0: 100,
             max_ops: 10,
             shrink: true,
+            ..FuzzOpts::default()
         });
         assert_eq!(report.programs, 18);
         assert!(

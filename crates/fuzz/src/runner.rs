@@ -12,7 +12,7 @@ use sgxs_baselines::{
 use sgxs_mir::{verify, GlobalId, PolicySet, RecoveryPolicy, Trap, TrapClass, Vm, VmConfig};
 use sgxs_rt::{install_base, AllocFaultPlan, AllocOpts};
 use sgxs_sim::obs::{Recorder, TraceRecorder};
-use sgxs_sim::{MachineConfig, Mode, Preset};
+use sgxs_sim::{ExecTier, MachineConfig, Mode, Preset};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -110,7 +110,14 @@ pub struct Exec {
 
 /// Builds, instruments, and runs `prog` under `scheme`.
 pub fn exec(prog: &Prog, scheme: FScheme) -> Exec {
-    exec_inner(prog, scheme, None, None)
+    exec_inner(prog, scheme, None, None, ExecTier::default())
+}
+
+/// Like [`exec`] but on an explicit execution tier. The compiled tier must
+/// reproduce the reference digest, beacon, violation count, and retry count
+/// bit-for-bit — `tests/tier_equivalence.rs` enforces this corpus-wide.
+pub fn exec_tier(prog: &Prog, scheme: FScheme, tier: ExecTier) -> Exec {
+    exec_inner(prog, scheme, None, None, tier)
 }
 
 /// Like [`exec`] but under environmental chaos: a fault plan seeded with
@@ -119,7 +126,13 @@ pub fn exec(prog: &Prog, scheme: FScheme) -> Exec {
 /// must still reproduce the clean native digest bit-for-bit — any
 /// divergence means a transient allocation failure corrupted results.
 pub fn exec_chaos(prog: &Prog, scheme: FScheme, chaos_seed: u64) -> Exec {
-    exec_inner(prog, scheme, None, Some(chaos_seed))
+    exec_inner(prog, scheme, None, Some(chaos_seed), ExecTier::default())
+}
+
+/// Like [`exec_chaos`] but on an explicit execution tier (the recovery
+/// machinery — retry accounting included — must be tier-invariant).
+pub fn exec_chaos_tier(prog: &Prog, scheme: FScheme, chaos_seed: u64, tier: ExecTier) -> Exec {
+    exec_inner(prog, scheme, None, Some(chaos_seed), tier)
 }
 
 /// Like [`exec`] but with the observability layer on; returns the run plus
@@ -127,7 +140,7 @@ pub fn exec_chaos(prog: &Prog, scheme: FScheme, chaos_seed: u64) -> Exec {
 /// disagreement reports).
 pub fn exec_traced(prog: &Prog, scheme: FScheme, last_k: usize) -> (Exec, Vec<String>) {
     let rec = Rc::new(RefCell::new(TraceRecorder::new(last_k)));
-    let e = exec_inner(prog, scheme, Some(rec.clone()), None);
+    let e = exec_inner(prog, scheme, Some(rec.clone()), None, ExecTier::default());
     let r = Rc::try_unwrap(rec)
         .expect("machine dropped its recorder handle")
         .into_inner();
@@ -139,8 +152,9 @@ fn exec_inner(
     scheme: FScheme,
     rec: Option<Rc<RefCell<dyn Recorder>>>,
     chaos_seed: Option<u64>,
+    tier: ExecTier,
 ) -> Exec {
-    catch_exec(move || exec_uncaught(prog, scheme, rec, chaos_seed))
+    catch_exec(move || exec_uncaught(prog, scheme, rec, chaos_seed, tier))
 }
 
 /// Runs `f`, converting a panic anywhere in the scheme pipeline
@@ -171,6 +185,7 @@ fn exec_uncaught(
     scheme: FScheme,
     rec: Option<Rc<RefCell<dyn Recorder>>>,
     chaos_seed: Option<u64>,
+    tier: ExecTier,
 ) -> Exec {
     let markers = rec.is_some();
     let mut module = gen::build(prog);
@@ -190,7 +205,9 @@ fn exec_uncaught(
     }
     verify(&module).expect("instrumented fuzz module verifies");
 
-    let mut cfg = VmConfig::new(MachineConfig::preset(Preset::Tiny, Mode::Enclave));
+    let mut machine_cfg = MachineConfig::preset(Preset::Tiny, Mode::Enclave);
+    machine_cfg.tier = tier;
+    let mut cfg = VmConfig::new(machine_cfg);
     cfg.max_instructions = 4_000_000;
     let mut vm = Vm::new(&module, cfg);
     vm.machine.set_recorder(rec);
@@ -231,6 +248,9 @@ fn exec_uncaught(
                 backoff: 1_000,
             },
         ));
+    }
+    if tier == ExecTier::Compiled {
+        sgxs_exec::attach(&mut vm);
     }
     let out = vm.run("main", &[]);
     // The beacon is always GlobalId(0) — gen::build creates it first.

@@ -30,11 +30,11 @@
 
 use crate::exp::{self, Effort, DEFAULT_SEED};
 use crate::profile::{profile_one, render as render_profile, DEFAULT_RING, DEFAULT_TOP};
-use crate::scheme::{RunConfig, Scheme};
+use crate::scheme::{run_one, run_one_perturbed, set_default_tier, RunConfig, Scheme};
 use sgxs_obs::json::Json;
 use sgxs_obs::read::{parse_bench, parse_profile};
 use sgxs_perf::{compare, flatten, parse_history, render, CompareOpts, HistoryRecord, Metric};
-use sgxs_sim::Preset;
+use sgxs_sim::{ExecTier, Preset};
 use sgxs_workloads::SizeClass;
 
 /// Experiment names the suite accepts (besides `all`).
@@ -45,17 +45,21 @@ pub const EXPERIMENTS: [&str; 11] = [
 /// Top-level usage text.
 pub const USAGE: &str =
     "usage: repro <fig1|fig7|fig8|table3|fig9|fig10|table4|fig11|fig12|fig13|cases|all> \
-     [--quick] [--tiny|--mini|--paper] [--seed N] [--json FILE]\n       \
+     [--quick] [--tiny|--mini|--paper] [--seed N] [--tier T] [--timed] [--json FILE]\n       \
      repro profile <workload> [--scheme S] [--trace FILE] [--json FILE]\n       \
-     repro fuzz [--seeds N] [--seed0 N] [--max-ops N] [--no-shrink] [--corpus FILE] [--chaos]\n       \
+     repro fuzz [--seeds N] [--seed0 N] [--max-ops N] [--no-shrink] [--corpus FILE] [--chaos] \
+     [--tier T]\n       \
      repro chaos [--seeds N] [--seed0 N] [--requests N] [--threshold F] [--demo-corruption] \
-     [--json FILE]\n       \
+     [--tier T] [--json FILE]\n       \
      repro lint [NAMES...] [--demo-oob] [--seed N] [--json FILE]\n       \
      repro bench record [--quick] [--tiny|--mini|--paper] [--replicates N] [--seed0 N] \
-     [--rev REV] [--out FILE]\n       \
+     [--rev REV] [--tier T] [--out FILE]\n       \
      repro compare <BASE> <NEW> [--gate] [--top N] [--threshold F] [--noise-mult F] \
      [--rev R] [--base-rev R] [--preset P] [--json FILE]\n       \
-     repro render <profile.json> [--top N] [--folded FILE] [--svg FILE]";
+     repro tier check [--seeds N] [--seed0 N] [--max-ops N] [--chaos-seeds N] [--perturb]\n       \
+     repro render <profile.json> [--top N] [--folded FILE] [--svg FILE]\n\
+     (--tier: reference|compiled — the compiled tier is pinned bit-identical \
+     and only changes host wall time)";
 
 /// Minimal argument cursor shared by every subcommand: uniform
 /// "`<cmd>: <flag> needs ...`" errors instead of per-site `unwrap_or_else`
@@ -100,6 +104,12 @@ impl<'a> Args<'a> {
     }
 }
 
+/// Parses the value of a `--tier` flag.
+fn tier_value(it: &mut Args<'_>) -> Result<ExecTier, String> {
+    let v = it.value("--tier")?;
+    ExecTier::parse(&v).ok_or_else(|| it.fail(format!("unknown tier '{v}' (reference|compiled)")))
+}
+
 /// Maps a `--tiny|--mini|--paper` flag to its preset.
 fn preset_flag(arg: &str) -> Option<Preset> {
     match arg {
@@ -128,6 +138,7 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         Some("lint") => crate::lint::run_lint(&args[1..]),
         Some("profile") => run_profile(&args[1..]),
         Some("bench") => run_bench(&args[1..]),
+        Some("tier") => run_tier(&args[1..]),
         Some("compare") => run_compare(&args[1..]),
         Some("render") => run_render(&args[1..]),
         _ => run_experiments(args),
@@ -248,6 +259,8 @@ pub fn run_experiments(args: &[String]) -> Result<i32, String> {
     let mut preset = Preset::Mini;
     let mut effort = Effort::Full;
     let mut seed = DEFAULT_SEED;
+    let mut tier = ExecTier::default();
+    let mut timed = false;
     let mut json_path: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     let mut it = Args::new("repro", args);
@@ -259,6 +272,8 @@ pub fn run_experiments(args: &[String]) -> Result<i32, String> {
         match a {
             "--quick" => effort = Effort::Quick,
             "--seed" => seed = it.parse("--seed")?,
+            "--tier" => tier = tier_value(&mut it)?,
+            "--timed" => timed = true,
             "--json" => json_path = Some(it.value("--json")?),
             other => wanted.push(other.trim_start_matches('-').to_lowercase()),
         }
@@ -266,12 +281,37 @@ pub fn run_experiments(args: &[String]) -> Result<i32, String> {
     if wanted.is_empty() {
         return Err(USAGE.to_owned());
     }
-    let doc = run_suite(preset, effort, &wanted, seed, true)?;
+    set_default_tier(tier);
+    let t0 = std::time::Instant::now();
+    let mut doc = run_suite(preset, effort, &wanted, seed, true)?;
+    let wall_ms = t0.elapsed().as_millis() as u64;
+    if timed {
+        // Host-side observation only: it lives outside `experiments`, so
+        // the flattened metric set (and with it `repro compare`) never
+        // sees it, and the default (untimed) document stays byte-identical
+        // across tiers.
+        attach_host_block(&mut doc, tier, wall_ms);
+        println!("host wall time: {wall_ms} ms on the {} tier", tier.label());
+    }
     if let Some(path) = &json_path {
         write_file(path, &doc.to_pretty()).map_err(|e| format!("repro: {e}"))?;
         println!("bench json written to {path}");
     }
     Ok(0)
+}
+
+/// Appends the optional `sgxs-bench-v1` host block (`{"host": {"tier",
+/// "wall_ms"}}`) to a bench document. The block records host-machine
+/// facts, not simulated results; `flatten` walks only `experiments`, so
+/// it can never gate a comparison.
+fn attach_host_block(doc: &mut Json, tier: ExecTier, wall_ms: u64) {
+    let host = Json::obj(vec![
+        ("tier", tier.label().into()),
+        ("wall_ms", wall_ms.into()),
+    ]);
+    if let Json::Obj(fields) = doc {
+        fields.push(("host".to_owned(), host));
+    }
 }
 
 /// `repro profile <workload>`: one observed run, rendered.
@@ -369,6 +409,7 @@ pub fn run_fuzz(args: &[String]) -> Result<i32, String> {
             "--no-shrink" => opts.shrink = false,
             "--corpus" => corpus = Some(it.value("--corpus")?),
             "--chaos" => chaos = true,
+            "--tier" => opts.tier = tier_value(&mut it)?,
             other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
         }
     }
@@ -379,7 +420,7 @@ pub fn run_fuzz(args: &[String]) -> Result<i32, String> {
         let entries = sgxs_fuzz::parse_corpus(&text).map_err(|e| it.fail(e))?;
         println!("replaying {} corpus entries from {path}", entries.len());
         for entry in &entries {
-            let bad = entry.replay();
+            let bad = entry.replay_tier(opts.tier);
             if bad.is_empty() {
                 continue;
             }
@@ -423,6 +464,7 @@ pub fn run_chaos(args: &[String]) -> Result<i32, String> {
             "--requests" => opts.requests = it.parse("--requests")?,
             "--threshold" => opts.threshold = it.parse("--threshold")?,
             "--demo-corruption" => opts.demo_corruption = true,
+            "--tier" => opts.tier = tier_value(&mut it)?,
             "--json" => json = Some(it.value("--json")?),
             other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
         }
@@ -468,6 +510,7 @@ pub fn run_bench(args: &[String]) -> Result<i32, String> {
     let mut replicates: u64 = 1;
     let mut seed0 = DEFAULT_SEED;
     let mut rev: Option<String> = None;
+    let mut tier = ExecTier::default();
     while let Some(a) = it.next_arg() {
         if let Some(p) = preset_flag(a) {
             preset = p;
@@ -479,23 +522,38 @@ pub fn run_bench(args: &[String]) -> Result<i32, String> {
             "--replicates" => replicates = it.parse("--replicates")?,
             "--seed0" => seed0 = it.parse("--seed0")?,
             "--rev" => rev = Some(it.value("--rev")?),
+            "--tier" => tier = tier_value(&mut it)?,
             other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
         }
     }
     if replicates == 0 {
         return Err(it.fail("--replicates must be at least 1"));
     }
+    set_default_tier(tier);
     let rev = rev.unwrap_or_else(git_rev);
     let mut lines = String::new();
     for i in 0..replicates {
         let seed = seed0 + i;
         println!(
             "recording replicate {}/{replicates}: rev {rev}, preset {preset:?}, \
-             effort {effort:?}, seed {seed}",
-            i + 1
+             effort {effort:?}, seed {seed}, tier {}",
+            i + 1,
+            tier.label()
         );
-        let doc =
+        let t0 = std::time::Instant::now();
+        let mut doc =
             run_suite(preset, effort, &["all".to_owned()], seed, false).map_err(|e| it.fail(e))?;
+        let wall_ms = t0.elapsed().as_millis() as u64;
+        // Recorded replicates always carry the host block: the wall-clock
+        // win of the compiled tier becomes a committed artifact in
+        // results/history.jsonl. Simulated metrics (everything under
+        // `experiments`) stay tier-invariant, so `repro compare` gating is
+        // unaffected (see results/README.md).
+        attach_host_block(&mut doc, tier, wall_ms);
+        println!(
+            "  suite wall time: {wall_ms} ms on the {} tier",
+            tier.label()
+        );
         let record = HistoryRecord::new(&rev, seed, doc).map_err(|e| it.fail(e))?;
         lines.push_str(&record.to_line());
         lines.push('\n');
@@ -518,6 +576,157 @@ pub fn run_bench(args: &[String]) -> Result<i32, String> {
         seed0 + replicates - 1
     );
     Ok(0)
+}
+
+/// `repro tier check`: the tier-equivalence oracle as a command. Runs the
+/// fuzz corpus (safe + injected programs, every scheme), a slice of the
+/// chaos-fuzz mode, and a workload sample on both tiers and diffs every
+/// observable — digest/trap, progress beacon, violation and retry
+/// counters, simulated cycles, and the full named stats block. Exits 1 on
+/// any divergence. `--perturb` is the negative control: it enables the
+/// compiled engine's deliberate single-cycle accounting fault and requires
+/// the oracle to *catch* it (exit 1 if the perturbed run slips through).
+pub fn run_tier(args: &[String]) -> Result<i32, String> {
+    use sgxs_fuzz::gen::generate;
+    use sgxs_fuzz::inject::{inject, ALL_KINDS};
+    use sgxs_fuzz::runner::{exec_chaos_tier, exec_tier, Exec, ALL_SCHEMES};
+
+    let mut it = Args::new("tier", args);
+    match it.next_arg() {
+        Some("check") => {}
+        _ => return Err(it.fail(format!("expected 'tier check ...'\n{USAGE}"))),
+    }
+    let mut seeds: u64 = 40;
+    let mut seed0: u64 = 0;
+    let mut max_ops: usize = 16;
+    let mut chaos_seeds: u64 = 8;
+    let mut perturb = false;
+    while let Some(a) = it.next_arg() {
+        match a {
+            "--seeds" => seeds = it.parse("--seeds")?,
+            "--seed0" => seed0 = it.parse("--seed0")?,
+            "--max-ops" => max_ops = it.parse::<u64>("--max-ops")? as usize,
+            "--chaos-seeds" => chaos_seeds = it.parse("--chaos-seeds")?,
+            "--perturb" => perturb = true,
+            other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
+        }
+    }
+
+    let mut divergences = 0u64;
+    let mut runs = 0u64;
+    let mut diverged = |what: String| {
+        divergences += 1;
+        println!("DIVERGENCE {what}");
+    };
+    // Exec has no PartialEq on purpose (Trap payloads carry strings); the
+    // Debug rendering covers every field, so equality of renderings is
+    // equality of observables.
+    let same = |a: &Exec, b: &Exec| format!("{a:?}") == format!("{b:?}");
+
+    // 1. Fuzz corpus: safe program + one injected fault per seed, every
+    //    scheme, both tiers.
+    for seed in seed0..seed0 + seeds {
+        let prog = generate(seed, max_ops);
+        let kind = ALL_KINDS[(seed % ALL_KINDS.len() as u64) as usize];
+        let (fprog, _fault) = inject(&prog, kind, seed);
+        for scheme in ALL_SCHEMES {
+            for (tag, p) in [("safe", &prog), ("faulty", &fprog)] {
+                let r = exec_tier(p, scheme, ExecTier::Reference);
+                let c = exec_tier(p, scheme, ExecTier::Compiled);
+                runs += 2;
+                if !same(&r, &c) {
+                    diverged(format!(
+                        "corpus seed {seed} {tag} under {}: reference {r:?} vs compiled {c:?}",
+                        scheme.label()
+                    ));
+                }
+            }
+        }
+    }
+    println!(
+        "corpus: {seeds} seeds x {} schemes x 2 programs checked",
+        ALL_SCHEMES.len()
+    );
+
+    // 2. Chaos slice: allocator fault injection + OOM retry, both tiers
+    //    (retry accounting must be tier-invariant too).
+    for seed in seed0..seed0 + chaos_seeds {
+        let prog = generate(seed, max_ops);
+        let chaos_seed = seed.wrapping_mul(0xD6E8_FEB8_6659_FD93).wrapping_add(1);
+        for scheme in ALL_SCHEMES {
+            let r = exec_chaos_tier(&prog, scheme, chaos_seed, ExecTier::Reference);
+            let c = exec_chaos_tier(&prog, scheme, chaos_seed, ExecTier::Compiled);
+            runs += 2;
+            if !same(&r, &c) {
+                diverged(format!(
+                    "chaos seed {seed} under {}: reference {r:?} vs compiled {c:?}",
+                    scheme.label()
+                ));
+            }
+        }
+    }
+    println!(
+        "chaos: {chaos_seeds} seeds x {} schemes checked",
+        ALL_SCHEMES.len()
+    );
+
+    // 3. Workload sample: full Measured diff (result, cycles, peaks, stats)
+    //    for a representative workload x scheme grid.
+    let mut rc = RunConfig::new(Preset::Tiny);
+    rc.params.size = SizeClass::XS;
+    rc.params.threads = 2;
+    for name in ["histogram", "kmeans", "string_match"] {
+        let w = sgxs_workloads::by_name(name).expect("workload exists");
+        for scheme in [
+            Scheme::Baseline,
+            Scheme::SgxBounds,
+            Scheme::Asan,
+            Scheme::Mpx,
+        ] {
+            let mut rr = rc;
+            rr.tier = ExecTier::Reference;
+            let r = run_one(w.as_ref(), scheme, &rr);
+            let mut cc = rc;
+            cc.tier = ExecTier::Compiled;
+            let c = run_one(w.as_ref(), scheme, &cc);
+            runs += 2;
+            if format!("{r:?}") != format!("{c:?}") {
+                diverged(format!(
+                    "workload {name} under {}: reference {r:?} vs compiled {c:?}",
+                    scheme.label()
+                ));
+            }
+        }
+    }
+    println!("workloads: 3 workloads x 4 schemes checked");
+
+    // 4. Negative control: the deliberately perturbed engine must diverge,
+    //    or the oracle is vacuous.
+    if perturb {
+        let w = sgxs_workloads::by_name("histogram").expect("workload exists");
+        let mut rr = rc;
+        rr.tier = ExecTier::Reference;
+        let r = run_one(w.as_ref(), Scheme::SgxBounds, &rr);
+        let p = run_one_perturbed(w.as_ref(), Scheme::SgxBounds, &rc);
+        runs += 2;
+        if format!("{r:?}") == format!("{p:?}") {
+            diverged(
+                "negative control failed: the perturbed compiled engine was \
+                 indistinguishable from the reference — the oracle cannot fail"
+                    .to_owned(),
+            );
+        } else {
+            println!("perturb: negative control diverged as required (gate can fail)");
+        }
+    }
+
+    if divergences == 0 {
+        println!("tier check passed: {runs} runs, tiers bit-identical");
+        Ok(0)
+    } else {
+        println!("tier check FAILED: {divergences} divergence(s) over {runs} runs");
+        Ok(1)
+    }
 }
 
 /// Loads one comparison side: a `sgxs-bench-v1` file is a single

@@ -9,10 +9,37 @@ use sgxs_baselines::{
 use sgxs_mir::{verify, CheckSite, Trap, Vm, VmConfig};
 use sgxs_rt::{install_base, AllocOpts, Stager};
 use sgxs_sim::obs::Recorder;
-use sgxs_sim::{MachineConfig, Mode, Preset, Stats};
+use sgxs_sim::{ExecTier, MachineConfig, Mode, Preset, Stats};
 use sgxs_workloads::{Params, Workload};
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Process-wide default execution tier. The CLI's `--tier` flag sets it
+/// once at startup, before any experiment runs; [`RunConfig::new`]
+/// snapshots it so every experiment module picks the flag up without
+/// threading a parameter through each figure. Simulated results are
+/// tier-invariant by construction (the compiled tier is pinned
+/// bit-identical), so this switch only changes host wall time.
+static DEFAULT_TIER: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide default execution tier (see [`default_tier`]).
+pub fn set_default_tier(tier: ExecTier) {
+    let v = match tier {
+        ExecTier::Reference => 0,
+        ExecTier::Compiled => 1,
+    };
+    DEFAULT_TIER.store(v, Ordering::Relaxed);
+}
+
+/// The process-wide default execution tier ([`ExecTier::Reference`] unless
+/// [`set_default_tier`] was called).
+pub fn default_tier() -> ExecTier {
+    match DEFAULT_TIER.load(Ordering::Relaxed) {
+        1 => ExecTier::Compiled,
+        _ => ExecTier::Reference,
+    }
+}
 
 /// Enclave virtual-memory budget at paper scale (the 4 GB 32-bit space the
 /// paper's §8 discussion assumes). Scaled presets divide it by the machine
@@ -95,6 +122,9 @@ pub struct RunConfig {
     pub max_instructions: u64,
     /// Optional EPC-size override in bytes (ablations).
     pub epc_override: Option<u64>,
+    /// Execution tier (the reference interpreter stays the default oracle;
+    /// the compiled tier is bit-identical and only changes host wall time).
+    pub tier: ExecTier,
 }
 
 impl RunConfig {
@@ -108,6 +138,7 @@ impl RunConfig {
             params: Params::new(scale),
             max_instructions: 4_000_000_000,
             epc_override: None,
+            tier: default_tier(),
         }
     }
 
@@ -141,7 +172,16 @@ pub struct ObsRun {
 
 /// Builds, hardens, and runs `workload` under `scheme`.
 pub fn run_one(workload: &dyn Workload, scheme: Scheme, rc: &RunConfig) -> Measured {
-    run_one_inner(workload, scheme, rc, None).measured
+    run_one_inner(workload, scheme, rc, None, false).measured
+}
+
+/// Negative control for the tier-equivalence oracle: runs on the compiled
+/// tier with the engine's deliberate single-cycle accounting fault enabled
+/// (ignoring `rc.tier`). A working oracle must see this run diverge from
+/// [`run_one`]; `repro tier check --perturb` and CI use it to prove the
+/// gate can fail.
+pub fn run_one_perturbed(workload: &dyn Workload, scheme: Scheme, rc: &RunConfig) -> Measured {
+    run_one_inner(workload, scheme, rc, None, true).measured
 }
 
 /// Like [`run_one`] but with the observability layer on: the instrumentation
@@ -156,7 +196,7 @@ pub fn run_one_obs(
     rc: &RunConfig,
     rec: Rc<RefCell<dyn Recorder>>,
 ) -> ObsRun {
-    run_one_inner(workload, scheme, rc, Some(rec))
+    run_one_inner(workload, scheme, rc, Some(rec), false)
 }
 
 fn run_one_inner(
@@ -164,6 +204,7 @@ fn run_one_inner(
     scheme: Scheme,
     rc: &RunConfig,
     rec: Option<Rc<RefCell<dyn Recorder>>>,
+    perturb: bool,
 ) -> ObsRun {
     let markers = rec.is_some();
     let mut module = workload.build(&rc.params);
@@ -203,6 +244,7 @@ fn run_one_inner(
     if let Some(epc) = rc.epc_override {
         machine_cfg.epc_bytes = epc;
     }
+    machine_cfg.tier = rc.tier;
     let mut cfg = VmConfig::new(machine_cfg);
     cfg.max_instructions = rc.max_instructions;
     // Thread stacks scale with the machine (2 MB pthread default at paper
@@ -238,6 +280,11 @@ fn run_one_inner(
 
     let mut st = Stager::new();
     let args = workload.stage(&mut vm, &mut st, &rc.params);
+    if perturb {
+        sgxs_exec::attach_perturbed(&mut vm);
+    } else if rc.tier == ExecTier::Compiled {
+        sgxs_exec::attach(&mut vm);
+    }
     let out = vm.run("main", &args);
     let measured = Measured {
         workload: workload.name().to_owned(),

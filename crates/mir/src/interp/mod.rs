@@ -154,15 +154,29 @@ enum Resolved {
     Unknown,
 }
 
-struct Frame {
-    func: usize,
-    block: u32,
-    ip: u32,
-    regs: Box<[u64]>,
-    locals: Box<[u64]>,
-    slots: Box<[u32]>,
-    ret_dst: Option<Reg>,
-    saved_sp: u32,
+/// One activation record of the interpreted call stack.
+///
+/// Public so an alternative execution tier (see [`QuantumEngine`]) can read
+/// and write the architectural thread state directly; the reference
+/// interpreter remains the authority on what each field means.
+pub struct Frame {
+    /// Index of the executing function in `module.funcs`.
+    pub func: usize,
+    /// Current basic block.
+    pub block: u32,
+    /// Instruction index within the block; `insts.len()` addresses the
+    /// terminator.
+    pub ip: u32,
+    /// Virtual registers.
+    pub regs: Box<[u64]>,
+    /// Function-local variables (zero-cycle access, never addressable).
+    pub locals: Box<[u64]>,
+    /// Runtime addresses of the function's stack slots.
+    pub slots: Box<[u32]>,
+    /// Caller register receiving the return value, if any.
+    pub ret_dst: Option<Reg>,
+    /// Caller stack pointer to restore on return.
+    pub saved_sp: u32,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -226,6 +240,35 @@ impl RunOutcome {
     }
 }
 
+/// An alternative per-quantum execution strategy for the VM.
+///
+/// The scheduler, recovery loop, intrinsic handlers, and machine model stay
+/// in the VM; an engine only replaces the instruction-dispatch inner loop
+/// ([`Vm::run_quantum`]'s job): run up to `quantum` counted instructions of
+/// thread `tid`, with semantics, cycle charges, counters, and event ordering
+/// bit-identical to the reference interpreter. `sgxs-exec` provides the
+/// pre-lowered fast tier; installing nothing keeps the reference oracle.
+pub trait QuantumEngine {
+    /// Executes one scheduling quantum of thread `tid`.
+    fn run_quantum(&mut self, vm: &mut Vm<'_>, tid: usize) -> Result<(), Trap>;
+}
+
+/// Mutable views of the state an engine touches on every instruction,
+/// borrowed disjointly so the hot loop pays no re-indexing per op.
+pub struct HotRefs<'a> {
+    /// The machine (memory, caches, counters, event recorder).
+    pub machine: &'a mut Machine,
+    /// The executing thread's top frame.
+    pub frame: &'a mut Frame,
+    /// The executing thread's cycle counter.
+    pub cycles: &'a mut u64,
+    /// The thread's open check site, `(site, cycles at Begin)`; engines must
+    /// replicate [`SiteMarker`] handling against this exactly.
+    pub obs_site: &'a mut Option<(u32, u64)>,
+    /// The core the thread is pinned to (selects the private caches).
+    pub core: usize,
+}
+
 /// The virtual machine.
 pub struct Vm<'m> {
     /// The module being executed.
@@ -246,6 +289,12 @@ pub struct Vm<'m> {
     mutexes: HashMap<u64, MutexState>,
     exited: Option<u64>,
     recovery: Option<RecoveryCtl>,
+    engine: Option<Box<dyn QuantumEngine>>,
+    /// Per-function constant pools appended to `Frame::regs` at frame
+    /// construction (installed together with a compiled engine). The
+    /// reference tier never reads the appended slots, so frame semantics
+    /// are unchanged whether or not pools are installed.
+    frame_consts: Option<Box<[Box<[u64]>]>>,
 }
 
 impl<'m> Vm<'m> {
@@ -283,7 +332,48 @@ impl<'m> Vm<'m> {
             mutexes: HashMap::new(),
             exited: None,
             recovery: None,
+            engine: None,
+            frame_consts: None,
         }
+    }
+
+    /// Installs an alternative execution engine (e.g. the `sgxs-exec`
+    /// compiled tier) that replaces the reference dispatch loop. Everything
+    /// else — scheduling, recovery, intrinsics, the machine — is shared.
+    pub fn set_engine(&mut self, engine: Box<dyn QuantumEngine>) {
+        self.engine = Some(engine);
+    }
+
+    /// Removes any installed engine (and its frame constant pools); the
+    /// reference interpreter runs again.
+    pub fn clear_engine(&mut self) {
+        self.engine = None;
+        self.frame_consts = None;
+    }
+
+    /// Installs per-function constant pools that [`Vm`] appends to
+    /// `Frame::regs` after the architectural registers when building
+    /// frames. A compiled engine uses the extra slots as pre-interned
+    /// immediates; the reference dispatch never indexes past the
+    /// architectural registers, so behaviour is identical either way.
+    /// `consts` must have one entry per module function.
+    pub fn set_frame_consts(&mut self, consts: Vec<Box<[u64]>>) {
+        assert_eq!(
+            consts.len(),
+            self.module.funcs.len(),
+            "one constant pool per function"
+        );
+        self.frame_consts = Some(consts.into_boxed_slice());
+    }
+
+    /// Whether an alternative engine is installed.
+    pub fn engine_installed(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// The VM configuration (quantum length, machine, limits).
+    pub fn config(&self) -> &VmConfig {
+        &self.cfg
     }
 
     /// Installs a trap-recovery policy set consulted whenever a trap
@@ -362,8 +452,10 @@ impl<'m> Vm<'m> {
     ) -> Result<Frame, Trap> {
         let f = &self.module.funcs[func];
         debug_assert_eq!(f.params.len(), args.len(), "arity checked by verifier");
-        let mut regs = vec![0u64; f.reg_tys.len()].into_boxed_slice();
+        let consts = self.frame_consts.as_ref().map(|c| &*c[func]).unwrap_or(&[]);
+        let mut regs = vec![0u64; f.reg_tys.len() + consts.len()].into_boxed_slice();
         regs[..args.len()].copy_from_slice(args);
+        regs[f.reg_tys.len()..].copy_from_slice(consts);
         let locals = vec![0u64; f.locals.len()].into_boxed_slice();
         let t = &mut self.threads[tid];
         let saved_sp = t.sp;
@@ -461,7 +553,18 @@ impl<'m> Vm<'m> {
                 }
                 return Err(Trap::Deadlock);
             };
-            if let Err(trap) = self.run_quantum(tid) {
+            // Dispatch the quantum through the installed engine, if any.
+            // The engine is taken out for the call so it can borrow the VM
+            // mutably, then put back (engines never call `run`).
+            let step = match self.engine.take() {
+                Some(mut e) => {
+                    let r = e.run_quantum(self, tid);
+                    self.engine = Some(e);
+                    r
+                }
+                None => self.run_quantum(tid),
+            };
+            if let Err(trap) = step {
                 match self.consult_recovery(&trap, tid) {
                     RecoveryAction::Propagate => return Err(trap),
                     RecoveryAction::ExitDegraded => return Ok(0),
@@ -578,6 +681,110 @@ impl<'m> Vm<'m> {
             }
         }
         Ok(())
+    }
+
+    // ---- Engine support -------------------------------------------------
+    //
+    // The accessors below are the complete surface an alternative
+    // execution tier needs: the per-instruction hot state, and entry
+    // points into the cold paths (calls, returns, intrinsics) that stay
+    // shared with the reference interpreter so their semantics cannot
+    // drift between tiers.
+
+    /// Borrows the per-instruction hot state of thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread has no frame (engines only run runnable
+    /// threads, which always have one).
+    pub fn engine_hot(&mut self, tid: usize) -> HotRefs<'_> {
+        let t = &mut self.threads[tid];
+        HotRefs {
+            machine: &mut self.machine,
+            frame: t.frames.last_mut().expect("runnable thread has a frame"),
+            cycles: &mut t.cycles,
+            obs_site: &mut t.obs_site,
+            core: t.core,
+        }
+    }
+
+    /// Whether thread `tid` is runnable (not blocked, joining, or done).
+    pub fn engine_runnable(&self, tid: usize) -> bool {
+        self.threads[tid].state == ThreadState::Runnable
+    }
+
+    /// Whether the program has called the `exit` intrinsic.
+    pub fn engine_exited(&self) -> bool {
+        self.exited.is_some()
+    }
+
+    /// Scheduler-replication bounds for an engine running thread `tid`:
+    /// `(lo, hi)` where `lo` is the minimum cycle count among runnable
+    /// threads with index `< tid` and `hi` the same for index `> tid`
+    /// (`u64::MAX` when the group is empty).
+    ///
+    /// `run_inner` picks the first runnable thread with the smallest cycle
+    /// count between quanta, so it would re-dispatch `tid` exactly when
+    /// `tid`'s cycles are `< lo` and `<= hi` (strict against earlier
+    /// indices, which win ties). Other threads' cycles and states only
+    /// change through `tid`'s own intrinsics/returns while `tid` runs, so
+    /// an engine may snapshot these bounds once per dispatch and re-check
+    /// them in O(1) at each quantum boundary — skipping the scheduler
+    /// round-trip when nothing observable would happen. The same reasoning
+    /// pins `exited` and thread 0's done-ness for the duration, leaving
+    /// only the instruction limit to re-check against live stats.
+    pub fn engine_rival_cycles(&self, tid: usize) -> (u64, u64) {
+        let mut lo = u64::MAX;
+        let mut hi = u64::MAX;
+        for (i, t) in self.threads.iter().enumerate() {
+            if i != tid && t.state == ThreadState::Runnable {
+                if i < tid {
+                    lo = lo.min(t.cycles);
+                } else {
+                    hi = hi.min(t.cycles);
+                }
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Pushes a frame for a call to `func` (index into `module.funcs`).
+    ///
+    /// The caller's `ip` must already be advanced past the call and the
+    /// call cost charged, exactly as the reference interpreter does before
+    /// `make_frame` — a stack overflow then traps with that state intact.
+    pub fn engine_call(
+        &mut self,
+        tid: usize,
+        func: usize,
+        args: &[u64],
+        ret_dst: Option<Reg>,
+    ) -> Result<(), Trap> {
+        let new = self.make_frame(tid, func, args, ret_dst)?;
+        self.threads[tid].frames.push(new);
+        Ok(())
+    }
+
+    /// Pops the top frame returning `val`: restores the caller's stack
+    /// pointer, charges the call cost, writes the caller's return register
+    /// or — for the last frame — parks the thread and wakes its joiners.
+    pub fn engine_ret(&mut self, tid: usize, val: u64) {
+        self.do_ret(tid, val);
+    }
+
+    /// Executes intrinsic `intrinsic` (index into `module.intrinsics`) for
+    /// thread `tid` — the same builtins and registered handlers the
+    /// reference interpreter dispatches to, including scheduling effects
+    /// (spawn/join/mutex/exit) and cycle charges. The engine must replicate
+    /// the caller protocol: flush `ip` to the `CallIntrinsic` *before* the
+    /// call, and advance it only if the thread is still runnable after.
+    pub fn engine_intrinsic(
+        &mut self,
+        tid: usize,
+        intrinsic: usize,
+        args: &[u64],
+    ) -> Result<Option<u64>, Trap> {
+        self.exec_intrinsic(tid, intrinsic, args)
     }
 
     /// Handles a transparent site marker: `Begin` snapshots the thread's
@@ -1101,31 +1308,36 @@ impl<'m> Vm<'m> {
             Term::Ret(v) => {
                 let f = self.threads[tid].frames.last().expect("has frame");
                 let val = v.map(|o| Self::val(f, o)).unwrap_or(0);
-                let frame = self.threads[tid].frames.pop().expect("has frame");
-                self.threads[tid].sp = frame.saved_sp;
-                self.threads[tid].cycles += cost.call;
-                match self.threads[tid].frames.last_mut() {
-                    Some(caller) => {
-                        if let Some(d) = frame.ret_dst {
-                            caller.regs[d.0 as usize] = val;
-                        }
-                    }
-                    None => {
-                        self.threads[tid].retval = val;
-                        self.threads[tid].state = ThreadState::Done;
-                        let done_cycles = self.threads[tid].cycles;
-                        // Wake joiners.
-                        for i in 0..self.threads.len() {
-                            if self.threads[i].state == ThreadState::Joining(tid) {
-                                self.threads[i].state = ThreadState::Runnable;
-                                self.threads[i].cycles = self.threads[i].cycles.max(done_cycles);
-                            }
-                        }
-                    }
-                }
+                self.do_ret(tid, val);
             }
             Term::Unreachable => return Err(Trap::Unreachable),
         }
         Ok(())
+    }
+
+    fn do_ret(&mut self, tid: usize, val: u64) {
+        let cost = self.cfg.machine.cost;
+        let frame = self.threads[tid].frames.pop().expect("has frame");
+        self.threads[tid].sp = frame.saved_sp;
+        self.threads[tid].cycles += cost.call;
+        match self.threads[tid].frames.last_mut() {
+            Some(caller) => {
+                if let Some(d) = frame.ret_dst {
+                    caller.regs[d.0 as usize] = val;
+                }
+            }
+            None => {
+                self.threads[tid].retval = val;
+                self.threads[tid].state = ThreadState::Done;
+                let done_cycles = self.threads[tid].cycles;
+                // Wake joiners.
+                for i in 0..self.threads.len() {
+                    if self.threads[i].state == ThreadState::Joining(tid) {
+                        self.threads[i].state = ThreadState::Runnable;
+                        self.threads[i].cycles = self.threads[i].cycles.max(done_cycles);
+                    }
+                }
+            }
+        }
     }
 }

@@ -21,8 +21,8 @@ pub mod verify;
 
 pub use builder::{FuncBuilder, ModuleBuilder};
 pub use interp::{
-    AccessKind, Env, IntrinsicCtx, PolicySet, RecoveryPolicy, RecoveryStats, RunOutcome, Trap,
-    TrapClass, Vm, VmConfig,
+    AccessKind, Env, Frame, HotRefs, IntrinsicCtx, PolicySet, QuantumEngine, RecoveryPolicy,
+    RecoveryStats, RunOutcome, Trap, TrapClass, Vm, VmConfig,
 };
 pub use ir::{
     AccessAttrs, BinOp, Block, BlockId, CastKind, CheckSite, CmpOp, FBinOp, FCmpOp, FuncId,

@@ -3,11 +3,12 @@
 
 use crate::chaos::ChaosSchedule;
 use crate::serve::{
-    abort_policy, boundless_policy, graceful_policy, retry_policy, serve, AvailabilityReport,
+    abort_policy, boundless_policy, graceful_policy, retry_policy, serve_tier, AvailabilityReport,
     RScheme, ServerApp,
 };
 use sgxs_mir::PolicySet;
 use sgxs_obs::json::Json;
+use sgxs_sim::ExecTier;
 use std::fmt::Write as _;
 
 /// Campaign configuration.
@@ -24,6 +25,11 @@ pub struct CampaignOpts {
     /// CI negative test: also gate the native combo's corruption, which a
     /// working corruption oracle always reports.
     pub demo_corruption: bool,
+    /// Execution tier to run every server on. The emitted `sgxs-chaos-v1`
+    /// document carries no tier field on purpose: a campaign run on the
+    /// compiled tier must produce a byte-identical document, and CI diffs
+    /// the two.
+    pub tier: ExecTier,
 }
 
 impl Default for CampaignOpts {
@@ -34,6 +40,7 @@ impl Default for CampaignOpts {
             requests: 48,
             threshold: 0.90,
             demo_corruption: false,
+            tier: ExecTier::default(),
         }
     }
 }
@@ -272,7 +279,7 @@ pub fn run_chaos_campaign(opts: &CampaignOpts) -> ChaosReport {
         let schedule = ChaosSchedule::generate(seed, opts.requests);
         let app = ServerApp::ALL[(seed % ServerApp::ALL.len() as u64) as usize];
         for (combo, row) in combos.iter().zip(rows.iter_mut()) {
-            let rep = serve(app, combo.scheme, &combo.policies, &schedule);
+            let rep = serve_tier(app, combo.scheme, &combo.policies, &schedule, opts.tier);
             row.add(&rep);
         }
     }

@@ -28,5 +28,5 @@ pub mod serve;
 
 pub use campaign::{run_chaos_campaign, CampaignOpts, ChaosReport, ComboRow};
 pub use chaos::{ChaosEvent, ChaosKind, ChaosSchedule};
-pub use serve::{serve, AvailabilityReport, RScheme, ServerApp};
+pub use serve::{serve, serve_tier, AvailabilityReport, RScheme, ServerApp};
 pub use sgxs_mir::{PolicySet, RecoveryPolicy, RecoveryStats, TrapClass};

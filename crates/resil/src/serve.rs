@@ -23,7 +23,7 @@ use sgxs_mir::{
     verify, GlobalId, PolicySet, RecoveryPolicy, RecoveryStats, TrapClass, Vm, VmConfig,
 };
 use sgxs_rt::{install_base, AllocOpts, Stager};
-use sgxs_sim::{MachineConfig, Mode, Preset};
+use sgxs_sim::{ExecTier, MachineConfig, Mode, Preset};
 use sgxs_workloads::apps::server::{
     BENIGN_MAX, CANARY_BYTES, CANARY_PATTERN, EVIL_LEN, INPUT_BYTES, STATE_CANARY_A, STATE_CANARY_B,
 };
@@ -162,15 +162,34 @@ pub fn serve(
     policies: &PolicySet,
     schedule: &ChaosSchedule,
 ) -> AvailabilityReport {
+    serve_tier(app, scheme, policies, schedule, ExecTier::default())
+}
+
+/// Like [`serve`] but on an explicit execution tier. Every field of the
+/// report — availability ledger, recovery counters, canary corruption,
+/// AEX penalties — must be identical across tiers; the chaos-campaign
+/// equivalence tests enforce this seed-for-seed.
+pub fn serve_tier(
+    app: ServerApp,
+    scheme: RScheme,
+    policies: &PolicySet,
+    schedule: &ChaosSchedule,
+    tier: ExecTier,
+) -> AvailabilityReport {
     let mut module = app.module();
     if let Some(cfg) = scheme.sb_config() {
         sgxbounds::instrument(&mut module, &cfg).expect("server instrumentation");
     }
     verify(&module).expect("server module verifies");
 
-    let mut cfg = VmConfig::new(MachineConfig::preset(Preset::Tiny, Mode::Enclave));
+    let mut machine_cfg = MachineConfig::preset(Preset::Tiny, Mode::Enclave);
+    machine_cfg.tier = tier;
+    let mut cfg = VmConfig::new(machine_cfg);
     cfg.max_instructions = 500_000_000;
     let mut vm = Vm::new(&module, cfg);
+    if tier == ExecTier::Compiled {
+        sgxs_exec::attach(&mut vm);
+    }
     let heap = install_base(&mut vm, AllocOpts::default());
     let sb_rt = scheme
         .sb_config()

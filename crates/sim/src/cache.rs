@@ -51,13 +51,64 @@ impl Cache {
     /// Looks up the line containing `addr`, inserting it on a miss.
     ///
     /// Returns `true` on a hit.
+    ///
+    /// The common associativities are dispatched to a const-generic body so
+    /// the way scan and LRU update fully unroll — this is the innermost loop
+    /// of every simulated memory access. All variants implement the *same*
+    /// policy bit-for-bit (including the evict-the-last-oldest-way tie
+    /// break), so the choice of body never changes simulated behaviour.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
         let line = addr >> LINE_SHIFT;
         let set = (line as usize) & (self.sets - 1);
-        let tag = line;
         let base = set * self.assoc;
-        let ways = &mut self.tags[base..base + self.assoc];
+        match self.assoc {
+            4 => self.access_ways::<4>(base, line),
+            8 => self.access_ways::<8>(base, line),
+            16 => self.access_ways::<16>(base, line),
+            _ => self.access_ways_dyn(base, line, self.assoc),
+        }
+    }
 
+    #[inline]
+    fn access_ways<const A: usize>(&mut self, base: usize, tag: u64) -> bool {
+        let tags: &mut [u64; A] = (&mut self.tags[base..base + A])
+            .try_into()
+            .expect("geometry");
+        let ages: &mut [u8; A] = (&mut self.ages[base..base + A])
+            .try_into()
+            .expect("geometry");
+        let hit_way = tags.iter().position(|&t| t == tag);
+        let (w, hit) = match hit_way {
+            Some(w) => {
+                self.hits += 1;
+                (w, true)
+            }
+            None => {
+                self.misses += 1;
+                // Evict the oldest way; ties go to the *last* oldest.
+                let mut victim = 0;
+                for w in 1..A {
+                    if ages[w] >= ages[victim] {
+                        victim = w;
+                    }
+                }
+                tags[victim] = tag;
+                (victim, false)
+            }
+        };
+        let old = ages[w];
+        for a in ages.iter_mut() {
+            if *a < old {
+                *a = a.saturating_add(1);
+            }
+        }
+        ages[w] = 0;
+        hit
+    }
+
+    fn access_ways_dyn(&mut self, base: usize, tag: u64, assoc: usize) -> bool {
+        let ways = &mut self.tags[base..base + assoc];
         let mut hit_way = None;
         for (w, t) in ways.iter().enumerate() {
             if *t == tag {
@@ -65,7 +116,6 @@ impl Cache {
                 break;
             }
         }
-
         match hit_way {
             Some(w) => {
                 self.hits += 1;
@@ -75,7 +125,7 @@ impl Cache {
             None => {
                 self.misses += 1;
                 // Evict the oldest way.
-                let ages = &self.ages[base..base + self.assoc];
+                let ages = &self.ages[base..base + assoc];
                 let victim = ages
                     .iter()
                     .enumerate()

@@ -103,6 +103,42 @@ pub enum Preset {
     Tiny,
 }
 
+/// Which execution tier runs MIR on this machine.
+///
+/// The machine model itself is tier-agnostic — both tiers charge cycles
+/// through the same [`crate::machine::Machine`] — but the choice is carried
+/// here so every runner (harness, fuzz, resil) can thread it through one
+/// configuration value. The reference interpreter is the semantic oracle;
+/// the compiled tier (`sgxs-exec`) must be bit-identical to it in digests,
+/// stats, cycles, and observability events.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub enum ExecTier {
+    /// The tree-walking reference interpreter in `sgxs-mir` (the oracle).
+    #[default]
+    Reference,
+    /// The pre-lowered fast tier in `sgxs-exec`.
+    Compiled,
+}
+
+impl ExecTier {
+    /// Stable lowercase label used by the CLI and in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecTier::Reference => "reference",
+            ExecTier::Compiled => "compiled",
+        }
+    }
+
+    /// Parses a CLI spelling (`reference`/`ref`/`interp`, `compiled`/`exec`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "reference" | "ref" | "interp" | "interpreter" => Some(ExecTier::Reference),
+            "compiled" | "exec" | "fast" => Some(ExecTier::Compiled),
+            _ => None,
+        }
+    }
+}
+
 /// Full machine configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct MachineConfig {
@@ -127,6 +163,9 @@ pub struct MachineConfig {
     pub epc_bytes: u64,
     /// Cycle costs.
     pub cost: CostModel,
+    /// Which execution tier runs on this machine (cost-neutral: both tiers
+    /// charge identical cycles; this only selects the dispatch loop).
+    pub tier: ExecTier,
 }
 
 impl MachineConfig {
@@ -148,6 +187,7 @@ impl MachineConfig {
             l3_assoc: 16,
             epc_bytes: epc,
             cost: CostModel::default(),
+            tier: ExecTier::Reference,
         }
     }
 

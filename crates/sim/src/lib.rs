@@ -32,7 +32,7 @@ pub mod machine;
 pub mod mem;
 pub mod stats;
 
-pub use cost::{CostModel, MachineConfig, Mode, Preset};
+pub use cost::{CostModel, ExecTier, MachineConfig, Mode, Preset};
 pub use machine::{Machine, MemFault, MemFaultKind};
 pub use mem::{PagedMem, PAGE_SIZE};
 pub use stats::Stats;

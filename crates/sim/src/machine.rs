@@ -155,6 +155,7 @@ impl Machine {
     }
 
     /// Validates an address range, returning the 32-bit base or a fault.
+    #[inline]
     fn check_range(&self, addr: u64, len: u32) -> Result<u32, MemFault> {
         if addr > u32::MAX as u64 {
             return Err(MemFault {
@@ -180,8 +181,29 @@ impl Machine {
 
     /// Charges the hierarchy for one ≤8-byte access and returns its cycle
     /// cost.
+    #[inline]
     fn charge(&mut self, core: usize, addr: u32, len: u32) -> u64 {
-        let core = core % self.cfg.cores;
+        // Callers pass an in-range core id; keep the reduction off the hot
+        // path (an integer divide per access) for that common case.
+        let core = if core < self.cfg.cores {
+            core
+        } else {
+            core % self.cfg.cores
+        };
+        // Fast path: the access stays within one line and hits L1 — the
+        // overwhelmingly common case on every workload.
+        if (addr & (LINE_BYTES - 1)) + len.max(1) <= LINE_BYTES {
+            let line = (addr as u64) & !((LINE_BYTES - 1) as u64);
+            self.stats.l1_accesses += 1;
+            if self.l1[core].access(line) {
+                self.stats.mem_cycles += self.cfg.cost.l1_hit;
+                return self.cfg.cost.l1_hit;
+            }
+            self.stats.l1_misses += 1;
+            let cycles = self.charge_below_l1(core, line);
+            self.stats.mem_cycles += cycles;
+            return cycles;
+        }
         let mut cycles = 0;
         for line in lines_touched(addr, len) {
             self.stats.l1_accesses += 1;
@@ -190,44 +212,50 @@ impl Machine {
                 continue;
             }
             self.stats.l1_misses += 1;
-            if self.l2[core].access(line) {
-                cycles += self.cfg.cost.l2_hit;
-                continue;
-            }
-            self.stats.l2_misses += 1;
-            if self.l3.access(line) {
-                cycles += self.cfg.cost.l3_hit;
-                continue;
-            }
-            self.stats.llc_misses += 1;
-            cycles += self.cfg.cost.dram;
-            if let Some(epc) = self.epc.as_mut() {
-                cycles += self.cfg.cost.mee_extra;
-                let page = (line >> 12) as u32;
-                let (fault, evicted) = epc.touch(page);
-                if fault {
-                    self.stats.epc_faults += 1;
-                    cycles += self.cfg.cost.epc_fault;
-                    if self.obs_on {
-                        self.emit(Event::EpcFault { page });
-                    }
+            cycles += self.charge_below_l1(core, line);
+        }
+        self.stats.mem_cycles += cycles;
+        cycles
+    }
+
+    /// L1-miss continuation: walks L2 → L3 → DRAM/EPC for one line and
+    /// returns the cycle cost (caller accounts `mem_cycles`).
+    fn charge_below_l1(&mut self, core: usize, line: u64) -> u64 {
+        if self.l2[core].access(line) {
+            return self.cfg.cost.l2_hit;
+        }
+        self.stats.l2_misses += 1;
+        if self.l3.access(line) {
+            return self.cfg.cost.l3_hit;
+        }
+        self.stats.llc_misses += 1;
+        let mut cycles = self.cfg.cost.dram;
+        if let Some(epc) = self.epc.as_mut() {
+            cycles += self.cfg.cost.mee_extra;
+            let page = (line >> 12) as u32;
+            let (fault, evicted) = epc.touch(page);
+            if fault {
+                self.stats.epc_faults += 1;
+                cycles += self.cfg.cost.epc_fault;
+                if self.obs_on {
+                    self.emit(Event::EpcFault { page });
                 }
-                if evicted {
-                    self.stats.epc_evictions += 1;
-                    cycles += self.cfg.cost.epc_evict;
-                    if self.obs_on {
-                        self.emit(Event::EpcEvict { page });
-                    }
+            }
+            if evicted {
+                self.stats.epc_evictions += 1;
+                cycles += self.cfg.cost.epc_evict;
+                if self.obs_on {
+                    self.emit(Event::EpcEvict { page });
                 }
             }
         }
-        self.stats.mem_cycles += cycles;
         cycles
     }
 
     /// Loads `len` ∈ {1,2,4,8} bytes at `addr` on behalf of `core`.
     ///
     /// Returns the zero-extended value and the cycle cost.
+    #[inline]
     pub fn load(&mut self, core: usize, addr: u64, len: u8) -> Result<(u64, u64), MemFault> {
         let a = self.check_range(addr, len as u32)?;
         self.stats.loads += 1;
@@ -239,6 +267,7 @@ impl Machine {
     /// Stores the low `len` ∈ {1,2,4,8} bytes of `val` at `addr`.
     ///
     /// Returns the cycle cost.
+    #[inline]
     pub fn store(&mut self, core: usize, addr: u64, len: u8, val: u64) -> Result<u64, MemFault> {
         let a = self.check_range(addr, len as u32)?;
         self.stats.stores += 1;

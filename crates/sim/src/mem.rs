@@ -12,20 +12,31 @@
 //! [`PagedMem`] tracks reservations and their peak separately from committed
 //! (touched) pages.
 
-use std::collections::HashMap;
-
 /// Size of a simulated page in bytes.
 pub const PAGE_SIZE: u32 = 4096;
 const PAGE_SHIFT: u32 = 12;
+
+type Page = [u8; PAGE_SIZE as usize];
+/// Second-level page-table node: one slot per page in a 4 MB stripe.
+type PageDir = Box<[Option<Box<Page>>]>;
+/// Slots per page-table level: 2^10 directories × 2^10 pages = 2^20 pages.
+const DIR_SLOTS: usize = 1 << 10;
 
 /// A sparse paged memory with a 32-bit address space.
 ///
 /// Reads of never-written memory return zeroes (fresh anonymous pages).
 /// Individual pages can be marked forbidden (used by SGXBounds to poison the
 /// last enclave page as an arithmetic-overflow guard, paper §4.4).
+///
+/// Pages live behind a two-level radix table — every load and store in the
+/// simulator funnels through [`PagedMem::read`]/[`PagedMem::write`], so the
+/// lookup is two array indexes rather than a hash.
 pub struct PagedMem {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
-    forbidden: HashMap<u32, ()>,
+    dirs: Vec<Option<PageDir>>,
+    committed_pages: u64,
+    /// Forbidden page indexes; stays tiny (SGXBounds poisons one page), so a
+    /// linear scan beats hashing on the access fast path.
+    forbidden: Vec<u32>,
     /// Currently reserved virtual bytes (heap extents, shadow regions, …).
     reserved: u64,
     peak_reserved: u64,
@@ -42,8 +53,9 @@ impl PagedMem {
     /// Creates an empty address space with nothing reserved.
     pub fn new() -> Self {
         PagedMem {
-            pages: HashMap::new(),
-            forbidden: HashMap::new(),
+            dirs: vec![None; DIR_SLOTS],
+            committed_pages: 0,
+            forbidden: Vec::new(),
             reserved: 0,
             peak_reserved: 0,
             peak_committed_pages: 0,
@@ -81,7 +93,7 @@ impl PagedMem {
 
     /// Bytes in committed (touched) pages right now.
     pub fn committed(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_SIZE as u64
+        self.committed_pages * PAGE_SIZE as u64
     }
 
     /// Peak committed bytes over the lifetime of this memory.
@@ -91,12 +103,14 @@ impl PagedMem {
 
     /// Marks a page as inaccessible; any access to it faults.
     pub fn forbid_page(&mut self, page_index: u32) {
-        self.forbidden.insert(page_index, ());
+        if !self.forbidden.contains(&page_index) {
+            self.forbidden.push(page_index);
+        }
     }
 
     /// Returns `true` if the page at `page_index` is forbidden.
     pub fn is_forbidden(&self, page_index: u32) -> bool {
-        self.forbidden.contains_key(&page_index)
+        self.forbidden.contains(&page_index)
     }
 
     /// Returns `true` if any byte of `[addr, addr + len)` lies in a
@@ -116,15 +130,19 @@ impl PagedMem {
         (first..=last).any(|p| self.is_forbidden(p))
     }
 
-    fn page_mut(&mut self, index: u32) -> &mut [u8; PAGE_SIZE as usize] {
-        if let std::collections::hash_map::Entry::Vacant(e) = self.pages.entry(index) {
-            e.insert(Box::new([0u8; PAGE_SIZE as usize]));
-            let committed = self.pages.len() as u64;
-            if committed > self.peak_committed_pages {
-                self.peak_committed_pages = committed;
+    #[inline]
+    fn page_mut(&mut self, index: u32) -> &mut Page {
+        let dir = &mut self.dirs[(index >> 10) as usize];
+        let dir = dir.get_or_insert_with(|| vec![None; DIR_SLOTS].into_boxed_slice());
+        let slot = &mut dir[(index & 0x3FF) as usize];
+        if slot.is_none() {
+            *slot = Some(Box::new([0u8; PAGE_SIZE as usize]));
+            self.committed_pages += 1;
+            if self.committed_pages > self.peak_committed_pages {
+                self.peak_committed_pages = self.committed_pages;
             }
         }
-        self.pages.get_mut(&index).expect("page just inserted")
+        slot.as_mut().expect("page just inserted")
     }
 
     /// Reads `len` (1, 2, 4, or 8) bytes at `addr`, little-endian,
@@ -141,9 +159,24 @@ impl PagedMem {
         let off = (addr & (PAGE_SIZE - 1)) as usize;
         if off + len as usize <= PAGE_SIZE as usize {
             let p = self.page_mut(page);
-            let mut buf = [0u8; 8];
-            buf[..len as usize].copy_from_slice(&p[off..off + len as usize]);
-            u64::from_le_bytes(buf)
+            // Width-specialized so each arm is a fixed-size load rather
+            // than a variable-length copy (which lowers to a memcpy call
+            // on the hottest path in the simulator).
+            match len {
+                1 => p[off] as u64,
+                2 => u16::from_le_bytes([p[off], p[off + 1]]) as u64,
+                4 => u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]) as u64,
+                _ => u64::from_le_bytes([
+                    p[off],
+                    p[off + 1],
+                    p[off + 2],
+                    p[off + 3],
+                    p[off + 4],
+                    p[off + 5],
+                    p[off + 6],
+                    p[off + 7],
+                ]),
+            }
         } else {
             // Crosses a page boundary: fall back to byte-wise.
             let mut v: u64 = 0;
@@ -167,7 +200,14 @@ impl PagedMem {
         let off = (addr & (PAGE_SIZE - 1)) as usize;
         if off + len as usize <= PAGE_SIZE as usize {
             let p = self.page_mut(page);
-            p[off..off + len as usize].copy_from_slice(&val.to_le_bytes()[..len as usize]);
+            let b = val.to_le_bytes();
+            // Width-specialized like `read` (fixed-size stores, no memcpy).
+            match len {
+                1 => p[off] = b[0],
+                2 => p[off..off + 2].copy_from_slice(&b[..2]),
+                4 => p[off..off + 4].copy_from_slice(&b[..4]),
+                _ => p[off..off + 8].copy_from_slice(&b[..8]),
+            }
         } else {
             for i in 0..len as u32 {
                 let b = (val >> (8 * i)) as u8;

@@ -1,0 +1,101 @@
+//! Property test for the `sgxs-exec` text format: lowering any corpus
+//! function and round-tripping it through `display_func` → `parse_func`
+//! must preserve the opcode array exactly — in particular the instruction
+//! count, every resolved jump target, and the transparent site-ID markers
+//! (whose zero-counter-perturbation guarantee was pinned in PR 2).
+
+use proptest::prelude::*;
+use sgxbounds::SbConfig;
+use sgxs_exec::text::{display_func, parse_func};
+use sgxs_exec::Op;
+use sgxs_fuzz::gen;
+use sgxs_fuzz::inject::{inject, ALL_KINDS};
+use sgxs_mir::{verify, Vm, VmConfig};
+use sgxs_sim::{MachineConfig, Mode, Preset};
+
+/// Jump targets reachable from the opcode array, in pc order.
+fn jump_targets(ops: &[Op]) -> Vec<(usize, Vec<u32>)> {
+    ops.iter()
+        .enumerate()
+        .filter_map(|(pc, op)| match op {
+            Op::Jmp { target } => Some((pc, vec![*target])),
+            Op::Br { t, f, .. } => Some((pc, vec![*t, *f])),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Site markers (id, begin) in pc order.
+fn site_markers(ops: &[Op]) -> Vec<(usize, u32, bool)> {
+    ops.iter()
+        .enumerate()
+        .filter_map(|(pc, op)| match op {
+            Op::Site { site, begin } => Some((pc, *site, *begin)),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random fuzz-corpus programs (safe or with one injected fault, with
+    /// and without site markers) lower to functions whose textual form
+    /// parses back bit-for-bit.
+    #[test]
+    fn lower_display_parse_round_trips(
+        seed in 0u64..5000,
+        max_ops in 4usize..24,
+        faulty in any::<bool>(),
+        markers in any::<bool>(),
+    ) {
+        let prog = gen::generate(seed, max_ops);
+        let prog = if faulty {
+            let kind = ALL_KINDS[(seed % ALL_KINDS.len() as u64) as usize];
+            inject(&prog, kind, seed).0
+        } else {
+            prog
+        };
+        let mut module = gen::build(&prog);
+        let cfg = SbConfig { site_markers: markers, ..SbConfig::default() };
+        sgxbounds::instrument(&mut module, &cfg).expect("instrumentation");
+        verify(&module).expect("module verifies");
+        let vm = Vm::new(
+            &module,
+            VmConfig::new(MachineConfig::preset(Preset::Tiny, Mode::Enclave)),
+        );
+        let engine = sgxs_exec::compile(&vm);
+        for code in engine.code() {
+            let text = display_func(code);
+            let parsed = parse_func(&text)
+                .unwrap_or_else(|e| panic!("{}: parse failed: {e}\n{text}", code.name));
+            // The headline properties, stated on their own so a drift
+            // names what broke...
+            prop_assert_eq!(
+                parsed.ops.len(),
+                code.ops.len(),
+                "instruction count drifted for {}",
+                &code.name
+            );
+            prop_assert_eq!(
+                jump_targets(&parsed.ops),
+                jump_targets(&code.ops),
+                "jump targets drifted for {}",
+                &code.name
+            );
+            prop_assert_eq!(
+                site_markers(&parsed.ops),
+                site_markers(&code.ops),
+                "site markers drifted for {}",
+                &code.name
+            );
+            // ...and the full pin: every opcode, operand, baked charge,
+            // constant, and block boundary survives the round trip.
+            prop_assert_eq!(parsed.ops.as_slice(), &code.ops[..], "ops drifted for {}", &code.name);
+            prop_assert_eq!(&parsed.name, &code.name);
+            prop_assert_eq!(parsed.nregs, code.nregs);
+            prop_assert_eq!(parsed.consts.as_slice(), &code.consts[..]);
+            prop_assert_eq!(parsed.block_start.as_slice(), &code.block_start[..]);
+        }
+    }
+}
