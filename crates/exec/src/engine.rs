@@ -354,11 +354,22 @@ impl QuantumEngine for CompiledEngine {
                             sync!();
                             if *begin {
                                 *obs_site = Some((*site, *cycles));
+                                if machine.spans_enabled() {
+                                    machine.emit(Event::SpanBegin {
+                                        name: "check",
+                                        arg: *site as u64,
+                                    });
+                                }
                             } else if let Some((begin_site, at)) = obs_site.take() {
                                 machine.emit(Event::CheckExec {
                                     site: begin_site,
                                     cycles: cycles.saturating_sub(at),
                                 });
+                                // Emission order pinned to the interpreter:
+                                // CheckExec first, then the span close.
+                                if machine.spans_enabled() {
+                                    machine.emit(Event::SpanEnd { name: "check" });
+                                }
                             }
                         }
                     }

@@ -24,16 +24,25 @@
 //! * `repro bench record` — run the full suite and append one
 //!   `sgxs-history-v1` line per replicate to `results/history.jsonl`;
 //! * `repro compare A B [--gate]` — statistical regression comparison of
-//!   two bench documents / history replicate sets;
+//!   two bench documents / history replicate sets (also accepts
+//!   `sgxs-metrics-v1` documents on either side);
 //! * `repro render profile.json` — folded stacks, SVG treemap, and an
-//!   ASCII table from a `sgxs-profile-v1` document.
+//!   ASCII table from a `sgxs-profile-v1` document;
+//! * `repro metrics` — run a chaos campaign and emit its standalone
+//!   `sgxs-metrics-v1` registry (latency histograms per scheme × policy,
+//!   request-outcome counters) with a percentile table on stdout;
+//! * `repro trace export` — run one traced server under a chaos schedule
+//!   and export the span tree as Chrome trace-event JSON (loadable in
+//!   Perfetto / `chrome://tracing`), optionally as ASCII or SVG timeline.
 
 use crate::exp::{self, Effort, DEFAULT_SEED};
 use crate::profile::{profile_one, render as render_profile, DEFAULT_RING, DEFAULT_TOP};
 use crate::scheme::{run_one, run_one_perturbed, set_default_tier, RunConfig, Scheme};
 use sgxs_obs::json::Json;
-use sgxs_obs::read::{parse_bench, parse_profile};
-use sgxs_perf::{compare, flatten, parse_history, render, CompareOpts, HistoryRecord, Metric};
+use sgxs_obs::read::{metrics_from_json, parse_bench, parse_profile, METRICS_SCHEMA};
+use sgxs_perf::{
+    compare, flatten, flatten_metrics, parse_history, render, CompareOpts, HistoryRecord, Metric,
+};
 use sgxs_sim::{ExecTier, Preset};
 use sgxs_workloads::SizeClass;
 
@@ -57,7 +66,10 @@ pub const USAGE: &str =
      repro compare <BASE> <NEW> [--gate] [--top N] [--threshold F] [--noise-mult F] \
      [--rev R] [--base-rev R] [--preset P] [--json FILE]\n       \
      repro tier check [--seeds N] [--seed0 N] [--max-ops N] [--chaos-seeds N] [--perturb]\n       \
-     repro render <profile.json> [--top N] [--folded FILE] [--svg FILE]\n\
+     repro render <profile.json> [--top N] [--folded FILE] [--svg FILE]\n       \
+     repro metrics [--seeds N] [--seed0 N] [--requests N] [--tier T] [--json FILE]\n       \
+     repro trace export [--app A] [--scheme S] [--policy P] [--seed N] [--requests N] \
+     [--tier T] [--out FILE] [--ascii FILE] [--svg FILE]\n\
      (--tier: reference|compiled — the compiled tier is pinned bit-identical \
      and only changes host wall time)";
 
@@ -141,6 +153,8 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         Some("tier") => run_tier(&args[1..]),
         Some("compare") => run_compare(&args[1..]),
         Some("render") => run_render(&args[1..]),
+        Some("metrics") => run_metrics(&args[1..]),
+        Some("trace") => run_trace(&args[1..]),
         _ => run_experiments(args),
     }
 }
@@ -729,10 +743,10 @@ pub fn run_tier(args: &[String]) -> Result<i32, String> {
     }
 }
 
-/// Loads one comparison side: a `sgxs-bench-v1` file is a single
-/// replicate; a `sgxs-history-v1` JSONL file contributes every record of
-/// the chosen (rev, preset, effort) — by default the newest record's,
-/// i.e. the last matching line.
+/// Loads one comparison side: a `sgxs-bench-v1` or `sgxs-metrics-v1`
+/// file is a single replicate; a `sgxs-history-v1` JSONL file
+/// contributes every record of the chosen (rev, preset, effort) — by
+/// default the newest record's, i.e. the last matching line.
 fn load_side(
     cmd: &Args<'_>,
     path: &str,
@@ -754,6 +768,12 @@ fn load_side(
         })
         .unwrap_or(false);
     if !is_history {
+        let v = Json::parse(&text).map_err(|e| cmd.fail(format!("{path}: {e}")))?;
+        if v.get("schema").and_then(Json::as_str) == Some(METRICS_SCHEMA) {
+            let doc = metrics_from_json(&v).map_err(|e| cmd.fail(format!("{path}: {e}")))?;
+            let label = format!("{path} (metrics, n=1)");
+            return Ok((label, vec![flatten_metrics(&doc)]));
+        }
         let doc = parse_bench(&text).map_err(|e| cmd.fail(format!("{path}: {e}")))?;
         if let Some(p) = preset {
             if doc.preset != p {
@@ -853,6 +873,135 @@ pub fn run_render(args: &[String]) -> Result<i32, String> {
     if let Some(out) = &svg {
         write_file(out, &render::svg(&doc)).map_err(|e| it.fail(e))?;
         println!("svg written to {out}");
+    }
+    Ok(0)
+}
+
+/// `repro metrics`: run a chaos campaign and emit its standalone
+/// `sgxs-metrics-v1` registry — the same document `repro chaos --json`
+/// embeds as its `latency` block, suitable for `repro compare` gating.
+/// The printed table comes from a round trip through the validating
+/// reader, so the command fails loudly if the writer ever drifts from the
+/// schema.
+pub fn run_metrics(args: &[String]) -> Result<i32, String> {
+    let mut opts = sgxs_resil::CampaignOpts::default();
+    let mut json: Option<String> = None;
+    let mut it = Args::new("metrics", args);
+    while let Some(a) = it.next_arg() {
+        match a {
+            "--seeds" => opts.seeds = it.parse("--seeds")?,
+            "--seed0" => opts.seed0 = it.parse("--seed0")?,
+            "--requests" => opts.requests = it.parse("--requests")?,
+            "--tier" => opts.tier = tier_value(&mut it)?,
+            "--json" => json = Some(it.value("--json")?),
+            other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
+        }
+    }
+    if opts.seeds == 0 {
+        return Err(it.fail("--seeds must be at least 1"));
+    }
+    let report = sgxs_resil::run_chaos_campaign(&opts);
+    let text = report.metrics().to_json().to_pretty();
+    let doc = sgxs_obs::read::parse_metrics(&text)
+        .map_err(|e| it.fail(format!("emitted document fails its own reader: {e}")))?;
+    print!("{}", sgxs_perf::latency_table(&doc));
+    if let Some(path) = &json {
+        write_file(path, &text).map_err(|e| it.fail(e))?;
+        println!("metrics json written to {path}");
+    }
+    Ok(0)
+}
+
+/// `repro trace export`: run one traced server under its chaos schedule
+/// and export the span tree (`serve` → `request` → `check`) as Chrome
+/// trace-event JSON. Timestamps are simulated instruction counts, so the
+/// export is byte-identical across hosts, tiers, and runs.
+pub fn run_trace(args: &[String]) -> Result<i32, String> {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let mut it = Args::new("trace", args);
+    match it.next_arg() {
+        Some("export") => {}
+        _ => return Err(it.fail(format!("expected 'trace export ...'\n{USAGE}"))),
+    }
+    let mut app = sgxs_resil::ServerApp::Memcached;
+    let mut scheme = sgxs_resil::RScheme::SgxBounds;
+    let mut policy = "graceful".to_owned();
+    let mut seed = 1u64;
+    let mut requests = 16u32;
+    let mut tier = ExecTier::default();
+    let mut out = "results/trace.json".to_owned();
+    let mut ascii: Option<String> = None;
+    let mut svg: Option<String> = None;
+    while let Some(a) = it.next_arg() {
+        match a {
+            "--app" => {
+                let v = it.value("--app")?;
+                app = sgxs_resil::ServerApp::ALL
+                    .into_iter()
+                    .find(|s| s.label() == v)
+                    .ok_or_else(|| {
+                        it.fail(format!("unknown app '{v}' (nginx|apache|memcached)"))
+                    })?;
+            }
+            "--scheme" => {
+                let v = it.value("--scheme")?;
+                scheme = match v.as_str() {
+                    "native" => sgxs_resil::RScheme::Native,
+                    "sgxbounds" => sgxs_resil::RScheme::SgxBounds,
+                    "sb-boundless" => sgxs_resil::RScheme::Boundless,
+                    _ => {
+                        return Err(it.fail(format!(
+                            "unknown scheme '{v}' (native|sgxbounds|sb-boundless)"
+                        )))
+                    }
+                };
+            }
+            "--policy" => policy = it.value("--policy")?,
+            "--seed" => seed = it.parse("--seed")?,
+            "--requests" => requests = it.parse("--requests")?,
+            "--tier" => tier = tier_value(&mut it)?,
+            "--out" => out = it.value("--out")?,
+            "--ascii" => ascii = Some(it.value("--ascii")?),
+            "--svg" => svg = Some(it.value("--svg")?),
+            other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
+        }
+    }
+    let policies = match policy.as_str() {
+        "abort" => sgxs_resil::abort_policy(),
+        "graceful" => sgxs_resil::graceful_policy(),
+        "retry" => sgxs_resil::retry_policy(),
+        "boundless" => sgxs_resil::boundless_policy(),
+        _ => {
+            return Err(it.fail(format!(
+                "unknown policy '{policy}' (abort|graceful|retry|boundless)"
+            )))
+        }
+    };
+    let schedule = sgxs_resil::ChaosSchedule::generate(seed, requests);
+    let collector = Rc::new(RefCell::new(sgxs_metrics::SpanCollector::default()));
+    let rep = sgxs_resil::serve_traced(app, scheme, &policies, &schedule, tier, collector.clone());
+    let c = collector.borrow();
+    println!(
+        "{} / {} / {policy} seed {seed}: {} spans ({} dropped), \
+         served {} of {} requests",
+        app.label(),
+        scheme.label(),
+        c.nodes().len(),
+        c.dropped(),
+        rep.served,
+        rep.total
+    );
+    write_file(&out, &sgxs_metrics::chrome_trace(&c).to_pretty()).map_err(|e| it.fail(e))?;
+    println!("chrome trace written to {out} (open in Perfetto or chrome://tracing)");
+    if let Some(path) = &ascii {
+        write_file(path, &sgxs_perf::span_ascii(&c)).map_err(|e| it.fail(e))?;
+        println!("ascii span tree written to {path}");
+    }
+    if let Some(path) = &svg {
+        write_file(path, &sgxs_perf::span_svg(&c)).map_err(|e| it.fail(e))?;
+        println!("span timeline svg written to {path}");
     }
     Ok(0)
 }

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Deterministic telemetry for the SGXBounds reproduction stack.
+//!
+//! Everything here is measured in *simulated* cycles and instruction
+//! counts, so every number is exactly reproducible: the same binary, seed,
+//! and execution tier produce byte-identical artifacts. Three pieces:
+//!
+//! 1. **Histograms** ([`Hist`]) — log-linear (HDR-style) `u64` histograms
+//!    with integer percentile extraction and an exact merge: combining N
+//!    per-worker shards in any order yields bit-for-bit the histogram a
+//!    single-threaded recording would have produced. This is the property
+//!    the parallel campaign runner (ROADMAP item 2) and the p999 SLO gate
+//!    (item 4) hang off.
+//! 2. **Registry** ([`Registry`]) — named counters (merge = add), gauges
+//!    (merge = max), and histograms, serialized as the `sgxs-metrics-v1`
+//!    JSON document (see `results/README.md`).
+//! 3. **Spans** ([`SpanCollector`], [`chrome_trace`]) — hierarchical span
+//!    tracing (campaign → seed → request → check-region) built from
+//!    `SpanBegin`/`SpanEnd` events flowing through the ordinary
+//!    `sgxs_obs::Recorder` interface, exportable as Chrome trace-event
+//!    JSON for Perfetto.
+//!
+//! Span and metric emission obeys the same zero-perturbation discipline as
+//! the rest of the obs tier: with recording disabled, instruction counts,
+//! cycle totals, and digests are byte-identical to a run without the
+//! instrumentation (see `tests/metrics_pin.rs` at the workspace root).
+
+pub mod hist;
+pub mod registry;
+pub mod span;
+pub mod trace;
+
+pub use hist::Hist;
+pub use registry::{Registry, METRICS_SCHEMA};
+pub use span::{SpanCollector, SpanNode};
+pub use trace::chrome_trace;

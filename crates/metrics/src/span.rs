@@ -1,0 +1,296 @@
+//! Span-tree collection from the [`Event`] stream.
+//!
+//! Spans arrive as `SpanBegin`/`SpanEnd` events through the ordinary
+//! [`Recorder`] interface — the emitters (resil's server loop, the
+//! interpreter's check-site markers, both pinned identical across
+//! execution tiers) never know a tree exists. The collector rebuilds the
+//! hierarchy from emission order: a begin opens a child of the innermost
+//! open span, an end closes the innermost open span *of the same name*,
+//! sweeping any dangling descendants closed at the same timestamp — a
+//! safety trap aborts a request mid-check, so the check span's own end
+//! marker never executes and the enclosing request end must close it.
+//! `CheckExec` events that occur while a span is open are attributed to
+//! it, giving each span its instrumentation-cycle share for free.
+
+use sgxs_obs::{Event, Recorder};
+
+/// One node of the collected span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name (`serve`, `request`, `check`, …).
+    pub name: &'static str,
+    /// The free argument carried by the begin event (seed, request
+    /// index, check site, …).
+    pub arg: u64,
+    /// Instruction timestamp of the begin event.
+    pub begin: u64,
+    /// Instruction timestamp of the end event; `begin` while still open.
+    pub end: u64,
+    /// Index of the enclosing span in the node vector.
+    pub parent: Option<usize>,
+    /// Nesting depth at open time (0 for roots).
+    pub depth: u32,
+    /// Check-sequence cycles attributed while this span was open
+    /// (inclusive of nested spans).
+    pub check_cycles: u64,
+    /// Check executions attributed while this span was open (inclusive).
+    pub check_execs: u64,
+}
+
+/// Sentinel for spans dropped by the node cap, kept on the open stack so
+/// nesting stays balanced.
+const DROPPED: usize = usize::MAX;
+
+/// A [`Recorder`] that turns span events into a tree.
+#[derive(Debug, Clone)]
+pub struct SpanCollector {
+    nodes: Vec<SpanNode>,
+    open: Vec<usize>,
+    cap: usize,
+    dropped: u64,
+    unbalanced: u64,
+}
+
+impl SpanCollector {
+    /// Default node cap: enough for a full chaos campaign trace.
+    pub const DEFAULT_CAP: usize = 1 << 16;
+
+    /// Creates a collector retaining at most `cap` spans (further spans
+    /// are counted in [`SpanCollector::dropped`] but keep nesting
+    /// balanced).
+    pub fn new(cap: usize) -> Self {
+        SpanCollector {
+            nodes: Vec::new(),
+            open: Vec::new(),
+            cap: cap.max(1),
+            dropped: 0,
+            unbalanced: 0,
+        }
+    }
+
+    /// The collected spans, in open order.
+    pub fn nodes(&self) -> &[SpanNode] {
+        &self.nodes
+    }
+
+    /// Spans dropped by the node cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// End events that arrived with no span open.
+    pub fn unbalanced(&self) -> u64 {
+        self.unbalanced
+    }
+
+    /// Spans still open (0 after a balanced stream).
+    pub fn open_depth(&self) -> usize {
+        self.open.len()
+    }
+
+    fn innermost(&self) -> Option<usize> {
+        self.open.iter().rev().copied().find(|&i| i != DROPPED)
+    }
+}
+
+impl Default for SpanCollector {
+    fn default() -> Self {
+        SpanCollector::new(Self::DEFAULT_CAP)
+    }
+}
+
+impl Recorder for SpanCollector {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, now: u64, ev: Event) {
+        match ev {
+            Event::SpanBegin { name, arg } => {
+                if self.nodes.len() < self.cap {
+                    let node = SpanNode {
+                        name,
+                        arg,
+                        begin: now,
+                        end: now,
+                        parent: self.innermost(),
+                        depth: self.open.len() as u32,
+                        check_cycles: 0,
+                        check_execs: 0,
+                    };
+                    self.open.push(self.nodes.len());
+                    self.nodes.push(node);
+                } else {
+                    self.dropped += 1;
+                    self.open.push(DROPPED);
+                }
+            }
+            Event::SpanEnd { name } => {
+                // Close the innermost open span with this name; everything
+                // opened under it (a check region truncated by a trap)
+                // closes with it.
+                let pos = self
+                    .open
+                    .iter()
+                    .rposition(|&i| i != DROPPED && self.nodes[i].name == name);
+                match pos {
+                    Some(p) => {
+                        for idx in self.open.drain(p..) {
+                            if idx != DROPPED {
+                                self.nodes[idx].end = now;
+                            }
+                        }
+                    }
+                    // A capped span's name is unknown: a dropped innermost
+                    // entry is taken as the match.
+                    None => match self.open.last() {
+                        Some(&DROPPED) => {
+                            self.open.pop();
+                        }
+                        _ => self.unbalanced += 1,
+                    },
+                }
+            }
+            Event::CheckExec { cycles, .. } => {
+                // Inclusive attribution: the innermost open span and every
+                // open ancestor absorb the check, so a request span's
+                // counters are its whole subtree's instrumentation cost.
+                let mut cur = self.innermost();
+                while let Some(idx) = cur {
+                    self.nodes[idx].check_cycles += cycles;
+                    self.nodes[idx].check_execs += 1;
+                    cur = self.nodes[idx].parent;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebuilds_nesting_and_attributes_checks() {
+        let mut c = SpanCollector::default();
+        c.record(
+            0,
+            Event::SpanBegin {
+                name: "serve",
+                arg: 1,
+            },
+        );
+        c.record(
+            10,
+            Event::SpanBegin {
+                name: "request",
+                arg: 0,
+            },
+        );
+        c.record(12, Event::CheckExec { site: 3, cycles: 5 });
+        c.record(20, Event::SpanEnd { name: "request" });
+        c.record(
+            21,
+            Event::SpanBegin {
+                name: "request",
+                arg: 1,
+            },
+        );
+        c.record(30, Event::SpanEnd { name: "request" });
+        c.record(40, Event::SpanEnd { name: "serve" });
+        assert_eq!(c.nodes().len(), 3);
+        assert_eq!(c.open_depth(), 0);
+        let serve = &c.nodes()[0];
+        assert_eq!(
+            (serve.name, serve.begin, serve.end, serve.depth),
+            ("serve", 0, 40, 0)
+        );
+        assert_eq!(serve.parent, None);
+        assert_eq!(
+            serve.check_cycles, 5,
+            "inclusive attribution reaches the root"
+        );
+        let r0 = &c.nodes()[1];
+        assert_eq!(r0.parent, Some(0));
+        assert_eq!(r0.depth, 1);
+        assert_eq!((r0.check_cycles, r0.check_execs), (5, 1));
+        let r1 = &c.nodes()[2];
+        assert_eq!((r1.arg, r1.begin, r1.end), (1, 21, 30));
+    }
+
+    #[test]
+    fn cap_drops_but_keeps_balance() {
+        let mut c = SpanCollector::new(1);
+        c.record(0, Event::SpanBegin { name: "a", arg: 0 });
+        c.record(1, Event::SpanBegin { name: "b", arg: 0 });
+        c.record(2, Event::SpanEnd { name: "b" });
+        c.record(3, Event::SpanEnd { name: "a" });
+        assert_eq!(c.nodes().len(), 1);
+        assert_eq!(c.dropped(), 1);
+        assert_eq!(c.open_depth(), 0);
+        assert_eq!(c.nodes()[0].end, 3, "outer span closed by its own end");
+    }
+
+    #[test]
+    fn stray_end_counts_as_unbalanced() {
+        let mut c = SpanCollector::default();
+        c.record(5, Event::SpanEnd { name: "x" });
+        assert_eq!(c.unbalanced(), 1);
+        assert!(c.nodes().is_empty());
+        // A mismatched name with other spans open is also unbalanced, and
+        // the open span is untouched.
+        c.record(6, Event::SpanBegin { name: "a", arg: 0 });
+        c.record(7, Event::SpanEnd { name: "x" });
+        assert_eq!(c.unbalanced(), 2);
+        assert_eq!(c.open_depth(), 1);
+    }
+
+    #[test]
+    fn trap_truncated_subtree_is_swept_closed() {
+        // A safety trap aborts the request inside an open check region:
+        // the check's own end marker never runs, so the request end must
+        // close both, and the serve end closes normally after.
+        let mut c = SpanCollector::default();
+        c.record(
+            0,
+            Event::SpanBegin {
+                name: "serve",
+                arg: 1,
+            },
+        );
+        c.record(
+            5,
+            Event::SpanBegin {
+                name: "request",
+                arg: 0,
+            },
+        );
+        c.record(
+            8,
+            Event::SpanBegin {
+                name: "check",
+                arg: 3,
+            },
+        );
+        c.record(20, Event::SpanEnd { name: "request" });
+        c.record(
+            21,
+            Event::SpanBegin {
+                name: "request",
+                arg: 1,
+            },
+        );
+        c.record(30, Event::SpanEnd { name: "request" });
+        c.record(40, Event::SpanEnd { name: "serve" });
+        assert_eq!(c.open_depth(), 0);
+        assert_eq!(c.unbalanced(), 0);
+        let [serve, r0, check, r1] = c.nodes() else {
+            panic!("expected 4 nodes, got {:?}", c.nodes());
+        };
+        assert_eq!((serve.name, serve.end), ("serve", 40));
+        assert_eq!((r0.end, check.end), (20, 20), "check swept by request end");
+        assert_eq!(check.parent, Some(1));
+        assert_eq!((r1.parent, r1.depth, r1.end), (Some(0), 1, 30));
+    }
+}

@@ -797,6 +797,12 @@ impl<'m> Vm<'m> {
         match marker {
             SiteMarker::Begin => {
                 self.threads[tid].obs_site = Some((site, self.threads[tid].cycles));
+                if self.machine.spans_enabled() {
+                    self.machine.emit(Event::SpanBegin {
+                        name: "check",
+                        arg: site as u64,
+                    });
+                }
             }
             SiteMarker::End => {
                 // Attribute to the Begin marker's site (tolerating an
@@ -807,6 +813,12 @@ impl<'m> Vm<'m> {
                         site: begin_site,
                         cycles,
                     });
+                    // The check span closes *after* its CheckExec so the
+                    // cycles attribute to the still-open span. The
+                    // compiled tier replicates this order exactly.
+                    if self.machine.spans_enabled() {
+                        self.machine.emit(Event::SpanEnd { name: "check" });
+                    }
                 }
                 let _ = site;
             }

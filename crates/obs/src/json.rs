@@ -134,6 +134,24 @@ impl Json {
         }
     }
 
+    /// The value as an f64 (integers coerce), if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::F64(v) => Some(*v),
+            Json::U64(v) => Some(*v as f64),
+            Json::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Serializes compactly (single line).
     pub fn to_compact(&self) -> String {
         let mut out = String::new();

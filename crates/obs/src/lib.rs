@@ -111,6 +111,20 @@ pub enum Event {
         /// Attempts consumed before giving up.
         attempts: u32,
     },
+    /// A named span opened (hierarchical tracing: campaign → seed →
+    /// request → check-region). Spans nest by emission order; the
+    /// collector in `sgxs-metrics` rebuilds the tree from the stream.
+    SpanBegin {
+        /// Span name (static: span sites are code-defined).
+        name: &'static str,
+        /// One free argument (seed, request index, check site, …).
+        arg: u64,
+    },
+    /// The innermost open span with this name closed.
+    SpanEnd {
+        /// Span name.
+        name: &'static str,
+    },
 }
 
 impl Event {
@@ -128,6 +142,8 @@ impl Event {
             Event::RecoveryAttempt { .. } => "recovery.attempt",
             Event::RecoveryDegraded { .. } => "recovery.degraded",
             Event::RecoveryGaveUp { .. } => "recovery.gave_up",
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
         }
     }
 
@@ -164,6 +180,10 @@ impl Event {
             Event::RecoveryGaveUp { kind, attempts } => {
                 format!("[ins {at}] recovery.gave_up kind={kind} attempts={attempts}")
             }
+            Event::SpanBegin { name, arg } => {
+                format!("[ins {at}] span_begin {name} arg={arg}")
+            }
+            Event::SpanEnd { name } => format!("[ins {at}] span_end {name}"),
         }
     }
 
@@ -209,6 +229,13 @@ impl Event {
             Event::RecoveryGaveUp { kind, attempts } => {
                 fields.push(("kind", (*kind).into()));
                 fields.push(("attempts", (*attempts).into()));
+            }
+            Event::SpanBegin { name, arg } => {
+                fields.push(("name", (*name).into()));
+                fields.push(("arg", (*arg).into()));
+            }
+            Event::SpanEnd { name } => {
+                fields.push(("name", (*name).into()));
             }
         }
         Json::obj(fields)
@@ -531,6 +558,13 @@ impl Recorder for TraceRecorder {
                 h = fnv(h, kind.as_bytes());
                 h = fnv(h, &attempts.to_le_bytes());
             }
+            Event::SpanBegin { name, arg } => {
+                h = fnv(h, name.as_bytes());
+                h = fnv(h, &arg.to_le_bytes());
+            }
+            Event::SpanEnd { name } => {
+                h = fnv(h, name.as_bytes());
+            }
         }
         self.digest = h;
         if self.ring.len() == self.cap {
@@ -849,6 +883,39 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(110)
         );
+    }
+
+    #[test]
+    fn span_events_render_digest_and_serialize() {
+        let mut r = TraceRecorder::new(8);
+        r.record(
+            1,
+            Event::SpanBegin {
+                name: "request",
+                arg: 7,
+            },
+        );
+        r.record(9, Event::SpanEnd { name: "request" });
+        assert_eq!(r.events(), 2);
+        let lines = r.last_events(10);
+        assert!(lines[0].contains("span_begin request arg=7"));
+        assert!(lines[1].contains("span_end request"));
+        // The digest covers the span argument, so two traces differing
+        // only in `arg` diverge.
+        let mut other = TraceRecorder::new(8);
+        other.record(
+            1,
+            Event::SpanBegin {
+                name: "request",
+                arg: 8,
+            },
+        );
+        other.record(9, Event::SpanEnd { name: "request" });
+        assert_ne!(r.digest(), other.digest());
+        for line in r.to_jsonl().lines() {
+            let v = Json::parse(line).unwrap();
+            assert_eq!(v.get("name").and_then(Json::as_str), Some("request"));
+        }
     }
 
     #[test]

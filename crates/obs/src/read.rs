@@ -1,6 +1,8 @@
-//! Readers for the machine-readable schemas this crate's producers emit:
-//! `sgxs-bench-v1` (`repro ... --json`) and `sgxs-profile-v1`
-//! (`repro profile ... --json`).
+//! Readers for the machine-readable schemas this repo's producers emit:
+//! `sgxs-bench-v1` (`repro ... --json`), `sgxs-profile-v1`
+//! (`repro profile ... --json`), `sgxs-chaos-v1` (`repro chaos --json`),
+//! and `sgxs-metrics-v1` (`repro metrics --json`, also embedded in chaos
+//! documents as their `latency` block).
 //!
 //! Emission lives next to the data it serializes (`Profile::to_json`, the
 //! experiment `to_json` impls); parsing lives here so downstream analysis
@@ -18,6 +20,12 @@ pub const BENCH_SCHEMA: &str = "sgxs-bench-v1";
 
 /// Schema tag of profile documents.
 pub const PROFILE_SCHEMA: &str = "sgxs-profile-v1";
+
+/// Schema tag of chaos-campaign documents.
+pub const CHAOS_SCHEMA: &str = "sgxs-chaos-v1";
+
+/// Schema tag of metrics documents.
+pub const METRICS_SCHEMA: &str = "sgxs-metrics-v1";
 
 /// A parsed `sgxs-bench-v1` document.
 #[derive(Debug, Clone)]
@@ -212,6 +220,327 @@ pub fn parse_profile(text: &str) -> Result<ProfileDoc, String> {
     profile_from_json(&Json::parse(text).map_err(|e| format!("profile: {e}"))?)
 }
 
+/// One histogram of a metrics document.
+#[derive(Debug, Clone)]
+pub struct MetricsHist {
+    /// Metric name (`/`-separated path).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Saturating sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median representative.
+    pub p50: u64,
+    /// 90th percentile representative.
+    pub p90: u64,
+    /// 99th percentile representative.
+    pub p99: u64,
+    /// 99.9th percentile representative.
+    pub p999: u64,
+    /// Non-empty `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A parsed `sgxs-metrics-v1` document.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsDoc {
+    /// Named counters, document order (sorted by name at emission).
+    pub counters: Vec<(String, u64)>,
+    /// Named gauges, document order.
+    pub gauges: Vec<(String, u64)>,
+    /// Histograms, document order.
+    pub hists: Vec<MetricsHist>,
+}
+
+impl MetricsDoc {
+    /// The named histogram, if present.
+    pub fn hist(&self, name: &str) -> Option<&MetricsHist> {
+        self.hists.iter().find(|h| h.name == name)
+    }
+
+    /// The named counter's value, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+fn named_u64s(v: &Json, key: &str, what: &str) -> Result<Vec<(String, u64)>, String> {
+    let section = v
+        .get(key)
+        .ok_or_else(|| format!("{what}: missing field '{key}'"))?;
+    let Json::Obj(fields) = section else {
+        return Err(format!("{what}: '{key}' is not an object"));
+    };
+    fields
+        .iter()
+        .map(|(k, val)| {
+            val.as_u64()
+                .map(|n| (k.clone(), n))
+                .ok_or_else(|| format!("{what}: {key}.{k} is not a non-negative integer"))
+        })
+        .collect()
+}
+
+/// Interprets an already-parsed JSON value as a metrics document,
+/// validating the internal consistency every consumer relies on: bucket
+/// indices strictly ascending, bucket counts summing to `count`, and the
+/// percentile chain monotone and bounded by `max`.
+pub fn metrics_from_json(v: &Json) -> Result<MetricsDoc, String> {
+    let what = "metrics";
+    obj_of(v, what)?;
+    check_schema(v, METRICS_SCHEMA, what)?;
+    check_finite(v, what)?;
+    let counters = named_u64s(v, "counters", what)?;
+    let gauges = named_u64s(v, "gauges", what)?;
+    let rows = v
+        .get("hists")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: missing or non-array field 'hists'"))?;
+    let mut hists = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let what = format!("metrics hists[{i}]");
+        let mut buckets = Vec::new();
+        let pairs = row
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{what}: missing or non-array field 'buckets'"))?;
+        for (j, pair) in pairs.iter().enumerate() {
+            let err = || format!("{what}: buckets[{j}] is not an [index, count] pair");
+            let pair = pair.as_arr().ok_or_else(err)?;
+            let (idx, n) = match pair {
+                [a, b] => (a.as_u64().ok_or_else(err)?, b.as_u64().ok_or_else(err)?),
+                _ => return Err(err()),
+            };
+            buckets.push((idx, n));
+        }
+        let h = MetricsHist {
+            name: str_field(row, "name", &what)?,
+            count: u64_field(row, "count", &what)?,
+            sum: u64_field(row, "sum", &what)?,
+            min: u64_field(row, "min", &what)?,
+            max: u64_field(row, "max", &what)?,
+            p50: u64_field(row, "p50", &what)?,
+            p90: u64_field(row, "p90", &what)?,
+            p99: u64_field(row, "p99", &what)?,
+            p999: u64_field(row, "p999", &what)?,
+            buckets,
+        };
+        if !h.buckets.windows(2).all(|w| w[0].0 < w[1].0) {
+            return Err(format!("{what}: bucket indices not strictly ascending"));
+        }
+        if h.buckets.iter().any(|&(_, n)| n == 0) {
+            return Err(format!("{what}: zero-count bucket serialized"));
+        }
+        let bucket_total: u64 = h.buckets.iter().map(|&(_, n)| n).sum();
+        if bucket_total != h.count {
+            return Err(format!(
+                "{what}: bucket counts sum to {bucket_total}, count says {}",
+                h.count
+            ));
+        }
+        if h.min > h.max {
+            return Err(format!("{what}: min {} > max {}", h.min, h.max));
+        }
+        let chain = [h.p50, h.p90, h.p99, h.p999];
+        if !chain.windows(2).all(|w| w[0] <= w[1]) || h.p999 > h.max {
+            return Err(format!(
+                "{what}: percentile chain not monotone within [.., max] \
+                 (p50 {} p90 {} p99 {} p999 {} max {})",
+                h.p50, h.p90, h.p99, h.p999, h.max
+            ));
+        }
+        hists.push(h);
+    }
+    Ok(MetricsDoc {
+        counters,
+        gauges,
+        hists,
+    })
+}
+
+/// Parses a `sgxs-metrics-v1` document from text.
+pub fn parse_metrics(text: &str) -> Result<MetricsDoc, String> {
+    metrics_from_json(&Json::parse(text).map_err(|e| format!("metrics: {e}"))?)
+}
+
+/// One combo row of a chaos-campaign document.
+#[derive(Debug, Clone)]
+pub struct ChaosCombo {
+    /// Scheme label.
+    pub scheme: String,
+    /// Policy label.
+    pub policy: String,
+    /// Server runs aggregated.
+    pub runs: u64,
+    /// Requests scheduled.
+    pub total: u64,
+    /// Served cleanly.
+    pub served: u64,
+    /// Degraded but answered.
+    pub degraded: u64,
+    /// Aborted individually.
+    pub aborted: u64,
+    /// Lost to whole-server death.
+    pub lost: u64,
+    /// Interpreter retry attempts.
+    pub retries: u64,
+    /// Runs that ended with corrupted canaries.
+    pub corrupted_runs: u64,
+    /// Corrupted canary bytes.
+    pub corrupted_bytes: u64,
+    /// AEX re-entry cycles charged.
+    pub aex_cycles: u64,
+    /// Answered fraction.
+    pub availability: f64,
+}
+
+/// A parsed `sgxs-chaos-v1` document.
+#[derive(Debug, Clone)]
+pub struct ChaosDoc {
+    /// Seeds the campaign ran.
+    pub seeds: u64,
+    /// First seed.
+    pub seed0: u64,
+    /// Requests per server run.
+    pub requests: u64,
+    /// Availability gate threshold.
+    pub threshold: f64,
+    /// One row per scheme × policy combo, campaign order.
+    pub combos: Vec<ChaosCombo>,
+    /// The embedded `sgxs-metrics-v1` latency block (absent only in
+    /// pre-metrics documents).
+    pub latency: Option<MetricsDoc>,
+    /// Whether any gate condition failed.
+    pub gate_failed: bool,
+    /// Gate failures, human-readable.
+    pub failures: Vec<String>,
+}
+
+fn f64_field(v: &Json, key: &str, what: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{what}: missing or non-numeric field '{key}'"))
+}
+
+/// Interprets an already-parsed JSON value as a chaos-campaign document,
+/// cross-validating each combo's request ledger (outcomes sum to the
+/// scheduled total, availability matches the counts) and, when the
+/// latency block is present, that it is a valid metrics document whose
+/// per-combo histogram counted every attempted request.
+pub fn chaos_from_json(v: &Json) -> Result<ChaosDoc, String> {
+    let what = "chaos";
+    obj_of(v, what)?;
+    check_schema(v, CHAOS_SCHEMA, what)?;
+    check_finite(v, what)?;
+    let rows = v
+        .get("combos")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: missing or non-array field 'combos'"))?;
+    let mut combos = Vec::new();
+    for (i, row) in rows.iter().enumerate() {
+        let what = format!("chaos combos[{i}]");
+        let c = ChaosCombo {
+            scheme: str_field(row, "scheme", &what)?,
+            policy: str_field(row, "policy", &what)?,
+            runs: u64_field(row, "runs", &what)?,
+            total: u64_field(row, "total", &what)?,
+            served: u64_field(row, "served", &what)?,
+            degraded: u64_field(row, "degraded", &what)?,
+            aborted: u64_field(row, "aborted", &what)?,
+            lost: u64_field(row, "lost", &what)?,
+            retries: u64_field(row, "retries", &what)?,
+            corrupted_runs: u64_field(row, "corrupted_runs", &what)?,
+            corrupted_bytes: u64_field(row, "corrupted_bytes", &what)?,
+            aex_cycles: u64_field(row, "aex_cycles", &what)?,
+            availability: f64_field(row, "availability", &what)?,
+        };
+        if c.served + c.degraded + c.aborted + c.lost != c.total {
+            return Err(format!(
+                "{what}: outcomes do not sum ({} + {} + {} + {} != {})",
+                c.served, c.degraded, c.aborted, c.lost, c.total
+            ));
+        }
+        let expect = if c.total == 0 {
+            1.0
+        } else {
+            (c.served + c.degraded) as f64 / c.total as f64
+        };
+        if (c.availability - expect).abs() > 1e-9 {
+            return Err(format!(
+                "{what}: availability {} does not match the counts ({expect})",
+                c.availability
+            ));
+        }
+        combos.push(c);
+    }
+    let latency = match v.get("latency") {
+        Some(block) => {
+            let doc = metrics_from_json(block).map_err(|e| format!("{what} latency block: {e}"))?;
+            for c in &combos {
+                let name = format!("latency/{}/{}", c.scheme, c.policy);
+                let h = doc
+                    .hist(&name)
+                    .ok_or_else(|| format!("{what}: latency block missing histogram '{name}'"))?;
+                let attempted = c.served + c.degraded + c.aborted;
+                if h.count != attempted {
+                    return Err(format!(
+                        "{what}: '{name}' counted {} samples, ledger attempted {attempted}",
+                        h.count
+                    ));
+                }
+            }
+            Some(doc)
+        }
+        None => None,
+    };
+    let gate = v
+        .get("gate")
+        .ok_or_else(|| format!("{what}: missing field 'gate'"))?;
+    let gate_failed = gate
+        .get("failed")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("{what}: missing or non-bool field 'gate.failed'"))?;
+    let failures = gate
+        .get("failures")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: missing or non-array field 'gate.failures'"))?
+        .iter()
+        .map(|f| {
+            f.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("{what}: non-string gate failure"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if gate_failed == failures.is_empty() {
+        return Err(format!(
+            "{what}: gate.failed is {gate_failed} but {} failure(s) listed",
+            failures.len()
+        ));
+    }
+    Ok(ChaosDoc {
+        seeds: u64_field(v, "seeds", what)?,
+        seed0: u64_field(v, "seed0", what)?,
+        requests: u64_field(v, "requests", what)?,
+        threshold: f64_field(v, "threshold", what)?,
+        combos,
+        latency,
+        gate_failed,
+        failures,
+    })
+}
+
+/// Parses a `sgxs-chaos-v1` document from text.
+pub fn parse_chaos(text: &str) -> Result<ChaosDoc, String> {
+    chaos_from_json(&Json::parse(text).map_err(|e| format!("chaos: {e}"))?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,5 +615,128 @@ mod tests {
                        "experiments": {}}"#;
         let e = parse_bench(text).unwrap_err();
         assert!(e.contains("effort"), "{e}");
+    }
+
+    /// A handcrafted, internally consistent metrics document: two samples
+    /// (7 and 7) in one histogram, one counter, one gauge.
+    fn sample_metrics_text() -> String {
+        r#"{
+            "schema": "sgxs-metrics-v1",
+            "counters": {"requests/native/abort/served": 2},
+            "gauges": {"latency_max/native/abort": 7},
+            "hists": [{
+                "name": "latency/native/abort",
+                "count": 2, "sum": 14, "min": 7, "max": 7,
+                "p50": 7, "p90": 7, "p99": 7, "p999": 7,
+                "buckets": [[7, 2]]
+            }]
+        }"#
+        .to_owned()
+    }
+
+    #[test]
+    fn handcrafted_metrics_doc_parses() {
+        let doc = parse_metrics(&sample_metrics_text()).expect("valid doc parses");
+        assert_eq!(doc.counter("requests/native/abort/served"), Some(2));
+        assert_eq!(doc.gauges, vec![("latency_max/native/abort".to_owned(), 7)]);
+        let h = doc.hist("latency/native/abort").expect("hist present");
+        assert_eq!((h.count, h.sum, h.p999), (2, 14, 7));
+        assert_eq!(h.buckets, vec![(7, 2)]);
+    }
+
+    #[test]
+    fn metrics_internal_consistency_is_enforced() {
+        // Bucket counts must sum to `count`.
+        let bad = sample_metrics_text().replace("\"count\": 2", "\"count\": 3");
+        let e = parse_metrics(&bad).unwrap_err();
+        assert!(e.contains("sum to"), "{e}");
+        // The percentile chain must be monotone and bounded by max.
+        let bad = sample_metrics_text().replace("\"p999\": 7", "\"p999\": 9");
+        let e = parse_metrics(&bad).unwrap_err();
+        assert!(e.contains("percentile"), "{e}");
+        // Bucket indices must ascend strictly.
+        let bad = sample_metrics_text()
+            .replace("\"count\": 2", "\"count\": 4")
+            .replace("[[7, 2]]", "[[7, 2], [7, 2]]");
+        let e = parse_metrics(&bad).unwrap_err();
+        assert!(e.contains("ascending"), "{e}");
+        // Wrong schema tag.
+        let bad = sample_metrics_text().replace("metrics-v1", "metrics-v9");
+        assert!(parse_metrics(&bad).is_err());
+    }
+
+    /// A handcrafted chaos document whose single combo attempted 3 of 4
+    /// requests, with a matching latency block.
+    fn sample_chaos_text() -> String {
+        r#"{
+            "schema": "sgxs-chaos-v1",
+            "seeds": 1, "seed0": 42, "requests": 4, "threshold": 0.5,
+            "combos": [{
+                "scheme": "sgxbounds", "policy": "graceful",
+                "runs": 1, "total": 4,
+                "served": 2, "degraded": 1, "aborted": 0, "lost": 1,
+                "retries": 0, "corrupted_runs": 0, "corrupted_bytes": 0,
+                "aex_cycles": 120, "availability": 0.75
+            }],
+            "latency": {
+                "schema": "sgxs-metrics-v1",
+                "counters": {}, "gauges": {},
+                "hists": [{
+                    "name": "latency/sgxbounds/graceful",
+                    "count": 3, "sum": 30, "min": 8, "max": 12,
+                    "p50": 9, "p90": 12, "p99": 12, "p999": 12,
+                    "buckets": [[8, 1], [9, 1], [12, 1]]
+                }]
+            },
+            "gate": {"failed": false, "failures": []}
+        }"#
+        .to_owned()
+    }
+
+    #[test]
+    fn handcrafted_chaos_doc_parses() {
+        let doc = parse_chaos(&sample_chaos_text()).expect("valid doc parses");
+        assert_eq!((doc.seeds, doc.seed0, doc.requests), (1, 42, 4));
+        assert_eq!(doc.threshold, 0.5);
+        assert!(!doc.gate_failed);
+        assert_eq!(doc.combos.len(), 1);
+        let c = &doc.combos[0];
+        assert_eq!(
+            (c.scheme.as_str(), c.policy.as_str()),
+            ("sgxbounds", "graceful")
+        );
+        assert_eq!(c.served + c.degraded + c.aborted + c.lost, c.total);
+        let lat = doc.latency.as_ref().expect("latency block parsed");
+        let h = lat.hist("latency/sgxbounds/graceful").unwrap();
+        assert_eq!(h.count, c.served + c.degraded + c.aborted);
+    }
+
+    #[test]
+    fn chaos_cross_validation_is_enforced() {
+        // Ledger must sum: served+degraded+aborted+lost == total.
+        let bad = sample_chaos_text().replace("\"lost\": 1", "\"lost\": 2");
+        let e = parse_chaos(&bad).unwrap_err();
+        assert!(e.contains("sum"), "{e}");
+        // Availability must match the counts.
+        let bad = sample_chaos_text().replace("0.75", "0.9");
+        let e = parse_chaos(&bad).unwrap_err();
+        assert!(e.contains("availability"), "{e}");
+        // The latency histogram must have counted every attempted request.
+        let bad = sample_chaos_text()
+            .replace("\"count\": 3, \"sum\": 30", "\"count\": 2, \"sum\": 18")
+            .replace("[[8, 1], [9, 1], [12, 1]]", "[[8, 1], [12, 1]]");
+        let e = parse_chaos(&bad).unwrap_err();
+        assert!(e.contains("ledger attempted"), "{e}");
+        // The gate flag must agree with the failure list.
+        let bad = sample_chaos_text().replace("\"failed\": false", "\"failed\": true");
+        let e = parse_chaos(&bad).unwrap_err();
+        assert!(e.contains("gate.failed"), "{e}");
+        // A pre-metrics document without the latency block still parses.
+        let mut j = Json::parse(&sample_chaos_text()).unwrap();
+        if let Json::Obj(fields) = &mut j {
+            fields.retain(|(k, _)| k != "latency");
+        }
+        let doc = chaos_from_json(&j).expect("latency block is optional");
+        assert!(doc.latency.is_none());
     }
 }

@@ -14,9 +14,10 @@
 //!    seed wrapping the full bench document. Replicates of the same rev
 //!    differ only by seed, which makes the input-sensitivity noise floor
 //!    derivable from the repo itself.
-//! 2. [`metrics`] — flattening of a bench document into dotted metric
-//!    paths with a goodness direction per path (overheads: lower is
-//!    better; throughput and attacks prevented: higher is better).
+//! 2. [`metrics`] — flattening of bench and `sgxs-metrics-v1` documents
+//!    into dotted metric paths with a goodness direction per path
+//!    (overheads and latencies: lower is better; throughput and attacks
+//!    prevented: higher is better).
 //! 3. [`stats`] — means, percentile-bootstrap confidence intervals over
 //!    replicate sets (seeded by the vendored deterministic `rand`), and
 //!    noise-floor estimation from same-rev replicates.
@@ -24,9 +25,10 @@
 //!    (improved / unchanged / regressed / incomparable) with effect
 //!    sizes, an ASCII report, a `sgxs-compare-v1` JSON form, and a gate
 //!    decision for CI.
-//! 5. [`render`] — `sgxs-profile-v1` renderers: inferno-compatible
-//!    folded-stack text, a self-contained SVG flame/treemap view, and an
-//!    ASCII top-N table.
+//! 5. [`render`] — `sgxs-profile-v1` renderers (inferno-compatible
+//!    folded-stack text, a self-contained SVG flame/treemap view, an
+//!    ASCII top-N table) plus span-tree timeline views and latency
+//!    percentile tables for the metrics tier.
 //!
 //! The crate is pure data-in/data-out: no filesystem or process access.
 //! The `repro` binary (`repro bench record` / `repro compare` /
@@ -40,5 +42,6 @@ pub mod stats;
 
 pub use compare::{compare, CompareOpts, CompareReport, MetricCompare, Verdict};
 pub use history::{parse_history, HistoryRecord, HISTORY_SCHEMA};
-pub use metrics::{flatten, Direction, Metric};
+pub use metrics::{flatten, flatten_metrics, Direction, Metric};
+pub use render::{latency_table, span_ascii, span_svg};
 pub use stats::{bootstrap_ci, noise_floor, summarize, Summary};

@@ -8,7 +8,7 @@
 //! (e.g. the fig1 sweep points) fall back to positional indices.
 
 use sgxs_obs::json::Json;
-use sgxs_obs::read::BenchDoc;
+use sgxs_obs::read::{BenchDoc, MetricsDoc};
 
 /// Which way "better" points for a metric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +105,46 @@ pub fn flatten(doc: &BenchDoc) -> Vec<Metric> {
     out
 }
 
+/// Flattens a `sgxs-metrics-v1` document into comparable metrics.
+///
+/// Counter and gauge names map 1:1 (`/` separators become `.` so the
+/// existing vocabulary classifier applies — `latency/…` paths gate as
+/// lower-is-better); each histogram contributes its sample count and the
+/// four percentile representatives. Raw buckets are deliberately not
+/// flattened: they shift with load and would make every comparison noisy.
+pub fn flatten_metrics(doc: &MetricsDoc) -> Vec<Metric> {
+    let dotted = |name: &str| name.replace('/', ".");
+    let mut out = Vec::new();
+    for (name, v) in &doc.counters {
+        out.push(Metric {
+            path: dotted(name),
+            value: *v as f64,
+        });
+    }
+    for (name, v) in &doc.gauges {
+        out.push(Metric {
+            path: dotted(name),
+            value: *v as f64,
+        });
+    }
+    for h in &doc.hists {
+        let base = dotted(&h.name);
+        for (leaf, v) in [
+            ("count", h.count),
+            ("p50", h.p50),
+            ("p90", h.p90),
+            ("p99", h.p99),
+            ("p999", h.p999),
+        ] {
+            out.push(Metric {
+                path: format!("{base}.{leaf}"),
+                value: v as f64,
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +177,49 @@ mod tests {
             .find(|x| x.path == "fig7.rows.kmeans.perf.sgxbounds")
             .unwrap();
         assert!((v.value - 1.17).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_docs_flatten_to_classified_paths() {
+        let doc = sgxs_obs::read::parse_metrics(
+            r#"{
+                "schema": "sgxs-metrics-v1",
+                "counters": {"requests/native/abort/served": 2},
+                "gauges": {"latency_max/native/abort": 9},
+                "hists": [{
+                    "name": "latency/native/abort",
+                    "count": 2, "sum": 16, "min": 7, "max": 9,
+                    "p50": 7, "p90": 9, "p99": 9, "p999": 9,
+                    "buckets": [[7, 1], [9, 1]]
+                }]
+            }"#,
+        )
+        .unwrap();
+        let m = flatten_metrics(&doc);
+        let paths: Vec<&str> = m.iter().map(|x| x.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            [
+                "requests.native.abort.served",
+                "latency_max.native.abort",
+                "latency.native.abort.count",
+                "latency.native.abort.p50",
+                "latency.native.abort.p90",
+                "latency.native.abort.p99",
+                "latency.native.abort.p999",
+            ]
+        );
+        // Latency percentiles gate as overheads; raw request counters don't.
+        assert_eq!(
+            direction_of("latency.native.abort.p999"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            direction_of("requests.native.abort.served"),
+            Direction::Informational
+        );
+        let p999 = m.iter().find(|x| x.path.ends_with("p999")).unwrap();
+        assert_eq!(p999.value, 9.0);
     }
 
     #[test]

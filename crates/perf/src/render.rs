@@ -1,15 +1,17 @@
 //! `sgxs-profile-v1` renderers: folded stacks, a self-contained SVG
-//! flame/treemap view, and an ASCII top-N table.
+//! flame/treemap view, and an ASCII top-N table — plus span-tree and
+//! latency-histogram renderers for the metrics tier.
 //!
 //! The folded form is the interchange format flamegraph tooling consumes
 //! (`stack;frames count`, one line per stack): feed it to inferno or
-//! `flamegraph.pl` unchanged. The SVG view needs no tooling at all — one
-//! file, no scripts, no external fonts — and lays the cycle budget out as
-//! a two-level treemap: the CPU bar splits into application vs
-//! instrumentation, and the instrumentation span subdivides into the
-//! hottest check sites.
+//! `flamegraph.pl` unchanged. The SVG views need no tooling at all — one
+//! file, no scripts, no external fonts. The profile SVG lays the cycle
+//! budget out as a two-level treemap; the span SVG is a timeline (one row
+//! per nesting depth, x = simulated instruction time), the poor
+//! developer's Perfetto for when the Chrome-trace export isn't handy.
 
-use sgxs_obs::read::ProfileDoc;
+use sgxs_metrics::SpanCollector;
+use sgxs_obs::read::{MetricsDoc, ProfileDoc};
 
 /// Folded-stack text (inferno-compatible).
 ///
@@ -257,6 +259,118 @@ pub fn svg(p: &ProfileDoc) -> String {
     out
 }
 
+/// ASCII rendering of a collected span tree.
+///
+/// One line per span, indented by depth: name, argument, the half-open
+/// instruction interval, its length, and the attributed check cost. A
+/// trailing line reports drops/unbalance so truncated traces are never
+/// mistaken for complete ones.
+pub fn span_ascii(c: &SpanCollector) -> String {
+    let mut out = String::new();
+    for n in c.nodes() {
+        out.push_str(&format!(
+            "{:indent$}{} arg={} [{}..{}] dur={} checks={}cy/{}x\n",
+            "",
+            n.name,
+            n.arg,
+            n.begin,
+            n.end,
+            n.end - n.begin,
+            n.check_cycles,
+            n.check_execs,
+            indent = n.depth as usize * 2,
+        ));
+    }
+    if c.dropped() > 0 || c.unbalanced() > 0 || c.open_depth() > 0 {
+        out.push_str(&format!(
+            "({} dropped, {} unbalanced, {} still open)\n",
+            c.dropped(),
+            c.unbalanced(),
+            c.open_depth()
+        ));
+    }
+    out
+}
+
+/// Self-contained SVG timeline of a span tree.
+///
+/// One row per nesting depth; x is proportional to the simulated
+/// instruction counter over the trace's span. Rects carry `<title>`
+/// tooltips with exact timestamps and check attribution.
+pub fn span_svg(c: &SpanCollector) -> String {
+    let nodes = c.nodes();
+    let (t0, t1) = nodes.iter().fold((u64::MAX, 0u64), |(lo, hi), n| {
+        (lo.min(n.begin), hi.max(n.end))
+    });
+    let (t0, t1) = if nodes.is_empty() {
+        (0, 1)
+    } else {
+        (t0, t1.max(t0 + 1))
+    };
+    let span = (t1 - t0) as f64;
+    let scale = |t: u64| PAD + (t - t0) as f64 / span * (W - 2.0 * PAD);
+    let depth_max = nodes.iter().map(|n| n.depth).max().unwrap_or(0);
+    let h = PAD * 2.0 + (depth_max as f64 + 1.0) * (ROW_H + 2.0);
+    let mut out = format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{h}" viewBox="0 0 {W} {h}" font-family="monospace" font-size="12">
+<rect x="0" y="0" width="{W}" height="{h}" fill="rgb(250,250,248)"/>
+"#
+    );
+    for n in nodes {
+        let x = scale(n.begin);
+        let w = (scale(n.end) - x).max(0.5);
+        let y = PAD + n.depth as f64 * (ROW_H + 2.0);
+        let title = format!(
+            "{} arg={} [{}..{}] dur={} checks={}cy/{}x",
+            n.name,
+            n.arg,
+            n.begin,
+            n.end,
+            n.end - n.begin,
+            n.check_cycles,
+            n.check_execs
+        );
+        out.push_str(&format!(
+            r#"<g><title>{}</title><rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{ROW_H}" fill="{}" stroke="white"/>"#,
+            esc(&title),
+            color(n.name),
+        ));
+        if w > 34.0 {
+            let max_chars = (w / 7.5) as usize;
+            let mut label = format!("{} #{}", n.name, n.arg);
+            if label.len() > max_chars {
+                label.truncate(max_chars.saturating_sub(1));
+                label.push('…');
+            }
+            out.push_str(&format!(
+                r#"<text x="{:.2}" y="{:.2}" fill="white">{}</text>"#,
+                x + 4.0,
+                y + ROW_H - 9.0,
+                esc(&label)
+            ));
+        }
+        out.push_str("</g>\n");
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// ASCII latency table from a `sgxs-metrics-v1` document: one row per
+/// histogram with count and the percentile representatives (cycles).
+pub fn latency_table(doc: &MetricsDoc) -> String {
+    let mut out = format!(
+        "{:<34} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+        "histogram", "count", "p50", "p90", "p99", "p999", "max"
+    );
+    for h in &doc.hists {
+        out.push_str(&format!(
+            "{:<34} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
+            h.name, h.count, h.p50, h.p90, h.p99, h.p999, h.max
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,6 +455,75 @@ mod tests {
         let s = svg(&evil);
         assert!(s.contains("a&lt;b&amp;c"));
         assert!(!s.contains("a<b"));
+    }
+
+    fn sample_spans() -> SpanCollector {
+        use sgxs_obs::{Event, Recorder};
+        let mut c = SpanCollector::default();
+        c.record(
+            0,
+            Event::SpanBegin {
+                name: "serve",
+                arg: 7,
+            },
+        );
+        c.record(
+            10,
+            Event::SpanBegin {
+                name: "request",
+                arg: 0,
+            },
+        );
+        c.record(12, Event::CheckExec { site: 1, cycles: 4 });
+        c.record(30, Event::SpanEnd { name: "request" });
+        c.record(50, Event::SpanEnd { name: "serve" });
+        c
+    }
+
+    #[test]
+    fn span_tree_renders_to_indented_ascii() {
+        let t = span_ascii(&sample_spans());
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 2, "no drop footer for a clean trace:\n{t}");
+        assert!(lines[0].starts_with("serve arg=7 [0..50] dur=50"));
+        assert!(lines[1].starts_with("  request arg=0 [10..30] dur=20"));
+        assert!(lines[1].contains("checks=4cy/1x"));
+    }
+
+    #[test]
+    fn span_svg_is_self_contained_and_deterministic() {
+        let c = sample_spans();
+        let a = span_svg(&c);
+        assert_eq!(a, span_svg(&c));
+        assert!(a.starts_with("<svg"));
+        assert!(a.trim_end().ends_with("</svg>"));
+        assert!(a.contains("serve arg=7"));
+        // Empty trace still yields a valid document.
+        let empty = span_svg(&SpanCollector::default());
+        assert!(empty.starts_with("<svg") && empty.contains("</svg>"));
+    }
+
+    #[test]
+    fn latency_table_lists_every_histogram() {
+        let doc = sgxs_obs::read::parse_metrics(
+            r#"{
+                "schema": "sgxs-metrics-v1",
+                "counters": {}, "gauges": {},
+                "hists": [{
+                    "name": "latency/sgxbounds/retry",
+                    "count": 3, "sum": 30, "min": 8, "max": 12,
+                    "p50": 9, "p90": 12, "p99": 12, "p999": 12,
+                    "buckets": [[8, 1], [9, 1], [12, 1]]
+                }]
+            }"#,
+        )
+        .unwrap();
+        let t = latency_table(&doc);
+        assert!(t.lines().next().unwrap().contains("p999"));
+        assert!(t.contains("latency/sgxbounds/retry"));
+        let row = t.lines().nth(1).unwrap();
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(cols[1..], ["3", "9", "12", "12", "12", "12"]);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::serve::{
     abort_policy, boundless_policy, graceful_policy, retry_policy, serve_tier, AvailabilityReport,
     RScheme, ServerApp,
 };
+use sgxs_metrics::{Hist, Registry};
 use sgxs_mir::PolicySet;
 use sgxs_obs::json::Json;
 use sgxs_sim::ExecTier;
@@ -121,6 +122,11 @@ pub struct ComboRow {
     pub corrupted_bytes: u64,
     /// AEX re-entry cycles charged.
     pub aex_cycles: u64,
+    /// Per-request wall-cycle latency, merged across every seed's run.
+    /// Each seed's [`AvailabilityReport`] is one shard; the merge is
+    /// order- and shard-count-independent, so a future parallel runner
+    /// reproduces this histogram bit-for-bit.
+    pub latency: Hist,
 }
 
 impl ComboRow {
@@ -137,6 +143,7 @@ impl ComboRow {
         }
         self.corrupted_bytes += r.corrupted_canary_bytes as u64;
         self.aex_cycles += r.aex_penalty_cycles;
+        self.latency.merge(&r.latency);
     }
 
     /// Answered fraction across every scheduled request.
@@ -204,6 +211,22 @@ impl ChaosReport {
                 row.availability() * 100.0
             );
         }
+        let _ = writeln!(
+            s,
+            "\n  {:<22} {:>12} {:>12} {:>12} {:>12}",
+            "latency (cycles)", "p50", "p90", "p99", "p999"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                s,
+                "  {:<22} {:>12} {:>12} {:>12} {:>12}",
+                format!("{}/{}", row.scheme, row.policy),
+                row.latency.p50(),
+                row.latency.p90(),
+                row.latency.p99(),
+                row.latency.p999()
+            );
+        }
         if self.failures.is_empty() {
             let _ = writeln!(s, "\ngate: ok");
         } else {
@@ -213,6 +236,24 @@ impl ChaosReport {
             }
         }
         s
+    }
+
+    /// The campaign's metrics registry (`sgxs-metrics-v1`): one latency
+    /// histogram per scheme × policy, request-outcome counters, and a
+    /// peak-latency gauge. Fully derived from the rows, so it inherits
+    /// their tier- and run-order-independence.
+    pub fn metrics(&self) -> Registry {
+        let mut reg = Registry::new();
+        for row in &self.rows {
+            let combo = format!("{}/{}", row.scheme, row.policy);
+            reg.merge_hist(&format!("latency/{combo}"), &row.latency);
+            reg.gauge_max(&format!("latency_max/{combo}"), row.latency.max());
+            reg.counter_add(&format!("requests/{combo}/served"), row.served);
+            reg.counter_add(&format!("requests/{combo}/degraded"), row.degraded);
+            reg.counter_add(&format!("requests/{combo}/aborted"), row.aborted);
+            reg.counter_add(&format!("requests/{combo}/lost"), row.lost);
+        }
+        reg
     }
 
     /// The `sgxs-chaos-v1` document.
@@ -248,6 +289,10 @@ impl ChaosReport {
                         .collect(),
                 ),
             ),
+            // The embedded sgxs-metrics-v1 document: per-combo latency
+            // histograms with p50/p90/p99/p999. Like the rest of the
+            // chaos doc, byte-identical across execution tiers.
+            ("latency", self.metrics().to_json()),
             (
                 "gate",
                 Json::obj(vec![
@@ -340,6 +385,82 @@ mod tests {
         let json = rep.to_json().to_pretty();
         assert!(json.contains("sgxs-chaos-v1"));
         assert!(json.contains("availability"));
+        // The embedded latency block is a full sgxs-metrics-v1 document.
+        assert!(json.contains("sgxs-metrics-v1"));
+        assert!(json.contains("p999"));
+        assert!(json.contains("latency/sb-boundless/boundless"));
+        // Every attempted request sampled.
+        for row in &rep.rows {
+            assert_eq!(
+                row.latency.count(),
+                row.served + row.degraded + row.aborted,
+                "{}/{}",
+                row.scheme,
+                row.policy
+            );
+        }
+    }
+
+    #[test]
+    fn split_campaign_registries_merge_to_the_full_campaign() {
+        // Production shard merge: running the first and second halves of a
+        // seed range as separate campaigns and merging their registries
+        // must serialize byte-identically to the single full campaign —
+        // the property the parallel seed-shard pool will rely on.
+        let full = run_chaos_campaign(&CampaignOpts {
+            seeds: 4,
+            seed0: 1,
+            requests: 16,
+            ..CampaignOpts::default()
+        });
+        let lo = run_chaos_campaign(&CampaignOpts {
+            seeds: 2,
+            seed0: 1,
+            requests: 16,
+            ..CampaignOpts::default()
+        });
+        let hi = run_chaos_campaign(&CampaignOpts {
+            seeds: 2,
+            seed0: 3,
+            requests: 16,
+            ..CampaignOpts::default()
+        });
+        let mut merged = hi.metrics();
+        merged.merge(&lo.metrics());
+        assert_eq!(
+            merged.to_json().to_pretty(),
+            full.metrics().to_json().to_pretty()
+        );
+    }
+
+    #[test]
+    fn emitted_chaos_doc_round_trips_through_the_validating_reader() {
+        // Write → parse: the document a real campaign emits must satisfy
+        // every cross-check `sgxs_obs::read::parse_chaos` enforces (ledger
+        // sums, availability arithmetic, per-combo latency sample counts,
+        // gate/failure agreement).
+        let opts = CampaignOpts {
+            seeds: 3,
+            seed0: 7,
+            requests: 16,
+            ..CampaignOpts::default()
+        };
+        let rep = run_chaos_campaign(&opts);
+        let doc = sgxs_obs::read::parse_chaos(&rep.to_json().to_pretty())
+            .expect("own chaos output parses back");
+        assert_eq!((doc.seeds, doc.seed0, doc.requests), (3, 7, 16));
+        assert_eq!(doc.combos.len(), rep.rows.len());
+        assert_eq!(doc.gate_failed, rep.gate_failed());
+        let lat = doc.latency.as_ref().expect("latency block present");
+        for (c, row) in doc.combos.iter().zip(&rep.rows) {
+            assert_eq!(c.scheme, row.scheme);
+            assert_eq!(c.total, row.total);
+            let h = lat
+                .hist(&format!("latency/{}/{}", c.scheme, c.policy))
+                .expect("per-combo latency histogram");
+            assert_eq!(h.count, row.latency.count());
+            assert_eq!(h.p999, row.latency.percentile_permille(999));
+        }
     }
 
     #[test]

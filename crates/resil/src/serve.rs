@@ -19,15 +19,19 @@
 //! cross-object corruption that the scheme failed to contain.
 
 use crate::chaos::{ChaosKind, ChaosSchedule};
+use sgxs_metrics::Hist;
 use sgxs_mir::{
     verify, GlobalId, PolicySet, RecoveryPolicy, RecoveryStats, TrapClass, Vm, VmConfig,
 };
+use sgxs_obs::{Event, Recorder};
 use sgxs_rt::{install_base, AllocOpts, Stager};
 use sgxs_sim::{ExecTier, MachineConfig, Mode, Preset};
 use sgxs_workloads::apps::server::{
     BENIGN_MAX, CANARY_BYTES, CANARY_PATTERN, EVIL_LEN, INPUT_BYTES, STATE_CANARY_A, STATE_CANARY_B,
 };
 use sgxs_workloads::apps::{apache, memcached, nginx};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Which server application to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +133,10 @@ pub struct AvailabilityReport {
     pub aex_penalty_cycles: u64,
     /// Boundless overlay violations tolerated (0 for other schemes).
     pub tolerated_violations: u64,
+    /// Per-request wall-cycle latency (one sample per *attempted* request:
+    /// served, degraded, or aborted — lost requests never ran). Simulated
+    /// cycles, so the histogram is byte-identical across execution tiers.
+    pub latency: Hist,
 }
 
 impl AvailabilityReport {
@@ -176,9 +184,45 @@ pub fn serve_tier(
     schedule: &ChaosSchedule,
     tier: ExecTier,
 ) -> AvailabilityReport {
+    serve_inner(app, scheme, policies, schedule, tier, None)
+}
+
+/// Like [`serve_tier`] but with an observability recorder attached for the
+/// whole run: span events (`serve` → `request` → `check`) and every other
+/// obs event flow into `rec`. Recording never charges a simulated cycle,
+/// so the returned report is identical to the untraced run's — the
+/// zero-perturbation pin in `tests/metrics_pin.rs` enforces this.
+pub fn serve_traced(
+    app: ServerApp,
+    scheme: RScheme,
+    policies: &PolicySet,
+    schedule: &ChaosSchedule,
+    tier: ExecTier,
+    rec: Rc<RefCell<dyn Recorder>>,
+) -> AvailabilityReport {
+    serve_inner(app, scheme, policies, schedule, tier, Some(rec))
+}
+
+fn serve_inner(
+    app: ServerApp,
+    scheme: RScheme,
+    policies: &PolicySet,
+    schedule: &ChaosSchedule,
+    tier: ExecTier,
+    rec: Option<Rc<RefCell<dyn Recorder>>>,
+) -> AvailabilityReport {
     let mut module = app.module();
-    if let Some(cfg) = scheme.sb_config() {
-        sgxbounds::instrument(&mut module, &cfg).expect("server instrumentation");
+    // Tracing turns site markers on so check-region spans exist; markers
+    // never retire instructions or charge cycles (the PR 2 pin), so the
+    // report stays identical either way.
+    let mut sb_cfg = scheme.sb_config();
+    if rec.is_some() {
+        if let Some(c) = &mut sb_cfg {
+            c.site_markers = true;
+        }
+    }
+    if let Some(cfg) = &sb_cfg {
+        sgxbounds::instrument(&mut module, cfg).expect("server instrumentation");
     }
     verify(&module).expect("server module verifies");
 
@@ -191,9 +235,9 @@ pub fn serve_tier(
         sgxs_exec::attach(&mut vm);
     }
     let heap = install_base(&mut vm, AllocOpts::default());
-    let sb_rt = scheme
-        .sb_config()
-        .map(|cfg| sgxbounds::install_sgxbounds(&mut vm, heap.clone(), &cfg, None));
+    let sb_rt = sb_cfg
+        .as_ref()
+        .map(|cfg| sgxbounds::install_sgxbounds(&mut vm, heap.clone(), cfg, None));
 
     // Stage the request input: INPUT_BYTES of seeded bytes, none zero (so
     // boundless zero-reads are distinguishable) and none the canary pattern.
@@ -226,6 +270,17 @@ pub fn serve_tier(
     // crash-only configurations isolate the failure to the request.
     let fail_stop = policies.policy_for(TrapClass::Safety) == RecoveryPolicy::Abort;
 
+    // Attach the recorder only after setup, so traces start at the first
+    // request; span timestamps ride the monotone instruction counter.
+    if let Some(rec) = rec {
+        vm.machine.set_recorder(Some(rec));
+        vm.machine.set_span_mode(true);
+        vm.machine.emit(Event::SpanBegin {
+            name: "serve",
+            arg: schedule.seed,
+        });
+    }
+
     let mut report = AvailabilityReport {
         app: app.label(),
         scheme: scheme.label(),
@@ -239,6 +294,7 @@ pub fn serve_tier(
         corrupted_canary_bytes: 0,
         aex_penalty_cycles: 0,
         tolerated_violations: 0,
+        latency: Hist::new(),
     };
 
     let mut active: Vec<bool> = vec![false; schedule.events.len()];
@@ -301,7 +357,19 @@ pub fn serve_tier(
             .as_ref()
             .map(|rt| *rt.violations.borrow())
             .unwrap_or(0);
+        if vm.machine.spans_enabled() {
+            vm.machine.emit(Event::SpanBegin {
+                name: "request",
+                arg: r as u64,
+            });
+        }
         let out = vm.run("handle", &[r as u64, len, SCRATCH_BYTES]);
+        if vm.machine.spans_enabled() {
+            vm.machine.emit(Event::SpanEnd { name: "request" });
+        }
+        // Every attempted request contributes a latency sample, including
+        // the aborted ones (their wall time was still spent).
+        report.latency.record(out.wall_cycles);
         match out.result {
             Ok(_) => {
                 let tolerated = sb_rt
@@ -325,6 +393,9 @@ pub fn serve_tier(
         }
     }
 
+    if vm.machine.spans_enabled() {
+        vm.machine.emit(Event::SpanEnd { name: "serve" });
+    }
     report.recovery = vm.recovery_stats();
     report.tolerated_violations = sb_rt
         .as_ref()
@@ -443,6 +514,72 @@ mod tests {
             assert!(rep.tolerated_violations > 0, "{}", app.label());
             assert_eq!(rep.availability(), 1.0);
         }
+    }
+
+    #[test]
+    fn latency_counts_every_attempted_request() {
+        let sch = quiet_schedule(7, 24);
+        // Crash-only: every request is attempted, so every request samples.
+        let rep = serve(
+            ServerApp::Memcached,
+            RScheme::SgxBounds,
+            &graceful_policy(),
+            &sch,
+        );
+        assert_eq!(
+            rep.latency.count(),
+            (rep.served + rep.degraded + rep.aborted) as u64
+        );
+        assert_eq!(rep.latency.count(), 24);
+        assert!(rep.latency.min() > 0, "a request takes at least one cycle");
+        assert!(rep.latency.p50() <= rep.latency.p999());
+        // Fail-stop: lost requests never ran, so they don't sample.
+        let rep = serve(
+            ServerApp::Memcached,
+            RScheme::SgxBounds,
+            &abort_policy(),
+            &sch,
+        );
+        assert!(rep.lost > 0);
+        assert_eq!(
+            rep.latency.count(),
+            (rep.served + rep.degraded + rep.aborted) as u64
+        );
+    }
+
+    #[test]
+    fn traced_serve_collects_spans_without_perturbing_the_report() {
+        use sgxs_metrics::SpanCollector;
+
+        let sch = ChaosSchedule::generate(11, 16);
+        let plain = serve(
+            ServerApp::Nginx,
+            RScheme::Boundless,
+            &boundless_policy(),
+            &sch,
+        );
+        let rec = Rc::new(RefCell::new(SpanCollector::default()));
+        let traced = serve_traced(
+            ServerApp::Nginx,
+            RScheme::Boundless,
+            &boundless_policy(),
+            &sch,
+            ExecTier::default(),
+            rec.clone(),
+        );
+        // Recording must not change a single number in the report.
+        assert_eq!(format!("{plain:?}"), format!("{traced:?}"));
+        let spans = Rc::try_unwrap(rec).expect("sole owner").into_inner();
+        assert_eq!(spans.open_depth(), 0, "span stream balances");
+        let nodes = spans.nodes();
+        assert_eq!(nodes[0].name, "serve");
+        assert_eq!(nodes[0].arg, sch.seed);
+        let requests: Vec<_> = nodes.iter().filter(|n| n.name == "request").collect();
+        assert_eq!(requests.len(), 16);
+        assert!(requests.iter().all(|n| n.parent == Some(0)));
+        // The instrumented scheme executes checks inside requests.
+        assert!(nodes.iter().any(|n| n.name == "check" && n.depth == 2));
+        assert!(requests.iter().any(|n| n.check_cycles > 0));
     }
 
     #[test]

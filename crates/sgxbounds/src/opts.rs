@@ -131,7 +131,17 @@ fn hoist_function(
             .into_iter()
             .map(|(k, (maxoff, _))| (k, maxoff))
             .collect();
-        groups.sort_by_key(|((_, scale), _)| *scale);
+        // Total order: scale alone leaves same-scale groups in HashMap
+        // iteration order, which varies between instrumentation runs and
+        // would make the emitted check chain — and therefore cycle
+        // counts — nondeterministic.
+        groups.sort_by_key(|((base, scale), _)| {
+            let base_key = match base {
+                Operand::Reg(r) => (0u8, r.0 as u64),
+                Operand::Imm(i) => (1u8, *i),
+            };
+            (*scale, base_key)
+        });
         let mut cur = preheader;
         let n = groups.len();
         for (gi, ((base, scale), maxoff)) in groups.into_iter().enumerate() {

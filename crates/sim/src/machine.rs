@@ -55,6 +55,9 @@ pub struct Machine {
     recorder: Option<Rc<RefCell<dyn Recorder>>>,
     // Cached `recorder.enabled()` so the guard is a plain bool test.
     obs_on: bool,
+    // Span-event opt-in: check-region spans are high-volume, so emitters
+    // guard them behind this second bool in addition to `obs_on`.
+    spans_on: bool,
     /// Check site currently executing on the active thread, if any — set by
     /// the interpreter before dispatching a runtime intrinsic so violation
     /// handlers can attribute failures to the offending check site.
@@ -85,6 +88,7 @@ impl Machine {
             stats: Stats::new(),
             recorder: None,
             obs_on: false,
+            spans_on: false,
             cur_site: None,
         }
     }
@@ -103,6 +107,21 @@ impl Machine {
     #[inline(always)]
     pub fn obs_enabled(&self) -> bool {
         self.obs_on
+    }
+
+    /// Opts in (or out of) span-event emission. Spans follow the same
+    /// zero-perturbation rule as every other event: emission changes no
+    /// counter and charges no cycle, so the flag only controls event
+    /// *volume*, never measured numbers.
+    pub fn set_span_mode(&mut self, on: bool) {
+        self.spans_on = on;
+    }
+
+    /// Whether span events should be emitted (recorder enabled *and* span
+    /// mode requested).
+    #[inline(always)]
+    pub fn spans_enabled(&self) -> bool {
+        self.obs_on && self.spans_on
     }
 
     /// Emits an observability event, timestamped with the retired
