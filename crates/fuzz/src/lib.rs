@@ -31,8 +31,10 @@ pub mod shrink;
 
 use inject::{FaultKind, ALL_KINDS};
 use runner::{
-    classify, exec_chaos_tier, exec_tier, exec_traced, verdict_ok, FScheme, Verdict, ALL_SCHEMES,
+    classify, exec_chaos_tier, exec_forensic, exec_tier, verdict_ok, FScheme, Verdict, ALL_SCHEMES,
 };
+use sgxs_audit::{Incident, IncidentMeta, ReproInfo, TruthInfo};
+use sgxs_sim::obs::json::Json;
 use sgxs_sim::ExecTier;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -52,6 +54,9 @@ pub struct FuzzOpts {
     /// rendered matrix must be identical across tiers (the tier-equivalence
     /// gate runs the same corpus on both and diffs).
     pub tier: ExecTier,
+    /// Trace-ring window of the forensic re-run attached to each
+    /// disagreement (`repro fuzz --trace-window N`).
+    pub trace_window: usize,
 }
 
 impl Default for FuzzOpts {
@@ -62,6 +67,7 @@ impl Default for FuzzOpts {
             max_ops: 20,
             shrink: true,
             tier: ExecTier::default(),
+            trace_window: sgxs_audit::DEFAULT_TRACE_WINDOW,
         }
     }
 }
@@ -135,13 +141,80 @@ pub struct Disagreement {
     pub verdict: Verdict,
     /// Minimized reproducer, when shrinking ran.
     pub repro: Option<shrink::Repro>,
-    /// Last events of a traced re-run of the failing execution (empty when
-    /// tracing captured nothing).
-    pub trace: Vec<String>,
+    /// Full forensic record of a re-run of the failing execution: object
+    /// ledger neighborhood, derivation chain, indexed trace tail, ground
+    /// truth, and the shrunk repro — serializes to `sgxs-incident-v1`.
+    pub incident: Incident,
 }
 
-/// Events kept per disagreement trace.
-const TRACE_LAST_K: usize = 32;
+/// Assembles the forensic incident for one disagreement: re-runs the
+/// failing execution with a [`sgxs_audit::LedgerRecorder`] attached (on
+/// the campaign's tier), then joins in the injector ground truth, the
+/// static derivation chain from `analyze::prov`, and the shrunk repro.
+fn forensic_incident(
+    prog: &gen::Prog,
+    fault: Option<&inject::Fault>,
+    seed: u64,
+    scheme: FScheme,
+    verdict: &Verdict,
+    repro: Option<&shrink::Repro>,
+    opts: &FuzzOpts,
+) -> Incident {
+    let (_, rec) = exec_forensic(prog, scheme, opts.tier, opts.trace_window);
+    let meta = IncidentMeta {
+        origin: "fuzz".into(),
+        workload: format!("seed-{seed}"),
+        scheme: scheme.label().into(),
+        // The forensic payload derives from simulated instruction counts
+        // only, so the artifact is pinned byte-identical across execution
+        // tiers; `pinned` records that claim in the document.
+        tier: "pinned".into(),
+        verdict: verdict.label().into(),
+    };
+    let mut inc = Incident::assemble(meta, &rec, opts.trace_window);
+    inc.truth = fault.map(|f| TruthInfo {
+        kind: f.kind.label().into(),
+        op: format!("{:?}", f.ops[f.victim]),
+        op_index: f.victim_index() as u64,
+    });
+    inc.derivation = derivation_lines(prog);
+    inc.repro = repro.map(|r| ReproInfo {
+        insts: r.insts as u64,
+        ops: r.prog.ops.iter().map(|o| format!("{o:?}")).collect(),
+    });
+    inc
+}
+
+/// The static pointer-derivation chain for the program's suspicious
+/// accesses: every access site `analyze::prov` could not prove safe, with
+/// its referent and offset interval.
+fn derivation_lines(prog: &gen::Prog) -> Vec<String> {
+    let module = gen::build(prog);
+    sgxs_analyze::access_facts(&module, 0)
+        .into_iter()
+        .filter(|f| !matches!(f.class, sgxs_analyze::Class::Safe))
+        .map(|f| {
+            let referent = match &f.referent {
+                Some(r) => format!("{r:?}"),
+                None => "?".into(),
+            };
+            let offset = match f.offset {
+                Some((lo, hi)) => format!("[{lo},{hi}]"),
+                None => "[?]".into(),
+            };
+            format!(
+                "b{} i{} {} w{} {} referent={} offset={}",
+                f.block,
+                f.inst,
+                f.kind,
+                f.width,
+                f.class.label(),
+                referent,
+                offset
+            )
+        })
+        .collect()
+}
 
 /// Campaign results.
 #[derive(Debug, Clone, Default)]
@@ -223,29 +296,92 @@ impl Report {
                     d.scheme.label(),
                     d.verdict.label()
                 );
-                match &d.repro {
-                    Some(r) => {
-                        let _ = writeln!(
-                            s,
-                            " — shrunk to {} ops / {} MIR insts: {:?}",
-                            r.prog.ops.len(),
-                            r.insts,
-                            r.prog.ops
-                        );
-                    }
-                    None => {
-                        let _ = writeln!(s);
-                    }
+                // Ground truth next to the observed verdict, so an
+                // oracle/detection off-by-one is triaged from the summary
+                // line alone.
+                if let Some(t) = &d.incident.truth {
+                    let _ = write!(s, " (ground truth: op {} {})", t.op_index, t.op);
                 }
-                if !d.trace.is_empty() {
-                    let _ = writeln!(s, "    last {} trace events:", d.trace.len());
-                    for line in &d.trace {
-                        let _ = writeln!(s, "      {line}");
-                    }
+                let _ = writeln!(s);
+                // The full forensic record, via the shared incident
+                // renderer (heap neighborhood, derivation, indexed trace
+                // tail, shrunk repro).
+                for line in d.incident.render().lines() {
+                    let _ = writeln!(s, "    {line}");
                 }
             }
         }
         s
+    }
+
+    /// Serializes the campaign (schema `sgxs-fuzz-v1`): envelope counts,
+    /// the safe table, the fault matrix, and one embedded
+    /// `sgxs-incident-v1` document per disagreement.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema", "sgxs-fuzz-v1".into()),
+            ("programs", self.programs.into()),
+            ("runs", self.runs.into()),
+            (
+                "safe",
+                Json::Arr(
+                    self.safe
+                        .iter()
+                        .map(|(scheme, c)| {
+                            Json::obj(vec![
+                                ("scheme", scheme.label().into()),
+                                ("passes", c.passes.into()),
+                                ("false_positives", c.false_positives.into()),
+                                ("mismatches", c.mismatches.into()),
+                                ("crashes", c.crashes.into()),
+                                ("total", c.total.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "matrix",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|((kind, scheme), c)| {
+                            Json::obj(vec![
+                                ("kind", kind.label().into()),
+                                ("scheme", scheme.label().into()),
+                                ("detected", c.detected.into()),
+                                ("wrong_site", c.wrong_site.into()),
+                                ("missed", c.missed.into()),
+                                ("tolerated", c.tolerated.into()),
+                                ("crashed", c.crashed.into()),
+                                ("disagreements", c.disagreements.into()),
+                                ("total", c.total.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "disagreements",
+                Json::Arr(
+                    self.disagreements
+                        .iter()
+                        .map(|d| {
+                            Json::obj(vec![
+                                ("seed", d.seed.into()),
+                                (
+                                    "kind",
+                                    d.kind.map(|k| Json::from(k.label())).unwrap_or(Json::Null),
+                                ),
+                                ("scheme", d.scheme.label().into()),
+                                ("verdict", d.verdict.label().into()),
+                                ("incident", d.incident.to_json()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
     }
 }
 
@@ -278,13 +414,16 @@ pub fn run_campaign(opts: &FuzzOpts) -> Report {
         let native_digest = match &native.result {
             Ok(d) => *d,
             Err(t) => {
+                let verdict = Verdict::Crash(t.to_string());
+                let incident =
+                    forensic_incident(&prog, None, seed, FScheme::Native, &verdict, None, opts);
                 report.disagreements.push(Disagreement {
                     seed,
                     kind: None,
                     scheme: FScheme::Native,
-                    verdict: Verdict::Crash(t.to_string()),
+                    verdict,
                     repro: None,
-                    trace: exec_traced(&prog, FScheme::Native, TRACE_LAST_K).1,
+                    incident,
                 });
                 continue;
             }
@@ -303,13 +442,15 @@ pub fn run_campaign(opts: &FuzzOpts) -> Report {
             }
             if !verdict_ok(scheme, None, &v) {
                 let repro = opts.shrink.then(|| shrink::shrink(&prog, None, scheme, &v));
+                let incident =
+                    forensic_incident(&prog, None, seed, scheme, &v, repro.as_ref(), opts);
                 report.disagreements.push(Disagreement {
                     seed,
                     kind: None,
                     scheme,
                     verdict: v,
                     repro,
-                    trace: exec_traced(&prog, scheme, TRACE_LAST_K).1,
+                    incident,
                 });
             }
         }
@@ -335,13 +476,15 @@ pub fn run_campaign(opts: &FuzzOpts) -> Report {
                 let repro = opts
                     .shrink
                     .then(|| shrink::shrink(&prog, Some(&fault), scheme, &v));
+                let incident =
+                    forensic_incident(&fprog, Some(&fault), seed, scheme, &v, repro.as_ref(), opts);
                 report.disagreements.push(Disagreement {
                     seed,
                     kind: Some(kind),
                     scheme,
                     verdict: v,
                     repro,
-                    trace: exec_traced(&fprog, scheme, TRACE_LAST_K).1,
+                    incident,
                 });
             }
         }
@@ -538,6 +681,7 @@ pub fn parse_corpus(text: &str) -> Result<Vec<CorpusEntry>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::exec_traced;
 
     #[test]
     fn corpus_lines_round_trip() {
@@ -581,6 +725,73 @@ mod tests {
             let (_, again) = exec_traced(&fprog, scheme, 32);
             assert_eq!(events, again, "{}: trace not deterministic", scheme.label());
         }
+    }
+
+    #[test]
+    fn forensic_rerun_is_zero_perturbation_and_incidents_are_deterministic() {
+        // exec_forensic carries a full ledger recorder and span mode, yet
+        // must reproduce the plain run's observables exactly — otherwise the
+        // incident describes a different execution than the one that failed.
+        let prog = gen::generate(42, 12);
+        let (fprog, fault) = inject::inject(&prog, FaultKind::HeapOverflow, 42);
+        for scheme in [FScheme::SgxBounds, FScheme::Asan] {
+            let plain = exec_tier(&fprog, scheme, ExecTier::default());
+            let (forensic, rec) = exec_forensic(&fprog, scheme, ExecTier::default(), 32);
+            assert_eq!(
+                format!("{:?}", plain.result),
+                format!("{:?}", forensic.result),
+                "{}",
+                scheme.label()
+            );
+            assert_eq!(plain.beacon, forensic.beacon, "{}", scheme.label());
+            assert_eq!(plain.violations, forensic.violations, "{}", scheme.label());
+            assert!(!rec.ledger().objects().is_empty(), "{}", scheme.label());
+        }
+        // Incidents assembled from the same seed are byte-identical across
+        // reruns and tiers.
+        let opts = FuzzOpts::default();
+        let v = Verdict::Detected;
+        let a = forensic_incident(
+            &fprog,
+            Some(&fault),
+            42,
+            FScheme::SgxBounds,
+            &v,
+            None,
+            &opts,
+        );
+        let b = forensic_incident(
+            &fprog,
+            Some(&fault),
+            42,
+            FScheme::SgxBounds,
+            &v,
+            None,
+            &opts,
+        );
+        assert_eq!(a.to_json().to_compact(), b.to_json().to_compact());
+        let compiled = FuzzOpts {
+            tier: ExecTier::Compiled,
+            ..FuzzOpts::default()
+        };
+        let c = forensic_incident(
+            &fprog,
+            Some(&fault),
+            42,
+            FScheme::SgxBounds,
+            &v,
+            None,
+            &compiled,
+        );
+        // The artifact is byte-identical across execution tiers — the
+        // `tier: pinned` claim every incident carries.
+        assert_eq!(a.to_json().to_compact(), c.to_json().to_compact());
+        assert_eq!(a.meta.tier, "pinned");
+        assert!(
+            a.truth.is_some(),
+            "ground truth missing from fault incident"
+        );
+        assert!(!a.derivation.is_empty(), "derivation chain empty");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use crate::gen::{self, Prog};
 use crate::inject::{Fault, FaultKind};
 use sgxbounds::SbConfig;
+use sgxs_audit::LedgerRecorder;
 use sgxs_baselines::asan::runtime::asan_alloc_opts;
 use sgxs_baselines::{
     install_asan, install_mpx, instrument_asan_with, instrument_mpx_with, AsanConfig, MpxConfig,
@@ -110,14 +111,14 @@ pub struct Exec {
 
 /// Builds, instruments, and runs `prog` under `scheme`.
 pub fn exec(prog: &Prog, scheme: FScheme) -> Exec {
-    exec_inner(prog, scheme, None, None, ExecTier::default())
+    exec_inner(prog, scheme, None, None, ExecTier::default(), false)
 }
 
 /// Like [`exec`] but on an explicit execution tier. The compiled tier must
 /// reproduce the reference digest, beacon, violation count, and retry count
 /// bit-for-bit — `tests/tier_equivalence.rs` enforces this corpus-wide.
 pub fn exec_tier(prog: &Prog, scheme: FScheme, tier: ExecTier) -> Exec {
-    exec_inner(prog, scheme, None, None, tier)
+    exec_inner(prog, scheme, None, None, tier, false)
 }
 
 /// Like [`exec`] but under environmental chaos: a fault plan seeded with
@@ -126,13 +127,20 @@ pub fn exec_tier(prog: &Prog, scheme: FScheme, tier: ExecTier) -> Exec {
 /// must still reproduce the clean native digest bit-for-bit — any
 /// divergence means a transient allocation failure corrupted results.
 pub fn exec_chaos(prog: &Prog, scheme: FScheme, chaos_seed: u64) -> Exec {
-    exec_inner(prog, scheme, None, Some(chaos_seed), ExecTier::default())
+    exec_inner(
+        prog,
+        scheme,
+        None,
+        Some(chaos_seed),
+        ExecTier::default(),
+        false,
+    )
 }
 
 /// Like [`exec_chaos`] but on an explicit execution tier (the recovery
 /// machinery — retry accounting included — must be tier-invariant).
 pub fn exec_chaos_tier(prog: &Prog, scheme: FScheme, chaos_seed: u64, tier: ExecTier) -> Exec {
-    exec_inner(prog, scheme, None, Some(chaos_seed), tier)
+    exec_inner(prog, scheme, None, Some(chaos_seed), tier, false)
 }
 
 /// Like [`exec`] but with the observability layer on; returns the run plus
@@ -140,11 +148,37 @@ pub fn exec_chaos_tier(prog: &Prog, scheme: FScheme, chaos_seed: u64, tier: Exec
 /// disagreement reports).
 pub fn exec_traced(prog: &Prog, scheme: FScheme, last_k: usize) -> (Exec, Vec<String>) {
     let rec = Rc::new(RefCell::new(TraceRecorder::new(last_k)));
-    let e = exec_inner(prog, scheme, Some(rec.clone()), None, ExecTier::default());
+    let e = exec_inner(
+        prog,
+        scheme,
+        Some(rec.clone()),
+        None,
+        ExecTier::default(),
+        false,
+    );
     let r = Rc::try_unwrap(rec)
         .expect("machine dropped its recorder handle")
         .into_inner();
     (e, r.last_events(last_k))
+}
+
+/// Forensic re-run of a (dis)agreeing execution: attaches a
+/// [`LedgerRecorder`] (object provenance ledger + fault capture + trace
+/// ring of `ring_cap` events) with span mode on, on an explicit tier.
+/// Observability is zero-perturbation, so the returned [`Exec`] is
+/// bit-identical to the plain run — `tests/incident_forensics.rs` pins it.
+pub fn exec_forensic(
+    prog: &Prog,
+    scheme: FScheme,
+    tier: ExecTier,
+    ring_cap: usize,
+) -> (Exec, LedgerRecorder) {
+    let rec = Rc::new(RefCell::new(LedgerRecorder::new(ring_cap)));
+    let e = exec_inner(prog, scheme, Some(rec.clone()), None, tier, true);
+    let r = Rc::try_unwrap(rec)
+        .expect("machine dropped its recorder handle")
+        .into_inner();
+    (e, r)
 }
 
 fn exec_inner(
@@ -153,8 +187,9 @@ fn exec_inner(
     rec: Option<Rc<RefCell<dyn Recorder>>>,
     chaos_seed: Option<u64>,
     tier: ExecTier,
+    spans: bool,
 ) -> Exec {
-    catch_exec(move || exec_uncaught(prog, scheme, rec, chaos_seed, tier))
+    catch_exec(move || exec_uncaught(prog, scheme, rec, chaos_seed, tier, spans))
 }
 
 /// Runs `f`, converting a panic anywhere in the scheme pipeline
@@ -186,6 +221,7 @@ fn exec_uncaught(
     rec: Option<Rc<RefCell<dyn Recorder>>>,
     chaos_seed: Option<u64>,
     tier: ExecTier,
+    spans: bool,
 ) -> Exec {
     let markers = rec.is_some();
     let mut module = gen::build(prog);
@@ -211,6 +247,9 @@ fn exec_uncaught(
     cfg.max_instructions = 4_000_000;
     let mut vm = Vm::new(&module, cfg);
     vm.machine.set_recorder(rec);
+    if spans {
+        vm.machine.set_span_mode(true);
+    }
     let asan_cfg = AsanConfig::for_scale(128);
     let heap = match scheme {
         FScheme::Asan => install_base(&mut vm, asan_alloc_opts(&asan_cfg, u32::MAX as u64)),

@@ -20,7 +20,13 @@
 //!   schedules against the per-request server modules under every
 //!   scheme/recovery-policy combo, with a corruption + availability gate;
 //! * `repro lint` — the static OOB lint over workload modules (exits 1 on
-//!   any proved-OOB access);
+//!   any proved-OOB access; `--incident` writes the demo detection as a
+//!   `sgxs-incident-v1` artifact);
+//! * `repro audit` — incident forensics: run the demo OOB under SGXBounds
+//!   with the object-provenance ledger attached on *both* execution tiers,
+//!   byte-compare the forensics, and emit the cross-tier-pinned
+//!   `sgxs-incident-v1` artifact (plus ASCII / SVG heap-neighborhood
+//!   renderings);
 //! * `repro bench record` — run the full suite and append one
 //!   `sgxs-history-v1` line per replicate to `results/history.jsonl`;
 //! * `repro compare A B [--gate]` — statistical regression comparison of
@@ -57,10 +63,11 @@ pub const USAGE: &str =
      [--quick] [--tiny|--mini|--paper] [--seed N] [--tier T] [--timed] [--json FILE]\n       \
      repro profile <workload> [--scheme S] [--trace FILE] [--json FILE]\n       \
      repro fuzz [--seeds N] [--seed0 N] [--max-ops N] [--no-shrink] [--corpus FILE] [--chaos] \
-     [--tier T]\n       \
+     [--trace-window N] [--tier T] [--json FILE]\n       \
      repro chaos [--seeds N] [--seed0 N] [--requests N] [--threshold F] [--demo-corruption] \
      [--tier T] [--json FILE]\n       \
-     repro lint [NAMES...] [--demo-oob] [--seed N] [--json FILE]\n       \
+     repro lint [NAMES...] [--demo-oob] [--seed N] [--json FILE] [--incident FILE]\n       \
+     repro audit --demo-oob [--window N] [--json FILE] [--ascii FILE] [--svg FILE]\n       \
      repro bench record [--quick] [--tiny|--mini|--paper] [--replicates N] [--seed0 N] \
      [--rev REV] [--tier T] [--out FILE]\n       \
      repro compare <BASE> <NEW> [--gate] [--top N] [--threshold F] [--noise-mult F] \
@@ -133,7 +140,7 @@ fn preset_flag(arg: &str) -> Option<Preset> {
 }
 
 /// Writes `text` to `path`, creating parent directories.
-fn write_file(path: &str, text: &str) -> Result<(), String> {
+pub(crate) fn write_file(path: &str, text: &str) -> Result<(), String> {
     if let Some(dir) = std::path::Path::new(path).parent() {
         if !dir.as_os_str().is_empty() {
             let _ = std::fs::create_dir_all(dir);
@@ -148,6 +155,7 @@ pub fn run(args: &[String]) -> Result<i32, String> {
         Some("fuzz") => run_fuzz(&args[1..]),
         Some("chaos") => run_chaos(&args[1..]),
         Some("lint") => crate::lint::run_lint(&args[1..]),
+        Some("audit") => crate::audit::run_audit(&args[1..]),
         Some("profile") => run_profile(&args[1..]),
         Some("bench") => run_bench(&args[1..]),
         Some("tier") => run_tier(&args[1..]),
@@ -411,6 +419,7 @@ pub fn run_fuzz(args: &[String]) -> Result<i32, String> {
     let mut corpus: Option<String> = None;
     let mut ran_seeds = false;
     let mut chaos = false;
+    let mut json: Option<String> = None;
     let mut it = Args::new("fuzz", args);
     while let Some(a) = it.next_arg() {
         match a {
@@ -423,9 +432,14 @@ pub fn run_fuzz(args: &[String]) -> Result<i32, String> {
             "--no-shrink" => opts.shrink = false,
             "--corpus" => corpus = Some(it.value("--corpus")?),
             "--chaos" => chaos = true,
+            "--trace-window" => opts.trace_window = it.parse("--trace-window")?,
             "--tier" => opts.tier = tier_value(&mut it)?,
+            "--json" => json = Some(it.value("--json")?),
             other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
         }
+    }
+    if opts.trace_window == 0 {
+        return Err(it.fail("--trace-window must be at least 1"));
     }
     let mut failed = false;
     if let Some(path) = &corpus {
@@ -459,6 +473,12 @@ pub fn run_fuzz(args: &[String]) -> Result<i32, String> {
     } else if corpus.is_none() || ran_seeds {
         let report = sgxs_fuzz::run_campaign(&opts);
         println!("{}", report.render());
+        if let Some(path) = &json {
+            // The sgxs-fuzz-v1 document embeds one sgxs-incident-v1 record
+            // per disagreement (empty array on a clean campaign).
+            write_file(path, &report.to_json().to_pretty()).map_err(|e| it.fail(e))?;
+            println!("fuzz json written to {path}");
+        }
         failed |= !report.disagreements.is_empty();
     }
     Ok(if failed { 1 } else { 0 })

@@ -11,6 +11,7 @@
 //! repro all --quick   # everything, small inputs
 //! ```
 
+pub mod audit;
 pub mod cli;
 pub mod exp;
 pub mod lint;

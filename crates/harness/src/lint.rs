@@ -95,11 +95,14 @@ fn render(r: &LintReport) -> String {
     out
 }
 
-/// `repro lint [NAMES...] [--demo-oob] [--json FILE]`: lints workload
-/// modules (all benchmarks by default) and exits 1 on any proved-OOB
-/// access.
+/// `repro lint [NAMES...] [--demo-oob] [--json FILE] [--incident FILE]`:
+/// lints workload modules (all benchmarks by default) and exits 1 on any
+/// proved-OOB access. With `--demo-oob`, `--incident` additionally runs
+/// the demo under SGXBounds with the forensic ledger attached and writes
+/// the detection as a cross-tier-pinned `sgxs-incident-v1` artifact.
 pub fn run_lint(args: &[String]) -> Result<i32, String> {
     let mut json: Option<String> = None;
+    let mut incident: Option<String> = None;
     let mut demo = false;
     let mut names: Vec<String> = Vec::new();
     let mut seed = crate::exp::DEFAULT_SEED;
@@ -107,11 +110,15 @@ pub fn run_lint(args: &[String]) -> Result<i32, String> {
     while let Some(a) = it.next_arg() {
         match a {
             "--json" => json = Some(it.value("--json")?),
+            "--incident" => incident = Some(it.value("--incident")?),
             "--demo-oob" => demo = true,
             "--seed" => seed = it.parse("--seed")?,
             other if !other.starts_with('-') => names.push(other.to_owned()),
             other => return Err(it.fail(format!("unknown argument '{other}'"))),
         }
+    }
+    if incident.is_some() && !demo {
+        return Err(it.fail("--incident requires --demo-oob (the demo is the incident source)"));
     }
 
     // Workload modules are built exactly as the experiments build them,
@@ -170,6 +177,12 @@ pub fn run_lint(args: &[String]) -> Result<i32, String> {
         std::fs::write(path, doc.to_pretty())
             .map_err(|e| it.fail(format!("cannot write {path}: {e}")))?;
         println!("lint json written to {path}");
+    }
+    if let Some(path) = &incident {
+        let inc = crate::audit::pinned_demo_incident(sgxs_audit::DEFAULT_TRACE_WINDOW)
+            .map_err(|e| it.fail(e))?;
+        crate::cli::write_file(path, &inc.to_json().to_pretty()).map_err(|e| it.fail(e))?;
+        println!("incident json written to {path} (id {})", inc.id());
     }
     Ok(if oob > 0 { 1 } else { 0 })
 }

@@ -472,6 +472,30 @@ impl TraceRecorder {
             .collect()
     }
 
+    /// Like [`last_events`](Self::last_events), but each rendered line is
+    /// paired with the event's *absolute* index in the full stream (ring
+    /// position plus [`dropped`](Self::dropped)), so a bounded-window tail
+    /// still tells the reader how far into the run each event fell.
+    pub fn last_events_indexed(&self, n: usize) -> Vec<(u64, String)> {
+        let skip = self.ring.len().saturating_sub(n);
+        self.ring
+            .iter()
+            .enumerate()
+            .skip(skip)
+            .map(|(i, (at, ev))| (self.dropped + i as u64, ev.render(*at)))
+            .collect()
+    }
+
+    /// The retained ring, oldest first, as `(absolute_index, at, event)`.
+    /// This is the raw feed the audit ledger replays to build incident
+    /// reports without re-running the program.
+    pub fn ring_indexed(&self) -> impl Iterator<Item = (u64, u64, Event)> + '_ {
+        self.ring
+            .iter()
+            .enumerate()
+            .map(|(i, (at, ev))| (self.dropped + i as u64, *at, *ev))
+    }
+
     /// The retained ring as JSONL (one event object per line).
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();

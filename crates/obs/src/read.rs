@@ -1,8 +1,9 @@
 //! Readers for the machine-readable schemas this repo's producers emit:
 //! `sgxs-bench-v1` (`repro ... --json`), `sgxs-profile-v1`
 //! (`repro profile ... --json`), `sgxs-chaos-v1` (`repro chaos --json`),
-//! and `sgxs-metrics-v1` (`repro metrics --json`, also embedded in chaos
-//! documents as their `latency` block).
+//! `sgxs-metrics-v1` (`repro metrics --json`, also embedded in chaos
+//! documents as their `latency` block), and `sgxs-incident-v1`
+//! (`repro audit --json`, also embedded in fuzz and chaos artifacts).
 //!
 //! Emission lives next to the data it serializes (`Profile::to_json`, the
 //! experiment `to_json` impls); parsing lives here so downstream analysis
@@ -26,6 +27,9 @@ pub const CHAOS_SCHEMA: &str = "sgxs-chaos-v1";
 
 /// Schema tag of metrics documents.
 pub const METRICS_SCHEMA: &str = "sgxs-metrics-v1";
+
+/// Schema tag of incident documents.
+pub const INCIDENT_SCHEMA: &str = "sgxs-incident-v1";
 
 /// A parsed `sgxs-bench-v1` document.
 #[derive(Debug, Clone)]
@@ -417,6 +421,10 @@ pub struct ChaosDoc {
     /// The embedded `sgxs-metrics-v1` latency block (absent only in
     /// pre-metrics documents).
     pub latency: Option<MetricsDoc>,
+    /// Embedded `sgxs-incident-v1` forensic reports for gate-failing
+    /// canary corruptions (absent in pre-audit documents; empty when the
+    /// campaign saw no corruption).
+    pub incidents: Vec<IncidentDoc>,
     /// Whether any gate condition failed.
     pub gate_failed: bool,
     /// Gate failures, human-readable.
@@ -500,6 +508,20 @@ pub fn chaos_from_json(v: &Json) -> Result<ChaosDoc, String> {
         }
         None => None,
     };
+    let incidents = match v.get("incidents") {
+        Some(block) => {
+            let rows = block
+                .as_arr()
+                .ok_or_else(|| format!("{what}: 'incidents' is not an array"))?;
+            rows.iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    incident_from_json(row).map_err(|e| format!("{what} incidents[{i}]: {e}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        }
+        None => Vec::new(),
+    };
     let gate = v
         .get("gate")
         .ok_or_else(|| format!("{what}: missing field 'gate'"))?;
@@ -531,6 +553,7 @@ pub fn chaos_from_json(v: &Json) -> Result<ChaosDoc, String> {
         threshold: f64_field(v, "threshold", what)?,
         combos,
         latency,
+        incidents,
         gate_failed,
         failures,
     })
@@ -539,6 +562,398 @@ pub fn chaos_from_json(v: &Json) -> Result<ChaosDoc, String> {
 /// Parses a `sgxs-chaos-v1` document from text.
 pub fn parse_chaos(text: &str) -> Result<ChaosDoc, String> {
     chaos_from_json(&Json::parse(text).map_err(|e| format!("chaos: {e}"))?)
+}
+
+/// The faulting access of an incident document.
+#[derive(Debug, Clone)]
+pub struct IncidentFault {
+    /// Instruction timestamp (0 for post-run discoveries).
+    pub at: u64,
+    /// Absolute event index in the forensic run's stream.
+    pub index: u64,
+    /// Check-site ID, when attributable.
+    pub site: Option<u64>,
+    /// Raw address as the handler saw it (tagged under sgxbounds).
+    pub raw_addr: u64,
+    /// Decoded pointer (low 32 bits of `raw_addr`).
+    pub ptr: u64,
+    /// Decoded upper-bound tag (high 32 bits of `raw_addr`).
+    pub tag_ub: u64,
+    /// Access size in bytes.
+    pub size: u64,
+    /// `load` or `store`.
+    pub kind: String,
+}
+
+/// One heap-neighborhood row of an incident document.
+#[derive(Debug, Clone)]
+pub struct IncidentNeighbor {
+    /// Birth-order object id.
+    pub id: u64,
+    /// Lower bound (user base address).
+    pub base: u64,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Upper bound (`base + size`).
+    pub ub: u64,
+    /// Allocation timestamp.
+    pub birth_at: u64,
+    /// Free timestamp, if the object died.
+    pub free_at: Option<u64>,
+    /// `contains` / `before` / `after`, relative to the faulting address.
+    pub relation: String,
+    /// Byte distance from the faulting address (0 iff `contains`).
+    pub distance: u64,
+}
+
+/// Injected ground truth of an incident, when the producer knew it.
+#[derive(Debug, Clone)]
+pub struct IncidentTruth {
+    /// Injected fault-kind label.
+    pub kind: String,
+    /// Debug rendering of the injected victim op.
+    pub op: String,
+    /// Index of the victim op in the program's op list.
+    pub op_index: u64,
+}
+
+/// The recovery-policy trail of an incident.
+#[derive(Debug, Clone)]
+pub struct IncidentRecovery {
+    /// Retry attempts issued.
+    pub attempts: u64,
+    /// Traps converted to degraded service.
+    pub degraded: u64,
+    /// Retry budgets exhausted.
+    pub gave_up: u64,
+    /// Decision label implied by the counts.
+    pub decision: String,
+}
+
+/// The shrunk minimal reproducer of an incident.
+#[derive(Debug, Clone)]
+pub struct IncidentRepro {
+    /// Instructions the shrunk program executes.
+    pub insts: u64,
+    /// Debug renderings of the surviving ops.
+    pub ops: Vec<String>,
+}
+
+/// A parsed `sgxs-incident-v1` document.
+#[derive(Debug, Clone)]
+pub struct IncidentDoc {
+    /// Content-derived incident id (verified on parse).
+    pub id: String,
+    /// Producing surface (`fuzz` / `chaos` / `lint` / `audit`).
+    pub origin: String,
+    /// Workload label.
+    pub workload: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Execution-tier label.
+    pub tier: String,
+    /// Oracle verdict or gate outcome.
+    pub verdict: String,
+    /// The faulting access (`None` for near-misses without a trap).
+    pub fault: Option<IncidentFault>,
+    /// Injected ground truth, when known.
+    pub truth: Option<IncidentTruth>,
+    /// Open spans at fault time, outermost first.
+    pub span_path: Vec<(String, u64)>,
+    /// Recovery-policy trail.
+    pub recovery: IncidentRecovery,
+    /// Objects the ledger observed in total.
+    pub objects_total: u64,
+    /// Objects still live at end of run.
+    pub objects_live: u64,
+    /// Heap neighborhood of the faulting address.
+    pub neighborhood: Vec<IncidentNeighbor>,
+    /// Pointer-derivation chain, one line per fact.
+    pub derivation: Vec<String>,
+    /// Trace-ring window of the forensic run.
+    pub trace_window: u64,
+    /// Total events the forensic run recorded.
+    pub trace_total: u64,
+    /// Trace tail as `(absolute_index, rendered_line)`.
+    pub trace: Vec<(u64, String)>,
+    /// Shrunk minimal reproducer, when the shrinker ran.
+    pub repro: Option<IncidentRepro>,
+    /// Hex digest of the forensic run's full event stream.
+    pub digest: String,
+}
+
+fn opt_u64_field(v: &Json, key: &str, what: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Err(format!("{what}: missing field '{key}'")),
+        Some(Json::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("{what}: field '{key}' is neither null nor an integer")),
+    }
+}
+
+fn str_list(v: &Json, key: &str, what: &str) -> Result<Vec<String>, String> {
+    v.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: missing or non-array field '{key}'"))?
+        .iter()
+        .map(|s| {
+            s.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("{what}: non-string entry in '{key}'"))
+        })
+        .collect()
+}
+
+/// Interprets an already-parsed JSON value as an incident document,
+/// verifying everything a forensic consumer relies on: the content-derived
+/// id recomputes (so any mutation of the document invalidates it), the
+/// tagged-address decode is consistent, every neighborhood row's bounds
+/// and distances agree with the faulting address, the recovery decision
+/// matches its counts, and the trace tail's absolute indices are strictly
+/// ascending within the declared window.
+pub fn incident_from_json(v: &Json) -> Result<IncidentDoc, String> {
+    let what = "incident";
+    obj_of(v, what)?;
+    check_schema(v, INCIDENT_SCHEMA, what)?;
+    check_finite(v, what)?;
+    let id = str_field(v, "id", what)?;
+    // Recompute the content hash over the compact serialization with the
+    // id blanked — the exact computation the writer used. The JSON tree
+    // preserves key order and integer values exactly, so the writer's
+    // compact form is reproducible from the parsed document.
+    let mut blanked = v.clone();
+    if let Json::Obj(fields) = &mut blanked {
+        for (k, val) in fields.iter_mut() {
+            if k == "id" {
+                *val = Json::Str(String::new());
+            }
+        }
+    }
+    let want = format!(
+        "{:016x}",
+        crate::fnv(crate::FNV_OFFSET, blanked.to_compact().as_bytes())
+    );
+    if id != want {
+        return Err(format!(
+            "{what}: id '{id}' does not match the document content (expected '{want}')"
+        ));
+    }
+    let fault = match v.get("fault") {
+        None | Some(Json::Null) => None,
+        Some(f) => {
+            let what = "incident fault";
+            let fault = IncidentFault {
+                at: u64_field(f, "at", what)?,
+                index: u64_field(f, "index", what)?,
+                site: opt_u64_field(f, "site", what)?,
+                raw_addr: u64_field(f, "raw_addr", what)?,
+                ptr: u64_field(f, "ptr", what)?,
+                tag_ub: u64_field(f, "tag_ub", what)?,
+                size: u64_field(f, "size", what)?,
+                kind: str_field(f, "kind", what)?,
+            };
+            if fault.kind != "load" && fault.kind != "store" {
+                return Err(format!("{what}: kind '{}' is not load/store", fault.kind));
+            }
+            if fault.ptr != fault.raw_addr & 0xffff_ffff || fault.tag_ub != fault.raw_addr >> 32 {
+                return Err(format!(
+                    "{what}: ptr/tag_ub do not decode raw_addr {:#x}",
+                    fault.raw_addr
+                ));
+            }
+            Some(fault)
+        }
+    };
+    let truth = match v.get("truth") {
+        None | Some(Json::Null) => None,
+        Some(t) => {
+            let what = "incident truth";
+            Some(IncidentTruth {
+                kind: str_field(t, "kind", what)?,
+                op: str_field(t, "op", what)?,
+                op_index: u64_field(t, "op_index", what)?,
+            })
+        }
+    };
+    let span_path = v
+        .get("span_path")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: missing or non-array field 'span_path'"))?
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let what = format!("incident span_path[{i}]");
+            Ok((str_field(s, "name", &what)?, u64_field(s, "arg", &what)?))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let rec = v
+        .get("recovery")
+        .ok_or_else(|| format!("{what}: missing field 'recovery'"))?;
+    let recovery = IncidentRecovery {
+        attempts: u64_field(rec, "attempts", "incident recovery")?,
+        degraded: u64_field(rec, "degraded", "incident recovery")?,
+        gave_up: u64_field(rec, "gave_up", "incident recovery")?,
+        decision: str_field(rec, "decision", "incident recovery")?,
+    };
+    let expect_decision = if recovery.gave_up > 0 {
+        "gave-up"
+    } else if recovery.degraded > 0 {
+        "degraded"
+    } else if recovery.attempts > 0 {
+        "retried"
+    } else {
+        "trapped"
+    };
+    if recovery.decision != expect_decision {
+        return Err(format!(
+            "{what}: recovery decision '{}' does not match the counts (expected '{expect_decision}')",
+            recovery.decision
+        ));
+    }
+    let heap = v
+        .get("heap")
+        .ok_or_else(|| format!("{what}: missing field 'heap'"))?;
+    let objects_total = u64_field(heap, "objects_total", "incident heap")?;
+    let objects_live = u64_field(heap, "objects_live", "incident heap")?;
+    if objects_live > objects_total {
+        return Err(format!(
+            "{what}: {objects_live} live objects but only {objects_total} total"
+        ));
+    }
+    let mut neighborhood = Vec::new();
+    let rows = heap
+        .get("neighborhood")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: missing or non-array field 'heap.neighborhood'"))?;
+    for (i, row) in rows.iter().enumerate() {
+        let what = format!("incident neighborhood[{i}]");
+        let n = IncidentNeighbor {
+            id: u64_field(row, "id", &what)?,
+            base: u64_field(row, "base", &what)?,
+            size: u64_field(row, "size", &what)?,
+            ub: u64_field(row, "ub", &what)?,
+            birth_at: u64_field(row, "birth_at", &what)?,
+            free_at: opt_u64_field(row, "free_at", &what)?,
+            relation: str_field(row, "relation", &what)?,
+            distance: u64_field(row, "distance", &what)?,
+        };
+        if n.ub != n.base + n.size {
+            return Err(format!(
+                "{what}: ub {} != base {} + size {}",
+                n.ub, n.base, n.size
+            ));
+        }
+        if let Some(free_at) = n.free_at {
+            if free_at < n.birth_at {
+                return Err(format!(
+                    "{what}: freed (ins {free_at}) before born (ins {})",
+                    n.birth_at
+                ));
+            }
+        }
+        let f = fault
+            .as_ref()
+            .ok_or_else(|| format!("{what}: neighborhood present without a fault address"))?;
+        let expect = match n.relation.as_str() {
+            "contains" if f.ptr >= n.base && f.ptr < n.ub => 0,
+            "before" if f.ptr >= n.ub => f.ptr - n.ub + 1,
+            "after" if f.ptr < n.base => n.base - f.ptr,
+            other => {
+                return Err(format!(
+                    "{what}: relation '{other}' inconsistent with ptr {:#x} and [{:#x}..{:#x})",
+                    f.ptr, n.base, n.ub
+                ))
+            }
+        };
+        if n.distance != expect {
+            return Err(format!(
+                "{what}: distance {} does not match ptr {:#x} (expected {expect})",
+                n.distance, f.ptr
+            ));
+        }
+        neighborhood.push(n);
+    }
+    if neighborhood.len() as u64 > objects_total {
+        return Err(format!(
+            "{what}: neighborhood has {} rows but the ledger saw {objects_total} objects",
+            neighborhood.len()
+        ));
+    }
+    let derivation = str_list(v, "derivation", what)?;
+    let tr = v
+        .get("trace")
+        .ok_or_else(|| format!("{what}: missing field 'trace'"))?;
+    let trace_window = u64_field(tr, "window", "incident trace")?;
+    let trace_total = u64_field(tr, "total", "incident trace")?;
+    let trace = tr
+        .get("events")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{what}: missing or non-array field 'trace.events'"))?
+        .iter()
+        .enumerate()
+        .map(|(i, e)| {
+            let what = format!("incident trace.events[{i}]");
+            Ok((str_field(e, "line", &what)?, u64_field(e, "index", &what)?))
+        })
+        .collect::<Result<Vec<_>, String>>()?
+        .into_iter()
+        .map(|(line, idx)| (idx, line))
+        .collect::<Vec<_>>();
+    if trace.len() as u64 > trace_window {
+        return Err(format!(
+            "{what}: {} trace events exceed the declared window {trace_window}",
+            trace.len()
+        ));
+    }
+    if !trace.windows(2).all(|w| w[0].0 < w[1].0) {
+        return Err(format!("{what}: trace indices not strictly ascending"));
+    }
+    if let Some((idx, _)) = trace.last() {
+        if *idx >= trace_total {
+            return Err(format!(
+                "{what}: trace index {idx} out of range (total {trace_total})"
+            ));
+        }
+    }
+    let repro = match v.get("repro") {
+        None | Some(Json::Null) => None,
+        Some(r) => Some(IncidentRepro {
+            insts: u64_field(r, "insts", "incident repro")?,
+            ops: str_list(r, "ops", "incident repro")?,
+        }),
+    };
+    let digest = str_field(v, "digest", what)?;
+    if digest.len() != 16 || !digest.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("{what}: digest '{digest}' is not 16 hex digits"));
+    }
+    Ok(IncidentDoc {
+        id,
+        origin: str_field(v, "origin", what)?,
+        workload: str_field(v, "workload", what)?,
+        scheme: str_field(v, "scheme", what)?,
+        tier: str_field(v, "tier", what)?,
+        verdict: str_field(v, "verdict", what)?,
+        fault,
+        truth,
+        span_path,
+        recovery,
+        objects_total,
+        objects_live,
+        neighborhood,
+        derivation,
+        trace_window,
+        trace_total,
+        trace,
+        repro,
+        digest,
+    })
+}
+
+/// Parses a `sgxs-incident-v1` document from text.
+pub fn parse_incident(text: &str) -> Result<IncidentDoc, String> {
+    incident_from_json(&Json::parse(text).map_err(|e| format!("incident: {e}"))?)
 }
 
 #[cfg(test)]
@@ -738,5 +1153,178 @@ mod tests {
         }
         let doc = chaos_from_json(&j).expect("latency block is optional");
         assert!(doc.latency.is_none());
+    }
+
+    /// A handcrafted, internally consistent incident document. The id is
+    /// computed the same way writers compute it: FNV-1a over the compact
+    /// serialization with the id blanked.
+    fn sample_incident_json() -> Json {
+        let body = r#"{
+            "schema": "sgxs-incident-v1",
+            "id": "",
+            "origin": "fuzz", "workload": "seed-3", "scheme": "sgxbounds",
+            "tier": "reference", "verdict": "detected",
+            "fault": {
+                "at": 40, "index": 6, "site": 2,
+                "raw_addr": 1168231104784, "ptr": 272, "tag_ub": 272,
+                "size": 8, "kind": "store"
+            },
+            "truth": {"kind": "oob-store", "op": "OobStore", "op_index": 4},
+            "span_path": [{"name": "check", "arg": 2}],
+            "recovery": {"attempts": 0, "degraded": 0, "gave_up": 0,
+                         "decision": "trapped"},
+            "heap": {
+                "objects_total": 2, "objects_live": 2,
+                "neighborhood": [
+                    {"id": 0, "base": 256, "size": 16, "ub": 272,
+                     "birth_at": 10, "free_at": null,
+                     "relation": "before", "distance": 1},
+                    {"id": 1, "base": 320, "size": 32, "ub": 352,
+                     "birth_at": 20, "free_at": null,
+                     "relation": "after", "distance": 48}
+                ]
+            },
+            "derivation": ["b0 i4 store w8 proved-oob"],
+            "trace": {"window": 32, "total": 7, "events": [
+                {"index": 5, "line": "[ins 30] alloc addr=0x140 size=32"},
+                {"index": 6, "line": "[ins 40] check_fail site=2"}
+            ]},
+            "repro": {"insts": 120, "ops": ["Alloc", "OobStore"]},
+            "digest": "00000000deadbeef"
+        }"#;
+        let mut j = Json::parse(body).expect("sample body parses");
+        let id = format!(
+            "{:016x}",
+            crate::fnv(crate::FNV_OFFSET, j.to_compact().as_bytes())
+        );
+        if let Json::Obj(fields) = &mut j {
+            for (k, v) in fields.iter_mut() {
+                if k == "id" {
+                    *v = Json::Str(id.clone());
+                }
+            }
+        }
+        j
+    }
+
+    #[test]
+    fn handcrafted_incident_doc_parses() {
+        let j = sample_incident_json();
+        let doc = parse_incident(&j.to_pretty()).expect("valid incident parses");
+        assert_eq!(doc.origin, "fuzz");
+        let f = doc.fault.as_ref().expect("fault present");
+        assert_eq!((f.ptr, f.tag_ub, f.site), (272, 272, Some(2)));
+        assert_eq!(doc.neighborhood.len(), 2);
+        assert_eq!(doc.neighborhood[0].relation, "before");
+        assert_eq!(
+            doc.trace,
+            vec![
+                (5, "[ins 30] alloc addr=0x140 size=32".to_owned()),
+                (6, "[ins 40] check_fail site=2".to_owned()),
+            ]
+        );
+        assert_eq!(doc.truth.as_ref().unwrap().op_index, 4);
+        assert_eq!(doc.repro.as_ref().unwrap().ops.len(), 2);
+    }
+
+    #[test]
+    fn incident_mutations_invalidate_the_id() {
+        // Any content change breaks the recomputed id.
+        let tampered = sample_incident_json()
+            .to_pretty()
+            .replace("\"op_index\": 4", "\"op_index\": 5");
+        let e = parse_incident(&tampered).unwrap_err();
+        assert!(e.contains("id"), "{e}");
+    }
+
+    #[test]
+    fn incident_cross_validation_is_enforced() {
+        let fix_id = |text: String| {
+            let mut j = Json::parse(&text).unwrap();
+            if let Json::Obj(fields) = &mut j {
+                for (k, v) in fields.iter_mut() {
+                    if k == "id" {
+                        *v = Json::Str(String::new());
+                    }
+                }
+            }
+            let id = format!(
+                "{:016x}",
+                crate::fnv(crate::FNV_OFFSET, j.to_compact().as_bytes())
+            );
+            if let Json::Obj(fields) = &mut j {
+                for (k, v) in fields.iter_mut() {
+                    if k == "id" {
+                        *v = Json::Str(id.clone());
+                    }
+                }
+            }
+            j.to_pretty()
+        };
+        let base = sample_incident_json().to_pretty();
+        // Neighborhood bounds must be internally consistent.
+        let e = parse_incident(&fix_id(base.replace("\"ub\": 272", "\"ub\": 273"))).unwrap_err();
+        assert!(e.contains("ub"), "{e}");
+        // Distance must match the faulting pointer.
+        let e = parse_incident(&fix_id(
+            base.replace("\"distance\": 48", "\"distance\": 47"),
+        ))
+        .unwrap_err();
+        assert!(e.contains("distance"), "{e}");
+        // The recovery decision must match its counts.
+        let e = parse_incident(&fix_id(
+            base.replace("\"decision\": \"trapped\"", "\"decision\": \"retried\""),
+        ))
+        .unwrap_err();
+        assert!(e.contains("decision"), "{e}");
+        // Trace indices ascend strictly.
+        let e =
+            parse_incident(&fix_id(base.replace("\"index\": 5,", "\"index\": 6,"))).unwrap_err();
+        assert!(e.contains("ascending"), "{e}");
+        // The fault kind vocabulary is closed.
+        let e = parse_incident(&fix_id(
+            base.replace("\"kind\": \"store\"", "\"kind\": \"write\""),
+        ))
+        .unwrap_err();
+        assert!(e.contains("load/store"), "{e}");
+        // A null fault is allowed only with an empty neighborhood — there
+        // is no address to anchor the rows on.
+        let mut j = Json::parse(&base).unwrap();
+        if let Json::Obj(fields) = &mut j {
+            for (k, v) in fields.iter_mut() {
+                if k == "fault" {
+                    *v = Json::Null;
+                }
+            }
+        }
+        let e = parse_incident(&fix_id(j.to_pretty())).unwrap_err();
+        assert!(e.contains("without a fault"), "{e}");
+    }
+
+    #[test]
+    fn chaos_incident_embedding_is_validated() {
+        let mut j = Json::parse(&sample_chaos_text()).unwrap();
+        if let Json::Obj(fields) = &mut j {
+            fields.insert(
+                fields.len() - 1,
+                (
+                    "incidents".to_owned(),
+                    Json::Arr(vec![sample_incident_json()]),
+                ),
+            );
+        }
+        let doc = chaos_from_json(&j).expect("embedded incident validates");
+        assert_eq!(doc.incidents.len(), 1);
+        assert_eq!(doc.incidents[0].origin, "fuzz");
+        // A corrupt embedded incident fails the whole document.
+        if let Json::Obj(fields) = &mut j {
+            for (k, v) in fields.iter_mut() {
+                if k == "incidents" {
+                    *v = Json::Arr(vec![Json::obj(vec![("schema", "bogus".into())])]);
+                }
+            }
+        }
+        let e = chaos_from_json(&j).unwrap_err();
+        assert!(e.contains("incidents[0]"), "{e}");
     }
 }

@@ -27,8 +27,9 @@
 //!    decision for CI.
 //! 5. [`render`] — `sgxs-profile-v1` renderers (inferno-compatible
 //!    folded-stack text, a self-contained SVG flame/treemap view, an
-//!    ASCII top-N table) plus span-tree timeline views and latency
-//!    percentile tables for the metrics tier.
+//!    ASCII top-N table) plus span-tree timeline views, latency
+//!    percentile tables for the metrics tier, and `sgxs-incident-v1`
+//!    forensic views (ASCII report, SVG heap-neighborhood map).
 //!
 //! The crate is pure data-in/data-out: no filesystem or process access.
 //! The `repro` binary (`repro bench record` / `repro compare` /
@@ -43,5 +44,5 @@ pub mod stats;
 pub use compare::{compare, CompareOpts, CompareReport, MetricCompare, Verdict};
 pub use history::{parse_history, HistoryRecord, HISTORY_SCHEMA};
 pub use metrics::{flatten, flatten_metrics, Direction, Metric};
-pub use render::{latency_table, span_ascii, span_svg};
+pub use render::{incident_ascii, incident_svg, latency_table, span_ascii, span_svg};
 pub use stats::{bootstrap_ci, noise_floor, summarize, Summary};

@@ -11,7 +11,7 @@
 //! developer's Perfetto for when the Chrome-trace export isn't handy.
 
 use sgxs_metrics::SpanCollector;
-use sgxs_obs::read::{MetricsDoc, ProfileDoc};
+use sgxs_obs::read::{IncidentDoc, MetricsDoc, ProfileDoc};
 
 /// Folded-stack text (inferno-compatible).
 ///
@@ -355,6 +355,174 @@ pub fn span_svg(c: &SpanCollector) -> String {
     out
 }
 
+/// ASCII rendering of a parsed `sgxs-incident-v1` document: metadata
+/// header, decoded fault, ground truth, span path, recovery trail, the
+/// heap-neighborhood rows, the derivation chain, and the indexed trace
+/// tail. This is the artifact-side twin of `sgxs_audit`'s in-memory
+/// renderer — it consumes the validated [`IncidentDoc`] a reader parsed
+/// back, so `repro audit --ascii` works on any stored artifact.
+pub fn incident_ascii(d: &IncidentDoc) -> String {
+    let mut out = format!(
+        "incident {} — {}/{} scheme {} tier {} verdict {}\n",
+        d.id, d.origin, d.workload, d.scheme, d.tier, d.verdict
+    );
+    match &d.fault {
+        Some(f) => {
+            let site = f.site.map(|s| format!(" site#{s}")).unwrap_or_default();
+            out.push_str(&format!(
+                "fault: {} of {}B at ptr {:#x} (raw {:#x}, tag_ub {:#x}){site} @ins {} ev#{}\n",
+                f.kind, f.size, f.ptr, f.raw_addr, f.tag_ub, f.at, f.index
+            ));
+        }
+        None => out.push_str("fault: none recorded (near-miss)\n"),
+    }
+    if let Some(t) = &d.truth {
+        out.push_str(&format!(
+            "truth: {} — op {}: {}\n",
+            t.kind, t.op_index, t.op
+        ));
+    }
+    if !d.span_path.is_empty() {
+        let path: Vec<String> = d
+            .span_path
+            .iter()
+            .map(|(n, a)| format!("{n}({a})"))
+            .collect();
+        out.push_str(&format!("spans: {}\n", path.join(" > ")));
+    }
+    out.push_str(&format!(
+        "recovery: {} ({} attempts, {} degraded, {} gave up)\n",
+        d.recovery.decision, d.recovery.attempts, d.recovery.degraded, d.recovery.gave_up
+    ));
+    out.push_str(&format!(
+        "heap: {} objects observed, {} live at end of run\n",
+        d.objects_total, d.objects_live
+    ));
+    for n in &d.neighborhood {
+        let life = match n.free_at {
+            Some(f) => format!("freed@{f}"),
+            None => "live".into(),
+        };
+        out.push_str(&format!(
+            "  obj #{} [{:#x}..{:#x}) size={} born@{} {} <- {} (+{}B)\n",
+            n.id, n.base, n.ub, n.size, n.birth_at, life, n.relation, n.distance
+        ));
+    }
+    for line in &d.derivation {
+        out.push_str(&format!("derive: {line}\n"));
+    }
+    out.push_str(&format!(
+        "trace: last {} of {} events (window {}):\n",
+        d.trace.len(),
+        d.trace_total,
+        d.trace_window
+    ));
+    for (idx, line) in &d.trace {
+        out.push_str(&format!("  #{idx} {line}\n"));
+    }
+    if let Some(r) = &d.repro {
+        out.push_str(&format!(
+            "repro: {} insts, ops: {}\n",
+            r.insts,
+            r.ops.join("; ")
+        ));
+    }
+    out
+}
+
+/// Self-contained SVG heap-neighborhood map of an incident.
+///
+/// The neighborhood's address range is laid out proportionally along x:
+/// one rect per object (live colored, freed greyed), with a red marker at
+/// the decoded faulting pointer cutting through the object row. Every
+/// rect carries a `<title>` tooltip with exact addresses, so any SVG
+/// viewer shows the off-by-how-much on hover.
+pub fn incident_svg(d: &IncidentDoc) -> String {
+    let fault_ptr = d.fault.as_ref().map(|f| f.ptr);
+    let (mut lo, mut hi) = (u64::MAX, 0u64);
+    for n in &d.neighborhood {
+        lo = lo.min(n.base);
+        hi = hi.max(n.ub);
+    }
+    if let Some(p) = fault_ptr {
+        lo = lo.min(p);
+        hi = hi.max(p + 1);
+    }
+    let (lo, hi) = if lo >= hi { (0, 1) } else { (lo, hi) };
+    let span = (hi - lo) as f64;
+    let scale = |a: u64| PAD + (a - lo) as f64 / span * (W - 2.0 * PAD);
+
+    let y_head = PAD + 12.0;
+    let y_obj = PAD + ROW_H;
+    let h = y_obj + ROW_H + ROW_H / 2.0 + PAD;
+    let mut out = format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{h}" viewBox="0 0 {W} {h}" font-family="monospace" font-size="12">
+<rect x="0" y="0" width="{W}" height="{h}" fill="rgb(250,250,248)"/>
+"#
+    );
+    let head = format!(
+        "incident {}: {} {} under {} — {} objects ({} live)",
+        d.id, d.origin, d.verdict, d.scheme, d.objects_total, d.objects_live
+    );
+    out.push_str(&format!(
+        r#"<text x="{PAD}" y="{y_head:.2}" fill="rgb(60,60,60)">{}</text>"#,
+        esc(&head)
+    ));
+    out.push('\n');
+    for n in &d.neighborhood {
+        let x = scale(n.base);
+        let w = (scale(n.ub) - x).max(0.5);
+        let fill = if n.free_at.is_some() {
+            "rgb(190,190,190)".to_owned()
+        } else {
+            color(&format!("obj{}", n.id))
+        };
+        let life = match n.free_at {
+            Some(f) => format!("freed@{f}"),
+            None => "live".into(),
+        };
+        let title = format!(
+            "obj #{} [{:#x}..{:#x}) size={} born@{} {} — {} (+{}B)",
+            n.id, n.base, n.ub, n.size, n.birth_at, life, n.relation, n.distance
+        );
+        out.push_str(&format!(
+            r#"<g><title>{}</title><rect x="{x:.2}" y="{y_obj:.2}" width="{w:.2}" height="{ROW_H}" fill="{fill}" stroke="white"/>"#,
+            esc(&title)
+        ));
+        if w > 34.0 {
+            let max_chars = (w / 7.5) as usize;
+            let mut label = format!("#{} {}B", n.id, n.size);
+            if label.len() > max_chars {
+                label.truncate(max_chars.saturating_sub(1));
+                label.push('…');
+            }
+            out.push_str(&format!(
+                r#"<text x="{:.2}" y="{:.2}" fill="white">{}</text>"#,
+                x + 4.0,
+                y_obj + ROW_H - 9.0,
+                esc(&label)
+            ));
+        }
+        out.push_str("</g>\n");
+    }
+    if let Some(f) = &d.fault {
+        let x = scale(f.ptr);
+        let title = format!("fault: {} of {}B at {:#x}", f.kind, f.size, f.ptr);
+        out.push_str(&format!(
+            r#"<g><title>{}</title><rect x="{:.2}" y="{:.2}" width="2" height="{:.2}" fill="rgb(220,30,30)"/><text x="{:.2}" y="{:.2}" fill="rgb(220,30,30)">fault</text></g>"#,
+            esc(&title),
+            x - 1.0,
+            y_obj - 4.0,
+            ROW_H + 8.0,
+            (x + 4.0).min(W - 40.0),
+            y_obj + ROW_H + 14.0,
+        ));
+        out.push('\n');
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
 /// ASCII latency table from a `sgxs-metrics-v1` document: one row per
 /// histogram with count and the percentile representatives (cycles).
 pub fn latency_table(doc: &MetricsDoc) -> String {
@@ -524,6 +692,122 @@ mod tests {
         let row = t.lines().nth(1).unwrap();
         let cols: Vec<&str> = row.split_whitespace().collect();
         assert_eq!(cols[1..], ["3", "9", "12", "12", "12", "12"]);
+    }
+
+    fn sample_incident() -> IncidentDoc {
+        use sgxs_obs::read::{IncidentFault, IncidentNeighbor, IncidentRecovery, IncidentTruth};
+        IncidentDoc {
+            id: "00c0ffee00c0ffee".into(),
+            origin: "fuzz".into(),
+            workload: "seed-42".into(),
+            scheme: "sgxbounds".into(),
+            tier: "pinned".into(),
+            verdict: "detected".into(),
+            fault: Some(IncidentFault {
+                at: 120,
+                index: 9,
+                site: Some(3),
+                raw_addr: (0x150u64 << 32) | 0x14c,
+                ptr: 0x14c,
+                tag_ub: 0x150,
+                size: 4,
+                kind: "store".into(),
+            }),
+            truth: Some(IncidentTruth {
+                kind: "heap-overflow".into(),
+                op: "Store { dst: 1, off: 8 }".into(),
+                op_index: 5,
+            }),
+            span_path: vec![("exec".into(), 42)],
+            recovery: IncidentRecovery {
+                attempts: 0,
+                degraded: 0,
+                gave_up: 0,
+                decision: "trapped".into(),
+            },
+            objects_total: 3,
+            objects_live: 2,
+            neighborhood: vec![
+                IncidentNeighbor {
+                    id: 1,
+                    base: 0x140,
+                    size: 12,
+                    ub: 0x14c,
+                    birth_at: 10,
+                    free_at: None,
+                    relation: "before".into(),
+                    distance: 1,
+                },
+                IncidentNeighbor {
+                    id: 2,
+                    base: 0x150,
+                    size: 8,
+                    ub: 0x158,
+                    birth_at: 20,
+                    free_at: Some(90),
+                    relation: "after".into(),
+                    distance: 4,
+                },
+            ],
+            derivation: vec!["b0 i4 store w4 proved-oob referent=Alloc(0) offset=[12,12]".into()],
+            trace_window: 32,
+            trace_total: 40,
+            trace: vec![
+                (38, "alloc #1 12B".into()),
+                (39, "check-fail site#3".into()),
+            ],
+            repro: None,
+            digest: "deadbeefdeadbeef".into(),
+        }
+    }
+
+    #[test]
+    fn incident_ascii_reports_the_full_forensic_story() {
+        let t = incident_ascii(&sample_incident());
+        assert!(t.contains("incident 00c0ffee00c0ffee"));
+        assert!(t.contains("fault: store of 4B at ptr 0x14c"));
+        assert!(t.contains("tag_ub 0x150"));
+        assert!(t.contains("site#3"));
+        assert!(t.contains("truth: heap-overflow — op 5"));
+        assert!(t.contains("spans: exec(42)"));
+        assert!(t.contains("recovery: trapped"));
+        assert!(t.contains("obj #1 [0x140..0x14c) size=12 born@10 live <- before (+1B)"));
+        assert!(t.contains("obj #2"));
+        assert!(t.contains("freed@90"));
+        assert!(t.contains("derive: b0 i4 store"));
+        assert!(t.contains("trace: last 2 of 40 events (window 32):"));
+        assert!(t.contains("#39 check-fail site#3"));
+        // A near-miss doc renders too.
+        let mut near = sample_incident();
+        near.fault = None;
+        near.neighborhood.clear();
+        let t = incident_ascii(&near);
+        assert!(t.contains("fault: none recorded (near-miss)"));
+    }
+
+    #[test]
+    fn incident_svg_is_self_contained_and_marks_the_fault() {
+        let d = sample_incident();
+        let a = incident_svg(&d);
+        assert_eq!(a, incident_svg(&d), "deterministic");
+        assert!(a.starts_with("<svg"));
+        assert!(a.trim_end().ends_with("</svg>"));
+        assert!(a.contains("<title>"));
+        assert!(a.contains("fault: store of 4B at 0x14c"));
+        assert!(a.contains(">fault</text>"));
+        // Freed neighbour is greyed; live one takes the palette.
+        assert!(a.contains("rgb(190,190,190)"));
+        // Escaping survives hostile labels.
+        let mut evil = sample_incident();
+        evil.neighborhood[0].relation = "a<b&c".into();
+        let s = incident_svg(&evil);
+        assert!(s.contains("a&lt;b&amp;c"));
+        // No neighborhood and no fault still yields a valid document.
+        let mut bare = sample_incident();
+        bare.fault = None;
+        bare.neighborhood.clear();
+        let s = incident_svg(&bare);
+        assert!(s.starts_with("<svg") && s.trim_end().ends_with("</svg>"));
     }
 
     #[test]

@@ -3,9 +3,10 @@
 
 use crate::chaos::ChaosSchedule;
 use crate::serve::{
-    abort_policy, boundless_policy, graceful_policy, retry_policy, serve_tier, AvailabilityReport,
-    RScheme, ServerApp,
+    abort_policy, boundless_policy, graceful_policy, retry_policy, serve_forensic, serve_tier,
+    AvailabilityReport, RScheme, ServerApp,
 };
+use sgxs_audit::{FaultInfo, Incident, IncidentMeta, DEFAULT_TRACE_WINDOW};
 use sgxs_metrics::{Hist, Registry};
 use sgxs_mir::PolicySet;
 use sgxs_obs::json::Json;
@@ -163,6 +164,10 @@ pub struct ChaosReport {
     pub rows: Vec<ComboRow>,
     /// Gate failures, human-readable.
     pub failures: Vec<String>,
+    /// One `sgxs-incident-v1` forensic record per combo whose corruption
+    /// gate failed, assembled from a forensic re-run of that combo's first
+    /// corrupted seed. Empty when the corruption gates all hold.
+    pub incidents: Vec<Incident>,
 }
 
 impl ChaosReport {
@@ -293,6 +298,12 @@ impl ChaosReport {
             // histograms with p50/p90/p99/p999. Like the rest of the
             // chaos doc, byte-identical across execution tiers.
             ("latency", self.metrics().to_json()),
+            // Embedded sgxs-incident-v1 forensics for gate-failing
+            // corruption, validated by `sgxs_obs::read::parse_chaos`.
+            (
+                "incidents",
+                Json::Arr(self.incidents.iter().map(|i| i.to_json()).collect()),
+            ),
             (
                 "gate",
                 Json::obj(vec![
@@ -319,24 +330,34 @@ pub fn run_chaos_campaign(opts: &CampaignOpts) -> ChaosReport {
             ..ComboRow::default()
         })
         .collect();
+    let mut first_corrupted_seed: Vec<Option<u64>> = vec![None; combos.len()];
     for i in 0..opts.seeds {
         let seed = opts.seed0 + i;
         let schedule = ChaosSchedule::generate(seed, opts.requests);
         let app = ServerApp::ALL[(seed % ServerApp::ALL.len() as u64) as usize];
-        for (combo, row) in combos.iter().zip(rows.iter_mut()) {
+        for (c, (combo, row)) in combos.iter().zip(rows.iter_mut()).enumerate() {
             let rep = serve_tier(app, combo.scheme, &combo.policies, &schedule, opts.tier);
+            if !rep.intact() && first_corrupted_seed[c].is_none() {
+                first_corrupted_seed[c] = Some(seed);
+            }
             row.add(&rep);
         }
     }
 
     let mut failures = Vec::new();
-    for (combo, row) in combos.iter().zip(rows.iter()) {
+    let mut incidents = Vec::new();
+    for (c, (combo, row)) in combos.iter().zip(rows.iter()).enumerate() {
         let gated = combo.gated || (opts.demo_corruption && combo.scheme == RScheme::Native);
         if gated && row.corrupted_bytes > 0 {
             failures.push(format!(
                 "{}/{}: {} corrupted canary bytes across {} run(s) — \
                  cross-object corruption escaped the scheme",
                 row.scheme, row.policy, row.corrupted_bytes, row.corrupted_runs
+            ));
+            incidents.push(corruption_incident(
+                opts,
+                combo,
+                first_corrupted_seed[c].expect("corrupted combo has a corrupted seed"),
             ));
         }
         if combo.scheme == RScheme::Boundless && row.availability() < opts.threshold {
@@ -353,7 +374,36 @@ pub fn run_chaos_campaign(opts: &CampaignOpts) -> ChaosReport {
         opts: opts.clone(),
         rows,
         failures,
+        incidents,
     }
+}
+
+/// Forensic re-run of the first corrupted seed of a gate-failing combo:
+/// the same server run with a ledger recorder attached (zero-perturbation,
+/// so the availability numbers reproduce exactly), assembled into an
+/// incident around the first corrupted canary byte. Corruption is found
+/// post-run by the canary scan, not by a firing check, so the fault block
+/// is a [`FaultInfo::post_run`] record.
+fn corruption_incident(opts: &CampaignOpts, combo: &Combo, seed: u64) -> Incident {
+    let schedule = ChaosSchedule::generate(seed, opts.requests);
+    let app = ServerApp::ALL[(seed % ServerApp::ALL.len() as u64) as usize];
+    let (rep, rec, first) = serve_forensic(
+        app,
+        combo.scheme,
+        &combo.policies,
+        &schedule,
+        opts.tier,
+        DEFAULT_TRACE_WINDOW,
+    );
+    let meta = IncidentMeta {
+        origin: "chaos".into(),
+        workload: format!("{}-seed-{seed}", app.label()),
+        scheme: format!("{}/{}", combo.scheme.label(), combo.policy),
+        tier: "pinned".into(),
+        verdict: "corrupted".into(),
+    };
+    let fault = first.map(|addr| FaultInfo::post_run(addr as u64, rep.corrupted_canary_bytes));
+    Incident::assemble_with(meta, fault, &rec, DEFAULT_TRACE_WINDOW)
 }
 
 #[cfg(test)]
@@ -370,6 +420,8 @@ mod tests {
         };
         let rep = run_chaos_campaign(&opts);
         assert!(!rep.gate_failed(), "{}", rep.render());
+        // Native corrupts but is not gated by default — no incident.
+        assert!(rep.incidents.is_empty());
         let avail: std::collections::HashMap<(&str, &str), f64> = rep
             .rows
             .iter()
@@ -475,5 +527,28 @@ mod tests {
         let rep = run_chaos_campaign(&opts);
         assert!(rep.gate_failed(), "{}", rep.render());
         assert!(rep.failures.iter().any(|f| f.contains("native")));
+        // The failing corruption gate comes with a forensic incident built
+        // around the first corrupted canary byte, and the embedded document
+        // survives the validating reader's cross-checks.
+        assert_eq!(rep.incidents.len(), 1);
+        let inc = &rep.incidents[0];
+        assert_eq!(inc.meta.origin, "chaos");
+        assert_eq!(inc.meta.verdict, "corrupted");
+        assert!(inc.fault.is_some(), "corruption incident carries a fault");
+        assert!(
+            !inc.neighborhood.is_empty(),
+            "canary corruption has heap neighbours by construction"
+        );
+        let doc = sgxs_obs::read::parse_chaos(&rep.to_json().to_pretty())
+            .expect("chaos doc with embedded incidents parses back");
+        assert_eq!(doc.incidents.len(), 1);
+        assert_eq!(doc.incidents[0].origin, "chaos");
+        // Rerun: the incident (id included) is byte-stable.
+        let again = run_chaos_campaign(&opts);
+        assert_eq!(
+            rep.to_json().to_pretty(),
+            again.to_json().to_pretty(),
+            "chaos doc with incidents is not rerun-stable"
+        );
     }
 }

@@ -29,7 +29,7 @@ pub mod serve;
 pub use campaign::{run_chaos_campaign, CampaignOpts, ChaosReport, ComboRow};
 pub use chaos::{ChaosEvent, ChaosKind, ChaosSchedule};
 pub use serve::{
-    abort_policy, boundless_policy, graceful_policy, retry_policy, serve, serve_tier, serve_traced,
-    AvailabilityReport, RScheme, ServerApp,
+    abort_policy, boundless_policy, graceful_policy, retry_policy, serve, serve_forensic,
+    serve_tier, serve_traced, AvailabilityReport, RScheme, ServerApp,
 };
 pub use sgxs_mir::{PolicySet, RecoveryPolicy, RecoveryStats, TrapClass};

@@ -173,6 +173,30 @@ pub fn serve(
     serve_tier(app, scheme, policies, schedule, ExecTier::default())
 }
 
+/// Like [`serve_traced`] but with a full [`sgxs_audit::LedgerRecorder`]
+/// attached, for incident forensics. Returns the report, the recovered
+/// recorder (object ledger, span path, trace ring), and the plain address
+/// of the first corrupted canary byte, when the run corrupted any.
+///
+/// The report is identical to the untraced run's — same zero-perturbation
+/// contract as [`serve_traced`].
+pub fn serve_forensic(
+    app: ServerApp,
+    scheme: RScheme,
+    policies: &PolicySet,
+    schedule: &ChaosSchedule,
+    tier: ExecTier,
+    ring_cap: usize,
+) -> (AvailabilityReport, sgxs_audit::LedgerRecorder, Option<u32>) {
+    let rec = Rc::new(RefCell::new(sgxs_audit::LedgerRecorder::new(ring_cap)));
+    let (report, first_corrupted) =
+        serve_inner(app, scheme, policies, schedule, tier, Some(rec.clone()));
+    let rec = Rc::try_unwrap(rec)
+        .expect("server dropped its recorder handle")
+        .into_inner();
+    (report, rec, first_corrupted)
+}
+
 /// Like [`serve`] but on an explicit execution tier. Every field of the
 /// report — availability ledger, recovery counters, canary corruption,
 /// AEX penalties — must be identical across tiers; the chaos-campaign
@@ -184,7 +208,7 @@ pub fn serve_tier(
     schedule: &ChaosSchedule,
     tier: ExecTier,
 ) -> AvailabilityReport {
-    serve_inner(app, scheme, policies, schedule, tier, None)
+    serve_inner(app, scheme, policies, schedule, tier, None).0
 }
 
 /// Like [`serve_tier`] but with an observability recorder attached for the
@@ -200,7 +224,7 @@ pub fn serve_traced(
     tier: ExecTier,
     rec: Rc<RefCell<dyn Recorder>>,
 ) -> AvailabilityReport {
-    serve_inner(app, scheme, policies, schedule, tier, Some(rec))
+    serve_inner(app, scheme, policies, schedule, tier, Some(rec)).0
 }
 
 fn serve_inner(
@@ -210,7 +234,7 @@ fn serve_inner(
     schedule: &ChaosSchedule,
     tier: ExecTier,
     rec: Option<Rc<RefCell<dyn Recorder>>>,
-) -> AvailabilityReport {
+) -> (AvailabilityReport, Option<u32>) {
     let mut module = app.module();
     // Tracing turns site markers on so check-region spans exist; markers
     // never retire instructions or charge cycles (the PR 2 pin), so the
@@ -401,14 +425,18 @@ fn serve_inner(
         .as_ref()
         .map(|rt| *rt.violations.borrow())
         .unwrap_or(0);
+    let mut first_corrupted = None;
     for base in [canary_a, canary_b] {
         for i in 0..CANARY_BYTES {
             if vm.machine.mem.read(base + i, 1) as u8 != CANARY_PATTERN {
                 report.corrupted_canary_bytes += 1;
+                if first_corrupted.is_none() {
+                    first_corrupted = Some(base + i);
+                }
             }
         }
     }
-    report
+    (report, first_corrupted)
 }
 
 /// The policy a fail-stop deployment uses: every trap aborts the server.
