@@ -19,18 +19,30 @@
 //!   elision) and [`opt::elide_redundant_checks`] (a must-availability
 //!   pass: a check of the same pointer value with ≥ width on every
 //!   incoming path makes a later check dead).
+//! - [`ipa`]: the interprocedural tier — call graph with SCC condensation
+//!   (indirect targets resolved through provenance), and per-function
+//!   summaries (return provenance, parameter free/capture effect sets)
+//!   computed to fixpoint bottom-up over the condensation.
 //! - [`lint`]: the static OOB lint classifying every access site as
 //!   proved-safe / proved-oob / unknown, with check-site-registered
-//!   diagnostics. Its verdicts are validated against the sgxs-fuzz
-//!   fault-injection ground truth in `tests/lint_validation.rs`.
+//!   diagnostics, plus (with summaries) proved temporal violations —
+//!   use-after-free, double-free, leak. Its verdicts are validated against
+//!   the sgxs-fuzz fault-injection ground truth in
+//!   `tests/lint_validation.rs` and `tests/temporal_lint.rs`.
 
 pub mod dataflow;
 pub mod interval;
+pub mod ipa;
 pub mod lint;
 pub mod opt;
 pub mod prov;
 
 pub use interval::Interval;
-pub use lint::{lint_module, Finding, LintReport};
-pub use opt::{elide_redundant_checks, mark_safe_flow};
-pub use prov::{access_facts, AccessFact, Class, Referent};
+pub use ipa::{build_call_graph, summarize, CallGraph, FuncSummary, RetSummary, Summaries};
+pub use lint::{lint_module, lint_module_ipa, Finding, LintReport, TemporalFinding};
+pub use opt::{
+    elide_redundant_checks, elide_redundant_checks_with, mark_safe_flow, mark_safe_flow_with,
+};
+pub use prov::{
+    access_facts, function_facts, AccessFact, Class, FnFacts, Referent, TemporalFact, TemporalKind,
+};

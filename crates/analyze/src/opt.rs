@@ -17,7 +17,8 @@
 //! accessible `[base, base+size)` range) and preserve them.
 
 use crate::dataflow::{self, Analysis};
-use crate::prov::{access_facts, preserves_heap, Class};
+use crate::ipa::Summaries;
+use crate::prov::{function_facts, preserves_heap, Class};
 use sgxs_mir::ir::{def_of, BinOp, BlockId, Function, Inst, Module, Operand, Reg};
 use sgxs_mir::ty::Ty;
 use std::collections::HashMap;
@@ -25,9 +26,17 @@ use std::collections::HashMap;
 /// Marks every access the flow-sensitive analysis proves in-bounds.
 /// Returns how many accesses were newly marked.
 pub fn mark_safe_flow(m: &mut Module) -> usize {
+    mark_safe_flow_with(m, None)
+}
+
+/// [`mark_safe_flow`] with optional interprocedural summaries: facts then
+/// survive calls to callees whose summaries prove them heap-benign, and
+/// summarized return values carry provenance across the call.
+pub fn mark_safe_flow_with(m: &mut Module, summaries: Option<&Summaries>) -> usize {
     let mut marked = 0;
     for fi in 0..m.funcs.len() {
-        let safe: Vec<(u32, u32)> = access_facts(m, fi)
+        let safe: Vec<(u32, u32)> = function_facts(m, fi, summaries)
+            .access
             .into_iter()
             .filter(|a| a.class == Class::Safe)
             .map(|a| (a.block, a.inst))
@@ -95,6 +104,9 @@ impl Avail {
 
 struct AvailAnalysis<'a> {
     m: &'a Module,
+    /// Interprocedural summaries: direct calls to heap-benign callees no
+    /// longer kill availability facts.
+    ipa: Option<&'a Summaries>,
 }
 
 impl AvailAnalysis<'_> {
@@ -162,7 +174,22 @@ impl AvailAnalysis<'_> {
                     st.alias.insert(dst.0, l);
                 }
             }
-            Inst::Call { dst, .. } | Inst::CallIndirect { dst, .. } => {
+            Inst::Call { dst, func, .. } => {
+                // With summaries, a callee proven to free nothing (not even
+                // through escaped pointers) cannot invalidate any object's
+                // bounds metadata: in-bounds callee writes never touch an LB
+                // word (DESIGN.md §8), so availability survives the call.
+                let benign = self
+                    .ipa
+                    .is_some_and(|s| s.funcs[func.0 as usize].heap_benign());
+                if !benign {
+                    st.facts.clear();
+                }
+                if let Some(d) = dst {
+                    st.kill_reg(*d);
+                }
+            }
+            Inst::CallIndirect { dst, .. } => {
                 st.facts.clear();
                 if let Some(d) = dst {
                     st.kill_reg(*d);
@@ -223,9 +250,15 @@ impl Analysis for AvailAnalysis<'_> {
 /// them (`attrs.safe`), so the instrumentation pass skips their dynamic
 /// check. Returns how many checks were elided.
 pub fn elide_redundant_checks(m: &mut Module) -> usize {
+    elide_redundant_checks_with(m, None)
+}
+
+/// [`elide_redundant_checks`] with optional interprocedural summaries:
+/// availability facts survive direct calls to heap-benign callees.
+pub fn elide_redundant_checks_with(m: &mut Module, summaries: Option<&Summaries>) -> usize {
     let mut elided = 0;
     for fi in 0..m.funcs.len() {
-        let analysis = AvailAnalysis { m };
+        let analysis = AvailAnalysis { m, ipa: summaries };
         let f = &m.funcs[fi];
         let states = dataflow::solve(&analysis, f);
         let mut redundant: Vec<(u32, u32)> = Vec::new();
@@ -262,7 +295,7 @@ pub fn elide_redundant_checks(m: &mut Module) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prov::{AccessFact, Referent};
+    use crate::prov::{access_facts, AccessFact, Referent};
     use sgxs_mir::builder::ModuleBuilder;
     use sgxs_mir::ir::Operand;
     use sgxs_mir::ty::Ty;
@@ -590,6 +623,56 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn availability_survives_call_to_heap_benign_callee() {
+        // load p; call pure helper; store p — intraprocedurally the call
+        // kills availability, interprocedurally the summary proves the
+        // helper frees nothing and the second check is elided too.
+        let mut mb = ModuleBuilder::new("t");
+        let helper = mb.func("helper", &[Ty::I64], Some(Ty::I64), |fb| {
+            let n = fb.param(0);
+            let v = fb.add(n, 1u64);
+            fb.ret(Some(v.into()));
+        });
+        mb.func("main", &[Ty::Ptr], None, |fb| {
+            let p = fb.param(0);
+            let v = fb.load(Ty::I64, p);
+            let w = fb.call(helper, &[v.into()]).unwrap();
+            fb.store(Ty::I64, p, w);
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let mut intra = m.clone();
+        assert_eq!(elide_redundant_checks(&mut intra), 0);
+        let summaries = crate::ipa::summarize(&m);
+        let mut inter = m.clone();
+        assert_eq!(elide_redundant_checks_with(&mut inter, Some(&summaries)), 1);
+    }
+
+    #[test]
+    fn availability_dies_at_call_to_freeing_callee_even_with_summaries() {
+        let mut mb = ModuleBuilder::new("t");
+        let release = mb.func("release", &[Ty::Ptr], None, |fb| {
+            let p = fb.param(0);
+            fb.intr_void("free", &[p.into()]);
+            fb.ret(None);
+        });
+        mb.func("main", &[Ty::Ptr, Ty::Ptr], None, |fb| {
+            let p = fb.param(0);
+            let q = fb.param(1);
+            let v = fb.load(Ty::I64, p);
+            fb.call(release, &[q.into()]);
+            fb.store(Ty::I64, p, v);
+            fb.ret(None);
+        });
+        let m = mb.finish();
+        let summaries = crate::ipa::summarize(&m);
+        let mut inter = m.clone();
+        // `release` frees its argument — which may alias `p` — so the
+        // store's check must stay.
+        assert_eq!(elide_redundant_checks_with(&mut inter, Some(&summaries)), 0);
     }
 
     fn attrs_of(inst: &Inst) -> Option<&sgxs_mir::ir::AccessAttrs> {

@@ -1,27 +1,37 @@
 //! Flow-sensitive pointer-provenance and value-range analysis.
 //!
-//! The abstract value of a register or local is either a numeric interval
-//! or a pointer `(referent, offset interval, inbounds)`. Provenance is
-//! tracked across blocks and joins, through `gep`s, copies, and
-//! cross-block locals — strictly subsuming the per-block facts of
-//! `sgxs_mir::analysis::safe`. Branch conditions refine intervals on CFG
-//! edges (including the local a compared register was read from), which is
-//! what lets `count_loop` bodies prove their index in range.
+//! The abstract value of a register or local is a numeric interval, a
+//! pointer `(referent, offset interval, inbounds)`, a pointer derived from
+//! a function parameter, or a code address. Provenance is tracked across
+//! blocks and joins, through `gep`s, copies, and cross-block locals —
+//! strictly subsuming the per-block facts of `sgxs_mir::analysis::safe`.
+//! Branch conditions refine intervals on CFG edges (including the local a
+//! compared register was read from), which is what lets `count_loop`
+//! bodies prove their index in range.
 //!
-//! Soundness stance (documented in DESIGN.md §8): allocation is fail-stop
-//! (a returned pointer refers to an object of the requested size), calls
-//! that may free or run concurrent code kill heap provenance, and
+//! On top of the spatial facts the state carries *allocation-site
+//! liveness* (live / freed / unknown per site) and an escape set, which
+//! powers the static temporal lints (use-after-free, double-free, leak)
+//! and lets `free` mark an object dead without discarding its spatial
+//! facts. With interprocedural summaries ([`crate::ipa`]) attached, calls
+//! apply their callee's heap effects instead of the blanket
+//! kill-all-heap-facts transfer.
+//!
+//! Soundness stance (documented in DESIGN.md §8 and §13): allocation is
+//! fail-stop (a returned pointer refers to an object of the requested
+//! size), calls with unknown effects kill heap provenance, and
 //! `gep`/`sb_narrow` builder contracts are trusted exactly as the
 //! per-block analysis already trusts them.
 
 use crate::dataflow::{self, Analysis};
 use crate::interval::Interval;
+use crate::ipa::{CallGraph, FuncSummary, RetSummary, Summaries};
 use sgxs_mir::ir::{
     def_of, BinOp, BlockId, CastKind, CmpOp, Function, Inst, IntrinsicId, LocalId, Module, Operand,
     Reg, Term,
 };
 use sgxs_mir::ty::Ty;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// What an abstract pointer refers to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,7 +51,9 @@ pub enum Referent {
         size: u64,
     },
     /// Heap object allocated at the numbered `malloc`/`calloc`/`realloc`
-    /// site (sites are numbered per function, in block order).
+    /// site (sites are numbered per function, in block order; with
+    /// summaries attached, direct calls returning a fresh allocation are
+    /// numbered too).
     Alloc {
         /// Allocation-site number.
         site: u32,
@@ -68,12 +80,6 @@ impl Referent {
             | Referent::Narrow { size, .. } => *size,
         }
     }
-
-    /// Whether a call that may free or run concurrent code invalidates
-    /// facts about this referent.
-    fn killed_by_calls(&self) -> bool {
-        matches!(self, Referent::Alloc { .. } | Referent::Narrow { .. })
-    }
 }
 
 /// Abstract value of a register or local.
@@ -91,6 +97,21 @@ pub enum AbsVal {
         /// lies within the object even when the offset interval is ⊤.
         inb: bool,
     },
+    /// A pointer `off` bytes past pointer parameter `index` of the
+    /// analyzed function. The referent lives in some caller; the
+    /// interprocedural summary layer transfers it across the call.
+    Arg {
+        /// Parameter index.
+        index: u32,
+        /// Byte offset from the parameter value.
+        off: Interval,
+    },
+    /// The code address of module function `func` (from `FuncAddr`); lets
+    /// the call-graph builder resolve indirect calls.
+    Code {
+        /// Function index.
+        func: u32,
+    },
 }
 
 impl AbsVal {
@@ -100,7 +121,7 @@ impl AbsVal {
     fn interval(&self) -> Interval {
         match self {
             AbsVal::Num(iv) => *iv,
-            AbsVal::Ptr { .. } => Interval::TOP,
+            AbsVal::Ptr { .. } | AbsVal::Arg { .. } | AbsVal::Code { .. } => Interval::TOP,
         }
     }
 }
@@ -125,15 +146,51 @@ fn join_val(a: &AbsVal, b: &AbsVal, widen: bool) -> AbsVal {
             off: widened(oa, oa.join(ob)),
             inb: *ia && *ib,
         },
+        (AbsVal::Arg { index: ia, off: oa }, AbsVal::Arg { index: ib, off: ob }) if ia == ib => {
+            AbsVal::Arg {
+                index: *ia,
+                off: widened(oa, oa.join(ob)),
+            }
+        }
+        (AbsVal::Code { func: fa }, AbsVal::Code { func: fb }) if fa == fb => *a,
         _ => AbsVal::TOP,
     }
 }
 
-/// Per-point state: abstract values of registers and locals (absent = ⊤).
+/// Liveness of one allocation site on the current path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteLive {
+    /// Definitely allocated and not freed; payload is the object size.
+    Live(u64),
+    /// Definitely freed.
+    Freed,
+    /// Maybe freed / maybe never allocated on this path.
+    Top,
+}
+
+/// Per-point state: abstract values of registers and locals (absent = ⊤),
+/// allocation-site liveness, the escape set, and the must-freed parameter
+/// set (for interprocedural summaries).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct PState {
     regs: HashMap<u32, AbsVal>,
     locals: HashMap<u32, AbsVal>,
+    /// Per allocation site: liveness on this path (absent = not yet
+    /// allocated).
+    pub(crate) heap: BTreeMap<u32, SiteLive>,
+    /// Sites whose address may outlive the function body (stored, passed
+    /// to an intrinsic, captured by a callee). May-set: grows at joins.
+    pub(crate) escaped: BTreeSet<u32>,
+    /// Pointer parameters definitely freed on this path. Must-set:
+    /// intersected at joins; feeds `FuncSummary::must_frees_params`.
+    pub(crate) freed_args: BTreeSet<u32>,
+    /// A thread whose code may free memory could be running concurrently
+    /// on this path: set by a `spawn` whose target is not summary-proven
+    /// heap-benign, and by any call whose effects are unknown (it might
+    /// spawn). While set, escaped sites never classify as proved — the
+    /// concurrent thread could free them between any two instructions —
+    /// and a `join` keeps killing heap facts. Or-joined at merges.
+    pub(crate) thread_taint: bool,
 }
 
 impl PState {
@@ -161,25 +218,21 @@ impl PState {
         }
     }
 
-    /// Drops every fact about heap referents (calls may free them).
+    /// A call with unknown effects: every site becomes maybe-freed and
+    /// every narrowed view (whose parent is unknown) is dropped. Spatial
+    /// facts about `Alloc` referents survive but classify `Unknown` until
+    /// re-established, which matches the old drop-the-facts behaviour.
     fn kill_heap(&mut self) {
-        let heap =
-            |v: &AbsVal| matches!(v, AbsVal::Ptr { referent, .. } if referent.killed_by_calls());
-        self.regs.retain(|_, v| !heap(v));
-        self.locals.retain(|_, v| !heap(v));
+        for v in self.heap.values_mut() {
+            *v = SiteLive::Top;
+        }
+        self.drop_narrows();
     }
 
-    /// Drops facts about one allocation site plus every narrowed view
-    /// (a `Narrow` may be derived from the freed object; the analysis does
-    /// not track which parent a narrow came from). Freeing one object
-    /// cannot invalidate another live object's bounds, so everything else
-    /// survives.
-    fn kill_alloc(&mut self, dead_site: u32) {
-        let dead = |v: &AbsVal| {
+    /// Drops every fact about `Narrow` referents.
+    fn drop_narrows(&mut self) {
+        let narrow = |v: &AbsVal| {
             matches!(
-                v,
-                AbsVal::Ptr { referent: Referent::Alloc { site, .. }, .. } if *site == dead_site
-            ) || matches!(
                 v,
                 AbsVal::Ptr {
                     referent: Referent::Narrow { .. },
@@ -187,14 +240,45 @@ impl PState {
                 }
             )
         };
+        self.regs.retain(|_, v| !narrow(v));
+        self.locals.retain(|_, v| !narrow(v));
+    }
+
+    /// `free(p)` through a pointer of known provenance: the site is
+    /// definitely dead, narrowed views (which may derive from it) are
+    /// dropped, and every other object's facts survive. The spatial facts
+    /// about the freed site are kept — the liveness gate turns them into
+    /// `Unknown` (or a proved use-after-free).
+    fn free_site(&mut self, site: u32) {
+        self.heap.insert(site, SiteLive::Freed);
+        self.drop_narrows();
+    }
+
+    /// A callee may (but need not) free `site`.
+    fn taint_site(&mut self, site: u32) {
+        self.heap.insert(site, SiteLive::Top);
+        self.drop_narrows();
+    }
+
+    /// Drops facts derived from pointer parameter `index` (it was freed).
+    fn kill_arg(&mut self, index: u32) {
+        let dead = |v: &AbsVal| matches!(v, AbsVal::Arg { index: i, .. } if *i == index);
         self.regs.retain(|_, v| !dead(v));
         self.locals.retain(|_, v| !dead(v));
+    }
+
+    /// Liveness of `site` on this path.
+    pub(crate) fn liveness(&self, site: u32) -> Option<SiteLive> {
+        self.heap.get(&site).copied()
     }
 }
 
 /// Intrinsics that neither free memory nor hand control to code that
 /// might: heap facts survive them. Everything else (free, realloc, munmap,
-/// thread operations, unknown names) kills heap provenance.
+/// unknown names) kills heap provenance. `spawn` and `join` have a
+/// dedicated thread-aware model in the transfer function: a spawn applies
+/// the spawned function's summarised effects (heap-benign workers preserve
+/// facts) and a join is pure synchronisation.
 const HEAP_PRESERVING: [&str; 18] = [
     "malloc",
     "calloc",
@@ -221,40 +305,82 @@ pub fn preserves_heap(name: &str) -> bool {
     HEAP_PRESERVING.contains(&name)
 }
 
+/// Returns whether an intrinsic is a deallocation entry point whose first
+/// argument is the (possibly moved) object.
+pub(crate) fn frees_first_arg(name: &str) -> bool {
+    matches!(name, "free" | "munmap" | "realloc")
+}
+
 /// The dataflow problem: provenance + ranges for one function.
 pub struct ProvAnalysis<'a> {
     m: &'a Module,
     fi: usize,
     /// Allocation/narrowing instructions numbered in block order.
     sites: HashMap<(u32, u32), u32>,
+    /// Interprocedural summaries, when running call-graph-aware.
+    ipa: Option<(&'a CallGraph, &'a [FuncSummary])>,
 }
 
 impl<'a> ProvAnalysis<'a> {
-    /// Prepares the analysis for function `fi` of `m`.
+    /// Prepares the intraprocedural analysis for function `fi` of `m`.
     pub fn new(m: &'a Module, fi: usize) -> Self {
+        Self::with_parts(m, fi, None)
+    }
+
+    /// Prepares the analysis with interprocedural summaries attached:
+    /// calls apply their callee's heap effects and provenance transfer.
+    pub fn with_summaries(m: &'a Module, fi: usize, s: &'a Summaries) -> Self {
+        Self::with_parts(m, fi, Some((&s.graph, &s.funcs)))
+    }
+
+    pub(crate) fn with_parts(
+        m: &'a Module,
+        fi: usize,
+        ipa: Option<(&'a CallGraph, &'a [FuncSummary])>,
+    ) -> Self {
         let mut sites = HashMap::new();
         for (bi, blk) in m.funcs[fi].blocks.iter().enumerate() {
             for (ii, inst) in blk.insts.iter().enumerate() {
-                if let Inst::CallIntrinsic { intrinsic, .. } = inst {
-                    let name = m.intrinsics[intrinsic.0 as usize].as_str();
-                    if matches!(name, "malloc" | "calloc" | "realloc" | "sb_narrow") {
-                        sites.insert((bi as u32, ii as u32), sites.len() as u32);
+                let numbered = match inst {
+                    Inst::CallIntrinsic { intrinsic, .. } => {
+                        let name = m.intrinsics[intrinsic.0 as usize].as_str();
+                        matches!(name, "malloc" | "calloc" | "realloc" | "sb_narrow")
                     }
+                    // A direct call whose callee provably returns a fresh
+                    // allocation is an allocation site of the caller.
+                    Inst::Call { func, .. } => ipa.is_some_and(|(_, funcs)| {
+                        matches!(
+                            funcs[func.0 as usize].ret,
+                            RetSummary::FreshAlloc { .. }
+                        )
+                    }),
+                    _ => false,
+                };
+                if numbered {
+                    sites.insert((bi as u32, ii as u32), sites.len() as u32);
                 }
             }
         }
-        ProvAnalysis { m, fi, sites }
+        ProvAnalysis { m, fi, sites, ipa }
     }
 
     fn func(&self) -> &Function {
         &self.m.funcs[self.fi]
     }
 
-    fn intr_name(&self, id: IntrinsicId) -> &str {
+    pub(crate) fn intr_name(&self, id: IntrinsicId) -> &str {
         &self.m.intrinsics[id.0 as usize]
     }
 
-    fn eval(&self, op: &Operand, st: &PState) -> AbsVal {
+    /// Position of a numbered allocation/narrowing site.
+    pub(crate) fn site_pos(&self, site: u32) -> Option<(u32, u32)> {
+        self.sites
+            .iter()
+            .find(|(_, s)| **s == site)
+            .map(|(pos, _)| *pos)
+    }
+
+    pub(crate) fn eval(&self, op: &Operand, st: &PState) -> AbsVal {
         match op {
             Operand::Imm(v) => AbsVal::Num(Interval::exact(*v)),
             Operand::Reg(r) => st.reg(*r),
@@ -319,13 +445,46 @@ impl<'a> ProvAnalysis<'a> {
                         off: off.add(&delta).add_signed(*disp),
                         inb: *inbounds,
                     },
+                    AbsVal::Arg { index: pi, off } => AbsVal::Arg {
+                        index: pi,
+                        off: off.add(&delta).add_signed(*disp),
+                    },
                     AbsVal::Num(b) => AbsVal::Num(b.add(&delta).add_signed(*disp)),
+                    AbsVal::Code { .. } => AbsVal::TOP,
                 };
                 st.set_reg(*dst, v);
             }
             Inst::Load { dst, .. } => st.set_reg(*dst, AbsVal::TOP),
-            Inst::Store { .. } | Inst::Site { .. } => {}
-            Inst::AtomicRmw { dst, .. } | Inst::AtomicCas { dst, .. } => {
+            Inst::Store { val, .. } => {
+                // A stored pointer may outlive every local fact: the
+                // allocation site escapes (leak analysis must not claim it).
+                if let AbsVal::Ptr {
+                    referent: Referent::Alloc { site, .. },
+                    ..
+                } = self.eval(val, st)
+                {
+                    st.escaped.insert(site);
+                }
+            }
+            Inst::Site { .. } => {}
+            Inst::AtomicRmw { dst, val, .. } => {
+                if let AbsVal::Ptr {
+                    referent: Referent::Alloc { site, .. },
+                    ..
+                } = self.eval(val, st)
+                {
+                    st.escaped.insert(site);
+                }
+                st.set_reg(*dst, AbsVal::TOP)
+            }
+            Inst::AtomicCas { dst, new, .. } => {
+                if let AbsVal::Ptr {
+                    referent: Referent::Alloc { site, .. },
+                    ..
+                } = self.eval(new, st)
+                {
+                    st.escaped.insert(site);
+                }
                 st.set_reg(*dst, AbsVal::TOP)
             }
             Inst::ReadLocal { dst, local } => {
@@ -358,25 +517,77 @@ impl<'a> ProvAnalysis<'a> {
                     },
                 );
             }
+            Inst::FuncAddr { dst, func } => st.set_reg(*dst, AbsVal::Code { func: func.0 }),
             Inst::CallIntrinsic {
                 dst,
                 intrinsic,
                 args,
             } => {
                 let name = self.intr_name(*intrinsic);
-                if !preserves_heap(name) {
+                // Any heap pointer handed to an intrinsic other than as
+                // the object being freed conservatively escapes (the
+                // runtime might retain it; sb_narrow derives an untracked
+                // alias of its parent).
+                let free_family = frees_first_arg(name);
+                for (i, a) in args.iter().enumerate() {
+                    if free_family && i == 0 {
+                        continue;
+                    }
+                    if let AbsVal::Ptr {
+                        referent: Referent::Alloc { site, .. },
+                        ..
+                    } = self.eval(a, st)
+                    {
+                        st.escaped.insert(site);
+                    }
+                }
+                if name == "spawn" {
+                    // Thread effects are modelled at the spawn: a target
+                    // resolved through `Code` provenance to a
+                    // summary-proven heap-benign function can never free
+                    // anything on its thread, so heap facts survive (the
+                    // forwarded pointers escaped above). Anything else
+                    // kills the facts and taints the path — the new
+                    // thread may free concurrently from here on.
+                    let benign = match (self.ipa, args.first().map(|a| self.eval(a, st))) {
+                        (Some((_, funcs)), Some(AbsVal::Code { func })) => {
+                            funcs[func as usize].heap_benign()
+                        }
+                        _ => false,
+                    };
+                    if !benign {
+                        st.thread_taint = true;
+                        st.kill_heap();
+                    }
+                } else if name == "join" {
+                    // A join runs no user code — it only synchronises.
+                    // The joined thread's effects were applied at its
+                    // spawn; all a join adds is another point where a
+                    // tainting thread may have freed.
+                    if st.thread_taint {
+                        st.kill_heap();
+                    }
+                } else if !preserves_heap(name) {
                     // Deallocating through a pointer of known provenance
-                    // invalidates only that object (and narrowed views,
-                    // which may derive from it); an unknown argument or any
-                    // other heap-killing intrinsic drops every heap fact.
-                    match (name, args.first().map(|a| self.eval(a, st))) {
+                    // marks only that object dead (plus narrowed views,
+                    // which may derive from it); freeing a parameter kills
+                    // heap facts (it could alias any object) but records
+                    // the must-freed parameter for the summary layer; an
+                    // unknown argument or any other heap-killing intrinsic
+                    // taints every site.
+                    match (free_family, args.first().map(|a| self.eval(a, st))) {
                         (
-                            "free" | "munmap" | "realloc",
+                            true,
                             Some(AbsVal::Ptr {
                                 referent: Referent::Alloc { site, .. },
                                 ..
                             }),
-                        ) => st.kill_alloc(site),
+                        ) => st.free_site(site),
+                        (true, Some(AbsVal::Arg { index, .. })) => {
+                            st.kill_heap();
+                            st.kill_arg(index);
+                            st.freed_args.insert(index);
+                        }
                         _ => st.kill_heap(),
                     }
                 }
@@ -384,20 +595,20 @@ impl<'a> ProvAnalysis<'a> {
                 let out = match name {
                     "malloc" => self
                         .exact_arg(args, 0, st)
-                        .map(|size| self.alloc_val(site, size)),
+                        .map(|size| self.alloc_val(site, size, st)),
                     "calloc" => {
                         let n = self.exact_arg(args, 0, st);
                         let e = self.exact_arg(args, 1, st);
                         match (n, e) {
                             (Some(n), Some(e)) => {
-                                n.checked_mul(e).map(|size| self.alloc_val(site, size))
+                                n.checked_mul(e).map(|size| self.alloc_val(site, size, st))
                             }
                             _ => None,
                         }
                     }
                     "realloc" => self
                         .exact_arg(args, 1, st)
-                        .map(|size| self.alloc_val(site, size)),
+                        .map(|size| self.alloc_val(site, size, st)),
                     "sb_narrow" => self.exact_arg(args, 1, st).map(|size| AbsVal::Ptr {
                         referent: Referent::Narrow {
                             site: site.expect("sb_narrow is a numbered site"),
@@ -412,11 +623,15 @@ impl<'a> ProvAnalysis<'a> {
                     st.set_reg(*d, out.unwrap_or(AbsVal::TOP));
                 }
             }
-            Inst::Call { dst, .. } | Inst::CallIndirect { dst, .. } => {
-                st.kill_heap();
-                if let Some(d) = dst {
-                    st.set_reg(*d, AbsVal::TOP);
-                }
+            Inst::Call { dst, func, args } => {
+                self.call_step(bi, ii, Some(func.0), *dst, args, st)
+            }
+            Inst::CallIndirect { dst, target, args } => {
+                let callee = match self.eval(target, st) {
+                    AbsVal::Code { func } => Some(func),
+                    _ => None,
+                };
+                self.call_step(bi, ii, callee, *dst, args, st)
             }
             // Anything else (including future variants) just clobbers its def.
             other => {
@@ -427,12 +642,152 @@ impl<'a> ProvAnalysis<'a> {
         }
     }
 
-    fn alloc_val(&self, site: Option<u32>, size: u64) -> AbsVal {
-        AbsVal::Ptr {
-            referent: Referent::Alloc {
-                site: site.expect("allocation is a numbered site"),
-                size,
+    /// Transfer for a (resolved or unresolved) call. Without summaries
+    /// this is the blanket kill; with summaries the callee's recorded heap
+    /// effects are applied instead, and its return provenance transfers.
+    fn call_step(
+        &self,
+        bi: u32,
+        ii: u32,
+        callee: Option<u32>,
+        dst: Option<Reg>,
+        args: &[Operand],
+        st: &mut PState,
+    ) {
+        let Some((_, funcs)) = self.ipa else {
+            st.thread_taint = true;
+            st.kill_heap();
+            if let Some(d) = dst {
+                st.set_reg(d, AbsVal::TOP);
+            }
+            return;
+        };
+        // Evaluate arguments against the pre-call state.
+        let vals: Vec<AbsVal> = args.iter().map(|a| self.eval(a, st)).collect();
+        let Some(g) = callee else {
+            // Unresolved indirect call: every pointer argument escapes,
+            // everything heap-derived is tainted.
+            for v in &vals {
+                if let AbsVal::Ptr {
+                    referent: Referent::Alloc { site, .. },
+                    ..
+                } = v
+                {
+                    st.escaped.insert(*site);
+                }
+            }
+            st.thread_taint = true;
+            st.kill_heap();
+            if let Some(d) = dst {
+                st.set_reg(d, AbsVal::TOP);
+            }
+            return;
+        };
+        let s = &funcs[g as usize];
+        let flag = |v: &[bool], i: usize| v.get(i).copied().unwrap_or(false);
+        let mut full_kill = s.frees_unknown;
+        for (i, v) in vals.iter().enumerate() {
+            let may_free = flag(&s.frees_params, i);
+            let must_free = flag(&s.must_frees_params, i);
+            let captures = flag(&s.captures_params, i);
+            match v {
+                AbsVal::Ptr {
+                    referent: Referent::Alloc { site, .. },
+                    ..
+                } => {
+                    if must_free {
+                        st.free_site(*site);
+                    } else if may_free {
+                        st.taint_site(*site);
+                    }
+                    if captures {
+                        st.escaped.insert(*site);
+                    }
+                }
+                AbsVal::Arg { index, .. } => {
+                    if must_free {
+                        st.freed_args.insert(*index);
+                    }
+                    if may_free {
+                        st.kill_arg(*index);
+                    }
+                }
+                // Freeing a narrowed view frees its (untracked) parent.
+                AbsVal::Ptr {
+                    referent: Referent::Narrow { .. },
+                    ..
+                } if may_free => full_kill = true,
+                _ => {
+                    if may_free {
+                        // The callee frees a pointer we know nothing
+                        // about: it could alias any object.
+                        full_kill = true;
+                    }
+                }
+            }
+        }
+        if s.frees_unknown {
+            // The unattributed free may come from a thread the callee
+            // spawned, which keeps running after it returns.
+            st.thread_taint = true;
+        }
+        if full_kill {
+            st.kill_heap();
+        } else if s.frees_params.iter().any(|b| *b) {
+            // Some object died; narrowed views might derive from it.
+            st.drop_narrows();
+        }
+        let out = match &s.ret {
+            RetSummary::Top => AbsVal::TOP,
+            RetSummary::Num(iv) => AbsVal::Num(*iv),
+            RetSummary::Param { index, off } => match vals.get(*index as usize) {
+                Some(AbsVal::Ptr { referent, off: o, .. }) => AbsVal::Ptr {
+                    referent: *referent,
+                    off: o.add(off),
+                    inb: false,
+                },
+                Some(AbsVal::Arg { index: pi, off: o }) => AbsVal::Arg {
+                    index: *pi,
+                    off: o.add(off),
+                },
+                _ => AbsVal::TOP,
             },
+            RetSummary::Global { id, size, off } => AbsVal::Ptr {
+                referent: Referent::Global {
+                    id: *id,
+                    size: *size,
+                },
+                off: *off,
+                inb: false,
+            },
+            RetSummary::FreshAlloc { size, escaped } => match self.sites.get(&(bi, ii)) {
+                Some(site) => {
+                    st.heap.insert(*site, SiteLive::Live(*size));
+                    if *escaped {
+                        st.escaped.insert(*site);
+                    }
+                    AbsVal::Ptr {
+                        referent: Referent::Alloc {
+                            site: *site,
+                            size: *size,
+                        },
+                        off: Interval::exact(0),
+                        inb: false,
+                    }
+                }
+                None => AbsVal::TOP,
+            },
+        };
+        if let Some(d) = dst {
+            st.set_reg(d, out);
+        }
+    }
+
+    fn alloc_val(&self, site: Option<u32>, size: u64, st: &mut PState) -> AbsVal {
+        let site = site.expect("allocation is a numbered site");
+        st.heap.insert(site, SiteLive::Live(size));
+        AbsVal::Ptr {
+            referent: Referent::Alloc { site, size },
             off: Interval::exact(0),
             inb: false,
         }
@@ -538,8 +893,23 @@ fn at_most(hi: u64) -> Option<Interval> {
 impl Analysis for ProvAnalysis<'_> {
     type State = PState;
 
-    fn entry_state(&self, _f: &Function) -> PState {
-        PState::default()
+    fn entry_state(&self, f: &Function) -> PState {
+        let mut st = PState::default();
+        // Pointer parameters start as themselves: facts derived from them
+        // survive until the parameter object might be freed, and the
+        // summary layer can transfer them into callers.
+        for (i, ty) in f.params.iter().enumerate() {
+            if *ty == Ty::Ptr {
+                st.set_reg(
+                    Reg(i as u32),
+                    AbsVal::Arg {
+                        index: i as u32,
+                        off: Interval::exact(0),
+                    },
+                );
+            }
+        }
+        st
     }
 
     fn transfer_block(&self, f: &Function, b: BlockId, st: &mut PState) {
@@ -609,6 +979,36 @@ impl Analysis for ProvAnalysis<'_> {
         };
         changed |= join_map(&mut into.regs, &other.regs);
         changed |= join_map(&mut into.locals, &other.locals);
+        // Site liveness: equal states agree, anything else (including a
+        // site allocated on only one path) joins to Top.
+        for (k, ov) in &other.heap {
+            let nv = match into.heap.get(k) {
+                Some(v) if v == ov => *v,
+                _ => SiteLive::Top,
+            };
+            if into.heap.get(k) != Some(&nv) {
+                into.heap.insert(*k, nv);
+                changed = true;
+            }
+        }
+        for (k, v) in into.heap.iter_mut() {
+            if !other.heap.contains_key(k) && *v != SiteLive::Top {
+                *v = SiteLive::Top;
+                changed = true;
+            }
+        }
+        // Escapes are a may-set (union), must-freed params intersect.
+        for s in &other.escaped {
+            changed |= into.escaped.insert(*s);
+        }
+        let before = into.freed_args.len();
+        into.freed_args.retain(|a| other.freed_args.contains(a));
+        changed |= into.freed_args.len() != before;
+        // Thread taint is a may-property: true on any incoming path wins.
+        if other.thread_taint && !into.thread_taint {
+            into.thread_taint = true;
+            changed = true;
+        }
         changed
     }
 }
@@ -669,7 +1069,55 @@ pub struct AccessFact {
     pub offset: Option<(u64, u64)>,
 }
 
-/// Classifies a pointer value against an access of `width` bytes.
+/// Kind of a proved temporal violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemporalKind {
+    /// Access through a definitely-freed allocation.
+    UseAfterFree,
+    /// Second free of a definitely-freed allocation.
+    DoubleFree,
+    /// Allocation provably live, unescaped, and unreturned at a `ret`.
+    Leak,
+}
+
+impl TemporalKind {
+    /// Stable label used in reports (`"uaf"`, `"df"`, `"leak"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TemporalKind::UseAfterFree => "uaf",
+            TemporalKind::DoubleFree => "df",
+            TemporalKind::Leak => "leak",
+        }
+    }
+}
+
+/// One proved temporal violation. For `uaf` the position is the access,
+/// for `df` the second free, for `leak` the allocation instruction.
+#[derive(Debug, Clone)]
+pub struct TemporalFact {
+    /// Block index within the function.
+    pub block: u32,
+    /// Instruction index within the block.
+    pub inst: u32,
+    /// The violation kind.
+    pub kind: TemporalKind,
+    /// The allocation site concerned.
+    pub site: u32,
+    /// Object size in bytes.
+    pub size: u64,
+}
+
+/// Spatial and temporal facts for one function.
+#[derive(Debug, Clone, Default)]
+pub struct FnFacts {
+    /// Every classified access site.
+    pub access: Vec<AccessFact>,
+    /// Every proved temporal violation.
+    pub temporal: Vec<TemporalFact>,
+}
+
+/// Classifies a pointer value against an access of `width` bytes
+/// (spatially — liveness gating happens in [`function_facts`]).
 pub fn classify(val: &AbsVal, width: u8) -> Class {
     let AbsVal::Ptr { referent, off, inb } = val else {
         return Class::Unknown;
@@ -699,31 +1147,81 @@ fn access_of(inst: &Inst) -> Option<(&'static str, Ty, &Operand)> {
     }
 }
 
+/// Spatial classification gated by allocation-site liveness: a fact about
+/// a freed (or maybe-freed) site proves nothing spatially, and a
+/// definitely-freed site is a proved use-after-free.
+fn classify_live(st: &PState, val: &AbsVal, width: u8) -> (Class, bool) {
+    if let AbsVal::Ptr {
+        referent: Referent::Alloc { site, .. },
+        ..
+    } = val
+    {
+        return match st.liveness(*site) {
+            // With a possibly-freeing thread running, an escaped site can
+            // die between any two instructions: nothing is provable.
+            Some(SiteLive::Live(_)) if st.thread_taint && st.escaped.contains(site) => {
+                (Class::Unknown, false)
+            }
+            Some(SiteLive::Live(_)) => (classify(val, width), false),
+            Some(SiteLive::Freed) => (Class::Unknown, true),
+            _ => (Class::Unknown, false),
+        };
+    }
+    (classify(val, width), false)
+}
+
 /// Runs the analysis over function `fi` and classifies every access site.
 /// Sites in unreachable blocks are reported `Unknown`.
 pub fn access_facts(m: &Module, fi: usize) -> Vec<AccessFact> {
-    let analysis = ProvAnalysis::new(m, fi);
-    let f = &m.funcs[fi];
-    let states = dataflow::solve(&analysis, f);
-    let mut out = Vec::new();
+    function_facts(m, fi, None).access
+}
+
+/// Runs the analysis over function `fi` — with interprocedural summaries
+/// when provided — and produces every spatial access fact plus every
+/// proved temporal violation.
+pub fn function_facts(m: &Module, fi: usize, ipa: Option<&Summaries>) -> FnFacts {
+    let analysis = match ipa {
+        Some(s) => ProvAnalysis::with_summaries(m, fi, s),
+        None => ProvAnalysis::new(m, fi),
+    };
+    facts_of_analysis(&analysis)
+}
+
+pub(crate) fn facts_of_analysis(analysis: &ProvAnalysis<'_>) -> FnFacts {
+    let f = &analysis.m.funcs[analysis.fi];
+    let states = dataflow::solve(analysis, f);
+    let mut out = FnFacts::default();
+    // site -> size, first observed leak anchor resolved after the walk.
+    let mut leaks: BTreeMap<u32, u64> = BTreeMap::new();
     for (bi, blk) in f.blocks.iter().enumerate() {
         let mut st = states[bi].clone();
         for (ii, inst) in blk.insts.iter().enumerate() {
             if let Some((kind, ty, addr)) = access_of(inst) {
-                let (class, referent, offset) = match &st {
+                let (class, referent, offset, uaf) = match &st {
                     Some(st) => {
                         let val = analysis.eval(addr, st);
-                        let class = classify(&val, ty.width());
+                        let (class, uaf) = classify_live(st, &val, ty.width());
                         match val {
                             AbsVal::Ptr { referent, off, .. } => {
-                                (class, Some(referent), Some((off.lo, off.hi)))
+                                (class, Some(referent), Some((off.lo, off.hi)), uaf)
                             }
-                            AbsVal::Num(_) => (class, None, None),
+                            _ => (class, None, None, uaf),
                         }
                     }
-                    None => (Class::Unknown, None, None),
+                    None => (Class::Unknown, None, None, false),
                 };
-                out.push(AccessFact {
+                if uaf {
+                    if let Some(Referent::Alloc { site, size }) = referent {
+                        out.temporal.push(TemporalFact {
+                            block: bi as u32,
+                            inst: ii as u32,
+                            kind: TemporalKind::UseAfterFree,
+                            site,
+                            size,
+                        });
+                    }
+                }
+                out.access.push(AccessFact {
                     block: bi as u32,
                     inst: ii as u32,
                     kind,
@@ -734,9 +1232,82 @@ pub fn access_facts(m: &Module, fi: usize) -> Vec<AccessFact> {
                 });
             }
             if let Some(st) = &mut st {
+                // Double free: an explicit free (or a call into a callee
+                // that definitely frees its parameter) of a site that is
+                // already definitely dead.
+                let refreed = match inst {
+                    Inst::CallIntrinsic {
+                        intrinsic, args, ..
+                    } if frees_first_arg(analysis.intr_name(*intrinsic)) => {
+                        match args.first().map(|a| analysis.eval(a, st)) {
+                            Some(AbsVal::Ptr {
+                                referent: Referent::Alloc { site, size },
+                                ..
+                            }) => Some((site, size)),
+                            _ => None,
+                        }
+                    }
+                    Inst::Call { func, args, .. } => {
+                        analysis.ipa.and_then(|(_, funcs)| {
+                            let s = &funcs[func.0 as usize];
+                            args.iter().enumerate().find_map(|(i, a)| {
+                                if !s.must_frees_params.get(i).copied().unwrap_or(false) {
+                                    return None;
+                                }
+                                match analysis.eval(a, st) {
+                                    AbsVal::Ptr {
+                                        referent: Referent::Alloc { site, size },
+                                        ..
+                                    } => Some((site, size)),
+                                    _ => None,
+                                }
+                            })
+                        })
+                    }
+                    _ => None,
+                };
+                if let Some((site, size)) = refreed {
+                    if st.liveness(site) == Some(SiteLive::Freed) {
+                        out.temporal.push(TemporalFact {
+                            block: bi as u32,
+                            inst: ii as u32,
+                            kind: TemporalKind::DoubleFree,
+                            site,
+                            size,
+                        });
+                    }
+                }
                 analysis.step(bi as u32, ii as u32, inst, st);
             }
         }
+        // Leaks: at a return, a definitely-live site that never escaped
+        // and is not the returned value can no longer be freed.
+        if let (Some(st), Term::Ret(val)) = (&st, &blk.term) {
+            let ret_site = val.as_ref().and_then(|op| match analysis.eval(op, st) {
+                AbsVal::Ptr {
+                    referent: Referent::Alloc { site, .. },
+                    ..
+                } => Some(site),
+                _ => None,
+            });
+            for (site, live) in &st.heap {
+                if let SiteLive::Live(size) = live {
+                    if !st.escaped.contains(site) && ret_site != Some(*site) {
+                        leaks.entry(*site).or_insert(*size);
+                    }
+                }
+            }
+        }
+    }
+    for (site, size) in leaks {
+        let (block, inst) = analysis.site_pos(site).unwrap_or((0, 0));
+        out.temporal.push(TemporalFact {
+            block,
+            inst,
+            kind: TemporalKind::Leak,
+            site,
+            size,
+        });
     }
     out
 }

@@ -140,6 +140,10 @@ pub enum FOp {
     /// `strcpy(StrSmall, StrSrc)` — overflows when the staged string is
     /// longer than [`STR_SMALL_BYTES`] - 1.
     OobStrcpy,
+    /// `free(heap array i)` — temporal-injector only: the array's base
+    /// pointer stays in its local, so later ops (or a second `FreeArr`)
+    /// become use-after-free / double-free.
+    FreeArr { heap: u8 },
 }
 
 /// A generated program: seed, family, heap sizing, and the op list.
@@ -325,7 +329,7 @@ pub fn objects_of(op: &FOp) -> Vec<Obj> {
         | FOp::Memset { obj, .. }
         | FOp::OobStore { obj, .. }
         | FOp::OobLoad { obj, .. } => vec![*obj],
-        FOp::CastRoundtrip { heap } => vec![Obj::Heap(*heap)],
+        FOp::CastRoundtrip { heap } | FOp::FreeArr { heap } => vec![Obj::Heap(*heap)],
         FOp::Mix { .. } | FOp::Churn { .. } => vec![],
         FOp::FieldLoad { .. } | FOp::FieldStore { .. } | FOp::BufStore { .. } => vec![Obj::Struct],
         FOp::OobBufStore { .. } => vec![Obj::Struct],
@@ -733,6 +737,11 @@ fn emit_op(fb: &mut sgxs_mir::FuncBuilder<'_>, prog: &Prog, env: &Env, acc: Loca
             let vslot = fb.gep(node, 0u64, 1, 8);
             let v = fb.get(acc);
             fb.store(Ty::I64, vslot, v);
+        }
+        FOp::FreeArr { heap } => {
+            let l = env.heap[*heap as usize].expect("heap array materialized");
+            let p = fb.get(l);
+            fb.intr_void("free", &[p.into()]);
         }
         FOp::Churn { bytes } => {
             let n = (*bytes).max(8);

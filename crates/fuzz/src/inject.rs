@@ -273,6 +273,76 @@ pub fn inject(prog: &Prog, kind: FaultKind, salt: u64) -> (Prog, Fault) {
     (fprog, fault)
 }
 
+/// The class of temporal violation to plant. Deliberately NOT part of
+/// [`ALL_KINDS`]: spatial campaigns (and the schemes they grade, which
+/// detect bounds violations, not lifetime ones) stay unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TemporalFaultKind {
+    /// In-bounds load from a heap array after it was freed.
+    UseAfterFree,
+    /// The same heap array freed twice.
+    DoubleFree,
+}
+
+/// Every temporal fault kind.
+pub const TEMPORAL_KINDS: [TemporalFaultKind; 2] =
+    [TemporalFaultKind::UseAfterFree, TemporalFaultKind::DoubleFree];
+
+impl TemporalFaultKind {
+    /// Short label for reports (matches the lint's finding kinds).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TemporalFaultKind::UseAfterFree => "uaf",
+            TemporalFaultKind::DoubleFree => "df",
+        }
+    }
+}
+
+/// A planted temporal fault.
+#[derive(Debug, Clone)]
+pub struct TemporalFault {
+    /// The violation class.
+    pub kind: TemporalFaultKind,
+    /// Heap array index the fault targets.
+    pub heap: u8,
+    /// Absolute index of the freeing op.
+    pub free_at: usize,
+    /// Absolute index of the violating op (the post-free access, or the
+    /// second free).
+    pub victim: usize,
+}
+
+/// Splices a temporal fault into `prog` and returns the faulty program
+/// plus ground truth. Deterministic in `(prog, kind, salt)`.
+///
+/// Temporal faults append at the END of the op list: every earlier op
+/// keeps its original lifetime assumptions, so the planted free/use pair
+/// is the program's only temporal violation. The digest epilogue reads
+/// every materialized object and would turn the tail into use-after-free
+/// noise, so it is disabled.
+pub fn inject_temporal(prog: &Prog, kind: TemporalFaultKind, salt: u64) -> (Prog, TemporalFault) {
+    let mut rng = SmallRng::seed_from_u64(prog.seed ^ salt.rotate_left(17) ^ 0x7E4A_7E4A);
+    let heap = rng.gen_range(0..3u8);
+    let mut fprog = prog.clone();
+    fprog.emit_digest = false;
+    let free_at = fprog.ops.len();
+    fprog.ops.push(FOp::FreeArr { heap });
+    match kind {
+        TemporalFaultKind::UseAfterFree => fprog.ops.push(FOp::Load {
+            obj: Obj::Heap(heap),
+            slot: 0,
+        }),
+        TemporalFaultKind::DoubleFree => fprog.ops.push(FOp::FreeArr { heap }),
+    }
+    let fault = TemporalFault {
+        kind,
+        heap,
+        free_at,
+        victim: free_at + 1,
+    };
+    (fprog, fault)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

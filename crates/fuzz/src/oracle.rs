@@ -7,7 +7,8 @@
 //! bounds (the current NUL-terminated length of `StrSrc`) and treats every
 //! other op's footprint statically.
 
-use crate::gen::{FOp, Obj, Prog, BUF_LEN, STRUCT_BYTES, STR_INIT_LEN};
+use crate::gen::{objects_of, FOp, Obj, Prog, BUF_LEN, STRUCT_BYTES, STR_INIT_LEN};
+use crate::inject::TemporalFaultKind;
 
 /// The first out-of-bounds access the oracle predicts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,7 +66,11 @@ pub fn analyze(prog: &Prog) -> Option<Violation> {
                 write: false,
             }],
             FOp::GepChain { obj, a, b } => vec![slot_access(*obj, a + b, true)],
-            FOp::CastRoundtrip { .. } | FOp::Mix { .. } | FOp::Churn { .. } => vec![],
+            // `FreeArr` is spatially silent (the free itself touches no
+            // object bytes); [`analyze_temporal`] owns its semantics.
+            FOp::CastRoundtrip { .. } | FOp::Mix { .. } | FOp::Churn { .. } | FOp::FreeArr { .. } => {
+                vec![]
+            }
             FOp::FieldLoad { field } => vec![field_access(*field, false)],
             FOp::FieldStore { field } => vec![field_access(*field, true)],
             FOp::BufStore { off } | FOp::OobBufStore { off } => {
@@ -224,6 +229,66 @@ pub fn analyze(prog: &Prog) -> Option<Violation> {
     None
 }
 
+/// The first temporal violation the oracle predicts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TemporalViolation {
+    /// Index of the violating op (the post-free access or second free).
+    pub op_index: usize,
+    /// Heap array whose lifetime is violated.
+    pub heap: u8,
+    /// Use-after-free or double-free.
+    pub kind: TemporalFaultKind,
+}
+
+/// Walks the op list tracking heap-array liveness and returns the first
+/// temporal violation (an access to a freed array, or a second free), or
+/// `None` when every array is live at each of its uses. `Churn` frees
+/// only its own scratch object and `CastRoundtrip` touches the pointer,
+/// not the memory, so neither participates.
+pub fn analyze_temporal(prog: &Prog) -> Option<TemporalViolation> {
+    let mut freed = [false; 3];
+    for (k, op) in prog.ops.iter().enumerate() {
+        if let FOp::FreeArr { heap } = op {
+            let slot = &mut freed[*heap as usize];
+            if *slot {
+                return Some(TemporalViolation {
+                    op_index: k,
+                    heap: *heap,
+                    kind: TemporalFaultKind::DoubleFree,
+                });
+            }
+            *slot = true;
+            continue;
+        }
+        if matches!(op, FOp::CastRoundtrip { .. }) {
+            continue;
+        }
+        for obj in objects_of(op) {
+            if let Obj::Heap(i) = obj {
+                if freed[i as usize] {
+                    return Some(TemporalViolation {
+                        op_index: k,
+                        heap: i,
+                        kind: TemporalFaultKind::UseAfterFree,
+                    });
+                }
+            }
+        }
+    }
+    // The digest epilogue re-reads every materialized object; a program
+    // that freed an array and kept the digest on faults there.
+    if prog.emit_digest {
+        if let Some(i) = freed.iter().position(|f| *f) {
+            return Some(TemporalViolation {
+                op_index: prog.ops.len(),
+                heap: i as u8,
+                kind: TemporalFaultKind::UseAfterFree,
+            });
+        }
+    }
+    None
+}
+
 fn slot_access(obj: Obj, slot: u64, write: bool) -> Access {
     Access {
         obj,
@@ -297,6 +362,36 @@ mod tests {
         let v = analyze(&prog).expect("violation");
         assert!(v.intra, "in-struct out-of-field store must be intra");
         assert_eq!(v.obj, Obj::Struct);
+    }
+
+    #[test]
+    fn temporal_oracle_matches_injected_ground_truth() {
+        use crate::inject::{inject_temporal, TEMPORAL_KINDS};
+        for seed in 0..40u64 {
+            let prog = generate(seed, 16);
+            assert_eq!(analyze_temporal(&prog), None, "seed {seed}: safe program");
+            for kind in TEMPORAL_KINDS {
+                let (fprog, fault) = inject_temporal(&prog, kind, seed);
+                let v = analyze_temporal(&fprog)
+                    .unwrap_or_else(|| panic!("seed {seed} {kind:?}: oracle saw nothing"));
+                assert_eq!(v.op_index, fault.victim, "seed {seed} {kind:?}");
+                assert_eq!(v.heap, fault.heap, "seed {seed} {kind:?}");
+                assert_eq!(v.kind, fault.kind, "seed {seed} {kind:?}");
+                // The spatial oracle stays silent: the planted fault is
+                // purely temporal.
+                assert_eq!(analyze(&fprog), None, "seed {seed} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn digest_epilogue_after_free_is_a_use_after_free() {
+        let mut prog = generate(7, 8);
+        prog.ops.push(FOp::FreeArr { heap: 1 });
+        // emit_digest is still on: the epilogue read is the violation.
+        let v = analyze_temporal(&prog).expect("epilogue uaf");
+        assert_eq!(v.op_index, prog.ops.len());
+        assert_eq!(v.heap, 1);
     }
 
     #[test]

@@ -79,17 +79,13 @@ fn demo_incident(tier: ExecTier, window: usize) -> Incident {
         .findings
         .iter()
         .map(|f| {
+            let off = match f.offset {
+                Some((lo, hi)) => format!("[{lo},{hi}]"),
+                None => "?".to_owned(),
+            };
             format!(
-                "{}:b{}:i{} {} of {}B at offset [{},{}] past {} — {}",
-                f.function,
-                f.block,
-                f.inst,
-                f.kind,
-                f.width,
-                f.offset.0,
-                f.offset.1,
-                f.object,
-                f.ir
+                "{}:b{}:i{} {} of {}B at offset {} past {} — {}",
+                f.function, f.block, f.inst, f.kind, f.width, off, f.object, f.ir
             )
         })
         .collect();

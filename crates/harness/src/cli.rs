@@ -19,9 +19,10 @@
 //! * `repro chaos` — the availability-under-attack campaign: seeded chaos
 //!   schedules against the per-request server modules under every
 //!   scheme/recovery-policy combo, with a corruption + availability gate;
-//! * `repro lint` — the static OOB lint over workload modules (exits 1 on
-//!   any proved-OOB access; `--incident` writes the demo detection as a
-//!   `sgxs-incident-v1` artifact);
+//! * `repro lint` — the static OOB + temporal lint over workload modules
+//!   (exits 1 on any proved-OOB/UAF/double-free access; `--ipa` runs the
+//!   interprocedural tier and emits `sgxs-lint-v2`; `--incident` writes
+//!   the demo detection as a `sgxs-incident-v1` artifact);
 //! * `repro audit` — incident forensics: run the demo OOB under SGXBounds
 //!   with the object-provenance ledger attached on *both* execution tiers,
 //!   byte-compare the forensics, and emit the cross-tier-pinned
@@ -66,7 +67,8 @@ pub const USAGE: &str =
      [--trace-window N] [--tier T] [--json FILE]\n       \
      repro chaos [--seeds N] [--seed0 N] [--requests N] [--threshold F] [--demo-corruption] \
      [--tier T] [--json FILE]\n       \
-     repro lint [NAMES...] [--demo-oob] [--seed N] [--json FILE] [--incident FILE]\n       \
+     repro lint [NAMES...] [--ipa] [--demo-oob] [--demo-uaf] [--ascii] [--seed N] \
+     [--tier T] [--json FILE] [--incident FILE]\n       \
      repro audit --demo-oob [--window N] [--json FILE] [--ascii FILE] [--svg FILE]\n       \
      repro bench record [--quick] [--tiny|--mini|--paper] [--replicates N] [--seed0 N] \
      [--rev REV] [--tier T] [--out FILE]\n       \
@@ -124,7 +126,7 @@ impl<'a> Args<'a> {
 }
 
 /// Parses the value of a `--tier` flag.
-fn tier_value(it: &mut Args<'_>) -> Result<ExecTier, String> {
+pub(crate) fn tier_value(it: &mut Args<'_>) -> Result<ExecTier, String> {
     let v = it.value("--tier")?;
     ExecTier::parse(&v).ok_or_else(|| it.fail(format!("unknown tier '{v}' (reference|compiled)")))
 }

@@ -492,6 +492,18 @@ impl Module {
         id
     }
 
+    /// The ids of every registered check site of `kind`, in registration
+    /// order. Lets diagnostics passes (e.g. the static lint) re-run
+    /// idempotently by reusing their prior registrations.
+    pub fn sites_of_kind(&self, kind: &str) -> Vec<u32> {
+        self.check_sites
+            .iter()
+            .enumerate()
+            .filter(|(_, cs)| cs.kind == kind)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
     /// Interns an intrinsic name, returning its id.
     pub fn intrinsic(&mut self, name: &str) -> IntrinsicId {
         if let Some(i) = self.intrinsics.iter().position(|n| n == name) {

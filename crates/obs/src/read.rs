@@ -956,6 +956,377 @@ pub fn parse_incident(text: &str) -> Result<IncidentDoc, String> {
     incident_from_json(&Json::parse(text).map_err(|e| format!("incident: {e}"))?)
 }
 
+fn bool_field(v: &Json, key: &str, what: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| format!("{what}: missing or non-bool field '{key}'"))
+}
+
+fn bool_array(v: &Json, key: &str, what: &str) -> Result<Vec<bool>, String> {
+    let Some(Json::Arr(items)) = v.get(key) else {
+        return Err(format!("{what}: missing or non-array field '{key}'"));
+    };
+    items
+        .iter()
+        .map(|b| {
+            b.as_bool()
+                .ok_or_else(|| format!("{what}: non-bool entry in '{key}'"))
+        })
+        .collect()
+}
+
+/// One spatial (proved-OOB) finding of a lint document.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// Enclosing function name.
+    pub function: String,
+    /// Block index.
+    pub block: u64,
+    /// Instruction index within the block.
+    pub inst: u64,
+    /// Registered check-site id.
+    pub site: u64,
+    /// Access kind (`load`/`store`/`rmw`/`cas`).
+    pub kind: String,
+    /// Access width in bytes.
+    pub width: u64,
+    /// Object description (e.g. `alloc#0(40B)`).
+    pub object: String,
+    /// Proven `[lo, hi]` offset bounds, absent when unknown (`null` in
+    /// the JSON).
+    pub offset: Option<(u64, u64)>,
+    /// Textual IR of the offending instruction.
+    pub ir: String,
+}
+
+/// One temporal finding (`uaf`/`df`/`leak`) of a v2 lint document.
+#[derive(Debug, Clone)]
+pub struct LintTemporal {
+    /// Enclosing function name.
+    pub function: String,
+    /// Block index.
+    pub block: u64,
+    /// Instruction index within the block.
+    pub inst: u64,
+    /// Registered check-site id.
+    pub site: u64,
+    /// `"uaf"`, `"df"`, or `"leak"`.
+    pub kind: String,
+    /// Allocation-site number within the function.
+    pub alloc_site: u64,
+    /// Object description (e.g. `alloc#0(24B)`).
+    pub object: String,
+    /// Textual IR of the anchoring instruction.
+    pub ir: String,
+}
+
+/// One call-graph node of a v2 lint document.
+#[derive(Debug, Clone)]
+pub struct LintCgNode {
+    /// Function name.
+    pub func: String,
+    /// Resolved direct/indirect callees, by name.
+    pub callees: Vec<String>,
+    /// Condensation component index (bottom-up order).
+    pub scc: u64,
+    /// Whether the function had an unresolvable indirect call.
+    pub unresolved: bool,
+}
+
+/// One function summary of a v2 lint document.
+#[derive(Debug, Clone)]
+pub struct LintSummary {
+    /// Function name.
+    pub func: String,
+    /// Rendered return-value summary (e.g. `fresh(24B)`, `param0+[0,0]`).
+    pub ret: String,
+    /// Per parameter: may the callee free it (transitively)?
+    pub frees_params: Vec<bool>,
+    /// Per parameter: does the callee free it on every return path?
+    pub must_frees_params: Vec<bool>,
+    /// Per parameter: may the callee capture (escape) it?
+    pub captures_params: Vec<bool>,
+    /// May the callee free memory of unknown provenance?
+    pub frees_unknown: bool,
+    /// Derived: the callee provably frees nothing at all.
+    pub heap_benign: bool,
+}
+
+/// One module block of a lint document.
+#[derive(Debug, Clone)]
+pub struct LintModule {
+    /// Module name.
+    pub module: String,
+    /// Total classified access sites.
+    pub sites: u64,
+    /// Proved-safe access count.
+    pub proved_safe: u64,
+    /// Undecided access count.
+    pub unknown: u64,
+    /// Proved-OOB access count.
+    pub proved_oob: u64,
+    /// Proved use-after-free count (v2; 0 in v1 documents).
+    pub proved_uaf: u64,
+    /// Proved double-free count (v2; 0 in v1 documents).
+    pub proved_df: u64,
+    /// Proved leak count (v2; 0 in v1 documents).
+    pub leaks: u64,
+    /// Spatial findings.
+    pub findings: Vec<LintFinding>,
+    /// Temporal findings (v2 only).
+    pub temporal: Vec<LintTemporal>,
+    /// Call graph (v2 only).
+    pub call_graph: Vec<LintCgNode>,
+    /// Function summaries (v2 only).
+    pub summaries: Vec<LintSummary>,
+}
+
+/// A parsed `sgxs-lint-v1` or `sgxs-lint-v2` document.
+#[derive(Debug, Clone)]
+pub struct LintDoc {
+    /// The schema tag the document carried (v1 or v2).
+    pub schema: String,
+    /// Workload-build seed.
+    pub seed: u64,
+    /// Whether the interprocedural tier ran (always false for v1).
+    pub ipa: bool,
+    /// Total proved-OOB across modules.
+    pub proved_oob: u64,
+    /// Total proved use-after-free across modules (v2).
+    pub proved_uaf: u64,
+    /// Total proved double-free across modules (v2).
+    pub proved_df: u64,
+    /// Total proved leaks across modules (v2).
+    pub leaks: u64,
+    /// Per-module reports.
+    pub modules: Vec<LintModule>,
+}
+
+/// Schema tag of v1 lint documents.
+pub const LINT_SCHEMA: &str = "sgxs-lint-v1";
+
+/// Schema tag of v2 (interprocedural) lint documents.
+pub const LINT_SCHEMA_V2: &str = "sgxs-lint-v2";
+
+fn offset_field(v: &Json, what: &str) -> Result<Option<(u64, u64)>, String> {
+    let lo = v
+        .get("offset_lo")
+        .ok_or_else(|| format!("{what}: missing field 'offset_lo'"))?;
+    let hi = v
+        .get("offset_hi")
+        .ok_or_else(|| format!("{what}: missing field 'offset_hi'"))?;
+    match (lo, hi) {
+        (Json::Null, Json::Null) => Ok(None),
+        _ => {
+            let lo = lo
+                .as_u64()
+                .ok_or_else(|| format!("{what}: non-integer 'offset_lo'"))?;
+            let hi = hi
+                .as_u64()
+                .ok_or_else(|| format!("{what}: non-integer 'offset_hi'"))?;
+            if lo > hi {
+                return Err(format!("{what}: offset_lo {lo} > offset_hi {hi}"));
+            }
+            Ok(Some((lo, hi)))
+        }
+    }
+}
+
+fn lint_finding(v: &Json, what: &str) -> Result<LintFinding, String> {
+    obj_of(v, what)?;
+    Ok(LintFinding {
+        function: str_field(v, "function", what)?,
+        block: u64_field(v, "block", what)?,
+        inst: u64_field(v, "inst", what)?,
+        site: u64_field(v, "site", what)?,
+        kind: str_field(v, "kind", what)?,
+        width: u64_field(v, "width", what)?,
+        object: str_field(v, "object", what)?,
+        offset: offset_field(v, what)?,
+        ir: str_field(v, "ir", what)?,
+    })
+}
+
+fn lint_temporal(v: &Json, what: &str) -> Result<LintTemporal, String> {
+    obj_of(v, what)?;
+    let kind = str_field(v, "kind", what)?;
+    if !matches!(kind.as_str(), "uaf" | "df" | "leak") {
+        return Err(format!("{what}: unknown temporal kind '{kind}'"));
+    }
+    Ok(LintTemporal {
+        function: str_field(v, "function", what)?,
+        block: u64_field(v, "block", what)?,
+        inst: u64_field(v, "inst", what)?,
+        site: u64_field(v, "site", what)?,
+        kind,
+        alloc_site: u64_field(v, "alloc_site", what)?,
+        object: str_field(v, "object", what)?,
+        ir: str_field(v, "ir", what)?,
+    })
+}
+
+fn lint_cg_node(v: &Json, what: &str) -> Result<LintCgNode, String> {
+    obj_of(v, what)?;
+    let Some(Json::Arr(items)) = v.get("callees") else {
+        return Err(format!("{what}: missing or non-array field 'callees'"));
+    };
+    let callees = items
+        .iter()
+        .map(|c| {
+            c.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("{what}: non-string callee"))
+        })
+        .collect::<Result<_, _>>()?;
+    Ok(LintCgNode {
+        func: str_field(v, "func", what)?,
+        callees,
+        scc: u64_field(v, "scc", what)?,
+        unresolved: bool_field(v, "unresolved", what)?,
+    })
+}
+
+fn lint_summary(v: &Json, what: &str) -> Result<LintSummary, String> {
+    obj_of(v, what)?;
+    let s = LintSummary {
+        func: str_field(v, "func", what)?,
+        ret: str_field(v, "ret", what)?,
+        frees_params: bool_array(v, "frees_params", what)?,
+        must_frees_params: bool_array(v, "must_frees_params", what)?,
+        captures_params: bool_array(v, "captures_params", what)?,
+        frees_unknown: bool_field(v, "frees_unknown", what)?,
+        heap_benign: bool_field(v, "heap_benign", what)?,
+    };
+    if s.frees_params.len() != s.must_frees_params.len()
+        || s.frees_params.len() != s.captures_params.len()
+    {
+        return Err(format!("{what}: parameter effect arrays disagree in length"));
+    }
+    // must-freed is a subset of may-freed by construction.
+    if s.must_frees_params
+        .iter()
+        .zip(&s.frees_params)
+        .any(|(must, may)| *must && !*may)
+    {
+        return Err(format!("{what}: must-freed param not in may-freed set"));
+    }
+    Ok(s)
+}
+
+fn lint_module_block(v: &Json, v2: bool, what: &str) -> Result<LintModule, String> {
+    obj_of(v, what)?;
+    let Some(Json::Arr(items)) = v.get("findings") else {
+        return Err(format!("{what}: missing or non-array field 'findings'"));
+    };
+    let findings = items
+        .iter()
+        .map(|f| lint_finding(f, what))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut m = LintModule {
+        module: str_field(v, "module", what)?,
+        sites: u64_field(v, "sites", what)?,
+        proved_safe: u64_field(v, "proved_safe", what)?,
+        unknown: u64_field(v, "unknown", what)?,
+        proved_oob: u64_field(v, "proved_oob", what)?,
+        proved_uaf: 0,
+        proved_df: 0,
+        leaks: 0,
+        findings,
+        temporal: Vec::new(),
+        call_graph: Vec::new(),
+        summaries: Vec::new(),
+    };
+    if m.proved_safe + m.unknown + m.proved_oob != m.sites {
+        return Err(format!("{what}: classification counts do not sum to sites"));
+    }
+    if m.proved_oob as usize != m.findings.len() {
+        return Err(format!("{what}: proved_oob disagrees with findings length"));
+    }
+    if v2 {
+        m.proved_uaf = u64_field(v, "proved_uaf", what)?;
+        m.proved_df = u64_field(v, "proved_df", what)?;
+        m.leaks = u64_field(v, "leaks", what)?;
+        let Some(Json::Arr(items)) = v.get("temporal") else {
+            return Err(format!("{what}: missing or non-array field 'temporal'"));
+        };
+        m.temporal = items
+            .iter()
+            .map(|t| lint_temporal(t, what))
+            .collect::<Result<_, _>>()?;
+        if (m.proved_uaf + m.proved_df + m.leaks) as usize != m.temporal.len() {
+            return Err(format!(
+                "{what}: temporal counts disagree with temporal findings length"
+            ));
+        }
+        let Some(Json::Arr(items)) = v.get("call_graph") else {
+            return Err(format!("{what}: missing or non-array field 'call_graph'"));
+        };
+        m.call_graph = items
+            .iter()
+            .map(|n| lint_cg_node(n, what))
+            .collect::<Result<_, _>>()?;
+        let Some(Json::Arr(items)) = v.get("summaries") else {
+            return Err(format!("{what}: missing or non-array field 'summaries'"));
+        };
+        m.summaries = items
+            .iter()
+            .map(|s| lint_summary(s, what))
+            .collect::<Result<_, _>>()?;
+        if m.summaries.len() != m.call_graph.len() {
+            return Err(format!("{what}: summaries/call_graph length mismatch"));
+        }
+    }
+    Ok(m)
+}
+
+/// Interprets an already-parsed JSON value as a lint document (v1 or v2).
+pub fn lint_from_json(v: &Json) -> Result<LintDoc, String> {
+    let what = "lint";
+    obj_of(v, what)?;
+    let schema = str_field(v, "schema", what)?;
+    let v2 = match schema.as_str() {
+        s if s == LINT_SCHEMA => false,
+        s if s == LINT_SCHEMA_V2 => true,
+        other => {
+            return Err(format!(
+                "{what}: schema is '{other}', expected '{LINT_SCHEMA}' or '{LINT_SCHEMA_V2}'"
+            ))
+        }
+    };
+    check_finite(v, what)?;
+    let Some(Json::Arr(items)) = v.get("modules") else {
+        return Err(format!("{what}: missing or non-array field 'modules'"));
+    };
+    let modules = items
+        .iter()
+        .map(|m| lint_module_block(m, v2, what))
+        .collect::<Result<Vec<_>, _>>()?;
+    let doc = LintDoc {
+        schema,
+        seed: u64_field(v, "seed", what)?,
+        ipa: if v2 { bool_field(v, "ipa", what)? } else { false },
+        proved_oob: u64_field(v, "proved_oob", what)?,
+        proved_uaf: if v2 { u64_field(v, "proved_uaf", what)? } else { 0 },
+        proved_df: if v2 { u64_field(v, "proved_df", what)? } else { 0 },
+        leaks: if v2 { u64_field(v, "leaks", what)? } else { 0 },
+        modules,
+    };
+    let sum = |f: fn(&LintModule) -> u64| doc.modules.iter().map(f).sum::<u64>();
+    if doc.proved_oob != sum(|m| m.proved_oob)
+        || doc.proved_uaf != sum(|m| m.proved_uaf)
+        || doc.proved_df != sum(|m| m.proved_df)
+        || doc.leaks != sum(|m| m.leaks)
+    {
+        return Err(format!("{what}: document totals disagree with module sums"));
+    }
+    Ok(doc)
+}
+
+/// Parses a `sgxs-lint-v1`/`sgxs-lint-v2` document from text.
+pub fn parse_lint(text: &str) -> Result<LintDoc, String> {
+    lint_from_json(&Json::parse(text).map_err(|e| format!("lint: {e}"))?)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1326,5 +1697,133 @@ mod tests {
         }
         let e = chaos_from_json(&j).unwrap_err();
         assert!(e.contains("incidents[0]"), "{e}");
+    }
+
+    fn sample_lint_v2_text() -> String {
+        Json::obj(vec![
+            ("schema", "sgxs-lint-v2".into()),
+            ("seed", 42u64.into()),
+            ("ipa", true.into()),
+            ("proved_oob", 1u64.into()),
+            ("proved_uaf", 1u64.into()),
+            ("proved_df", 0u64.into()),
+            ("leaks", 0u64.into()),
+            (
+                "modules",
+                Json::Arr(vec![Json::obj(vec![
+                    ("module", "demo".into()),
+                    ("sites", 3u64.into()),
+                    ("proved_safe", 1u64.into()),
+                    ("unknown", 1u64.into()),
+                    ("proved_oob", 1u64.into()),
+                    ("proved_uaf", 1u64.into()),
+                    ("proved_df", 0u64.into()),
+                    ("leaks", 0u64.into()),
+                    (
+                        "findings",
+                        Json::Arr(vec![Json::obj(vec![
+                            ("function", "main".into()),
+                            ("block", 0u64.into()),
+                            ("inst", 5u64.into()),
+                            ("site", 2u64.into()),
+                            ("kind", "load".into()),
+                            ("width", 8u64.into()),
+                            ("object", "alloc#0(40B)".into()),
+                            ("offset_lo", Json::Null),
+                            ("offset_hi", Json::Null),
+                            ("ir", "r3 = load.i64 [r2]".into()),
+                        ])]),
+                    ),
+                    (
+                        "temporal",
+                        Json::Arr(vec![Json::obj(vec![
+                            ("function", "main".into()),
+                            ("block", 0u64.into()),
+                            ("inst", 7u64.into()),
+                            ("site", 3u64.into()),
+                            ("kind", "uaf".into()),
+                            ("alloc_site", 0u64.into()),
+                            ("object", "alloc#0(24B)".into()),
+                            ("ir", "r4 = load.i64 [r1]".into()),
+                        ])]),
+                    ),
+                    (
+                        "call_graph",
+                        Json::Arr(vec![Json::obj(vec![
+                            ("func", "main".into()),
+                            ("callees", Json::Arr(vec![])),
+                            ("scc", 0u64.into()),
+                            ("unresolved", false.into()),
+                        ])]),
+                    ),
+                    (
+                        "summaries",
+                        Json::Arr(vec![Json::obj(vec![
+                            ("func", "main".into()),
+                            ("ret", "top".into()),
+                            ("frees_params", Json::Arr(vec![true.into()])),
+                            ("must_frees_params", Json::Arr(vec![true.into()])),
+                            ("captures_params", Json::Arr(vec![false.into()])),
+                            ("frees_unknown", false.into()),
+                            ("heap_benign", false.into()),
+                        ])]),
+                    ),
+                ])]),
+            ),
+        ])
+        .to_compact()
+    }
+
+    #[test]
+    fn lint_v2_round_trips_and_null_offset_is_none() {
+        let doc = parse_lint(&sample_lint_v2_text()).expect("v2 parses");
+        assert_eq!(doc.schema, "sgxs-lint-v2");
+        assert!(doc.ipa);
+        assert_eq!(doc.modules.len(), 1);
+        let m = &doc.modules[0];
+        assert_eq!(m.findings[0].offset, None);
+        assert_eq!(m.temporal[0].kind, "uaf");
+        assert_eq!(m.summaries[0].frees_params, vec![true]);
+        assert!(!m.summaries[0].heap_benign);
+    }
+
+    #[test]
+    fn lint_validation_rejects_inconsistencies() {
+        // Unknown temporal kind.
+        let bad = sample_lint_v2_text().replace("\"uaf\"", "\"oops\"");
+        assert!(parse_lint(&bad).unwrap_err().contains("temporal kind"));
+        // must-freed not in may-freed.
+        let bad =
+            sample_lint_v2_text().replace("\"frees_params\":[true]", "\"frees_params\":[false]");
+        assert!(parse_lint(&bad).unwrap_err().contains("must-freed"));
+        // Temporal counts disagreeing with the findings list.
+        let bad = sample_lint_v2_text().replace("\"leaks\":0", "\"leaks\":1");
+        assert!(parse_lint(&bad).unwrap_err().contains("temporal counts"));
+        // Wrong schema tag.
+        assert!(parse_lint("{\"schema\": \"sgxs-lint-v3\"}").is_err());
+    }
+
+    #[test]
+    fn lint_v1_documents_still_parse() {
+        let v1 = Json::obj(vec![
+            ("schema", "sgxs-lint-v1".into()),
+            ("seed", 1u64.into()),
+            ("proved_oob", 0u64.into()),
+            (
+                "modules",
+                Json::Arr(vec![Json::obj(vec![
+                    ("module", "m".into()),
+                    ("sites", 0u64.into()),
+                    ("proved_safe", 0u64.into()),
+                    ("unknown", 0u64.into()),
+                    ("proved_oob", 0u64.into()),
+                    ("findings", Json::Arr(vec![])),
+                ])]),
+            ),
+        ]);
+        let doc = lint_from_json(&v1).expect("v1 parses");
+        assert!(!doc.ipa);
+        assert_eq!(doc.proved_uaf, 0);
+        assert!(doc.modules[0].temporal.is_empty());
     }
 }

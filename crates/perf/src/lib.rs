@@ -44,5 +44,7 @@ pub mod stats;
 pub use compare::{compare, CompareOpts, CompareReport, MetricCompare, Verdict};
 pub use history::{parse_history, HistoryRecord, HISTORY_SCHEMA};
 pub use metrics::{flatten, flatten_metrics, Direction, Metric};
-pub use render::{incident_ascii, incident_svg, latency_table, span_ascii, span_svg};
+pub use render::{
+    incident_ascii, incident_svg, latency_table, lint_graph_ascii, span_ascii, span_svg,
+};
 pub use stats::{bootstrap_ci, noise_floor, summarize, Summary};

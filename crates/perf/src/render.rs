@@ -11,7 +11,7 @@
 //! developer's Perfetto for when the Chrome-trace export isn't handy.
 
 use sgxs_metrics::SpanCollector;
-use sgxs_obs::read::{IncidentDoc, MetricsDoc, ProfileDoc};
+use sgxs_obs::read::{IncidentDoc, LintDoc, MetricsDoc, ProfileDoc};
 
 /// Folded-stack text (inferno-compatible).
 ///
@@ -535,6 +535,72 @@ pub fn latency_table(doc: &MetricsDoc) -> String {
             "{:<34} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}\n",
             h.name, h.count, h.p50, h.p90, h.p99, h.p999, h.max
         ));
+    }
+    out
+}
+
+/// ASCII view of a `sgxs-lint-v2` document: per module, the condensed
+/// call graph (one line per function, bottom-up SCC order) with each
+/// function's summary effects, then the temporal findings. Functions in a
+/// multi-member SCC (or with an unresolvable indirect call) are marked.
+/// For v1 documents only the per-module verdict counts are shown.
+pub fn lint_graph_ascii(doc: &LintDoc) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for m in &doc.modules {
+        let _ = writeln!(
+            out,
+            "{}: {} sites — {} safe / {} unknown / {} oob; {} uaf / {} df / {} leak",
+            m.module,
+            m.sites,
+            m.proved_safe,
+            m.unknown,
+            m.proved_oob,
+            m.proved_uaf,
+            m.proved_df,
+            m.leaks
+        );
+        for (node, s) in m.call_graph.iter().zip(&m.summaries) {
+            let mut effects = Vec::new();
+            for (i, may) in s.frees_params.iter().enumerate() {
+                if *may {
+                    let must = s.must_frees_params.get(i).copied().unwrap_or(false);
+                    effects.push(format!("frees p{i}{}", if must { "!" } else { "?" }));
+                }
+            }
+            for (i, cap) in s.captures_params.iter().enumerate() {
+                if *cap {
+                    effects.push(format!("caps p{i}"));
+                }
+            }
+            if s.frees_unknown {
+                effects.push("frees ?".to_owned());
+            }
+            let benign = if s.heap_benign { " benign" } else { "" };
+            let cyclic = if node.unresolved { " [indirect?]" } else { "" };
+            let callees = if node.callees.is_empty() {
+                "(leaf)".to_owned()
+            } else {
+                format!("-> {}", node.callees.join(", "))
+            };
+            let eff = if effects.is_empty() {
+                String::new()
+            } else {
+                format!(" {{{}}}", effects.join(", "))
+            };
+            let _ = writeln!(
+                out,
+                "  scc{:<3} {:<18} {} ret={}{}{}{}",
+                node.scc, node.func, callees, s.ret, eff, benign, cyclic
+            );
+        }
+        for t in &m.temporal {
+            let _ = writeln!(
+                out,
+                "  !! {} {}:b{}:i{} {} (alloc site {})",
+                t.kind, t.function, t.block, t.inst, t.object, t.alloc_site
+            );
+        }
     }
     out
 }

@@ -100,11 +100,14 @@ pub fn instrument(module: &mut Module, cfg: &SbConfig) -> Result<InstrumentRepor
     }
 
     // (1b) Flow-sensitive tier: cross-block provenance proofs plus
-    // must-availability elision. Fail-stop only — an elided check would
-    // skip the boundless redirection of a genuinely OOB access.
+    // must-availability elision, both consulting interprocedural call-graph
+    // summaries so facts survive calls to callees proven heap-benign.
+    // Fail-stop only — an elided check would skip the boundless
+    // redirection of a genuinely OOB access.
     if cfg.flow_elide && !cfg.boundless {
-        report.flow_marked = sgxs_analyze::mark_safe_flow(module);
-        report.flow_elided = sgxs_analyze::elide_redundant_checks(module);
+        let summaries = sgxs_analyze::summarize(module);
+        report.flow_marked = sgxs_analyze::mark_safe_flow_with(module, Some(&summaries));
+        report.flow_elided = sgxs_analyze::elide_redundant_checks_with(module, Some(&summaries));
     }
 
     // (2) Loop-check hoisting (paper §4.4). Incompatible with boundless

@@ -38,9 +38,13 @@ fn main() {
         report.proved_oob
     );
     for f in &report.findings {
+        let off = match f.offset {
+            Some((lo, hi)) => format!("{lo}..={hi}"),
+            None => "?".to_owned(),
+        };
         println!(
-            "  {}[b{} i{}]: {} of {}B at offset {}..={} past {} — `{}`",
-            f.function, f.block, f.inst, f.kind, f.width, f.offset.0, f.offset.1, f.object, f.ir
+            "  {}[b{} i{}]: {} of {}B at offset {} past {} — `{}`",
+            f.function, f.block, f.inst, f.kind, f.width, off, f.object, f.ir
         );
     }
     assert_eq!(report.proved_oob, 1, "the demo bug must be diagnosed");

@@ -1,0 +1,59 @@
+//! The lint artifact is deterministic and zero-perturbation: rerunning
+//! `repro lint` byte-for-byte reproduces both the human text and the JSON
+//! document, and switching the execution tier changes nothing — linting
+//! is purely static, so `--tier reference` and `--tier compiled` must
+//! produce identical bytes (the same guarantee the CI byte-diff
+//! enforces, pinned here so `cargo test` alone catches a violation).
+
+use sgxs_harness::exp::DEFAULT_SEED;
+use sgxs_harness::lint::lint_modules;
+use sgxs_harness::scheme::set_default_tier;
+use sgxs_harness::RunConfig;
+use sgxs_mir::Module;
+use sgxs_sim::{ExecTier, Preset};
+use sgxs_workloads::SizeClass;
+
+/// Builds every benchmark module exactly as `repro lint` does.
+fn modules() -> Vec<Module> {
+    let mut rc = RunConfig::new(Preset::Tiny);
+    rc.params.size = SizeClass::XS;
+    rc.params.seed = DEFAULT_SEED;
+    sgxs_workloads::all_benchmarks()
+        .into_iter()
+        .map(|w| w.build(&rc.params))
+        .collect()
+}
+
+fn artifact(ipa: bool) -> (String, String) {
+    let out = lint_modules(modules(), DEFAULT_SEED, ipa);
+    (out.human, out.doc.to_pretty())
+}
+
+#[test]
+fn lint_output_is_byte_identical_across_reruns_and_tiers() {
+    for ipa in [false, true] {
+        let reference = artifact(ipa);
+        let rerun = artifact(ipa);
+        assert_eq!(reference, rerun, "lint artifact drifted between reruns");
+
+        set_default_tier(ExecTier::Compiled);
+        let compiled = artifact(ipa);
+        set_default_tier(ExecTier::Reference);
+        assert_eq!(
+            reference, compiled,
+            "lint artifact diverged across execution tiers (ipa={ipa})"
+        );
+    }
+}
+
+/// The corpus-wide document parses through its own validating reader in
+/// both schema versions.
+#[test]
+fn benchmark_lint_documents_validate() {
+    for ipa in [false, true] {
+        let out = lint_modules(modules(), DEFAULT_SEED, ipa);
+        let parsed = sgxs_obs::read::lint_from_json(&out.doc).expect("document validates");
+        assert_eq!(parsed.ipa, ipa);
+        assert_eq!(parsed.proved_oob as usize, out.oob);
+    }
+}

@@ -1,0 +1,142 @@
+//! Differential validation of the static temporal lint against the fuzz
+//! oracle, over the fixed-seed regression corpus.
+//!
+//! Mirrors `lint_validation.rs` for the temporal dimension:
+//!
+//! * **no false positives**: every corpus entry — safe programs and
+//!   spatially injected ones alike — lints with zero proved-UAF and zero
+//!   proved-double-free sites, and the temporal oracle agrees that no
+//!   temporal violation exists;
+//! * **detection**: for every safe entry and both temporal fault kinds,
+//!   `inject_temporal` plants a use-after-free or double-free and the
+//!   interprocedural lint proves exactly that kind;
+//! * **precision**: every proved temporal finding lies in the injected
+//!   victim's op window (located via the progress beacon, as in the OOB
+//!   validation), and the oracle independently attributes the violation
+//!   to the same op.
+
+use sgxs_analyze::lint_module_ipa;
+use sgxs_fuzz::inject::{inject, inject_temporal, TemporalFaultKind, TEMPORAL_KINDS};
+use sgxs_fuzz::{gen, oracle, parse_corpus, CorpusEntry};
+use sgxs_mir::{GlobalId, Inst, Module, Operand};
+use std::collections::HashMap;
+
+fn corpus() -> Vec<CorpusEntry> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/fuzz_seeds.txt");
+    let text = std::fs::read_to_string(path).expect("corpus file readable");
+    parse_corpus(&text).expect("corpus parses")
+}
+
+/// Maps instruction positions in `main` to op windows via the progress
+/// beacon (`GlobalId(0)`): window `k` spans from the beacon store of `k`
+/// (exclusive) to the store of `k + 1` (inclusive).
+type Pos = (u32, u32);
+
+fn op_windows(m: &Module, fi: usize) -> HashMap<Pos, usize> {
+    let mut windows = HashMap::new();
+    let mut beacon_reg = None;
+    let mut window: Option<usize> = None;
+    for (bi, b) in m.funcs[fi].blocks.iter().enumerate() {
+        for (ii, inst) in b.insts.iter().enumerate() {
+            if let Some(w) = window {
+                windows.insert((bi as u32, ii as u32), w);
+            }
+            match inst {
+                Inst::GlobalAddr { dst, global } if *global == GlobalId(0) => {
+                    beacon_reg = Some(*dst);
+                    window = Some(0);
+                }
+                Inst::Store {
+                    addr: Operand::Reg(r),
+                    val: Operand::Imm(v),
+                    ..
+                } if Some(*r) == beacon_reg => {
+                    window = Some(*v as usize);
+                }
+                _ => {}
+            }
+        }
+    }
+    windows
+}
+
+/// Safe and spatially-injected corpus programs carry no temporal fault:
+/// the lint must never claim a proved UAF or double free on them, in
+/// agreement with the temporal oracle.
+#[test]
+fn corpus_has_no_false_proved_temporal_verdicts() {
+    for entry in corpus() {
+        let prog = gen::generate(entry.seed, entry.max_ops);
+        let mut m = match entry.kind {
+            None => gen::build(&prog),
+            Some(kind) => {
+                let (fprog, _) = inject(&prog, kind, entry.seed);
+                gen::build(&fprog)
+            }
+        };
+        assert_eq!(
+            oracle::analyze_temporal(&prog),
+            None,
+            "seed {}: oracle flags a temporal fault in a safe program",
+            entry.seed
+        );
+        let (report, _) = lint_module_ipa(&mut m);
+        assert_eq!(
+            (report.proved_uaf, report.proved_df),
+            (0, 0),
+            "seed {}: false proved temporal verdict: {:?}",
+            entry.seed,
+            report.temporal
+        );
+    }
+}
+
+/// Every injected temporal fault is proved, as the right kind, inside the
+/// victim's op window, matching the oracle's independent attribution.
+#[test]
+fn injected_temporal_faults_are_proved_in_the_victim_window() {
+    let mut checked = 0usize;
+    for entry in corpus().iter().filter(|e| e.kind.is_none()) {
+        let prog = gen::generate(entry.seed, entry.max_ops);
+        for kind in TEMPORAL_KINDS {
+            let (fprog, fault) = inject_temporal(&prog, kind, entry.seed);
+            let v = oracle::analyze_temporal(&fprog).expect("oracle sees the injected fault");
+            assert_eq!(
+                (v.kind, v.op_index),
+                (kind, fault.victim),
+                "seed {}: oracle and injector disagree",
+                entry.seed
+            );
+
+            let mut m = gen::build(&fprog);
+            let main = m.func_by_name("main").expect("main exists").0 as usize;
+            let windows = op_windows(&m, main);
+            let (report, _) = lint_module_ipa(&mut m);
+            let (want_uaf, want_df) = match kind {
+                TemporalFaultKind::UseAfterFree => (1, 0),
+                TemporalFaultKind::DoubleFree => (0, 1),
+            };
+            assert_eq!(
+                (report.proved_uaf, report.proved_df),
+                (want_uaf, want_df),
+                "seed {} {kind:?}: wrong temporal verdicts: {:?}",
+                entry.seed,
+                report.temporal
+            );
+            for t in &report.temporal {
+                let w = windows.get(&(t.block, t.inst)).copied();
+                assert_eq!(
+                    w,
+                    Some(fault.victim),
+                    "seed {} {kind:?}: proved temporal finding outside the victim window: {t:?}",
+                    entry.seed
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(
+        checked >= 8,
+        "corpus lost temporal fault coverage ({checked})"
+    );
+}
