@@ -146,12 +146,10 @@ pub fn build_call_graph(m: &Module) -> CallGraph {
             for (ii, inst) in blk.insts.iter().enumerate() {
                 match inst {
                     Inst::Call { func, .. } => callees[fi].push(func.0),
-                    Inst::CallIndirect { target, .. } => {
-                        match analysis.eval(target, &st) {
-                            AbsVal::Code { func } => callees[fi].push(func),
-                            _ => unresolved[fi] = true,
-                        }
-                    }
+                    Inst::CallIndirect { target, .. } => match analysis.eval(target, &st) {
+                        AbsVal::Code { func } => callees[fi].push(func),
+                        _ => unresolved[fi] = true,
+                    },
                     // A spawn transfers control to the spawned function
                     // (concurrently): it is a call edge, resolved through
                     // the same `Code` provenance as an indirect call.
@@ -647,7 +645,7 @@ mod tests {
         // must-freed bit is an under-approximation (the recursive ret
         // path cannot prove it before the fixpoint assumes it), so it is
         // allowed to stay false — but may-freed must hold.
-        assert_eq!(s.funcs[0].frees_params[0], true);
+        assert!(s.funcs[0].frees_params[0]);
         assert!(!s.funcs[0].heap_benign());
     }
 

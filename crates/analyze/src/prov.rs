@@ -349,10 +349,7 @@ impl<'a> ProvAnalysis<'a> {
                     // A direct call whose callee provably returns a fresh
                     // allocation is an allocation site of the caller.
                     Inst::Call { func, .. } => ipa.is_some_and(|(_, funcs)| {
-                        matches!(
-                            funcs[func.0 as usize].ret,
-                            RetSummary::FreshAlloc { .. }
-                        )
+                        matches!(funcs[func.0 as usize].ret, RetSummary::FreshAlloc { .. })
                     }),
                     _ => false,
                 };
@@ -623,9 +620,7 @@ impl<'a> ProvAnalysis<'a> {
                     st.set_reg(*d, out.unwrap_or(AbsVal::TOP));
                 }
             }
-            Inst::Call { dst, func, args } => {
-                self.call_step(bi, ii, Some(func.0), *dst, args, st)
-            }
+            Inst::Call { dst, func, args } => self.call_step(bi, ii, Some(func.0), *dst, args, st),
             Inst::CallIndirect { dst, target, args } => {
                 let callee = match self.eval(target, st) {
                     AbsVal::Code { func } => Some(func),
@@ -741,7 +736,9 @@ impl<'a> ProvAnalysis<'a> {
             RetSummary::Top => AbsVal::TOP,
             RetSummary::Num(iv) => AbsVal::Num(*iv),
             RetSummary::Param { index, off } => match vals.get(*index as usize) {
-                Some(AbsVal::Ptr { referent, off: o, .. }) => AbsVal::Ptr {
+                Some(AbsVal::Ptr {
+                    referent, off: o, ..
+                }) => AbsVal::Ptr {
                     referent: *referent,
                     off: o.add(off),
                     inb: false,
@@ -1247,23 +1244,21 @@ pub(crate) fn facts_of_analysis(analysis: &ProvAnalysis<'_>) -> FnFacts {
                             _ => None,
                         }
                     }
-                    Inst::Call { func, args, .. } => {
-                        analysis.ipa.and_then(|(_, funcs)| {
-                            let s = &funcs[func.0 as usize];
-                            args.iter().enumerate().find_map(|(i, a)| {
-                                if !s.must_frees_params.get(i).copied().unwrap_or(false) {
-                                    return None;
-                                }
-                                match analysis.eval(a, st) {
-                                    AbsVal::Ptr {
-                                        referent: Referent::Alloc { site, size },
-                                        ..
-                                    } => Some((site, size)),
-                                    _ => None,
-                                }
-                            })
+                    Inst::Call { func, args, .. } => analysis.ipa.and_then(|(_, funcs)| {
+                        let s = &funcs[func.0 as usize];
+                        args.iter().enumerate().find_map(|(i, a)| {
+                            if !s.must_frees_params.get(i).copied().unwrap_or(false) {
+                                return None;
+                            }
+                            match analysis.eval(a, st) {
+                                AbsVal::Ptr {
+                                    referent: Referent::Alloc { site, size },
+                                    ..
+                                } => Some((site, size)),
+                                _ => None,
+                            }
                         })
-                    }
+                    }),
                     _ => None,
                 };
                 if let Some((site, size)) = refreed {

@@ -285,8 +285,10 @@ pub enum TemporalFaultKind {
 }
 
 /// Every temporal fault kind.
-pub const TEMPORAL_KINDS: [TemporalFaultKind; 2] =
-    [TemporalFaultKind::UseAfterFree, TemporalFaultKind::DoubleFree];
+pub const TEMPORAL_KINDS: [TemporalFaultKind; 2] = [
+    TemporalFaultKind::UseAfterFree,
+    TemporalFaultKind::DoubleFree,
+];
 
 impl TemporalFaultKind {
     /// Short label for reports (matches the lint's finding kinds).

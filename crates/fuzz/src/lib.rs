@@ -31,11 +31,16 @@ pub mod shrink;
 
 use inject::{FaultKind, ALL_KINDS};
 use runner::{
-    classify, exec_chaos_tier, exec_forensic, exec_tier, verdict_ok, FScheme, Verdict, ALL_SCHEMES,
+    classify, exec_chaos_tier_budget, exec_forensic, exec_tier, exec_tier_budget, is_budget_trap,
+    is_oom_trap, verdict_ok, FScheme, Verdict, ALL_SCHEMES, DEFAULT_BUDGET,
 };
 use sgxs_audit::{Incident, IncidentMeta, ReproInfo, TruthInfo};
 use sgxs_sim::obs::json::Json;
 use sgxs_sim::ExecTier;
+use sgxs_super::{
+    supervise, Campaign, Coverage, Quarantined, Restored, SeedFailure, StopFlag, SuperOpts,
+    TaskError,
+};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -57,6 +62,17 @@ pub struct FuzzOpts {
     /// Trace-ring window of the forensic re-run attached to each
     /// disagreement (`repro fuzz --trace-window N`).
     pub trace_window: usize,
+    /// Instruction-budget watchdog per execution, in simulated cycles. A
+    /// run that exhausts it is not a verdict: the whole seed is reported as
+    /// a `budget` failure and quarantined (`repro fuzz --budget N`).
+    pub budget: u64,
+    /// Demo hook: this seed panics at the top of its run, exercising the
+    /// supervisor's panic isolation end to end (`--demo-panic SEED`).
+    pub demo_panic: Option<u64>,
+    /// Demo hook: this seed runs under the deliberately tiny
+    /// [`DEMO_BUDGET`] so the watchdog provably fires
+    /// (`--demo-budget SEED`).
+    pub demo_budget: Option<u64>,
 }
 
 impl Default for FuzzOpts {
@@ -68,7 +84,24 @@ impl Default for FuzzOpts {
             shrink: true,
             tier: ExecTier::default(),
             trace_window: sgxs_audit::DEFAULT_TRACE_WINDOW,
+            budget: DEFAULT_BUDGET,
+            demo_panic: None,
+            demo_budget: None,
         }
+    }
+}
+
+/// The budget a `--demo-budget` seed runs under: smaller than even program
+/// setup (the 16-slot init loop alone exceeds it), so the watchdog fires
+/// deterministically.
+pub const DEMO_BUDGET: u64 = 100;
+
+/// The watchdog budget in force for one seed (the demo hook shrinks it).
+fn seed_budget(opts: &FuzzOpts, seed: u64) -> u64 {
+    if opts.demo_budget == Some(seed) {
+        DEMO_BUDGET
+    } else {
+        opts.budget
     }
 }
 
@@ -111,6 +144,17 @@ impl Cell {
     pub fn flagged(&self) -> u64 {
         self.detected + self.wrong_site + self.tolerated
     }
+
+    /// Adds another cell's tallies (shard merge).
+    fn absorb(&mut self, o: &Cell) {
+        self.detected += o.detected;
+        self.wrong_site += o.wrong_site;
+        self.missed += o.missed;
+        self.tolerated += o.tolerated;
+        self.crashed += o.crashed;
+        self.disagreements += o.disagreements;
+        self.total += o.total;
+    }
 }
 
 /// Safe-program tallies for one scheme.
@@ -126,6 +170,17 @@ pub struct SafeCell {
     pub crashes: u64,
     /// Total safe runs.
     pub total: u64,
+}
+
+impl SafeCell {
+    /// Adds another cell's tallies (shard merge).
+    fn absorb(&mut self, o: &SafeCell) {
+        self.passes += o.passes;
+        self.false_positives += o.false_positives;
+        self.mismatches += o.mismatches;
+        self.crashes += o.crashes;
+        self.total += o.total;
+    }
 }
 
 /// One disagreement found during the campaign.
@@ -229,9 +284,54 @@ pub struct Report {
     pub cells: BTreeMap<(FaultKind, FScheme), Cell>,
     /// Every disagreement, shrunk when requested.
     pub disagreements: Vec<Disagreement>,
+    /// Seeds quarantined by the failure ladder (panic / budget /
+    /// transient), in seed order.
+    pub quarantine: Vec<Quarantined>,
+    /// Seeds skipped by a graceful stop.
+    pub skipped: u64,
 }
 
 impl Report {
+    /// An empty report with every scheme's safe row present, so even a
+    /// fully-quarantined campaign renders the complete safe table.
+    pub fn seeded() -> Report {
+        let mut r = Report::default();
+        for scheme in ALL_SCHEMES {
+            r.safe.insert(scheme, SafeCell::default());
+        }
+        r
+    }
+
+    /// Folds one shard (typically a single seed's report) into the
+    /// aggregate. Merging per-seed reports in seed order reproduces the
+    /// sequential campaign bit-for-bit — the property the work-stealing
+    /// pool's byte-identity contract rests on.
+    pub fn merge(&mut self, other: &Report) {
+        self.programs += other.programs;
+        self.runs += other.runs;
+        for (scheme, c) in &other.safe {
+            self.safe.entry(*scheme).or_default().absorb(c);
+        }
+        for (key, c) in &other.cells {
+            self.cells.entry(*key).or_default().absorb(c);
+        }
+        self.disagreements
+            .extend(other.disagreements.iter().cloned());
+        self.quarantine.extend(other.quarantine.iter().cloned());
+        self.skipped += other.skipped;
+    }
+
+    /// Explicit coverage ledger: every seed is completed, quarantined, or
+    /// skipped — nothing is silently truncated.
+    pub fn coverage(&self) -> Coverage {
+        Coverage {
+            seeds: self.programs + self.quarantine.len() as u64 + self.skipped,
+            completed: self.programs,
+            quarantined: self.quarantine.len() as u64,
+            skipped: self.skipped,
+        }
+    }
+
     /// Renders the extended security matrix plus a disagreement summary.
     pub fn render(&self) -> String {
         let mut s = String::new();
@@ -296,6 +396,11 @@ impl Report {
                     d.scheme.label(),
                     d.verdict.label()
                 );
+                // The verdict payload (trap text, preserved panic message,
+                // digest pair) rides on the summary line.
+                if let Some(det) = d.verdict.detail() {
+                    let _ = write!(s, " — {det}");
+                }
                 // Ground truth next to the observed verdict, so an
                 // oracle/detection off-by-one is triaged from the summary
                 // line alone.
@@ -310,6 +415,19 @@ impl Report {
                     let _ = writeln!(s, "    {line}");
                 }
             }
+        }
+        if !self.quarantine.is_empty() {
+            let _ = writeln!(s, "\nquarantined seeds:");
+            for q in &self.quarantine {
+                let _ = writeln!(
+                    s,
+                    "  seed {} [{} after {} attempt(s)]: {}",
+                    q.seed, q.class, q.attempts, q.detail
+                );
+            }
+        }
+        if self.skipped > 0 {
+            let _ = writeln!(s, "\n{} seed(s) skipped by early stop", self.skipped);
         }
         s
     }
@@ -375,121 +493,378 @@ impl Report {
                                 ),
                                 ("scheme", d.scheme.label().into()),
                                 ("verdict", d.verdict.label().into()),
+                                (
+                                    "detail",
+                                    match d.verdict.detail() {
+                                        Some(m) => Json::from(m.as_str()),
+                                        None => Json::Null,
+                                    },
+                                ),
                                 ("incident", d.incident.to_json()),
                             ])
                         })
                         .collect(),
                 ),
             ),
+            ("coverage", self.coverage().to_json()),
+            (
+                "quarantine",
+                Json::Arr(self.quarantine.iter().map(quarantine_json).collect()),
+            ),
         ])
     }
 }
 
-/// Runs the differential campaign: for each seed, one safe program across
-/// all schemes plus one injected fault (kinds round-robin by seed).
-pub fn run_campaign(opts: &FuzzOpts) -> Report {
-    let mut report = Report::default();
-    for scheme in ALL_SCHEMES {
-        report.safe.insert(scheme, SafeCell::default());
+/// Serializes one quarantine-ledger entry (shared by the fuzz and
+/// chaos-fuzz documents).
+fn quarantine_json(q: &Quarantined) -> Json {
+    Json::obj(vec![
+        ("seed", q.seed.into()),
+        ("attempts", (q.attempts as u64).into()),
+        ("class", q.class.as_str().into()),
+        ("detail", q.detail.as_str().into()),
+    ])
+}
+
+/// Runs one seed of the differential campaign: the safe program across
+/// every scheme plus one injected fault (kinds round-robin by seed).
+/// Deterministic in `seed` alone; the returned report covers exactly this
+/// seed and folds into the campaign aggregate via [`Report::merge`].
+///
+/// A run that exhausts the instruction budget is not a verdict — the whole
+/// seed comes back as [`TaskError::Budget`], and the supervisor
+/// quarantines it without retrying (a deterministic seed re-run against
+/// the same budget burns the same cycles and fails the same way).
+pub fn run_seed_report(opts: &FuzzOpts, seed: u64) -> Result<Report, TaskError> {
+    if opts.demo_panic == Some(seed) {
+        panic!("demo: injected panicking seed {seed}");
     }
-    for seed in opts.seed0..opts.seed0 + opts.seeds {
-        let prog = gen::generate(seed, opts.max_ops);
-        assert_eq!(
-            oracle::analyze(&prog),
-            None,
-            "seed {seed}: generator emitted an out-of-bounds op"
-        );
-        report.programs += 1;
+    let budget = seed_budget(opts, seed);
+    let over = TaskError::Budget {
+        spent: budget,
+        budget,
+    };
+    let mut report = Report::seeded();
+    let prog = gen::generate(seed, opts.max_ops);
+    assert_eq!(
+        oracle::analyze(&prog),
+        None,
+        "seed {seed}: generator emitted an out-of-bounds op"
+    );
+    report.programs += 1;
 
-        let native = exec_tier(&prog, FScheme::Native, opts.tier);
+    let native = exec_tier_budget(&prog, FScheme::Native, opts.tier, budget);
+    if is_budget_trap(&native) {
+        return Err(over);
+    }
+    report.runs += 1;
+    {
+        let cell = report.safe.get_mut(&FScheme::Native).expect("seeded");
+        cell.total += 1;
+        match &native.result {
+            Ok(_) => cell.passes += 1,
+            Err(_) => cell.crashes += 1,
+        }
+    }
+    let native_digest = match &native.result {
+        Ok(d) => *d,
+        Err(t) => {
+            let verdict = Verdict::Crash(t.to_string());
+            let incident =
+                forensic_incident(&prog, None, seed, FScheme::Native, &verdict, None, opts);
+            report.disagreements.push(Disagreement {
+                seed,
+                kind: None,
+                scheme: FScheme::Native,
+                verdict,
+                repro: None,
+                incident,
+            });
+            return Ok(report);
+        }
+    };
+
+    for scheme in ALL_SCHEMES.into_iter().skip(1) {
+        let e = exec_tier_budget(&prog, scheme, opts.tier, budget);
+        if is_budget_trap(&e) {
+            return Err(over);
+        }
+        let v = classify(None, native_digest, &e);
         report.runs += 1;
-        {
-            let cell = report.safe.get_mut(&FScheme::Native).expect("seeded");
-            cell.total += 1;
-            match &native.result {
-                Ok(_) => cell.passes += 1,
-                Err(_) => cell.crashes += 1,
-            }
+        let cell = report.safe.get_mut(&scheme).expect("seeded");
+        cell.total += 1;
+        match &v {
+            Verdict::Pass => cell.passes += 1,
+            Verdict::FalsePositive(_) => cell.false_positives += 1,
+            Verdict::DigestMismatch { .. } => cell.mismatches += 1,
+            _ => cell.crashes += 1,
         }
-        let native_digest = match &native.result {
-            Ok(d) => *d,
-            Err(t) => {
-                let verdict = Verdict::Crash(t.to_string());
-                let incident =
-                    forensic_incident(&prog, None, seed, FScheme::Native, &verdict, None, opts);
-                report.disagreements.push(Disagreement {
-                    seed,
-                    kind: None,
-                    scheme: FScheme::Native,
-                    verdict,
-                    repro: None,
-                    incident,
-                });
-                continue;
-            }
-        };
-
-        for scheme in ALL_SCHEMES.into_iter().skip(1) {
-            let v = classify(None, native_digest, &exec_tier(&prog, scheme, opts.tier));
-            report.runs += 1;
-            let cell = report.safe.get_mut(&scheme).expect("seeded");
-            cell.total += 1;
-            match &v {
-                Verdict::Pass => cell.passes += 1,
-                Verdict::FalsePositive(_) => cell.false_positives += 1,
-                Verdict::DigestMismatch { .. } => cell.mismatches += 1,
-                _ => cell.crashes += 1,
-            }
-            if !verdict_ok(scheme, None, &v) {
-                let repro = opts.shrink.then(|| shrink::shrink(&prog, None, scheme, &v));
-                let incident =
-                    forensic_incident(&prog, None, seed, scheme, &v, repro.as_ref(), opts);
-                report.disagreements.push(Disagreement {
-                    seed,
-                    kind: None,
-                    scheme,
-                    verdict: v,
-                    repro,
-                    incident,
-                });
-            }
+        if !verdict_ok(scheme, None, &v) {
+            let repro = opts.shrink.then(|| shrink::shrink(&prog, None, scheme, &v));
+            let incident = forensic_incident(&prog, None, seed, scheme, &v, repro.as_ref(), opts);
+            report.disagreements.push(Disagreement {
+                seed,
+                kind: None,
+                scheme,
+                verdict: v,
+                repro,
+                incident,
+            });
         }
+    }
 
-        let kind = ALL_KINDS[(seed % ALL_KINDS.len() as u64) as usize];
-        let (fprog, fault) = inject::inject(&prog, kind, seed);
-        let v = oracle::analyze(&fprog).expect("injected program must violate");
-        assert_eq!(
-            v.op_index,
-            fault.victim_index(),
-            "seed {seed} {kind:?}: oracle disagrees with injector ground truth"
-        );
-        for scheme in ALL_SCHEMES {
-            let v = classify(
-                Some(&fault),
-                native_digest,
-                &exec_tier(&fprog, scheme, opts.tier),
-            );
-            report.runs += 1;
-            let ok = verdict_ok(scheme, Some(kind), &v);
-            report.cells.entry((kind, scheme)).or_default().add(&v, ok);
-            if !ok {
-                let repro = opts
-                    .shrink
-                    .then(|| shrink::shrink(&prog, Some(&fault), scheme, &v));
-                let incident =
-                    forensic_incident(&fprog, Some(&fault), seed, scheme, &v, repro.as_ref(), opts);
-                report.disagreements.push(Disagreement {
-                    seed,
-                    kind: Some(kind),
-                    scheme,
-                    verdict: v,
-                    repro,
-                    incident,
-                });
-            }
+    let kind = ALL_KINDS[(seed % ALL_KINDS.len() as u64) as usize];
+    let (fprog, fault) = inject::inject(&prog, kind, seed);
+    let v = oracle::analyze(&fprog).expect("injected program must violate");
+    assert_eq!(
+        v.op_index,
+        fault.victim_index(),
+        "seed {seed} {kind:?}: oracle disagrees with injector ground truth"
+    );
+    for scheme in ALL_SCHEMES {
+        let e = exec_tier_budget(&fprog, scheme, opts.tier, budget);
+        if is_budget_trap(&e) {
+            return Err(over);
+        }
+        let v = classify(Some(&fault), native_digest, &e);
+        report.runs += 1;
+        let ok = verdict_ok(scheme, Some(kind), &v);
+        report.cells.entry((kind, scheme)).or_default().add(&v, ok);
+        if !ok {
+            let repro = opts
+                .shrink
+                .then(|| shrink::shrink(&prog, Some(&fault), scheme, &v));
+            let incident =
+                forensic_incident(&fprog, Some(&fault), seed, scheme, &v, repro.as_ref(), opts);
+            report.disagreements.push(Disagreement {
+                seed,
+                kind: Some(kind),
+                scheme,
+                verdict: v,
+                repro,
+                incident,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Builds the quarantine record for a seed-level task error in the
+/// unsupervised (serial, single-attempt) drivers.
+fn quarantine_entry(seed: u64, attempts: u32, e: &TaskError) -> Quarantined {
+    let failure = match e {
+        TaskError::Budget { spent, budget } => SeedFailure::Budget {
+            spent: *spent,
+            budget: *budget,
+        },
+        TaskError::Transient(m) => SeedFailure::Transient {
+            attempts,
+            last: m.clone(),
+        },
+    };
+    Quarantined {
+        seed,
+        attempts,
+        class: failure.class().to_owned(),
+        detail: failure.detail(),
+    }
+}
+
+/// Runs the differential campaign sequentially in-process. Seeds that trip
+/// the budget watchdog are quarantined in the report; a panicking seed
+/// propagates (use [`run_campaign_supervised`] for isolation, retries, and
+/// checkpoint/resume).
+pub fn run_campaign(opts: &FuzzOpts) -> Report {
+    let mut report = Report::seeded();
+    for seed in opts.seed0..opts.seed0 + opts.seeds {
+        match run_seed_report(opts, seed) {
+            Ok(r) => report.merge(&r),
+            Err(e) => report.quarantine.push(quarantine_entry(seed, 1, &e)),
         }
     }
     report
+}
+
+/// Maps a checkpoint verdict label back to a representative [`Verdict`].
+/// Payload-carrying verdicts restore with empty payloads: the merged
+/// matrix only counts variants, and any payload-bearing verdict outside
+/// the detection model marks its seed dirty (re-run) instead.
+fn verdict_from_label(label: &str) -> Option<Verdict> {
+    Some(match label {
+        "pass" => Verdict::Pass,
+        "detected" => Verdict::Detected,
+        "wrong-site" => Verdict::DetectedWrongSite { beacon: 0 },
+        "missed" => Verdict::Missed,
+        "tolerated" => Verdict::Tolerated,
+        "crash" => Verdict::Crash(String::new()),
+        "false-positive" => Verdict::FalsePositive(String::new()),
+        "digest-mismatch" => Verdict::DigestMismatch { want: 0, got: 0 },
+        _ => return None,
+    })
+}
+
+/// The verdict label a clean per-seed fault cell encodes, when the cell
+/// holds exactly one run of a single variant.
+fn cell_label(c: &Cell) -> Option<&'static str> {
+    if c.total != 1 || c.disagreements != 0 {
+        return None;
+    }
+    match (c.detected, c.wrong_site, c.missed, c.tolerated, c.crashed) {
+        (1, 0, 0, 0, 0) => Some("detected"),
+        (0, 1, 0, 0, 0) => Some("wrong-site"),
+        (0, 0, 1, 0, 0) => Some("missed"),
+        (0, 0, 0, 1, 0) => Some("tolerated"),
+        (0, 0, 0, 0, 1) => Some("crash"),
+        _ => None,
+    }
+}
+
+/// The differential fuzz campaign as a supervised [`Campaign`].
+///
+/// Checkpoints are verdict labels only: a clean seed journals its fault
+/// kind plus the eight per-scheme verdict labels — enough to rebuild its
+/// matrix contribution exactly — while a seed with any disagreement
+/// journals `{"dirty": true}` and is deterministically re-run on resume
+/// (incident records are cheaper to recompute than to serialize).
+pub struct FuzzCampaign {
+    /// The options every seed runs under.
+    pub opts: FuzzOpts,
+}
+
+impl Campaign for FuzzCampaign {
+    type Out = Report;
+
+    fn name(&self) -> &'static str {
+        "fuzz"
+    }
+
+    fn fingerprint(&self) -> String {
+        format!(
+            "fuzz max_ops={} shrink={} tier={:?} trace_window={} budget={} \
+             demo_panic={:?} demo_budget={:?}",
+            self.opts.max_ops,
+            self.opts.shrink,
+            self.opts.tier,
+            self.opts.trace_window,
+            self.opts.budget,
+            self.opts.demo_panic,
+            self.opts.demo_budget
+        )
+    }
+
+    fn run_seed(&self, seed: u64, _attempt: u32) -> Result<Report, TaskError> {
+        run_seed_report(&self.opts, seed)
+    }
+
+    fn checkpoint(&self, r: &Report) -> Json {
+        let dirty = Json::obj(vec![("dirty", true.into())]);
+        if !r.disagreements.is_empty() || r.cells.len() != ALL_SCHEMES.len() {
+            return dirty;
+        }
+        let kind = match r.cells.keys().next() {
+            Some(&(k, _)) => k,
+            None => return dirty,
+        };
+        let mut labels = Vec::new();
+        for scheme in ALL_SCHEMES {
+            match r.cells.get(&(kind, scheme)).and_then(cell_label) {
+                Some(l) => labels.push(l),
+                None => return dirty,
+            }
+        }
+        Json::obj(vec![
+            ("kind", kind.label().into()),
+            (
+                "fault",
+                Json::Arr(labels.into_iter().map(Json::from).collect()),
+            ),
+        ])
+    }
+
+    fn restore(&self, _seed: u64, payload: &Json) -> Result<Restored<Report>, String> {
+        if payload.get("dirty").and_then(Json::as_bool) == Some(true) {
+            return Ok(Restored::Rerun);
+        }
+        let kind_label = payload
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "fuzz checkpoint: missing kind".to_owned())?;
+        let kind = *ALL_KINDS
+            .iter()
+            .find(|k| k.label() == kind_label)
+            .ok_or_else(|| format!("fuzz checkpoint: unknown fault kind '{kind_label}'"))?;
+        let labels = payload
+            .get("fault")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "fuzz checkpoint: missing fault row".to_owned())?;
+        if labels.len() != ALL_SCHEMES.len() {
+            return Err(format!(
+                "fuzz checkpoint: fault row has {} entries, want {}",
+                labels.len(),
+                ALL_SCHEMES.len()
+            ));
+        }
+        let mut report = Report::seeded();
+        report.programs = 1;
+        // 1 native + 7 safe + 8 fault executions per clean seed.
+        report.runs = 2 * ALL_SCHEMES.len() as u64;
+        for scheme in ALL_SCHEMES {
+            let cell = report.safe.get_mut(&scheme).expect("seeded");
+            cell.passes = 1;
+            cell.total = 1;
+        }
+        for (scheme, l) in ALL_SCHEMES.into_iter().zip(labels) {
+            let label = l
+                .as_str()
+                .ok_or_else(|| "fuzz checkpoint: non-string verdict".to_owned())?;
+            let v = verdict_from_label(label)
+                .ok_or_else(|| format!("fuzz checkpoint: unknown verdict '{label}'"))?;
+            report
+                .cells
+                .entry((kind, scheme))
+                .or_default()
+                .add(&v, true);
+        }
+        Ok(Restored::Value(report))
+    }
+}
+
+/// A supervised campaign's outcome: the merged report plus stop/resume
+/// provenance (kept out of the artifact so a resumed run's document stays
+/// byte-identical to an uninterrupted one).
+#[derive(Debug)]
+pub struct SupervisedFuzz {
+    /// The merged campaign report.
+    pub report: Report,
+    /// Whether a graceful stop ended the campaign early.
+    pub stopped: bool,
+    /// Seeds restored from the journal instead of re-run.
+    pub resumed: u64,
+}
+
+/// Runs the differential campaign under the [`sgxs_super`] supervisor:
+/// seeds shard across the work-stealing pool, panicking and over-budget
+/// seeds are quarantined instead of killing the run, and per-seed reports
+/// merge in seed order, so the output is byte-identical for every worker
+/// count and across checkpoint/resume.
+pub fn run_campaign_supervised(
+    opts: &FuzzOpts,
+    sup: &SuperOpts,
+    stop: &StopFlag,
+) -> Result<SupervisedFuzz, String> {
+    let campaign = FuzzCampaign { opts: opts.clone() };
+    let run = supervise(&campaign, opts.seed0, opts.seeds, sup, stop)?;
+    let mut report = Report::seeded();
+    for (_, r) in &run.outcomes {
+        report.merge(r);
+    }
+    report.quarantine = run.quarantined.clone();
+    report.skipped = run.skipped.len() as u64;
+    Ok(SupervisedFuzz {
+        report,
+        stopped: run.stopped,
+        resumed: run.resumed,
+    })
 }
 
 /// Results of the environmental-chaos campaign mode.
@@ -510,12 +885,40 @@ pub struct ChaosFuzzReport {
     /// Runs whose result diverged under chaos (digest mismatch, false
     /// positive, or crash) — each one is a recovery bug.
     pub failures: Vec<(u64, FScheme, Verdict)>,
+    /// Seeds quarantined by the failure ladder, in seed order.
+    pub quarantine: Vec<Quarantined>,
+    /// Seeds skipped by a graceful stop.
+    pub skipped: u64,
 }
 
 impl ChaosFuzzReport {
     /// True when every chaotic run reproduced the clean digest.
     pub fn passed(&self) -> bool {
         self.failures.is_empty()
+    }
+
+    /// Folds one shard (typically a single seed's report) into the
+    /// aggregate; merging in seed order reproduces the sequential campaign
+    /// bit-for-bit.
+    pub fn merge(&mut self, other: &ChaosFuzzReport) {
+        self.programs += other.programs;
+        self.runs += other.runs;
+        self.clean += other.clean;
+        self.rode_out += other.rode_out;
+        self.retries += other.retries;
+        self.failures.extend(other.failures.iter().cloned());
+        self.quarantine.extend(other.quarantine.iter().cloned());
+        self.skipped += other.skipped;
+    }
+
+    /// Explicit coverage ledger over the seed range.
+    pub fn coverage(&self) -> Coverage {
+        Coverage {
+            seeds: self.programs + self.quarantine.len() as u64 + self.skipped,
+            completed: self.programs,
+            quarantined: self.quarantine.len() as u64,
+            skipped: self.skipped,
+        }
     }
 
     /// Human-readable summary.
@@ -540,44 +943,195 @@ impl ChaosFuzzReport {
                 v.label()
             );
         }
+        for q in &self.quarantine {
+            let _ = writeln!(
+                s,
+                "  seed {} quarantined [{} after {} attempt(s)]: {}",
+                q.seed, q.class, q.attempts, q.detail
+            );
+        }
+        if self.skipped > 0 {
+            let _ = writeln!(s, "  {} seed(s) skipped by early stop", self.skipped);
+        }
         s
     }
 }
 
-/// Chaos campaign mode: every *safe* program runs under every scheme with
-/// an allocator fault plan installed and an OOM-retry recovery policy. The
+/// Runs one chaos-fuzz seed: the safe program under every scheme with an
+/// allocator fault plan installed and an OOM-retry recovery policy.
+/// `attempt` salts the chaos schedule, so a transiently-exhausted retry
+/// ladder sees a genuinely different fault pattern on the supervisor's
+/// next rung — while attempt 1 reproduces the historical sequential
+/// schedule exactly.
+pub fn run_chaos_seed(
+    opts: &FuzzOpts,
+    seed: u64,
+    attempt: u32,
+) -> Result<ChaosFuzzReport, TaskError> {
+    if opts.demo_panic == Some(seed) {
+        panic!("demo: injected panicking seed {seed}");
+    }
+    let budget = seed_budget(opts, seed);
+    let over = TaskError::Budget {
+        spent: budget,
+        budget,
+    };
+    let mut report = ChaosFuzzReport::default();
+    let prog = gen::generate(seed, opts.max_ops);
+    report.programs += 1;
+    let native = exec_tier_budget(&prog, FScheme::Native, opts.tier, budget);
+    if is_budget_trap(&native) {
+        return Err(over);
+    }
+    let Ok(native_digest) = native.result else {
+        report
+            .failures
+            .push((seed, FScheme::Native, Verdict::Crash("clean run".into())));
+        return Ok(report);
+    };
+    let chaos_seed = seed
+        .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+        .wrapping_add(attempt as u64);
+    for scheme in ALL_SCHEMES {
+        let e = exec_chaos_tier_budget(&prog, scheme, chaos_seed, opts.tier, budget);
+        if is_budget_trap(&e) {
+            return Err(over);
+        }
+        if is_oom_trap(&e) {
+            return Err(TaskError::Transient(format!(
+                "injected allocator faults exhausted the VM retry ladder under {}",
+                scheme.label()
+            )));
+        }
+        report.runs += 1;
+        report.retries += e.retries;
+        let mut v = classify(None, native_digest, &e);
+        if v == Verdict::Pass && e.retries > 0 {
+            v = Verdict::Tolerated;
+        }
+        match v {
+            Verdict::Pass => report.clean += 1,
+            Verdict::Tolerated => report.rode_out += 1,
+            bad => report.failures.push((seed, scheme, bad)),
+        }
+    }
+    Ok(report)
+}
+
+/// Chaos campaign mode, sequentially in-process: every *safe* program runs
+/// under every scheme with an allocator fault plan installed. The
 /// environmental faults are transient by construction, so every run must
 /// still reproduce the clean native digest bit-for-bit; a run that needed
-/// retries to get there is classified [`Verdict::Tolerated`].
+/// retries to get there is classified [`Verdict::Tolerated`]. Seeds whose
+/// VM retry ladder is exhausted outright are quarantined as transient
+/// (single attempt here; [`run_chaos_fuzz_supervised`] retries them with
+/// fresh chaos salts).
 pub fn run_chaos_fuzz(opts: &FuzzOpts) -> ChaosFuzzReport {
     let mut report = ChaosFuzzReport::default();
     for seed in opts.seed0..opts.seed0 + opts.seeds {
-        let prog = gen::generate(seed, opts.max_ops);
-        report.programs += 1;
-        let native = exec_tier(&prog, FScheme::Native, opts.tier);
-        let Ok(native_digest) = native.result else {
-            report
-                .failures
-                .push((seed, FScheme::Native, Verdict::Crash("clean run".into())));
-            continue;
-        };
-        let chaos_seed = seed.wrapping_mul(0xD6E8_FEB8_6659_FD93).wrapping_add(1);
-        for scheme in ALL_SCHEMES {
-            let e = exec_chaos_tier(&prog, scheme, chaos_seed, opts.tier);
-            report.runs += 1;
-            report.retries += e.retries;
-            let mut v = classify(None, native_digest, &e);
-            if v == Verdict::Pass && e.retries > 0 {
-                v = Verdict::Tolerated;
-            }
-            match v {
-                Verdict::Pass => report.clean += 1,
-                Verdict::Tolerated => report.rode_out += 1,
-                bad => report.failures.push((seed, scheme, bad)),
-            }
+        match run_chaos_seed(opts, seed, 1) {
+            Ok(r) => report.merge(&r),
+            Err(e) => report.quarantine.push(quarantine_entry(seed, 1, &e)),
         }
     }
     report
+}
+
+/// The chaos-fuzz campaign as a supervised [`Campaign`]. Clean seeds
+/// checkpoint their four counters; seeds with failures journal
+/// `{"dirty": true}` and re-run deterministically on resume.
+pub struct ChaosFuzzCampaign {
+    /// The options every seed runs under.
+    pub opts: FuzzOpts,
+}
+
+impl Campaign for ChaosFuzzCampaign {
+    type Out = ChaosFuzzReport;
+
+    fn name(&self) -> &'static str {
+        "chaos-fuzz"
+    }
+
+    fn fingerprint(&self) -> String {
+        format!(
+            "chaos-fuzz max_ops={} tier={:?} budget={} demo_panic={:?} demo_budget={:?}",
+            self.opts.max_ops,
+            self.opts.tier,
+            self.opts.budget,
+            self.opts.demo_panic,
+            self.opts.demo_budget
+        )
+    }
+
+    fn run_seed(&self, seed: u64, attempt: u32) -> Result<ChaosFuzzReport, TaskError> {
+        run_chaos_seed(&self.opts, seed, attempt)
+    }
+
+    fn checkpoint(&self, r: &ChaosFuzzReport) -> Json {
+        if !r.failures.is_empty() {
+            return Json::obj(vec![("dirty", true.into())]);
+        }
+        Json::obj(vec![
+            ("runs", r.runs.into()),
+            ("clean", r.clean.into()),
+            ("rode_out", r.rode_out.into()),
+            ("retries", r.retries.into()),
+        ])
+    }
+
+    fn restore(&self, _seed: u64, payload: &Json) -> Result<Restored<ChaosFuzzReport>, String> {
+        if payload.get("dirty").and_then(Json::as_bool) == Some(true) {
+            return Ok(Restored::Rerun);
+        }
+        let field = |k: &str| {
+            payload
+                .get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("chaos-fuzz checkpoint: missing {k}"))
+        };
+        Ok(Restored::Value(ChaosFuzzReport {
+            programs: 1,
+            runs: field("runs")?,
+            clean: field("clean")?,
+            rode_out: field("rode_out")?,
+            retries: field("retries")?,
+            ..ChaosFuzzReport::default()
+        }))
+    }
+}
+
+/// A supervised chaos-fuzz campaign's outcome.
+#[derive(Debug)]
+pub struct SupervisedChaosFuzz {
+    /// The merged campaign report.
+    pub report: ChaosFuzzReport,
+    /// Whether a graceful stop ended the campaign early.
+    pub stopped: bool,
+    /// Seeds restored from the journal instead of re-run.
+    pub resumed: u64,
+}
+
+/// Runs the chaos-fuzz campaign under the supervisor (worker pool, panic
+/// isolation, transient retries with fresh chaos salts, checkpoint/
+/// resume). Byte-identical output for every worker count.
+pub fn run_chaos_fuzz_supervised(
+    opts: &FuzzOpts,
+    sup: &SuperOpts,
+    stop: &StopFlag,
+) -> Result<SupervisedChaosFuzz, String> {
+    let campaign = ChaosFuzzCampaign { opts: opts.clone() };
+    let run = supervise(&campaign, opts.seed0, opts.seeds, sup, stop)?;
+    let mut report = ChaosFuzzReport::default();
+    for (_, r) in &run.outcomes {
+        report.merge(r);
+    }
+    report.quarantine = run.quarantined.clone();
+    report.skipped = run.skipped.len() as u64;
+    Ok(SupervisedChaosFuzz {
+        report,
+        stopped: run.stopped,
+        resumed: run.resumed,
+    })
 }
 
 /// One replayable corpus entry: everything needed to regenerate a
@@ -832,8 +1386,95 @@ mod tests {
             let c = report.cells[&(kind, FScheme::SgxBounds)];
             assert_eq!(c.total, 2, "{kind:?}");
         }
+        assert!(report.quarantine.is_empty());
+        assert_eq!(report.skipped, 0);
+        let cov = report.coverage();
+        assert_eq!((cov.seeds, cov.completed), (18, 18));
         let rendered = report.render();
         assert!(rendered.contains("heap-overflow"));
         assert!(rendered.contains("sb-narrow"));
+    }
+
+    #[test]
+    fn supervised_campaign_matches_serial_and_quarantines_demo_seeds() {
+        let opts = FuzzOpts {
+            seeds: 6,
+            seed0: 100,
+            max_ops: 8,
+            shrink: false,
+            ..FuzzOpts::default()
+        };
+        let serial = run_campaign(&opts);
+        let sup = SuperOpts {
+            workers: 3,
+            quiet_panics: true,
+            ..SuperOpts::default()
+        };
+        let s = run_campaign_supervised(&opts, &sup, &StopFlag::new()).expect("supervised");
+        assert_eq!(
+            serial.to_json().to_compact(),
+            s.report.to_json().to_compact(),
+            "supervised pool must not change a single output byte"
+        );
+        assert_eq!(s.resumed, 0);
+        assert!(!s.stopped);
+
+        // Demo hooks: one panicking and one over-budget seed quarantine,
+        // the other four complete, and the campaign survives both.
+        let demo = FuzzOpts {
+            demo_panic: Some(101),
+            demo_budget: Some(103),
+            ..opts.clone()
+        };
+        let d = run_campaign_supervised(&demo, &sup, &StopFlag::new()).expect("supervised");
+        let cov = d.report.coverage();
+        assert_eq!(
+            (cov.seeds, cov.completed, cov.quarantined, cov.skipped),
+            (6, 4, 2, 0)
+        );
+        let classes: Vec<(u64, &str)> = d
+            .report
+            .quarantine
+            .iter()
+            .map(|q| (q.seed, q.class.as_str()))
+            .collect();
+        assert_eq!(classes, vec![(101, "panic"), (103, "budget")]);
+        assert!(
+            d.report.quarantine[0]
+                .detail
+                .contains("injected panicking seed 101"),
+            "panic payload must surface in the quarantine detail: {}",
+            d.report.quarantine[0].detail
+        );
+        assert!(d.report.disagreements.is_empty());
+        let rendered = d.report.render();
+        assert!(rendered.contains("quarantined seeds:"), "{rendered}");
+        assert!(rendered.contains("budget"), "{rendered}");
+    }
+
+    #[test]
+    fn supervised_chaos_fuzz_matches_serial() {
+        let opts = FuzzOpts {
+            seeds: 6,
+            seed0: 300,
+            max_ops: 12,
+            shrink: false,
+            ..FuzzOpts::default()
+        };
+        let serial = run_chaos_fuzz(&opts);
+        assert!(serial.passed(), "{}", serial.render());
+        for workers in [1, 4] {
+            let sup = SuperOpts {
+                workers,
+                quiet_panics: true,
+                ..SuperOpts::default()
+            };
+            let s = run_chaos_fuzz_supervised(&opts, &sup, &StopFlag::new()).expect("supervised");
+            assert_eq!(
+                serial.render(),
+                s.report.render(),
+                "workers={workers} must reproduce the sequential campaign"
+            );
+        }
     }
 }

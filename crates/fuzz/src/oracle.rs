@@ -68,7 +68,10 @@ pub fn analyze(prog: &Prog) -> Option<Violation> {
             FOp::GepChain { obj, a, b } => vec![slot_access(*obj, a + b, true)],
             // `FreeArr` is spatially silent (the free itself touches no
             // object bytes); [`analyze_temporal`] owns its semantics.
-            FOp::CastRoundtrip { .. } | FOp::Mix { .. } | FOp::Churn { .. } | FOp::FreeArr { .. } => {
+            FOp::CastRoundtrip { .. }
+            | FOp::Mix { .. }
+            | FOp::Churn { .. }
+            | FOp::FreeArr { .. } => {
                 vec![]
             }
             FOp::FieldLoad { field } => vec![field_access(*field, false)],

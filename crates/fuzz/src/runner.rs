@@ -109,16 +109,38 @@ pub struct Exec {
     pub retries: u64,
 }
 
+/// Default per-execution instruction budget — the deterministic watchdog
+/// cap every campaign run enforces. Generated programs finish far below
+/// it; a run that hits it is a runaway, and the supervisor quarantines the
+/// seed as a `budget` failure.
+pub const DEFAULT_BUDGET: u64 = 4_000_000;
+
 /// Builds, instruments, and runs `prog` under `scheme`.
 pub fn exec(prog: &Prog, scheme: FScheme) -> Exec {
-    exec_inner(prog, scheme, None, None, ExecTier::default(), false)
+    exec_inner(
+        prog,
+        scheme,
+        None,
+        None,
+        ExecTier::default(),
+        false,
+        DEFAULT_BUDGET,
+    )
 }
 
 /// Like [`exec`] but on an explicit execution tier. The compiled tier must
 /// reproduce the reference digest, beacon, violation count, and retry count
 /// bit-for-bit — `tests/tier_equivalence.rs` enforces this corpus-wide.
 pub fn exec_tier(prog: &Prog, scheme: FScheme, tier: ExecTier) -> Exec {
-    exec_inner(prog, scheme, None, None, tier, false)
+    exec_inner(prog, scheme, None, None, tier, false, DEFAULT_BUDGET)
+}
+
+/// Like [`exec_tier`] with an explicit instruction budget — the campaign
+/// watchdog knob (`repro fuzz --budget N`). The budget is enforced in
+/// interpreter instructions, never wall-clock, so the resulting trap (and
+/// every artifact derived from it) is bit-reproducible on any host.
+pub fn exec_tier_budget(prog: &Prog, scheme: FScheme, tier: ExecTier, budget: u64) -> Exec {
+    exec_inner(prog, scheme, None, None, tier, false, budget)
 }
 
 /// Like [`exec`] but under environmental chaos: a fault plan seeded with
@@ -134,13 +156,47 @@ pub fn exec_chaos(prog: &Prog, scheme: FScheme, chaos_seed: u64) -> Exec {
         Some(chaos_seed),
         ExecTier::default(),
         false,
+        DEFAULT_BUDGET,
     )
 }
 
 /// Like [`exec_chaos`] but on an explicit execution tier (the recovery
 /// machinery — retry accounting included — must be tier-invariant).
 pub fn exec_chaos_tier(prog: &Prog, scheme: FScheme, chaos_seed: u64, tier: ExecTier) -> Exec {
-    exec_inner(prog, scheme, None, Some(chaos_seed), tier, false)
+    exec_inner(
+        prog,
+        scheme,
+        None,
+        Some(chaos_seed),
+        tier,
+        false,
+        DEFAULT_BUDGET,
+    )
+}
+
+/// Like [`exec_chaos_tier`] with an explicit instruction budget.
+pub fn exec_chaos_tier_budget(
+    prog: &Prog,
+    scheme: FScheme,
+    chaos_seed: u64,
+    tier: ExecTier,
+    budget: u64,
+) -> Exec {
+    exec_inner(prog, scheme, None, Some(chaos_seed), tier, false, budget)
+}
+
+/// True when the run was stopped by the instruction-budget watchdog (the
+/// supervisor turns this into a `budget` quarantine rather than a verdict).
+pub fn is_budget_trap(e: &Exec) -> bool {
+    matches!(e.result, Err(Trap::InstructionLimit))
+}
+
+/// True when the run died on allocator exhaustion — in chaos mode, an
+/// injected fault plan that outlasted the VM's own OOM-retry ladder. The
+/// supervisor treats these as transient and retries with a fresh chaos
+/// salt instead of recording a recovery bug.
+pub fn is_oom_trap(e: &Exec) -> bool {
+    matches!(e.result, Err(Trap::OutOfMemory { .. }))
 }
 
 /// Like [`exec`] but with the observability layer on; returns the run plus
@@ -155,6 +211,7 @@ pub fn exec_traced(prog: &Prog, scheme: FScheme, last_k: usize) -> (Exec, Vec<St
         None,
         ExecTier::default(),
         false,
+        DEFAULT_BUDGET,
     );
     let r = Rc::try_unwrap(rec)
         .expect("machine dropped its recorder handle")
@@ -174,7 +231,15 @@ pub fn exec_forensic(
     ring_cap: usize,
 ) -> (Exec, LedgerRecorder) {
     let rec = Rc::new(RefCell::new(LedgerRecorder::new(ring_cap)));
-    let e = exec_inner(prog, scheme, Some(rec.clone()), None, tier, true);
+    let e = exec_inner(
+        prog,
+        scheme,
+        Some(rec.clone()),
+        None,
+        tier,
+        true,
+        DEFAULT_BUDGET,
+    );
     let r = Rc::try_unwrap(rec)
         .expect("machine dropped its recorder handle")
         .into_inner();
@@ -188,8 +253,9 @@ fn exec_inner(
     chaos_seed: Option<u64>,
     tier: ExecTier,
     spans: bool,
+    budget: u64,
 ) -> Exec {
-    catch_exec(move || exec_uncaught(prog, scheme, rec, chaos_seed, tier, spans))
+    catch_exec(move || exec_uncaught(prog, scheme, rec, chaos_seed, tier, spans, budget))
 }
 
 /// Runs `f`, converting a panic anywhere in the scheme pipeline
@@ -222,6 +288,7 @@ fn exec_uncaught(
     chaos_seed: Option<u64>,
     tier: ExecTier,
     spans: bool,
+    budget: u64,
 ) -> Exec {
     let markers = rec.is_some();
     let mut module = gen::build(prog);
@@ -244,7 +311,7 @@ fn exec_uncaught(
     let mut machine_cfg = MachineConfig::preset(Preset::Tiny, Mode::Enclave);
     machine_cfg.tier = tier;
     let mut cfg = VmConfig::new(machine_cfg);
-    cfg.max_instructions = 4_000_000;
+    cfg.max_instructions = budget;
     let mut vm = Vm::new(&module, cfg);
     vm.machine.set_recorder(rec);
     if spans {
@@ -356,6 +423,20 @@ impl Verdict {
             self,
             Verdict::Detected | Verdict::DetectedWrongSite { .. } | Verdict::Tolerated
         )
+    }
+
+    /// The verdict's payload detail, when it carries one: the trap text of
+    /// a crash or false positive (including the panic message `catch_exec`
+    /// preserves from a panicking scheme pipeline), the digest pair of a
+    /// mismatch, or the beacon of a wrong-site detection. `None` for the
+    /// payload-free verdicts.
+    pub fn detail(&self) -> Option<String> {
+        match self {
+            Verdict::Crash(m) | Verdict::FalsePositive(m) => Some(m.clone()),
+            Verdict::DigestMismatch { want, got } => Some(format!("want {want:#x}, got {got:#x}")),
+            Verdict::DetectedWrongSite { beacon } => Some(format!("beacon {beacon}")),
+            _ => None,
+        }
     }
 }
 

@@ -64,9 +64,11 @@ pub const USAGE: &str =
      [--quick] [--tiny|--mini|--paper] [--seed N] [--tier T] [--timed] [--json FILE]\n       \
      repro profile <workload> [--scheme S] [--trace FILE] [--json FILE]\n       \
      repro fuzz [--seeds N] [--seed0 N] [--max-ops N] [--no-shrink] [--corpus FILE] [--chaos] \
-     [--trace-window N] [--tier T] [--json FILE]\n       \
+     [--trace-window N] [--tier T] [--budget N] [--workers N] [--journal FILE] [--resume FILE] \
+     [--stop-after N] [--quarantine] [--demo-panic SEED] [--demo-budget SEED] [--json FILE]\n       \
      repro chaos [--seeds N] [--seed0 N] [--requests N] [--threshold F] [--demo-corruption] \
-     [--tier T] [--json FILE]\n       \
+     [--tier T] [--workers N] [--journal FILE] [--resume FILE] [--stop-after N] [--quarantine] \
+     [--demo-panic SEED] [--json FILE]\n       \
      repro lint [NAMES...] [--ipa] [--demo-oob] [--demo-uaf] [--ascii] [--seed N] \
      [--tier T] [--json FILE] [--incident FILE]\n       \
      repro audit --demo-oob [--window N] [--json FILE] [--ascii FILE] [--svg FILE]\n       \
@@ -76,7 +78,9 @@ pub const USAGE: &str =
      [--rev R] [--base-rev R] [--preset P] [--json FILE]\n       \
      repro tier check [--seeds N] [--seed0 N] [--max-ops N] [--chaos-seeds N] [--perturb]\n       \
      repro render <profile.json> [--top N] [--folded FILE] [--svg FILE]\n       \
-     repro metrics [--seeds N] [--seed0 N] [--requests N] [--tier T] [--json FILE]\n       \
+     repro metrics [--seeds N] [--seed0 N] [--requests N] [--tier T] [--workers N] \
+     [--journal FILE] [--resume FILE] [--stop-after N] [--quarantine] [--demo-panic SEED] \
+     [--json FILE]\n       \
      repro trace export [--app A] [--scheme S] [--policy P] [--seed N] [--requests N] \
      [--tier T] [--out FILE] [--ascii FILE] [--svg FILE]\n\
      (--tier: reference|compiled — the compiled tier is pinned bit-identical \
@@ -122,6 +126,69 @@ impl<'a> Args<'a> {
     /// An error message prefixed with this subcommand's name.
     pub fn fail(&self, msg: impl std::fmt::Display) -> String {
         format!("{}: {msg}", self.cmd)
+    }
+}
+
+/// Exit code for a campaign ended early by a graceful stop: distinct
+/// from both success (0) and a gate failure (1) so wrappers can tell a
+/// truncated run from a failed one.
+pub const EXIT_STOPPED: i32 = 3;
+
+/// Supervisor flags shared by the campaign subcommands (`fuzz`, `chaos`,
+/// `metrics`): worker count, journal/resume, graceful-stop demo hook, and
+/// the quarantine-tolerance policy.
+struct SupFlags {
+    sup: sgxs_super::SuperOpts,
+    /// `--quarantine`: tolerate quarantined seeds (report them, exit 0).
+    /// Without it, any quarantined seed fails the run.
+    quarantine_ok: bool,
+}
+
+impl SupFlags {
+    fn new() -> SupFlags {
+        SupFlags {
+            sup: sgxs_super::SuperOpts {
+                // The CLI renders quarantined seeds in the report; a raw
+                // backtrace per isolated panic would only drown it.
+                quiet_panics: true,
+                ..sgxs_super::SuperOpts::default()
+            },
+            quarantine_ok: false,
+        }
+    }
+
+    /// Consumes one supervisor flag; `Ok(false)` means `a` is not ours.
+    fn flag(&mut self, a: &str, it: &mut Args<'_>) -> Result<bool, String> {
+        match a {
+            "--workers" => self.sup.workers = it.parse("--workers")?,
+            "--journal" => self.sup.journal = Some(it.value("--journal")?),
+            "--resume" => {
+                self.sup.journal = Some(it.value("--resume")?);
+                self.sup.resume = true;
+            }
+            "--stop-after" => self.sup.stop_after = Some(it.parse("--stop-after")?),
+            "--quarantine" => self.quarantine_ok = true,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Folds campaign provenance into an exit code: quarantined seeds
+    /// fail the run unless `--quarantine` tolerates them, and a graceful
+    /// stop exits [`EXIT_STOPPED`] so it is never mistaken for a pass.
+    fn exit(&self, cmd: &str, quarantined: usize, stopped: bool, failed: bool) -> i32 {
+        let mut failed = failed;
+        if quarantined > 0 && !self.quarantine_ok {
+            eprintln!("{cmd}: {quarantined} seed(s) quarantined (pass --quarantine to tolerate)");
+            failed = true;
+        }
+        if failed {
+            1
+        } else if stopped {
+            EXIT_STOPPED
+        } else {
+            0
+        }
     }
 }
 
@@ -422,8 +489,12 @@ pub fn run_fuzz(args: &[String]) -> Result<i32, String> {
     let mut ran_seeds = false;
     let mut chaos = false;
     let mut json: Option<String> = None;
+    let mut sup = SupFlags::new();
     let mut it = Args::new("fuzz", args);
     while let Some(a) = it.next_arg() {
+        if sup.flag(a, &mut it)? {
+            continue;
+        }
         match a {
             "--seeds" => {
                 opts.seeds = it.parse("--seeds")?;
@@ -436,9 +507,15 @@ pub fn run_fuzz(args: &[String]) -> Result<i32, String> {
             "--chaos" => chaos = true,
             "--trace-window" => opts.trace_window = it.parse("--trace-window")?,
             "--tier" => opts.tier = tier_value(&mut it)?,
+            "--budget" => opts.budget = it.parse("--budget")?,
+            "--demo-panic" => opts.demo_panic = Some(it.parse("--demo-panic")?),
+            "--demo-budget" => opts.demo_budget = Some(it.parse("--demo-budget")?),
             "--json" => json = Some(it.value("--json")?),
             other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
         }
+    }
+    if opts.budget == 0 {
+        return Err(it.fail("--budget must be at least 1"));
     }
     if opts.trace_window == 0 {
         return Err(it.fail("--trace-window must be at least 1"));
@@ -468,22 +545,31 @@ pub fn run_fuzz(args: &[String]) -> Result<i32, String> {
             println!("corpus clean: every entry matches the detection model\n");
         }
     }
+    let mut quarantined = 0;
+    let mut stopped = false;
     if chaos {
-        let report = sgxs_fuzz::run_chaos_fuzz(&opts);
-        println!("{}", report.render());
-        failed |= !report.passed();
+        let out =
+            sgxs_fuzz::run_chaos_fuzz_supervised(&opts, &sup.sup, &sgxs_super::StopFlag::new())
+                .map_err(|e| it.fail(e))?;
+        println!("{}", out.report.render());
+        quarantined = out.report.quarantine.len();
+        stopped = out.stopped;
+        failed |= !out.report.passed();
     } else if corpus.is_none() || ran_seeds {
-        let report = sgxs_fuzz::run_campaign(&opts);
-        println!("{}", report.render());
+        let out = sgxs_fuzz::run_campaign_supervised(&opts, &sup.sup, &sgxs_super::StopFlag::new())
+            .map_err(|e| it.fail(e))?;
+        println!("{}", out.report.render());
         if let Some(path) = &json {
             // The sgxs-fuzz-v1 document embeds one sgxs-incident-v1 record
             // per disagreement (empty array on a clean campaign).
-            write_file(path, &report.to_json().to_pretty()).map_err(|e| it.fail(e))?;
+            write_file(path, &out.report.to_json().to_pretty()).map_err(|e| it.fail(e))?;
             println!("fuzz json written to {path}");
         }
-        failed |= !report.disagreements.is_empty();
+        quarantined = out.report.quarantine.len();
+        stopped = out.stopped;
+        failed |= !out.report.disagreements.is_empty();
     }
-    Ok(if failed { 1 } else { 0 })
+    Ok(sup.exit("fuzz", quarantined, stopped, failed))
 }
 
 /// `repro chaos`: the availability-under-attack campaign. Exits 1 when
@@ -492,14 +578,19 @@ pub fn run_fuzz(args: &[String]) -> Result<i32, String> {
 pub fn run_chaos(args: &[String]) -> Result<i32, String> {
     let mut opts = sgxs_resil::CampaignOpts::default();
     let mut json: Option<String> = None;
+    let mut sup = SupFlags::new();
     let mut it = Args::new("chaos", args);
     while let Some(a) = it.next_arg() {
+        if sup.flag(a, &mut it)? {
+            continue;
+        }
         match a {
             "--seeds" => opts.seeds = it.parse("--seeds")?,
             "--seed0" => opts.seed0 = it.parse("--seed0")?,
             "--requests" => opts.requests = it.parse("--requests")?,
             "--threshold" => opts.threshold = it.parse("--threshold")?,
             "--demo-corruption" => opts.demo_corruption = true,
+            "--demo-panic" => opts.demo_panic = Some(it.parse("--demo-panic")?),
             "--tier" => opts.tier = tier_value(&mut it)?,
             "--json" => json = Some(it.value("--json")?),
             other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
@@ -508,13 +599,21 @@ pub fn run_chaos(args: &[String]) -> Result<i32, String> {
     if opts.seeds == 0 {
         return Err(it.fail("--seeds must be at least 1"));
     }
-    let report = sgxs_resil::run_chaos_campaign(&opts);
+    let out =
+        sgxs_resil::run_chaos_campaign_supervised(&opts, &sup.sup, &sgxs_super::StopFlag::new())
+            .map_err(|e| it.fail(e))?;
+    let report = &out.report;
     print!("{}", report.render());
     if let Some(path) = &json {
         write_file(path, &report.to_json().to_pretty()).map_err(|e| it.fail(e))?;
         println!("chaos json written to {path}");
     }
-    Ok(if report.gate_failed() { 1 } else { 0 })
+    Ok(sup.exit(
+        "chaos",
+        report.quarantine.len(),
+        out.stopped,
+        report.gate_failed(),
+    ))
 }
 
 /// The short git revision of the working tree, or "unknown" outside a
@@ -908,12 +1007,17 @@ pub fn run_render(args: &[String]) -> Result<i32, String> {
 pub fn run_metrics(args: &[String]) -> Result<i32, String> {
     let mut opts = sgxs_resil::CampaignOpts::default();
     let mut json: Option<String> = None;
+    let mut sup = SupFlags::new();
     let mut it = Args::new("metrics", args);
     while let Some(a) = it.next_arg() {
+        if sup.flag(a, &mut it)? {
+            continue;
+        }
         match a {
             "--seeds" => opts.seeds = it.parse("--seeds")?,
             "--seed0" => opts.seed0 = it.parse("--seed0")?,
             "--requests" => opts.requests = it.parse("--requests")?,
+            "--demo-panic" => opts.demo_panic = Some(it.parse("--demo-panic")?),
             "--tier" => opts.tier = tier_value(&mut it)?,
             "--json" => json = Some(it.value("--json")?),
             other => return Err(it.fail(format!("unknown argument '{other}'\n{USAGE}"))),
@@ -922,7 +1026,10 @@ pub fn run_metrics(args: &[String]) -> Result<i32, String> {
     if opts.seeds == 0 {
         return Err(it.fail("--seeds must be at least 1"));
     }
-    let report = sgxs_resil::run_chaos_campaign(&opts);
+    let out =
+        sgxs_resil::run_chaos_campaign_supervised(&opts, &sup.sup, &sgxs_super::StopFlag::new())
+            .map_err(|e| it.fail(e))?;
+    let report = &out.report;
     let text = report.metrics().to_json().to_pretty();
     let doc = sgxs_obs::read::parse_metrics(&text)
         .map_err(|e| it.fail(format!("emitted document fails its own reader: {e}")))?;
@@ -931,7 +1038,7 @@ pub fn run_metrics(args: &[String]) -> Result<i32, String> {
         write_file(path, &text).map_err(|e| it.fail(e))?;
         println!("metrics json written to {path}");
     }
-    Ok(0)
+    Ok(sup.exit("metrics", report.quarantine.len(), out.stopped, false))
 }
 
 /// `repro trace export`: run one traced server under its chaos schedule

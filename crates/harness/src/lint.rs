@@ -474,6 +474,6 @@ mod tests {
         };
         let j = finding_json(&f);
         assert!(j.get("offset_lo").unwrap().as_u64().is_none());
-        assert_eq!(j.to_compact().contains("\"offset_lo\":null"), true);
+        assert!(j.to_compact().contains("\"offset_lo\":null"));
     }
 }

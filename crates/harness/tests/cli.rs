@@ -209,3 +209,125 @@ fn lint_gates_on_the_demo_and_passes_clean_workloads() {
     // Unknown workloads are usage errors.
     assert!(cli::run(&args(&["lint", "no_such_workload"])).is_err());
 }
+
+#[test]
+fn supervised_fuzz_cli_pins_worker_byte_identity_and_quarantine_semantics() {
+    let dir = scratch("super");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+    // Worker count never leaks into the artifact.
+    let w1 = p("w1.json");
+    let w2 = p("w2.json");
+    let code = cli::run(&args(&[
+        "fuzz",
+        "--seeds",
+        "6",
+        "--workers",
+        "1",
+        "--json",
+        &w1,
+    ]))
+    .unwrap();
+    assert_eq!(code, 0);
+    let code = cli::run(&args(&[
+        "fuzz",
+        "--seeds",
+        "6",
+        "--workers",
+        "2",
+        "--json",
+        &w2,
+    ]))
+    .unwrap();
+    assert_eq!(code, 0);
+    assert_eq!(
+        std::fs::read_to_string(&w1).unwrap(),
+        std::fs::read_to_string(&w2).unwrap(),
+        "fuzz doc diverged between 1 and 2 workers"
+    );
+
+    // A quarantined seed fails the run unless --quarantine tolerates it,
+    // and the tolerated run still accounts for it in the document.
+    let code = cli::run(&args(&["fuzz", "--seeds", "6", "--demo-panic", "2"])).unwrap();
+    assert_eq!(code, 1, "quarantine without --quarantine must exit 1");
+    let quar = p("quar.json");
+    let code = cli::run(&args(&[
+        "fuzz",
+        "--seeds",
+        "6",
+        "--demo-panic",
+        "2",
+        "--quarantine",
+        "--json",
+        &quar,
+    ]))
+    .unwrap();
+    assert_eq!(code, 0, "--quarantine must tolerate the demo panic");
+    let doc = sgxs_obs::json::Json::parse(&std::fs::read_to_string(&quar).unwrap()).unwrap();
+    let cov = doc.get("coverage").expect("fuzz doc has coverage");
+    assert_eq!(cov.get("completed").and_then(|v| v.as_u64()), Some(5));
+    assert_eq!(cov.get("quarantined").and_then(|v| v.as_u64()), Some(1));
+    let q = doc.get("quarantine").and_then(|v| v.as_arr()).unwrap();
+    assert_eq!(q[0].get("class").and_then(|v| v.as_str()), Some("panic"));
+
+    // Graceful stop exits EXIT_STOPPED and resume completes the campaign
+    // to the byte-identical uninterrupted artifact.
+    let journal = p("j.jsonl");
+    let stopped = p("stopped.json");
+    let code = cli::run(&args(&[
+        "fuzz",
+        "--seeds",
+        "6",
+        "--workers",
+        "2",
+        "--journal",
+        &journal,
+        "--stop-after",
+        "2",
+        "--json",
+        &stopped,
+    ]))
+    .unwrap();
+    assert_eq!(code, cli::EXIT_STOPPED, "early stop must exit distinctly");
+    let resumed = p("resumed.json");
+    let code = cli::run(&args(&[
+        "fuzz", "--seeds", "6", "--resume", &journal, "--json", &resumed,
+    ]))
+    .unwrap();
+    assert_eq!(code, 0);
+    assert_eq!(
+        std::fs::read_to_string(&resumed).unwrap(),
+        std::fs::read_to_string(&w1).unwrap(),
+        "resumed fuzz doc diverged from the uninterrupted artifact"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervised_chaos_cli_round_trips_through_the_validating_reader() {
+    let dir = scratch("super-chaos");
+    let out = dir.join("chaos.json").to_string_lossy().into_owned();
+    let code = cli::run(&args(&[
+        "chaos",
+        "--seeds",
+        "4",
+        "--requests",
+        "16",
+        "--workers",
+        "2",
+        "--demo-panic",
+        "2",
+        "--quarantine",
+        "--json",
+        &out,
+    ]))
+    .unwrap();
+    assert_eq!(code, 0);
+    // The emitted document — coverage and quarantine blocks included —
+    // survives the reader's cross-checks (coverage sums, runs==completed,
+    // quarantine list length).
+    let doc = sgxs_obs::read::parse_chaos(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(doc.seeds, 4);
+    assert_eq!(doc.combos[0].runs, 3, "one seed quarantined, three ran");
+    let _ = std::fs::remove_dir_all(&dir);
+}

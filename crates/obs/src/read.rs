@@ -522,6 +522,35 @@ pub fn chaos_from_json(v: &Json) -> Result<ChaosDoc, String> {
         }
         None => Vec::new(),
     };
+    if let Some(cov) = v.get("coverage") {
+        let completed = u64_field(cov, "completed", "chaos coverage")?;
+        let quarantined = u64_field(cov, "quarantined", "chaos coverage")?;
+        let skipped = u64_field(cov, "skipped", "chaos coverage")?;
+        let seeds = u64_field(cov, "seeds", "chaos coverage")?;
+        if completed + quarantined + skipped != seeds {
+            return Err(format!(
+                "{what}: coverage does not sum ({completed} + {quarantined} + {skipped} != {seeds})"
+            ));
+        }
+        for c in &combos {
+            if c.runs != completed {
+                return Err(format!(
+                    "{what}: combo {}/{} absorbed {} run(s), coverage says {completed} completed",
+                    c.scheme, c.policy, c.runs
+                ));
+            }
+        }
+        let listed = v
+            .get("quarantine")
+            .and_then(Json::as_arr)
+            .map(|rows| rows.len())
+            .unwrap_or(0) as u64;
+        if listed != quarantined {
+            return Err(format!(
+                "{what}: {listed} quarantine entr(ies) listed, coverage says {quarantined}"
+            ));
+        }
+    }
     let gate = v
         .get("gate")
         .ok_or_else(|| format!("{what}: missing field 'gate'"))?;
@@ -1200,7 +1229,9 @@ fn lint_summary(v: &Json, what: &str) -> Result<LintSummary, String> {
     if s.frees_params.len() != s.must_frees_params.len()
         || s.frees_params.len() != s.captures_params.len()
     {
-        return Err(format!("{what}: parameter effect arrays disagree in length"));
+        return Err(format!(
+            "{what}: parameter effect arrays disagree in length"
+        ));
     }
     // must-freed is a subset of may-freed by construction.
     if s.must_frees_params
@@ -1304,10 +1335,22 @@ pub fn lint_from_json(v: &Json) -> Result<LintDoc, String> {
     let doc = LintDoc {
         schema,
         seed: u64_field(v, "seed", what)?,
-        ipa: if v2 { bool_field(v, "ipa", what)? } else { false },
+        ipa: if v2 {
+            bool_field(v, "ipa", what)?
+        } else {
+            false
+        },
         proved_oob: u64_field(v, "proved_oob", what)?,
-        proved_uaf: if v2 { u64_field(v, "proved_uaf", what)? } else { 0 },
-        proved_df: if v2 { u64_field(v, "proved_df", what)? } else { 0 },
+        proved_uaf: if v2 {
+            u64_field(v, "proved_uaf", what)?
+        } else {
+            0
+        },
+        proved_df: if v2 {
+            u64_field(v, "proved_df", what)?
+        } else {
+            0
+        },
         leaks: if v2 { u64_field(v, "leaks", what)? } else { 0 },
         modules,
     };
@@ -1325,6 +1368,124 @@ pub fn lint_from_json(v: &Json) -> Result<LintDoc, String> {
 /// Parses a `sgxs-lint-v1`/`sgxs-lint-v2` document from text.
 pub fn parse_lint(text: &str) -> Result<LintDoc, String> {
     lint_from_json(&Json::parse(text).map_err(|e| format!("lint: {e}"))?)
+}
+
+/// Schema tag of campaign-journal documents.
+pub const CAMPAIGN_SCHEMA: &str = "sgxs-campaign-v1";
+
+/// One journaled seed of a campaign: either `done` with the
+/// campaign-specific payload needed to rebuild that seed's contribution to
+/// the final artifact, or `quarantined` with the failure class and detail.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// The seed this entry checkpoints.
+    pub seed: u64,
+    /// `done` or `quarantined`.
+    pub status: String,
+    /// Attempts the retry ladder spent on the seed (≥ 1).
+    pub attempts: u64,
+    /// Campaign-specific checkpoint payload (`done` entries only).
+    pub payload: Option<Json>,
+    /// Failure class — `panic`, `budget`, `transient` (`quarantined` only).
+    pub failure_class: Option<String>,
+    /// Human-readable failure detail (`quarantined` only).
+    pub failure_detail: Option<String>,
+}
+
+/// A parsed `sgxs-campaign-v1` journal: the header handshake plus every
+/// checkpointed seed, in completion order.
+#[derive(Debug, Clone)]
+pub struct JournalDoc {
+    /// Campaign kind (`fuzz`, `chaos-fuzz`, `chaos`).
+    pub campaign: String,
+    /// Fingerprint of the options that change per-seed results.
+    pub fingerprint: String,
+    /// First seed of the campaign's range.
+    pub seed0: u64,
+    /// Seed count of the campaign's range.
+    pub seeds: u64,
+    /// Checkpointed seeds, journal order.
+    pub entries: Vec<JournalEntry>,
+}
+
+/// Parses a `sgxs-campaign-v1` journal from JSONL text: a schema-tagged
+/// header line followed by one entry per checkpointed seed. Validates the
+/// entry shape (status vocabulary, seed inside the declared range, `done`
+/// carries a payload, `quarantined` carries a failure) and rejects a seed
+/// journaled twice — an interrupted writer never produces one, so a
+/// duplicate means the file was corrupted or concatenated.
+pub fn parse_journal(text: &str) -> Result<JournalDoc, String> {
+    let what = "journal";
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines
+        .next()
+        .ok_or_else(|| format!("{what}: empty journal (no header line)"))?;
+    let header = Json::parse(header_line).map_err(|e| format!("{what} header: {e}"))?;
+    obj_of(&header, what)?;
+    check_schema(&header, CAMPAIGN_SCHEMA, what)?;
+    let mut doc = JournalDoc {
+        campaign: str_field(&header, "campaign", what)?,
+        fingerprint: str_field(&header, "fingerprint", what)?,
+        seed0: u64_field(&header, "seed0", what)?,
+        seeds: u64_field(&header, "seeds", what)?,
+        entries: Vec::new(),
+    };
+    let mut seen = std::collections::BTreeSet::new();
+    for (i, line) in lines.enumerate() {
+        let what = format!("journal entries[{i}]");
+        let v = Json::parse(line).map_err(|e| format!("{what}: {e}"))?;
+        obj_of(&v, &what)?;
+        let seed = u64_field(&v, "seed", &what)?;
+        let lo = doc.seed0;
+        let hi = doc.seed0.saturating_add(doc.seeds);
+        if seed < lo || seed >= hi {
+            return Err(format!(
+                "{what}: seed {seed} outside the journal's range [{lo}, {hi})"
+            ));
+        }
+        if !seen.insert(seed) {
+            return Err(format!("{what}: seed {seed} journaled twice"));
+        }
+        let status = str_field(&v, "status", &what)?;
+        let attempts = u64_field(&v, "attempts", &what)?;
+        if attempts == 0 {
+            return Err(format!("{what}: attempts must be at least 1"));
+        }
+        let entry = match status.as_str() {
+            "done" => JournalEntry {
+                seed,
+                status,
+                attempts,
+                payload: Some(
+                    v.get("payload")
+                        .cloned()
+                        .ok_or_else(|| format!("{what}: 'done' entry missing 'payload'"))?,
+                ),
+                failure_class: None,
+                failure_detail: None,
+            },
+            "quarantined" => {
+                let failure = v
+                    .get("failure")
+                    .ok_or_else(|| format!("{what}: 'quarantined' entry missing 'failure'"))?;
+                JournalEntry {
+                    seed,
+                    status,
+                    attempts,
+                    payload: None,
+                    failure_class: Some(str_field(failure, "class", &what)?),
+                    failure_detail: Some(str_field(failure, "detail", &what)?),
+                }
+            }
+            other => {
+                return Err(format!(
+                    "{what}: unknown status '{other}' (expected 'done' or 'quarantined')"
+                ))
+            }
+        };
+        doc.entries.push(entry);
+    }
+    Ok(doc)
 }
 
 #[cfg(test)]
@@ -1825,5 +1986,61 @@ mod tests {
         assert!(!doc.ipa);
         assert_eq!(doc.proved_uaf, 0);
         assert!(doc.modules[0].temporal.is_empty());
+    }
+
+    fn sample_journal_text() -> String {
+        [
+            "{\"schema\":\"sgxs-campaign-v1\",\"campaign\":\"fuzz\",\
+             \"fingerprint\":\"00deadbeef00cafe\",\"seed0\":5,\"seeds\":3}",
+            "{\"seed\":5,\"status\":\"done\",\"attempts\":1,\"payload\":{\"runs\":16}}",
+            "{\"seed\":7,\"status\":\"quarantined\",\"attempts\":3,\
+             \"failure\":{\"class\":\"budget\",\"detail\":\"spent 99 of 10\"}}",
+        ]
+        .join("\n")
+    }
+
+    #[test]
+    fn emitted_journal_parses_back() {
+        let doc = parse_journal(&sample_journal_text()).expect("journal parses");
+        assert_eq!(doc.campaign, "fuzz");
+        assert_eq!((doc.seed0, doc.seeds), (5, 3));
+        assert_eq!(doc.entries.len(), 2);
+        assert_eq!(doc.entries[0].seed, 5);
+        assert_eq!(
+            doc.entries[0]
+                .payload
+                .as_ref()
+                .unwrap()
+                .get("runs")
+                .unwrap(),
+            &Json::from(16u64)
+        );
+        assert_eq!(doc.entries[1].failure_class.as_deref(), Some("budget"));
+        assert_eq!(
+            doc.entries[1].failure_detail.as_deref(),
+            Some("spent 99 of 10")
+        );
+    }
+
+    #[test]
+    fn journal_validation_rejects_inconsistencies() {
+        // Seed outside the declared range.
+        let bad = sample_journal_text().replace("\"seed\":7", "\"seed\":9");
+        assert!(parse_journal(&bad).unwrap_err().contains("outside"));
+        // Duplicate seed.
+        let bad = sample_journal_text().replace("\"seed\":7", "\"seed\":5");
+        assert!(parse_journal(&bad).unwrap_err().contains("twice"));
+        // done without a payload.
+        let bad = sample_journal_text().replace(",\"payload\":{\"runs\":16}", "");
+        assert!(parse_journal(&bad).unwrap_err().contains("payload"));
+        // Unknown status.
+        let bad = sample_journal_text().replace("\"quarantined\"", "\"lost\"");
+        assert!(parse_journal(&bad).unwrap_err().contains("unknown status"));
+        // Zero attempts.
+        let bad = sample_journal_text().replace("\"attempts\":3", "\"attempts\":0");
+        assert!(parse_journal(&bad).unwrap_err().contains("at least 1"));
+        // Wrong schema tag and empty input.
+        assert!(parse_journal("{\"schema\":\"sgxs-campaign-v2\"}").is_err());
+        assert!(parse_journal("").unwrap_err().contains("empty"));
     }
 }

@@ -11,6 +11,9 @@ use sgxs_metrics::{Hist, Registry};
 use sgxs_mir::PolicySet;
 use sgxs_obs::json::Json;
 use sgxs_sim::ExecTier;
+use sgxs_super::{
+    supervise, Campaign, Coverage, Quarantined, Restored, StopFlag, SuperOpts, TaskError,
+};
 use std::fmt::Write as _;
 
 /// Campaign configuration.
@@ -32,6 +35,9 @@ pub struct CampaignOpts {
     /// compiled tier must produce a byte-identical document, and CI diffs
     /// the two.
     pub tier: ExecTier,
+    /// Demo hook: this seed panics at the top of its run, exercising the
+    /// supervisor's panic isolation end to end (`--demo-panic SEED`).
+    pub demo_panic: Option<u64>,
 }
 
 impl Default for CampaignOpts {
@@ -43,6 +49,7 @@ impl Default for CampaignOpts {
             threshold: 0.90,
             demo_corruption: false,
             tier: ExecTier::default(),
+            demo_panic: None,
         }
     }
 }
@@ -131,20 +138,24 @@ pub struct ComboRow {
 }
 
 impl ComboRow {
-    fn add(&mut self, r: &AvailabilityReport) {
+    /// Folds one seed's delta for this combo into the row. Pure counter
+    /// and histogram merges: associative and shard-count-independent, so
+    /// absorbing per-seed deltas in seed order reproduces the sequential
+    /// campaign bit-for-bit.
+    fn absorb(&mut self, d: &ComboDelta) {
         self.runs += 1;
-        self.total += r.total as u64;
-        self.served += r.served as u64;
-        self.degraded += r.degraded as u64;
-        self.aborted += r.aborted as u64;
-        self.lost += r.lost as u64;
-        self.retries += r.recovery.attempts;
-        if !r.intact() {
+        self.total += d.total;
+        self.served += d.served;
+        self.degraded += d.degraded;
+        self.aborted += d.aborted;
+        self.lost += d.lost;
+        self.retries += d.retries;
+        if d.corrupted {
             self.corrupted_runs += 1;
         }
-        self.corrupted_bytes += r.corrupted_canary_bytes as u64;
-        self.aex_cycles += r.aex_penalty_cycles;
-        self.latency.merge(&r.latency);
+        self.corrupted_bytes += d.corrupted_bytes;
+        self.aex_cycles += d.aex_cycles;
+        self.latency.merge(&d.latency);
     }
 
     /// Answered fraction across every scheduled request.
@@ -153,6 +164,143 @@ impl ComboRow {
             return 1.0;
         }
         (self.served + self.degraded) as f64 / self.total as f64
+    }
+}
+
+/// One combo's contribution from a single seed: the per-seed unit of work
+/// the supervisor schedules, journals, and merges. Carries everything
+/// [`ComboRow::absorb`] needs — including the full latency histogram as
+/// exact parts — so a journal-restored delta is indistinguishable from a
+/// freshly-run one.
+#[derive(Debug, Clone)]
+pub struct ComboDelta {
+    /// Requests scheduled.
+    pub total: u64,
+    /// Served cleanly.
+    pub served: u64,
+    /// Degraded but answered.
+    pub degraded: u64,
+    /// Aborted individually.
+    pub aborted: u64,
+    /// Lost to whole-server death.
+    pub lost: u64,
+    /// Interpreter retry attempts.
+    pub retries: u64,
+    /// Whether this run ended with corrupted canaries.
+    pub corrupted: bool,
+    /// Corrupted canary bytes.
+    pub corrupted_bytes: u64,
+    /// AEX re-entry cycles charged.
+    pub aex_cycles: u64,
+    /// This run's per-request latency histogram.
+    pub latency: Hist,
+}
+
+impl ComboDelta {
+    fn from_report(r: &AvailabilityReport) -> ComboDelta {
+        ComboDelta {
+            total: r.total as u64,
+            served: r.served as u64,
+            degraded: r.degraded as u64,
+            aborted: r.aborted as u64,
+            lost: r.lost as u64,
+            retries: r.recovery.attempts,
+            corrupted: !r.intact(),
+            corrupted_bytes: r.corrupted_canary_bytes as u64,
+            aex_cycles: r.aex_penalty_cycles,
+            latency: r.latency.clone(),
+        }
+    }
+
+    /// The journal checkpoint for this delta: counters plus the latency
+    /// histogram's exact parts ([`Hist::from_parts`] round-trips `Eq`, so
+    /// the restored histogram merges byte-identically).
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("total", self.total.into()),
+            ("served", self.served.into()),
+            ("degraded", self.degraded.into()),
+            ("aborted", self.aborted.into()),
+            ("lost", self.lost.into()),
+            ("retries", self.retries.into()),
+            ("corrupted", self.corrupted.into()),
+            ("corrupted_bytes", self.corrupted_bytes.into()),
+            ("aex_cycles", self.aex_cycles.into()),
+            (
+                "lat",
+                Json::obj(vec![
+                    ("count", self.latency.count().into()),
+                    ("sum", self.latency.sum().into()),
+                    ("min", self.latency.min().into()),
+                    ("max", self.latency.max().into()),
+                    (
+                        "buckets",
+                        Json::Arr(
+                            self.latency
+                                .nonzero_buckets()
+                                .into_iter()
+                                .map(|(i, c)| Json::Arr(vec![(i as u64).into(), c.into()]))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<ComboDelta, String> {
+        let field = |k: &str| {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("chaos checkpoint: missing {k}"))
+        };
+        let lat = v
+            .get("lat")
+            .ok_or_else(|| "chaos checkpoint: missing lat".to_owned())?;
+        let lfield = |k: &str| {
+            lat.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("chaos checkpoint: missing lat.{k}"))
+        };
+        let mut buckets = Vec::new();
+        for b in lat
+            .get("buckets")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "chaos checkpoint: missing lat.buckets".to_owned())?
+        {
+            let pair = b
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| "chaos checkpoint: malformed bucket".to_owned())?;
+            let idx = pair[0]
+                .as_u64()
+                .ok_or_else(|| "chaos checkpoint: non-integer bucket index".to_owned())?;
+            let count = pair[1]
+                .as_u64()
+                .ok_or_else(|| "chaos checkpoint: non-integer bucket count".to_owned())?;
+            buckets.push((idx as usize, count));
+        }
+        Ok(ComboDelta {
+            total: field("total")?,
+            served: field("served")?,
+            degraded: field("degraded")?,
+            aborted: field("aborted")?,
+            lost: field("lost")?,
+            retries: field("retries")?,
+            corrupted: v
+                .get("corrupted")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| "chaos checkpoint: missing corrupted".to_owned())?,
+            corrupted_bytes: field("corrupted_bytes")?,
+            aex_cycles: field("aex_cycles")?,
+            latency: Hist::from_parts(
+                lfield("count")?,
+                lfield("sum")?,
+                lfield("min")?,
+                lfield("max")?,
+                &buckets,
+            ),
+        })
     }
 }
 
@@ -168,12 +316,29 @@ pub struct ChaosReport {
     /// gate failed, assembled from a forensic re-run of that combo's first
     /// corrupted seed. Empty when the corruption gates all hold.
     pub incidents: Vec<Incident>,
+    /// Seeds quarantined by the supervisor's failure ladder, in seed
+    /// order. Always empty in unsupervised runs.
+    pub quarantine: Vec<Quarantined>,
+    /// Seeds skipped by a graceful stop.
+    pub skipped: u64,
 }
 
 impl ChaosReport {
     /// True when any gate condition failed.
     pub fn gate_failed(&self) -> bool {
         !self.failures.is_empty()
+    }
+
+    /// Explicit coverage ledger over the seed range: every seed is
+    /// completed (contributed to every row), quarantined, or skipped.
+    pub fn coverage(&self) -> Coverage {
+        let completed = self.rows.first().map(|r| r.runs).unwrap_or(0);
+        Coverage {
+            seeds: completed + self.quarantine.len() as u64 + self.skipped,
+            completed,
+            quarantined: self.quarantine.len() as u64,
+            skipped: self.skipped,
+        }
     }
 
     /// Renders the availability matrix.
@@ -231,6 +396,19 @@ impl ChaosReport {
                 row.latency.p99(),
                 row.latency.p999()
             );
+        }
+        if !self.quarantine.is_empty() {
+            let _ = writeln!(s, "\nquarantined seeds:");
+            for q in &self.quarantine {
+                let _ = writeln!(
+                    s,
+                    "  seed {} [{} after {} attempt(s)]: {}",
+                    q.seed, q.class, q.attempts, q.detail
+                );
+            }
+        }
+        if self.skipped > 0 {
+            let _ = writeln!(s, "\n{} seed(s) skipped by early stop", self.skipped);
         }
         if self.failures.is_empty() {
             let _ = writeln!(s, "\ngate: ok");
@@ -304,6 +482,26 @@ impl ChaosReport {
                 "incidents",
                 Json::Arr(self.incidents.iter().map(|i| i.to_json()).collect()),
             ),
+            // Coverage + quarantine ledger: every seed in the range is
+            // accounted for. Deliberately free of resume/stop provenance,
+            // so a resumed campaign's document stays byte-identical.
+            ("coverage", self.coverage().to_json()),
+            (
+                "quarantine",
+                Json::Arr(
+                    self.quarantine
+                        .iter()
+                        .map(|q| {
+                            Json::obj(vec![
+                                ("seed", q.seed.into()),
+                                ("attempts", (q.attempts as u64).into()),
+                                ("class", q.class.as_str().into()),
+                                ("detail", q.detail.as_str().into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             (
                 "gate",
                 Json::obj(vec![
@@ -318,10 +516,40 @@ impl ChaosReport {
     }
 }
 
-/// Runs the campaign: every combo over every seed, the app rotating with
-/// the seed so all three servers contribute to every row.
-pub fn run_chaos_campaign(opts: &CampaignOpts) -> ChaosReport {
-    let combos = combos();
+/// Runs one campaign seed: one server run per combo, the app rotating
+/// with the seed so all three servers contribute to every row.
+/// Deterministic in `seed` alone (the chaos schedule is seed-derived), so
+/// per-seed deltas merge identically regardless of worker scheduling.
+pub fn run_chaos_seed(opts: &CampaignOpts, combos: &[Combo], seed: u64) -> Vec<ComboDelta> {
+    if opts.demo_panic == Some(seed) {
+        panic!("demo: injected panicking seed {seed}");
+    }
+    let schedule = ChaosSchedule::generate(seed, opts.requests);
+    let app = ServerApp::ALL[(seed % ServerApp::ALL.len() as u64) as usize];
+    combos
+        .iter()
+        .map(|combo| {
+            ComboDelta::from_report(&serve_tier(
+                app,
+                combo.scheme,
+                &combo.policies,
+                &schedule,
+                opts.tier,
+            ))
+        })
+        .collect()
+}
+
+/// Builds the final report from seed-ordered outcomes: absorb deltas into
+/// the rows, derive each combo's first corrupted seed, then evaluate the
+/// gates and assemble corruption forensics.
+fn finalize(
+    opts: &CampaignOpts,
+    combos: &[Combo],
+    outcomes: &[(u64, Vec<ComboDelta>)],
+    quarantine: Vec<Quarantined>,
+    skipped: u64,
+) -> ChaosReport {
     let mut rows: Vec<ComboRow> = combos
         .iter()
         .map(|c| ComboRow {
@@ -331,16 +559,12 @@ pub fn run_chaos_campaign(opts: &CampaignOpts) -> ChaosReport {
         })
         .collect();
     let mut first_corrupted_seed: Vec<Option<u64>> = vec![None; combos.len()];
-    for i in 0..opts.seeds {
-        let seed = opts.seed0 + i;
-        let schedule = ChaosSchedule::generate(seed, opts.requests);
-        let app = ServerApp::ALL[(seed % ServerApp::ALL.len() as u64) as usize];
-        for (c, (combo, row)) in combos.iter().zip(rows.iter_mut()).enumerate() {
-            let rep = serve_tier(app, combo.scheme, &combo.policies, &schedule, opts.tier);
-            if !rep.intact() && first_corrupted_seed[c].is_none() {
-                first_corrupted_seed[c] = Some(seed);
+    for (seed, deltas) in outcomes {
+        for (c, (row, d)) in rows.iter_mut().zip(deltas.iter()).enumerate() {
+            if d.corrupted && first_corrupted_seed[c].is_none() {
+                first_corrupted_seed[c] = Some(*seed);
             }
-            row.add(&rep);
+            row.absorb(d);
         }
     }
 
@@ -375,7 +599,126 @@ pub fn run_chaos_campaign(opts: &CampaignOpts) -> ChaosReport {
         rows,
         failures,
         incidents,
+        quarantine,
+        skipped,
     }
+}
+
+/// Runs the campaign sequentially in-process: every combo over every seed.
+pub fn run_chaos_campaign(opts: &CampaignOpts) -> ChaosReport {
+    let combos = combos();
+    let mut outcomes = Vec::new();
+    for i in 0..opts.seeds {
+        let seed = opts.seed0 + i;
+        outcomes.push((seed, run_chaos_seed(opts, &combos, seed)));
+    }
+    finalize(opts, &combos, &outcomes, Vec::new(), 0)
+}
+
+/// The chaos campaign as a supervised [`Campaign`]. Every seed checkpoints
+/// its full per-combo delta vector (counters plus exact latency-histogram
+/// parts), so a resumed campaign rebuilds every row without re-running a
+/// single server and still emits a byte-identical document.
+pub struct ChaosCampaign {
+    /// The options every seed runs under.
+    pub opts: CampaignOpts,
+    combos: Vec<Combo>,
+}
+
+impl ChaosCampaign {
+    /// Builds the campaign over the standard combo matrix.
+    pub fn new(opts: CampaignOpts) -> ChaosCampaign {
+        ChaosCampaign {
+            opts,
+            combos: combos(),
+        }
+    }
+}
+
+impl Campaign for ChaosCampaign {
+    type Out = Vec<ComboDelta>;
+
+    fn name(&self) -> &'static str {
+        "chaos"
+    }
+
+    fn fingerprint(&self) -> String {
+        // Deliberately excludes the tier (the document is pinned
+        // byte-identical across tiers, so cross-tier resume is sound) and
+        // gate-time options (threshold, demo_corruption), which do not
+        // change per-seed results.
+        format!(
+            "chaos requests={} demo_panic={:?}",
+            self.opts.requests, self.opts.demo_panic
+        )
+    }
+
+    fn run_seed(&self, seed: u64, _attempt: u32) -> Result<Vec<ComboDelta>, TaskError> {
+        Ok(run_chaos_seed(&self.opts, &self.combos, seed))
+    }
+
+    fn checkpoint(&self, deltas: &Vec<ComboDelta>) -> Json {
+        Json::obj(vec![(
+            "combos",
+            Json::Arr(deltas.iter().map(ComboDelta::to_json).collect()),
+        )])
+    }
+
+    fn restore(&self, _seed: u64, payload: &Json) -> Result<Restored<Vec<ComboDelta>>, String> {
+        let rows = payload
+            .get("combos")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "chaos checkpoint: missing combos".to_owned())?;
+        if rows.len() != self.combos.len() {
+            return Err(format!(
+                "chaos checkpoint: {} combos journaled, campaign has {}",
+                rows.len(),
+                self.combos.len()
+            ));
+        }
+        Ok(Restored::Value(
+            rows.iter()
+                .map(ComboDelta::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        ))
+    }
+}
+
+/// A supervised chaos campaign's outcome: the report plus stop/resume
+/// provenance (kept out of the artifact so a resumed run's document stays
+/// byte-identical to an uninterrupted one).
+pub struct ChaosOutcome {
+    /// The finalized campaign report.
+    pub report: ChaosReport,
+    /// Whether a graceful stop ended the campaign early.
+    pub stopped: bool,
+    /// Seeds restored from the journal instead of re-run.
+    pub resumed: u64,
+}
+
+/// Runs the chaos campaign under the supervisor: seeds shard across the
+/// work-stealing pool, a panicking seed is quarantined instead of killing
+/// the run, and deltas merge in seed order — byte-identical output for
+/// every worker count and across checkpoint/resume.
+pub fn run_chaos_campaign_supervised(
+    opts: &CampaignOpts,
+    sup: &SuperOpts,
+    stop: &StopFlag,
+) -> Result<ChaosOutcome, String> {
+    let campaign = ChaosCampaign::new(opts.clone());
+    let run = supervise(&campaign, opts.seed0, opts.seeds, sup, stop)?;
+    let report = finalize(
+        opts,
+        &campaign.combos,
+        &run.outcomes,
+        run.quarantined.clone(),
+        run.skipped.len() as u64,
+    );
+    Ok(ChaosOutcome {
+        report,
+        stopped: run.stopped,
+        resumed: run.resumed,
+    })
 }
 
 /// Forensic re-run of the first corrupted seed of a gate-failing combo:
@@ -450,6 +793,94 @@ mod tests {
                 row.scheme,
                 row.policy
             );
+        }
+    }
+
+    #[test]
+    fn supervised_campaign_matches_serial_for_every_worker_count() {
+        let opts = CampaignOpts {
+            seeds: 4,
+            seed0: 1,
+            requests: 16,
+            ..CampaignOpts::default()
+        };
+        let serial = run_chaos_campaign(&opts).to_json().to_pretty();
+        for workers in [1usize, 2, 4] {
+            let sup = SuperOpts {
+                workers,
+                ..SuperOpts::default()
+            };
+            let out = run_chaos_campaign_supervised(&opts, &sup, &StopFlag::new())
+                .expect("supervised chaos campaign runs");
+            assert!(!out.stopped);
+            assert_eq!(out.resumed, 0);
+            assert_eq!(
+                out.report.to_json().to_pretty(),
+                serial,
+                "chaos doc diverged at {workers} worker(s)"
+            );
+        }
+    }
+
+    #[test]
+    fn demo_panic_seed_is_quarantined_with_accurate_coverage() {
+        let opts = CampaignOpts {
+            seeds: 4,
+            seed0: 1,
+            requests: 16,
+            demo_panic: Some(2),
+            ..CampaignOpts::default()
+        };
+        let sup = SuperOpts {
+            workers: 2,
+            quiet_panics: true,
+            ..SuperOpts::default()
+        };
+        let out = run_chaos_campaign_supervised(&opts, &sup, &StopFlag::new())
+            .expect("supervised chaos campaign runs");
+        let rep = &out.report;
+        assert_eq!(rep.quarantine.len(), 1);
+        assert_eq!(rep.quarantine[0].seed, 2);
+        assert_eq!(rep.quarantine[0].class, "panic");
+        assert!(rep.quarantine[0]
+            .detail
+            .contains("injected panicking seed 2"));
+        let cov = rep.coverage();
+        assert_eq!((cov.seeds, cov.completed, cov.quarantined), (4, 3, 1));
+        // The rows only absorbed the three completed seeds.
+        assert_eq!(rep.rows[0].runs, 3);
+        let render = rep.render();
+        assert!(render.contains("quarantined seeds:"), "{render}");
+        let json = rep.to_json().to_pretty();
+        assert!(json.contains("\"quarantine\""), "{json}");
+        assert!(json.contains("\"coverage\""), "{json}");
+    }
+
+    #[test]
+    fn chaos_checkpoints_restore_to_byte_identical_deltas() {
+        // Every per-seed delta must survive the journal codec exactly —
+        // counters and latency-histogram parts alike — so a resumed
+        // campaign rebuilds rows without re-running a single server.
+        let opts = CampaignOpts {
+            seeds: 3,
+            seed0: 1,
+            requests: 16,
+            ..CampaignOpts::default()
+        };
+        let campaign = ChaosCampaign::new(opts.clone());
+        for seed in 1..=3 {
+            let deltas = campaign.run_seed(seed, 1).expect("chaos seed runs");
+            let payload = campaign.checkpoint(&deltas);
+            match campaign.restore(seed, &payload).expect("restores") {
+                Restored::Value(back) => {
+                    assert_eq!(back.len(), deltas.len());
+                    for (a, b) in deltas.iter().zip(back.iter()) {
+                        assert_eq!(a.to_json().to_compact(), b.to_json().to_compact());
+                        assert_eq!(a.latency, b.latency, "hist parts diverged at seed {seed}");
+                    }
+                }
+                Restored::Rerun => panic!("chaos checkpoints are never dirty"),
+            }
         }
     }
 

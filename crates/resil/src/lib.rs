@@ -26,7 +26,10 @@ pub mod campaign;
 pub mod chaos;
 pub mod serve;
 
-pub use campaign::{run_chaos_campaign, CampaignOpts, ChaosReport, ComboRow};
+pub use campaign::{
+    run_chaos_campaign, run_chaos_campaign_supervised, run_chaos_seed, CampaignOpts, ChaosCampaign,
+    ChaosOutcome, ChaosReport, ComboDelta, ComboRow,
+};
 pub use chaos::{ChaosEvent, ChaosKind, ChaosSchedule};
 pub use serve::{
     abort_policy, boundless_policy, graceful_policy, retry_policy, serve, serve_forensic,

@@ -1,0 +1,267 @@
+//! A work-stealing shard pool over `std::thread` (the workspace is
+//! offline — no rayon, no crossbeam).
+//!
+//! Work items are *indices* `0..n`; the caller maps them onto seeds. Items
+//! are dealt round-robin into one deque per worker; a worker pops from the
+//! front of its own deque and, when empty, steals from the *back* of the
+//! longest victim deque. Stealing only moves *which thread* runs an item,
+//! never whether or how it runs, so a pool with any worker count computes
+//! the same per-item results as a serial loop — the property every
+//! byte-identical-across-`--workers` artifact in this repo leans on.
+//!
+//! Robustness at this layer:
+//!
+//! * a panic inside one item is caught ([`std::panic::catch_unwind`]) and
+//!   recorded as [`ItemState::Panicked`] with the payload message — the
+//!   worker survives and moves on to its next item;
+//! * a cooperative [`StopFlag`] is polled between items: once raised, no
+//!   new item is claimed and the un-run remainder comes back as
+//!   [`ItemState::Skipped`] (graceful stop — the caller flushes its
+//!   journal and reports explicit coverage instead of truncating
+//!   silently).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared cooperative-stop signal. Cloning shares the underlying flag.
+#[derive(Debug, Clone, Default)]
+pub struct StopFlag(Arc<AtomicBool>);
+
+impl StopFlag {
+    /// A fresh, unraised flag.
+    pub fn new() -> StopFlag {
+        StopFlag::default()
+    }
+
+    /// Raises the flag: workers stop claiming new items.
+    pub fn raise(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once raised.
+    pub fn raised(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Terminal state of one work item.
+#[derive(Debug)]
+pub enum ItemState<T> {
+    /// The item ran to completion.
+    Done(T),
+    /// The item panicked; the payload message is preserved.
+    Panicked(String),
+    /// The stop flag was raised before the item was claimed.
+    Skipped,
+}
+
+impl<T> ItemState<T> {
+    /// The completed value, if any.
+    pub fn done(self) -> Option<T> {
+        match self {
+            ItemState::Done(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Renders a caught panic payload (`&str` and `String` payloads carry
+/// their message; anything else is opaque).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string())
+}
+
+/// Resolves a requested worker count: `0` means "auto" (host parallelism,
+/// capped at 8 so CI runners with many cores do not oversubscribe the
+/// cache-simulating interpreter).
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// One worker's deque plus the steal protocol. Own pops come off the
+/// front, steals off the back — classic work-stealing order, so an owner
+/// and a thief never contend for the same end under load.
+struct Shard {
+    queue: Mutex<VecDeque<usize>>,
+}
+
+/// Runs items `0..n` across `workers` threads with work stealing, calling
+/// `f(i)` once per item not skipped. The result vector is indexed by item:
+/// `out[i]` is item `i`'s state regardless of which worker ran it or when.
+///
+/// `f` must be `Sync` (shared by reference across workers) and is expected
+/// to be deterministic per item; the pool adds no ordering or timing
+/// inputs to it.
+pub fn run_indexed<T, F>(n: usize, workers: usize, stop: &StopFlag, f: F) -> Vec<ItemState<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = resolve_workers(workers).max(1).min(n.max(1));
+    let shards: Vec<Shard> = (0..workers)
+        .map(|w| Shard {
+            queue: Mutex::new((0..n).filter(|i| i % workers == w).collect()),
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<ItemState<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let shards = &shards;
+            let slots = &slots;
+            let f = &f;
+            let stop = stop.clone();
+            scope.spawn(move || {
+                while let Some(i) = claim(shards, w, &stop) {
+                    let state =
+                        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i))) {
+                            Ok(v) => ItemState::Done(v),
+                            Err(payload) => ItemState::Panicked(panic_message(payload.as_ref())),
+                        };
+                    *slots[i].lock().expect("result slot poisoned") = Some(state);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .unwrap_or(ItemState::Skipped)
+        })
+        .collect()
+}
+
+/// Claims the next item for worker `w`: own deque first, then steal from
+/// the victim with the most queued work. Returns `None` when the stop flag
+/// is raised or every deque is empty.
+fn claim(shards: &[Shard], w: usize, stop: &StopFlag) -> Option<usize> {
+    if stop.raised() {
+        return None;
+    }
+    if let Some(i) = shards[w].queue.lock().expect("shard poisoned").pop_front() {
+        return Some(i);
+    }
+    // Steal: scan for the longest victim queue, take from its back. The
+    // scan is racy by nature (lengths move under us), which is fine — any
+    // successful steal is a valid claim, and the loop below retries until
+    // all queues are drained.
+    loop {
+        if stop.raised() {
+            return None;
+        }
+        let mut best: Option<(usize, usize)> = None;
+        for (v, shard) in shards.iter().enumerate() {
+            if v == w {
+                continue;
+            }
+            let len = shard.queue.lock().expect("shard poisoned").len();
+            if len > 0 && best.map(|(_, l)| len > l).unwrap_or(true) {
+                best = Some((v, len));
+            }
+        }
+        let (v, _) = best?;
+        if let Some(i) = shards[v].queue.lock().expect("shard poisoned").pop_back() {
+            return Some(i);
+        }
+        // The victim drained between the scan and the steal; rescan.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn every_item_runs_exactly_once_under_any_worker_count() {
+        for workers in [1, 2, 3, 7, 16] {
+            let counts: Vec<AtomicUsize> = (0..53).map(|_| AtomicUsize::new(0)).collect();
+            let out = run_indexed(53, workers, &StopFlag::new(), |i| {
+                counts[i].fetch_add(1, Ordering::SeqCst);
+                i * 2
+            });
+            assert_eq!(out.len(), 53);
+            for (i, st) in out.into_iter().enumerate() {
+                assert_eq!(st.done(), Some(i * 2), "workers={workers} item {i}");
+                assert_eq!(counts[i].load(Ordering::SeqCst), 1, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_panicking_item_is_isolated_and_its_message_kept() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = run_indexed(9, 3, &StopFlag::new(), |i| {
+            if i == 4 {
+                panic!("deliberate shard failure {i}");
+            }
+            i
+        });
+        std::panic::set_hook(hook);
+        for (i, st) in out.into_iter().enumerate() {
+            if i == 4 {
+                match st {
+                    ItemState::Panicked(msg) => {
+                        assert!(msg.contains("deliberate shard failure 4"), "{msg}")
+                    }
+                    other => panic!("expected panic state, got {other:?}"),
+                }
+            } else {
+                assert_eq!(st.done(), Some(i), "item {i} lost to a neighbour's panic");
+            }
+        }
+    }
+
+    #[test]
+    fn raised_stop_flag_skips_the_remainder() {
+        let stop = StopFlag::new();
+        let ran = AtomicUsize::new(0);
+        let out = run_indexed(40, 1, &stop, |i| {
+            let n = ran.fetch_add(1, Ordering::SeqCst) + 1;
+            if n == 5 {
+                stop.raise();
+            }
+            i
+        });
+        let done = out
+            .iter()
+            .filter(|s| matches!(s, ItemState::Done(_)))
+            .count();
+        let skipped = out
+            .iter()
+            .filter(|s| matches!(s, ItemState::Skipped))
+            .count();
+        assert_eq!(done, 5);
+        assert_eq!(skipped, 35);
+        // With one worker, claims are in index order: the first 5 ran.
+        for (i, st) in out.iter().enumerate() {
+            if i < 5 {
+                assert!(matches!(st, ItemState::Done(_)), "item {i}");
+            } else {
+                assert!(matches!(st, ItemState::Skipped), "item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn auto_worker_count_is_positive_and_capped() {
+        let n = resolve_workers(0);
+        assert!((1..=8).contains(&n));
+        assert_eq!(resolve_workers(5), 5);
+    }
+}

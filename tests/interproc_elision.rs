@@ -35,8 +35,7 @@ fn interprocedural_tier_dominates_intraprocedural_on_fig10_modules() {
         let mut inter = base.clone();
         let summaries = sgxs_analyze::summarize(&inter);
         let marked_inter = sgxs_analyze::mark_safe_flow_with(&mut inter, Some(&summaries));
-        let elided_inter =
-            sgxs_analyze::elide_redundant_checks_with(&mut inter, Some(&summaries));
+        let elided_inter = sgxs_analyze::elide_redundant_checks_with(&mut inter, Some(&summaries));
 
         assert!(
             marked_inter >= marked_intra && elided_inter >= elided_intra,
